@@ -1,0 +1,474 @@
+//! # vss-baseline
+//!
+//! Baseline storage engines the paper evaluates VSS against (Section 6):
+//!
+//! * [`LocalFs`] — videos are stored as one monolithic encoded file per
+//!   logical video on the local file system. Reads in the stored format are
+//!   plain file reads; the local file system performs no automatic
+//!   transcoding, so cross-format reads are unsupported (applications must
+//!   decode/convert themselves, as the paper's OpenCV variant does).
+//! * [`VStoreLike`] — models VStore's defining behaviour: the set of formats
+//!   to materialize must be declared *a priori*, the whole video is staged in
+//!   every declared format at write time, and reads are served only for
+//!   staged formats.
+//!
+//! Both implement the [`VideoStore`] trait, as does [`VssStore`], a thin
+//! adapter over [`vss_core::Vss`], so the benchmark harness can drive all
+//! three uniformly.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use vss_codec::{codec_instance, encode_to_gops, Codec, EncodedGop, EncoderConfig};
+use vss_core::{ReadRequest, Vss, WriteRequest};
+use vss_frame::{FrameSequence, Resolution};
+
+/// Errors produced by the baseline stores.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The store does not support the requested operation (e.g. a format
+    /// conversion the local file system cannot perform).
+    Unsupported(String),
+    /// The named video does not exist.
+    NotFound(String),
+    /// An error from the codec layer.
+    Codec(vss_codec::CodecError),
+    /// An error from the VSS adapter.
+    Vss(vss_core::VssError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Io(e) => write!(f, "I/O error: {e}"),
+            BaselineError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            BaselineError::NotFound(name) => write!(f, "video '{name}' not found"),
+            BaselineError::Codec(e) => write!(f, "codec error: {e}"),
+            BaselineError::Vss(e) => write!(f, "vss error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<std::io::Error> for BaselineError {
+    fn from(e: std::io::Error) -> Self {
+        BaselineError::Io(e)
+    }
+}
+impl From<vss_codec::CodecError> for BaselineError {
+    fn from(e: vss_codec::CodecError) -> Self {
+        BaselineError::Codec(e)
+    }
+}
+impl From<vss_core::VssError> for BaselineError {
+    fn from(e: vss_core::VssError) -> Self {
+        BaselineError::Vss(e)
+    }
+}
+
+/// The result of a store read: the decoded frames and the wall-clock time the
+/// store spent.
+#[derive(Debug)]
+pub struct StoreReadResult {
+    /// Decoded frames (always produced so callers can verify content).
+    pub frames: FrameSequence,
+    /// Time spent inside the store.
+    pub elapsed: Duration,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+}
+
+/// The result of a store write.
+#[derive(Debug)]
+pub struct StoreWriteResult {
+    /// Time spent inside the store.
+    pub elapsed: Duration,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+/// A uniform interface over VSS and the baseline stores, used by the
+/// benchmark harness and the end-to-end application driver.
+pub trait VideoStore {
+    /// Human-readable name used in benchmark output.
+    fn label(&self) -> &'static str;
+
+    /// Writes a video in the given codec.
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError>;
+
+    /// Reads `[start, end)` seconds of a video, converted to the requested
+    /// codec and optional resolution.
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError>;
+
+    /// True if the store can serve a read converting `from` into `to`.
+    fn supports_conversion(&self, from: Codec, to: Codec) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Local file system baseline
+// ---------------------------------------------------------------------------
+
+struct LocalFsVideo {
+    codec: Codec,
+    frame_rate: f64,
+    gops: Vec<EncodedGop>,
+    path: PathBuf,
+}
+
+/// The local-file-system baseline: one monolithic encoded file per video.
+pub struct LocalFs {
+    root: PathBuf,
+    encoder: EncoderConfig,
+    videos: BTreeMap<String, LocalFsVideo>,
+}
+
+impl LocalFs {
+    /// Creates a store rooted at a directory.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, BaselineError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root, encoder: EncoderConfig::default(), videos: BTreeMap::new() })
+    }
+}
+
+impl VideoStore for LocalFs {
+    fn label(&self) -> &'static str {
+        "local-fs"
+    }
+
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError> {
+        let started = Instant::now();
+        let gops = encode_to_gops(frames, codec, &self.encoder)?;
+        let path = self.root.join(format!("{name}.{}", codec.name()));
+        let mut file_bytes = Vec::new();
+        for gop in &gops {
+            let bytes = gop.to_bytes();
+            file_bytes.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            file_bytes.extend_from_slice(&bytes);
+        }
+        fs::write(&path, &file_bytes)?;
+        let bytes_written = file_bytes.len() as u64;
+        self.videos.insert(
+            name.to_string(),
+            LocalFsVideo { codec, frame_rate: frames.frame_rate(), gops, path },
+        );
+        Ok(StoreWriteResult { elapsed: started.elapsed(), bytes_written })
+    }
+
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError> {
+        let started = Instant::now();
+        let video = self.videos.get(name).ok_or_else(|| BaselineError::NotFound(name.into()))?;
+        if codec != video.codec {
+            return Err(BaselineError::Unsupported(format!(
+                "local file system cannot convert {} to {}",
+                video.codec, codec
+            )));
+        }
+        if resolution.is_some() {
+            return Err(BaselineError::Unsupported("local file system cannot rescale".into()));
+        }
+        // Read the monolithic file back, then decode the requested range.
+        let file_bytes = fs::read(&video.path)?;
+        let bytes_read = file_bytes.len() as u64;
+        let implementation = codec_instance(video.codec);
+        let mut frames = FrameSequence::empty(video.frame_rate).map_err(vss_codec::CodecError::from)?;
+        let mut time = 0.0f64;
+        for gop in &video.gops {
+            let duration = gop.frame_count() as f64 / video.frame_rate;
+            if time + duration > start && time < end {
+                let decoded = implementation.decode(gop)?;
+                for (i, frame) in decoded.frames().iter().enumerate() {
+                    let t = time + i as f64 / video.frame_rate;
+                    if t >= start && t < end {
+                        frames.push(frame.clone()).map_err(vss_codec::CodecError::from)?;
+                    }
+                }
+            }
+            time += duration;
+        }
+        Ok(StoreReadResult { frames, elapsed: started.elapsed(), bytes_read })
+    }
+
+    fn supports_conversion(&self, from: Codec, to: Codec) -> bool {
+        from == to
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VStore-like baseline
+// ---------------------------------------------------------------------------
+
+/// A VStore-like baseline: formats must be declared in advance, the whole
+/// video is materialized in every declared format at write time, and reads
+/// are served only for staged formats.
+pub struct VStoreLike {
+    root: PathBuf,
+    encoder: EncoderConfig,
+    staged_formats: Vec<Codec>,
+    videos: BTreeMap<String, BTreeMap<String, (f64, Vec<EncodedGop>, PathBuf)>>,
+}
+
+impl VStoreLike {
+    /// Creates a store that will stage the given formats for every written
+    /// video (the a-priori workload knowledge VStore requires).
+    pub fn new(root: impl Into<PathBuf>, staged_formats: Vec<Codec>) -> Result<Self, BaselineError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root, encoder: EncoderConfig::default(), staged_formats, videos: BTreeMap::new() })
+    }
+}
+
+impl VideoStore for VStoreLike {
+    fn label(&self) -> &'static str {
+        "vstore-like"
+    }
+
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError> {
+        let started = Instant::now();
+        let mut staged = BTreeMap::new();
+        let mut bytes_written = 0u64;
+        let mut formats = self.staged_formats.clone();
+        if !formats.contains(&codec) {
+            formats.push(codec);
+        }
+        // VStore materializes the complete video in every pre-declared
+        // format, even if only a small subset will ever be read.
+        for format in formats {
+            let gops = encode_to_gops(frames, format, &self.encoder)?;
+            let path = self.root.join(format!("{name}.{}", format.name()));
+            let mut file_bytes = Vec::new();
+            for gop in &gops {
+                file_bytes.extend_from_slice(&gop.to_bytes());
+            }
+            fs::write(&path, &file_bytes)?;
+            bytes_written += file_bytes.len() as u64;
+            staged.insert(format.name(), (frames.frame_rate(), gops, path));
+        }
+        self.videos.insert(name.to_string(), staged);
+        Ok(StoreWriteResult { elapsed: started.elapsed(), bytes_written })
+    }
+
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError> {
+        let started = Instant::now();
+        let video = self.videos.get(name).ok_or_else(|| BaselineError::NotFound(name.into()))?;
+        if resolution.is_some() {
+            return Err(BaselineError::Unsupported("vstore-like staging is full-resolution only".into()));
+        }
+        let Some((frame_rate, gops, path)) = video.get(codec.name().as_str()) else {
+            return Err(BaselineError::Unsupported(format!(
+                "format {codec} was not staged at write time"
+            )));
+        };
+        let bytes_read = fs::metadata(path)?.len();
+        let implementation = codec_instance(codec);
+        let mut frames = FrameSequence::empty(*frame_rate).map_err(vss_codec::CodecError::from)?;
+        let mut time = 0.0f64;
+        for gop in gops {
+            let duration = gop.frame_count() as f64 / frame_rate;
+            if time + duration > start && time < end {
+                let decoded = implementation.decode(gop)?;
+                for (i, frame) in decoded.frames().iter().enumerate() {
+                    let t = time + i as f64 / frame_rate;
+                    if t >= start && t < end {
+                        frames.push(frame.clone()).map_err(vss_codec::CodecError::from)?;
+                    }
+                }
+            }
+            time += duration;
+        }
+        Ok(StoreReadResult { frames, elapsed: started.elapsed(), bytes_read })
+    }
+
+    fn supports_conversion(&self, _from: Codec, to: Codec) -> bool {
+        self.staged_formats.contains(&to)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VSS adapter
+// ---------------------------------------------------------------------------
+
+/// Adapter exposing a [`Vss`] store through the [`VideoStore`] trait.
+pub struct VssStore {
+    vss: Vss,
+}
+
+impl VssStore {
+    /// Wraps an existing VSS handle.
+    pub fn new(vss: Vss) -> Self {
+        Self { vss }
+    }
+
+    /// Access to the underlying handle.
+    pub fn vss(&self) -> &Vss {
+        &self.vss
+    }
+}
+
+impl VideoStore for VssStore {
+    fn label(&self) -> &'static str {
+        "vss"
+    }
+
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError> {
+        let report = self.vss.write(&WriteRequest::new(name, codec), frames)?;
+        Ok(StoreWriteResult { elapsed: report.elapsed, bytes_written: report.bytes_written })
+    }
+
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError> {
+        let started = Instant::now();
+        let mut request = ReadRequest::new(name, start, end, codec);
+        if let Some(resolution) = resolution {
+            request = request.at_resolution(resolution);
+        }
+        let result = self.vss.read(&request)?;
+        Ok(StoreReadResult {
+            frames: result.frames,
+            elapsed: started.elapsed(),
+            bytes_read: result.stats.bytes_read,
+        })
+    }
+
+    fn supports_conversion(&self, _from: Codec, _to: Codec) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_frame::{pattern, PixelFormat};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vss-baseline-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sequence(frames: usize) -> FrameSequence {
+        let frames: Vec<_> =
+            (0..frames).map(|i| pattern::gradient(64, 48, PixelFormat::Yuv420, i as u64)).collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn local_fs_round_trips_same_format_only() {
+        let root = temp_root("localfs");
+        let mut store = LocalFs::new(&root).unwrap();
+        let written = store.write_video("v", Codec::H264, &sequence(60)).unwrap();
+        assert!(written.bytes_written > 0);
+        let read = store.read_video("v", 0.5, 1.5, None, Codec::H264).unwrap();
+        assert_eq!(read.frames.len(), 30);
+        assert!(read.bytes_read >= written.bytes_written);
+        assert!(matches!(
+            store.read_video("v", 0.0, 1.0, None, Codec::Hevc),
+            Err(BaselineError::Unsupported(_))
+        ));
+        assert!(matches!(
+            store.read_video("v", 0.0, 1.0, Some(Resolution::QVGA), Codec::H264),
+            Err(BaselineError::Unsupported(_))
+        ));
+        assert!(matches!(
+            store.read_video("missing", 0.0, 1.0, None, Codec::H264),
+            Err(BaselineError::NotFound(_))
+        ));
+        assert!(store.supports_conversion(Codec::H264, Codec::H264));
+        assert!(!store.supports_conversion(Codec::H264, Codec::Hevc));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn vstore_like_serves_only_staged_formats_and_pays_full_staging_cost() {
+        let root = temp_root("vstore");
+        let mut staged =
+            VStoreLike::new(&root, vec![Codec::H264, Codec::Raw(PixelFormat::Yuv420)]).unwrap();
+        let written = staged.write_video("v", Codec::H264, &sequence(30)).unwrap();
+        // The raw staging dominates: the whole video exists in both formats.
+        let raw_size = PixelFormat::Yuv420.frame_bytes(64, 48) * 30;
+        assert!(written.bytes_written as usize > raw_size);
+        assert!(staged.read_video("v", 0.0, 1.0, None, Codec::Raw(PixelFormat::Yuv420)).is_ok());
+        assert!(staged.read_video("v", 0.0, 1.0, None, Codec::H264).is_ok());
+        assert!(matches!(
+            staged.read_video("v", 0.0, 1.0, None, Codec::Hevc),
+            Err(BaselineError::Unsupported(_))
+        ));
+        assert!(staged.supports_conversion(Codec::H264, Codec::Raw(PixelFormat::Yuv420)));
+        assert!(!staged.supports_conversion(Codec::H264, Codec::Hevc));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn vss_adapter_serves_any_conversion() {
+        let root = temp_root("vss-adapter");
+        let vss = Vss::open_at(&root).unwrap();
+        let mut store = VssStore::new(vss);
+        store.write_video("v", Codec::H264, &sequence(60)).unwrap();
+        let read = store.read_video("v", 0.0, 1.0, None, Codec::Hevc).unwrap();
+        assert_eq!(read.frames.len(), 30);
+        let scaled = store
+            .read_video("v", 0.0, 1.0, Some(Resolution::new(32, 24)), Codec::Raw(PixelFormat::Rgb8))
+            .unwrap();
+        assert_eq!(scaled.frames.frames()[0].width(), 32);
+        assert!(store.supports_conversion(Codec::H264, Codec::Hevc));
+        assert_eq!(store.label(), "vss");
+        let _ = fs::remove_dir_all(root);
+    }
+}

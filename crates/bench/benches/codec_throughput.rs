@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the simulated codec substrate: encode and decode
+//! throughput per codec. These underpin the absolute numbers of the paper's
+//! read/write throughput figures (14, 15, 18, 20).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vss_codec::{codec_instance, Codec, EncoderConfig};
+use vss_frame::{pattern, FrameSequence, PixelFormat};
+
+fn sequence(frames: usize, width: u32, height: u32) -> FrameSequence {
+    let frames: Vec<_> =
+        (0..frames).map(|i| pattern::gradient(width, height, PixelFormat::Yuv420, i as u64)).collect();
+    FrameSequence::new(frames, 30.0).unwrap()
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let seq = sequence(8, 160, 96);
+    let pixels = 160 * 96 * seq.len() as u64;
+    let config = EncoderConfig::default();
+
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pixels));
+    for codec in [Codec::H264, Codec::Hevc, Codec::Raw(PixelFormat::Yuv420)] {
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            let implementation = codec_instance(codec);
+            b.iter(|| implementation.encode(&seq, &config).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pixels));
+    for codec in [Codec::H264, Codec::Hevc, Codec::Raw(PixelFormat::Yuv420)] {
+        let implementation = codec_instance(codec);
+        let gop = implementation.encode(&seq, &config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &gop, |b, gop| {
+            let implementation = codec_instance(codec);
+            b.iter(|| implementation.decode(gop).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches);
+criterion_main!(benches);

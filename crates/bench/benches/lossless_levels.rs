@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the deferred-compression (lossless) codec across
+//! compression levels — the mechanism behind Figures 13 and 20.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vss_codec::lossless;
+use vss_frame::{pattern, PixelFormat};
+use vss_workload::{SceneConfig, SceneRenderer};
+
+fn raw_frame_bytes() -> Vec<u8> {
+    let renderer = SceneRenderer::new(SceneConfig {
+        resolution: vss_frame::Resolution::new(160, 96),
+        format: PixelFormat::Rgb8,
+        noise_amplitude: 1,
+        ..Default::default()
+    });
+    renderer.render_view(0, 0).into_data()
+}
+
+fn lossless_benches(c: &mut Criterion) {
+    let realistic = raw_frame_bytes();
+    let adversarial = pattern::noise(160, 96, PixelFormat::Rgb8, 3).into_data();
+
+    let mut group = c.benchmark_group("lossless_compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(realistic.len() as u64));
+    for level in [1u8, 5, 10, 19] {
+        group.bench_with_input(BenchmarkId::new("scene", level), &level, |b, &level| {
+            b.iter(|| lossless::compress(&realistic, level));
+        });
+        group.bench_with_input(BenchmarkId::new("noise", level), &level, |b, &level| {
+            b.iter(|| lossless::compress(&adversarial, level));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lossless_decompress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(realistic.len() as u64));
+    for level in [1u8, 10, 19] {
+        let compressed = lossless::compress(&realistic, level);
+        group.bench_with_input(BenchmarkId::from_parameter(level), &compressed, |b, compressed| {
+            b.iter(|| lossless::decompress(compressed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lossless_benches);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the read planner (Figure 10's fragment-selection
+//! component): the exact optimizer versus the greedy baseline as the number
+//! of materialized fragments grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vss_codec::{Codec, CostModel};
+use vss_frame::pattern::Xorshift;
+use vss_frame::Resolution;
+use vss_solver::{plan_read, plan_read_greedy, FragmentCandidate, ReadPlanRequest};
+
+fn candidates(count: usize, seed: u64) -> Vec<FragmentCandidate> {
+    let mut rng = Xorshift::new(seed);
+    let mut fragments = vec![FragmentCandidate {
+        id: 0,
+        start: 0.0,
+        end: 3600.0,
+        resolution: Resolution::R4K,
+        codec: Codec::H264,
+        frame_rate: 30.0,
+        gop_frames: 30,
+        quality_ok: true,
+    }];
+    for id in 1..count as u64 {
+        let start = rng.next_f64() * 3500.0;
+        let length = 30.0 + rng.next_f64() * 300.0;
+        fragments.push(FragmentCandidate {
+            id,
+            start,
+            end: (start + length).min(3600.0),
+            resolution: if rng.next_below(3) == 0 { Resolution::R1K } else { Resolution::R4K },
+            codec: if rng.next_below(2) == 0 { Codec::Hevc } else { Codec::H264 },
+            frame_rate: 30.0,
+            gop_frames: 30,
+            quality_ok: rng.next_below(10) != 0,
+        });
+    }
+    fragments
+}
+
+fn planning_benches(c: &mut Criterion) {
+    let model = CostModel::default();
+    let request =
+        ReadPlanRequest { start: 0.0, end: 3600.0, resolution: Resolution::R4K, codec: Codec::Hevc };
+    let mut group = c.benchmark_group("read_planning");
+    group.sample_size(10);
+    for fragment_count in [10usize, 50, 200] {
+        let fragments = candidates(fragment_count, 9);
+        group.bench_with_input(
+            BenchmarkId::new("optimal", fragment_count),
+            &fragments,
+            |b, fragments| b.iter(|| plan_read(&request, fragments, &model).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", fragment_count),
+            &fragments,
+            |b, fragments| b.iter(|| plan_read_greedy(&request, fragments, &model).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planning_benches);
+criterion_main!(benches);

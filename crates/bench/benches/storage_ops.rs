@@ -1,0 +1,80 @@
+//! End-to-end storage-manager benchmarks: write and read operations against
+//! VSS and the local-file-system baseline (the micro version of Figures 14
+//! and 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vss_baseline::{LocalFs, VideoStore, VssStore};
+use vss_codec::Codec;
+use vss_core::Vss;
+use vss_frame::{FrameSequence, PixelFormat};
+use vss_workload::{SceneConfig, SceneRenderer};
+
+fn scene_sequence(frames: usize) -> FrameSequence {
+    let renderer = SceneRenderer::new(SceneConfig {
+        resolution: vss_frame::Resolution::new(128, 72),
+        format: PixelFormat::Yuv420,
+        noise_amplitude: 1,
+        ..Default::default()
+    });
+    renderer.render_sequence(0, frames)
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vss-criterion-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn storage_benches(c: &mut Criterion) {
+    let frames = scene_sequence(30);
+
+    let mut group = c.benchmark_group("write");
+    group.sample_size(10);
+    for codec in [Codec::H264, Codec::Raw(PixelFormat::Yuv420)] {
+        group.bench_with_input(BenchmarkId::new("vss", codec.name()), &codec, |b, &codec| {
+            b.iter_with_setup(
+                || {
+                    let root = scratch("write-vss");
+                    VssStore::new(Vss::open_at(&root).unwrap())
+                },
+                |mut store| {
+                    store.write_video("video", codec, &frames).unwrap();
+                },
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("local-fs", codec.name()), &codec, |b, &codec| {
+            b.iter_with_setup(
+                || LocalFs::new(scratch("write-fs")).unwrap(),
+                |mut store| {
+                    store.write_video("video", codec, &frames).unwrap();
+                },
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("read");
+    group.sample_size(10);
+    // Same-format read and a transcoding read against VSS.
+    let root = scratch("read-vss");
+    let mut vss_store = VssStore::new(Vss::open_at(&root).unwrap());
+    vss_store.write_video("video", Codec::H264, &frames).unwrap();
+    group.bench_function("vss/h264_to_h264", |b| {
+        b.iter(|| vss_store.read_video("video", 0.0, 1.0, None, Codec::H264).unwrap());
+    });
+    group.bench_function("vss/h264_to_hevc", |b| {
+        b.iter(|| vss_store.read_video("video", 0.0, 1.0, None, Codec::Hevc).unwrap());
+    });
+    let fs_root = scratch("read-fs");
+    let mut fs_store = LocalFs::new(&fs_root).unwrap();
+    fs_store.write_video("video", Codec::H264, &frames).unwrap();
+    group.bench_function("local-fs/h264_to_h264", |b| {
+        b.iter(|| fs_store.read_video("video", 0.0, 1.0, None, Codec::H264).unwrap());
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(root);
+    let _ = std::fs::remove_dir_all(fs_root);
+}
+
+criterion_group!(benches, storage_benches);
+criterion_main!(benches);

@@ -1,0 +1,523 @@
+//! # vss-catalog
+//!
+//! On-disk layout, metadata catalog and temporal index for the VSS
+//! reproduction.
+//!
+//! The paper's prototype persists GOPs as individual files beneath a
+//! per-physical-video directory (e.g. `traffic/1920x1080r30.hevc/1`) and
+//! keeps a non-clustered temporal index in SQLite mapping time to the file
+//! holding the associated visual information (paper Figure 2). This crate
+//! provides the same mechanism:
+//!
+//! * [`Catalog`] — the metadata store. All logical/physical video and GOP
+//!   records live in a single JSON document that is rewritten atomically
+//!   (write-temp-then-rename) on every mutation, standing in for SQLite.
+//! * [`records`] — the record types ([`LogicalVideoRecord`],
+//!   [`PhysicalVideoRecord`], [`GopRecord`]) with temporal-index queries.
+//! * GOP file I/O — writing, reading and deleting the per-GOP files laid out
+//!   under `<root>/<video>/<WxH>r<fps>.<codec>.<id>/<gop#>.gop`.
+//!
+//! Policy (what to cache, what to evict, how to answer reads) lives above
+//! this crate in `vss-core`; the catalog only records and retrieves state.
+
+#![warn(missing_docs)]
+
+pub mod records;
+
+pub use records::{GopRecord, LogicalVideoRecord, PhysicalVideoId, PhysicalVideoRecord};
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Errors produced by catalog operations.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// An I/O error while reading or writing catalog state or GOP files.
+    Io(std::io::Error),
+    /// The persisted catalog JSON could not be parsed.
+    Corrupt(String),
+    /// A logical video with this name already exists.
+    VideoExists(String),
+    /// No logical video with this name exists.
+    VideoNotFound(String),
+    /// No physical video with this id exists in the named logical video.
+    PhysicalNotFound(PhysicalVideoId),
+    /// No GOP with this index exists in the physical video.
+    GopNotFound {
+        /// Physical video id.
+        physical: PhysicalVideoId,
+        /// GOP index.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "catalog I/O error: {e}"),
+            CatalogError::Corrupt(msg) => write!(f, "corrupt catalog: {msg}"),
+            CatalogError::VideoExists(name) => write!(f, "video '{name}' already exists"),
+            CatalogError::VideoNotFound(name) => write!(f, "video '{name}' not found"),
+            CatalogError::PhysicalNotFound(id) => write!(f, "physical video {id} not found"),
+            CatalogError::GopNotFound { physical, index } => {
+                write!(f, "GOP {index} of physical video {physical} not found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}
+
+#[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
+struct CatalogState {
+    /// Monotonically increasing id generator for physical videos.
+    next_physical_id: PhysicalVideoId,
+    /// Logical access clock used for recency bookkeeping.
+    access_clock: u64,
+    /// Logical videos by name.
+    videos: BTreeMap<String, LogicalVideoRecord>,
+}
+
+/// The VSS metadata catalog and GOP file store rooted at a directory.
+#[derive(Debug)]
+pub struct Catalog {
+    root: PathBuf,
+    state: CatalogState,
+}
+
+const CATALOG_FILE: &str = "catalog.json";
+
+impl Catalog {
+    /// Opens (or initializes) a catalog rooted at `root`. The directory is
+    /// created if missing; existing state is loaded from `catalog.json`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, CatalogError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let path = root.join(CATALOG_FILE);
+        let state = if path.exists() {
+            let data = fs::read_to_string(&path)?;
+            serde_json::from_str(&data).map_err(|e| CatalogError::Corrupt(e.to_string()))?
+        } else {
+            CatalogState::default()
+        };
+        Ok(Self { root, state })
+    }
+
+    /// The catalog's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Persists the catalog state atomically (write to a temporary file in
+    /// the same directory, then rename over the previous version).
+    pub fn persist(&self) -> Result<(), CatalogError> {
+        let serialized = serde_json::to_string_pretty(&self.state)
+            .map_err(|e| CatalogError::Corrupt(e.to_string()))?;
+        let tmp = self.root.join(format!("{CATALOG_FILE}.tmp"));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(serialized.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, self.root.join(CATALOG_FILE))?;
+        Ok(())
+    }
+
+    /// Advances and returns the logical access clock (used for LRU
+    /// sequence numbers).
+    pub fn tick(&mut self) -> u64 {
+        self.state.access_clock += 1;
+        self.state.access_clock
+    }
+
+    /// The current value of the access clock.
+    pub fn clock(&self) -> u64 {
+        self.state.access_clock
+    }
+
+    // --- logical videos ---------------------------------------------------
+
+    /// Creates a new logical video. Fails if the name is already in use.
+    pub fn create_video(&mut self, name: &str) -> Result<(), CatalogError> {
+        if self.state.videos.contains_key(name) {
+            return Err(CatalogError::VideoExists(name.to_string()));
+        }
+        self.state.videos.insert(name.to_string(), LogicalVideoRecord::new(name));
+        fs::create_dir_all(self.root.join(name))?;
+        Ok(())
+    }
+
+    /// Deletes a logical video and all of its on-disk data.
+    pub fn delete_video(&mut self, name: &str) -> Result<(), CatalogError> {
+        if self.state.videos.remove(name).is_none() {
+            return Err(CatalogError::VideoNotFound(name.to_string()));
+        }
+        let dir = self.root.join(name);
+        if dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Names of all logical videos.
+    pub fn video_names(&self) -> Vec<String> {
+        self.state.videos.keys().cloned().collect()
+    }
+
+    /// Borrows a logical video record.
+    pub fn video(&self, name: &str) -> Result<&LogicalVideoRecord, CatalogError> {
+        self.state.videos.get(name).ok_or_else(|| CatalogError::VideoNotFound(name.to_string()))
+    }
+
+    /// Mutably borrows a logical video record.
+    pub fn video_mut(&mut self, name: &str) -> Result<&mut LogicalVideoRecord, CatalogError> {
+        self.state.videos.get_mut(name).ok_or_else(|| CatalogError::VideoNotFound(name.to_string()))
+    }
+
+    /// True if a logical video with this name exists.
+    pub fn contains_video(&self, name: &str) -> bool {
+        self.state.videos.contains_key(name)
+    }
+
+    // --- physical videos ---------------------------------------------------
+
+    /// Registers a new (initially GOP-less) physical video under a logical
+    /// video and creates its directory. Returns the assigned id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_physical(
+        &mut self,
+        video: &str,
+        width: u32,
+        height: u32,
+        frame_rate: f64,
+        codec: &str,
+        is_original: bool,
+        mse_bound: f64,
+    ) -> Result<PhysicalVideoId, CatalogError> {
+        if !self.state.videos.contains_key(video) {
+            return Err(CatalogError::VideoNotFound(video.to_string()));
+        }
+        let id = self.state.next_physical_id;
+        self.state.next_physical_id += 1;
+        let record = PhysicalVideoRecord {
+            id,
+            width,
+            height,
+            frame_rate,
+            codec: codec.to_string(),
+            is_original,
+            mse_bound,
+            gops: Vec::new(),
+        };
+        let dir = self.root.join(video).join(record.directory_name());
+        fs::create_dir_all(dir)?;
+        self.state.videos.get_mut(video).expect("checked above").physical.push(record);
+        Ok(id)
+    }
+
+    /// Removes a physical video's record and files.
+    pub fn remove_physical(&mut self, video: &str, id: PhysicalVideoId) -> Result<(), CatalogError> {
+        let root = self.root.clone();
+        let record = self.video_mut(video)?;
+        let Some(pos) = record.physical.iter().position(|p| p.id == id) else {
+            return Err(CatalogError::PhysicalNotFound(id));
+        };
+        let removed = record.physical.remove(pos);
+        let dir = root.join(video).join(removed.directory_name());
+        if dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        Ok(())
+    }
+
+    // --- GOP files ---------------------------------------------------------
+
+    /// Path of a GOP file.
+    pub fn gop_path(&self, video: &str, physical: &PhysicalVideoRecord, index: u64) -> PathBuf {
+        self.root.join(video).join(physical.directory_name()).join(format!("{index}.gop"))
+    }
+
+    /// Writes a GOP's bytes to disk and records its metadata. The GOP is
+    /// appended to the physical video's GOP list (callers write GOPs in
+    /// temporal order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn append_gop(
+        &mut self,
+        video: &str,
+        physical_id: PhysicalVideoId,
+        start_time: f64,
+        end_time: f64,
+        frame_count: usize,
+        data: &[u8],
+        lossless_level: Option<u8>,
+    ) -> Result<u64, CatalogError> {
+        let clock = self.tick();
+        let root = self.root.clone();
+        let video_name = video.to_string();
+        let record = self.video_mut(video)?;
+        let physical = record
+            .physical_by_id_mut(physical_id)
+            .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
+        let index = physical.gops.last().map_or(0, |g| g.index + 1);
+        let dir = root.join(&video_name).join(physical.directory_name());
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(format!("{index}.gop")), data)?;
+        physical.gops.push(GopRecord {
+            index,
+            start_time,
+            end_time,
+            frame_count,
+            byte_len: data.len() as u64,
+            lossless_level,
+            last_access: clock,
+            duplicate_of: None,
+        });
+        Ok(index)
+    }
+
+    /// Reads a GOP file's bytes.
+    pub fn read_gop(
+        &self,
+        video: &str,
+        physical_id: PhysicalVideoId,
+        index: u64,
+    ) -> Result<Vec<u8>, CatalogError> {
+        let record = self.video(video)?;
+        let physical =
+            record.physical_by_id(physical_id).ok_or(CatalogError::PhysicalNotFound(physical_id))?;
+        if !physical.gops.iter().any(|g| g.index == index) {
+            return Err(CatalogError::GopNotFound { physical: physical_id, index });
+        }
+        Ok(fs::read(self.gop_path(video, physical, index))?)
+    }
+
+    /// Overwrites a GOP file's bytes and updates its recorded size and
+    /// lossless level (used by deferred compression and compaction).
+    pub fn rewrite_gop(
+        &mut self,
+        video: &str,
+        physical_id: PhysicalVideoId,
+        index: u64,
+        data: &[u8],
+        lossless_level: Option<u8>,
+    ) -> Result<(), CatalogError> {
+        let root = self.root.clone();
+        let video_name = video.to_string();
+        let record = self.video_mut(video)?;
+        let physical = record
+            .physical_by_id_mut(physical_id)
+            .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
+        let dir_name = physical.directory_name();
+        let gop = physical
+            .gops
+            .iter_mut()
+            .find(|g| g.index == index)
+            .ok_or(CatalogError::GopNotFound { physical: physical_id, index })?;
+        fs::write(root.join(&video_name).join(dir_name).join(format!("{index}.gop")), data)?;
+        gop.byte_len = data.len() as u64;
+        gop.lossless_level = lossless_level;
+        Ok(())
+    }
+
+    /// Deletes a GOP file and its record.
+    pub fn remove_gop(
+        &mut self,
+        video: &str,
+        physical_id: PhysicalVideoId,
+        index: u64,
+    ) -> Result<(), CatalogError> {
+        let root = self.root.clone();
+        let video_name = video.to_string();
+        let record = self.video_mut(video)?;
+        let physical = record
+            .physical_by_id_mut(physical_id)
+            .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
+        let Some(pos) = physical.gops.iter().position(|g| g.index == index) else {
+            return Err(CatalogError::GopNotFound { physical: physical_id, index });
+        };
+        let dir_name = physical.directory_name();
+        let gop = physical.gops.remove(pos);
+        let path = root.join(&video_name).join(dir_name).join(format!("{}.gop", gop.index));
+        if path.exists() {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Marks a GOP as accessed "now" (recency bookkeeping for eviction).
+    pub fn touch_gop(
+        &mut self,
+        video: &str,
+        physical_id: PhysicalVideoId,
+        index: u64,
+    ) -> Result<(), CatalogError> {
+        let clock = self.tick();
+        let record = self.video_mut(video)?;
+        let physical = record
+            .physical_by_id_mut(physical_id)
+            .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
+        let gop = physical
+            .gops
+            .iter_mut()
+            .find(|g| g.index == index)
+            .ok_or(CatalogError::GopNotFound { physical: physical_id, index })?;
+        gop.last_access = clock;
+        Ok(())
+    }
+
+    /// Bytes used by all physical representations of a logical video.
+    pub fn bytes_used(&self, video: &str) -> Result<u64, CatalogError> {
+        Ok(self.video(video)?.bytes_used())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vss-catalog-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_and_reload_catalog() {
+        let root = temp_root("reload");
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("traffic").unwrap();
+            let id = cat.add_physical("traffic", 1920, 1080, 30.0, "hevc", true, 0.0).unwrap();
+            cat.append_gop("traffic", id, 0.0, 1.0, 30, b"gop-bytes", None).unwrap();
+            cat.persist().unwrap();
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert!(cat.contains_video("traffic"));
+        let video = cat.video("traffic").unwrap();
+        assert_eq!(video.physical.len(), 1);
+        assert_eq!(video.physical[0].gops.len(), 1);
+        assert_eq!(cat.read_gop("traffic", video.physical[0].id, 0).unwrap(), b"gop-bytes");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn duplicate_video_names_are_rejected() {
+        let root = temp_root("dup");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        assert!(matches!(cat.create_video("v"), Err(CatalogError::VideoExists(_))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_entities_produce_specific_errors() {
+        let root = temp_root("missing");
+        let mut cat = Catalog::open(&root).unwrap();
+        assert!(matches!(cat.video("nope"), Err(CatalogError::VideoNotFound(_))));
+        assert!(matches!(cat.bytes_used("nope"), Err(CatalogError::VideoNotFound(_))));
+        cat.create_video("v").unwrap();
+        assert!(matches!(
+            cat.append_gop("v", 99, 0.0, 1.0, 30, b"x", None),
+            Err(CatalogError::PhysicalNotFound(99))
+        ));
+        let id = cat.add_physical("v", 64, 64, 30.0, "h264", true, 0.0).unwrap();
+        assert!(matches!(
+            cat.read_gop("v", id, 5),
+            Err(CatalogError::GopNotFound { index: 5, .. })
+        ));
+        assert!(matches!(cat.remove_physical("v", 7), Err(CatalogError::PhysicalNotFound(7))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gop_lifecycle_updates_accounting() {
+        let root = temp_root("lifecycle");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        let id = cat.add_physical("v", 64, 64, 30.0, "h264", true, 0.0).unwrap();
+        cat.append_gop("v", id, 0.0, 1.0, 30, &[0u8; 100], None).unwrap();
+        cat.append_gop("v", id, 1.0, 2.0, 30, &[0u8; 50], None).unwrap();
+        assert_eq!(cat.bytes_used("v").unwrap(), 150);
+        cat.rewrite_gop("v", id, 1, &[0u8; 20], Some(5)).unwrap();
+        assert_eq!(cat.bytes_used("v").unwrap(), 120);
+        let video = cat.video("v").unwrap();
+        assert_eq!(video.physical[0].gops[1].lossless_level, Some(5));
+        cat.remove_gop("v", id, 0).unwrap();
+        assert_eq!(cat.bytes_used("v").unwrap(), 20);
+        assert!(!cat.gop_path("v", &cat.video("v").unwrap().physical[0], 0).exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn touch_advances_recency() {
+        let root = temp_root("touch");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        let id = cat.add_physical("v", 64, 64, 30.0, "h264", true, 0.0).unwrap();
+        cat.append_gop("v", id, 0.0, 1.0, 30, b"a", None).unwrap();
+        let before = cat.video("v").unwrap().physical[0].gops[0].last_access;
+        cat.touch_gop("v", id, 0).unwrap();
+        let after = cat.video("v").unwrap().physical[0].gops[0].last_access;
+        assert!(after > before);
+        assert!(cat.clock() >= after);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn delete_video_removes_files() {
+        let root = temp_root("delete");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        let id = cat.add_physical("v", 64, 64, 30.0, "h264", true, 0.0).unwrap();
+        cat.append_gop("v", id, 0.0, 1.0, 30, b"a", None).unwrap();
+        assert!(root.join("v").exists());
+        cat.delete_video("v").unwrap();
+        assert!(!root.join("v").exists());
+        assert!(!cat.contains_video("v"));
+        assert!(matches!(cat.delete_video("v"), Err(CatalogError::VideoNotFound(_))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_catalog_json_is_reported() {
+        let root = temp_root("corrupt");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(CATALOG_FILE), b"{ not json").unwrap();
+        assert!(matches!(Catalog::open(&root), Err(CatalogError::Corrupt(_))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn remove_physical_deletes_directory() {
+        let root = temp_root("rmphys");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        let id = cat.add_physical("v", 64, 64, 30.0, "h264", false, 1.5).unwrap();
+        cat.append_gop("v", id, 0.0, 1.0, 30, b"a", None).unwrap();
+        let dir = root.join("v").join(cat.video("v").unwrap().physical[0].directory_name());
+        assert!(dir.exists());
+        cat.remove_physical("v", id).unwrap();
+        assert!(!dir.exists());
+        assert!(cat.video("v").unwrap().physical.is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Catalog records: the persisted metadata describing logical and physical
+//! videos and their GOPs.
+//!
+//! The paper's prototype keeps this metadata in SQLite; here it is a set of
+//! plain serde records persisted as JSON next to the video data. Records
+//! deliberately store codecs and formats as strings so the catalog's on-disk
+//! schema stays stable and human-inspectable.
+
+use serde::{Deserialize, Serialize};
+use vss_codec::Codec;
+use vss_frame::Resolution;
+
+/// Identifier of a physical video within the catalog.
+pub type PhysicalVideoId = u64;
+
+/// Metadata for one GOP file of a physical video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GopRecord {
+    /// Index of the GOP within its physical video (also its file stem).
+    pub index: u64,
+    /// Start time of the GOP within the logical video, in seconds.
+    pub start_time: f64,
+    /// End time of the GOP within the logical video, in seconds.
+    pub end_time: f64,
+    /// Number of frames in the GOP.
+    pub frame_count: usize,
+    /// Size of the GOP file on disk, in bytes.
+    pub byte_len: u64,
+    /// Lossless (deferred) compression level applied on top of the GOP file,
+    /// if any. `None` means the file holds the GOP container directly.
+    pub lossless_level: Option<u8>,
+    /// Logical timestamp of the last access (for recency-based eviction).
+    pub last_access: u64,
+    /// If set, this GOP is a joint-compression pointer to another GOP
+    /// (duplicate elimination): `(physical video id, gop index)`.
+    pub duplicate_of: Option<(PhysicalVideoId, u64)>,
+}
+
+impl GopRecord {
+    /// Duration of the GOP in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.end_time - self.start_time).max(0.0)
+    }
+
+    /// True if the GOP temporally overlaps `[start, end)`.
+    pub fn overlaps(&self, start: f64, end: f64) -> bool {
+        self.start_time < end - 1e-9 && self.end_time > start + 1e-9
+    }
+}
+
+/// Metadata for one physical video (a materialized representation of a
+/// logical video in a specific spatial/physical configuration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalVideoRecord {
+    /// Catalog-wide identifier.
+    pub id: PhysicalVideoId,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Frame rate in frames per second.
+    pub frame_rate: f64,
+    /// Codec name (`h264`, `hevc`, `rgb`, `yuv420`, `yuv422`).
+    pub codec: String,
+    /// True for the originally written physical video (never evictable below
+    /// the baseline-quality cover).
+    pub is_original: bool,
+    /// Upper bound on the accumulated MSE of this representation relative to
+    /// the originally written video (0 for the original itself), maintained
+    /// with the paper's composition bound.
+    pub mse_bound: f64,
+    /// GOPs in temporal order.
+    pub gops: Vec<GopRecord>,
+}
+
+impl PhysicalVideoRecord {
+    /// The video's resolution.
+    pub fn resolution(&self) -> Resolution {
+        Resolution::new(self.width, self.height)
+    }
+
+    /// The video's codec, if the stored name is recognized.
+    pub fn codec(&self) -> Option<Codec> {
+        Codec::parse(&self.codec)
+    }
+
+    /// Start time of the earliest GOP (0 if empty).
+    pub fn start_time(&self) -> f64 {
+        self.gops.first().map_or(0.0, |g| g.start_time)
+    }
+
+    /// End time of the latest GOP (0 if empty).
+    pub fn end_time(&self) -> f64 {
+        self.gops.last().map_or(0.0, |g| g.end_time)
+    }
+
+    /// Total bytes of all GOP files.
+    pub fn byte_len(&self) -> u64 {
+        self.gops.iter().map(|g| g.byte_len).sum()
+    }
+
+    /// Directory name used on disk, mirroring the paper's layout
+    /// (e.g. `1920x1080r30.hevc.12`).
+    pub fn directory_name(&self) -> String {
+        format!("{}x{}r{}.{}.{}", self.width, self.height, self.frame_rate, self.codec, self.id)
+    }
+
+    /// GOPs overlapping `[start, end)`, in temporal order.
+    pub fn gops_overlapping(&self, start: f64, end: f64) -> Vec<&GopRecord> {
+        self.gops.iter().filter(|g| g.overlaps(start, end)).collect()
+    }
+}
+
+/// Metadata for one logical video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalVideoRecord {
+    /// The logical video's name (unique within a catalog).
+    pub name: String,
+    /// Storage budget in bytes for all physical representations of this
+    /// video. `None` means "unset" until the first write establishes it.
+    pub storage_budget_bytes: Option<u64>,
+    /// Physical representations, including the original.
+    pub physical: Vec<PhysicalVideoRecord>,
+}
+
+impl LogicalVideoRecord {
+    /// Creates an empty logical video record.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), storage_budget_bytes: None, physical: Vec::new() }
+    }
+
+    /// Total bytes used across all physical representations.
+    pub fn bytes_used(&self) -> u64 {
+        self.physical.iter().map(PhysicalVideoRecord::byte_len).sum()
+    }
+
+    /// The originally written physical video, if any.
+    pub fn original(&self) -> Option<&PhysicalVideoRecord> {
+        self.physical.iter().find(|p| p.is_original)
+    }
+
+    /// Looks up a physical video by id.
+    pub fn physical_by_id(&self, id: PhysicalVideoId) -> Option<&PhysicalVideoRecord> {
+        self.physical.iter().find(|p| p.id == id)
+    }
+
+    /// Mutable lookup of a physical video by id.
+    pub fn physical_by_id_mut(&mut self, id: PhysicalVideoId) -> Option<&mut PhysicalVideoRecord> {
+        self.physical.iter_mut().find(|p| p.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gop(index: u64, start: f64, end: f64, bytes: u64) -> GopRecord {
+        GopRecord {
+            index,
+            start_time: start,
+            end_time: end,
+            frame_count: 30,
+            byte_len: bytes,
+            lossless_level: None,
+            last_access: 0,
+            duplicate_of: None,
+        }
+    }
+
+    fn physical(id: u64, original: bool) -> PhysicalVideoRecord {
+        PhysicalVideoRecord {
+            id,
+            width: 1920,
+            height: 1080,
+            frame_rate: 30.0,
+            codec: "hevc".into(),
+            is_original: original,
+            mse_bound: 0.0,
+            gops: vec![gop(0, 0.0, 1.0, 100), gop(1, 1.0, 2.0, 120), gop(2, 2.0, 3.0, 80)],
+        }
+    }
+
+    #[test]
+    fn gop_overlap_and_duration() {
+        let g = gop(0, 2.0, 3.0, 10);
+        assert!(g.overlaps(2.5, 4.0));
+        assert!(g.overlaps(0.0, 2.5));
+        assert!(!g.overlaps(3.0, 4.0));
+        assert!(!g.overlaps(0.0, 2.0));
+        assert_eq!(g.duration(), 1.0);
+    }
+
+    #[test]
+    fn physical_record_accessors() {
+        let p = physical(7, true);
+        assert_eq!(p.resolution(), Resolution::R2K);
+        assert_eq!(p.codec(), Some(Codec::Hevc));
+        assert_eq!(p.start_time(), 0.0);
+        assert_eq!(p.end_time(), 3.0);
+        assert_eq!(p.byte_len(), 300);
+        assert_eq!(p.directory_name(), "1920x1080r30.hevc.7");
+        assert_eq!(p.gops_overlapping(0.5, 1.5).len(), 2);
+        assert_eq!(p.gops_overlapping(5.0, 6.0).len(), 0);
+    }
+
+    #[test]
+    fn logical_record_accounting() {
+        let mut l = LogicalVideoRecord::new("traffic");
+        assert_eq!(l.bytes_used(), 0);
+        assert!(l.original().is_none());
+        l.physical.push(physical(1, true));
+        l.physical.push(physical(2, false));
+        assert_eq!(l.bytes_used(), 600);
+        assert_eq!(l.original().unwrap().id, 1);
+        assert!(l.physical_by_id(2).is_some());
+        assert!(l.physical_by_id(9).is_none());
+        l.physical_by_id_mut(2).unwrap().gops.pop();
+        assert_eq!(l.bytes_used(), 520);
+    }
+
+    #[test]
+    fn records_serialize_round_trip() {
+        let l = LogicalVideoRecord {
+            name: "v".into(),
+            storage_budget_bytes: Some(1 << 20),
+            physical: vec![physical(3, true)],
+        };
+        let json = serde_json::to_string(&l).unwrap();
+        let back: LogicalVideoRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn unknown_codec_name_is_detected() {
+        let mut p = physical(1, false);
+        p.codec = "vp9".into();
+        assert_eq!(p.codec(), None);
+    }
+}

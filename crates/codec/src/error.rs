@@ -1,0 +1,82 @@
+//! Error type for the codec layer.
+
+use std::fmt;
+use vss_frame::FrameError;
+
+/// Errors produced while encoding or decoding video data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The encoded bitstream is malformed (bad magic, truncated payload,
+    /// out-of-range field, ...).
+    Corrupt(String),
+    /// The bitstream was produced by a codec other than the one asked to
+    /// decode it.
+    CodecMismatch {
+        /// Codec recorded in the bitstream header.
+        found: String,
+        /// Codec that was asked to decode.
+        expected: String,
+    },
+    /// An attempt to encode an empty frame sequence.
+    EmptyInput,
+    /// A frame-level error bubbled up from `vss-frame`.
+    Frame(FrameError),
+    /// A decode request referenced a frame index beyond the GOP length.
+    FrameOutOfRange {
+        /// Requested frame index.
+        index: usize,
+        /// Number of frames in the GOP.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Corrupt(msg) => write!(f, "corrupt bitstream: {msg}"),
+            CodecError::CodecMismatch { found, expected } => {
+                write!(f, "codec mismatch: bitstream is {found}, expected {expected}")
+            }
+            CodecError::EmptyInput => write!(f, "cannot encode an empty frame sequence"),
+            CodecError::Frame(e) => write!(f, "frame error: {e}"),
+            CodecError::FrameOutOfRange { index, len } => {
+                write!(f, "frame index {index} out of range for GOP of {len} frames")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for CodecError {
+    fn from(e: FrameError) -> Self {
+        CodecError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = CodecError::CodecMismatch { found: "h264".into(), expected: "hevc".into() };
+        assert!(e.to_string().contains("h264"));
+        assert!(e.to_string().contains("hevc"));
+        let e = CodecError::FrameOutOfRange { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn frame_errors_convert() {
+        let e: CodecError = FrameError::ShapeMismatch.into();
+        assert!(matches!(e, CodecError::Frame(FrameError::ShapeMismatch)));
+    }
+}

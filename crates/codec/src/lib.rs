@@ -1,0 +1,38 @@
+//! # vss-codec
+//!
+//! Simulated video compression substrate for the VSS reproduction.
+//!
+//! The paper's prototype drives FFmpeg/NVENC H.264 and HEVC codecs and
+//! Zstandard; this crate provides from-scratch equivalents with the same
+//! externally observable behaviour the storage manager depends on:
+//!
+//! * [`SimH264`] / [`SimHevc`] — lossy intra/inter codecs over YUV 4:2:0 with
+//!   quantized prediction residuals, real rate/quality trade-offs, and
+//!   I/P frame dependencies within independently decodable GOPs.
+//! * [`RawCodec`] — uncompressed storage in any [`PixelFormat`](vss_frame::PixelFormat).
+//! * [`lossless`] — a delta-filtered LZ codec with compression levels 1–19,
+//!   standing in for Zstandard in the deferred-compression optimization.
+//! * [`EncodedGop`] — the serialized group-of-pictures container VSS stores
+//!   as individual files and treats as cache pages.
+//! * [`CostModel`] — the vbench-style per-pixel transcode cost table and the
+//!   look-back cost used by the read planner.
+//! * [`QualityEstimator`] — bits-per-pixel → PSNR estimation with online
+//!   refinement, used by the quality model for compression error.
+
+#![warn(missing_docs)]
+
+pub mod bitstream;
+mod codec;
+mod costmodel;
+mod error;
+mod gop;
+pub mod lossless;
+mod quality_est;
+mod video;
+
+pub use codec::{Codec, EncoderConfig, VideoCodec};
+pub use costmodel::{lookback_cost, CostModel, CostSample, ETA_DEPENDENT_FRAME};
+pub use error::CodecError;
+pub use gop::{EncodedGop, FrameInfo};
+pub use quality_est::QualityEstimator;
+pub use video::{codec_instance, encode_to_gops, RawCodec, SimH264, SimHevc};

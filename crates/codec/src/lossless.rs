@@ -1,0 +1,271 @@
+//! Lossless compression used by VSS's deferred-compression optimization.
+//!
+//! The paper uses Zstandard, whose relevant properties are: (a) it is
+//! lossless, (b) it exposes a compression level (1–19) trading speed for
+//! ratio, and (c) decompression is far faster than a video codec. This
+//! module provides a delta-filtered LZ77 codec with the same three
+//! properties. Level controls the match-search effort (hash-chain depth),
+//! so higher levels genuinely cost more time and produce smaller output on
+//! typical raw-frame data.
+
+use crate::bitstream::{read_varint, write_varint};
+use crate::CodecError;
+
+const MAGIC: &[u8; 4] = b"VSSL";
+const MIN_MATCH: usize = 4;
+const HASH_BITS: u32 = 16;
+
+/// Minimum supported compression level.
+pub const MIN_LEVEL: u8 = 1;
+/// Maximum supported compression level (mirrors Zstandard's 19).
+pub const MAX_LEVEL: u8 = 19;
+
+/// Compresses `data` at the given level (clamped to `1..=19`).
+pub fn compress(data: &[u8], level: u8) -> Vec<u8> {
+    let level = level.clamp(MIN_LEVEL, MAX_LEVEL);
+    let filtered = delta_filter(data);
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(MAGIC);
+    out.push(level);
+    write_varint(&mut out, data.len() as u64);
+    lz_compress(&filtered, level, &mut out);
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let magic = data.get(0..4).ok_or_else(|| CodecError::Corrupt("missing lossless magic".into()))?;
+    if magic != MAGIC {
+        return Err(CodecError::Corrupt("bad lossless magic".into()));
+    }
+    pos += 4;
+    let _level = *data.get(pos).ok_or_else(|| CodecError::Corrupt("missing level".into()))?;
+    pos += 1;
+    let original_len = read_varint(data, &mut pos)? as usize;
+    if original_len > 1 << 34 {
+        return Err(CodecError::Corrupt("implausible original length".into()));
+    }
+    let filtered = lz_decompress(&data[pos..], original_len)?;
+    Ok(delta_unfilter(&filtered))
+}
+
+/// Byte-wise delta filter: smooth pixel data becomes long runs of small values.
+fn delta_filter(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut prev = 0u8;
+    for &b in data {
+        out.push(b.wrapping_sub(prev));
+        prev = b;
+    }
+    out
+}
+
+fn delta_unfilter(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut prev = 0u8;
+    for &d in data {
+        let v = prev.wrapping_add(d);
+        out.push(v);
+        prev = v;
+    }
+    out
+}
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    ((v.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZ77 with hash-chain match search. Tokens:
+/// `0x00 <len> <bytes>` literal run, `0x01 <len> <dist>` back-reference.
+fn lz_compress(data: &[u8], level: u8, out: &mut Vec<u8>) {
+    let max_chain = usize::from(level) * 8;
+    let max_match = 1 << 15;
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
+        if end > start {
+            out.push(0x00);
+            write_varint(out, (end - start) as u64);
+            out.extend_from_slice(&data[start..end]);
+        }
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        let mut candidate = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut chain = 0usize;
+        while candidate != usize::MAX && chain < max_chain {
+            let dist = i - candidate;
+            if dist > (1 << 20) {
+                break;
+            }
+            let mut len = 0usize;
+            let limit = (data.len() - i).min(max_match);
+            while len < limit && data[candidate + len] == data[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(out, literal_start, i);
+            out.push(0x01);
+            write_varint(out, best_len as u64);
+            write_varint(out, best_dist as u64);
+            // Insert hash entries for the matched region (bounded for speed).
+            let insert_end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let step = if level >= 10 { 1 } else { 2 };
+            let mut j = i;
+            while j < insert_end {
+                let hj = hash4(data, j);
+                prev[j] = head[hj];
+                head[hj] = j;
+                j += step;
+            }
+            i += best_len;
+            literal_start = i;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            i += 1;
+        }
+    }
+    flush_literals(out, literal_start, data.len());
+}
+
+fn lz_decompress(data: &[u8], original_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(original_len);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let token = data[pos];
+        pos += 1;
+        match token {
+            0x00 => {
+                let len = read_varint(data, &mut pos)? as usize;
+                let bytes = data
+                    .get(pos..pos + len)
+                    .ok_or_else(|| CodecError::Corrupt("truncated literal run".into()))?;
+                out.extend_from_slice(bytes);
+                pos += len;
+            }
+            0x01 => {
+                let len = read_varint(data, &mut pos)? as usize;
+                let dist = read_varint(data, &mut pos)? as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CodecError::Corrupt("invalid match distance".into()));
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            other => return Err(CodecError::Corrupt(format!("unknown token {other}"))),
+        }
+        if out.len() > original_len {
+            return Err(CodecError::Corrupt("decompressed past original length".into()));
+        }
+    }
+    if out.len() != original_len {
+        return Err(CodecError::Corrupt(format!(
+            "decompressed {} bytes, expected {original_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_frame::{pattern, PixelFormat};
+
+    #[test]
+    fn round_trip_various_inputs() {
+        let inputs: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 10_000],
+            (0..=255u8).cycle().take(5_000).collect(),
+            pattern::gradient(64, 64, PixelFormat::Rgb8, 3).into_data(),
+            pattern::noise(32, 32, PixelFormat::Rgb8, 3).into_data(),
+        ];
+        for input in inputs {
+            for level in [1, 5, 10, 19] {
+                let compressed = compress(&input, level);
+                let restored = decompress(&compressed).unwrap();
+                assert_eq!(restored, input, "level {level}, len {}", input.len());
+            }
+        }
+    }
+
+    #[test]
+    fn frames_with_flat_regions_compress_substantially() {
+        // Realistic raw frames (sky, road surfaces) contain large flat
+        // regions; build one from filled rectangles over a dark background.
+        let mut frame = vss_frame::Frame::black(128, 128, PixelFormat::Rgb8).unwrap();
+        pattern::fill_rect(&mut frame, 0, 0, 128, 40, (90, 140, 200));
+        pattern::fill_rect(&mut frame, 0, 80, 128, 48, (60, 60, 60));
+        pattern::fill_rect(&mut frame, 30, 50, 40, 20, (200, 30, 30));
+        let data = frame.into_data();
+        let compressed = compress(&data, 5);
+        assert!(
+            compressed.len() * 4 < data.len(),
+            "frame with flat regions should compress at least 4x: {} vs {}",
+            compressed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn higher_levels_do_not_produce_larger_output_on_frame_data() {
+        let data = pattern::gradient(96, 96, PixelFormat::Rgb8, 2).into_data();
+        let low = compress(&data, 1).len();
+        let high = compress(&data, 19).len();
+        assert!(high <= low, "level 19 ({high}) should be <= level 1 ({low})");
+    }
+
+    #[test]
+    fn noise_does_not_explode() {
+        let data = pattern::noise(64, 64, PixelFormat::Rgb8, 1).into_data();
+        let compressed = compress(&data, 3);
+        // Incompressible data may grow slightly but must stay bounded.
+        assert!(compressed.len() < data.len() + data.len() / 8 + 64);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let data = pattern::gradient(32, 32, PixelFormat::Rgb8, 0).into_data();
+        let mut compressed = compress(&data, 5);
+        assert!(decompress(&compressed[..3]).is_err());
+        compressed[0] = b'X';
+        assert!(decompress(&compressed).is_err());
+        // Truncation is detected via the original-length check.
+        let compressed = compress(&data, 5);
+        let truncated = &compressed[..compressed.len() - 5];
+        assert!(decompress(truncated).is_err());
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn level_is_clamped() {
+        let data = vec![1u8; 100];
+        let a = compress(&data, 0);
+        let b = compress(&data, 200);
+        assert_eq!(decompress(&a).unwrap(), data);
+        assert_eq!(decompress(&b).unwrap(), data);
+        assert_eq!(a[4], MIN_LEVEL);
+        assert_eq!(b[4], MAX_LEVEL);
+    }
+}

@@ -1,0 +1,320 @@
+//! GOP-page caching and the LRU_VSS eviction policy (paper Section 4).
+//!
+//! VSS treats the individual GOPs of every physical video as cache pages.
+//! When a logical video exceeds its storage budget, pages are evicted in
+//! order of a sequence number
+//!
+//! `LRU_VSS(f) = LRU(f) + γ·p(f) − ζ·r(f) + b(f)`
+//!
+//! where `p` pushes eviction toward the ends of a physical video (to avoid
+//! fragmenting it), `r` prefers evicting pages that have higher-quality
+//! redundant variants, and `b` protects the last remaining
+//! sufficient-quality copy of any time range (so the original can always be
+//! reproduced). Plain LRU (`γ = ζ = 0`) is available as the baseline the
+//! paper compares against; the baseline-quality guard is kept even then so
+//! the store never destroys its only copy of a region.
+
+use crate::config::EvictionPolicy;
+use crate::quality::QualityModel;
+use crate::VssError;
+use vss_catalog::{LogicalVideoRecord, PhysicalVideoId, PhysicalVideoRecord};
+use vss_frame::PsnrDb;
+
+/// A candidate page for eviction and its computed sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictionCandidate {
+    /// Physical video owning the page.
+    pub physical_id: PhysicalVideoId,
+    /// GOP index within the physical video.
+    pub gop_index: u64,
+    /// The LRU_VSS (or LRU) sequence number; lower numbers are evicted first.
+    pub sequence_number: f64,
+    /// Size of the page on disk.
+    pub byte_len: u64,
+}
+
+/// Computes the position offset `p(f_i) = min(i, n − i)` for the `i`-th of
+/// `n` GOPs in a physical video.
+pub fn position_offset(index_in_video: usize, total: usize) -> f64 {
+    index_in_video.min(total.saturating_sub(index_in_video)) as f64
+}
+
+/// Counts the higher-quality redundant variants of a GOP: physical videos,
+/// other than the GOP's own, whose estimated quality is strictly higher and
+/// whose stored GOPs cover the GOP's time interval.
+pub fn redundancy_rank(
+    video: &LogicalVideoRecord,
+    owner: &PhysicalVideoRecord,
+    gop_start: f64,
+    gop_end: f64,
+    quality_model: &QualityModel,
+) -> usize {
+    let own_quality = quality_model.estimate_physical_quality(owner).db();
+    video
+        .physical
+        .iter()
+        .filter(|other| other.id != owner.id)
+        .filter(|other| quality_model.estimate_physical_quality(other).db() > own_quality)
+        .filter(|other| covers_interval(other, gop_start, gop_end))
+        .count()
+}
+
+/// True if another sufficient-quality physical video covers the interval, so
+/// the page is not the last good copy of that region.
+pub fn has_alternate_baseline_cover(
+    video: &LogicalVideoRecord,
+    owner: &PhysicalVideoRecord,
+    gop_start: f64,
+    gop_end: f64,
+    quality_model: &QualityModel,
+    threshold: PsnrDb,
+) -> bool {
+    video
+        .physical
+        .iter()
+        .filter(|other| other.id != owner.id)
+        .filter(|other| quality_model.estimate_physical_quality(other).db() >= threshold.db())
+        .any(|other| covers_interval(other, gop_start, gop_end))
+}
+
+fn covers_interval(physical: &PhysicalVideoRecord, start: f64, end: f64) -> bool {
+    // The interval is covered if every moment of [start, end) falls inside
+    // some stored GOP (contiguity across the interval).
+    let mut cursor = start;
+    for gop in &physical.gops {
+        if gop.start_time <= cursor + 1e-6 && gop.end_time > cursor + 1e-6 {
+            cursor = gop.end_time;
+            if cursor >= end - 1e-6 {
+                return true;
+            }
+        }
+    }
+    cursor >= end - 1e-6
+}
+
+/// Computes eviction candidates for every GOP page of a logical video under
+/// the given policy, lowest sequence number (most evictable) first. Pages
+/// protected by the baseline-quality guard are excluded.
+pub fn eviction_order(
+    video: &LogicalVideoRecord,
+    policy: &EvictionPolicy,
+    quality_model: &QualityModel,
+    baseline_threshold: PsnrDb,
+) -> Vec<EvictionCandidate> {
+    let mut candidates = Vec::new();
+    for physical in &video.physical {
+        let own_quality = quality_model.estimate_physical_quality(physical);
+        let total = physical.gops.len();
+        for (position, gop) in physical.gops.iter().enumerate() {
+            // Baseline guard: if this physical video meets the baseline
+            // quality and no other sufficient-quality copy covers this
+            // region, the page must never be evicted.
+            let protected = own_quality.db() >= baseline_threshold.db()
+                && !has_alternate_baseline_cover(
+                    video,
+                    physical,
+                    gop.start_time,
+                    gop.end_time,
+                    quality_model,
+                    baseline_threshold,
+                );
+            if protected {
+                continue;
+            }
+            let lru = gop.last_access as f64;
+            let sequence_number = match policy {
+                EvictionPolicy::Lru => lru,
+                EvictionPolicy::LruVss { gamma, zeta } => {
+                    let p = position_offset(position, total);
+                    let r = redundancy_rank(
+                        video,
+                        physical,
+                        gop.start_time,
+                        gop.end_time,
+                        quality_model,
+                    ) as f64;
+                    lru + gamma * p - zeta * r
+                }
+            };
+            candidates.push(EvictionCandidate {
+                physical_id: physical.id,
+                gop_index: gop.index,
+                sequence_number,
+                byte_len: gop.byte_len,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.sequence_number
+            .partial_cmp(&b.sequence_number)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.physical_id.cmp(&b.physical_id))
+            .then(a.gop_index.cmp(&b.gop_index))
+    });
+    candidates
+}
+
+impl crate::engine::Engine {
+    /// Evicts GOP pages until the logical video fits inside its storage
+    /// budget (or nothing evictable remains). Returns the number of pages
+    /// evicted. Physical videos whose last page is evicted are removed.
+    pub fn enforce_budget(&mut self, name: &str) -> Result<usize, VssError> {
+        let mut evicted = 0usize;
+        loop {
+            let Some(budget) = self.budget_bytes(name)? else { return Ok(evicted) };
+            let used = self.bytes_used(name)?;
+            if used <= budget {
+                return Ok(evicted);
+            }
+            let video = self.catalog.video(name)?.clone();
+            let order = eviction_order(
+                &video,
+                &self.config.eviction_policy,
+                &self.quality_model,
+                self.config.default_quality_threshold,
+            );
+            let Some(victim) = order.first() else { return Ok(evicted) };
+            self.catalog.remove_gop(name, victim.physical_id, victim.gop_index)?;
+            evicted += 1;
+            // Drop physical videos that no longer hold any data.
+            let empty: Vec<PhysicalVideoId> = self
+                .catalog
+                .video(name)?
+                .physical
+                .iter()
+                .filter(|p| p.gops.is_empty())
+                .map(|p| p.id)
+                .collect();
+            for id in empty {
+                self.catalog.remove_physical(name, id)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_catalog::GopRecord;
+
+    fn gop(index: u64, start: f64, end: f64, last_access: u64) -> GopRecord {
+        GopRecord {
+            index,
+            start_time: start,
+            end_time: end,
+            frame_count: 30,
+            byte_len: 1000,
+            lossless_level: None,
+            last_access,
+            duplicate_of: None,
+        }
+    }
+
+    fn physical(id: u64, codec: &str, is_original: bool, mse_bound: f64, gops: Vec<GopRecord>) -> PhysicalVideoRecord {
+        PhysicalVideoRecord {
+            id,
+            width: 320,
+            height: 180,
+            frame_rate: 30.0,
+            codec: codec.into(),
+            is_original,
+            mse_bound,
+            gops,
+        }
+    }
+
+    fn two_copy_video() -> LogicalVideoRecord {
+        let mut video = LogicalVideoRecord::new("v");
+        // Original: 4 GOPs over [0, 4).
+        video.physical.push(physical(
+            1,
+            "h264",
+            true,
+            0.0,
+            (0..4).map(|i| gop(i, i as f64, i as f64 + 1.0, 10 + i)).collect(),
+        ));
+        // Cached lower-quality copy over [0, 2), accessed more recently.
+        video.physical.push(physical(
+            2,
+            "rgb",
+            false,
+            200.0,
+            (0..2).map(|i| gop(i, i as f64, i as f64 + 1.0, 50 + i)).collect(),
+        ));
+        video
+    }
+
+    #[test]
+    fn position_offset_prefers_edges() {
+        assert_eq!(position_offset(0, 10), 0.0);
+        assert_eq!(position_offset(9, 10), 1.0);
+        assert_eq!(position_offset(5, 10), 5.0);
+        assert_eq!(position_offset(0, 0), 0.0);
+    }
+
+    #[test]
+    fn baseline_guard_protects_the_only_good_copy() {
+        let video = two_copy_video();
+        let model = QualityModel::new();
+        let order = eviction_order(&video, &EvictionPolicy::default(), &model, PsnrDb(40.0));
+        // GOPs 2 and 3 of the original have no alternate cover of any quality,
+        // and GOPs 0 and 1 of the original have only a *low-quality* copy, so
+        // every original page is protected; only the cached copy is evictable.
+        assert!(order.iter().all(|c| c.physical_id == 2), "{order:?}");
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn high_quality_duplicate_unlocks_original_pages() {
+        let mut video = two_copy_video();
+        // Make the cached copy pristine quality covering [0, 2).
+        video.physical[1].mse_bound = 0.0;
+        let model = QualityModel::new();
+        let order = eviction_order(&video, &EvictionPolicy::default(), &model, PsnrDb(40.0));
+        // Now original pages 0 and 1 are also evictable (their region has an
+        // alternate lossless copy), but pages 2 and 3 remain protected.
+        let originals: Vec<u64> =
+            order.iter().filter(|c| c.physical_id == 1).map(|c| c.gop_index).collect();
+        assert_eq!(originals, vec![0, 1]);
+    }
+
+    #[test]
+    fn redundancy_prefers_evicting_dominated_copies() {
+        let video = two_copy_video();
+        let model = QualityModel::new();
+        let owner = &video.physical[1];
+        assert_eq!(redundancy_rank(&video, owner, 0.0, 1.0, &model), 1);
+        let original = &video.physical[0];
+        assert_eq!(redundancy_rank(&video, original, 0.0, 1.0, &model), 0);
+    }
+
+    #[test]
+    fn lru_vss_orders_by_adjusted_sequence_number() {
+        let mut video = LogicalVideoRecord::new("v");
+        // One original (protected) plus one long cached copy; all cached pages
+        // share the same recency so position decides the order.
+        video.physical.push(physical(1, "h264", true, 0.0, (0..6).map(|i| gop(i, i as f64, i as f64 + 1.0, 100)).collect()));
+        video.physical.push(physical(2, "rgb", false, 150.0, (0..6).map(|i| gop(i, i as f64, i as f64 + 1.0, 7)).collect()));
+        let model = QualityModel::new();
+        let order = eviction_order(&video, &EvictionPolicy::default(), &model, PsnrDb(40.0));
+        let cached: Vec<u64> = order.iter().filter(|c| c.physical_id == 2).map(|c| c.gop_index).collect();
+        // Edges (0 and 5) first, the innermost page (index 3, position offset 3) last.
+        let first = cached.first().copied().unwrap();
+        assert!(first == 0 || first == 5, "{cached:?}");
+        assert_eq!(cached.last().copied().unwrap(), 3, "{cached:?}");
+        // Plain LRU ignores position: order is purely by recency, which is a
+        // tie here, broken by ids — the middle is *not* specially protected.
+        let lru = eviction_order(&video, &EvictionPolicy::Lru, &model, PsnrDb(40.0));
+        let lru_cached: Vec<u64> = lru.iter().filter(|c| c.physical_id == 2).map(|c| c.gop_index).collect();
+        assert_eq!(lru_cached, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn interval_coverage_requires_contiguity() {
+        let p = physical(1, "h264", false, 0.0, vec![gop(0, 0.0, 1.0, 0), gop(2, 2.0, 3.0, 0)]);
+        assert!(covers_interval(&p, 0.0, 1.0));
+        assert!(covers_interval(&p, 2.0, 3.0));
+        assert!(!covers_interval(&p, 0.5, 2.5));
+        assert!(!covers_interval(&p, 1.0, 2.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Storage-manager configuration.
+
+use crate::params::StorageBudget;
+use std::path::PathBuf;
+use vss_frame::PsnrDb;
+
+/// Cache eviction policy (paper Section 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvictionPolicy {
+    /// Plain least-recently-used over GOP pages (the baseline the paper
+    /// compares against).
+    Lru,
+    /// The paper's LRU_VSS: LRU adjusted by fragment position (γ), redundancy
+    /// rank (ζ) and a baseline-quality guard.
+    LruVss {
+        /// Weight of the position (defragmentation) term; prototype γ = 2.
+        gamma: f64,
+        /// Weight of the redundancy term; prototype ζ = 1.
+        zeta: f64,
+    },
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        EvictionPolicy::LruVss { gamma: 2.0, zeta: 1.0 }
+    }
+}
+
+/// Configuration of the joint-compression optimization (paper Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointConfig {
+    /// Minimum number of unambiguous feature correspondences for a GOP pair
+    /// to be considered related (prototype m = 20).
+    pub min_correspondences: usize,
+    /// Maximum squared feature distance for a correspondence (prototype d = 400).
+    pub max_feature_distance_sq: f64,
+    /// `||H − I||₂` below which two frames are treated as exact duplicates
+    /// and stored as a pointer (prototype ε = 0.1).
+    pub duplicate_epsilon: f64,
+    /// Minimum recovered quality before joint compression of a GOP pair is
+    /// aborted (prototype 24 dB for the re-estimation check).
+    pub recovery_threshold: PsnrDb,
+    /// Quality threshold τ used by Algorithm 1's per-frame verification.
+    pub quality_threshold: PsnrDb,
+}
+
+impl Default for JointConfig {
+    fn default() -> Self {
+        Self {
+            min_correspondences: 20,
+            max_feature_distance_sq: 400.0,
+            duplicate_epsilon: 0.1,
+            recovery_threshold: PsnrDb(24.0),
+            quality_threshold: PsnrDb(40.0),
+        }
+    }
+}
+
+/// Configuration of the VSS storage manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VssConfig {
+    /// Root directory for all stored video data and metadata.
+    pub root: PathBuf,
+    /// Default storage budget for newly created videos (prototype: 10× the
+    /// size of the originally written physical video).
+    pub default_budget: StorageBudget,
+    /// Default quality threshold for reads (prototype: 40 dB).
+    pub default_quality_threshold: PsnrDb,
+    /// Default encoder quality (0–100) for compressed writes and cached
+    /// compressed results.
+    pub default_encoder_quality: u8,
+    /// Frames per GOP for compressed representations.
+    pub gop_size: usize,
+    /// Frames per block for uncompressed representations (the prototype
+    /// bounds uncompressed blocks at ~25 MB; small synthetic frames use a
+    /// fixed small frame count instead).
+    pub uncompressed_gop_frames: usize,
+    /// Whether read results may be admitted to the cache of materialized views.
+    pub caching_enabled: bool,
+    /// Eviction policy applied when the storage budget is exceeded.
+    pub eviction_policy: EvictionPolicy,
+    /// Whether deferred (lossless) compression of uncompressed entries is enabled.
+    pub deferred_compression: bool,
+    /// Fraction of the budget at which deferred compression activates
+    /// (prototype: 25%).
+    pub deferred_activation_fraction: f64,
+    /// Whether physical video compaction is enabled.
+    pub compaction_enabled: bool,
+    /// Joint-compression parameters.
+    pub joint: JointConfig,
+}
+
+impl VssConfig {
+    /// A configuration rooted at the given directory with the paper's
+    /// prototype defaults.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            default_budget: StorageBudget::default(),
+            default_quality_threshold: PsnrDb(40.0),
+            default_encoder_quality: 85,
+            gop_size: 30,
+            uncompressed_gop_frames: 3,
+            caching_enabled: true,
+            eviction_policy: EvictionPolicy::default(),
+            deferred_compression: true,
+            deferred_activation_fraction: 0.25,
+            compaction_enabled: true,
+            joint: JointConfig::default(),
+        }
+    }
+
+    /// Disables result caching (used by baseline comparisons and ablations).
+    pub fn without_caching(mut self) -> Self {
+        self.caching_enabled = false;
+        self
+    }
+
+    /// Uses plain LRU eviction (ablation of LRU_VSS).
+    pub fn with_plain_lru(mut self) -> Self {
+        self.eviction_policy = EvictionPolicy::Lru;
+        self
+    }
+
+    /// Disables deferred compression (ablation).
+    pub fn without_deferred_compression(mut self) -> Self {
+        self.deferred_compression = false;
+        self
+    }
+
+    /// Overrides the default storage budget.
+    pub fn with_default_budget(mut self, budget: StorageBudget) -> Self {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Overrides the compressed GOP size.
+    pub fn with_gop_size(mut self, frames: usize) -> Self {
+        self.gop_size = frames.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_prototype_constants() {
+        let c = VssConfig::new("/tmp/x");
+        assert_eq!(c.default_quality_threshold, PsnrDb(40.0));
+        assert_eq!(c.deferred_activation_fraction, 0.25);
+        assert!(matches!(c.eviction_policy, EvictionPolicy::LruVss { gamma, zeta } if gamma == 2.0 && zeta == 1.0));
+        assert_eq!(c.joint.min_correspondences, 20);
+        assert_eq!(c.joint.max_feature_distance_sq, 400.0);
+        assert_eq!(c.joint.duplicate_epsilon, 0.1);
+        assert!(matches!(c.default_budget, StorageBudget::MultipleOfOriginal(m) if m == 10.0));
+    }
+
+    #[test]
+    fn builders_toggle_features() {
+        let c = VssConfig::new("/tmp/x")
+            .without_caching()
+            .with_plain_lru()
+            .without_deferred_compression()
+            .with_gop_size(0)
+            .with_default_budget(StorageBudget::Bytes(123));
+        assert!(!c.caching_enabled);
+        assert!(!c.deferred_compression);
+        assert_eq!(c.eviction_policy, EvictionPolicy::Lru);
+        assert_eq!(c.gop_size, 1);
+        assert_eq!(c.default_budget, StorageBudget::Bytes(123));
+    }
+}

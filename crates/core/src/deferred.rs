@@ -1,0 +1,197 @@
+//! Deferred (lossless) compression of uncompressed cache entries
+//! (paper Section 5.2).
+//!
+//! Uncompressed video is vastly larger than its compressed counterpart, so
+//! caching raw read results quickly exhausts the storage budget. Once a
+//! video's cache passes an activation threshold (25% of budget by default),
+//! VSS losslessly compresses the uncompressed entry *least likely to be
+//! evicted* on every read, and keeps compressing entries from a background
+//! maintenance worker. The compression level scales linearly with budget
+//! consumption, trading throughput for space as the budget tightens.
+
+use crate::cache::eviction_order;
+use crate::engine::Engine;
+use crate::write::deferred_level_for_fraction;
+use crate::VssError;
+use vss_catalog::PhysicalVideoId;
+use vss_codec::lossless;
+
+impl Engine {
+    /// Runs one deferred-compression step for a logical video: if the budget
+    /// consumption exceeds the activation threshold, compresses the
+    /// uncompressed GOP page least likely to be evicted. Returns `true` if a
+    /// page was compressed.
+    pub fn deferred_compression_step(&mut self, name: &str) -> Result<bool, VssError> {
+        if !self.config.deferred_compression {
+            return Ok(false);
+        }
+        let Some(fraction) = self.budget_fraction(name)? else { return Ok(false) };
+        if fraction < self.config.deferred_activation_fraction {
+            return Ok(false);
+        }
+        let Some((physical_id, gop_index)) = self.least_evictable_uncompressed(name)? else {
+            return Ok(false);
+        };
+        let level = deferred_level_for_fraction(fraction, self.config.deferred_activation_fraction);
+        let raw = self.catalog.read_gop(name, physical_id, gop_index)?;
+        let compressed = lossless::compress(&raw, level);
+        if compressed.len() < raw.len() {
+            self.catalog.rewrite_gop(name, physical_id, gop_index, &compressed, Some(level))?;
+            Ok(true)
+        } else {
+            // Incompressible page: leave it alone (and do not claim progress).
+            Ok(false)
+        }
+    }
+
+    /// The uncompressed (raw-codec, not yet losslessly compressed) GOP page
+    /// with the *highest* eviction sequence number — i.e. the entry VSS
+    /// expects to keep the longest, making it the most valuable to shrink.
+    fn least_evictable_uncompressed(
+        &self,
+        name: &str,
+    ) -> Result<Option<(PhysicalVideoId, u64)>, VssError> {
+        let video = self.catalog.video(name)?;
+        let order = eviction_order(
+            video,
+            &self.config.eviction_policy,
+            &self.quality_model,
+            self.config.default_quality_threshold,
+        );
+        let is_raw = |physical_id: PhysicalVideoId| {
+            video
+                .physical_by_id(physical_id)
+                .and_then(|p| p.codec())
+                .map(|c| !c.is_compressed())
+                .unwrap_or(false)
+        };
+        // `eviction_order` excludes protected pages; also consider protected
+        // raw pages (e.g. a raw original) by scanning records directly when
+        // nothing in the eviction order qualifies.
+        let from_order = order
+            .iter()
+            .rev()
+            .find(|c| {
+                is_raw(c.physical_id)
+                    && video
+                        .physical_by_id(c.physical_id)
+                        .and_then(|p| p.gops.iter().find(|g| g.index == c.gop_index))
+                        .map(|g| g.lossless_level.is_none())
+                        .unwrap_or(false)
+            })
+            .map(|c| (c.physical_id, c.gop_index));
+        if from_order.is_some() {
+            return Ok(from_order);
+        }
+        for physical in &video.physical {
+            if physical.codec().map(|c| c.is_compressed()).unwrap_or(true) {
+                continue;
+            }
+            if let Some(gop) = physical.gops.iter().rev().find(|g| g.lossless_level.is_none()) {
+                return Ok(Some((physical.id, gop.index)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs one unit of background maintenance across all videos: a deferred
+    /// compression step where budgets are tight, otherwise a compaction pass.
+    /// Returns `true` if any work was performed. This is what the background
+    /// worker thread calls repeatedly when the system is otherwise idle
+    /// (paper Section 5.2's "background thread" behaviour).
+    pub fn background_maintenance(&mut self) -> Result<bool, VssError> {
+        let names = self.video_names();
+        let mut worked = false;
+        for name in &names {
+            if self.config.deferred_compression && self.deferred_compression_step(name)? {
+                worked = true;
+                continue;
+            }
+            if self.config.compaction_enabled && self.compact_video(name)? > 0 {
+                worked = true;
+            }
+        }
+        if worked {
+            self.catalog.persist()?;
+        }
+        Ok(worked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::test_support::temp_engine;
+    use crate::params::{StorageBudget, WriteRequest};
+    use vss_codec::Codec;
+    use vss_frame::{pattern, FrameSequence, PixelFormat};
+
+    fn raw_sequence(frames: usize) -> FrameSequence {
+        let frames: Vec<_> = (0..frames)
+            .map(|i| pattern::gradient(64, 48, PixelFormat::Rgb8, i as u64))
+            .collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn deferred_step_compresses_raw_pages_when_budget_is_tight() {
+        let (mut engine, root) = temp_engine("deferred-step");
+        // Disable write-time deferral so pages start uncompressed, then force
+        // a tiny budget so the read-time step activates.
+        engine.config.deferred_compression = false;
+        engine.create_video("v", Some(StorageBudget::Bytes(2_000_000))).unwrap();
+        engine.write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &raw_sequence(12)).unwrap();
+        engine.config.deferred_compression = true;
+        engine.catalog.video_mut("v").unwrap().storage_budget_bytes = Some(
+            engine.bytes_used("v").unwrap() * 2,
+        );
+        let before = engine.bytes_used("v").unwrap();
+        assert!(engine.deferred_compression_step("v").unwrap());
+        let after = engine.bytes_used("v").unwrap();
+        assert!(after < before, "a page should have shrunk: {before} -> {after}");
+        let video = engine.catalog.video("v").unwrap();
+        let compressed: Vec<_> = video.physical[0]
+            .gops
+            .iter()
+            .filter(|g| g.lossless_level.is_some())
+            .collect();
+        assert_eq!(compressed.len(), 1);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn deferred_step_is_idle_below_activation_threshold() {
+        let (mut engine, root) = temp_engine("deferred-idle");
+        engine.config.deferred_compression = false;
+        engine.create_video("v", Some(StorageBudget::Unlimited)).unwrap();
+        engine.write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &raw_sequence(6)).unwrap();
+        engine.config.deferred_compression = true;
+        // Unlimited budget → never activates.
+        assert!(!engine.deferred_compression_step("v").unwrap());
+        // Large budget → below threshold → never activates.
+        engine.catalog.video_mut("v").unwrap().storage_budget_bytes =
+            Some(engine.bytes_used("v").unwrap() * 100);
+        assert!(!engine.deferred_compression_step("v").unwrap());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn background_maintenance_reports_progress_and_quiesces() {
+        let (mut engine, root) = temp_engine("deferred-bg");
+        engine.config.deferred_compression = false;
+        engine.create_video("v", Some(StorageBudget::Bytes(10_000_000))).unwrap();
+        engine.write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &raw_sequence(9)).unwrap();
+        engine.config.deferred_compression = true;
+        engine.catalog.video_mut("v").unwrap().storage_budget_bytes =
+            Some(engine.bytes_used("v").unwrap() + 1);
+        // Repeated maintenance eventually compresses every page, then quiesces.
+        let mut steps = 0;
+        while engine.background_maintenance().unwrap() {
+            steps += 1;
+            assert!(steps < 50, "maintenance should converge");
+        }
+        let video = engine.catalog.video("v").unwrap();
+        assert!(video.physical[0].gops.iter().all(|g| g.lossless_level.is_some()));
+        assert!(!engine.background_maintenance().unwrap());
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

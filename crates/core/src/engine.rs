@@ -1,0 +1,236 @@
+//! The storage-manager engine: shared state and common helpers.
+//!
+//! [`Engine`] owns the catalog, cost model and quality model. The public
+//! [`Vss`](crate::Vss) handle wraps an `Engine` in a mutex so the background
+//! maintenance worker (deferred compression, compaction) can share it.
+
+use crate::config::VssConfig;
+use crate::params::StorageBudget;
+use crate::quality::QualityModel;
+use crate::VssError;
+use std::time::Duration;
+use vss_catalog::{Catalog, PhysicalVideoId};
+use vss_codec::{lossless, CostModel, EncodedGop};
+use vss_solver::ReadPlan;
+
+/// Statistics describing how a read was executed.
+#[derive(Debug, Clone)]
+pub struct ReadStats {
+    /// The plan chosen by the fragment selector.
+    pub plan: ReadPlan,
+    /// Number of candidate fragments that were available to the planner.
+    pub fragments_available: usize,
+    /// Number of GOP files read from disk.
+    pub gops_read: usize,
+    /// Number of frames decoded (including look-back frames).
+    pub frames_decoded: usize,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Whether the result was admitted to the cache as a new physical video.
+    pub cache_admitted: bool,
+    /// Time spent planning the read.
+    pub planning: Duration,
+    /// Time spent reading and decoding source fragments.
+    pub decoding: Duration,
+    /// Time spent converting and (re)encoding the output.
+    pub encoding: Duration,
+}
+
+/// Statistics describing how a write was executed.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Identifier of the physical video the data was written to.
+    pub physical_id: PhysicalVideoId,
+    /// Number of GOPs written.
+    pub gops_written: usize,
+    /// Number of frames written.
+    pub frames_written: usize,
+    /// Bytes written to disk (after any deferred compression).
+    pub bytes_written: u64,
+    /// Deferred-compression levels applied to each written GOP
+    /// (`0` = not compressed), in write order.
+    pub deferred_levels: Vec<u8>,
+    /// Wall-clock time spent encoding and writing.
+    pub elapsed: Duration,
+}
+
+/// The engine behind a [`Vss`](crate::Vss) instance.
+#[derive(Debug)]
+pub struct Engine {
+    /// The storage manager's configuration. Exposed mutably (through
+    /// [`Vss::with_engine`](crate::Vss::with_engine)) so experiments can
+    /// toggle optimizations (eviction policy, deferred compression, ...)
+    /// between operations.
+    pub config: VssConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) cost_model: CostModel,
+    pub(crate) quality_model: QualityModel,
+}
+
+impl Engine {
+    /// Opens an engine rooted at the configuration's directory.
+    pub fn open(config: VssConfig) -> Result<Self, VssError> {
+        let catalog = Catalog::open(&config.root)?;
+        Ok(Self { config, catalog, cost_model: CostModel::default(), quality_model: QualityModel::new() })
+    }
+
+    /// Replaces the transcode cost model (e.g. with a calibrated one).
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.cost_model = model;
+    }
+
+    /// Creates a logical video with an optional explicit storage budget.
+    pub fn create_video(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        if self.catalog.contains_video(name) {
+            return Err(VssError::VideoExists(name.to_string()));
+        }
+        self.catalog.create_video(name)?;
+        if let Some(StorageBudget::Bytes(bytes)) = budget {
+            self.catalog.video_mut(name)?.storage_budget_bytes = Some(bytes);
+        } else if let Some(StorageBudget::Unlimited) = budget {
+            self.catalog.video_mut(name)?.storage_budget_bytes = Some(u64::MAX);
+        }
+        // MultipleOfOriginal budgets are resolved lazily once the original
+        // physical video has been written and its size is known.
+        self.catalog.persist()?;
+        Ok(())
+    }
+
+    /// Deletes a logical video and all of its physical data.
+    pub fn delete_video(&mut self, name: &str) -> Result<(), VssError> {
+        self.catalog.delete_video(name)?;
+        self.catalog.persist()?;
+        Ok(())
+    }
+
+    /// Names of all logical videos.
+    pub fn video_names(&self) -> Vec<String> {
+        self.catalog.video_names()
+    }
+
+    /// Bytes used by a logical video across all physical representations.
+    pub fn bytes_used(&self, name: &str) -> Result<u64, VssError> {
+        Ok(self.catalog.bytes_used(name)?)
+    }
+
+    /// The storage budget of a logical video in bytes, if established.
+    pub fn budget_bytes(&self, name: &str) -> Result<Option<u64>, VssError> {
+        let video = self.catalog.video(name)?;
+        if let Some(explicit) = video.storage_budget_bytes {
+            return Ok(if explicit == u64::MAX { None } else { Some(explicit) });
+        }
+        // Fall back to the configured default, resolved against the original.
+        let original_bytes = video.original().map(|o| o.byte_len()).unwrap_or(0);
+        if original_bytes == 0 {
+            return Ok(None);
+        }
+        Ok(self.config.default_budget.resolve(original_bytes))
+    }
+
+    /// Fraction of the budget currently consumed (`None` when unlimited).
+    pub fn budget_fraction(&self, name: &str) -> Result<Option<f64>, VssError> {
+        let Some(budget) = self.budget_bytes(name)? else { return Ok(None) };
+        if budget == 0 {
+            return Ok(Some(1.0));
+        }
+        Ok(Some(self.bytes_used(name)? as f64 / budget as f64))
+    }
+
+    /// Number of cached (non-original) GOP fragments currently materialized
+    /// for a logical video — the x-axis of the paper's Figures 10 and 12.
+    pub fn materialized_fragment_count(&self, name: &str) -> Result<usize, VssError> {
+        let video = self.catalog.video(name)?;
+        Ok(video.physical.iter().filter(|p| !p.is_original).map(|p| p.gops.len()).sum())
+    }
+
+    /// Number of contiguous cached fragment runs for a logical video (a
+    /// measure of cache fragmentation: evicting pages from the middle of a
+    /// physical video splits it into more runs).
+    pub fn fragment_run_count(&self, name: &str) -> Result<usize, VssError> {
+        let video = self.catalog.video(name)?;
+        Ok(video
+            .physical
+            .iter()
+            .filter(|p| !p.is_original)
+            .map(|p| crate::fragments::contiguous_runs(p).len())
+            .sum())
+    }
+
+    /// Loads and parses a GOP, transparently undoing deferred (lossless)
+    /// compression if it was applied.
+    pub(crate) fn load_gop(
+        &self,
+        video: &str,
+        physical_id: PhysicalVideoId,
+        index: u64,
+    ) -> Result<(EncodedGop, u64), VssError> {
+        let bytes = self.catalog.read_gop(video, physical_id, index)?;
+        let bytes_read = bytes.len() as u64;
+        let record = self.catalog.video(video)?;
+        let physical = record
+            .physical_by_id(physical_id)
+            .ok_or_else(|| VssError::VideoNotFound(video.to_string()))?;
+        let gop_record = physical
+            .gops
+            .iter()
+            .find(|g| g.index == index)
+            .ok_or_else(|| VssError::Unsatisfiable(format!("missing GOP {index}")))?;
+        let container = if gop_record.lossless_level.is_some() {
+            lossless::decompress(&bytes)?
+        } else {
+            bytes
+        };
+        Ok((EncodedGop::from_bytes(&container)?, bytes_read))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// Creates an engine rooted in a fresh temporary directory.
+    pub(crate) fn temp_engine(tag: &str) -> (Engine, PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "vss-core-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let engine = Engine::open(VssConfig::new(&root)).unwrap();
+        (engine, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::temp_engine;
+    use super::*;
+
+    #[test]
+    fn create_and_delete_videos() {
+        let (mut engine, root) = temp_engine("create");
+        engine.create_video("a", None).unwrap();
+        assert!(matches!(engine.create_video("a", None), Err(VssError::VideoExists(_))));
+        engine.create_video("b", Some(StorageBudget::Bytes(1234))).unwrap();
+        assert_eq!(engine.budget_bytes("b").unwrap(), Some(1234));
+        assert_eq!(engine.video_names(), vec!["a".to_string(), "b".to_string()]);
+        engine.delete_video("a").unwrap();
+        assert_eq!(engine.video_names(), vec!["b".to_string()]);
+        assert!(engine.delete_video("a").is_err());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unlimited_budget_reports_none() {
+        let (mut engine, root) = temp_engine("budget");
+        engine.create_video("v", Some(StorageBudget::Unlimited)).unwrap();
+        assert_eq!(engine.budget_bytes("v").unwrap(), None);
+        assert_eq!(engine.budget_fraction("v").unwrap(), None);
+        // Without an original, a multiple-of-original budget is unknown.
+        engine.create_video("w", None).unwrap();
+        assert_eq!(engine.budget_bytes("w").unwrap(), None);
+        assert_eq!(engine.bytes_used("w").unwrap(), 0);
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,134 @@
+//! The storage manager's error type.
+
+use std::fmt;
+use vss_catalog::CatalogError;
+use vss_codec::CodecError;
+use vss_frame::FrameError;
+use vss_solver::SolverError;
+use vss_vision::VisionError;
+
+/// Errors produced by the VSS storage manager.
+#[derive(Debug)]
+pub enum VssError {
+    /// The named logical video does not exist.
+    VideoNotFound(String),
+    /// A video with this name already exists.
+    VideoExists(String),
+    /// A read extends outside the temporal interval of the originally
+    /// written video (the paper returns an error for such reads).
+    OutOfRange {
+        /// Requested start (seconds).
+        requested_start: f64,
+        /// Requested end (seconds).
+        requested_end: f64,
+        /// Available start (seconds).
+        available_start: f64,
+        /// Available end (seconds).
+        available_end: f64,
+    },
+    /// The write contained no frames.
+    EmptyWrite,
+    /// No combination of materialized views satisfies the read at the
+    /// requested quality.
+    Unsatisfiable(String),
+    /// Joint compression could not be applied to the requested pair.
+    JointCompressionAborted(String),
+    /// An error from the metadata catalog / file store.
+    Catalog(CatalogError),
+    /// An error from the codec layer.
+    Codec(CodecError),
+    /// An error from the frame layer.
+    Frame(FrameError),
+    /// An error from the read planner.
+    Solver(SolverError),
+    /// An error from the vision subsystem.
+    Vision(VisionError),
+}
+
+impl fmt::Display for VssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VssError::VideoNotFound(name) => write!(f, "video '{name}' not found"),
+            VssError::VideoExists(name) => write!(f, "video '{name}' already exists"),
+            VssError::OutOfRange { requested_start, requested_end, available_start, available_end } => {
+                write!(
+                    f,
+                    "read [{requested_start}, {requested_end}) extends outside the written interval \
+                     [{available_start}, {available_end})"
+                )
+            }
+            VssError::EmptyWrite => write!(f, "write contained no frames"),
+            VssError::Unsatisfiable(msg) => write!(f, "read cannot be satisfied: {msg}"),
+            VssError::JointCompressionAborted(msg) => write!(f, "joint compression aborted: {msg}"),
+            VssError::Catalog(e) => write!(f, "catalog error: {e}"),
+            VssError::Codec(e) => write!(f, "codec error: {e}"),
+            VssError::Frame(e) => write!(f, "frame error: {e}"),
+            VssError::Solver(e) => write!(f, "planner error: {e}"),
+            VssError::Vision(e) => write!(f, "vision error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VssError::Catalog(e) => Some(e),
+            VssError::Codec(e) => Some(e),
+            VssError::Frame(e) => Some(e),
+            VssError::Solver(e) => Some(e),
+            VssError::Vision(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for VssError {
+    fn from(e: CatalogError) -> Self {
+        VssError::Catalog(e)
+    }
+}
+
+impl From<CodecError> for VssError {
+    fn from(e: CodecError) -> Self {
+        VssError::Codec(e)
+    }
+}
+
+impl From<FrameError> for VssError {
+    fn from(e: FrameError) -> Self {
+        VssError::Frame(e)
+    }
+}
+
+impl From<SolverError> for VssError {
+    fn from(e: SolverError) -> Self {
+        VssError::Solver(e)
+    }
+}
+
+impl From<VisionError> for VssError {
+    fn from(e: VisionError) -> Self {
+        VssError::Vision(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: VssError = FrameError::ShapeMismatch.into();
+        assert!(e.to_string().contains("frame error"));
+        let e: VssError = SolverError::NoCandidates.into();
+        assert!(e.to_string().contains("planner"));
+        let e = VssError::OutOfRange {
+            requested_start: 0.0,
+            requested_end: 100.0,
+            available_start: 0.0,
+            available_end: 60.0,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("60"));
+    }
+}

@@ -1,0 +1,284 @@
+//! # vss-core
+//!
+//! The VSS storage manager (SIGMOD 2021, "VSS: A Storage System for Video
+//! Analytics"), reproduced in Rust.
+//!
+//! VSS decouples high-level video operations from the low-level details of
+//! storing and retrieving video data. Applications interact with logical
+//! videos through four operations — `create`, `write`, `read`, `delete` —
+//! parameterized by temporal (`T`), spatial (`S`) and physical (`P`)
+//! parameters. Internally VSS:
+//!
+//! * stores every physical representation as a sequence of independently
+//!   decodable GOP files with a temporal index ([`vss_catalog`]);
+//! * answers reads by selecting a minimum-cost combination of cached
+//!   materialized views with an exact fragment-selection optimizer
+//!   ([`vss_solver`]), paying transcode and look-back costs only where
+//!   needed;
+//! * caches read results as new materialized views, evicting GOP pages with
+//!   the LRU_VSS policy when a per-video storage budget is exceeded;
+//! * defers lossless compression of uncompressed entries until budgets
+//!   tighten, scaling the compression level with remaining space;
+//! * compacts contiguous cached entries; and
+//! * jointly compresses overlapping GOPs captured by physically proximate
+//!   cameras, recovering both views on read ([`joint`]).
+//!
+//! The main entry point is [`Vss`]. See the `examples/` directory of the
+//! workspace for end-to-end usage.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod compact;
+mod config;
+mod deferred;
+mod engine;
+mod error;
+mod fragments;
+pub mod joint;
+mod params;
+mod quality;
+mod read;
+mod select;
+mod write;
+
+pub use cache::{eviction_order, EvictionCandidate};
+pub use config::{EvictionPolicy, JointConfig, VssConfig};
+pub use engine::{Engine, ReadStats, WriteReport};
+pub use error::VssError;
+pub use fragments::{build_candidates, contiguous_runs, CandidateSet, FragmentRun};
+pub use joint::{
+    joint_compress_sequences, recover_sequences, JointArtifact, JointOutcome, JointTimings,
+    MergeFunction,
+};
+pub use params::{
+    PhysicalParameters, ReadRequest, SpatialParameters, StorageBudget, TemporalRange, WriteRequest,
+};
+pub use quality::{QualityModel, DEFAULT_QUALITY_THRESHOLD};
+pub use read::{PlannerKind, ReadResult};
+pub use select::{GopFingerprint, PairSelector};
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vss_frame::FrameSequence;
+
+/// The VSS storage manager handle.
+///
+/// `Vss` is cheap to clone; clones share the same underlying engine, which is
+/// how the background maintenance worker and concurrent readers/writers
+/// coordinate (the paper's non-blocking write / prefix-read behaviour).
+#[derive(Clone)]
+pub struct Vss {
+    engine: Arc<Mutex<Engine>>,
+}
+
+impl Vss {
+    /// Opens (or creates) a VSS store with the given configuration.
+    pub fn open(config: VssConfig) -> Result<Self, VssError> {
+        Ok(Self { engine: Arc::new(Mutex::new(Engine::open(config)?)) })
+    }
+
+    /// Opens a store rooted at a directory with default configuration.
+    pub fn open_at(root: impl Into<std::path::PathBuf>) -> Result<Self, VssError> {
+        Self::open(VssConfig::new(root))
+    }
+
+    /// Creates a logical video, optionally with an explicit storage budget.
+    pub fn create(&self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        self.engine.lock().create_video(name, budget)
+    }
+
+    /// Deletes a logical video and all of its data.
+    pub fn delete(&self, name: &str) -> Result<(), VssError> {
+        self.engine.lock().delete_video(name)
+    }
+
+    /// Writes a frame sequence to a logical video (creating it if needed).
+    pub fn write(&self, request: &WriteRequest, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        self.engine.lock().write(request, frames)
+    }
+
+    /// Appends frames to a logical video's original representation
+    /// (streaming ingest); readers may query any prefix already written.
+    pub fn append(&self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        self.engine.lock().append(name, frames)
+    }
+
+    /// Executes a read with the default (optimal) planner.
+    pub fn read(&self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        self.engine.lock().read(request)
+    }
+
+    /// Executes a read with an explicit planner choice (the greedy planner
+    /// exists for baseline comparisons).
+    pub fn read_with_planner(
+        &self,
+        request: &ReadRequest,
+        planner: PlannerKind,
+    ) -> Result<ReadResult, VssError> {
+        self.engine.lock().read_with_planner(request, planner)
+    }
+
+    /// Names of all logical videos in the store.
+    pub fn video_names(&self) -> Vec<String> {
+        self.engine.lock().video_names()
+    }
+
+    /// Bytes used by a logical video across all physical representations.
+    pub fn bytes_used(&self, name: &str) -> Result<u64, VssError> {
+        self.engine.lock().bytes_used(name)
+    }
+
+    /// The storage budget of a logical video in bytes, if bounded.
+    pub fn budget_bytes(&self, name: &str) -> Result<Option<u64>, VssError> {
+        self.engine.lock().budget_bytes(name)
+    }
+
+    /// Fraction of the storage budget currently consumed.
+    pub fn budget_fraction(&self, name: &str) -> Result<Option<f64>, VssError> {
+        self.engine.lock().budget_fraction(name)
+    }
+
+    /// Runs compaction for a logical video, returning the number of merges.
+    pub fn compact(&self, name: &str) -> Result<usize, VssError> {
+        self.engine.lock().compact_video(name)
+    }
+
+    /// Runs one unit of background maintenance (deferred compression or
+    /// compaction); returns `true` if any work was performed.
+    pub fn run_maintenance(&self) -> Result<bool, VssError> {
+        self.engine.lock().background_maintenance()
+    }
+
+    /// Runs a function with exclusive access to the engine (used by the
+    /// benchmark harness for ablations that tweak configuration mid-run).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        f(&mut self.engine.lock())
+    }
+
+    /// Starts a background maintenance worker that periodically performs
+    /// deferred compression and compaction while the store is otherwise
+    /// idle. The worker stops when the returned guard is dropped.
+    pub fn start_background_worker(&self, interval: Duration) -> BackgroundWorker {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let engine = Arc::clone(&self.engine);
+        let handle = std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // Only run maintenance when no foreground request holds
+                    // the engine (the paper performs this work "when no other
+                    // requests are being executed").
+                    if let Some(mut engine) = engine.try_lock() {
+                        let _ = engine.background_maintenance();
+                    }
+                }
+            }
+        });
+        BackgroundWorker { stop: Some(stop_tx), handle: Some(handle) }
+    }
+}
+
+/// Guard for the background maintenance worker; dropping it stops the thread.
+pub struct BackgroundWorker {
+    stop: Option<Sender<()>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for BackgroundWorker {
+    fn drop(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_codec::Codec;
+    use vss_frame::{pattern, PixelFormat};
+
+    fn temp_store(tag: &str) -> (Vss, std::path::PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "vss-handle-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        (Vss::open_at(&root).unwrap(), root)
+    }
+
+    fn sequence(frames: usize) -> FrameSequence {
+        let frames: Vec<_> =
+            (0..frames).map(|i| pattern::gradient(64, 48, PixelFormat::Yuv420, i as u64)).collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn handle_round_trip_and_accounting() {
+        let (vss, root) = temp_store("roundtrip");
+        vss.write(&WriteRequest::new("v", Codec::H264), &sequence(60)).unwrap();
+        assert_eq!(vss.video_names(), vec!["v".to_string()]);
+        assert!(vss.bytes_used("v").unwrap() > 0);
+        assert!(vss.budget_bytes("v").unwrap().unwrap() > vss.bytes_used("v").unwrap());
+        let result = vss.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)).unwrap();
+        assert_eq!(result.frames.len(), 30);
+        vss.delete("v").unwrap();
+        assert!(vss.video_names().is_empty());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let (vss, root) = temp_store("threads");
+        vss.write(&WriteRequest::new("v", Codec::H264), &sequence(60)).unwrap();
+        let reader = vss.clone();
+        let writer = vss.clone();
+        let read_thread = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let r = reader.read(&ReadRequest::new("v", 0.0, 1.0, Codec::H264).uncacheable()).unwrap();
+                assert_eq!(r.frames.len(), 30);
+            }
+        });
+        let write_thread = std::thread::spawn(move || {
+            writer.append("v", &sequence(30)).unwrap();
+        });
+        read_thread.join().unwrap();
+        write_thread.join().unwrap();
+        // The appended second is now readable.
+        assert!(vss.read(&ReadRequest::new("v", 2.0, 3.0, Codec::H264).uncacheable()).is_ok());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn background_worker_compresses_idle_store() {
+        let (vss, root) = temp_store("background");
+        vss.with_engine(|e| e.config.deferred_compression = false);
+        vss.create("v", Some(StorageBudget::Bytes(50_000_000))).unwrap();
+        vss.write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &sequence(9)).unwrap();
+        vss.with_engine(|e| {
+            e.config.deferred_compression = true;
+        });
+        let used = vss.bytes_used("v").unwrap();
+        vss.with_engine(|e| {
+            e.catalog.video_mut("v").unwrap().storage_budget_bytes = Some(used + 1);
+        });
+        {
+            let _worker = vss.start_background_worker(Duration::from_millis(5));
+            // Wait for the worker to make progress, bounded by a timeout.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while vss.bytes_used("v").unwrap() >= used && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert!(vss.bytes_used("v").unwrap() < used, "background worker should shrink raw pages");
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,575 @@
+//! The read path: answering `read(name, S, T, P)` from materialized views.
+//!
+//! A read is executed in four stages (paper Section 3):
+//!
+//! 1. **Candidate collection** — every contiguous run of cached GOPs whose
+//!    estimated quality clears the read's threshold becomes a candidate
+//!    fragment, alongside the original video.
+//! 2. **Planning** — the fragment selector picks the minimum-cost combination
+//!    of fragments covering the requested range (`vss-solver`).
+//! 3. **Execution** — the chosen GOPs are loaded (transparently undoing any
+//!    deferred compression), decoded (paying look-back for mid-GOP entry),
+//!    resampled to the requested spatial/temporal configuration and, if the
+//!    requested codec is compressed, re-encoded.
+//! 4. **Cache admission** — the result is admitted as a new physical video
+//!    (paper Section 4), the storage budget is enforced by evicting GOP
+//!    pages, and a deferred-compression step runs if the budget is tight.
+
+use crate::engine::{Engine, ReadStats};
+use crate::fragments::{build_candidates, CandidateSet};
+use crate::params::ReadRequest;
+use crate::quality::QualityModel;
+use crate::VssError;
+use std::time::Instant;
+use vss_catalog::PhysicalVideoRecord;
+use vss_codec::{codec_instance, encode_to_gops, Codec, EncodedGop, EncoderConfig};
+use vss_frame::{
+    convert_frame_rate, crop, resize_bilinear, Frame, FrameSequence, PixelFormat, Resolution,
+};
+use vss_solver::{plan_read, plan_read_greedy, ReadPlan, ReadPlanRequest};
+
+/// The result of a read operation.
+#[derive(Debug, Clone)]
+pub struct ReadResult {
+    /// The decoded output frames in the requested spatial and temporal
+    /// configuration (and requested raw layout, or YUV 4:2:0 for compressed
+    /// requests).
+    pub frames: FrameSequence,
+    /// The encoded output, present when the requested codec is compressed.
+    /// Segments served directly from cached GOPs in the requested
+    /// configuration are emitted GOP-for-GOP, so the encoded stream is
+    /// GOP-aligned and may extend slightly past the requested boundaries.
+    pub encoded: Option<Vec<EncodedGop>>,
+    /// Execution statistics.
+    pub stats: ReadStats,
+}
+
+/// Which planning algorithm a read should use (the greedy variant exists for
+/// the Figure 10 baseline comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerKind {
+    /// The exact minimum-cost planner (default).
+    #[default]
+    Optimal,
+    /// The dependency-naïve greedy baseline.
+    Greedy,
+}
+
+impl Engine {
+    /// Executes a read with the default (optimal) planner.
+    pub fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        self.read_with_planner(request, PlannerKind::Optimal)
+    }
+
+    /// Executes a read with an explicit planner choice.
+    pub fn read_with_planner(
+        &mut self,
+        request: &ReadRequest,
+        planner: PlannerKind,
+    ) -> Result<ReadResult, VssError> {
+        let video = self.catalog.video(&request.name)?.clone();
+        let original = video
+            .original()
+            .ok_or_else(|| VssError::Unsatisfiable("video has no written data".into()))?;
+        let (start, end) = (request.temporal.start, request.temporal.end);
+        if end <= start
+            || start < original.start_time() - 1e-6
+            || end > original.end_time() + 1e-6
+        {
+            return Err(VssError::OutOfRange {
+                requested_start: start,
+                requested_end: end,
+                available_start: original.start_time(),
+                available_end: original.end_time(),
+            });
+        }
+        let threshold =
+            request.physical.quality_threshold.unwrap_or(self.config.default_quality_threshold);
+        let output_resolution = request.spatial.resolution.unwrap_or_else(|| original.resolution());
+        let output_fps = request.temporal.frame_rate.unwrap_or(original.frame_rate);
+
+        // --- plan ----------------------------------------------------------
+        let plan_started = Instant::now();
+        let candidates = build_candidates(&video, &self.quality_model, threshold);
+        let plan_request = ReadPlanRequest {
+            start,
+            end,
+            resolution: output_resolution,
+            codec: request.physical.codec,
+        };
+        let plan = match planner {
+            PlannerKind::Optimal => plan_read(&plan_request, &candidates.candidates, &self.cost_model)?,
+            PlannerKind::Greedy => {
+                plan_read_greedy(&plan_request, &candidates.candidates, &self.cost_model)?
+            }
+        };
+        let planning = plan_started.elapsed();
+
+        // --- execute --------------------------------------------------------
+        let decode_started = Instant::now();
+        let target_format = match request.physical.codec {
+            Codec::Raw(format) => format,
+            _ => PixelFormat::Yuv420,
+        };
+        let execution = self.execute_plan(
+            request,
+            &video.physical,
+            &candidates,
+            &plan,
+            output_resolution,
+            output_fps,
+            target_format,
+        )?;
+        let decoding = decode_started.elapsed();
+
+        // --- finalize output -------------------------------------------------
+        let encode_started = Instant::now();
+        let mut output = FrameSequence::empty(output_fps)?;
+        let mut reused_any = false;
+        for segment in &execution.segments {
+            output.extend(segment.frames.clone())?;
+            reused_any |= segment.reused_gops.is_some();
+        }
+        if let Some(region) = request.spatial.region {
+            let mut cropped = Vec::with_capacity(output.len());
+            for frame in output.frames() {
+                cropped.push(crop(frame, &region)?);
+            }
+            output = FrameSequence::new(cropped, output.frame_rate())?;
+        }
+        let encoded = if request.physical.codec.is_compressed() {
+            let config = EncoderConfig {
+                quality: request
+                    .physical
+                    .encoder_quality
+                    .unwrap_or(self.config.default_encoder_quality),
+                gop_size: self.config.gop_size,
+            };
+            // Segments already stored in the requested configuration are
+            // emitted GOP-for-GOP without re-encoding (the cheap path the
+            // materialized-view cache exists to enable); everything else is
+            // (re)encoded from the normalized frames.
+            let mut gops = Vec::new();
+            for segment in &execution.segments {
+                match (&segment.reused_gops, request.spatial.region) {
+                    (Some(reused), None) => gops.extend(reused.iter().cloned()),
+                    _ => {
+                        if !segment.frames.is_empty() {
+                            let cropped = match request.spatial.region {
+                                Some(region) => {
+                                    let mut frames = Vec::with_capacity(segment.frames.len());
+                                    for frame in segment.frames.frames() {
+                                        frames.push(crop(frame, &region)?);
+                                    }
+                                    FrameSequence::new(frames, segment.frames.frame_rate())?
+                                }
+                                None => segment.frames.clone(),
+                            };
+                            gops.extend(encode_to_gops(&cropped, request.physical.codec, &config)?);
+                        }
+                    }
+                }
+            }
+            Some(gops)
+        } else {
+            None
+        };
+        let encoding = encode_started.elapsed();
+
+        // --- cache admission -------------------------------------------------
+        // Results assembled partly from pass-through GOP reuse are not
+        // re-admitted: the reused pieces already exist in the requested
+        // configuration, so admitting the combination would only duplicate
+        // them (and GOP-aligned reuse makes exact timing bookkeeping fuzzy).
+        let cache_admitted = if reused_any {
+            false
+        } else {
+            self.maybe_admit_result(
+                request,
+                &candidates,
+                &plan,
+                &output,
+                encoded.as_deref(),
+                execution.derivation_mse,
+                execution.source_mse_bound,
+                output_resolution,
+            )?
+        };
+        if cache_admitted {
+            self.enforce_budget(&request.name)?;
+        }
+        if self.config.deferred_compression {
+            self.deferred_compression_step(&request.name)?;
+        }
+        self.catalog.persist()?;
+
+        Ok(ReadResult {
+            frames: output,
+            encoded,
+            stats: ReadStats {
+                plan,
+                fragments_available: candidates.candidates.len(),
+                gops_read: execution.gops_read,
+                frames_decoded: execution.frames_decoded,
+                bytes_read: execution.bytes_read,
+                cache_admitted,
+                planning,
+                decoding,
+                encoding,
+            },
+        })
+    }
+
+    /// Loads, decodes and normalizes every plan segment into a single output
+    /// sequence at the requested resolution, frame rate and pixel format.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_plan(
+        &mut self,
+        request: &ReadRequest,
+        physicals: &[PhysicalVideoRecord],
+        candidates: &CandidateSet,
+        plan: &ReadPlan,
+        output_resolution: Resolution,
+        output_fps: f64,
+        target_format: PixelFormat,
+    ) -> Result<PlanExecution, VssError> {
+        let mut segments: Vec<SegmentOutput> = Vec::new();
+        let mut gops_read = 0usize;
+        let mut frames_decoded = 0usize;
+        let mut bytes_read = 0u64;
+        let mut derivation_mse = 0.0f64;
+        let mut derivation_measured = false;
+        let mut source_mse_bound = 0.0f64;
+
+        for segment in &plan.segments {
+            let run = candidates.run(segment.fragment_id);
+            let physical = physicals
+                .iter()
+                .find(|p| p.id == run.physical_id)
+                .ok_or_else(|| VssError::Unsatisfiable("plan references a missing physical video".into()))?;
+            source_mse_bound = source_mse_bound.max(physical.mse_bound);
+            let source_codec = physical
+                .codec()
+                .ok_or_else(|| VssError::Unsatisfiable("unknown stored codec".into()))?;
+            let implementation = codec_instance(source_codec);
+            // A segment whose fragment already matches the requested codec,
+            // resolution and frame rate can hand its stored GOPs straight to
+            // the output without re-encoding.
+            let passthrough = request.physical.codec.is_compressed()
+                && source_codec == request.physical.codec
+                && physical.resolution() == output_resolution
+                && (physical.frame_rate - output_fps).abs() < 1e-9;
+            let mut reused_gops: Vec<EncodedGop> = Vec::new();
+
+            let mut segment_frames: Vec<Frame> = Vec::new();
+            for &gop_index in &run.gop_indices {
+                let Some(gop_record) = physical.gops.iter().find(|g| g.index == gop_index) else {
+                    continue;
+                };
+                if !gop_record.overlaps(segment.start, segment.end) {
+                    continue;
+                }
+                let (gop, gop_bytes) = self.load_gop(&request.name, run.physical_id, gop_index)?;
+                gops_read += 1;
+                bytes_read += gop_bytes;
+                let gop_fps = if gop.frame_rate() > 0.0 { gop.frame_rate() } else { physical.frame_rate };
+                let relative_start = (segment.start - gop_record.start_time).max(0.0);
+                let relative_end =
+                    (segment.end - gop_record.start_time).min(gop_record.duration().max(0.0));
+                let first = (relative_start * gop_fps).round() as usize;
+                if first >= gop.frame_count() {
+                    continue;
+                }
+                let last = ((relative_end * gop_fps).round() as usize)
+                    .min(gop.frame_count())
+                    .max(first + 1);
+                // Decoding up to `last` pays the look-back cost for mid-GOP entry.
+                let decoded = implementation.decode_prefix(&gop, last)?;
+                frames_decoded += decoded.len();
+                segment_frames.extend_from_slice(&decoded.frames()[first.min(decoded.len())..]);
+                if passthrough {
+                    reused_gops.push(gop);
+                }
+                self.catalog.touch_gop(&request.name, run.physical_id, gop_index)?;
+            }
+            if segment_frames.is_empty() {
+                continue;
+            }
+            let source_sequence = FrameSequence::new(segment_frames, physical.frame_rate)?;
+
+            // Normalize: spatial, then physical layout, then temporal.
+            let mut normalized: Vec<Frame> = Vec::with_capacity(source_sequence.len());
+            for frame in source_sequence.frames() {
+                let resized = if frame.resolution() == output_resolution {
+                    frame.clone()
+                } else {
+                    resize_bilinear(frame, output_resolution.width, output_resolution.height)?
+                };
+                normalized.push(resized.convert(target_format)?);
+            }
+            let normalized = FrameSequence::new(normalized, physical.frame_rate)?;
+            if !derivation_measured && output_resolution != physical.resolution() {
+                derivation_mse = QualityModel::resampling_mse(&source_sequence, &normalized);
+                derivation_measured = true;
+            }
+            let retimed = if (physical.frame_rate - output_fps).abs() > 1e-9 {
+                convert_frame_rate(&normalized, output_fps)?
+            } else {
+                normalized
+            };
+            segments.push(SegmentOutput {
+                frames: retimed,
+                reused_gops: if passthrough && !reused_gops.is_empty() { Some(reused_gops) } else { None },
+            });
+        }
+        if segments.iter().all(|s| s.frames.is_empty()) {
+            return Err(VssError::Unsatisfiable("plan produced no frames".into()));
+        }
+        Ok(PlanExecution { segments, gops_read, frames_decoded, bytes_read, derivation_mse, source_mse_bound })
+    }
+
+    /// Admits a read result into the cache of materialized views, unless the
+    /// read was marked non-cacheable, caching is disabled, a region of
+    /// interest was applied (cropped results are not reusable as general
+    /// fragments), or the plan was a pure pass-through of an existing
+    /// fragment in the requested configuration.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_admit_result(
+        &mut self,
+        request: &ReadRequest,
+        candidates: &CandidateSet,
+        plan: &ReadPlan,
+        output: &FrameSequence,
+        encoded: Option<&[EncodedGop]>,
+        derivation_mse: f64,
+        source_mse_bound: f64,
+        output_resolution: Resolution,
+    ) -> Result<bool, VssError> {
+        if !request.cacheable || !self.config.caching_enabled || request.spatial.region.is_some() {
+            return Ok(false);
+        }
+        // Pass-through check: a single fragment already stores exactly the
+        // requested configuration over the requested range.
+        if plan.segments.len() == 1 {
+            let fragment = &candidates.candidates[plan.segments[0].fragment_id as usize];
+            let same_rate = request
+                .temporal
+                .frame_rate
+                .map_or(true, |fps| (fps - fragment.frame_rate).abs() < 1e-9);
+            if fragment.codec == request.physical.codec
+                && fragment.resolution == output_resolution
+                && same_rate
+            {
+                return Ok(false);
+            }
+        }
+        let mse_bound = QualityModel::compose_bound(source_mse_bound, derivation_mse);
+        let physical_id = self.catalog.add_physical(
+            &request.name,
+            output_resolution.width,
+            output_resolution.height,
+            output.frame_rate(),
+            &request.physical.codec.name(),
+            false,
+            mse_bound,
+        )?;
+        match encoded {
+            Some(gops) => {
+                let mut time = request.temporal.start;
+                for gop in gops {
+                    let duration = gop.frame_count() as f64 / output.frame_rate();
+                    self.catalog.append_gop(
+                        &request.name,
+                        physical_id,
+                        time,
+                        time + duration,
+                        gop.frame_count(),
+                        &gop.to_bytes(),
+                        None,
+                    )?;
+                    time += duration;
+                }
+            }
+            None => {
+                self.store_sequence(
+                    &request.name,
+                    physical_id,
+                    request.physical.codec,
+                    request.physical.encoder_quality,
+                    request.temporal.start,
+                    output,
+                )?;
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Per-segment execution output: the normalized decoded frames plus, for
+/// segments already stored in the requested configuration, the stored GOPs
+/// that can be emitted without re-encoding.
+struct SegmentOutput {
+    frames: FrameSequence,
+    reused_gops: Option<Vec<EncodedGop>>,
+}
+
+struct PlanExecution {
+    segments: Vec<SegmentOutput>,
+    gops_read: usize,
+    frames_decoded: usize,
+    bytes_read: u64,
+    derivation_mse: f64,
+    source_mse_bound: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_support::temp_engine;
+    use crate::params::{ReadRequest, WriteRequest};
+    use vss_frame::{pattern, quality, RegionOfInterest};
+
+    fn sequence(frames: usize, width: u32, height: u32) -> FrameSequence {
+        let frames: Vec<_> =
+            (0..frames).map(|i| pattern::gradient(width, height, PixelFormat::Yuv420, i as u64)).collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn read_round_trips_written_video() {
+        let (mut engine, root) = temp_engine("read-roundtrip");
+        let source = sequence(60, 64, 48);
+        engine.write(&WriteRequest::new("v", Codec::H264), &source).unwrap();
+        let result = engine
+            .read(&ReadRequest::new("v", 0.0, 2.0, Codec::Raw(PixelFormat::Yuv420)))
+            .unwrap();
+        assert_eq!(result.frames.len(), 60);
+        assert!(result.encoded.is_none());
+        let p = quality::sequence_psnr(source.frames(), result.frames.frames()).unwrap();
+        assert!(p.db() > 35.0, "decoded output should match the written video, got {p}");
+        assert!(result.stats.gops_read >= 2);
+        assert!(result.stats.bytes_read > 0);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn out_of_range_reads_error() {
+        let (mut engine, root) = temp_engine("read-range");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(30, 64, 48)).unwrap();
+        assert!(matches!(
+            engine.read(&ReadRequest::new("v", 0.0, 5.0, Codec::H264)),
+            Err(VssError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            engine.read(&ReadRequest::new("v", 0.8, 0.2, Codec::H264)),
+            Err(VssError::OutOfRange { .. })
+        ));
+        assert!(engine.read(&ReadRequest::new("missing", 0.0, 1.0, Codec::H264)).is_err());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn transcoding_read_returns_encoded_gops_and_caches_result() {
+        let (mut engine, root) = temp_engine("read-transcode");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 64, 48)).unwrap();
+        let result = engine.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
+        let gops = result.encoded.as_ref().expect("compressed read returns encoded GOPs");
+        assert!(!gops.is_empty());
+        assert!(gops.iter().all(|g| g.codec() == Codec::Hevc));
+        assert!(result.stats.cache_admitted);
+        // The cached HEVC representation is now a physical video.
+        let video = engine.catalog.video("v").unwrap();
+        assert_eq!(video.physical.len(), 2);
+        assert!(video.physical.iter().any(|p| p.codec == "hevc" && !p.is_original));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn cached_fragment_is_reused_by_later_reads() {
+        let (mut engine, root) = temp_engine("read-reuse");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(90, 64, 48)).unwrap();
+        // Populate the cache with an HEVC copy of [0, 2).
+        engine.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
+        // A later HEVC read of a sub-range should be served from the cached
+        // fragment (pass-through), not re-transcoded from the original.
+        let result = engine.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)).unwrap();
+        let video = engine.catalog.video("v").unwrap();
+        let cached_id =
+            video.physical.iter().find(|p| p.codec == "hevc" && !p.is_original).unwrap().id;
+        let used_run = result.stats.plan.segments[0].fragment_id;
+        // Reconstruct which physical the plan used via stats: the plan's only
+        // segment must map to the cached physical, which is cheaper.
+        let candidates = build_candidates(
+            engine.catalog.video("v").unwrap(),
+            &engine.quality_model,
+            vss_frame::PsnrDb(40.0),
+        );
+        assert_eq!(candidates.run(used_run).physical_id, cached_id);
+        // Pass-through reads are not re-admitted as yet another copy.
+        assert!(!result.stats.cache_admitted);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn roi_and_resolution_and_frame_rate_are_applied() {
+        let (mut engine, root) = temp_engine("read-spatial");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 64, 48)).unwrap();
+        let roi = RegionOfInterest::new(4, 4, 20, 16).unwrap();
+        let result = engine
+            .read(
+                &ReadRequest::new("v", 0.0, 2.0, Codec::Raw(PixelFormat::Rgb8))
+                    .at_resolution(Resolution::new(32, 24))
+                    .with_region(roi)
+                    .at_frame_rate(15.0),
+            )
+            .unwrap();
+        assert_eq!(result.frames.len(), 30);
+        let frame = &result.frames.frames()[0];
+        assert_eq!(frame.width(), 16);
+        assert_eq!(frame.height(), 12);
+        assert_eq!(frame.format(), PixelFormat::Rgb8);
+        // ROI reads are not cached.
+        assert!(!result.stats.cache_admitted);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn uncacheable_reads_do_not_grow_the_catalog() {
+        let (mut engine, root) = temp_engine("read-uncacheable");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(30, 64, 48)).unwrap();
+        let before = engine.catalog.video("v").unwrap().physical.len();
+        let result = engine
+            .read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc).uncacheable())
+            .unwrap();
+        assert!(!result.stats.cache_admitted);
+        assert_eq!(engine.catalog.video("v").unwrap().physical.len(), before);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn greedy_planner_is_available_and_covers_the_range() {
+        let (mut engine, root) = temp_engine("read-greedy");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 64, 48)).unwrap();
+        engine.read(&ReadRequest::new("v", 0.5, 1.5, Codec::Hevc)).unwrap();
+        let result = engine
+            .read_with_planner(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc), PlannerKind::Greedy)
+            .unwrap();
+        assert!(result.stats.plan.covers_range(0.0, 2.0));
+        assert_eq!(result.frames.len(), 60);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn streaming_prefix_reads_work_before_the_full_video_is_written() {
+        let (mut engine, root) = temp_engine("read-streaming");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(30, 64, 48)).unwrap();
+        // Only [0, 1) exists so far; a prefix read succeeds...
+        assert!(engine.read(&ReadRequest::new("v", 0.0, 1.0, Codec::H264).uncacheable()).is_ok());
+        // ...a read past the end fails...
+        assert!(engine.read(&ReadRequest::new("v", 0.0, 1.5, Codec::H264)).is_err());
+        // ...until more data is appended.
+        engine.append("v", &sequence(30, 64, 48)).unwrap();
+        assert!(engine.read(&ReadRequest::new("v", 0.0, 1.5, Codec::H264).uncacheable()).is_ok());
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

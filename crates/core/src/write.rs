@@ -1,0 +1,299 @@
+//! The write path: ingesting video data into VSS.
+//!
+//! Writes accept frame data in any supported configuration and persist it as
+//! a sequence of independently decodable GOP files (paper Section 2). The
+//! first write of a logical video establishes the *original* physical video —
+//! the quality reference for all cached derivations — and resolves the
+//! video's storage budget. Uncompressed writes participate in deferred
+//! compression (Section 5.2): once the storage budget passes the activation
+//! threshold, newly written blocks are losslessly compressed at a level that
+//! scales with the remaining budget.
+
+use crate::engine::{Engine, WriteReport};
+use crate::params::WriteRequest;
+use crate::VssError;
+use std::time::Instant;
+use vss_catalog::PhysicalVideoId;
+use vss_codec::{codec_instance, lossless, Codec, EncodedGop, EncoderConfig};
+use vss_frame::FrameSequence;
+
+impl Engine {
+    /// Writes a frame sequence to a logical video. Creates the video (with
+    /// the default budget) if it does not exist yet; the first write becomes
+    /// the original physical video.
+    pub fn write(&mut self, request: &WriteRequest, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        if frames.is_empty() {
+            return Err(VssError::EmptyWrite);
+        }
+        if !self.catalog.contains_video(&request.name) {
+            self.create_video(&request.name, None)?;
+        }
+        let is_original = self.catalog.video(&request.name)?.original().is_none();
+        let resolution = frames.resolution().expect("non-empty sequence");
+        let physical_id = self.catalog.add_physical(
+            &request.name,
+            resolution.width,
+            resolution.height,
+            frames.frame_rate(),
+            &request.codec.name(),
+            is_original,
+            0.0,
+        )?;
+        let report = self.store_sequence(
+            &request.name,
+            physical_id,
+            request.codec,
+            request.encoder_quality,
+            request.start_time,
+            frames,
+        )?;
+        self.catalog.persist()?;
+        Ok(report)
+    }
+
+    /// Appends additional frames to a logical video's original physical
+    /// video (streaming ingest). The frames must match the original's
+    /// configuration; they are stored continuing from its current end time.
+    /// Readers may query any prefix of the data written so far.
+    pub fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        if frames.is_empty() {
+            return Err(VssError::EmptyWrite);
+        }
+        let video = self.catalog.video(name)?;
+        let original = video
+            .original()
+            .ok_or_else(|| VssError::Unsatisfiable("append requires an existing original".into()))?;
+        let codec = original
+            .codec()
+            .ok_or_else(|| VssError::Unsatisfiable("original has an unknown codec".into()))?;
+        let physical_id = original.id;
+        let start_time = original.end_time();
+        let report = self.store_sequence(name, physical_id, codec, None, start_time, frames)?;
+        self.catalog.persist()?;
+        Ok(report)
+    }
+
+    /// Encodes a frame sequence into GOPs of the configured size and persists
+    /// them under an existing physical video, applying deferred compression
+    /// to uncompressed blocks when the budget calls for it.
+    pub(crate) fn store_sequence(
+        &mut self,
+        name: &str,
+        physical_id: PhysicalVideoId,
+        codec: Codec,
+        encoder_quality: Option<u8>,
+        start_time: f64,
+        frames: &FrameSequence,
+    ) -> Result<WriteReport, VssError> {
+        let started = Instant::now();
+        let gop_size = if codec.is_compressed() {
+            self.config.gop_size
+        } else {
+            self.config.uncompressed_gop_frames
+        };
+        let encoder_config = EncoderConfig {
+            quality: encoder_quality.unwrap_or(self.config.default_encoder_quality),
+            gop_size,
+        };
+        let implementation = codec_instance(codec);
+        let frame_rate = frames.frame_rate();
+        let all = frames.frames();
+        let mut gops_written = 0usize;
+        let mut bytes_written = 0u64;
+        let mut deferred_levels = Vec::new();
+        let mut cursor = 0usize;
+        let mut time = start_time;
+        while cursor < all.len() {
+            let end = (cursor + gop_size).min(all.len());
+            let chunk = FrameSequence::new(all[cursor..end].to_vec(), frame_rate)?;
+            let gop = implementation.encode(&chunk, &encoder_config)?;
+            let duration = chunk.len() as f64 / frame_rate;
+            let (data, level) = self.maybe_defer_on_write(name, codec, &gop)?;
+            bytes_written += data.len() as u64;
+            deferred_levels.push(level);
+            self.catalog.append_gop(
+                name,
+                physical_id,
+                time,
+                time + duration,
+                chunk.len(),
+                &data,
+                if level > 0 { Some(level) } else { None },
+            )?;
+            gops_written += 1;
+            cursor = end;
+            time += duration;
+        }
+        // Establish the budget once the original's size is known.
+        let video = self.catalog.video_mut(name)?;
+        if video.storage_budget_bytes.is_none() {
+            if let Some(original) = video.original() {
+                let original_bytes = original.byte_len();
+                if original_bytes > 0 {
+                    video.storage_budget_bytes = self.config.default_budget.resolve(original_bytes);
+                }
+            }
+        }
+        Ok(WriteReport {
+            physical_id,
+            gops_written,
+            frames_written: all.len(),
+            bytes_written,
+            deferred_levels,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Serializes a GOP for storage, applying write-time deferred compression
+    /// to uncompressed blocks when the video's budget consumption has passed
+    /// the activation threshold. Returns the bytes to store and the lossless
+    /// level applied (0 = none).
+    fn maybe_defer_on_write(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        gop: &EncodedGop,
+    ) -> Result<(Vec<u8>, u8), VssError> {
+        let serialized = gop.to_bytes();
+        if codec.is_compressed() || !self.config.deferred_compression {
+            return Ok((serialized, 0));
+        }
+        let Some(fraction) = self.budget_fraction(name)? else {
+            return Ok((serialized, 0));
+        };
+        let activation = self.config.deferred_activation_fraction;
+        if fraction < activation {
+            return Ok((serialized, 0));
+        }
+        let level = deferred_level_for_fraction(fraction, activation);
+        Ok((lossless::compress(&serialized, level), level))
+    }
+}
+
+/// Maps budget consumption to a deferred-compression level: the level scales
+/// linearly from 1 (just past the activation threshold) to 19 (budget
+/// exhausted), mirroring the paper's Figure 13 behaviour.
+pub fn deferred_level_for_fraction(fraction: f64, activation: f64) -> u8 {
+    let span = (1.0 - activation).max(1e-9);
+    let t = ((fraction - activation) / span).clamp(0.0, 1.0);
+    (1.0 + t * (lossless::MAX_LEVEL as f64 - 1.0)).round() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_support::temp_engine;
+    use crate::params::StorageBudget;
+    use vss_frame::{pattern, PixelFormat};
+
+    fn sequence(frames: usize, width: u32, height: u32) -> FrameSequence {
+        let frames: Vec<_> =
+            (0..frames).map(|i| pattern::gradient(width, height, PixelFormat::Yuv420, i as u64)).collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn first_write_becomes_original_and_sets_budget() {
+        let (mut engine, root) = temp_engine("write-original");
+        let report = engine
+            .write(&WriteRequest::new("traffic", Codec::H264), &sequence(60, 64, 48))
+            .unwrap();
+        assert_eq!(report.frames_written, 60);
+        assert_eq!(report.gops_written, 2);
+        assert!(report.bytes_written > 0);
+        let video = engine.catalog.video("traffic").unwrap();
+        let original = video.original().unwrap();
+        assert!(original.is_original);
+        assert_eq!(original.gops.len(), 2);
+        assert_eq!(
+            video.storage_budget_bytes,
+            Some((original.byte_len() as f64 * 10.0).round() as u64)
+        );
+        // Second write of the same video is a cached (non-original) representation.
+        let report2 = engine
+            .write(&WriteRequest::new("traffic", Codec::Raw(PixelFormat::Yuv420)), &sequence(6, 64, 48))
+            .unwrap();
+        assert_ne!(report2.physical_id, report.physical_id);
+        assert_eq!(engine.catalog.video("traffic").unwrap().physical.len(), 2);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn empty_writes_are_rejected() {
+        let (mut engine, root) = temp_engine("write-empty");
+        let empty = FrameSequence::empty(30.0).unwrap();
+        assert!(matches!(
+            engine.write(&WriteRequest::new("v", Codec::H264), &empty),
+            Err(VssError::EmptyWrite)
+        ));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn append_continues_the_original_timeline() {
+        let (mut engine, root) = temp_engine("append");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(30, 64, 48)).unwrap();
+        engine.append("v", &sequence(30, 64, 48)).unwrap();
+        let video = engine.catalog.video("v").unwrap();
+        let original = video.original().unwrap();
+        assert_eq!(original.gops.len(), 2);
+        assert!((original.end_time() - 2.0).abs() < 1e-6);
+        assert!((original.gops[1].start_time - 1.0).abs() < 1e-6);
+        // Appending to a video with no original fails.
+        engine.create_video("w", None).unwrap();
+        assert!(engine.append("w", &sequence(5, 64, 48)).is_err());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn uncompressed_writes_defer_compress_once_budget_tightens() {
+        let (mut engine, root) = temp_engine("write-deferred");
+        // A small fixed budget forces deferred compression to activate partway
+        // through the write.
+        engine.create_video("v", Some(StorageBudget::Bytes(400_000))).unwrap();
+        let report = engine
+            .write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &sequence(30, 64, 48))
+            .unwrap();
+        assert_eq!(report.deferred_levels.len(), report.gops_written);
+        assert_eq!(report.deferred_levels[0], 0, "first block is written before activation");
+        let max_level = *report.deferred_levels.iter().max().unwrap();
+        assert!(max_level >= 1, "deferred compression should have activated");
+        // Levels never decrease as the budget fills.
+        let active: Vec<u8> = report.deferred_levels.iter().copied().filter(|&l| l > 0).collect();
+        assert!(active.windows(2).all(|w| w[1] >= w[0]));
+        // Stored GOPs round-trip through the lossless layer.
+        let video = engine.catalog.video("v").unwrap();
+        let original = video.original().unwrap();
+        let compressed_gop =
+            original.gops.iter().find(|g| g.lossless_level.is_some()).expect("some gop compressed");
+        let (decoded, _) = engine.load_gop("v", original.id, compressed_gop.index).unwrap();
+        assert_eq!(decoded.frame_count(), compressed_gop.frame_count);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn compressed_writes_are_never_deferred() {
+        let (mut engine, root) = temp_engine("write-compressed");
+        engine.create_video("v", Some(StorageBudget::Bytes(10))).unwrap();
+        let report =
+            engine.write(&WriteRequest::new("v", Codec::Hevc), &sequence(10, 64, 48)).unwrap();
+        assert!(report.deferred_levels.iter().all(|&l| l == 0));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn deferred_level_scales_linearly_with_budget() {
+        assert_eq!(deferred_level_for_fraction(0.0, 0.25), 1);
+        assert_eq!(deferred_level_for_fraction(0.25, 0.25), 1);
+        assert_eq!(deferred_level_for_fraction(1.0, 0.25), 19);
+        assert_eq!(deferred_level_for_fraction(2.0, 0.25), 19);
+        let mid = deferred_level_for_fraction(0.625, 0.25);
+        assert!((9..=11).contains(&mid), "midpoint should be near level 10, got {mid}");
+        let mut last = 0;
+        for i in 0..=20 {
+            let level = deferred_level_for_fraction(0.25 + i as f64 * 0.0375, 0.25);
+            assert!(level >= last);
+            last = level;
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by frame-level operations.
+
+use std::fmt;
+
+/// Errors produced by frame construction, conversion and resampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The provided pixel buffer does not match the expected size for the
+    /// frame's resolution and pixel format.
+    BufferSizeMismatch {
+        /// Number of bytes expected for the resolution/format pair.
+        expected: usize,
+        /// Number of bytes actually provided.
+        actual: usize,
+    },
+    /// The resolution is invalid (zero-sized, or odd where the pixel format
+    /// requires even dimensions for chroma subsampling).
+    InvalidResolution {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A region of interest is empty or inverted.
+    InvalidRoi {
+        /// Left edge.
+        x0: u32,
+        /// Top edge.
+        y0: u32,
+        /// Right edge.
+        x1: u32,
+        /// Bottom edge.
+        y1: u32,
+    },
+    /// A region of interest extends outside the frame.
+    RoiOutOfBounds {
+        /// Frame width.
+        width: u32,
+        /// Frame height.
+        height: u32,
+    },
+    /// Two frames that must agree in shape (e.g. for MSE) do not.
+    ShapeMismatch,
+    /// A frame-rate conversion was requested with a zero source or target rate.
+    InvalidFrameRate,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BufferSizeMismatch { expected, actual } => write!(
+                f,
+                "pixel buffer size mismatch: expected {expected} bytes, got {actual}"
+            ),
+            FrameError::InvalidResolution { width, height, reason } => {
+                write!(f, "invalid resolution {width}x{height}: {reason}")
+            }
+            FrameError::InvalidRoi { x0, y0, x1, y1 } => {
+                write!(f, "invalid region of interest [{x0},{x1})x[{y0},{y1})")
+            }
+            FrameError::RoiOutOfBounds { width, height } => {
+                write!(f, "region of interest extends outside {width}x{height} frame")
+            }
+            FrameError::ShapeMismatch => write!(f, "frames differ in resolution or format"),
+            FrameError::InvalidFrameRate => write!(f, "frame rate must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FrameError::BufferSizeMismatch { expected: 12, actual: 10 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+        let e = FrameError::InvalidResolution { width: 3, height: 2, reason: "odd width" };
+        assert!(e.to_string().contains("3x2"));
+        let e = FrameError::RoiOutOfBounds { width: 8, height: 4 };
+        assert!(e.to_string().contains("8x4"));
+    }
+}

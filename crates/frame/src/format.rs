@@ -1,0 +1,145 @@
+//! Physical pixel-format descriptions.
+
+use crate::FrameError;
+
+/// Physical frame layout (the `l` component of VSS's physical parameters).
+///
+/// VSS reads and writes may specify any of these layouts. The simulated
+/// codecs in `vss-codec` operate on planar YUV 4:2:0 internally; the other
+/// layouts are converted on the fly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PixelFormat {
+    /// Packed 8-bit RGB, 3 bytes per pixel.
+    Rgb8,
+    /// Planar YUV with chroma subsampled 2x horizontally and vertically
+    /// (1.5 bytes per pixel). Width and height must both be even.
+    Yuv420,
+    /// Planar YUV with chroma subsampled 2x horizontally only
+    /// (2 bytes per pixel). Width must be even.
+    Yuv422,
+}
+
+impl PixelFormat {
+    /// All supported formats, in a stable order.
+    pub const ALL: [PixelFormat; 3] = [PixelFormat::Rgb8, PixelFormat::Yuv420, PixelFormat::Yuv422];
+
+    /// Bytes required to hold one `width x height` frame in this format.
+    pub fn frame_bytes(&self, width: u32, height: u32) -> usize {
+        let (w, h) = (width as usize, height as usize);
+        match self {
+            PixelFormat::Rgb8 => w * h * 3,
+            PixelFormat::Yuv420 => w * h + 2 * ((w / 2) * (h / 2)),
+            PixelFormat::Yuv422 => w * h + 2 * ((w / 2) * h),
+        }
+    }
+
+    /// Average bytes per pixel for this layout (used by cost models).
+    pub fn bytes_per_pixel(&self) -> f64 {
+        match self {
+            PixelFormat::Rgb8 => 3.0,
+            PixelFormat::Yuv420 => 1.5,
+            PixelFormat::Yuv422 => 2.0,
+        }
+    }
+
+    /// Validates that a resolution is representable in this format.
+    pub fn validate_resolution(&self, width: u32, height: u32) -> Result<(), FrameError> {
+        if width == 0 || height == 0 {
+            return Err(FrameError::InvalidResolution {
+                width,
+                height,
+                reason: "dimensions must be non-zero",
+            });
+        }
+        match self {
+            PixelFormat::Rgb8 => Ok(()),
+            PixelFormat::Yuv420 => {
+                if width % 2 != 0 || height % 2 != 0 {
+                    Err(FrameError::InvalidResolution {
+                        width,
+                        height,
+                        reason: "yuv420 requires even width and height",
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            PixelFormat::Yuv422 => {
+                if width % 2 != 0 {
+                    Err(FrameError::InvalidResolution {
+                        width,
+                        height,
+                        reason: "yuv422 requires even width",
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Short lowercase name, matching the names VSS uses in its on-disk
+    /// directory layout (e.g. `rgb`, `yuv420`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PixelFormat::Rgb8 => "rgb",
+            PixelFormat::Yuv420 => "yuv420",
+            PixelFormat::Yuv422 => "yuv422",
+        }
+    }
+
+    /// Parses a format from its [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "rgb" => Some(PixelFormat::Rgb8),
+            "yuv420" => Some(PixelFormat::Yuv420),
+            "yuv422" => Some(PixelFormat::Yuv422),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PixelFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_bytes_match_layouts() {
+        assert_eq!(PixelFormat::Rgb8.frame_bytes(4, 2), 24);
+        assert_eq!(PixelFormat::Yuv420.frame_bytes(4, 2), 8 + 2 * 2);
+        assert_eq!(PixelFormat::Yuv422.frame_bytes(4, 2), 8 + 2 * 4);
+    }
+
+    #[test]
+    fn resolution_validation() {
+        assert!(PixelFormat::Rgb8.validate_resolution(3, 5).is_ok());
+        assert!(PixelFormat::Yuv420.validate_resolution(3, 4).is_err());
+        assert!(PixelFormat::Yuv420.validate_resolution(4, 3).is_err());
+        assert!(PixelFormat::Yuv420.validate_resolution(4, 4).is_ok());
+        assert!(PixelFormat::Yuv422.validate_resolution(3, 5).is_err());
+        assert!(PixelFormat::Yuv422.validate_resolution(4, 5).is_ok());
+        assert!(PixelFormat::Rgb8.validate_resolution(0, 5).is_err());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for fmt in PixelFormat::ALL {
+            assert_eq!(PixelFormat::parse(fmt.name()), Some(fmt));
+        }
+        assert_eq!(PixelFormat::parse("h264"), None);
+    }
+
+    #[test]
+    fn bytes_per_pixel_is_consistent_with_frame_bytes() {
+        for fmt in PixelFormat::ALL {
+            let bytes = fmt.frame_bytes(64, 64) as f64;
+            assert!((bytes - fmt.bytes_per_pixel() * 64.0 * 64.0).abs() < 1e-9);
+        }
+    }
+}

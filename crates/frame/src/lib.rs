@@ -1,0 +1,189 @@
+//! # vss-frame
+//!
+//! Raw video frame substrate for the VSS reproduction.
+//!
+//! This crate owns everything below the codec layer:
+//!
+//! * [`PixelFormat`] — the physical frame layouts VSS exposes through its
+//!   `P` (physical) read/write parameters: packed 8-bit RGB and planar
+//!   YUV 4:2:0 / 4:2:2.
+//! * [`Frame`] — a single decoded frame with its pixel data, plus conversions
+//!   between formats, region-of-interest cropping and bilinear resampling.
+//! * [`FrameSequence`] — an ordered run of frames at a fixed resolution,
+//!   format and frame rate, with frame-rate conversion.
+//! * [`quality`] — mean-squared-error and PSNR computation, including the
+//!   paper's transitive-MSE composition bound (Section 3.2).
+//! * [`pattern`] — deterministic procedural frame generators used by tests
+//!   and by the synthetic datasets in `vss-workload`.
+//!
+//! The crate has no dependencies and performs no I/O; it is a pure data
+//! library shared by every other crate in the workspace.
+
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+mod frame;
+pub mod pattern;
+pub mod quality;
+mod rate;
+mod resample;
+mod sequence;
+
+pub use error::FrameError;
+pub use format::PixelFormat;
+pub use frame::Frame;
+pub use quality::{mse, psnr, psnr_from_mse, PsnrDb};
+pub use rate::convert_frame_rate;
+pub use resample::{crop, hconcat, resize_bilinear};
+pub use sequence::FrameSequence;
+
+/// A spatial region of interest in pixel coordinates.
+///
+/// The region is half-open: `x0 <= x < x1`, `y0 <= y < y1`. VSS read
+/// operations may carry a region of interest as part of their spatial
+/// parameters `S`; the storage manager crops decoded frames to this region
+/// before returning them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionOfInterest {
+    /// Inclusive left edge in pixels.
+    pub x0: u32,
+    /// Inclusive top edge in pixels.
+    pub y0: u32,
+    /// Exclusive right edge in pixels.
+    pub x1: u32,
+    /// Exclusive bottom edge in pixels.
+    pub y1: u32,
+}
+
+impl RegionOfInterest {
+    /// Creates a region of interest covering `[x0, x1) x [y0, y1)`.
+    ///
+    /// Returns an error if the region is empty or inverted.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Result<Self, FrameError> {
+        if x1 <= x0 || y1 <= y0 {
+            return Err(FrameError::InvalidRoi { x0, y0, x1, y1 });
+        }
+        Ok(Self { x0, y0, x1, y1 })
+    }
+
+    /// Returns the full-frame region for a `width x height` frame.
+    pub fn full(width: u32, height: u32) -> Self {
+        Self { x0: 0, y0: 0, x1: width, y1: height }
+    }
+
+    /// Width of the region in pixels.
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the region in pixels.
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0
+    }
+
+    /// Number of pixels covered by the region.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width()) * u64::from(self.height())
+    }
+
+    /// Returns true if `self` lies entirely within a `width x height` frame.
+    pub fn fits_within(&self, width: u32, height: u32) -> bool {
+        self.x1 <= width && self.y1 <= height
+    }
+
+    /// Returns true if `self` covers the whole `width x height` frame.
+    pub fn covers(&self, width: u32, height: u32) -> bool {
+        self.x0 == 0 && self.y0 == 0 && self.x1 == width && self.y1 == height
+    }
+
+    /// Intersection with another region, if non-empty.
+    pub fn intersect(&self, other: &RegionOfInterest) -> Option<RegionOfInterest> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x1 > x0 && y1 > y0 {
+            Some(RegionOfInterest { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+}
+
+/// Frame resolution in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Resolution {
+    /// Horizontal size in pixels.
+    pub width: u32,
+    /// Vertical size in pixels.
+    pub height: u32,
+}
+
+impl Resolution {
+    /// Creates a resolution.
+    pub const fn new(width: u32, height: u32) -> Self {
+        Self { width, height }
+    }
+
+    /// Total pixels per frame.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// 320x180, used by the paper's low-resolution detection reads.
+    pub const QVGA: Resolution = Resolution::new(320, 180);
+    /// 960x540, the paper's "1K" Visual Road resolution.
+    pub const R1K: Resolution = Resolution::new(960, 540);
+    /// 1920x1080, the paper's "2K" Visual Road resolution.
+    pub const R2K: Resolution = Resolution::new(1920, 1080);
+    /// 3840x2160, the paper's "4K" Visual Road resolution.
+    pub const R4K: Resolution = Resolution::new(3840, 2160);
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roi_rejects_empty() {
+        assert!(RegionOfInterest::new(10, 10, 10, 20).is_err());
+        assert!(RegionOfInterest::new(10, 10, 20, 10).is_err());
+        assert!(RegionOfInterest::new(10, 10, 5, 20).is_err());
+    }
+
+    #[test]
+    fn roi_geometry() {
+        let roi = RegionOfInterest::new(2, 4, 10, 8).unwrap();
+        assert_eq!(roi.width(), 8);
+        assert_eq!(roi.height(), 4);
+        assert_eq!(roi.pixels(), 32);
+        assert!(roi.fits_within(10, 8));
+        assert!(!roi.fits_within(9, 8));
+        assert!(!roi.covers(10, 8));
+        assert!(RegionOfInterest::full(10, 8).covers(10, 8));
+    }
+
+    #[test]
+    fn roi_intersection() {
+        let a = RegionOfInterest::new(0, 0, 10, 10).unwrap();
+        let b = RegionOfInterest::new(5, 5, 15, 15).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, RegionOfInterest::new(5, 5, 10, 10).unwrap());
+        let c = RegionOfInterest::new(10, 10, 20, 20).unwrap();
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn resolution_display_and_pixels() {
+        assert_eq!(Resolution::R1K.to_string(), "960x540");
+        assert_eq!(Resolution::new(4, 3).pixels(), 12);
+        assert_eq!(Resolution::R4K.pixels(), 3840 * 2160);
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic procedural frame generators.
+//!
+//! These are used by unit tests throughout the workspace and by the
+//! synthetic-dataset renderer in `vss-workload`. All generators are
+//! deterministic given their seed so experiments are reproducible.
+
+use crate::{Frame, PixelFormat};
+
+/// A tiny deterministic PRNG (xorshift64*) so this crate needs no external
+/// dependencies. Not cryptographically secure; used only for test patterns.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator from a non-zero seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A smooth diagonal gradient whose phase depends on `seed`, so consecutive
+/// seeds produce visually similar but distinct frames (useful for simulating
+/// temporal coherence).
+pub fn gradient(width: u32, height: u32, format: PixelFormat, seed: u64) -> Frame {
+    let mut f = Frame::black(width, height, format).expect("valid pattern resolution");
+    let phase = (seed % 64) as u32;
+    for y in 0..height {
+        for x in 0..width {
+            let r = ((x + phase) * 255 / width.max(1)) as u8;
+            let g = (y * 255 / height.max(1)) as u8;
+            let b = (((x + y + phase) / 2) % 256) as u8;
+            f.set_rgb(x, y, (r, g, b));
+        }
+    }
+    f
+}
+
+/// A checkerboard with the given cell size; `invert` flips the phase.
+pub fn checkerboard(width: u32, height: u32, format: PixelFormat, cell: u32, invert: bool) -> Frame {
+    let mut f = Frame::black(width, height, format).expect("valid pattern resolution");
+    let cell = cell.max(1);
+    for y in 0..height {
+        for x in 0..width {
+            let on = ((x / cell) + (y / cell)) % 2 == 0;
+            let on = on ^ invert;
+            let v = if on { 230 } else { 25 };
+            f.set_rgb(x, y, (v, v, v));
+        }
+    }
+    f
+}
+
+/// Uniform pseudo-random noise in every channel.
+pub fn noise(width: u32, height: u32, format: PixelFormat, seed: u64) -> Frame {
+    let mut f = Frame::black(width, height, format).expect("valid pattern resolution");
+    let mut rng = Xorshift::new(seed);
+    for y in 0..height {
+        for x in 0..width {
+            let v = rng.next_u64();
+            f.set_rgb(x, y, ((v & 0xFF) as u8, ((v >> 8) & 0xFF) as u8, ((v >> 16) & 0xFF) as u8));
+        }
+    }
+    f
+}
+
+/// Returns a copy of `frame` with bounded uniform noise of amplitude
+/// `amplitude` added to every RGB channel.
+pub fn add_noise(frame: &Frame, amplitude: u8, seed: u64) -> Frame {
+    let mut out = frame.clone();
+    if amplitude == 0 {
+        return out;
+    }
+    let mut rng = Xorshift::new(seed);
+    let amp = i32::from(amplitude);
+    for y in 0..frame.height() {
+        for x in 0..frame.width() {
+            let (r, g, b) = frame.rgb_at(x, y);
+            let dr = (rng.next_below((2 * amp + 1) as u64) as i32) - amp;
+            let dg = (rng.next_below((2 * amp + 1) as u64) as i32) - amp;
+            let db = (rng.next_below((2 * amp + 1) as u64) as i32) - amp;
+            out.set_rgb(
+                x,
+                y,
+                (
+                    (i32::from(r) + dr).clamp(0, 255) as u8,
+                    (i32::from(g) + dg).clamp(0, 255) as u8,
+                    (i32::from(b) + db).clamp(0, 255) as u8,
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Draws a filled axis-aligned rectangle onto a frame (used to paint
+/// "vehicles" in the synthetic datasets). Coordinates are clamped to the
+/// frame bounds.
+pub fn fill_rect(frame: &mut Frame, x0: i64, y0: i64, w: u32, h: u32, rgb: (u8, u8, u8)) {
+    let fx1 = frame.width() as i64;
+    let fy1 = frame.height() as i64;
+    let x_start = x0.max(0);
+    let y_start = y0.max(0);
+    let x_end = (x0 + i64::from(w)).min(fx1);
+    let y_end = (y0 + i64::from(h)).min(fy1);
+    if x_start >= x_end || y_start >= y_end {
+        return;
+    }
+    for y in y_start..y_end {
+        for x in x_start..x_end {
+            frame.set_rgb(x as u32, y as u32, rgb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{mse, psnr};
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            assert!(a.next_below(7) < 7);
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(Xorshift::new(0).next_u64(), Xorshift::new(0).next_u64());
+    }
+
+    #[test]
+    fn gradient_is_smooth_and_seed_dependent() {
+        let a = gradient(32, 32, PixelFormat::Rgb8, 0);
+        let b = gradient(32, 32, PixelFormat::Rgb8, 1);
+        let m = mse(&a, &b).unwrap();
+        assert!(m > 0.0, "different seeds should differ");
+        assert!(m < 500.0, "consecutive seeds should be similar, mse={m}");
+    }
+
+    #[test]
+    fn checkerboard_inversion_is_maximally_different() {
+        let a = checkerboard(16, 16, PixelFormat::Rgb8, 4, false);
+        let b = checkerboard(16, 16, PixelFormat::Rgb8, 4, true);
+        assert!(mse(&a, &b).unwrap() > 10_000.0);
+    }
+
+    #[test]
+    fn add_noise_respects_amplitude() {
+        let base = gradient(16, 16, PixelFormat::Rgb8, 0);
+        let noisy = add_noise(&base, 2, 7);
+        let m = mse(&base, &noisy).unwrap();
+        assert!(m > 0.0);
+        assert!(m <= 4.0 + 1e-9, "amplitude-2 noise has MSE <= 4, got {m}");
+        assert_eq!(add_noise(&base, 0, 7), base);
+    }
+
+    #[test]
+    fn noise_frames_have_low_psnr_against_each_other() {
+        let a = noise(16, 16, PixelFormat::Rgb8, 1);
+        let b = noise(16, 16, PixelFormat::Rgb8, 2);
+        assert!(psnr(&a, &b).unwrap().db() < 15.0);
+    }
+
+    #[test]
+    fn fill_rect_clamps_to_bounds() {
+        let mut f = Frame::black(8, 8, PixelFormat::Rgb8).unwrap();
+        fill_rect(&mut f, -2, -2, 4, 4, (255, 0, 0));
+        assert_eq!(f.rgb_at(0, 0), (255, 0, 0));
+        assert_eq!(f.rgb_at(1, 1), (255, 0, 0));
+        assert_eq!(f.rgb_at(2, 2), (0, 0, 0));
+        // Entirely outside: no change, no panic.
+        fill_rect(&mut f, 100, 100, 4, 4, (255, 0, 0));
+        fill_rect(&mut f, 6, 6, 10, 10, (0, 255, 0));
+        assert_eq!(f.rgb_at(7, 7), (0, 255, 0));
+    }
+
+    #[test]
+    fn patterns_work_in_subsampled_formats() {
+        for fmt in [PixelFormat::Yuv420, PixelFormat::Yuv422] {
+            let f = gradient(16, 16, fmt, 0);
+            assert_eq!(f.format(), fmt);
+            let n = noise(16, 16, fmt, 0);
+            assert!(mse(&f, &n).unwrap() > 0.0);
+        }
+    }
+}

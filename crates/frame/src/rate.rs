@@ -1,0 +1,86 @@
+//! Frame-rate conversion.
+
+use crate::{FrameError, FrameSequence};
+
+/// Converts a frame sequence to a new nominal frame rate by dropping or
+/// duplicating frames (nearest-neighbour in time).
+///
+/// This mirrors the temporal `f` parameter of a VSS read: requesting 15 fps
+/// from a 30 fps physical video keeps every other frame; requesting 60 fps
+/// duplicates frames. No interpolation is performed, matching the paper's
+/// prototype behaviour.
+pub fn convert_frame_rate(seq: &FrameSequence, target_fps: f64) -> Result<FrameSequence, FrameError> {
+    if target_fps <= 0.0 {
+        return Err(FrameError::InvalidFrameRate);
+    }
+    if (target_fps - seq.frame_rate()).abs() < 1e-9 || seq.is_empty() {
+        let mut out = seq.clone();
+        if seq.is_empty() {
+            out = FrameSequence::empty(target_fps)?;
+        }
+        return Ok(out);
+    }
+    let duration = seq.duration_seconds();
+    let out_count = (duration * target_fps).round().max(1.0) as usize;
+    let mut frames = Vec::with_capacity(out_count);
+    for i in 0..out_count {
+        // Midpoint of output frame i in seconds, mapped to a source index.
+        let t = (i as f64 + 0.5) / target_fps;
+        let src = ((t * seq.frame_rate()) as usize).min(seq.len() - 1);
+        frames.push(seq.frames()[src].clone());
+    }
+    FrameSequence::new(frames, target_fps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pattern, PixelFormat};
+
+    fn seq(n: usize, fps: f64) -> FrameSequence {
+        let frames =
+            (0..n).map(|i| pattern::gradient(8, 8, PixelFormat::Rgb8, i as u64)).collect();
+        FrameSequence::new(frames, fps).unwrap()
+    }
+
+    #[test]
+    fn same_rate_is_identity() {
+        let s = seq(30, 30.0);
+        let out = convert_frame_rate(&s, 30.0).unwrap();
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn halving_rate_halves_frame_count() {
+        let s = seq(60, 30.0);
+        let out = convert_frame_rate(&s, 15.0).unwrap();
+        assert_eq!(out.len(), 30);
+        assert!((out.frame_rate() - 15.0).abs() < 1e-9);
+        assert!((out.duration_seconds() - s.duration_seconds()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn doubling_rate_duplicates_frames() {
+        let s = seq(30, 30.0);
+        let out = convert_frame_rate(&s, 60.0).unwrap();
+        assert_eq!(out.len(), 60);
+        // Each source frame appears (as an exact copy) at least once.
+        assert_eq!(out.frames()[0], s.frames()[0]);
+        assert_eq!(out.frames()[1], s.frames()[0]);
+    }
+
+    #[test]
+    fn rejects_non_positive_rate() {
+        let s = seq(10, 30.0);
+        assert!(convert_frame_rate(&s, 0.0).is_err());
+        assert!(convert_frame_rate(&s, -5.0).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_converts_to_empty() {
+        let s = FrameSequence::empty(30.0).unwrap();
+        let out = convert_frame_rate(&s, 10.0).unwrap();
+        assert!(out.is_empty());
+        assert!((out.frame_rate() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Spatial resampling: bilinear resize and region-of-interest cropping.
+
+use crate::{Frame, FrameError, PixelFormat, RegionOfInterest};
+
+/// Resizes a frame to `new_width x new_height` with bilinear interpolation.
+///
+/// The output uses the same pixel format as the input (the interpolation is
+/// performed in RGB space so chroma subsampling is handled uniformly). This
+/// is the resampling operation VSS applies when a read requests a different
+/// resolution than a cached physical video provides.
+pub fn resize_bilinear(frame: &Frame, new_width: u32, new_height: u32) -> Result<Frame, FrameError> {
+    frame.format().validate_resolution(new_width, new_height)?;
+    if new_width == frame.width() && new_height == frame.height() {
+        return Ok(frame.clone());
+    }
+    let mut out = Frame::black(new_width, new_height, frame.format())?;
+    let src_w = frame.width() as f64;
+    let src_h = frame.height() as f64;
+    let x_ratio = src_w / f64::from(new_width);
+    let y_ratio = src_h / f64::from(new_height);
+    for oy in 0..new_height {
+        let sy = (f64::from(oy) + 0.5) * y_ratio - 0.5;
+        let y0 = sy.floor().max(0.0) as u32;
+        let y1 = (y0 + 1).min(frame.height() - 1);
+        let fy = (sy - f64::from(y0)).clamp(0.0, 1.0);
+        for ox in 0..new_width {
+            let sx = (f64::from(ox) + 0.5) * x_ratio - 0.5;
+            let x0 = sx.floor().max(0.0) as u32;
+            let x1 = (x0 + 1).min(frame.width() - 1);
+            let fx = (sx - f64::from(x0)).clamp(0.0, 1.0);
+
+            let p00 = frame.rgb_at(x0, y0);
+            let p10 = frame.rgb_at(x1, y0);
+            let p01 = frame.rgb_at(x0, y1);
+            let p11 = frame.rgb_at(x1, y1);
+            let lerp = |a: u8, b: u8, t: f64| f64::from(a) * (1.0 - t) + f64::from(b) * t;
+            let blend = |c00: u8, c10: u8, c01: u8, c11: u8| {
+                let top = lerp(c00, c10, fx);
+                let bottom = lerp(c01, c11, fx);
+                (top * (1.0 - fy) + bottom * fy).round().clamp(0.0, 255.0) as u8
+            };
+            out.set_rgb(
+                ox,
+                oy,
+                (
+                    blend(p00.0, p10.0, p01.0, p11.0),
+                    blend(p00.1, p10.1, p01.1, p11.1),
+                    blend(p00.2, p10.2, p01.2, p11.2),
+                ),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Crops a frame to a region of interest.
+///
+/// For chroma-subsampled outputs the region's width/height must satisfy the
+/// format's parity requirements; VSS rounds regions outward before calling
+/// this when necessary.
+pub fn crop(frame: &Frame, roi: &RegionOfInterest) -> Result<Frame, FrameError> {
+    if !roi.fits_within(frame.width(), frame.height()) {
+        return Err(FrameError::RoiOutOfBounds { width: frame.width(), height: frame.height() });
+    }
+    frame.format().validate_resolution(roi.width(), roi.height())?;
+    let mut out = Frame::black(roi.width(), roi.height(), frame.format())?;
+    for y in 0..roi.height() {
+        for x in 0..roi.width() {
+            match frame.format() {
+                PixelFormat::Rgb8 => out.set_rgb(x, y, frame.rgb_at(roi.x0 + x, roi.y0 + y)),
+                _ => out.set_yuv(x, y, frame.yuv_at(roi.x0 + x, roi.y0 + y)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Horizontally concatenates two frames of equal height and format.
+///
+/// Used by the joint-compression reader in `vss-core` to stitch the left,
+/// overlap and right sub-frames back together.
+pub fn hconcat(left: &Frame, right: &Frame) -> Result<Frame, FrameError> {
+    if left.height() != right.height() || left.format() != right.format() {
+        return Err(FrameError::ShapeMismatch);
+    }
+    let w = left.width() + right.width();
+    left.format().validate_resolution(w, left.height())?;
+    let mut out = Frame::black(w, left.height(), left.format())?;
+    for y in 0..left.height() {
+        for x in 0..left.width() {
+            out.set_rgb(x, y, left.rgb_at(x, y));
+        }
+        for x in 0..right.width() {
+            out.set_rgb(left.width() + x, y, right.rgb_at(x, y));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pattern, quality};
+
+    #[test]
+    fn resize_to_same_size_is_identity() {
+        let f = pattern::gradient(16, 16, PixelFormat::Rgb8, 3);
+        assert_eq!(resize_bilinear(&f, 16, 16).unwrap(), f);
+    }
+
+    #[test]
+    fn downsample_then_upsample_preserves_smooth_content() {
+        let f = pattern::gradient(64, 64, PixelFormat::Rgb8, 0);
+        let small = resize_bilinear(&f, 32, 32).unwrap();
+        let back = resize_bilinear(&small, 64, 64).unwrap();
+        let p = quality::psnr(&f, &back).unwrap();
+        assert!(p.db() > 30.0, "smooth gradient survives 2x round trip, got {p}");
+    }
+
+    #[test]
+    fn downsample_destroys_noise() {
+        let f = pattern::noise(64, 64, PixelFormat::Rgb8, 9);
+        let small = resize_bilinear(&f, 16, 16).unwrap();
+        let back = resize_bilinear(&small, 64, 64).unwrap();
+        let p = quality::psnr(&f, &back).unwrap();
+        assert!(p.db() < 20.0, "noise should not survive 4x round trip, got {p}");
+    }
+
+    #[test]
+    fn resize_validates_target_resolution() {
+        let f = pattern::gradient(16, 16, PixelFormat::Yuv420, 0);
+        assert!(resize_bilinear(&f, 15, 16).is_err());
+        assert!(resize_bilinear(&f, 0, 16).is_err());
+    }
+
+    #[test]
+    fn crop_extracts_expected_pixels() {
+        let f = pattern::gradient(32, 32, PixelFormat::Rgb8, 0);
+        let roi = RegionOfInterest::new(4, 8, 12, 16).unwrap();
+        let c = crop(&f, &roi).unwrap();
+        assert_eq!(c.width(), 8);
+        assert_eq!(c.height(), 8);
+        assert_eq!(c.rgb_at(0, 0), f.rgb_at(4, 8));
+        assert_eq!(c.rgb_at(7, 7), f.rgb_at(11, 15));
+    }
+
+    #[test]
+    fn crop_rejects_out_of_bounds() {
+        let f = pattern::gradient(16, 16, PixelFormat::Rgb8, 0);
+        let roi = RegionOfInterest::new(8, 8, 20, 12).unwrap();
+        assert!(matches!(crop(&f, &roi), Err(FrameError::RoiOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn hconcat_restores_a_split_frame() {
+        let f = pattern::gradient(32, 16, PixelFormat::Rgb8, 0);
+        let left = crop(&f, &RegionOfInterest::new(0, 0, 20, 16).unwrap()).unwrap();
+        let right = crop(&f, &RegionOfInterest::new(20, 0, 32, 16).unwrap()).unwrap();
+        let joined = hconcat(&left, &right).unwrap();
+        assert_eq!(quality::psnr(&f, &joined).unwrap().db(), quality::PsnrDb::LOSSLESS_CAP);
+    }
+
+    #[test]
+    fn hconcat_rejects_mismatched_heights() {
+        let a = Frame::black(8, 8, PixelFormat::Rgb8).unwrap();
+        let b = Frame::black(8, 4, PixelFormat::Rgb8).unwrap();
+        assert!(hconcat(&a, &b).is_err());
+    }
+}

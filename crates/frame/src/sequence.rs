@@ -1,0 +1,168 @@
+//! [`FrameSequence`]: an ordered run of frames at fixed shape and frame rate.
+
+use crate::{Frame, FrameError, PixelFormat, Resolution};
+
+/// An ordered sequence of frames sharing a resolution, pixel format and
+/// frame rate.
+///
+/// Frame sequences are the in-memory currency between the storage manager
+/// and the codec layer: a decoded GOP is a `FrameSequence`, and `read`
+/// results are assembled by concatenating frame sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSequence {
+    frames: Vec<Frame>,
+    frame_rate: f64,
+}
+
+impl FrameSequence {
+    /// Creates a sequence from frames that all share the first frame's shape.
+    pub fn new(frames: Vec<Frame>, frame_rate: f64) -> Result<Self, FrameError> {
+        if frame_rate <= 0.0 {
+            return Err(FrameError::InvalidFrameRate);
+        }
+        if let Some(first) = frames.first() {
+            let (w, h, fmt) = (first.width(), first.height(), first.format());
+            if frames.iter().any(|f| f.width() != w || f.height() != h || f.format() != fmt) {
+                return Err(FrameError::ShapeMismatch);
+            }
+        }
+        Ok(Self { frames, frame_rate })
+    }
+
+    /// Creates an empty sequence with the given frame rate.
+    pub fn empty(frame_rate: f64) -> Result<Self, FrameError> {
+        Self::new(Vec::new(), frame_rate)
+    }
+
+    /// The frames in order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Consumes the sequence, returning its frames.
+    pub fn into_frames(self) -> Vec<Frame> {
+        self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the sequence holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Nominal frame rate in frames per second.
+    pub fn frame_rate(&self) -> f64 {
+        self.frame_rate
+    }
+
+    /// Duration in seconds implied by frame count and frame rate.
+    pub fn duration_seconds(&self) -> f64 {
+        self.frames.len() as f64 / self.frame_rate
+    }
+
+    /// Resolution of the frames, or `None` for an empty sequence.
+    pub fn resolution(&self) -> Option<Resolution> {
+        self.frames.first().map(Frame::resolution)
+    }
+
+    /// Pixel format of the frames, or `None` for an empty sequence.
+    pub fn format(&self) -> Option<PixelFormat> {
+        self.frames.first().map(Frame::format)
+    }
+
+    /// Total pixel-buffer bytes across all frames.
+    pub fn byte_len(&self) -> usize {
+        self.frames.iter().map(Frame::byte_len).sum()
+    }
+
+    /// Appends a frame, enforcing shape consistency.
+    pub fn push(&mut self, frame: Frame) -> Result<(), FrameError> {
+        if let Some(first) = self.frames.first() {
+            if frame.width() != first.width()
+                || frame.height() != first.height()
+                || frame.format() != first.format()
+            {
+                return Err(FrameError::ShapeMismatch);
+            }
+        }
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    /// Appends all frames from another sequence (frame rates must match).
+    pub fn extend(&mut self, other: FrameSequence) -> Result<(), FrameError> {
+        if (other.frame_rate - self.frame_rate).abs() > 1e-9 {
+            return Err(FrameError::InvalidFrameRate);
+        }
+        for f in other.frames {
+            self.push(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern;
+
+    fn seq(n: usize) -> FrameSequence {
+        let frames = (0..n).map(|i| pattern::gradient(16, 16, PixelFormat::Rgb8, i as u64)).collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes_and_rate() {
+        let mixed = vec![
+            pattern::gradient(16, 16, PixelFormat::Rgb8, 0),
+            pattern::gradient(8, 8, PixelFormat::Rgb8, 0),
+        ];
+        assert!(FrameSequence::new(mixed, 30.0).is_err());
+        assert!(FrameSequence::new(vec![], 0.0).is_err());
+        assert!(FrameSequence::new(vec![], -1.0).is_err());
+    }
+
+    #[test]
+    fn duration_and_metadata() {
+        let s = seq(60);
+        assert_eq!(s.len(), 60);
+        assert!(!s.is_empty());
+        assert!((s.duration_seconds() - 2.0).abs() < 1e-9);
+        assert_eq!(s.resolution(), Some(Resolution::new(16, 16)));
+        assert_eq!(s.format(), Some(PixelFormat::Rgb8));
+        assert_eq!(s.byte_len(), 60 * 16 * 16 * 3);
+    }
+
+    #[test]
+    fn push_enforces_shape() {
+        let mut s = seq(2);
+        assert!(s.push(pattern::gradient(16, 16, PixelFormat::Rgb8, 9)).is_ok());
+        assert!(s.push(pattern::gradient(16, 16, PixelFormat::Yuv420, 9)).is_err());
+        assert!(s.push(pattern::gradient(8, 16, PixelFormat::Rgb8, 9)).is_err());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn extend_requires_matching_rate() {
+        let mut a = seq(2);
+        let b = seq(3);
+        a.extend(b).unwrap();
+        assert_eq!(a.len(), 5);
+        let frames = vec![pattern::gradient(16, 16, PixelFormat::Rgb8, 0)];
+        let c = FrameSequence::new(frames, 25.0).unwrap();
+        assert!(a.extend(c).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_has_no_metadata() {
+        let s = FrameSequence::empty(24.0).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.resolution(), None);
+        assert_eq!(s.format(), None);
+        assert_eq!(s.byte_len(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! # vss-solver
+//!
+//! Fragment-selection optimizer for VSS reads (paper Section 3.1).
+//!
+//! When VSS executes a read it may hold many overlapping materialized
+//! fragments of the requested video, each in a different resolution and
+//! codec. The planner must pick, for every part of the requested temporal
+//! range, exactly one fragment to produce that part from, minimizing the sum
+//! of
+//!
+//! * **transcode cost** `c_t(f, P, S) = α(f_S, f_P, S, P) · |f|`, and
+//! * **look-back cost** `c_l(Ω, f) = |A − Ω| + η · |(Δ − A) − Ω|` — the cost
+//!   of decoding the frames a fragment's predicted frames depend on when
+//!   those dependencies have not already been decoded.
+//!
+//! The paper encodes this joint optimization into an SMT solver (Z3). The
+//! structure of the temporal problem — segments between *transition points*
+//! with a per-segment fragment choice whose look-back cost depends only on
+//! the previous segment's choice — admits an exact dynamic-programming
+//! optimizer, which is what [`plan_read`] implements; it returns the same
+//! minimum-cost plans an SMT encoding would for this cost model.
+//! [`plan_read_greedy`] reproduces the paper's dependency-naïve greedy
+//! baseline (Figure 10), and [`plan_read_exhaustive`] enumerates every plan
+//! on small instances so tests can verify optimality.
+
+#![warn(missing_docs)]
+
+mod fragment;
+mod planner;
+
+pub use fragment::{FragmentCandidate, PlanSegment, ReadPlan, ReadPlanRequest};
+pub use planner::{plan_read, plan_read_exhaustive, plan_read_greedy, transition_points};
+
+/// Errors produced by read planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The requested temporal range is empty or inverted.
+    EmptyRange {
+        /// Requested start time (seconds).
+        start: f64,
+        /// Requested end time (seconds).
+        end: f64,
+    },
+    /// No candidate fragment covers some part of the requested range.
+    UncoveredInterval {
+        /// Start of the first uncovered segment (seconds).
+        start: f64,
+        /// End of the first uncovered segment (seconds).
+        end: f64,
+    },
+    /// No candidates were supplied at all.
+    NoCandidates,
+    /// The instance is too large for exhaustive enumeration.
+    TooLargeForExhaustive {
+        /// Number of plans that would need to be enumerated.
+        plans: u128,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::EmptyRange { start, end } => {
+                write!(f, "empty or inverted read range [{start}, {end})")
+            }
+            SolverError::UncoveredInterval { start, end } => {
+                write!(f, "no fragment covers [{start}, {end})")
+            }
+            SolverError::NoCandidates => write!(f, "no candidate fragments supplied"),
+            SolverError::TooLargeForExhaustive { plans } => {
+                write!(f, "instance too large for exhaustive search ({plans} plans)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SolverError::UncoveredInterval { start: 3.0, end: 4.5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("4.5"));
+        assert!(SolverError::NoCandidates.to_string().contains("candidate"));
+    }
+}

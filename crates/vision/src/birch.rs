@@ -1,0 +1,229 @@
+//! Incremental BIRCH clustering over feature vectors.
+//!
+//! VSS clusters video fragments by colour histogram using BIRCH
+//! (Zhang et al., SIGMOD 1996) because it is memory efficient and supports
+//! incremental updates as new GOPs arrive (paper Section 5.1.3). This module
+//! implements the clustering-feature (CF) formulation: each cluster keeps
+//! `(N, LS, SS)` — the count, linear sum and squared sum of its members —
+//! from which the centroid and radius are derived in O(dims).
+//!
+//! The implementation maintains a flat list of CF entries with a distance
+//! threshold (the classic leaf-level behaviour of a CF-tree); this is the
+//! part of BIRCH the joint-compression candidate search relies on.
+
+/// One BIRCH clustering feature (CF) entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Number of points absorbed into this cluster.
+    pub count: usize,
+    /// Per-dimension linear sum of the absorbed points.
+    pub linear_sum: Vec<f64>,
+    /// Per-dimension squared sum of the absorbed points.
+    pub squared_sum: Vec<f64>,
+    /// Identifiers of the items assigned to this cluster, in insertion order.
+    pub members: Vec<u64>,
+}
+
+impl Cluster {
+    fn new(dims: usize) -> Self {
+        Self { count: 0, linear_sum: vec![0.0; dims], squared_sum: vec![0.0; dims], members: Vec::new() }
+    }
+
+    /// Cluster centroid (`LS / N`).
+    pub fn centroid(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return self.linear_sum.clone();
+        }
+        self.linear_sum.iter().map(|v| v / self.count as f64).collect()
+    }
+
+    /// BIRCH radius: root-mean-square distance of members from the centroid,
+    /// computed from the CF statistics only.
+    pub fn radius(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mut acc = 0.0;
+        for (ls, ss) in self.linear_sum.iter().zip(self.squared_sum.iter()) {
+            let mean = ls / n;
+            acc += (ss / n) - mean * mean;
+        }
+        acc.max(0.0).sqrt()
+    }
+
+    fn distance_to(&self, point: &[f64]) -> f64 {
+        self.centroid()
+            .iter()
+            .zip(point.iter())
+            .map(|(c, p)| (c - p) * (c - p))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn absorb(&mut self, id: u64, point: &[f64]) {
+        self.count += 1;
+        for ((ls, ss), p) in self.linear_sum.iter_mut().zip(self.squared_sum.iter_mut()).zip(point.iter()) {
+            *ls += p;
+            *ss += p * p;
+        }
+        self.members.push(id);
+    }
+}
+
+/// An incremental BIRCH clusterer over fixed-dimension feature vectors.
+#[derive(Debug, Clone)]
+pub struct BirchTree {
+    dims: usize,
+    threshold: f64,
+    max_clusters: usize,
+    clusters: Vec<Cluster>,
+}
+
+impl BirchTree {
+    /// Creates a clusterer for `dims`-dimensional vectors. A point joins the
+    /// nearest cluster if its centroid distance is below `threshold`,
+    /// otherwise it seeds a new cluster (until `max_clusters` is reached,
+    /// after which the threshold is relaxed by absorbing into the nearest
+    /// cluster regardless — BIRCH's rebuild step, simplified).
+    pub fn new(dims: usize, threshold: f64, max_clusters: usize) -> Self {
+        Self { dims, threshold, max_clusters: max_clusters.max(1), clusters: Vec::new() }
+    }
+
+    /// Number of clusters currently maintained.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True if no points have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters in creation order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Inserts a point with an external identifier (e.g. a GOP id), returning
+    /// the index of the cluster it was assigned to.
+    pub fn insert(&mut self, id: u64, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let nearest = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.distance_to(point)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match nearest {
+            Some((idx, dist)) if dist <= self.threshold || self.clusters.len() >= self.max_clusters => {
+                self.clusters[idx].absorb(id, point);
+                idx
+            }
+            _ => {
+                let mut c = Cluster::new(self.dims);
+                c.absorb(id, point);
+                self.clusters.push(c);
+                self.clusters.len() - 1
+            }
+        }
+    }
+
+    /// The cluster with the smallest radius among clusters with at least
+    /// `min_members` members — the cluster VSS examines first for joint
+    /// compression candidates.
+    pub fn smallest_radius_cluster(&self, min_members: usize) -> Option<&Cluster> {
+        self.clusters
+            .iter()
+            .filter(|c| c.members.len() >= min_members)
+            .min_by(|a, b| a.radius().partial_cmp(&b.radius()).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Clusters ordered by ascending radius (ties broken by insertion order),
+    /// filtered to those with at least `min_members` members.
+    pub fn clusters_by_radius(&self, min_members: usize) -> Vec<&Cluster> {
+        let mut ordered: Vec<&Cluster> =
+            self.clusters.iter().filter(|c| c.members.len() >= min_members).collect();
+        ordered.sort_by(|a, b| a.radius().partial_cmp(&b.radius()).unwrap_or(std::cmp::Ordering::Equal));
+        ordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(values: &[f64]) -> Vec<f64> {
+        values.to_vec()
+    }
+
+    #[test]
+    fn points_near_each_other_share_a_cluster() {
+        let mut tree = BirchTree::new(2, 0.5, 16);
+        let a = tree.insert(1, &point(&[0.0, 0.0]));
+        let b = tree.insert(2, &point(&[0.1, 0.1]));
+        let c = tree.insert(3, &point(&[5.0, 5.0]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.clusters()[a].members, vec![1, 2]);
+    }
+
+    #[test]
+    fn centroid_and_radius_match_cf_statistics() {
+        let mut tree = BirchTree::new(1, 10.0, 4);
+        tree.insert(1, &point(&[2.0]));
+        tree.insert(2, &point(&[4.0]));
+        let c = &tree.clusters()[0];
+        assert_eq!(c.centroid(), vec![3.0]);
+        // Variance of {2,4} is 1 → radius 1.
+        assert!((c.radius() - 1.0).abs() < 1e-9);
+        assert_eq!(c.count, 2);
+    }
+
+    #[test]
+    fn max_clusters_forces_absorption() {
+        let mut tree = BirchTree::new(1, 0.01, 2);
+        tree.insert(1, &point(&[0.0]));
+        tree.insert(2, &point(&[10.0]));
+        // Far from both, but the cluster budget is exhausted.
+        tree.insert(3, &point(&[100.0]));
+        assert_eq!(tree.len(), 2);
+        let total: usize = tree.clusters().iter().map(|c| c.count).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn smallest_radius_cluster_prefers_tight_groups() {
+        let mut tree = BirchTree::new(1, 3.0, 16);
+        // Tight cluster around 0.
+        tree.insert(1, &point(&[0.0]));
+        tree.insert(2, &point(&[0.1]));
+        // Loose cluster around 10.
+        tree.insert(3, &point(&[9.0]));
+        tree.insert(4, &point(&[11.0]));
+        let smallest = tree.smallest_radius_cluster(2).unwrap();
+        assert!(smallest.members.contains(&1));
+        // Requiring more members than any cluster has yields None.
+        assert!(tree.smallest_radius_cluster(3).is_none());
+        let ordered = tree.clusters_by_radius(1);
+        assert_eq!(ordered.len(), 2);
+        assert!(ordered[0].radius() <= ordered[1].radius());
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree = BirchTree::new(4, 1.0, 8);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.smallest_radius_cluster(1).is_none());
+        assert!(tree.clusters_by_radius(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dimension_mismatch_panics() {
+        let mut tree = BirchTree::new(2, 1.0, 8);
+        tree.insert(1, &point(&[1.0]));
+    }
+}

@@ -1,0 +1,152 @@
+//! Colour histograms for joint-compression candidate pruning.
+//!
+//! VSS clusters ingested GOPs by colour histogram before doing any expensive
+//! feature work (paper Section 5.1.3 / Figure 9): fragments with highly
+//! distinct histograms are unlikely to benefit from joint compression.
+
+use vss_frame::Frame;
+
+/// Number of bins per colour channel.
+pub const BINS_PER_CHANNEL: usize = 4;
+/// Total histogram dimensionality.
+pub const HISTOGRAM_DIMS: usize = BINS_PER_CHANNEL * BINS_PER_CHANNEL * BINS_PER_CHANNEL;
+
+/// A normalized RGB colour histogram (sums to 1 for non-empty frames).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorHistogram {
+    bins: Vec<f64>,
+}
+
+impl ColorHistogram {
+    /// Computes the histogram of a frame, sampling every `stride`-th pixel in
+    /// each dimension (stride 1 = every pixel).
+    pub fn from_frame(frame: &Frame, stride: u32) -> Self {
+        let stride = stride.max(1);
+        let mut bins = vec![0.0f64; HISTOGRAM_DIMS];
+        let mut count = 0.0f64;
+        let mut y = 0;
+        while y < frame.height() {
+            let mut x = 0;
+            while x < frame.width() {
+                let (r, g, b) = frame.rgb_at(x, y);
+                bins[Self::bin_index(r, g, b)] += 1.0;
+                count += 1.0;
+                x += stride;
+            }
+            y += stride;
+        }
+        if count > 0.0 {
+            for b in &mut bins {
+                *b /= count;
+            }
+        }
+        Self { bins }
+    }
+
+    /// Averages the histograms of several frames (e.g. all frames of a GOP).
+    pub fn from_frames<'a>(frames: impl IntoIterator<Item = &'a Frame>, stride: u32) -> Self {
+        let mut acc = vec![0.0f64; HISTOGRAM_DIMS];
+        let mut n = 0usize;
+        for frame in frames {
+            let h = Self::from_frame(frame, stride);
+            for (a, b) in acc.iter_mut().zip(h.bins.iter()) {
+                *a += b;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            for a in &mut acc {
+                *a /= n as f64;
+            }
+        }
+        Self { bins: acc }
+    }
+
+    fn bin_index(r: u8, g: u8, b: u8) -> usize {
+        let q = |v: u8| (v as usize * BINS_PER_CHANNEL) / 256;
+        (q(r) * BINS_PER_CHANNEL + q(g)) * BINS_PER_CHANNEL + q(b)
+    }
+
+    /// The raw bin values.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Euclidean distance between two histograms (in `[0, sqrt(2)]` for
+    /// normalized histograms).
+    pub fn distance(&self, other: &ColorHistogram) -> f64 {
+        self.bins
+            .iter()
+            .zip(other.bins.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Feature-vector view used by the BIRCH clusterer.
+    pub fn as_vector(&self) -> Vec<f64> {
+        self.bins.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_frame::{pattern, PixelFormat};
+
+    #[test]
+    fn histogram_is_normalized() {
+        let f = pattern::gradient(64, 64, PixelFormat::Rgb8, 0);
+        let h = ColorHistogram::from_frame(&f, 1);
+        let sum: f64 = h.bins().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(h.bins().len(), HISTOGRAM_DIMS);
+    }
+
+    #[test]
+    fn identical_frames_have_zero_distance() {
+        let f = pattern::gradient(32, 32, PixelFormat::Rgb8, 3);
+        let a = ColorHistogram::from_frame(&f, 1);
+        let b = ColorHistogram::from_frame(&f, 1);
+        assert_eq!(a.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn different_scenes_are_far_apart() {
+        let mut red = vss_frame::Frame::black(32, 32, PixelFormat::Rgb8).unwrap();
+        pattern::fill_rect(&mut red, 0, 0, 32, 32, (250, 10, 10));
+        let mut blue = vss_frame::Frame::black(32, 32, PixelFormat::Rgb8).unwrap();
+        pattern::fill_rect(&mut blue, 0, 0, 32, 32, (10, 10, 250));
+        let a = ColorHistogram::from_frame(&red, 1);
+        let b = ColorHistogram::from_frame(&blue, 1);
+        assert!(a.distance(&b) > 1.0);
+    }
+
+    #[test]
+    fn similar_scenes_are_close() {
+        let a = ColorHistogram::from_frame(&pattern::gradient(64, 64, PixelFormat::Rgb8, 0), 1);
+        let b = ColorHistogram::from_frame(&pattern::gradient(64, 64, PixelFormat::Rgb8, 2), 1);
+        assert!(a.distance(&b) < 0.2, "similar gradients should be close, got {}", a.distance(&b));
+    }
+
+    #[test]
+    fn stride_sampling_approximates_full_histogram() {
+        let f = pattern::gradient(64, 64, PixelFormat::Rgb8, 1);
+        let full = ColorHistogram::from_frame(&f, 1);
+        let sampled = ColorHistogram::from_frame(&f, 4);
+        assert!(full.distance(&sampled) < 0.1);
+    }
+
+    #[test]
+    fn multi_frame_histogram_averages() {
+        let frames = [
+            pattern::gradient(32, 32, PixelFormat::Rgb8, 0),
+            pattern::gradient(32, 32, PixelFormat::Rgb8, 1),
+        ];
+        let h = ColorHistogram::from_frames(frames.iter(), 1);
+        let sum: f64 = h.bins().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let empty = ColorHistogram::from_frames(std::iter::empty(), 1);
+        assert_eq!(empty.bins().iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Homography estimation: normalized DLT with RANSAC.
+//!
+//! Joint compression (paper Algorithm 1) begins by estimating the 3×3
+//! homography between a frame of each candidate GOP. The estimate must be
+//! robust to outlier matches (RANSAC) and may legitimately fail — VSS
+//! detects poor homographies by round-tripping frames through the projection
+//! and aborting joint compression when recovered quality is too low.
+
+use crate::mat::{invert3, mul3, solve_linear};
+use crate::matching::{matched_points, Match};
+use crate::{Descriptor, VisionError};
+use vss_frame::pattern::Xorshift;
+
+/// A 3×3 projective transform mapping points of frame A into frame B's space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Homography {
+    /// Row-major matrix entries; `m[2][2]` is normalized to 1 where possible.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Homography {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// A pure translation.
+    pub fn translation(dx: f64, dy: f64) -> Self {
+        Self { m: [[1.0, 0.0, dx], [0.0, 1.0, dy], [0.0, 0.0, 1.0]] }
+    }
+
+    /// Applies the transform to a point, returning `None` if it maps to the
+    /// plane at infinity.
+    pub fn apply(&self, x: f64, y: f64) -> Option<(f64, f64)> {
+        let w = self.m[2][0] * x + self.m[2][1] * y + self.m[2][2];
+        if w.abs() < 1e-12 {
+            return None;
+        }
+        let px = (self.m[0][0] * x + self.m[0][1] * y + self.m[0][2]) / w;
+        let py = (self.m[1][0] * x + self.m[1][1] * y + self.m[1][2]) / w;
+        Some((px, py))
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Result<Homography, VisionError> {
+        invert3(&self.m).map(|m| Homography { m }).ok_or(VisionError::SingularTransform)
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Homography) -> Homography {
+        Homography { m: mul3(&self.m, &other.m) }
+    }
+
+    /// Frobenius distance from the identity matrix — the paper's
+    /// `||H − I||₂` duplicate-frame test (threshold ε = 0.1 in the prototype).
+    pub fn distance_from_identity(&self) -> f64 {
+        let id = Homography::identity();
+        let mut sum = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = self.m[i][j] - id.m[i][j];
+                sum += d * d;
+            }
+        }
+        sum.sqrt()
+    }
+
+    /// The horizontal translation component (`H[0][2]`), which Algorithm 1
+    /// inspects (as `H_{1,2} < 0`) to decide whether to swap the operand
+    /// order so the overlap is expressed left-to-right.
+    pub fn horizontal_shift(&self) -> f64 {
+        self.m[0][2]
+    }
+}
+
+/// Estimates a homography from ≥ 4 point correspondences using the
+/// normalized direct linear transform, minimizing algebraic error in a
+/// least-squares sense for over-determined systems.
+pub fn dlt_homography(pairs: &[((f64, f64), (f64, f64))]) -> Result<Homography, VisionError> {
+    if pairs.len() < 4 {
+        return Err(VisionError::InsufficientMatches { found: pairs.len(), required: 4 });
+    }
+    // Hartley normalization of both point sets.
+    let (norm_a, t_a) = normalize(pairs.iter().map(|p| p.0));
+    let (norm_b, t_b) = normalize(pairs.iter().map(|p| p.1));
+
+    // Build the 2n x 8 system A·h = b with h33 = 1.
+    let n = pairs.len();
+    let mut a = vec![vec![0.0f64; 8]; 2 * n];
+    let mut b = vec![0.0f64; 2 * n];
+    for (i, ((sx, sy), (dx, dy))) in norm_a.iter().zip(norm_b.iter()).map(|(s, d)| (*s, *d)).enumerate() {
+        a[2 * i] = vec![sx, sy, 1.0, 0.0, 0.0, 0.0, -dx * sx, -dx * sy];
+        b[2 * i] = dx;
+        a[2 * i + 1] = vec![0.0, 0.0, 0.0, sx, sy, 1.0, -dy * sx, -dy * sy];
+        b[2 * i + 1] = dy;
+    }
+    // Normal equations: (AᵀA) h = Aᵀ b.
+    let mut ata = vec![vec![0.0f64; 8]; 8];
+    let mut atb = vec![0.0f64; 8];
+    for row in 0..2 * n {
+        for i in 0..8 {
+            atb[i] += a[row][i] * b[row];
+            for j in 0..8 {
+                ata[i][j] += a[row][i] * a[row][j];
+            }
+        }
+    }
+    let h = solve_linear(ata, atb).ok_or(VisionError::DegenerateConfiguration)?;
+    let normalized = Homography {
+        m: [[h[0], h[1], h[2]], [h[3], h[4], h[5]], [h[6], h[7], 1.0]],
+    };
+    // Denormalize: H = T_b⁻¹ · H_norm · T_a.
+    let t_b_inv = invert3(&t_b).ok_or(VisionError::DegenerateConfiguration)?;
+    let m = mul3(&t_b_inv, &mul3(&normalized.m, &t_a));
+    let scale = if m[2][2].abs() > 1e-12 { m[2][2] } else { 1.0 };
+    let mut out = [[0.0; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            out[i][j] = m[i][j] / scale;
+        }
+    }
+    Ok(Homography { m: out })
+}
+
+type Normalization = (Vec<(f64, f64)>, [[f64; 3]; 3]);
+
+fn normalize(points: impl Iterator<Item = (f64, f64)>) -> Normalization {
+    let pts: Vec<(f64, f64)> = points.collect();
+    let n = pts.len() as f64;
+    let (mx, my) = pts.iter().fold((0.0, 0.0), |(ax, ay), (x, y)| (ax + x, ay + y));
+    let (mx, my) = (mx / n, my / n);
+    let mean_dist = pts
+        .iter()
+        .map(|(x, y)| ((x - mx).powi(2) + (y - my).powi(2)).sqrt())
+        .sum::<f64>()
+        / n;
+    let scale = if mean_dist > 1e-12 { std::f64::consts::SQRT_2 / mean_dist } else { 1.0 };
+    let transformed = pts.iter().map(|(x, y)| ((x - mx) * scale, (y - my) * scale)).collect();
+    let t = [[scale, 0.0, -mx * scale], [0.0, scale, -my * scale], [0.0, 0.0, 1.0]];
+    (transformed, t)
+}
+
+/// RANSAC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RansacParams {
+    /// Number of minimal-sample iterations.
+    pub iterations: usize,
+    /// Maximum reprojection error (pixels) for a correspondence to count as
+    /// an inlier.
+    pub inlier_threshold: f64,
+    /// Minimum number of inliers for the estimate to be accepted.
+    pub min_inliers: usize,
+    /// PRNG seed (deterministic runs for reproducible experiments).
+    pub seed: u64,
+}
+
+impl Default for RansacParams {
+    fn default() -> Self {
+        Self { iterations: 200, inlier_threshold: 2.0, min_inliers: 8, seed: 7 }
+    }
+}
+
+/// Robustly estimates a homography from point correspondences with RANSAC,
+/// refitting on the inlier set of the best hypothesis.
+pub fn ransac_homography(
+    pairs: &[((f64, f64), (f64, f64))],
+    params: &RansacParams,
+) -> Result<Homography, VisionError> {
+    if pairs.len() < 4 {
+        return Err(VisionError::InsufficientMatches { found: pairs.len(), required: 4 });
+    }
+    let mut rng = Xorshift::new(params.seed);
+    let mut best_inliers: Vec<usize> = Vec::new();
+    for _ in 0..params.iterations {
+        // Sample 4 distinct correspondences.
+        let mut sample = Vec::with_capacity(4);
+        let mut guard = 0;
+        while sample.len() < 4 && guard < 64 {
+            let idx = rng.next_below(pairs.len() as u64) as usize;
+            if !sample.contains(&idx) {
+                sample.push(idx);
+            }
+            guard += 1;
+        }
+        if sample.len() < 4 {
+            break;
+        }
+        let subset: Vec<_> = sample.iter().map(|&i| pairs[i]).collect();
+        let Ok(h) = dlt_homography(&subset) else { continue };
+        let inliers: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, ((ax, ay), (bx, by)))| {
+                h.apply(*ax, *ay)
+                    .map(|(px, py)| ((px - bx).powi(2) + (py - by).powi(2)).sqrt() < params.inlier_threshold)
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+        }
+    }
+    if best_inliers.len() < params.min_inliers.max(4) {
+        return Err(VisionError::InsufficientMatches {
+            found: best_inliers.len(),
+            required: params.min_inliers.max(4),
+        });
+    }
+    let inlier_pairs: Vec<_> = best_inliers.iter().map(|&i| pairs[i]).collect();
+    dlt_homography(&inlier_pairs)
+}
+
+/// End-to-end homography estimation from matched descriptors of two frames,
+/// as Algorithm 1's `homography(f, g)` primitive.
+pub fn estimate_homography(
+    descriptors_a: &[Descriptor],
+    descriptors_b: &[Descriptor],
+    matches: &[Match],
+    params: &RansacParams,
+) -> Result<Homography, VisionError> {
+    let pairs = matched_points(descriptors_a, descriptors_b, matches);
+    ransac_homography(&pairs, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_to_grid(h: &Homography) -> Vec<((f64, f64), (f64, f64))> {
+        let mut pairs = Vec::new();
+        for y in (0..100).step_by(20) {
+            for x in (0..160).step_by(20) {
+                let (px, py) = h.apply(f64::from(x), f64::from(y)).unwrap();
+                pairs.push(((f64::from(x), f64::from(y)), (px, py)));
+            }
+        }
+        pairs
+    }
+
+    fn assert_close(a: &Homography, b: &Homography, tol: f64) {
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((a.m[i][j] - b.m[i][j]).abs() < tol, "m[{i}][{j}]: {} vs {}", a.m[i][j], b.m[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_translation_basics() {
+        let id = Homography::identity();
+        assert_eq!(id.apply(5.0, 7.0), Some((5.0, 7.0)));
+        assert_eq!(id.distance_from_identity(), 0.0);
+        let t = Homography::translation(-30.0, 2.0);
+        assert_eq!(t.apply(10.0, 10.0), Some((-20.0, 12.0)));
+        assert!(t.horizontal_shift() < 0.0);
+        assert!(t.distance_from_identity() > 1.0);
+    }
+
+    #[test]
+    fn dlt_recovers_translation_exactly() {
+        let truth = Homography::translation(25.0, -8.0);
+        let pairs = apply_to_grid(&truth);
+        let estimated = dlt_homography(&pairs).unwrap();
+        assert_close(&estimated, &truth, 1e-6);
+    }
+
+    #[test]
+    fn dlt_recovers_projective_transform() {
+        let truth = Homography {
+            m: [[1.05, 0.02, 12.0], [-0.01, 0.98, 3.0], [1e-4, -5e-5, 1.0]],
+        };
+        let pairs = apply_to_grid(&truth);
+        let estimated = dlt_homography(&pairs).unwrap();
+        assert_close(&estimated, &truth, 1e-4);
+    }
+
+    #[test]
+    fn dlt_requires_four_points_and_nondegenerate_input() {
+        assert!(matches!(
+            dlt_homography(&[((0.0, 0.0), (1.0, 1.0))]),
+            Err(VisionError::InsufficientMatches { .. })
+        ));
+        // All points collinear: degenerate.
+        let collinear: Vec<_> = (0..6).map(|i| ((f64::from(i), 0.0), (f64::from(i) + 1.0, 0.0))).collect();
+        assert!(dlt_homography(&collinear).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trips_points() {
+        let h = Homography { m: [[1.1, 0.05, 20.0], [0.0, 0.95, -4.0], [1e-4, 0.0, 1.0]] };
+        let inv = h.inverse().unwrap();
+        let (px, py) = h.apply(33.0, 21.0).unwrap();
+        let (bx, by) = inv.apply(px, py).unwrap();
+        assert!((bx - 33.0).abs() < 1e-9);
+        assert!((by - 21.0).abs() < 1e-9);
+        let composed = h.compose(&inv);
+        assert!(composed.distance_from_identity() < 1e-6);
+    }
+
+    #[test]
+    fn ransac_rejects_outliers() {
+        let truth = Homography::translation(-40.0, 5.0);
+        let mut pairs = apply_to_grid(&truth);
+        // Corrupt 30% of the correspondences.
+        let n = pairs.len();
+        for i in 0..n / 3 {
+            let idx = i * 3 % n;
+            pairs[idx].1 = (999.0 + i as f64 * 13.0, -500.0 - i as f64 * 7.0);
+        }
+        let estimated = ransac_homography(&pairs, &RansacParams::default()).unwrap();
+        assert_close(&estimated, &truth, 1e-3);
+    }
+
+    #[test]
+    fn ransac_fails_cleanly_on_garbage() {
+        let mut rng = Xorshift::new(3);
+        let pairs: Vec<_> = (0..40)
+            .map(|_| {
+                (
+                    (rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                    (rng.next_f64() * 100.0, rng.next_f64() * 100.0),
+                )
+            })
+            .collect();
+        assert!(ransac_homography(&pairs, &RansacParams::default()).is_err());
+        assert!(ransac_homography(&pairs[..3], &RansacParams::default()).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Keypoint detection and patch descriptors.
+//!
+//! The paper's prototype uses Lowe's scale-invariant features (SIFT) to find
+//! "interesting regions" shared by overlapping frames. This module provides a
+//! Harris-corner detector with normalized patch descriptors — sufficient for
+//! the translation-plus-mild-perspective overlaps the joint-compression
+//! pipeline must align, while remaining dependency-free.
+
+use vss_frame::Frame;
+
+/// One detected keypoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Keypoint {
+    /// X coordinate in pixels.
+    pub x: f64,
+    /// Y coordinate in pixels.
+    pub y: f64,
+    /// Corner response (higher is more distinctive).
+    pub response: f64,
+}
+
+/// A descriptor of the image patch surrounding a keypoint: the mean/variance
+/// normalized luma values of a `PATCH x PATCH` window, which makes matching
+/// robust to brightness and contrast changes between cameras.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Descriptor {
+    /// The keypoint this descriptor was extracted at.
+    pub keypoint: Keypoint,
+    /// Normalized patch values, row-major, `PATCH_SIZE²` entries.
+    pub values: Vec<f32>,
+}
+
+/// Side length of the descriptor patch.
+pub const PATCH_SIZE: usize = 9;
+
+impl Descriptor {
+    /// Squared Euclidean distance between two descriptors.
+    pub fn distance_sq(&self, other: &Descriptor) -> f64 {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| {
+                let d = f64::from(a - b);
+                d * d
+            })
+            .sum()
+    }
+}
+
+/// Parameters for keypoint detection.
+#[derive(Debug, Clone, Copy)]
+pub struct KeypointParams {
+    /// Maximum number of keypoints to return (strongest first).
+    pub max_keypoints: usize,
+    /// Harris response threshold; lower finds more (weaker) corners.
+    pub response_threshold: f64,
+    /// Non-maximum-suppression radius in pixels.
+    pub nms_radius: u32,
+}
+
+impl Default for KeypointParams {
+    fn default() -> Self {
+        Self { max_keypoints: 400, response_threshold: 1e4, nms_radius: 5 }
+    }
+}
+
+/// Detects Harris corners in a frame and extracts a normalized patch
+/// descriptor for each, strongest corners first.
+pub fn detect_keypoints(frame: &Frame, params: &KeypointParams) -> Vec<Descriptor> {
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
+    if w < PATCH_SIZE + 4 || h < PATCH_SIZE + 4 {
+        return Vec::new();
+    }
+    // Luma plane as f64 for gradient computation.
+    let mut luma = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            luma[y * w + x] = f64::from(frame.luma_at(x as u32, y as u32));
+        }
+    }
+    // Sobel gradients.
+    let mut ix = vec![0.0f64; w * h];
+    let mut iy = vec![0.0f64; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let l = |dx: i64, dy: i64| luma[((y as i64 + dy) as usize) * w + (x as i64 + dx) as usize];
+            ix[y * w + x] = (l(1, -1) + 2.0 * l(1, 0) + l(1, 1)) - (l(-1, -1) + 2.0 * l(-1, 0) + l(-1, 1));
+            iy[y * w + x] = (l(-1, 1) + 2.0 * l(0, 1) + l(1, 1)) - (l(-1, -1) + 2.0 * l(0, -1) + l(1, -1));
+        }
+    }
+    // Harris response with a 3x3 structure-tensor window.
+    let border = (PATCH_SIZE / 2 + 2).max(2);
+    let mut responses = vec![0.0f64; w * h];
+    for y in border..h - border {
+        for x in border..w - border {
+            let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let idx = ((y as i64 + dy) as usize) * w + (x as i64 + dx) as usize;
+                    sxx += ix[idx] * ix[idx];
+                    syy += iy[idx] * iy[idx];
+                    sxy += ix[idx] * iy[idx];
+                }
+            }
+            let det = sxx * syy - sxy * sxy;
+            let trace = sxx + syy;
+            responses[y * w + x] = det - 0.04 * trace * trace;
+        }
+    }
+    // Non-maximum suppression on a coarse grid, then threshold.
+    let radius = params.nms_radius.max(1) as usize;
+    let mut candidates: Vec<Keypoint> = Vec::new();
+    let mut y = border;
+    while y < h - border {
+        let mut x = border;
+        while x < w - border {
+            // Find the strongest response in this cell.
+            let mut best = (x, y, responses[y * w + x]);
+            for cy in y..(y + radius).min(h - border) {
+                for cx in x..(x + radius).min(w - border) {
+                    let r = responses[cy * w + cx];
+                    if r > best.2 {
+                        best = (cx, cy, r);
+                    }
+                }
+            }
+            if best.2 > params.response_threshold {
+                candidates.push(Keypoint { x: best.0 as f64, y: best.1 as f64, response: best.2 });
+            }
+            x += radius;
+        }
+        y += radius;
+    }
+    candidates.sort_by(|a, b| b.response.partial_cmp(&a.response).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.truncate(params.max_keypoints);
+    candidates.iter().map(|kp| extract_descriptor(&luma, w, *kp)).collect()
+}
+
+fn extract_descriptor(luma: &[f64], width: usize, keypoint: Keypoint) -> Descriptor {
+    let half = (PATCH_SIZE / 2) as i64;
+    let cx = keypoint.x as i64;
+    let cy = keypoint.y as i64;
+    let mut values = Vec::with_capacity(PATCH_SIZE * PATCH_SIZE);
+    for dy in -half..=half {
+        for dx in -half..=half {
+            let x = (cx + dx).max(0) as usize;
+            let y = (cy + dy).max(0) as usize;
+            let idx = (y * width + x).min(luma.len() - 1);
+            values.push(luma[idx] as f32);
+        }
+    }
+    // Normalize to zero mean / unit variance for lighting robustness.
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-3);
+    for v in &mut values {
+        *v = (*v - mean) / std;
+    }
+    Descriptor { keypoint, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_frame::{pattern, PixelFormat};
+
+    fn corner_frame(offset: i64) -> Frame {
+        let mut f = Frame::black(128, 96, PixelFormat::Rgb8).unwrap();
+        pattern::fill_rect(&mut f, 0, 0, 128, 96, (40, 40, 40));
+        pattern::fill_rect(&mut f, 20 + offset, 20, 30, 20, (220, 220, 220));
+        pattern::fill_rect(&mut f, 70 + offset, 50, 25, 25, (180, 60, 60));
+        f
+    }
+
+    #[test]
+    fn detects_corners_of_rectangles() {
+        let f = corner_frame(0);
+        let descriptors = detect_keypoints(&f, &KeypointParams::default());
+        assert!(descriptors.len() >= 4, "expected several corners, got {}", descriptors.len());
+        // Keypoints should lie near the rectangle corners, not in flat areas.
+        for d in &descriptors {
+            let k = d.keypoint;
+            let near_rect_a = (15.0..=55.0).contains(&k.x) && (15.0..=45.0).contains(&k.y);
+            let near_rect_b = (65.0..=100.0).contains(&k.x) && (45.0..=80.0).contains(&k.y);
+            assert!(near_rect_a || near_rect_b, "keypoint at ({}, {}) is in a flat region", k.x, k.y);
+        }
+    }
+
+    #[test]
+    fn flat_frame_has_no_keypoints() {
+        let f = Frame::black(64, 64, PixelFormat::Rgb8).unwrap();
+        assert!(detect_keypoints(&f, &KeypointParams::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_frame_returns_empty() {
+        let f = pattern::noise(8, 8, PixelFormat::Rgb8, 1);
+        assert!(detect_keypoints(&f, &KeypointParams::default()).is_empty());
+    }
+
+    #[test]
+    fn descriptors_are_normalized_and_comparable() {
+        let f = corner_frame(0);
+        let descriptors = detect_keypoints(&f, &KeypointParams::default());
+        let d = &descriptors[0];
+        assert_eq!(d.values.len(), PATCH_SIZE * PATCH_SIZE);
+        let mean: f32 = d.values.iter().sum::<f32>() / d.values.len() as f32;
+        assert!(mean.abs() < 1e-3, "descriptor should be zero-mean, got {mean}");
+        assert_eq!(d.distance_sq(d), 0.0);
+    }
+
+    #[test]
+    fn shifted_content_produces_matching_descriptors() {
+        // The same corner in two frames shifted by 10 pixels should yield
+        // nearly identical descriptors (translation invariance of patches).
+        let a = detect_keypoints(&corner_frame(0), &KeypointParams::default());
+        let b = detect_keypoints(&corner_frame(10), &KeypointParams::default());
+        assert!(!a.is_empty() && !b.is_empty());
+        let best = a
+            .iter()
+            .map(|da| {
+                b.iter()
+                    .map(|db| da.distance_sq(db))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 1.0, "best cross-frame descriptor distance should be tiny, got {best}");
+    }
+
+    #[test]
+    fn max_keypoints_is_respected() {
+        let f = pattern::noise(128, 96, PixelFormat::Rgb8, 3);
+        let params = KeypointParams { max_keypoints: 10, ..Default::default() };
+        let d = detect_keypoints(&f, &params);
+        assert!(d.len() <= 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! # vss-vision
+//!
+//! Computer-vision substrate for the VSS reproduction.
+//!
+//! VSS's joint-compression optimization (paper Section 5.1) needs four
+//! capabilities the prototype obtains from OpenCV and scikit-learn:
+//!
+//! 1. **Feature detection** — find distinctive keypoints in a frame and
+//!    describe them so they can be matched across cameras
+//!    ([`keypoint`], [`matching`]).
+//! 2. **Homography estimation** — given matched keypoints, robustly estimate
+//!    the 3×3 projective transform between two frames ([`homography`]).
+//! 3. **Perspective warping** — project one frame into the pixel space of
+//!    another and back ([`warp`]).
+//! 4. **Candidate pruning** — colour histograms and incremental BIRCH
+//!    clustering so that only plausibly overlapping GOPs are examined
+//!    ([`histogram`], [`birch`]).
+//!
+//! All four are implemented from scratch here (Harris corners with patch
+//! descriptors, Lowe's-ratio matching, normalized-DLT + RANSAC homography,
+//! bilinear inverse warping, CF-tree BIRCH) so the joint-compression code
+//! paths in `vss-core` — including homography failure and abort handling —
+//! are exercised for real.
+
+#![warn(missing_docs)]
+
+pub mod birch;
+pub mod histogram;
+pub mod homography;
+pub mod keypoint;
+mod mat;
+pub mod matching;
+pub mod warp;
+
+pub use birch::{BirchTree, Cluster};
+pub use histogram::ColorHistogram;
+pub use homography::{estimate_homography, ransac_homography, Homography, RansacParams};
+pub use keypoint::{detect_keypoints, Descriptor, Keypoint, KeypointParams};
+pub use matching::{match_descriptors, Match, MatchParams};
+pub use warp::warp_perspective;
+
+/// Errors produced by the vision subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisionError {
+    /// Not enough point correspondences to estimate a transform
+    /// (a homography needs at least four).
+    InsufficientMatches {
+        /// Matches available.
+        found: usize,
+        /// Matches required.
+        required: usize,
+    },
+    /// The linear system for the transform was degenerate
+    /// (e.g. all points collinear).
+    DegenerateConfiguration,
+    /// The estimated transform is not invertible.
+    SingularTransform,
+    /// A frame-level error bubbled up from `vss-frame`.
+    Frame(vss_frame::FrameError),
+}
+
+impl std::fmt::Display for VisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisionError::InsufficientMatches { found, required } => {
+                write!(f, "insufficient matches: found {found}, need {required}")
+            }
+            VisionError::DegenerateConfiguration => write!(f, "degenerate point configuration"),
+            VisionError::SingularTransform => write!(f, "transform is singular"),
+            VisionError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VisionError {}
+
+impl From<vss_frame::FrameError> for VisionError {
+    fn from(e: vss_frame::FrameError) -> Self {
+        VisionError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = VisionError::InsufficientMatches { found: 2, required: 4 };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('4'));
+        let e: VisionError = vss_frame::FrameError::ShapeMismatch.into();
+        assert!(matches!(e, VisionError::Frame(_)));
+    }
+}

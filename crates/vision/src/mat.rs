@@ -1,0 +1,115 @@
+//! Minimal dense linear-algebra helpers (Gaussian elimination, 3×3 inverse).
+//!
+//! Kept private to the crate: only what homography estimation needs.
+
+/// Solves the square linear system `a · x = b` in place using Gaussian
+/// elimination with partial pivoting. Returns `None` if the matrix is
+/// (numerically) singular.
+pub(crate) fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+/// Inverts a 3×3 matrix. Returns `None` if the determinant is ~0.
+pub(crate) fn invert3(m: &[[f64; 3]; 3]) -> Option<[[f64; 3]; 3]> {
+    let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    let inv_det = 1.0 / det;
+    let mut out = [[0.0; 3]; 3];
+    out[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+    out[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+    out[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+    out[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+    out[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+    out[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+    out[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+    out[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+    out[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+    Some(out)
+}
+
+/// Multiplies two 3×3 matrices.
+pub(crate) fn mul3(a: &[[f64; 3]; 3], b: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
+    let mut out = [[0.0; 3]; 3];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = (0..3).map(|k| a[i][k] * b[k][j]).sum();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // x + y = 3; 2x - y = 0  =>  x = 1, y = 2.
+        let a = vec![vec![1.0, 1.0], vec![2.0, -1.0]];
+        let x = solve_linear(a, vec![3.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn invert3_round_trips() {
+        let m = [[2.0, 0.0, 1.0], [0.0, 3.0, 0.0], [1.0, 0.0, 1.0]];
+        let inv = invert3(&m).unwrap();
+        let id = mul3(&m, &inv);
+        for (i, row) in id.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expected).abs() < 1e-9, "id[{i}][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert3_detects_singular() {
+        let m = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]];
+        assert!(invert3(&m).is_none());
+    }
+}

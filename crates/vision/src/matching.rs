@@ -1,0 +1,165 @@
+//! Descriptor matching with Lowe's ratio test.
+//!
+//! VSS considers two GOPs related when it finds `m` or more nearby,
+//! unambiguous feature correspondences (paper Section 5.1.3). Ambiguity is
+//! resolved with Lowe's ratio test: a match is accepted only when the best
+//! candidate is sufficiently better than the second best.
+
+use crate::keypoint::Descriptor;
+
+/// One accepted correspondence between descriptors of two frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Index into the first descriptor set.
+    pub index_a: usize,
+    /// Index into the second descriptor set.
+    pub index_b: usize,
+    /// Squared descriptor distance of the accepted pair.
+    pub distance_sq: f64,
+}
+
+/// Matching parameters (paper defaults: distance `d = 400`, Lowe's ratio).
+#[derive(Debug, Clone, Copy)]
+pub struct MatchParams {
+    /// Maximum squared descriptor distance for a match to be considered.
+    pub max_distance_sq: f64,
+    /// Lowe's ratio: best distance must be below `ratio * second_best`.
+    pub lowe_ratio: f64,
+}
+
+impl Default for MatchParams {
+    fn default() -> Self {
+        Self { max_distance_sq: 400.0, lowe_ratio: 0.8 }
+    }
+}
+
+/// Matches descriptors of frame A against frame B, applying the distance
+/// threshold and Lowe's ratio test, and enforcing one-to-one matches
+/// (a descriptor in B is used at most once, keeping the closest claimant).
+pub fn match_descriptors(a: &[Descriptor], b: &[Descriptor], params: &MatchParams) -> Vec<Match> {
+    let mut candidates: Vec<Match> = Vec::new();
+    for (ia, da) in a.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        let mut second_best = f64::INFINITY;
+        for (ib, db) in b.iter().enumerate() {
+            let dist = da.distance_sq(db);
+            match best {
+                Some((_, best_dist)) if dist < best_dist => {
+                    second_best = best_dist;
+                    best = Some((ib, dist));
+                }
+                Some(_) => {
+                    if dist < second_best {
+                        second_best = dist;
+                    }
+                }
+                None => best = Some((ib, dist)),
+            }
+        }
+        if let Some((ib, dist)) = best {
+            let unambiguous = dist <= params.lowe_ratio * params.lowe_ratio * second_best;
+            if dist <= params.max_distance_sq && unambiguous {
+                candidates.push(Match { index_a: ia, index_b: ib, distance_sq: dist });
+            }
+        }
+    }
+    // One-to-one: keep the closest match per B index.
+    candidates.sort_by(|x, y| x.distance_sq.partial_cmp(&y.distance_sq).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_b = std::collections::HashSet::new();
+    let mut used_a = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for m in candidates {
+        if used_b.insert(m.index_b) && used_a.insert(m.index_a) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Convenience: the matched point pairs `((ax, ay), (bx, by))` for a match set.
+pub fn matched_points(a: &[Descriptor], b: &[Descriptor], matches: &[Match]) -> Vec<((f64, f64), (f64, f64))> {
+    matches
+        .iter()
+        .map(|m| {
+            let ka = a[m.index_a].keypoint;
+            let kb = b[m.index_b].keypoint;
+            ((ka.x, ka.y), (kb.x, kb.y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keypoint::{detect_keypoints, KeypointParams};
+    use vss_frame::{pattern, Frame, PixelFormat};
+
+    fn scene(offset: i64) -> Frame {
+        let mut f = Frame::black(160, 96, PixelFormat::Rgb8).unwrap();
+        pattern::fill_rect(&mut f, 0, 0, 160, 96, (50, 50, 50));
+        pattern::fill_rect(&mut f, 20 + offset, 15, 24, 18, (220, 210, 60));
+        pattern::fill_rect(&mut f, 70 + offset, 40, 30, 22, (60, 180, 220));
+        pattern::fill_rect(&mut f, 120 + offset, 20, 18, 40, (200, 60, 60));
+        f
+    }
+
+    #[test]
+    fn identical_frames_match_every_descriptor() {
+        let d = detect_keypoints(&scene(0), &KeypointParams::default());
+        let matches = match_descriptors(&d, &d, &MatchParams::default());
+        assert_eq!(matches.len(), d.len());
+        for m in &matches {
+            assert_eq!(m.index_a, m.index_b);
+            assert_eq!(m.distance_sq, 0.0);
+        }
+    }
+
+    #[test]
+    fn shifted_frames_match_with_consistent_offset() {
+        let da = detect_keypoints(&scene(0), &KeypointParams::default());
+        let db = detect_keypoints(&scene(-12), &KeypointParams::default());
+        let matches = match_descriptors(&da, &db, &MatchParams::default());
+        assert!(matches.len() >= 4, "expected at least 4 matches, got {}", matches.len());
+        // The large majority of offsets should agree (about -12 in x, 0 in y);
+        // the occasional outlier is expected and is what RANSAC filters later.
+        let consistent = matched_points(&da, &db, &matches)
+            .iter()
+            .filter(|((ax, ay), (bx, by))| ((bx - ax) + 12.0).abs() <= 3.0 && (by - ay).abs() <= 3.0)
+            .count();
+        assert!(
+            consistent * 4 >= matches.len() * 3,
+            "at least 75% of matches should share the true offset: {consistent}/{}",
+            matches.len()
+        );
+        assert!(consistent >= 4);
+    }
+
+    #[test]
+    fn unrelated_frames_produce_few_matches() {
+        let da = detect_keypoints(&scene(0), &KeypointParams::default());
+        let db = detect_keypoints(&pattern::noise(160, 96, PixelFormat::Rgb8, 77), &KeypointParams::default());
+        let matches = match_descriptors(&da, &db, &MatchParams { max_distance_sq: 20.0, ..Default::default() });
+        assert!(matches.len() <= 2, "unrelated content should barely match, got {}", matches.len());
+    }
+
+    #[test]
+    fn matches_are_one_to_one() {
+        let da = detect_keypoints(&scene(0), &KeypointParams::default());
+        let db = detect_keypoints(&scene(-5), &KeypointParams::default());
+        let matches = match_descriptors(&da, &db, &MatchParams::default());
+        let mut seen_a = std::collections::HashSet::new();
+        let mut seen_b = std::collections::HashSet::new();
+        for m in &matches {
+            assert!(seen_a.insert(m.index_a));
+            assert!(seen_b.insert(m.index_b));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_matches() {
+        assert!(match_descriptors(&[], &[], &MatchParams::default()).is_empty());
+        let d = detect_keypoints(&scene(0), &KeypointParams::default());
+        assert!(match_descriptors(&d, &[], &MatchParams::default()).is_empty());
+        assert!(match_descriptors(&[], &d, &MatchParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Perspective warping of frames.
+//!
+//! Joint compression projects the right camera's frame into the left
+//! camera's pixel space (paper Figure 6) and inverts that projection when
+//! recovering the original frames. The warp here uses inverse mapping with
+//! bilinear sampling: every output pixel is mapped through `H⁻¹` back into
+//! the source frame and interpolated.
+
+use crate::{Homography, VisionError};
+use vss_frame::{Frame, PixelFormat};
+
+/// Warps `src` through homography `h` (mapping source coordinates to output
+/// coordinates), producing an output of `out_width x out_height` pixels.
+/// Pixels that map outside the source are filled with black.
+pub fn warp_perspective(
+    src: &Frame,
+    h: &Homography,
+    out_width: u32,
+    out_height: u32,
+) -> Result<Frame, VisionError> {
+    let inv = h.inverse()?;
+    let mut out = Frame::black(out_width, out_height, PixelFormat::Rgb8)?;
+    let src_w = src.width() as f64;
+    let src_h = src.height() as f64;
+    for oy in 0..out_height {
+        for ox in 0..out_width {
+            let Some((sx, sy)) = inv.apply(f64::from(ox), f64::from(oy)) else { continue };
+            if sx < 0.0 || sy < 0.0 || sx > src_w - 1.0 || sy > src_h - 1.0 {
+                continue;
+            }
+            out.set_rgb(ox, oy, sample_bilinear(src, sx, sy));
+        }
+    }
+    if src.format() != PixelFormat::Rgb8 {
+        return out.convert(src.format()).map_err(VisionError::from);
+    }
+    Ok(out)
+}
+
+/// Bilinearly samples a frame at fractional coordinates (clamped to bounds).
+pub fn sample_bilinear(frame: &Frame, x: f64, y: f64) -> (u8, u8, u8) {
+    let x = x.clamp(0.0, f64::from(frame.width() - 1));
+    let y = y.clamp(0.0, f64::from(frame.height() - 1));
+    let x0 = x.floor() as u32;
+    let y0 = y.floor() as u32;
+    let x1 = (x0 + 1).min(frame.width() - 1);
+    let y1 = (y0 + 1).min(frame.height() - 1);
+    let fx = x - f64::from(x0);
+    let fy = y - f64::from(y0);
+    let p00 = frame.rgb_at(x0, y0);
+    let p10 = frame.rgb_at(x1, y0);
+    let p01 = frame.rgb_at(x0, y1);
+    let p11 = frame.rgb_at(x1, y1);
+    let blend = |c00: u8, c10: u8, c01: u8, c11: u8| {
+        let top = f64::from(c00) * (1.0 - fx) + f64::from(c10) * fx;
+        let bottom = f64::from(c01) * (1.0 - fx) + f64::from(c11) * fx;
+        (top * (1.0 - fy) + bottom * fy).round().clamp(0.0, 255.0) as u8
+    };
+    (
+        blend(p00.0, p10.0, p01.0, p11.0),
+        blend(p00.1, p10.1, p01.1, p11.1),
+        blend(p00.2, p10.2, p01.2, p11.2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_frame::{pattern, quality};
+
+    #[test]
+    fn identity_warp_preserves_frame() {
+        let f = pattern::gradient(64, 48, PixelFormat::Rgb8, 1);
+        let warped = warp_perspective(&f, &Homography::identity(), 64, 48).unwrap();
+        let p = quality::psnr(&f, &warped).unwrap();
+        assert!(p.db() >= 50.0, "identity warp should be near-exact, got {p}");
+    }
+
+    #[test]
+    fn translation_warp_moves_content() {
+        let mut f = Frame::black(64, 48, PixelFormat::Rgb8).unwrap();
+        pattern::fill_rect(&mut f, 10, 10, 8, 8, (255, 0, 0));
+        let warped = warp_perspective(&f, &Homography::translation(20.0, 5.0), 64, 48).unwrap();
+        assert_eq!(warped.rgb_at(34, 19), (255, 0, 0));
+        assert_eq!(warped.rgb_at(12, 12), (0, 0, 0));
+    }
+
+    #[test]
+    fn warp_and_inverse_warp_round_trip() {
+        let f = pattern::gradient(96, 64, PixelFormat::Rgb8, 2);
+        let h = Homography { m: [[1.02, 0.01, 6.0], [0.0, 0.99, -2.0], [5e-5, 0.0, 1.0]] };
+        let warped = warp_perspective(&f, &h, 96, 64).unwrap();
+        let back = warp_perspective(&warped, &h.inverse().unwrap(), 96, 64).unwrap();
+        // Compare the interior (edges lose data to out-of-bounds cropping).
+        let roi = vss_frame::RegionOfInterest::new(16, 12, 80, 52).unwrap();
+        let a = vss_frame::crop(&f, &roi).unwrap();
+        let b = vss_frame::crop(&back, &roi).unwrap();
+        let p = quality::psnr(&a, &b).unwrap();
+        assert!(p.db() > 30.0, "interior should survive a warp round trip, got {p}");
+    }
+
+    #[test]
+    fn out_of_bounds_regions_are_black() {
+        let f = pattern::gradient(32, 32, PixelFormat::Rgb8, 0);
+        let warped = warp_perspective(&f, &Homography::translation(100.0, 0.0), 32, 32).unwrap();
+        assert_eq!(warped.rgb_at(5, 5), (0, 0, 0));
+    }
+
+    #[test]
+    fn warp_preserves_pixel_format() {
+        let f = pattern::gradient(32, 32, PixelFormat::Yuv420, 0);
+        let warped = warp_perspective(&f, &Homography::identity(), 32, 32).unwrap();
+        assert_eq!(warped.format(), PixelFormat::Yuv420);
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut f = Frame::black(2, 1, PixelFormat::Rgb8).unwrap();
+        f.set_rgb(0, 0, (0, 0, 0));
+        f.set_rgb(1, 0, (100, 200, 50));
+        let (r, g, b) = sample_bilinear(&f, 0.5, 0.0);
+        assert_eq!((r, g, b), (50, 100, 25));
+        // Clamping outside the frame.
+        assert_eq!(sample_bilinear(&f, -5.0, -5.0), (0, 0, 0));
+        assert_eq!(sample_bilinear(&f, 10.0, 10.0), (100, 200, 50));
+    }
+}

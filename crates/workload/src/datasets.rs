@@ -1,0 +1,204 @@
+//! Dataset presets mirroring the paper's Table 1.
+//!
+//! Each preset records the paper's resolution, frame count and overlap; the
+//! generator renders the corresponding synthetic scene. Because the simulated
+//! codecs run on CPU, presets are generated at a configurable *scale*: the
+//! resolution is divided by the scale factor (rounded to even) and the frame
+//! count capped, so experiments complete in minutes while preserving relative
+//! behaviour. Scale 1 reproduces the paper's nominal shapes.
+
+use crate::scene::{CameraMotion, SceneConfig, SceneRenderer};
+use vss_frame::{FrameSequence, PixelFormat, Resolution};
+
+/// One dataset preset (a row of the paper's Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Nominal resolution from the paper.
+    pub resolution: Resolution,
+    /// Nominal frame count from the paper.
+    pub frames: usize,
+    /// Number of overlapping camera streams (1 or 2).
+    pub cameras: usize,
+    /// Horizontal overlap fraction between the two cameras.
+    pub overlap: f64,
+    /// Camera motion (RobotCar/Waymo are vehicle-mounted → panning).
+    pub motion: CameraMotion,
+    /// Nominal frame rate.
+    pub frame_rate: f64,
+}
+
+impl DatasetSpec {
+    /// All presets from Table 1.
+    pub fn all() -> Vec<DatasetSpec> {
+        vec![
+            DatasetSpec {
+                name: "robotcar",
+                resolution: Resolution::new(1280, 960),
+                frames: 7494,
+                cameras: 2,
+                overlap: 0.8,
+                motion: CameraMotion::Panning { pixels_per_frame: 0.5 },
+                frame_rate: 30.0,
+            },
+            DatasetSpec {
+                name: "waymo",
+                resolution: Resolution::new(1920, 1280),
+                frames: 398,
+                cameras: 2,
+                overlap: 0.15,
+                motion: CameraMotion::Panning { pixels_per_frame: 0.5 },
+                frame_rate: 20.0,
+            },
+            DatasetSpec {
+                name: "visualroad-1k-30",
+                resolution: Resolution::R1K,
+                frames: 108_000,
+                cameras: 2,
+                overlap: 0.30,
+                motion: CameraMotion::Static,
+                frame_rate: 30.0,
+            },
+            DatasetSpec {
+                name: "visualroad-1k-50",
+                resolution: Resolution::R1K,
+                frames: 108_000,
+                cameras: 2,
+                overlap: 0.50,
+                motion: CameraMotion::Static,
+                frame_rate: 30.0,
+            },
+            DatasetSpec {
+                name: "visualroad-1k-75",
+                resolution: Resolution::R1K,
+                frames: 108_000,
+                cameras: 2,
+                overlap: 0.75,
+                motion: CameraMotion::Static,
+                frame_rate: 30.0,
+            },
+            DatasetSpec {
+                name: "visualroad-2k-30",
+                resolution: Resolution::R2K,
+                frames: 108_000,
+                cameras: 2,
+                overlap: 0.30,
+                motion: CameraMotion::Static,
+                frame_rate: 30.0,
+            },
+            DatasetSpec {
+                name: "visualroad-4k-30",
+                resolution: Resolution::R4K,
+                frames: 108_000,
+                cameras: 2,
+                overlap: 0.30,
+                motion: CameraMotion::Static,
+                frame_rate: 30.0,
+            },
+        ]
+    }
+
+    /// Looks up a preset by name.
+    pub fn by_name(name: &str) -> Option<DatasetSpec> {
+        Self::all().into_iter().find(|d| d.name == name)
+    }
+
+    /// The resolution this preset uses when generated at `scale` (dimensions
+    /// divided by `scale`, rounded down to even, never below 32×32).
+    pub fn scaled_resolution(&self, scale: u32) -> Resolution {
+        let scale = scale.max(1);
+        let even = |v: u32| ((v / scale).max(32)) & !1;
+        Resolution::new(even(self.resolution.width), even(self.resolution.height))
+    }
+
+    /// The frame count used when generated at `scale`, capped at `max_frames`.
+    pub fn scaled_frames(&self, max_frames: usize) -> usize {
+        self.frames.min(max_frames.max(1))
+    }
+
+    /// Generates the dataset at the given scale: resolution divided by
+    /// `scale` and at most `max_frames` frames. Returns one sequence per
+    /// camera.
+    pub fn generate(&self, scale: u32, max_frames: usize) -> GeneratedDataset {
+        let resolution = self.scaled_resolution(scale);
+        let frames = self.scaled_frames(max_frames);
+        let renderer = SceneRenderer::new(SceneConfig {
+            resolution,
+            format: PixelFormat::Yuv420,
+            frame_rate: self.frame_rate,
+            overlap: self.overlap,
+            vehicles: 8,
+            motion: self.motion,
+            noise_amplitude: 2,
+            seed: 0xC0FFEE ^ self.name.len() as u64,
+        });
+        let cameras = (0..self.cameras.clamp(1, 2))
+            .map(|camera| renderer.render_sequence(camera, frames))
+            .collect();
+        GeneratedDataset { spec: self.clone(), renderer, cameras }
+    }
+}
+
+/// A generated dataset: the spec, the renderer (for ground truth) and one
+/// frame sequence per camera.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// The preset this dataset was generated from.
+    pub spec: DatasetSpec,
+    /// The renderer, exposing ground-truth vehicle boxes.
+    pub renderer: SceneRenderer,
+    /// One sequence per camera (index 0 = left).
+    pub cameras: Vec<FrameSequence>,
+}
+
+impl GeneratedDataset {
+    /// The primary (left) camera's sequence.
+    pub fn primary(&self) -> &FrameSequence {
+        &self.cameras[0]
+    }
+
+    /// The secondary (right) camera's sequence, if the preset has two cameras.
+    pub fn secondary(&self) -> Option<&FrameSequence> {
+        self.cameras.get(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets_are_complete() {
+        let all = DatasetSpec::all();
+        assert_eq!(all.len(), 7);
+        let names: Vec<_> = all.iter().map(|d| d.name).collect();
+        assert!(names.contains(&"robotcar"));
+        assert!(names.contains(&"waymo"));
+        assert!(names.contains(&"visualroad-4k-30"));
+        assert_eq!(DatasetSpec::by_name("visualroad-1k-50").unwrap().overlap, 0.5);
+        assert!(DatasetSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaling_preserves_even_dimensions_and_caps_frames() {
+        let spec = DatasetSpec::by_name("visualroad-4k-30").unwrap();
+        let r = spec.scaled_resolution(8);
+        assert_eq!(r, Resolution::new(480, 270 & !1));
+        assert_eq!(r.width % 2, 0);
+        assert_eq!(r.height % 2, 0);
+        assert_eq!(spec.scaled_frames(120), 120);
+        let tiny = spec.scaled_resolution(1000);
+        assert!(tiny.width >= 32 && tiny.height >= 32);
+    }
+
+    #[test]
+    fn generation_produces_overlapping_camera_pairs() {
+        let spec = DatasetSpec::by_name("visualroad-1k-50").unwrap();
+        let dataset = spec.generate(8, 6);
+        assert_eq!(dataset.cameras.len(), 2);
+        assert_eq!(dataset.primary().len(), 6);
+        assert_eq!(dataset.secondary().unwrap().len(), 6);
+        assert_eq!(dataset.primary().resolution(), Some(spec.scaled_resolution(8)));
+    }
+}

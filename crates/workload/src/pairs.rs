@@ -1,0 +1,120 @@
+//! Joint-compression pair-selection strategies compared in Figure 11.
+//!
+//! The paper compares VSS's histogram-cluster + feature-match candidate
+//! search against (i) an oracle that knows the overlapping pairs a priori and
+//! (ii) random sampling of pairs. This module provides the oracle and random
+//! strategies plus the recall metric used to score all three.
+
+use vss_frame::pattern::Xorshift;
+
+/// A set of ground-truth overlapping pairs (unordered).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruthPairs {
+    pairs: Vec<(u64, u64)>,
+}
+
+impl GroundTruthPairs {
+    /// Creates a ground-truth set (pairs are stored unordered).
+    pub fn new(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        Self { pairs: pairs.into_iter().map(normalize).collect() }
+    }
+
+    /// Number of true pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// True if `(a, b)` is a true overlapping pair.
+    pub fn contains(&self, a: u64, b: u64) -> bool {
+        self.pairs.contains(&normalize((a, b)))
+    }
+
+    /// The oracle strategy: returns exactly the true pairs.
+    pub fn oracle(&self) -> Vec<(u64, u64)> {
+        self.pairs.clone()
+    }
+
+    /// Fraction of true pairs present in `selected` (the recall reported in
+    /// Figure 11).
+    pub fn recall(&self, selected: &[(u64, u64)]) -> f64 {
+        if self.pairs.is_empty() {
+            return 1.0;
+        }
+        let hits = self.pairs.iter().filter(|&&(a, b)| {
+            selected.iter().any(|&pair| normalize(pair) == (a, b))
+        });
+        hits.count() as f64 / self.pairs.len() as f64
+    }
+}
+
+fn normalize(pair: (u64, u64)) -> (u64, u64) {
+    (pair.0.min(pair.1), pair.0.max(pair.1))
+}
+
+/// The random-sampling strategy: draws `count` distinct unordered pairs from
+/// `ids` uniformly at random.
+pub fn random_pairs(ids: &[u64], count: usize, seed: u64) -> Vec<(u64, u64)> {
+    if ids.len() < 2 {
+        return Vec::new();
+    }
+    let mut rng = Xorshift::new(seed);
+    let mut selected = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let max_pairs = ids.len() * (ids.len() - 1) / 2;
+    while selected.len() < count.min(max_pairs) {
+        let a = ids[rng.next_below(ids.len() as u64) as usize];
+        let b = ids[rng.next_below(ids.len() as u64) as usize];
+        if a == b {
+            continue;
+        }
+        let pair = normalize((a, b));
+        if seen.insert(pair) {
+            selected.push(pair);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_has_perfect_recall() {
+        let truth = GroundTruthPairs::new([(1, 2), (3, 4)]);
+        assert_eq!(truth.len(), 2);
+        assert!(!truth.is_empty());
+        assert!(truth.contains(2, 1));
+        assert!(!truth.contains(1, 3));
+        assert_eq!(truth.recall(&truth.oracle()), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_partial_matches_regardless_of_order() {
+        let truth = GroundTruthPairs::new([(1, 2), (3, 4), (5, 6)]);
+        let selected = vec![(2, 1), (9, 10)];
+        assert!((truth.recall(&selected) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(truth.recall(&[]), 0.0);
+        assert_eq!(GroundTruthPairs::default().recall(&[]), 1.0);
+    }
+
+    #[test]
+    fn random_pairs_are_distinct_and_bounded() {
+        let ids: Vec<u64> = (0..6).collect();
+        let pairs = random_pairs(&ids, 10, 3);
+        assert_eq!(pairs.len(), 10);
+        let unique: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(unique.len(), pairs.len());
+        // Requesting more pairs than exist caps at the total number of pairs.
+        let all = random_pairs(&ids, 100, 3);
+        assert_eq!(all.len(), 15);
+        assert!(random_pairs(&[1], 5, 1).is_empty());
+        // Deterministic for a fixed seed.
+        assert_eq!(random_pairs(&ids, 5, 9), random_pairs(&ids, 5, 9));
+    }
+}

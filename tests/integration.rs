@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: the full write → read → cache → evict →
+//! deferred-compress → joint-compress lifecycle through the public API.
+
+use vss::baseline::{LocalFs, VStoreLike, VideoStore, VssStore};
+use vss::codec::EncoderConfig;
+use vss::core::{
+    joint_compress_sequences, recover_sequences, EvictionPolicy, JointConfig, JointOutcome,
+    MergeFunction, StorageBudget,
+};
+use vss::frame::{quality, PsnrDb};
+use vss::prelude::*;
+use vss::workload::{DatasetSpec, QueryWorkload, SceneConfig, SceneRenderer};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vss-integration-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn traffic_video(frames: usize) -> FrameSequence {
+    let renderer = SceneRenderer::new(SceneConfig {
+        resolution: Resolution::new(128, 72),
+        format: PixelFormat::Yuv420,
+        ..Default::default()
+    });
+    renderer.render_sequence(0, frames)
+}
+
+#[test]
+fn full_lifecycle_write_read_cache_reuse_and_restart() {
+    let root = scratch("lifecycle");
+    let video = traffic_video(90);
+    {
+        let vss = Vss::open(VssConfig::new(&root)).unwrap();
+        vss.write(&WriteRequest::new("traffic", Codec::H264), &video).unwrap();
+
+        // A raw low-resolution read (detection input) is cached...
+        let detection = vss
+            .read(
+                &ReadRequest::new("traffic", 0.0, 2.0, Codec::Raw(PixelFormat::Rgb8))
+                    .at_resolution(Resolution::new(64, 36)),
+            )
+            .unwrap();
+        assert!(detection.stats.cache_admitted);
+
+        // ...and an HEVC read transcodes and caches.
+        let hevc = vss.read(&ReadRequest::new("traffic", 0.0, 2.0, Codec::Hevc)).unwrap();
+        assert!(hevc.stats.cache_admitted);
+        let p = quality::sequence_psnr(&video.frames()[..60], hevc.frames.frames()).unwrap();
+        assert!(p.db() > 30.0, "transcoded output should stay faithful, got {p}");
+    }
+    // Re-open the store: the catalog and cached fragments survive restart.
+    let vss = Vss::open(VssConfig::new(&root)).unwrap();
+    assert_eq!(vss.video_names(), vec!["traffic".to_string()]);
+    let fragments = vss.with_engine(|engine| engine.materialized_fragment_count("traffic")).unwrap();
+    assert!(fragments > 0, "cached fragments persist across restart");
+    let again = vss.read(&ReadRequest::new("traffic", 0.5, 1.5, Codec::Hevc).uncacheable()).unwrap();
+    assert_eq!(again.frames.len(), 30);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn budget_pressure_evicts_but_always_preserves_readability() {
+    let root = scratch("eviction");
+    let video = traffic_video(90);
+    let vss = Vss::open(VssConfig::new(&root)).unwrap();
+    vss.create("traffic", Some(StorageBudget::MultipleOfOriginal(2.0))).unwrap();
+    vss.write(&WriteRequest::new("traffic", Codec::H264), &video).unwrap();
+    let duration = video.duration_seconds();
+    let workload =
+        QueryWorkload::cache_population("traffic", duration, Resolution::new(128, 72), 7);
+    for request in workload.generate(20) {
+        let _ = vss.read(&request);
+    }
+    let budget = vss.budget_bytes("traffic").unwrap().unwrap();
+    assert!(
+        vss.bytes_used("traffic").unwrap() <= budget,
+        "eviction keeps the store within its budget"
+    );
+    // Whatever was evicted, the full video can still be read at full quality.
+    let full = vss.read(&ReadRequest::new("traffic", 0.0, duration, Codec::H264).uncacheable()).unwrap();
+    assert_eq!(full.frames.len(), video.len());
+    let p = quality::sequence_psnr(video.frames(), full.frames.frames()).unwrap();
+    assert!(p.db() > 30.0, "original quality is always reproducible, got {p}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn lru_vss_keeps_more_useful_fragments_than_plain_lru() {
+    let video = traffic_video(90);
+    let duration = video.duration_seconds();
+    let run = |policy: EvictionPolicy, tag: &str| {
+        let root = scratch(tag);
+        let vss = Vss::open(VssConfig::new(&root)).unwrap();
+        vss.create("traffic", Some(StorageBudget::MultipleOfOriginal(2.5))).unwrap();
+        vss.write(&WriteRequest::new("traffic", Codec::H264), &video).unwrap();
+        vss.with_engine(|engine| engine.config.eviction_policy = policy);
+        let workload =
+            QueryWorkload::cache_population("traffic", duration, Resolution::new(128, 72), 5);
+        for request in workload.generate(15) {
+            let _ = vss.read(&request);
+        }
+        // Count how fragmented the surviving cached entries are.
+        let runs = vss.with_engine(|engine| engine.fragment_run_count("traffic").unwrap());
+        let _ = std::fs::remove_dir_all(root);
+        runs
+    };
+    let vss_runs = run(EvictionPolicy::default(), "lruvss");
+    let lru_runs = run(EvictionPolicy::Lru, "plainlru");
+    // LRU_VSS's position term avoids shattering physical videos into more
+    // contiguous runs than plain LRU does.
+    assert!(
+        vss_runs <= lru_runs,
+        "LRU_VSS should leave the cache no more fragmented than LRU ({vss_runs} vs {lru_runs})"
+    );
+}
+
+#[test]
+fn joint_compression_end_to_end_on_table1_style_pair() {
+    let spec = DatasetSpec::by_name("visualroad-1k-50").unwrap();
+    let dataset = spec.generate(8, 4);
+    let left = dataset.primary().clone();
+    let right = dataset.secondary().unwrap().clone();
+    let config = JointConfig {
+        min_correspondences: 6,
+        quality_threshold: PsnrDb(26.0),
+        recovery_threshold: PsnrDb(22.0),
+        ..JointConfig::default()
+    };
+    let mut timings = vss::core::JointTimings::default();
+    let outcome = joint_compress_sequences(
+        &left,
+        &right,
+        MergeFunction::Mean,
+        &config,
+        &EncoderConfig::default(),
+        None,
+        &mut timings,
+    )
+    .unwrap();
+    let JointOutcome::Compressed(artifact) = outcome else {
+        panic!("expected joint compression to succeed, got {outcome:?}");
+    };
+    let (recovered_left, recovered_right) = recover_sequences(&artifact).unwrap();
+    assert_eq!(recovered_left.len(), left.len());
+    assert!(quality::sequence_psnr(left.frames(), recovered_left.frames()).unwrap().db() > 24.0);
+    assert!(quality::sequence_psnr(right.frames(), recovered_right.frames()).unwrap().db() > 20.0);
+}
+
+#[test]
+fn baselines_and_vss_agree_on_content() {
+    let video = traffic_video(60);
+    let duration = video.duration_seconds();
+
+    let vss_root = scratch("agree-vss");
+    let mut vss_store = VssStore::new(Vss::open(VssConfig::new(&vss_root)).unwrap());
+    vss_store.write_video("v", Codec::H264, &video).unwrap();
+    let vss_frames = vss_store.read_video("v", 0.0, duration, None, Codec::H264).unwrap().frames;
+
+    let fs_root = scratch("agree-fs");
+    let mut fs_store = LocalFs::new(&fs_root).unwrap();
+    fs_store.write_video("v", Codec::H264, &video).unwrap();
+    let fs_frames = fs_store.read_video("v", 0.0, duration, None, Codec::H264).unwrap().frames;
+
+    let vstore_root = scratch("agree-vstore");
+    let mut vstore = VStoreLike::new(&vstore_root, vec![Codec::H264]).unwrap();
+    vstore.write_video("v", Codec::H264, &video).unwrap();
+    let vstore_frames = vstore.read_video("v", 0.0, duration, None, Codec::H264).unwrap().frames;
+
+    assert_eq!(vss_frames.len(), video.len());
+    assert_eq!(fs_frames.len(), video.len());
+    assert_eq!(vstore_frames.len(), video.len());
+    // All three stores decode to (near) identical content.
+    let a = quality::sequence_psnr(fs_frames.frames(), vss_frames.frames()).unwrap();
+    let b = quality::sequence_psnr(fs_frames.frames(), vstore_frames.frames()).unwrap();
+    assert!(a.db() > 35.0, "vss vs local-fs differ: {a}");
+    assert!(b.db() > 35.0, "vstore vs local-fs differ: {b}");
+    for root in [vss_root, fs_root, vstore_root] {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+#[test]
+fn streaming_ingest_supports_concurrent_prefix_reads() {
+    let root = scratch("streaming");
+    let vss = Vss::open(VssConfig::new(&root)).unwrap();
+    let video = traffic_video(30);
+    vss.write(&WriteRequest::new("live", Codec::H264), &video).unwrap();
+    let writer = vss.clone();
+    let appender = std::thread::spawn(move || {
+        for _ in 0..3 {
+            writer.append("live", &traffic_video(30)).unwrap();
+        }
+    });
+    // Readers make progress on whatever prefix exists while writes continue.
+    let mut successes = 0;
+    for _ in 0..10 {
+        if vss.read(&ReadRequest::new("live", 0.0, 1.0, Codec::H264).uncacheable()).is_ok() {
+            successes += 1;
+        }
+    }
+    appender.join().unwrap();
+    assert!(successes > 0);
+    // After the appends, four seconds of video are readable.
+    let full = vss.read(&ReadRequest::new("live", 0.0, 4.0, Codec::H264).uncacheable()).unwrap();
+    assert_eq!(full.frames.len(), 120);
+    let _ = std::fs::remove_dir_all(root);
+}
