@@ -235,8 +235,11 @@ pub struct VStoreLike {
     root: PathBuf,
     encoder: EncoderConfig,
     staged_formats: Vec<Codec>,
-    videos: BTreeMap<String, BTreeMap<String, (f64, Vec<EncodedGop>, PathBuf)>>,
+    videos: BTreeMap<String, BTreeMap<String, StagedVideo>>,
 }
+
+/// One staged representation: frame rate, encoded GOPs and backing path.
+type StagedVideo = (f64, Vec<EncodedGop>, PathBuf);
 
 impl VStoreLike {
     /// Creates a store that will stage the given formats for every written

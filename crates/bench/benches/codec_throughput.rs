@@ -3,7 +3,9 @@
 //! read/write throughput figures (14, 15, 18, 20).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use vss_codec::{codec_instance, Codec, EncoderConfig};
+use vss_codec::{
+    codec_instance, decode_gops_parallel, encode_to_gops_parallel, Codec, EncoderConfig,
+};
 use vss_frame::{pattern, FrameSequence, PixelFormat};
 
 fn sequence(frames: usize, width: u32, height: u32) -> FrameSequence {
@@ -42,5 +44,49 @@ fn codec_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, codec_benches);
+/// Scaling of the parallel GOP pipeline: the same multi-GOP encode and
+/// decode at 1, 2 and 4 worker threads. The 1-thread rows are the sequential
+/// baseline the ≥2x-at-4-threads acceptance target compares against; actual
+/// speed-up is bounded by the machine's core count.
+fn parallel_scaling_benches(c: &mut Criterion) {
+    // 32 frames at gop_size 4 → 8 independent GOPs to spread over workers.
+    let seq = sequence(32, 160, 96);
+    let pixels = 160 * 96 * seq.len() as u64;
+    let config = EncoderConfig { quality: 85, gop_size: 4 };
+
+    let mut group = c.benchmark_group("encode_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pixels));
+    for codec in [Codec::H264, Codec::Hevc] {
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| encode_to_gops_parallel(&seq, codec, &config, threads).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decode_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pixels));
+    for codec in [Codec::H264, Codec::Hevc] {
+        let gops = encode_to_gops_parallel(&seq, codec, &config, 1).unwrap();
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| decode_gops_parallel(&gops, codec, threads).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches, parallel_scaling_benches);
 criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the spatial resampling kernels — the innermost loops
+//! of every read that changes resolution. Covers up- and downscaling at two
+//! source resolutions for both packed RGB and planar YUV layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vss_frame::{pattern, resize_bilinear, PixelFormat, Resolution};
+
+fn resample_benches(c: &mut Criterion) {
+    let cases = [
+        ("360p_down2x", Resolution::new(640, 360), Resolution::new(320, 180)),
+        ("360p_up2x", Resolution::new(640, 360), Resolution::new(1280, 720)),
+        ("1080p_down2x", Resolution::new(1920, 1080), Resolution::new(960, 540)),
+        ("1080p_up1.5x", Resolution::new(1920, 1080), Resolution::new(2880, 1620)),
+    ];
+    for format in [PixelFormat::Rgb8, PixelFormat::Yuv420] {
+        let mut group = c.benchmark_group(format!("resize_bilinear/{format}"));
+        group.sample_size(10);
+        for (label, src, dst) in cases {
+            let frame = pattern::gradient(src.width, src.height, format, 0);
+            group.throughput(Throughput::Elements(
+                u64::from(dst.width) * u64::from(dst.height),
+            ));
+            group.bench_with_input(BenchmarkId::from_parameter(label), &frame, |b, frame| {
+                b.iter(|| resize_bilinear(frame, dst.width, dst.height).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, resample_benches);
+criterion_main!(benches);

@@ -4,13 +4,19 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p vss-bench --release --bin harness -- <experiment|all>
+//! cargo run -p vss-bench --release --bin harness -- [--baseline <dir>] <experiment|all>
 //! ```
 //!
 //! where `<experiment>` is one of `table1`, `fig10` … `fig21`, `table2`.
 //! Results are printed as text tables and written to `results/<id>.json`.
 //! Experiment sizes are controlled by the `VSS_SCALE`, `VSS_MAX_FRAMES` and
 //! `VSS_ITERATIONS` environment variables (see `vss_bench::ScaleConfig`).
+//!
+//! `--baseline <dir>` diffs every report against a prior `results/`
+//! directory (e.g. one checked out from the previous release): comparable
+//! metrics that got ≥10% worse are flagged as warnings, ≥25% worse as severe
+//! regressions, and any severe regression makes the harness exit non-zero —
+//! the guard rail every performance PR runs before and after its change.
 
 use std::time::Instant;
 use vss_baseline::{LocalFs, VStoreLike, VideoStore, VssStore};
@@ -27,9 +33,28 @@ use vss_workload::{
     QueryWorkload, SceneConfig, SceneRenderer,
 };
 
+/// Thresholds for the `--baseline` comparison mode: flag ≥10% regressions,
+/// fail the run on ≥25% regressions.
+const BASELINE_WARN_FRACTION: f64 = 0.10;
+const BASELINE_SEVERE_FRACTION: f64 = 0.25;
+
 fn main() {
     let scale = ScaleConfig::from_env();
-    let argument = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut baseline_dir: Option<std::path::PathBuf> = None;
+    let mut argument = "all".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(dir) => baseline_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--baseline requires a directory of prior results/*.json");
+                    std::process::exit(2);
+                }
+            },
+            other => argument = other.to_string(),
+        }
+    }
     let experiments: Vec<&str> = if argument == "all" {
         vec![
             "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
@@ -38,6 +63,7 @@ fn main() {
     } else {
         vec![Box::leak(argument.clone().into_boxed_str())]
     };
+    let mut severe_regressions = 0usize;
     for experiment in experiments {
         let started = Instant::now();
         let report = match experiment {
@@ -62,11 +88,58 @@ fn main() {
         };
         println!("{}", report.to_table());
         println!("(completed in {:.1}s)\n", started.elapsed().as_secs_f64());
+        // Compare before writing: if the baseline directory is the output
+        // directory (`--baseline results`), the diff must run against the
+        // *previous* run's file, not the one this run is about to write.
+        if let Some(dir) = &baseline_dir {
+            severe_regressions += compare_against_baseline(dir, &report);
+        }
         match report.write_json("results") {
             Ok(path) => println!("wrote {}\n", path.display()),
             Err(error) => eprintln!("failed to write results: {error}\n"),
         }
     }
+    if severe_regressions > 0 {
+        eprintln!("{severe_regressions} severe regression(s) against the baseline");
+        std::process::exit(1);
+    }
+}
+
+/// Diffs one report against `<baseline_dir>/<experiment>.json`, printing the
+/// comparison. Returns the number of severe regressions found (a missing or
+/// unreadable baseline file is reported but not counted — new experiments
+/// have no baseline yet).
+fn compare_against_baseline(baseline_dir: &std::path::Path, report: &Report) -> usize {
+    let path = baseline_dir.join(format!("{}.json", report.experiment));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("no baseline for {} ({}: {error})\n", report.experiment, path.display());
+            return 0;
+        }
+    };
+    let baseline = match Report::from_json(&text) {
+        Ok(baseline) => baseline,
+        Err(error) => {
+            eprintln!("unreadable baseline {}: {error}\n", path.display());
+            return 0;
+        }
+    };
+    let comparison = vss_bench::compare_to_baseline(
+        &baseline,
+        report,
+        BASELINE_WARN_FRACTION,
+        BASELINE_SEVERE_FRACTION,
+    );
+    println!("{}", comparison.to_table(&report.experiment));
+    if !comparison.warnings.is_empty() {
+        println!(
+            "{} warning(s), {} severe regression(s)\n",
+            comparison.warnings.len() - comparison.severe.len(),
+            comparison.severe.len()
+        );
+    }
+    comparison.severe.len()
 }
 
 // ---------------------------------------------------------------------------
@@ -304,7 +377,8 @@ fn fig12(scale: &ScaleConfig) -> Report {
     let duration = dataset.primary().duration_seconds();
     let resolution = spec.scaled_resolution(scale.resolution_divisor * 2);
 
-    let configurations: Vec<(&str, Box<dyn Fn(&mut vss_core::Engine)>)> = vec![
+    type EngineTweak = Box<dyn Fn(&mut vss_core::Engine)>;
+    let configurations: Vec<(&str, EngineTweak)> = vec![
         ("vss_all_optimizations", Box::new(|_: &mut vss_core::Engine| {})),
         ("vss_no_deferred", Box::new(|engine: &mut vss_core::Engine| {
             engine.config.deferred_compression = false;

@@ -300,7 +300,7 @@ impl Catalog {
         let record = self.video(video)?;
         let physical =
             record.physical_by_id(physical_id).ok_or(CatalogError::PhysicalNotFound(physical_id))?;
-        if !physical.gops.iter().any(|g| g.index == index) {
+        if physical.gop_by_index(index).is_none() {
             return Err(CatalogError::GopNotFound { physical: physical_id, index });
         }
         Ok(fs::read(self.gop_path(video, physical, index))?)
@@ -324,9 +324,7 @@ impl Catalog {
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
         let dir_name = physical.directory_name();
         let gop = physical
-            .gops
-            .iter_mut()
-            .find(|g| g.index == index)
+            .gop_by_index_mut(index)
             .ok_or(CatalogError::GopNotFound { physical: physical_id, index })?;
         fs::write(root.join(&video_name).join(dir_name).join(format!("{index}.gop")), data)?;
         gop.byte_len = data.len() as u64;
@@ -347,7 +345,7 @@ impl Catalog {
         let physical = record
             .physical_by_id_mut(physical_id)
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
-        let Some(pos) = physical.gops.iter().position(|g| g.index == index) else {
+        let Some(pos) = physical.gop_position(index) else {
             return Err(CatalogError::GopNotFound { physical: physical_id, index });
         };
         let dir_name = physical.directory_name();
@@ -372,9 +370,7 @@ impl Catalog {
             .physical_by_id_mut(physical_id)
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
         let gop = physical
-            .gops
-            .iter_mut()
-            .find(|g| g.index == index)
+            .gop_by_index_mut(index)
             .ok_or(CatalogError::GopNotFound { physical: physical_id, index })?;
         gop.last_access = clock;
         Ok(())

@@ -109,6 +109,36 @@ impl PhysicalVideoRecord {
     pub fn gops_overlapping(&self, start: f64, end: f64) -> Vec<&GopRecord> {
         self.gops.iter().filter(|g| g.overlaps(start, end)).collect()
     }
+
+    /// Looks up a GOP by its index in `O(log n)`.
+    ///
+    /// GOP indices are assigned monotonically on append and evictions only
+    /// remove entries, so `gops` is always sorted by index — a binary search
+    /// replaces the linear scans the read/eviction paths used to perform per
+    /// lookup (which made them quadratic over a physical video's GOPs).
+    pub fn gop_by_index(&self, index: u64) -> Option<&GopRecord> {
+        let position = self.gops.binary_search_by_key(&index, |g| g.index).ok()?;
+        Some(&self.gops[position])
+    }
+
+    /// Mutable variant of [`gop_by_index`](Self::gop_by_index).
+    pub fn gop_by_index_mut(&mut self, index: u64) -> Option<&mut GopRecord> {
+        let position = self.gops.binary_search_by_key(&index, |g| g.index).ok()?;
+        Some(&mut self.gops[position])
+    }
+
+    /// Position of a GOP in the `gops` vector by its index.
+    pub fn gop_position(&self, index: u64) -> Option<usize> {
+        self.gops.binary_search_by_key(&index, |g| g.index).ok()
+    }
+
+    /// A precomputed index → GOP map for call sites that perform many
+    /// lookups against a snapshot of this record (e.g. executing one read
+    /// plan). Borrows the records, so it costs one `O(n)` pass up front and
+    /// nothing per hit.
+    pub fn gop_index_map(&self) -> std::collections::HashMap<u64, &GopRecord> {
+        self.gops.iter().map(|g| (g.index, g)).collect()
+    }
 }
 
 /// Metadata for one logical video.
@@ -201,6 +231,23 @@ mod tests {
         assert_eq!(p.directory_name(), "1920x1080r30.hevc.7");
         assert_eq!(p.gops_overlapping(0.5, 1.5).len(), 2);
         assert_eq!(p.gops_overlapping(5.0, 6.0).len(), 0);
+    }
+
+    #[test]
+    fn gop_lookup_is_consistent_with_linear_scan() {
+        let mut p = physical(1, true);
+        // Evict the middle GOP; the remaining indices stay sorted.
+        p.gops.remove(1);
+        for index in 0..4u64 {
+            let scanned = p.gops.iter().find(|g| g.index == index);
+            assert_eq!(p.gop_by_index(index).map(|g| g.index), scanned.map(|g| g.index));
+            assert_eq!(p.gop_position(index).is_some(), scanned.is_some());
+        }
+        let map = p.gop_index_map();
+        assert_eq!(map.len(), p.gops.len());
+        assert!(map.contains_key(&0) && map.contains_key(&2) && !map.contains_key(&1));
+        p.gop_by_index_mut(2).unwrap().byte_len = 7;
+        assert_eq!(p.gop_by_index(2).unwrap().byte_len, 7);
     }
 
     #[test]

@@ -134,6 +134,23 @@ pub trait VideoCodec: Send + Sync {
     /// Encodes a frame sequence into a single GOP.
     fn encode(&self, frames: &FrameSequence, config: &EncoderConfig) -> Result<EncodedGop, CodecError>;
 
+    /// Encodes a borrowed frame slice into a single GOP without building an
+    /// intermediate [`FrameSequence`].
+    ///
+    /// This is the zero-copy entry point the GOP pipeline uses when chunking
+    /// a long sequence: the default implementation clones the slice into a
+    /// sequence, but the codecs in this crate override it to encode straight
+    /// from the borrowed frames.
+    fn encode_slice(
+        &self,
+        frames: &[vss_frame::Frame],
+        frame_rate: f64,
+        config: &EncoderConfig,
+    ) -> Result<EncodedGop, CodecError> {
+        let sequence = FrameSequence::new(frames.to_vec(), frame_rate)?;
+        self.encode(&sequence, config)
+    }
+
     /// Decodes every frame of a GOP.
     fn decode(&self, gop: &EncodedGop) -> Result<FrameSequence, CodecError> {
         self.decode_prefix(gop, gop.frame_count())

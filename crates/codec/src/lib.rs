@@ -35,4 +35,7 @@ pub use costmodel::{lookback_cost, CostModel, CostSample, ETA_DEPENDENT_FRAME};
 pub use error::CodecError;
 pub use gop::{EncodedGop, FrameInfo};
 pub use quality_est::QualityEstimator;
-pub use video::{codec_instance, encode_to_gops, RawCodec, SimH264, SimHevc};
+pub use video::{
+    codec_instance, decode_gops_parallel, encode_to_gops, encode_to_gops_parallel, RawCodec,
+    SimH264, SimHevc,
+};

@@ -92,7 +92,7 @@ impl QualityEstimator {
         let mut nearest: Option<(usize, f64)> = None;
         for (i, p) in curve.iter().enumerate() {
             let d = (p.bits_per_pixel.max(1e-6).ln() - bpp.ln()).abs();
-            if nearest.map_or(true, |(_, best)| d < best) {
+            if nearest.is_none_or(|(_, best)| d < best) {
                 nearest = Some((i, d));
             }
         }

@@ -48,28 +48,50 @@ pub fn codec_instance(codec: Codec) -> Box<dyn VideoCodec> {
 }
 
 /// Splits a frame sequence into GOPs of at most `config.gop_size` frames and
-/// encodes each independently. This is the entry point the storage manager
-/// uses when ingesting or caching video.
+/// encodes each independently on the calling thread. This is the entry point
+/// the storage manager uses when ingesting or caching video.
 pub fn encode_to_gops(
     frames: &FrameSequence,
     codec: Codec,
     config: &EncoderConfig,
 ) -> Result<Vec<EncodedGop>, CodecError> {
+    encode_to_gops_parallel(frames, codec, config, 1)
+}
+
+/// Parallel variant of [`encode_to_gops`]: GOPs are fully independent (the
+/// first frame of each is intra-coded), so each one is encoded on a worker
+/// thread and the results are collected in input order. The output is
+/// bit-identical to the sequential path for any `threads` value; `threads =
+/// 0` uses every available core and `threads = 1` runs on the calling
+/// thread without spawning.
+pub fn encode_to_gops_parallel(
+    frames: &FrameSequence,
+    codec: Codec,
+    config: &EncoderConfig,
+    threads: usize,
+) -> Result<Vec<EncodedGop>, CodecError> {
     if frames.is_empty() {
         return Err(CodecError::EmptyInput);
     }
     let implementation = codec_instance(codec);
-    let gop_size = config.gop_size.max(1);
-    let mut gops = Vec::new();
     let all = frames.frames();
-    let mut start = 0;
-    while start < all.len() {
-        let end = (start + gop_size).min(all.len());
-        let chunk = FrameSequence::new(all[start..end].to_vec(), frames.frame_rate())?;
-        gops.push(implementation.encode(&chunk, config)?);
-        start = end;
-    }
-    Ok(gops)
+    let frame_rate = frames.frame_rate();
+    let ranges = vss_parallel::chunk_ranges(all.len(), config.gop_size.max(1));
+    vss_parallel::try_par_map(threads, &ranges, |_, &(start, end)| {
+        implementation.encode_slice(&all[start..end], frame_rate, config)
+    })
+}
+
+/// Decodes a set of independently decodable GOPs on up to `threads` worker
+/// threads, returning each GOP's frames in input order. Like the encode
+/// path, the result is identical for any thread count.
+pub fn decode_gops_parallel(
+    gops: &[EncodedGop],
+    codec: Codec,
+    threads: usize,
+) -> Result<Vec<FrameSequence>, CodecError> {
+    let implementation = codec_instance(codec);
+    vss_parallel::try_par_map(threads, gops, |_, gop| implementation.decode(gop))
 }
 
 // --- plane geometry -------------------------------------------------------
@@ -242,22 +264,22 @@ fn decode_frame(
 }
 
 fn encode_lossy(
-    frames: &FrameSequence,
+    frames: &[Frame],
+    frame_rate: f64,
     config: &EncoderConfig,
     codec: Codec,
     advanced: bool,
 ) -> Result<EncodedGop, CodecError> {
-    if frames.is_empty() {
+    let Some(first) = frames.first() else {
         return Err(CodecError::EmptyInput);
-    }
-    let first = &frames.frames()[0];
+    };
     let (width, height) = (first.width(), first.height());
     PixelFormat::Yuv420.validate_resolution(width, height)?;
     let q = config.quantizer();
     let mut payload = Vec::new();
     let mut infos = Vec::with_capacity(frames.len());
     let mut prev_recon: Option<Vec<u8>> = None;
-    for (i, frame) in frames.frames().iter().enumerate() {
+    for (i, frame) in frames.iter().enumerate() {
         let yuv = frame.convert(PixelFormat::Yuv420)?;
         let start = payload.len();
         let is_intra = i == 0;
@@ -287,7 +309,7 @@ fn encode_lossy(
         infos.push(FrameInfo { is_intra, offset: start, len: payload.len() - start });
         prev_recon = Some(recon);
     }
-    Ok(EncodedGop::new(codec, width, height, frames.frame_rate(), q as u32, infos, payload))
+    Ok(EncodedGop::new(codec, width, height, frame_rate, q as u32, infos, payload))
 }
 
 fn decode_lossy(
@@ -340,7 +362,16 @@ impl VideoCodec for SimH264 {
     }
 
     fn encode(&self, frames: &FrameSequence, config: &EncoderConfig) -> Result<EncodedGop, CodecError> {
-        encode_lossy(frames, config, Codec::H264, false)
+        encode_lossy(frames.frames(), frames.frame_rate(), config, Codec::H264, false)
+    }
+
+    fn encode_slice(
+        &self,
+        frames: &[Frame],
+        frame_rate: f64,
+        config: &EncoderConfig,
+    ) -> Result<EncodedGop, CodecError> {
+        encode_lossy(frames, frame_rate, config, Codec::H264, false)
     }
 
     fn decode_prefix(&self, gop: &EncodedGop, count: usize) -> Result<FrameSequence, CodecError> {
@@ -354,12 +385,47 @@ impl VideoCodec for SimHevc {
     }
 
     fn encode(&self, frames: &FrameSequence, config: &EncoderConfig) -> Result<EncodedGop, CodecError> {
-        encode_lossy(frames, config, Codec::Hevc, true)
+        encode_lossy(frames.frames(), frames.frame_rate(), config, Codec::Hevc, true)
+    }
+
+    fn encode_slice(
+        &self,
+        frames: &[Frame],
+        frame_rate: f64,
+        config: &EncoderConfig,
+    ) -> Result<EncodedGop, CodecError> {
+        encode_lossy(frames, frame_rate, config, Codec::Hevc, true)
     }
 
     fn decode_prefix(&self, gop: &EncodedGop, count: usize) -> Result<FrameSequence, CodecError> {
         decode_lossy(gop, count, Codec::Hevc, true)
     }
+}
+
+/// Serializes a slice of frames into an uncompressed GOP.
+fn encode_raw(
+    format: PixelFormat,
+    frames: &[Frame],
+    frame_rate: f64,
+) -> Result<EncodedGop, CodecError> {
+    let Some(first) = frames.first() else {
+        return Err(CodecError::EmptyInput);
+    };
+    let (width, height) = (first.width(), first.height());
+    format.validate_resolution(width, height)?;
+    let mut payload = Vec::with_capacity(frames.len() * format.frame_bytes(width, height));
+    let mut infos = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let start = payload.len();
+        if frame.format() == format {
+            // Zero-conversion fast path: append the borrowed pixel buffer.
+            payload.extend_from_slice(frame.data());
+        } else {
+            payload.extend_from_slice(frame.convert(format)?.data());
+        }
+        infos.push(FrameInfo { is_intra: true, offset: start, len: payload.len() - start });
+    }
+    Ok(EncodedGop::new(Codec::Raw(format), width, height, frame_rate, 1, infos, payload))
 }
 
 impl VideoCodec for RawCodec {
@@ -368,29 +434,16 @@ impl VideoCodec for RawCodec {
     }
 
     fn encode(&self, frames: &FrameSequence, _config: &EncoderConfig) -> Result<EncodedGop, CodecError> {
-        if frames.is_empty() {
-            return Err(CodecError::EmptyInput);
-        }
-        let first = &frames.frames()[0];
-        let (width, height) = (first.width(), first.height());
-        self.0.validate_resolution(width, height)?;
-        let mut payload = Vec::new();
-        let mut infos = Vec::with_capacity(frames.len());
-        for frame in frames.frames() {
-            let converted = frame.convert(self.0)?;
-            let start = payload.len();
-            payload.extend_from_slice(converted.data());
-            infos.push(FrameInfo { is_intra: true, offset: start, len: payload.len() - start });
-        }
-        Ok(EncodedGop::new(
-            Codec::Raw(self.0),
-            width,
-            height,
-            frames.frame_rate(),
-            1,
-            infos,
-            payload,
-        ))
+        encode_raw(self.0, frames.frames(), frames.frame_rate())
+    }
+
+    fn encode_slice(
+        &self,
+        frames: &[Frame],
+        frame_rate: f64,
+        _config: &EncoderConfig,
+    ) -> Result<EncodedGop, CodecError> {
+        encode_raw(self.0, frames, frame_rate)
     }
 
     fn decode_prefix(&self, gop: &EncodedGop, count: usize) -> Result<FrameSequence, CodecError> {
@@ -547,6 +600,57 @@ mod tests {
         assert_eq!(all.len(), 10);
         let p = quality::sequence_psnr(seq.frames(), &all).unwrap();
         assert!(p.db() > 35.0);
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical_to_sequential() {
+        // The determinism contract of the parallel GOP pipeline: for every
+        // codec and any thread count, the encoded bytes match the
+        // single-threaded encode exactly, GOP for GOP.
+        let seq = coherent_sequence(23, 64, 48);
+        let cfg = EncoderConfig { quality: 80, gop_size: 5 };
+        for codec in [Codec::H264, Codec::Hevc, Codec::Raw(PixelFormat::Yuv420)] {
+            let sequential = encode_to_gops(&seq, codec, &cfg).unwrap();
+            for threads in [0usize, 2, 4] {
+                let parallel = encode_to_gops_parallel(&seq, codec, &cfg, threads).unwrap();
+                assert_eq!(parallel.len(), sequential.len());
+                for (a, b) in parallel.iter().zip(&sequential) {
+                    assert_eq!(
+                        a.to_bytes(),
+                        b.to_bytes(),
+                        "{codec} with {threads} threads diverged from sequential encode"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential_decode() {
+        let seq = coherent_sequence(16, 64, 48);
+        let cfg = EncoderConfig { quality: 85, gop_size: 4 };
+        for codec in [Codec::H264, Codec::Hevc] {
+            let gops = encode_to_gops(&seq, codec, &cfg).unwrap();
+            let sequential = decode_gops_parallel(&gops, codec, 1).unwrap();
+            let parallel = decode_gops_parallel(&gops, codec, 4).unwrap();
+            assert_eq!(sequential, parallel, "{codec} parallel decode diverged");
+            let total: usize = parallel.iter().map(FrameSequence::len).sum();
+            assert_eq!(total, seq.len());
+        }
+    }
+
+    #[test]
+    fn encode_slice_matches_sequence_encode() {
+        let seq = coherent_sequence(5, 32, 32);
+        for codec in [Codec::H264, Codec::Hevc, Codec::Raw(PixelFormat::Rgb8)] {
+            let implementation = codec_instance(codec);
+            let from_sequence =
+                implementation.encode(&seq, &EncoderConfig::default()).unwrap();
+            let from_slice = implementation
+                .encode_slice(seq.frames(), seq.frame_rate(), &EncoderConfig::default())
+                .unwrap();
+            assert_eq!(from_slice.to_bytes(), from_sequence.to_bytes(), "{codec}");
+        }
     }
 
     #[test]

@@ -23,8 +23,7 @@ impl Engine {
             return Ok(0);
         }
         let mut merges = 0usize;
-        loop {
-            let Some((target, source)) = self.find_compaction_pair(name)? else { break };
+        while let Some((target, source)) = self.find_compaction_pair(name)? {
             self.merge_physical(name, target, source)?;
             merges += 1;
         }
@@ -77,17 +76,27 @@ impl Engine {
             .physical_by_id(source)
             .ok_or_else(|| VssError::Unsatisfiable("compaction source vanished".into()))?
             .clone();
-        for gop in &source_record.gops {
-            let bytes = self.catalog.read_gop(name, source, gop.index)?;
-            self.catalog.append_gop(
-                name,
-                target,
-                gop.start_time,
-                gop.end_time,
-                gop.frame_count,
-                &bytes,
-                gop.lossless_level,
-            )?;
+        // Read source GOP files in parallel one window at a time (appends
+        // stay in temporal order). The window bounds peak memory to
+        // `threads` pages rather than materializing the whole video.
+        let window = vss_parallel::resolve_threads(self.config.parallelism);
+        for chunk in source_record.gops.chunks(window.max(1)) {
+            let catalog = &self.catalog;
+            let page_bytes =
+                vss_parallel::try_par_map(self.config.parallelism, chunk, |_, gop| {
+                    catalog.read_gop(name, source, gop.index)
+                })?;
+            for (gop, bytes) in chunk.iter().zip(&page_bytes) {
+                self.catalog.append_gop(
+                    name,
+                    target,
+                    gop.start_time,
+                    gop.end_time,
+                    gop.frame_count,
+                    bytes,
+                    gop.lossless_level,
+                )?;
+            }
         }
         let source_bound = source_record.mse_bound;
         let video = self.catalog.video_mut(name)?;

@@ -88,6 +88,14 @@ pub struct VssConfig {
     pub compaction_enabled: bool,
     /// Joint-compression parameters.
     pub joint: JointConfig,
+    /// Worker threads used by the parallel GOP pipeline (encode, decode,
+    /// per-frame normalization, deferred compression). `0` means "one worker
+    /// per available core"; `1` reproduces the historical single-threaded
+    /// execution bit-identically (no worker threads are spawned). Because
+    /// GOPs are independent and results are collected in input order, every
+    /// setting produces byte-identical output — the knob only changes wall
+    /// time.
+    pub parallelism: usize,
 }
 
 impl VssConfig {
@@ -107,6 +115,7 @@ impl VssConfig {
             deferred_activation_fraction: 0.25,
             compaction_enabled: true,
             joint: JointConfig::default(),
+            parallelism: 0,
         }
     }
 
@@ -139,6 +148,13 @@ impl VssConfig {
         self.gop_size = frames.max(1);
         self
     }
+
+    /// Overrides the parallel GOP pipeline's worker-thread count
+    /// (`0` = one worker per available core, `1` = fully sequential).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +171,7 @@ mod tests {
         assert_eq!(c.joint.max_feature_distance_sq, 400.0);
         assert_eq!(c.joint.duplicate_epsilon, 0.1);
         assert!(matches!(c.default_budget, StorageBudget::MultipleOfOriginal(m) if m == 10.0));
+        assert_eq!(c.parallelism, 0, "default uses every available core");
     }
 
     #[test]
@@ -164,11 +181,13 @@ mod tests {
             .with_plain_lru()
             .without_deferred_compression()
             .with_gop_size(0)
-            .with_default_budget(StorageBudget::Bytes(123));
+            .with_default_budget(StorageBudget::Bytes(123))
+            .with_parallelism(2);
         assert!(!c.caching_enabled);
         assert!(!c.deferred_compression);
         assert_eq!(c.eviction_policy, EvictionPolicy::Lru);
         assert_eq!(c.gop_size, 1);
         assert_eq!(c.default_budget, StorageBudget::Bytes(123));
+        assert_eq!(c.parallelism, 2);
     }
 }

@@ -22,35 +22,80 @@ impl Engine {
     /// uncompressed GOP page least likely to be evicted. Returns `true` if a
     /// page was compressed.
     pub fn deferred_compression_step(&mut self, name: &str) -> Result<bool, VssError> {
-        if !self.config.deferred_compression {
-            return Ok(false);
-        }
-        let Some(fraction) = self.budget_fraction(name)? else { return Ok(false) };
-        if fraction < self.config.deferred_activation_fraction {
-            return Ok(false);
-        }
-        let Some((physical_id, gop_index)) = self.least_evictable_uncompressed(name)? else {
-            return Ok(false);
-        };
-        let level = deferred_level_for_fraction(fraction, self.config.deferred_activation_fraction);
-        let raw = self.catalog.read_gop(name, physical_id, gop_index)?;
-        let compressed = lossless::compress(&raw, level);
-        if compressed.len() < raw.len() {
-            self.catalog.rewrite_gop(name, physical_id, gop_index, &compressed, Some(level))?;
-            Ok(true)
-        } else {
-            // Incompressible page: leave it alone (and do not claim progress).
-            Ok(false)
-        }
+        Ok(self.deferred_compression_sweep(name, 1)? > 0)
     }
 
-    /// The uncompressed (raw-codec, not yet losslessly compressed) GOP page
-    /// with the *highest* eviction sequence number — i.e. the entry VSS
-    /// expects to keep the longest, making it the most valuable to shrink.
+    /// Runs a batched deferred-compression sweep: picks up to `max_pages`
+    /// uncompressed pages (least-evictable first), compresses them on the
+    /// parallel GOP pipeline, and rewrites the ones that shrank. Returns the
+    /// number of pages rewritten.
+    ///
+    /// Page selection matches repeated single-page steps, and the activation
+    /// threshold is re-checked before every rewrite, so the sweep stops
+    /// shrinking pages at the same point a single-step loop would. The
+    /// compression *level* is computed once from the batch-start budget
+    /// fraction, so within one batch later pages may be compressed slightly
+    /// harder than a fully sequential loop (whose fraction decays page by
+    /// page) would have chosen — a deliberate trade for parallel
+    /// compression; levels only affect size, never decodability.
+    pub fn deferred_compression_sweep(
+        &mut self,
+        name: &str,
+        max_pages: usize,
+    ) -> Result<usize, VssError> {
+        if !self.config.deferred_compression || max_pages == 0 {
+            return Ok(0);
+        }
+        let Some(fraction) = self.budget_fraction(name)? else { return Ok(0) };
+        if fraction < self.config.deferred_activation_fraction {
+            return Ok(0);
+        }
+        let pages = self.least_evictable_uncompressed(name, max_pages)?;
+        if pages.is_empty() {
+            return Ok(0);
+        }
+        let level = deferred_level_for_fraction(fraction, self.config.deferred_activation_fraction);
+        // Sequential I/O, parallel CPU-bound compression.
+        let mut raw_pages = Vec::with_capacity(pages.len());
+        for &(physical_id, gop_index) in &pages {
+            raw_pages.push(self.catalog.read_gop(name, physical_id, gop_index)?);
+        }
+        let compressed = vss_parallel::par_map(self.config.parallelism, &raw_pages, |_, raw| {
+            lossless::compress(raw, level)
+        });
+        let mut rewritten = 0usize;
+        for ((&(physical_id, gop_index), raw), compressed) in
+            pages.iter().zip(&raw_pages).zip(&compressed)
+        {
+            // Earlier rewrites shrink the store; once consumption falls back
+            // below the activation threshold, stop — exactly where a
+            // sequential single-page loop would have stopped.
+            if rewritten > 0 {
+                let still_active = self
+                    .budget_fraction(name)?
+                    .is_some_and(|fraction| fraction >= self.config.deferred_activation_fraction);
+                if !still_active {
+                    break;
+                }
+            }
+            // Incompressible pages are left alone (and claim no progress).
+            if compressed.len() < raw.len() {
+                self.catalog.rewrite_gop(name, physical_id, gop_index, compressed, Some(level))?;
+                rewritten += 1;
+            }
+        }
+        Ok(rewritten)
+    }
+
+    /// Up to `limit` uncompressed (raw-codec, not yet losslessly compressed)
+    /// GOP pages with the *highest* eviction sequence numbers — i.e. the
+    /// entries VSS expects to keep the longest, making them the most
+    /// valuable to shrink.
     fn least_evictable_uncompressed(
         &self,
         name: &str,
-    ) -> Result<Option<(PhysicalVideoId, u64)>, VssError> {
+        limit: usize,
+    ) -> Result<Vec<(PhysicalVideoId, u64)>, VssError> {
         let video = self.catalog.video(name)?;
         let order = eviction_order(
             video,
@@ -65,33 +110,46 @@ impl Engine {
                 .map(|c| !c.is_compressed())
                 .unwrap_or(false)
         };
-        // `eviction_order` excludes protected pages; also consider protected
-        // raw pages (e.g. a raw original) by scanning records directly when
-        // nothing in the eviction order qualifies.
-        let from_order = order
+        let mut pages: Vec<(PhysicalVideoId, u64)> = order
             .iter()
             .rev()
-            .find(|c| {
+            .filter(|c| {
                 is_raw(c.physical_id)
                     && video
                         .physical_by_id(c.physical_id)
-                        .and_then(|p| p.gops.iter().find(|g| g.index == c.gop_index))
+                        .and_then(|p| p.gop_by_index(c.gop_index))
                         .map(|g| g.lossless_level.is_none())
                         .unwrap_or(false)
             })
-            .map(|c| (c.physical_id, c.gop_index));
-        if from_order.is_some() {
-            return Ok(from_order);
+            .map(|c| (c.physical_id, c.gop_index))
+            .take(limit)
+            .collect();
+        if !pages.is_empty() {
+            return Ok(pages);
         }
+        // `eviction_order` excludes protected pages; also consider protected
+        // raw pages (e.g. a raw original) by scanning records directly when
+        // nothing in the eviction order qualifies.
         for physical in &video.physical {
             if physical.codec().map(|c| c.is_compressed()).unwrap_or(true) {
                 continue;
             }
-            if let Some(gop) = physical.gops.iter().rev().find(|g| g.lossless_level.is_none()) {
-                return Ok(Some((physical.id, gop.index)));
+            for gop in physical.gops.iter().rev() {
+                if gop.lossless_level.is_none() {
+                    pages.push((physical.id, gop.index));
+                    if pages.len() == limit {
+                        return Ok(pages);
+                    }
+                }
+            }
+            if !pages.is_empty() {
+                // Stay within one physical video per sweep, mirroring the
+                // single-page step's behaviour of working through one
+                // representation at a time.
+                break;
             }
         }
-        Ok(None)
+        Ok(pages)
     }
 
     /// Runs one unit of background maintenance across all videos: a deferred
@@ -102,8 +160,13 @@ impl Engine {
     pub fn background_maintenance(&mut self) -> Result<bool, VssError> {
         let names = self.video_names();
         let mut worked = false;
+        // One batch of pages per maintenance tick keeps every worker busy
+        // without starving compaction.
+        let batch = vss_parallel::resolve_threads(self.config.parallelism);
         for name in &names {
-            if self.config.deferred_compression && self.deferred_compression_step(name)? {
+            if self.config.deferred_compression
+                && self.deferred_compression_sweep(name, batch)? > 0
+            {
                 worked = true;
                 continue;
             }
@@ -171,6 +234,33 @@ mod tests {
         engine.catalog.video_mut("v").unwrap().storage_budget_bytes =
             Some(engine.bytes_used("v").unwrap() * 100);
         assert!(!engine.deferred_compression_step("v").unwrap());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sweep_compresses_multiple_pages_in_one_call() {
+        let (mut engine, root) = temp_engine("deferred-sweep");
+        engine.config.deferred_compression = false;
+        engine.create_video("v", Some(StorageBudget::Bytes(2_000_000))).unwrap();
+        engine.write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &raw_sequence(12)).unwrap();
+        engine.config.deferred_compression = true;
+        engine.catalog.video_mut("v").unwrap().storage_budget_bytes =
+            Some(engine.bytes_used("v").unwrap() * 2);
+        let compressed_pages = |engine: &crate::engine::Engine| {
+            engine.catalog.video("v").unwrap().physical[0]
+                .gops
+                .iter()
+                .filter(|g| g.lossless_level.is_some())
+                .count()
+        };
+        assert_eq!(engine.deferred_compression_sweep("v", 3).unwrap(), 3);
+        assert_eq!(compressed_pages(&engine), 3);
+        // A zero-page sweep is a no-op; an oversized request stops at the
+        // available pages.
+        assert_eq!(engine.deferred_compression_sweep("v", 0).unwrap(), 0);
+        let remaining = engine.deferred_compression_sweep("v", 100).unwrap();
+        assert!(remaining >= 1);
+        assert_eq!(compressed_pages(&engine), 3 + remaining);
         let _ = std::fs::remove_dir_all(root);
     }
 

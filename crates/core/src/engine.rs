@@ -171,9 +171,7 @@ impl Engine {
             .physical_by_id(physical_id)
             .ok_or_else(|| VssError::VideoNotFound(video.to_string()))?;
         let gop_record = physical
-            .gops
-            .iter()
-            .find(|g| g.index == index)
+            .gop_by_index(index)
             .ok_or_else(|| VssError::Unsatisfiable(format!("missing GOP {index}")))?;
         let container = if gop_record.lossless_level.is_some() {
             lossless::decompress(&bytes)?

@@ -72,14 +72,17 @@ pub fn build_candidates(
     for physical in &video.physical {
         let Some(codec) = physical.codec() else { continue };
         let quality_ok = quality_model.acceptable(physical, threshold);
+        // One map for all runs of this physical video: every run lookup
+        // below is O(1) instead of a linear scan over `physical.gops`.
+        let gop_map = physical.gop_index_map();
         for run in contiguous_runs(physical) {
-            let gop_frames =
-                run.gop_indices
-                    .iter()
-                    .filter_map(|&i| physical.gops.iter().find(|g| g.index == i))
-                    .map(|g| g.frame_count)
-                    .max()
-                    .unwrap_or(1);
+            let gop_frames = run
+                .gop_indices
+                .iter()
+                .filter_map(|&i| gop_map.get(&i))
+                .map(|g| g.frame_count)
+                .max()
+                .unwrap_or(1);
             let id = set.candidates.len() as u64;
             set.candidates.push(FragmentCandidate {
                 id,

@@ -180,8 +180,9 @@ pub fn partition_frames(
     let overlap_start = inverse.apply(0.0, f64::from(height) / 2.0)?.0.round();
     // Column of the right frame where the left frame's right edge lands.
     let right_start = homography.apply(f64::from(width), f64::from(height) / 2.0)?.0.round();
-    if !(0.0 < overlap_start && overlap_start < f64::from(width))
-        || !(0.0 < right_start && right_start <= f64::from(width))
+    if !(0.0 < overlap_start && overlap_start < f64::from(width)
+        && 0.0 < right_start
+        && right_start <= f64::from(width))
     {
         return None;
     }
@@ -214,6 +215,7 @@ pub fn partition_frames(
 }
 
 /// Recovers the left and right frames from partitioned regions.
+#[allow(clippy::too_many_arguments)]
 pub fn recover_frames(
     left_region: &Frame,
     overlap: &Frame,
@@ -581,12 +583,14 @@ mod tests {
     }
 
     fn default_setup() -> (JointConfig, EncoderConfig) {
-        let mut config = JointConfig::default();
         // The synthetic scenes are small; require fewer correspondences and
         // tolerate the warp's interpolation loss.
-        config.min_correspondences = 6;
-        config.quality_threshold = PsnrDb(26.0);
-        config.recovery_threshold = PsnrDb(22.0);
+        let config = JointConfig {
+            min_correspondences: 6,
+            quality_threshold: PsnrDb(26.0),
+            recovery_threshold: PsnrDb(22.0),
+            ..JointConfig::default()
+        };
         (config, EncoderConfig::with_quality(90))
     }
 

@@ -23,6 +23,19 @@
 //! * jointly compresses overlapping GOPs captured by physically proximate
 //!   cameras, recovering both views on read ([`joint`]).
 //!
+//! # Parallel GOP pipeline
+//!
+//! Every operation above decomposes into independent GOPs, and the engine
+//! exploits that: encodes, decodes, per-frame normalization (resize, format
+//! conversion, cropping) and deferred-compression sweeps all run on a pool
+//! of scoped worker threads sized by [`VssConfig::parallelism`] — `0`
+//! (the default) means one worker per available core, `1` reproduces fully
+//! sequential execution. Results are always collected in input order, so
+//! **every `parallelism` setting produces byte-identical stores and read
+//! results**; the knob only changes wall-clock time. Benchmarks live in
+//! `crates/bench/benches` (`codec_throughput`'s `encode_parallel` /
+//! `decode_parallel` groups measure the scaling).
+//!
 //! The main entry point is [`Vss`]. See the `examples/` directory of the
 //! workspace for end-to-end usage.
 

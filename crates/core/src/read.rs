@@ -22,7 +22,7 @@ use crate::quality::QualityModel;
 use crate::VssError;
 use std::time::Instant;
 use vss_catalog::PhysicalVideoRecord;
-use vss_codec::{codec_instance, encode_to_gops, Codec, EncodedGop, EncoderConfig};
+use vss_codec::{codec_instance, encode_to_gops_parallel, Codec, EncodedGop, EncoderConfig};
 use vss_frame::{
     convert_frame_rate, crop, resize_bilinear, Frame, FrameSequence, PixelFormat, Resolution,
 };
@@ -131,10 +131,11 @@ impl Engine {
             reused_any |= segment.reused_gops.is_some();
         }
         if let Some(region) = request.spatial.region {
-            let mut cropped = Vec::with_capacity(output.len());
-            for frame in output.frames() {
-                cropped.push(crop(frame, &region)?);
-            }
+            let cropped = vss_parallel::try_par_map(
+                self.config.parallelism,
+                output.frames(),
+                |_, frame| crop(frame, &region),
+            )?;
             output = FrameSequence::new(cropped, output.frame_rate())?;
         }
         let encoded = if request.physical.codec.is_compressed() {
@@ -148,7 +149,7 @@ impl Engine {
             // Segments already stored in the requested configuration are
             // emitted GOP-for-GOP without re-encoding (the cheap path the
             // materialized-view cache exists to enable); everything else is
-            // (re)encoded from the normalized frames.
+            // (re)encoded from the normalized frames, one GOP per worker.
             let mut gops = Vec::new();
             for segment in &execution.segments {
                 match (&segment.reused_gops, request.spatial.region) {
@@ -157,15 +158,21 @@ impl Engine {
                         if !segment.frames.is_empty() {
                             let cropped = match request.spatial.region {
                                 Some(region) => {
-                                    let mut frames = Vec::with_capacity(segment.frames.len());
-                                    for frame in segment.frames.frames() {
-                                        frames.push(crop(frame, &region)?);
-                                    }
+                                    let frames = vss_parallel::try_par_map(
+                                        self.config.parallelism,
+                                        segment.frames.frames(),
+                                        |_, frame| crop(frame, &region),
+                                    )?;
                                     FrameSequence::new(frames, segment.frames.frame_rate())?
                                 }
                                 None => segment.frames.clone(),
                             };
-                            gops.extend(encode_to_gops(&cropped, request.physical.codec, &config)?);
+                            gops.extend(encode_to_gops_parallel(
+                                &cropped,
+                                request.physical.codec,
+                                &config,
+                                self.config.parallelism,
+                            )?);
                         }
                     }
                 }
@@ -259,11 +266,14 @@ impl Engine {
                 && source_codec == request.physical.codec
                 && physical.resolution() == output_resolution
                 && (physical.frame_rate - output_fps).abs() < 1e-9;
-            let mut reused_gops: Vec<EncodedGop> = Vec::new();
 
-            let mut segment_frames: Vec<Frame> = Vec::new();
+            // Stage 1 (sequential): index lookups, file I/O and recency
+            // bookkeeping. The precomputed index → GOP map replaces the
+            // previous per-lookup linear scan over `physical.gops`.
+            let gop_map = physical.gop_index_map();
+            let mut loaded: Vec<(EncodedGop, usize, usize)> = Vec::new();
             for &gop_index in &run.gop_indices {
-                let Some(gop_record) = physical.gops.iter().find(|g| g.index == gop_index) else {
+                let Some(gop_record) = gop_map.get(&gop_index) else {
                     continue;
                 };
                 if !gop_record.overlaps(segment.start, segment.end) {
@@ -283,30 +293,49 @@ impl Engine {
                 let last = ((relative_end * gop_fps).round() as usize)
                     .min(gop.frame_count())
                     .max(first + 1);
-                // Decoding up to `last` pays the look-back cost for mid-GOP entry.
-                let decoded = implementation.decode_prefix(&gop, last)?;
-                frames_decoded += decoded.len();
-                segment_frames.extend_from_slice(&decoded.frames()[first.min(decoded.len())..]);
+                self.catalog.touch_gop(&request.name, run.physical_id, gop_index)?;
+                loaded.push((gop, first, last));
+            }
+
+            // Stage 2 (parallel): each GOP decodes independently; decoding up
+            // to `last` pays the look-back cost for mid-GOP entry. Results
+            // are collected in input order, so the output is identical to the
+            // sequential path for any `parallelism` setting.
+            let decoded = vss_parallel::try_par_map(
+                self.config.parallelism,
+                &loaded,
+                |_, (gop, _, last)| implementation.decode_prefix(gop, *last),
+            )?;
+
+            let mut segment_frames: Vec<Frame> = Vec::new();
+            let mut reused_gops: Vec<EncodedGop> = Vec::new();
+            for ((gop, first, _), frames) in loaded.into_iter().zip(decoded) {
+                frames_decoded += frames.len();
+                segment_frames.extend_from_slice(&frames.frames()[first.min(frames.len())..]);
                 if passthrough {
                     reused_gops.push(gop);
                 }
-                self.catalog.touch_gop(&request.name, run.physical_id, gop_index)?;
             }
             if segment_frames.is_empty() {
                 continue;
             }
             let source_sequence = FrameSequence::new(segment_frames, physical.frame_rate)?;
 
-            // Normalize: spatial, then physical layout, then temporal.
-            let mut normalized: Vec<Frame> = Vec::with_capacity(source_sequence.len());
-            for frame in source_sequence.frames() {
-                let resized = if frame.resolution() == output_resolution {
-                    frame.clone()
-                } else {
-                    resize_bilinear(frame, output_resolution.width, output_resolution.height)?
-                };
-                normalized.push(resized.convert(target_format)?);
-            }
+            // Stage 3 (parallel): normalize spatial configuration and
+            // physical layout per frame, then retime.
+            let resize_needed = output_resolution != physical.resolution();
+            let normalized = vss_parallel::try_par_map(
+                self.config.parallelism,
+                source_sequence.frames(),
+                |_, frame| -> Result<Frame, vss_frame::FrameError> {
+                    let resized = if resize_needed && frame.resolution() != output_resolution {
+                        resize_bilinear(frame, output_resolution.width, output_resolution.height)?
+                    } else {
+                        frame.clone()
+                    };
+                    resized.convert(target_format)
+                },
+            )?;
             let normalized = FrameSequence::new(normalized, physical.frame_rate)?;
             if !derivation_measured && output_resolution != physical.resolution() {
                 derivation_mse = QualityModel::resampling_mse(&source_sequence, &normalized);
@@ -355,7 +384,7 @@ impl Engine {
             let same_rate = request
                 .temporal
                 .frame_rate
-                .map_or(true, |fps| (fps - fragment.frame_rate).abs() < 1e-9);
+                .is_none_or(|fps| (fps - fragment.frame_rate).abs() < 1e-9);
             if fragment.codec == request.physical.codec
                 && fragment.resolution == output_resolution
                 && same_rate

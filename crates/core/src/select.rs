@@ -142,9 +142,7 @@ mod tests {
     }
 
     fn selector_with_lower_threshold() -> PairSelector {
-        let mut config = JointConfig::default();
-        config.min_correspondences = 5;
-        PairSelector::new(config)
+        PairSelector::new(JointConfig { min_correspondences: 5, ..JointConfig::default() })
     }
 
     #[test]

@@ -98,17 +98,27 @@ impl Engine {
         let implementation = codec_instance(codec);
         let frame_rate = frames.frame_rate();
         let all = frames.frames();
+        // Encode every GOP chunk up front on the parallel pipeline (each
+        // chunk is independent and encoded straight from the borrowed frame
+        // slice), then persist sequentially: write-time deferred compression
+        // depends on the budget fraction, which evolves with each appended
+        // GOP, so the persistence order is part of the on-disk semantics.
+        let ranges = vss_parallel::chunk_ranges(all.len(), gop_size);
+        let encoded = vss_parallel::try_par_map(
+            self.config.parallelism,
+            &ranges,
+            |_, &(chunk_start, chunk_end)| {
+                implementation.encode_slice(&all[chunk_start..chunk_end], frame_rate, &encoder_config)
+            },
+        )?;
         let mut gops_written = 0usize;
         let mut bytes_written = 0u64;
         let mut deferred_levels = Vec::new();
-        let mut cursor = 0usize;
         let mut time = start_time;
-        while cursor < all.len() {
-            let end = (cursor + gop_size).min(all.len());
-            let chunk = FrameSequence::new(all[cursor..end].to_vec(), frame_rate)?;
-            let gop = implementation.encode(&chunk, &encoder_config)?;
-            let duration = chunk.len() as f64 / frame_rate;
-            let (data, level) = self.maybe_defer_on_write(name, codec, &gop)?;
+        for (&(chunk_start, chunk_end), gop) in ranges.iter().zip(&encoded) {
+            let frame_count = chunk_end - chunk_start;
+            let duration = frame_count as f64 / frame_rate;
+            let (data, level) = self.maybe_defer_on_write(name, codec, gop)?;
             bytes_written += data.len() as u64;
             deferred_levels.push(level);
             self.catalog.append_gop(
@@ -116,12 +126,11 @@ impl Engine {
                 physical_id,
                 time,
                 time + duration,
-                chunk.len(),
+                frame_count,
                 &data,
                 if level > 0 { Some(level) } else { None },
             )?;
             gops_written += 1;
-            cursor = end;
             time += duration;
         }
         // Establish the budget once the original's size is known.

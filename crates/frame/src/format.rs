@@ -19,9 +19,74 @@ pub enum PixelFormat {
     Yuv422,
 }
 
+/// Geometry of one plane inside a frame's contiguous pixel buffer.
+///
+/// `width`/`height` are in *samples*; `step` is the distance in bytes
+/// between horizontally adjacent samples (3 for packed RGB channels, 1 for
+/// planar YUV planes). The plane occupies
+/// `offset .. offset + (width * height - 1) * step + 1` of the buffer when
+/// `step > 1` (interleaved) and `offset .. offset + width * height` when
+/// `step == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneLayout {
+    /// Byte offset of the plane's first sample within the frame buffer.
+    pub offset: usize,
+    /// Samples per row.
+    pub width: usize,
+    /// Number of rows.
+    pub height: usize,
+    /// Bytes between horizontally adjacent samples.
+    pub step: usize,
+}
+
+impl PlaneLayout {
+    /// Bytes between vertically adjacent samples (the row stride).
+    pub fn stride(&self) -> usize {
+        self.width * self.step
+    }
+}
+
 impl PixelFormat {
     /// All supported formats, in a stable order.
     pub const ALL: [PixelFormat; 3] = [PixelFormat::Rgb8, PixelFormat::Yuv420, PixelFormat::Yuv422];
+
+    /// Number of planes (RGB counts each packed channel as one plane so the
+    /// resampling kernels can treat every format uniformly).
+    pub fn plane_count(&self) -> usize {
+        3
+    }
+
+    /// Layouts of this format's planes within a `width x height` buffer.
+    ///
+    /// For `Rgb8` the three "planes" are the interleaved R, G and B channels
+    /// (`step == 3`); for the planar YUV formats they are the Y, U and V
+    /// planes at their subsampled resolutions (`step == 1`).
+    pub fn plane_layouts(&self, width: u32, height: u32) -> [PlaneLayout; 3] {
+        let (w, h) = (width as usize, height as usize);
+        match self {
+            PixelFormat::Rgb8 => [
+                PlaneLayout { offset: 0, width: w, height: h, step: 3 },
+                PlaneLayout { offset: 1, width: w, height: h, step: 3 },
+                PlaneLayout { offset: 2, width: w, height: h, step: 3 },
+            ],
+            PixelFormat::Yuv420 => {
+                let (cw, ch) = (w / 2, h / 2);
+                [
+                    PlaneLayout { offset: 0, width: w, height: h, step: 1 },
+                    PlaneLayout { offset: w * h, width: cw, height: ch, step: 1 },
+                    PlaneLayout { offset: w * h + cw * ch, width: cw, height: ch, step: 1 },
+                ]
+            }
+            PixelFormat::Yuv422 => {
+                let cw = w / 2;
+                [
+                    PlaneLayout { offset: 0, width: w, height: h, step: 1 },
+                    PlaneLayout { offset: w * h, width: cw, height: h, step: 1 },
+                    PlaneLayout { offset: w * h + cw * h, width: cw, height: h, step: 1 },
+                ]
+            }
+        }
+    }
 
     /// Bytes required to hold one `width x height` frame in this format.
     pub fn frame_bytes(&self, width: u32, height: u32) -> usize {
@@ -54,7 +119,7 @@ impl PixelFormat {
         match self {
             PixelFormat::Rgb8 => Ok(()),
             PixelFormat::Yuv420 => {
-                if width % 2 != 0 || height % 2 != 0 {
+                if !width.is_multiple_of(2) || !height.is_multiple_of(2) {
                     Err(FrameError::InvalidResolution {
                         width,
                         height,
@@ -65,7 +130,7 @@ impl PixelFormat {
                 }
             }
             PixelFormat::Yuv422 => {
-                if width % 2 != 0 {
+                if !width.is_multiple_of(2) {
                     Err(FrameError::InvalidResolution {
                         width,
                         height,
@@ -140,6 +205,35 @@ mod tests {
         for fmt in PixelFormat::ALL {
             let bytes = fmt.frame_bytes(64, 64) as f64;
             assert!((bytes - fmt.bytes_per_pixel() * 64.0 * 64.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plane_layouts_tile_the_frame_buffer() {
+        for fmt in PixelFormat::ALL {
+            let (w, h) = (16u32, 8u32);
+            let planes = fmt.plane_layouts(w, h);
+            assert_eq!(planes.len(), fmt.plane_count());
+            let samples: usize = planes.iter().map(|p| p.width * p.height).sum();
+            assert_eq!(samples, fmt.frame_bytes(w, h), "every byte belongs to one plane");
+            match fmt {
+                PixelFormat::Rgb8 => {
+                    assert!(planes.iter().all(|p| p.step == 3));
+                    assert_eq!(planes[1].offset, 1);
+                    assert_eq!(planes[0].stride(), 48);
+                }
+                PixelFormat::Yuv420 => {
+                    assert_eq!(planes[1].offset, 128);
+                    assert_eq!(planes[1].width, 8);
+                    assert_eq!(planes[1].height, 4);
+                    assert_eq!(planes[2].offset, 128 + 32);
+                }
+                PixelFormat::Yuv422 => {
+                    assert_eq!(planes[1].width, 8);
+                    assert_eq!(planes[1].height, 8);
+                    assert_eq!(planes[2].offset, 128 + 64);
+                }
+            }
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The [`Frame`] type: one decoded video frame and its pixel data.
 
+use crate::format::PlaneLayout;
 use crate::{FrameError, PixelFormat, Resolution};
 
 /// A single decoded video frame.
@@ -96,6 +97,30 @@ impl Frame {
     /// Number of pixels in the frame.
     pub fn pixels(&self) -> u64 {
         u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Layouts of the frame's planes (see [`PixelFormat::plane_layouts`]).
+    pub fn plane_layouts(&self) -> [PlaneLayout; 3] {
+        self.format.plane_layouts(self.width, self.height)
+    }
+
+    /// Borrows one plane of a planar (YUV) frame as a contiguous slice.
+    ///
+    /// Panics for `Rgb8` (whose channels are interleaved — use
+    /// [`Frame::data`] with the layout's `step`) and for out-of-range
+    /// indices. This is the zero-copy access path used by the resampling and
+    /// conversion kernels.
+    pub fn plane(&self, index: usize) -> &[u8] {
+        let layout = self.plane_layouts()[index];
+        assert_eq!(layout.step, 1, "plane() requires a planar format, not {}", self.format);
+        &self.data[layout.offset..layout.offset + layout.width * layout.height]
+    }
+
+    /// Mutable variant of [`Frame::plane`].
+    pub fn plane_mut(&mut self, index: usize) -> &mut [u8] {
+        let layout = self.plane_layouts()[index];
+        assert_eq!(layout.step, 1, "plane_mut() requires a planar format, not {}", self.format);
+        &mut self.data[layout.offset..layout.offset + layout.width * layout.height]
     }
 
     /// Returns the `(r, g, b)` value of pixel `(x, y)`.
@@ -214,35 +239,54 @@ impl Frame {
         }
         target.validate_resolution(self.width, self.height)?;
         let mut out = Frame::black(self.width, self.height, target)?;
+        // All conversions below work row-by-row on plane slices rather than
+        // through the per-pixel accessors; the per-sample arithmetic is
+        // unchanged, so outputs are identical to the accessor-based paths.
         match target {
-            PixelFormat::Rgb8 => {
-                for y in 0..self.height {
-                    for x in 0..self.width {
-                        let rgb = self.rgb_at(x, y);
-                        out.set_rgb(x, y, rgb);
-                    }
-                }
-            }
+            PixelFormat::Rgb8 => self.convert_to_rgb_rows(&mut out),
             PixelFormat::Yuv420 => {
                 self.write_luma_plane(&mut out);
                 let w = self.width as usize;
                 let h = self.height as usize;
-                let cw = w / 2;
-                let ch = h / 2;
-                for cy in 0..ch {
-                    for cx in 0..cw {
-                        let (mut su, mut sv) = (0u32, 0u32);
-                        for dy in 0..2u32 {
-                            for dx in 0..2u32 {
-                                let (_, u, v) =
-                                    self.yuv_at((cx as u32) * 2 + dx, (cy as u32) * 2 + dy);
-                                su += u32::from(u);
-                                sv += u32::from(v);
+                let (cw, ch) = (w / 2, h / 2);
+                let (u_out, v_out) = out.data[w * h..].split_at_mut(cw * ch);
+                match self.format {
+                    PixelFormat::Rgb8 => {
+                        // Average the BT.601 chroma of each 2x2 block.
+                        let mut rows = ChromaRows::new(w);
+                        for cy in 0..ch {
+                            rows.fill_from_rgb(&self.data, w, cy * 2);
+                            for cx in 0..cw {
+                                let su = u32::from(rows.u0[cx * 2])
+                                    + u32::from(rows.u0[cx * 2 + 1])
+                                    + u32::from(rows.u1[cx * 2])
+                                    + u32::from(rows.u1[cx * 2 + 1]);
+                                let sv = u32::from(rows.v0[cx * 2])
+                                    + u32::from(rows.v0[cx * 2 + 1])
+                                    + u32::from(rows.v1[cx * 2])
+                                    + u32::from(rows.v1[cx * 2 + 1]);
+                                u_out[cy * cw + cx] = (su / 4) as u8;
+                                v_out[cy * cw + cx] = (sv / 4) as u8;
                             }
                         }
-                        out.data[w * h + cy * cw + cx] = (su / 4) as u8;
-                        out.data[w * h + cw * ch + cy * cw + cx] = (sv / 4) as u8;
                     }
+                    PixelFormat::Yuv422 => {
+                        // Each 2x2 block shares one 4:2:2 chroma column over
+                        // two rows; the 4-sample average of the accessor path
+                        // reduces to the 2-row average.
+                        let u_in = self.plane(1);
+                        let v_in = self.plane(2);
+                        for cy in 0..ch {
+                            let (top, bottom) = (cy * 2 * cw, (cy * 2 + 1) * cw);
+                            for cx in 0..cw {
+                                let su = 2 * (u32::from(u_in[top + cx]) + u32::from(u_in[bottom + cx]));
+                                let sv = 2 * (u32::from(v_in[top + cx]) + u32::from(v_in[bottom + cx]));
+                                u_out[cy * cw + cx] = (su / 4) as u8;
+                                v_out[cy * cw + cx] = (sv / 4) as u8;
+                            }
+                        }
+                    }
+                    PixelFormat::Yuv420 => unreachable!("identity handled above"),
                 }
             }
             PixelFormat::Yuv422 => {
@@ -250,30 +294,128 @@ impl Frame {
                 let w = self.width as usize;
                 let h = self.height as usize;
                 let cw = w / 2;
-                for yrow in 0..h {
-                    for cx in 0..cw {
-                        let (mut su, mut sv) = (0u32, 0u32);
-                        for dx in 0..2u32 {
-                            let (_, u, v) = self.yuv_at((cx as u32) * 2 + dx, yrow as u32);
-                            su += u32::from(u);
-                            sv += u32::from(v);
+                let (u_out, v_out) = out.data[w * h..].split_at_mut(cw * h);
+                match self.format {
+                    PixelFormat::Rgb8 => {
+                        let mut rows = ChromaRows::new(w);
+                        for y in 0..h {
+                            rows.fill_row_from_rgb(&self.data, w, y);
+                            for cx in 0..cw {
+                                let su = u32::from(rows.u0[cx * 2]) + u32::from(rows.u0[cx * 2 + 1]);
+                                let sv = u32::from(rows.v0[cx * 2]) + u32::from(rows.v0[cx * 2 + 1]);
+                                u_out[y * cw + cx] = (su / 2) as u8;
+                                v_out[y * cw + cx] = (sv / 2) as u8;
+                            }
                         }
-                        out.data[w * h + yrow * cw + cx] = (su / 2) as u8;
-                        out.data[w * h + cw * h + yrow * cw + cx] = (sv / 2) as u8;
                     }
+                    PixelFormat::Yuv420 => {
+                        // Both pixels of a 4:2:2 pair read the same 4:2:0
+                        // sample, so the 2-sample average is the sample itself.
+                        let u_in = self.plane(1);
+                        let v_in = self.plane(2);
+                        let ch = h / 2;
+                        for y in 0..h {
+                            let cy = (y / 2).min(ch.saturating_sub(1));
+                            u_out[y * cw..(y + 1) * cw].copy_from_slice(&u_in[cy * cw..(cy + 1) * cw]);
+                            v_out[y * cw..(y + 1) * cw].copy_from_slice(&v_in[cy * cw..(cy + 1) * cw]);
+                        }
+                    }
+                    PixelFormat::Yuv422 => unreachable!("identity handled above"),
                 }
             }
         }
         Ok(out)
     }
 
-    fn write_luma_plane(&self, out: &mut Frame) {
+    /// Converts any source format into packed RGB rows.
+    fn convert_to_rgb_rows(&self, out: &mut Frame) {
         let w = self.width as usize;
-        for y in 0..self.height {
-            for x in 0..self.width {
-                out.data[y as usize * w + x as usize] = self.luma_at(x, y);
+        let h = self.height as usize;
+        match self.format {
+            PixelFormat::Rgb8 => out.data.copy_from_slice(&self.data),
+            PixelFormat::Yuv420 | PixelFormat::Yuv422 => {
+                let luma = self.plane(0);
+                let u_plane = self.plane(1);
+                let v_plane = self.plane(2);
+                let cw = w / 2;
+                let chroma_rows = if self.format == PixelFormat::Yuv420 { h / 2 } else { h };
+                for y in 0..h {
+                    let cy = if self.format == PixelFormat::Yuv420 {
+                        (y / 2).min(chroma_rows.saturating_sub(1))
+                    } else {
+                        y
+                    };
+                    let luma_row = &luma[y * w..(y + 1) * w];
+                    let u_row = &u_plane[cy * cw..(cy + 1) * cw];
+                    let v_row = &v_plane[cy * cw..(cy + 1) * cw];
+                    let out_row = &mut out.data[y * w * 3..(y + 1) * w * 3];
+                    for x in 0..w {
+                        let cx = (x / 2).min(cw.saturating_sub(1));
+                        let (r, g, b) = yuv_to_rgb(luma_row[x], u_row[cx], v_row[cx]);
+                        out_row[x * 3] = r;
+                        out_row[x * 3 + 1] = g;
+                        out_row[x * 3 + 2] = b;
+                    }
+                }
             }
         }
+    }
+
+    fn write_luma_plane(&self, out: &mut Frame) {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        match self.format {
+            // The Y plane leads every planar layout: copy it wholesale.
+            PixelFormat::Yuv420 | PixelFormat::Yuv422 => {
+                out.data[..w * h].copy_from_slice(&self.data[..w * h]);
+            }
+            PixelFormat::Rgb8 => {
+                for y in 0..h {
+                    let rgb_row = &self.data[y * w * 3..(y + 1) * w * 3];
+                    let out_row = &mut out.data[y * w..(y + 1) * w];
+                    for x in 0..w {
+                        let (luma, _, _) =
+                            rgb_to_yuv(rgb_row[x * 3], rgb_row[x * 3 + 1], rgb_row[x * 3 + 2]);
+                        out_row[x] = luma;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scratch rows of per-pixel BT.601 chroma used when subsampling RGB input.
+struct ChromaRows {
+    u0: Vec<u8>,
+    v0: Vec<u8>,
+    u1: Vec<u8>,
+    v1: Vec<u8>,
+}
+
+impl ChromaRows {
+    fn new(width: usize) -> Self {
+        Self { u0: vec![0; width], v0: vec![0; width], u1: vec![0; width], v1: vec![0; width] }
+    }
+
+    /// Fills `u0/v0` from RGB row `y` of a packed buffer.
+    fn fill_row_from_rgb(&mut self, rgb: &[u8], width: usize, y: usize) {
+        chroma_of_rgb_row(rgb, width, y, &mut self.u0, &mut self.v0);
+    }
+
+    /// Fills `u0/v0` and `u1/v1` from RGB rows `y` and `y + 1`.
+    fn fill_from_rgb(&mut self, rgb: &[u8], width: usize, y: usize) {
+        chroma_of_rgb_row(rgb, width, y, &mut self.u0, &mut self.v0);
+        chroma_of_rgb_row(rgb, width, y + 1, &mut self.u1, &mut self.v1);
+    }
+}
+
+/// Writes the BT.601 chroma of one packed-RGB row into `u`/`v`.
+fn chroma_of_rgb_row(rgb: &[u8], width: usize, y: usize, u: &mut [u8], v: &mut [u8]) {
+    let row = &rgb[y * width * 3..(y + 1) * width * 3];
+    for x in 0..width {
+        let (_, pu, pv) = rgb_to_yuv(row[x * 3], row[x * 3 + 1], row[x * 3 + 2]);
+        u[x] = pu;
+        v[x] = pv;
     }
 }
 

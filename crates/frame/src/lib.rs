@@ -31,7 +31,7 @@ mod resample;
 mod sequence;
 
 pub use error::FrameError;
-pub use format::PixelFormat;
+pub use format::{PixelFormat, PlaneLayout};
 pub use frame::Frame;
 pub use quality::{mse, psnr, psnr_from_mse, PsnrDb};
 pub use rate::convert_frame_rate;

@@ -67,7 +67,7 @@ pub fn checkerboard(width: u32, height: u32, format: PixelFormat, cell: u32, inv
     let cell = cell.max(1);
     for y in 0..height {
         for x in 0..width {
-            let on = ((x / cell) + (y / cell)) % 2 == 0;
+            let on = ((x / cell) + (y / cell)).is_multiple_of(2);
             let on = on ^ invert;
             let v = if on { 230 } else { 25 };
             f.set_rgb(x, y, (v, v, v));

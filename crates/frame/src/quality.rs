@@ -191,6 +191,6 @@ mod tests {
         let per_frame = psnr(&a[1], &b[1]).unwrap();
         // Averaging MSE with a zero-error frame halves the MSE → +3 dB.
         assert!(p.0 > per_frame.0);
-        assert!(sequence_psnr(&a, &a[..1].to_vec()).is_err());
+        assert!(sequence_psnr(&a, &a[..1]).is_err());
     }
 }

@@ -1,0 +1,181 @@
+//! # vss-parallel
+//!
+//! A small, deterministic parallel-map primitive for the VSS GOP pipeline.
+//!
+//! VSS decomposes every read, write and cache operation into independent
+//! GOPs; the paper's prototype exploits that with hardware-parallel encoders.
+//! This crate provides the software equivalent: [`par_map`] runs a function
+//! over a slice of inputs on `threads` scoped worker threads and returns the
+//! outputs **in input order**, so the parallel pipeline is bit-identical to
+//! the sequential one regardless of scheduling. (The full `rayon` crate is
+//! unavailable in this offline build environment; this is the subset the
+//! workspace needs, with the same ordered-collect semantics as
+//! `par_iter().map(..).collect()`.)
+//!
+//! Work distribution is a shared atomic cursor: each worker claims the next
+//! unprocessed index, which load-balances uneven GOP sizes without any
+//! channel traffic or per-item allocation beyond the output slot.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the machine can usefully run.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Resolves a configured thread-count knob: `0` means "use every core".
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        available_parallelism()
+    } else {
+        configured
+    }
+}
+
+/// Maps `f` over `items` using up to `threads` worker threads, returning the
+/// results in input order.
+///
+/// With `threads <= 1` (or a single item) this degenerates to a plain
+/// sequential loop on the calling thread — no threads are spawned, so the
+/// single-threaded configuration reproduces the historical behaviour exactly.
+/// Panics in `f` propagate to the caller.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        // Hand each worker a disjoint set of output slots: the slot vector is
+        // split into one-element chunks behind a striped claim protocol.
+        // Simpler and safe: collect per-worker (index, value) pairs and fill
+        // the slots afterwards on the calling thread.
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut produced: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    produced.push((index, f(index, &items[index])));
+                }
+                produced
+            }));
+        }
+        for handle in handles {
+            for (index, value) in handle.join().expect("par_map worker panicked") {
+                slots[index] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every index produced")).collect()
+}
+
+/// Like [`par_map`] for fallible functions: returns the first error by input
+/// order, or all results in input order.
+pub fn try_par_map<T, U, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let results = par_map(threads, items, |i, item| f(i, item));
+    let mut out = Vec::with_capacity(results.len());
+    for result in results {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+/// Splits `total` items into contiguous `(start, end)` chunks of at most
+/// `chunk_size`, in order — the GOP boundaries of an encode.
+pub fn chunk_ranges(total: usize, chunk_size: usize) -> Vec<(usize, usize)> {
+    let chunk_size = chunk_size.max(1);
+    let mut ranges = Vec::with_capacity(total.div_ceil(chunk_size));
+    let mut start = 0;
+    while start < total {
+        let end = (start + chunk_size).min(total);
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 8] {
+            let doubled = par_map(threads, &items, |_, &v| v * 2);
+            assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_sequential() {
+        let items: Vec<u64> = (0..100).collect();
+        let sequential = par_map(1, &items, |i, &v| v.wrapping_mul(31).wrapping_add(i as u64));
+        let parallel = par_map(4, &items, |i, &v| v.wrapping_mul(31).wrapping_add(i as u64));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn try_par_map_surfaces_first_error_by_index() {
+        let items: Vec<u32> = (0..50).collect();
+        let result: Result<Vec<u32>, u32> =
+            try_par_map(4, &items, |_, &v| if v == 7 || v == 31 { Err(v) } else { Ok(v) });
+        assert_eq!(result.unwrap_err(), 7);
+        let ok: Result<Vec<u32>, u32> = try_par_map(4, &items, |_, &v| Ok(v));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        assert_eq!(chunk_ranges(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(chunk_ranges(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(chunk_ranges(3, 0), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(chunk_ranges(4, 4), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(4, &empty, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u8> = (0..16).collect();
+        par_map(2, &items, |_, &v| {
+            if v == 9 {
+                panic!("boom");
+            }
+            v
+        });
+    }
+}

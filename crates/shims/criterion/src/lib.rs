@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`: a small micro-benchmark harness with
+//! the API surface this workspace's benches use. It runs a fixed warm-up,
+//! then times `sample_size` samples and prints mean/min per-iteration time
+//! plus throughput. It has no statistics engine or HTML reports; it exists
+//! so `cargo bench` works without network access to crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Criterion's entry point for configuration from CLI args; the shim
+    /// accepts and ignores the arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: impl Display, mut routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&name.to_string(), 20, None, &mut routine);
+        self
+    }
+
+    /// Criterion's finalizer; a no-op in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Annotates the group with a per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `group/name`.
+    pub fn bench_function(&mut self, id: impl Display, mut routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut routine);
+        self
+    }
+
+    /// Benchmarks a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample after a small warm-up.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            black_box(routine());
+            self.durations.push(started.elapsed());
+        }
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per sample.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            self.durations.push(started.elapsed());
+        }
+    }
+}
+
+const WARMUP_ITERS: usize = 2;
+
+fn run_benchmark(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    routine: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { samples, durations: Vec::with_capacity(samples) };
+    routine(&mut bencher);
+    if bencher.durations.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.durations.iter().sum();
+    let mean = total / bencher.durations.len() as u32;
+    let min = bencher.durations.iter().min().copied().unwrap_or_default();
+    let mut line = format!(
+        "{label:<48} mean {:>12} min {:>12} ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        bencher.durations.len()
+    );
+    if let Some(throughput) = throughput {
+        let per_second = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+        match throughput {
+            Throughput::Elements(elements) => {
+                line.push_str(&format!("  {:.3} Melem/s", per_second(elements) / 1e6));
+            }
+            Throughput::Bytes(bytes) => {
+                line.push_str(&format!("  {:.3} MiB/s", per_second(bytes) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_duration(duration: Duration) -> String {
+    let nanos = duration.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_collects_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "routine should run warm-up plus samples, ran {runs}");
+    }
+
+    #[test]
+    fn iter_with_setup_gets_fresh_input() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8, 2, 3], |v| v.len())
+        });
+    }
+}

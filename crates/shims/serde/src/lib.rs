@@ -1,0 +1,197 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the (small) subset of serde's API the workspace uses:
+//! `Serialize`/`Deserialize` traits, derive macros for named-field structs,
+//! and a JSON value model consumed by the sibling `serde_json` shim. The
+//! data model is JSON-only — sufficient for the catalog records and bench
+//! reports persisted by this repository. Replacing the shim with the real
+//! serde is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::Value;
+
+/// A type that can be converted into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_value(value: &Value) -> Result<Self, String>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(format!("expected number, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, i8, i16, i32, usize, isize, f32, f64);
+
+// 64-bit integers do not fit losslessly in an f64; serialize them through a
+// dedicated variant so ids survive round trips exactly.
+macro_rules! impl_int64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Integer(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                match value {
+                    Value::Integer(n) => Ok(*n as $t),
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(format!("expected integer, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int64!(u64, i64, u128, i128);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(format!("expected 2-element array, found {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => Err(format!("expected object, found {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}

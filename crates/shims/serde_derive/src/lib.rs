@@ -1,0 +1,165 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote, which are
+//! unavailable offline). Supports the shapes this workspace actually derives:
+//! structs with named fields and no generics. Anything else is a compile
+//! error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let mut inserts = String::new();
+    for field in &parsed.fields {
+        inserts.push_str(&format!(
+            "map.insert(\"{field}\".to_string(), serde::Serialize::to_value(&self.{field}));\n"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::json::Value {{\n\
+                 let mut map = std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 serde::json::Value::Object(map)\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let mut fields = String::new();
+    for field in &parsed.fields {
+        fields.push_str(&format!(
+            "{field}: serde::Deserialize::from_value(\
+                 value.get(\"{field}\").unwrap_or(&serde::json::Value::Null))\
+                 .map_err(|e| format!(\"field '{field}': {{e}}\"))?,\n"
+        ));
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::json::Value) -> Result<Self, String> {{\n\
+                 Ok(Self {{\n{fields}}})\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct ParsedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!(\"serde shim derive: {message}\");").parse().expect("error parses")
+}
+
+/// Extracts the struct name and its named fields from the derive input.
+fn parse_struct(input: TokenStream) -> Result<ParsedStruct, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match &token {
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(struct_name)) => {
+                        name = Some(struct_name.to_string());
+                    }
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err("enums are not supported; derive on a named-field struct".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "no `struct` keyword found".to_string())?;
+    // The next brace group holds the fields. Generics would appear before it;
+    // reject them explicitly rather than generating wrong code.
+    for token in tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("generic structs are not supported".into());
+            }
+            TokenTree::Group(group) if group.delimiter() == Delimiter::Brace => {
+                return Ok(ParsedStruct { name, fields: field_names(group.stream())? });
+            }
+            TokenTree::Group(group) if group.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported".into());
+            }
+            _ => {}
+        }
+    }
+    Err("struct body not found".into())
+}
+
+/// Walks the field list, returning the identifier preceding each top-level
+/// `:` (skipping attributes, doc comments and visibility modifiers).
+fn field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut in_type = false; // between `:` and the next top-level `,`
+    let mut angle_depth = 0usize;
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' if !in_type => {
+                    // Skip the attribute group that follows.
+                    if matches!(tokens.peek(), Some(TokenTree::Group(_))) {
+                        tokens.next();
+                    }
+                }
+                ':' if !in_type && angle_depth == 0 => {
+                    // `::` inside paths never appears before the first `:` of
+                    // a named field, so a single colon ends the field name.
+                    if let Some(name) = pending.take() {
+                        fields.push(name);
+                    }
+                    in_type = true;
+                }
+                '<' if in_type => angle_depth += 1,
+                '>' if in_type && angle_depth > 0 => angle_depth -= 1,
+                ',' if in_type && angle_depth == 0 => {
+                    in_type = false;
+                    pending = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(ident) if !in_type => {
+                let text = ident.to_string();
+                if text != "pub" && text != "crate" {
+                    pending = Some(text);
+                }
+            }
+            TokenTree::Group(group)
+                if !in_type && group.delimiter() == Delimiter::Parenthesis =>
+            {
+                // `pub(crate)` / `pub(super)` visibility group — ignore.
+            }
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        return Err("no named fields found".into());
+    }
+    Ok(fields)
+}

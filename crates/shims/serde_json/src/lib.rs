@@ -1,0 +1,82 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's JSON
+//! value model. Provides the functions this workspace uses: `to_string`,
+//! `to_string_pretty`, `from_str` and the [`Value`] type.
+
+pub use serde::json::Value;
+
+/// Error produced when parsing or converting JSON fails.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_compact())
+}
+
+/// Serializes a value as indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_pretty())
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text).map_err(Error)?;
+    T::from_value(&value).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        id: u64,
+        name: String,
+        score: f64,
+        tags: Vec<String>,
+        parent: Option<(u64, u64)>,
+        flag: bool,
+    }
+
+    #[test]
+    fn derived_round_trip() {
+        let demo = Demo {
+            id: u64::MAX - 1,
+            name: "hello \"world\"".into(),
+            score: 2.25,
+            tags: vec!["a".into(), "b".into()],
+            parent: Some((3, 9)),
+            flag: true,
+        };
+        let json = super::to_string(&demo).unwrap();
+        let back: Demo = super::from_str(&json).unwrap();
+        assert_eq!(back, demo);
+        let pretty = super::to_string_pretty(&demo).unwrap();
+        let back: Demo = super::from_str(&pretty).unwrap();
+        assert_eq!(back, demo);
+    }
+
+    #[test]
+    fn none_round_trips_as_null() {
+        let demo = Demo {
+            id: 1,
+            name: String::new(),
+            score: 0.0,
+            tags: Vec::new(),
+            parent: None,
+            flag: false,
+        };
+        let json = super::to_string(&demo).unwrap();
+        assert!(json.contains("\"parent\":null"));
+        let back: Demo = super::from_str(&json).unwrap();
+        assert_eq!(back, demo);
+    }
+}

@@ -247,7 +247,7 @@ pub fn plan_read_exhaustive(
         let concrete: Vec<usize> =
             choice_indices.iter().enumerate().map(|(i, &k)| per_segment[i][k]).collect();
         let plan = build_plan(request, candidates, cost_model, &points, &concrete);
-        if best.as_ref().map_or(true, |b| plan.total_cost < b.total_cost) {
+        if best.as_ref().is_none_or(|b| plan.total_cost < b.total_cost) {
             best = Some(plan);
         }
     });

@@ -11,6 +11,10 @@ use crate::matching::{matched_points, Match};
 use crate::{Descriptor, VisionError};
 use vss_frame::pattern::Xorshift;
 
+/// A correspondence between a point in the first image and a point in
+/// the second: `((x_a, y_a), (x_b, y_b))`.
+pub type PointPair = ((f64, f64), (f64, f64));
+
 /// A 3×3 projective transform mapping points of frame A into frame B's space.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Homography {
@@ -76,7 +80,7 @@ impl Homography {
 /// Estimates a homography from ≥ 4 point correspondences using the
 /// normalized direct linear transform, minimizing algebraic error in a
 /// least-squares sense for over-determined systems.
-pub fn dlt_homography(pairs: &[((f64, f64), (f64, f64))]) -> Result<Homography, VisionError> {
+pub fn dlt_homography(pairs: &[PointPair]) -> Result<Homography, VisionError> {
     if pairs.len() < 4 {
         return Err(VisionError::InsufficientMatches { found: pairs.len(), required: 4 });
     }
@@ -163,7 +167,7 @@ impl Default for RansacParams {
 /// Robustly estimates a homography from point correspondences with RANSAC,
 /// refitting on the inlier set of the best hypothesis.
 pub fn ransac_homography(
-    pairs: &[((f64, f64), (f64, f64))],
+    pairs: &[PointPair],
     params: &RansacParams,
 ) -> Result<Homography, VisionError> {
     if pairs.len() < 4 {

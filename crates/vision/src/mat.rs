@@ -24,6 +24,7 @@ pub(crate) fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<
         // Eliminate below.
         for row in col + 1..n {
             let factor = a[row][col] / a[col][col];
+            #[allow(clippy::needless_range_loop)] // two rows of `a` are live at once
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }
