@@ -28,9 +28,10 @@ use vss_core::{
     WriteRequest,
 };
 use vss_frame::{quality, FrameSequence, PixelFormat, PsnrDb, Resolution};
+use vss_server::VssServer;
 use vss_workload::{
-    random_pairs, run_clients, shared_store, AppConfig, CameraMotion, DatasetSpec, GroundTruthPairs,
-    QueryWorkload, SceneConfig, SceneRenderer,
+    random_pairs, run_client_with, run_clients, server_store, shared_store, AppConfig, CameraMotion,
+    DatasetSpec, GroundTruthPairs, QueryWorkload, SceneConfig, SceneRenderer,
 };
 
 /// Thresholds for the `--baseline` comparison mode: flag ≥10% regressions,
@@ -58,7 +59,7 @@ fn main() {
     let experiments: Vec<&str> = if argument == "all" {
         vec![
             "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-            "fig18", "fig19", "fig20", "fig21", "table2",
+            "fig18", "fig19", "fig20", "fig21", "fig21_scale", "table2",
         ]
     } else {
         vec![Box::leak(argument.clone().into_boxed_str())]
@@ -80,6 +81,7 @@ fn main() {
             "fig19" => fig19(&scale),
             "fig20" => fig20(&scale),
             "fig21" => fig21(&scale),
+            "fig21_scale" => fig21_scale(&scale),
             "table2" => table2(&scale),
             other => {
                 eprintln!("unknown experiment '{other}'");
@@ -896,11 +898,15 @@ fn fig21(scale: &ScaleConfig) -> Report {
         clip_length: 1.0,
     };
     for clients in [1usize, 2, 4] {
-        // VSS.
-        let (vss, vss_root) = open_vss(&format!("fig21-vss-{clients}"));
-        let mut store = VssStore::new(vss);
-        store.write_video(&config.video, Codec::H264, frames).expect("write");
-        let shared = shared_store(Box::new(store));
+        // VSS, served by the sharded server: each client runs on its own
+        // session (no driver-side lock).
+        let vss_root = scratch_dir(&format!("fig21-vss-{clients}"));
+        let server = VssServer::open_sharded(VssConfig::new(&vss_root), 4).expect("server");
+        server
+            .session()
+            .write(&WriteRequest::new(&config.video, Codec::H264), frames)
+            .expect("write");
+        let shared = server_store(server);
         let vss_results = run_clients(&shared, &config, clients).expect("vss app");
         cleanup(&vss_root);
         // Local FS ("OpenCV" variant).
@@ -924,6 +930,138 @@ fn fig21(scale: &ScaleConfig) -> Report {
                 .with("fs_streaming_s", max_phase(&fs_results, |t| t.streaming.as_secs_f64())),
         );
     }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Figure 21 (scaling) — multi-client scaling on the sharded server
+// ---------------------------------------------------------------------------
+
+fn fig21_scale(scale: &ScaleConfig) -> Report {
+    let mut report = Report::new(
+        "fig21_scale",
+        "Multi-client scaling: C concurrent clients each run the three-phase application against \
+         their own camera video on the sharded vss-server (per-client sessions, per-shard locks) \
+         vs. the same clients serialized on the single-mutex monolithic engine. A correctness \
+         gate asserts the server's reads are byte-identical to the sequential engine. On a \
+         single-core host both variants are expected to be comparable; the shards pay off with \
+         real parallelism.",
+    );
+    let spec = DatasetSpec::by_name("visualroad-2k-30").expect("preset");
+    let resolution = spec.scaled_resolution(scale.resolution_divisor * 2);
+    let index_resolution =
+        Resolution::new((resolution.width / 2).max(32) & !1, (resolution.height / 2).max(32) & !1);
+    let videos = 4usize;
+    let frames_per_video: Vec<FrameSequence> = (0..videos)
+        .map(|video| {
+            SceneRenderer::new(SceneConfig {
+                resolution,
+                format: PixelFormat::Rgb8,
+                frame_rate: 30.0,
+                vehicles: 6,
+                noise_amplitude: 1,
+                seed: 90 + video as u64,
+                ..Default::default()
+            })
+            .render_sequence(0, scale.max_frames.min(60))
+        })
+        .collect();
+    let configs: Vec<AppConfig> = (0..videos)
+        .map(|video| AppConfig {
+            video: format!("cam-{video}"),
+            duration: frames_per_video[video].duration_seconds(),
+            source_resolution: resolution,
+            source_codec: Codec::H264,
+            index_resolution,
+            detect_every: 10,
+            target_color: (200, 40, 40),
+            color_threshold: 60.0,
+            clip_length: 1.0,
+        })
+        .collect();
+
+    // Three stores holding identical content: the sharded server, the
+    // single-mutex monolithic engine, and a sequential (parallelism = 1)
+    // reference used only for the correctness gate.
+    let server_root = scratch_dir("fig21s-server");
+    let server = VssServer::open_sharded(VssConfig::new(&server_root), 4).expect("server");
+    let (mono, mono_root) = open_vss("fig21s-mono");
+    let seq_root = scratch_dir("fig21s-seq");
+    let sequential =
+        Vss::open(VssConfig::new(&seq_root).with_parallelism(1)).expect("sequential engine");
+    let session = server.session();
+    for (video, frames) in frames_per_video.iter().enumerate() {
+        let request = WriteRequest::new(format!("cam-{video}"), Codec::H264);
+        session.write(&request, frames).expect("server write");
+        mono.write(&request, frames).expect("mono write");
+        sequential.write(&request, frames).expect("sequential write");
+    }
+
+    // Correctness gate (CI runs this experiment as a smoke target): every
+    // video read through the sharded server must be byte-identical to the
+    // sequential engine. A divergence panics and fails the harness run.
+    for config in &configs {
+        let request = ReadRequest::new(
+            &config.video,
+            0.0,
+            config.duration.min(1.0),
+            Codec::Raw(PixelFormat::Yuv420),
+        )
+        .uncacheable();
+        let concurrent = session.read(&request).expect("server read");
+        let reference = sequential.read(&request).expect("sequential read");
+        assert_eq!(
+            concurrent.frames.frames(),
+            reference.frames.frames(),
+            "sharded server output diverged from the sequential engine on {}",
+            config.video
+        );
+    }
+    cleanup(&seq_root);
+
+    let shared_server = server_store(server.clone());
+    let shared_mono = shared_store(Box::new(VssStore::new(mono)));
+    for clients in [1usize, 2, 4] {
+        let run = |shared: &vss_workload::SharedStore| -> f64 {
+            let started = Instant::now();
+            let mut handles = Vec::new();
+            for client in 0..clients {
+                let shared = std::sync::Arc::clone(shared);
+                let config = configs[client % videos].clone();
+                handles.push(std::thread::spawn(move || {
+                    run_client_with(&mut *shared.client(), &config).expect("app client")
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("client thread panicked");
+            }
+            started.elapsed().as_secs_f64()
+        };
+        // Lock wait and hit rate are windowed to this client count's run
+        // (the server is reused across rows, so lifetime totals would mix
+        // configurations).
+        let before = server.stats();
+        let server_wall = run(&shared_server);
+        let after = server.stats();
+        let lock_wait = (after.total_lock_wait() - before.total_lock_wait()).as_secs_f64();
+        let window_reads = after.total_read_ops() - before.total_read_ops();
+        let window_hits = after.total_cache_hit_reads() - before.total_cache_hit_reads();
+        let hit_pct = if window_reads == 0 {
+            0.0
+        } else {
+            window_hits as f64 / window_reads as f64 * 100.0
+        };
+        let mono_wall = run(&shared_mono);
+        report.push(
+            Row::new(format!("{clients} client(s)"))
+                .with("server_wall_s", server_wall)
+                .with("single_mutex_wall_s", mono_wall)
+                .with("server_lock_wait_s", lock_wait)
+                .with("server_cache_hit_pct", hit_pct),
+        );
+    }
+    cleanup(&server_root);
+    cleanup(&mono_root);
     report
 }
 

@@ -24,7 +24,7 @@
 
 pub mod records;
 
-pub use records::{GopRecord, LogicalVideoRecord, PhysicalVideoId, PhysicalVideoRecord};
+pub use records::{AtomicClock, GopRecord, LogicalVideoRecord, PhysicalVideoId, PhysicalVideoRecord};
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -87,8 +87,9 @@ impl From<std::io::Error> for CatalogError {
 struct CatalogState {
     /// Monotonically increasing id generator for physical videos.
     next_physical_id: PhysicalVideoId,
-    /// Logical access clock used for recency bookkeeping.
-    access_clock: u64,
+    /// Logical access clock used for recency bookkeeping. Atomic so
+    /// read-only sessions can tick it through a shared reference.
+    access_clock: AtomicClock,
     /// Logical videos by name.
     videos: BTreeMap<String, LogicalVideoRecord>,
 }
@@ -139,15 +140,16 @@ impl Catalog {
     }
 
     /// Advances and returns the logical access clock (used for LRU
-    /// sequence numbers).
-    pub fn tick(&mut self) -> u64 {
-        self.state.access_clock += 1;
-        self.state.access_clock
+    /// sequence numbers). Takes `&self`: recency bookkeeping is the one
+    /// catalog mutation read-only sessions perform, and it goes through
+    /// atomics so a shared lock suffices.
+    pub fn tick(&self) -> u64 {
+        self.state.access_clock.increment()
     }
 
     /// The current value of the access clock.
     pub fn clock(&self) -> u64 {
-        self.state.access_clock
+        self.state.access_clock.get()
     }
 
     // --- logical videos ---------------------------------------------------
@@ -284,7 +286,7 @@ impl Catalog {
             frame_count,
             byte_len: data.len() as u64,
             lossless_level,
-            last_access: clock,
+            last_access: AtomicClock::new(clock),
             duplicate_of: None,
         });
         Ok(index)
@@ -358,21 +360,25 @@ impl Catalog {
     }
 
     /// Marks a GOP as accessed "now" (recency bookkeeping for eviction).
+    ///
+    /// Takes `&self`: the clocks are [`AtomicClock`]s, so concurrent readers
+    /// holding a shared lock can all bump recency without serializing on a
+    /// write lock. Racing touches keep the latest timestamp (`fetch_max`).
     pub fn touch_gop(
-        &mut self,
+        &self,
         video: &str,
         physical_id: PhysicalVideoId,
         index: u64,
     ) -> Result<(), CatalogError> {
         let clock = self.tick();
-        let record = self.video_mut(video)?;
+        let record = self.video(video)?;
         let physical = record
-            .physical_by_id_mut(physical_id)
+            .physical_by_id(physical_id)
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
         let gop = physical
-            .gop_by_index_mut(index)
+            .gop_by_index(index)
             .ok_or(CatalogError::GopNotFound { physical: physical_id, index })?;
-        gop.last_access = clock;
+        gop.last_access.advance_to(clock);
         Ok(())
     }
 
@@ -470,9 +476,11 @@ mod tests {
         cat.create_video("v").unwrap();
         let id = cat.add_physical("v", 64, 64, 30.0, "h264", true, 0.0).unwrap();
         cat.append_gop("v", id, 0.0, 1.0, 30, b"a", None).unwrap();
-        let before = cat.video("v").unwrap().physical[0].gops[0].last_access;
-        cat.touch_gop("v", id, 0).unwrap();
-        let after = cat.video("v").unwrap().physical[0].gops[0].last_access;
+        let before = cat.video("v").unwrap().physical[0].gops[0].last_access.get();
+        // Touching goes through a shared reference (atomic recency).
+        let shared: &Catalog = &cat;
+        shared.touch_gop("v", id, 0).unwrap();
+        let after = cat.video("v").unwrap().physical[0].gops[0].last_access.get();
         assert!(after > before);
         assert!(cat.clock() >= after);
         fs::remove_dir_all(&root).unwrap();

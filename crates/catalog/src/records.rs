@@ -7,11 +7,75 @@
 //! schema stays stable and human-inspectable.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use vss_codec::Codec;
 use vss_frame::Resolution;
 
 /// Identifier of a physical video within the catalog.
 pub type PhysicalVideoId = u64;
+
+/// A monotonically advancing logical clock that can be bumped through a
+/// shared (`&self`) reference.
+///
+/// Recency bookkeeping (the LRU clocks on GOP pages) is the only catalog
+/// state a *read-only* session mutates: before this type existed, merely
+/// reading a video required exclusive access to the catalog just to record
+/// "page f was touched now". Storing the clocks in atomics lets readers
+/// holding a shared lock bump them concurrently; [`AtomicClock::advance_to`]
+/// uses `fetch_max`, so racing touches can never move a clock backwards.
+///
+/// Serialization (and equality/cloning) go through the loaded value, so the
+/// persisted catalog schema is unchanged: an `AtomicClock` is a plain integer
+/// on disk.
+#[derive(Debug, Default)]
+pub struct AtomicClock(AtomicU64);
+
+impl AtomicClock {
+    /// Creates a clock at the given value.
+    pub const fn new(value: u64) -> Self {
+        Self(AtomicU64::new(value))
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock to `value` if that is later than the current value
+    /// (racing touches keep the latest timestamp, never an earlier one).
+    pub fn advance_to(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::AcqRel);
+    }
+
+    /// Atomically increments the clock, returning the new value.
+    pub fn increment(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+impl Clone for AtomicClock {
+    fn clone(&self) -> Self {
+        Self::new(self.get())
+    }
+}
+
+impl PartialEq for AtomicClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl Serialize for AtomicClock {
+    fn to_value(&self) -> serde::json::Value {
+        self.get().to_value()
+    }
+}
+
+impl Deserialize for AtomicClock {
+    fn from_value(value: &serde::json::Value) -> Result<Self, String> {
+        u64::from_value(value).map(Self::new)
+    }
+}
 
 /// Metadata for one GOP file of a physical video.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,7 +94,8 @@ pub struct GopRecord {
     /// if any. `None` means the file holds the GOP container directly.
     pub lossless_level: Option<u8>,
     /// Logical timestamp of the last access (for recency-based eviction).
-    pub last_access: u64,
+    /// Atomic so read-only sessions holding a shared lock can bump it.
+    pub last_access: AtomicClock,
     /// If set, this GOP is a joint-compression pointer to another GOP
     /// (duplicate elimination): `(physical video id, gop index)`.
     pub duplicate_of: Option<(PhysicalVideoId, u64)>,
@@ -192,7 +257,7 @@ mod tests {
             frame_count: 30,
             byte_len: bytes,
             lossless_level: None,
-            last_access: 0,
+            last_access: AtomicClock::new(0),
             duplicate_of: None,
         }
     }
@@ -275,6 +340,20 @@ mod tests {
         let json = serde_json::to_string(&l).unwrap();
         let back: LogicalVideoRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, l);
+    }
+
+    #[test]
+    fn atomic_clock_is_monotonic_and_value_equal() {
+        let clock = AtomicClock::new(5);
+        clock.advance_to(3);
+        assert_eq!(clock.get(), 5, "advance_to never moves the clock backwards");
+        clock.advance_to(9);
+        assert_eq!(clock.get(), 9);
+        assert_eq!(clock.increment(), 10);
+        assert_eq!(clock.clone(), AtomicClock::new(10));
+        let json = serde_json::to_string(&clock).unwrap();
+        let back: AtomicClock = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get(), 10);
     }
 
     #[test]

@@ -121,7 +121,7 @@ pub fn eviction_order(
             if protected {
                 continue;
             }
-            let lru = gop.last_access as f64;
+            let lru = gop.last_access.get() as f64;
             let sequence_number = match policy {
                 EvictionPolicy::Lru => lru,
                 EvictionPolicy::LruVss { gamma, zeta } => {
@@ -205,7 +205,7 @@ mod tests {
             frame_count: 30,
             byte_len: 1000,
             lossless_level: None,
-            last_access,
+            last_access: vss_catalog::AtomicClock::new(last_access),
             duplicate_of: None,
         }
     }

@@ -26,6 +26,9 @@ pub struct ReadStats {
     pub frames_decoded: usize,
     /// Bytes read from disk.
     pub bytes_read: u64,
+    /// Number of plan segments served from cached (non-original) fragments —
+    /// the per-read signal behind the server's cache hit-rate statistic.
+    pub cached_fragments_used: usize,
     /// Whether the result was admitted to the cache as a new physical video.
     pub cache_admitted: bool,
     /// Time spent planning the read.
@@ -134,6 +137,28 @@ impl Engine {
             return Ok(Some(1.0));
         }
         Ok(Some(self.bytes_used(name)? as f64 / budget as f64))
+    }
+
+    /// Overrides a logical video's resolved storage budget in bytes
+    /// (`None` reverts to "unset", re-deriving from the configured default).
+    /// Experiment/ablation hook used to tighten budgets mid-run.
+    pub fn set_storage_budget_bytes(
+        &mut self,
+        name: &str,
+        bytes: Option<u64>,
+    ) -> Result<(), VssError> {
+        self.catalog.video_mut(name)?.storage_budget_bytes = bytes;
+        Ok(())
+    }
+
+    /// Time range `[start, end)` in seconds covered by a logical video's
+    /// original physical video (errors if nothing has been written yet).
+    pub fn video_time_range(&self, name: &str) -> Result<(f64, f64), VssError> {
+        let video = self.catalog.video(name)?;
+        let original = video
+            .original()
+            .ok_or_else(|| VssError::Unsatisfiable("video has no written data".into()))?;
+        Ok((original.start_time(), original.end_time()))
     }
 
     /// Number of cached (non-original) GOP fragments currently materialized

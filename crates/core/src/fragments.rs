@@ -113,7 +113,7 @@ mod tests {
             frame_count: 30,
             byte_len: 100,
             lossless_level: None,
-            last_access: 0,
+            last_access: vss_catalog::AtomicClock::new(0),
             duplicate_of: None,
         }
     }

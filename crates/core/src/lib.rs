@@ -36,6 +36,22 @@
 //! `crates/bench/benches` (`codec_throughput`'s `encode_parallel` /
 //! `decode_parallel` groups measure the scaling).
 //!
+//! # Concurrency and sharding
+//!
+//! [`Vss`] guards the whole engine with a single mutex — simple, and fine
+//! for one client. Multi-client deployments should use the `vss-server`
+//! crate instead: it splits the engine into N independent shards keyed by a
+//! hash of the logical-video name (each shard is a complete [`Engine`]
+//! behind its own reader-writer lock) and exposes per-client sessions, a
+//! per-shard background maintenance scheduler and per-shard statistics.
+//! Two engine features exist specifically for that layer:
+//!
+//! * [`Engine::read_shared`] executes a read through `&self` (no cache
+//!   admission, no persistence) with byte-identical output, so
+//!   non-cacheable reads can run under a *shared* lock; and
+//! * GOP recency clocks are atomic ([`vss_catalog::AtomicClock`]), so
+//!   read-only traffic bumps LRU state without exclusive access.
+//!
 //! The main entry point is [`Vss`]. See the `examples/` directory of the
 //! workspace for end-to-end usage.
 

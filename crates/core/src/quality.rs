@@ -148,7 +148,7 @@ mod tests {
                 frame_count: 30,
                 byte_len: bytes_per_gop,
                 lossless_level: None,
-                last_access: 0,
+                last_access: vss_catalog::AtomicClock::new(0),
                 duplicate_of: None,
             }],
         }
@@ -221,7 +221,7 @@ mod tests {
             frame_count: 30,
             byte_len: 3000,
             lossless_level: None,
-            last_access: 0,
+            last_access: vss_catalog::AtomicClock::new(0),
             duplicate_of: None,
         });
         let bpp = average_bits_per_pixel(&rec);

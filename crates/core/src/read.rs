@@ -67,6 +67,64 @@ impl Engine {
         request: &ReadRequest,
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
+        let (mut result, admission) = self.read_core(request, planner)?;
+        // --- cache admission -----------------------------------------------
+        // Results assembled partly from pass-through GOP reuse are not
+        // re-admitted: the reused pieces already exist in the requested
+        // configuration, so admitting the combination would only duplicate
+        // them (and GOP-aligned reuse makes exact timing bookkeeping fuzzy).
+        let cache_admitted = if admission.reused_any {
+            false
+        } else {
+            self.maybe_admit_result(
+                request,
+                &admission.candidates,
+                &result.stats.plan,
+                &result.frames,
+                result.encoded.as_deref(),
+                admission.derivation_mse,
+                admission.source_mse_bound,
+                admission.output_resolution,
+            )?
+        };
+        if cache_admitted {
+            self.enforce_budget(&request.name)?;
+        }
+        if self.config.deferred_compression {
+            self.deferred_compression_step(&request.name)?;
+        }
+        self.catalog.persist()?;
+        result.stats.cache_admitted = cache_admitted;
+        Ok(result)
+    }
+
+    /// Executes a read through a shared (`&self`) reference: plans, decodes
+    /// and normalizes exactly like [`read_with_planner`](Self::read_with_planner)
+    /// but never admits the result to the cache, runs no deferred-compression
+    /// step and does not persist the catalog. Recency bookkeeping still
+    /// happens (the LRU clocks are atomic).
+    ///
+    /// For the same request against the same store state, the returned frames
+    /// and encoded GOPs are **byte-identical** to the exclusive path — this is
+    /// what lets `vss-server` serve non-cacheable reads under a shard's
+    /// shared read lock, concurrently with other readers.
+    pub fn read_shared(
+        &self,
+        request: &ReadRequest,
+        planner: PlannerKind,
+    ) -> Result<ReadResult, VssError> {
+        let (result, _admission) = self.read_core(request, planner)?;
+        Ok(result)
+    }
+
+    /// The lock-agnostic part of a read: planning, execution and output
+    /// finalization. Returns the result (with `cache_admitted = false`) plus
+    /// everything the exclusive path needs to decide on cache admission.
+    fn read_core(
+        &self,
+        request: &ReadRequest,
+        planner: PlannerKind,
+    ) -> Result<(ReadResult, AdmissionInputs), VssError> {
         let video = self.catalog.video(&request.name)?.clone();
         let original = video
             .original()
@@ -183,34 +241,7 @@ impl Engine {
         };
         let encoding = encode_started.elapsed();
 
-        // --- cache admission -------------------------------------------------
-        // Results assembled partly from pass-through GOP reuse are not
-        // re-admitted: the reused pieces already exist in the requested
-        // configuration, so admitting the combination would only duplicate
-        // them (and GOP-aligned reuse makes exact timing bookkeeping fuzzy).
-        let cache_admitted = if reused_any {
-            false
-        } else {
-            self.maybe_admit_result(
-                request,
-                &candidates,
-                &plan,
-                &output,
-                encoded.as_deref(),
-                execution.derivation_mse,
-                execution.source_mse_bound,
-                output_resolution,
-            )?
-        };
-        if cache_admitted {
-            self.enforce_budget(&request.name)?;
-        }
-        if self.config.deferred_compression {
-            self.deferred_compression_step(&request.name)?;
-        }
-        self.catalog.persist()?;
-
-        Ok(ReadResult {
+        let result = ReadResult {
             frames: output,
             encoded,
             stats: ReadStats {
@@ -219,19 +250,28 @@ impl Engine {
                 gops_read: execution.gops_read,
                 frames_decoded: execution.frames_decoded,
                 bytes_read: execution.bytes_read,
-                cache_admitted,
+                cached_fragments_used: execution.cached_segments,
+                cache_admitted: false,
                 planning,
                 decoding,
                 encoding,
             },
-        })
+        };
+        let admission = AdmissionInputs {
+            candidates,
+            reused_any,
+            derivation_mse: execution.derivation_mse,
+            source_mse_bound: execution.source_mse_bound,
+            output_resolution,
+        };
+        Ok((result, admission))
     }
 
     /// Loads, decodes and normalizes every plan segment into a single output
     /// sequence at the requested resolution, frame rate and pixel format.
     #[allow(clippy::too_many_arguments)]
     fn execute_plan(
-        &mut self,
+        &self,
         request: &ReadRequest,
         physicals: &[PhysicalVideoRecord],
         candidates: &CandidateSet,
@@ -244,6 +284,7 @@ impl Engine {
         let mut gops_read = 0usize;
         let mut frames_decoded = 0usize;
         let mut bytes_read = 0u64;
+        let mut cached_segments = 0usize;
         let mut derivation_mse = 0.0f64;
         let mut derivation_measured = false;
         let mut source_mse_bound = 0.0f64;
@@ -255,6 +296,9 @@ impl Engine {
                 .find(|p| p.id == run.physical_id)
                 .ok_or_else(|| VssError::Unsatisfiable("plan references a missing physical video".into()))?;
             source_mse_bound = source_mse_bound.max(physical.mse_bound);
+            if !physical.is_original {
+                cached_segments += 1;
+            }
             let source_codec = physical
                 .codec()
                 .ok_or_else(|| VssError::Unsatisfiable("unknown stored codec".into()))?;
@@ -354,7 +398,15 @@ impl Engine {
         if segments.iter().all(|s| s.frames.is_empty()) {
             return Err(VssError::Unsatisfiable("plan produced no frames".into()));
         }
-        Ok(PlanExecution { segments, gops_read, frames_decoded, bytes_read, derivation_mse, source_mse_bound })
+        Ok(PlanExecution {
+            segments,
+            gops_read,
+            frames_decoded,
+            bytes_read,
+            cached_segments,
+            derivation_mse,
+            source_mse_bound,
+        })
     }
 
     /// Admits a read result into the cache of materialized views, unless the
@@ -447,8 +499,19 @@ struct PlanExecution {
     gops_read: usize,
     frames_decoded: usize,
     bytes_read: u64,
+    cached_segments: usize,
     derivation_mse: f64,
     source_mse_bound: f64,
+}
+
+/// Everything the exclusive read path needs, beyond the result itself, to
+/// decide on (and perform) cache admission after the shared phase.
+struct AdmissionInputs {
+    candidates: CandidateSet,
+    reused_any: bool,
+    derivation_mse: f64,
+    source_mse_bound: f64,
+    output_resolution: Resolution,
 }
 
 #[cfg(test)]
@@ -585,6 +648,45 @@ mod tests {
             .unwrap();
         assert!(result.stats.plan.covers_range(0.0, 2.0));
         assert_eq!(result.frames.len(), 60);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn shared_read_is_byte_identical_to_exclusive_read() {
+        let (mut engine, root) = temp_engine("read-shared");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 64, 48)).unwrap();
+        // Populate the cache so plans can involve non-original fragments too.
+        engine.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
+        for request in [
+            ReadRequest::new("v", 0.0, 2.0, Codec::Raw(PixelFormat::Yuv420)).uncacheable(),
+            ReadRequest::new("v", 0.5, 1.5, Codec::Hevc).uncacheable(),
+            ReadRequest::new("v", 0.0, 1.0, Codec::H264)
+                .at_resolution(Resolution::new(32, 24))
+                .uncacheable(),
+        ] {
+            let shared = engine.read_shared(&request, PlannerKind::Optimal).unwrap();
+            let exclusive = engine.read_with_planner(&request, PlannerKind::Optimal).unwrap();
+            assert_eq!(shared.frames.frames(), exclusive.frames.frames());
+            let shared_bytes: Option<Vec<Vec<u8>>> =
+                shared.encoded.as_ref().map(|g| g.iter().map(|g| g.to_bytes()).collect());
+            let exclusive_bytes: Option<Vec<Vec<u8>>> =
+                exclusive.encoded.as_ref().map(|g| g.iter().map(|g| g.to_bytes()).collect());
+            assert_eq!(shared_bytes, exclusive_bytes);
+            assert!(!shared.stats.cache_admitted);
+        }
+        // Recency bookkeeping still advanced through the shared reference.
+        assert!(engine.catalog.clock() > 0);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn cached_fragment_use_is_reported_in_stats() {
+        let (mut engine, root) = temp_engine("read-cachedstats");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 64, 48)).unwrap();
+        let cold = engine.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
+        assert_eq!(cold.stats.cached_fragments_used, 0, "first read decodes the original");
+        let warm = engine.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)).unwrap();
+        assert!(warm.stats.cached_fragments_used > 0, "second read reuses the cached fragment");
         let _ = std::fs::remove_dir_all(root);
     }
 

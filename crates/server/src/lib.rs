@@ -1,0 +1,486 @@
+//! # vss-server
+//!
+//! The multi-client service layer of the VSS reproduction: a **sharded
+//! concurrent engine** plus a cheap-to-clone, `Send + Sync` server handle
+//! with per-client sessions — the subsystem behind the paper's Figure 21
+//! experiment (many concurrent application clients sharing one storage
+//! manager).
+//!
+//! The original [`vss_core::Vss`] handle wraps the whole engine in a single
+//! mutex, so clients operating on *unrelated* videos serialize on one lock.
+//! [`VssServer`] instead owns a [`ShardedEngine`]: logical videos are
+//! assigned to one of `N` shards by a stable hash of their name, and each
+//! shard keeps its slice of the catalog, its GOP cache/recency state and its
+//! deferred-compression queue behind its own reader-writer lock:
+//!
+//! * clients on videos in **different shards** proceed fully in parallel;
+//! * **non-cacheable reads** on the same shard share its read lock (the
+//!   engine's recency clocks are atomic, so even read-only traffic needs no
+//!   exclusive access);
+//! * writes, cacheable reads (which may admit a new materialized view) and
+//!   maintenance take the owning shard's write lock only.
+//!
+//! Sharding never changes results: for any shard count, every operation's
+//! output is byte-identical to the monolithic sequential engine, because a
+//! logical video's entire state lives in exactly one shard and the per-video
+//! code paths are the same ones `Vss` uses.
+//!
+//! # Lock ordering
+//!
+//! The protocol lives with [`ShardedEngine`] (see its module docs): ordinary
+//! operations hold exactly one shard lock; the rare cross-shard operations
+//! (joint compression of a camera pair) acquire locks in ascending shard
+//! index order; whole-server aggregation (names, statistics, maintenance
+//! sweeps) visits one shard at a time. Deadlock-freedom is exercised by the
+//! `lock_ordering` integration test, which runs joint compression over the
+//! same pair in both argument orders concurrently.
+//!
+//! # Background maintenance
+//!
+//! [`VssServer::start_maintenance`] spawns one worker per shard. Each worker
+//! periodically tries its shard's lock without blocking and runs deferred
+//! compression / compaction only when the shard is otherwise idle — shards
+//! are swept independently instead of stop-the-world.
+//!
+//! # Sessions
+//!
+//! [`VssServer::session`] hands out lightweight [`Session`] handles (one per
+//! client thread, or per logical request stream). Sessions borrow nothing:
+//! they are owned values over an `Arc`'d server and implement every
+//! read/write/create operation with `&self`.
+//!
+//! ```no_run
+//! use vss_core::{ReadRequest, VssConfig, WriteRequest};
+//! use vss_server::VssServer;
+//! # fn frames() -> vss_frame::FrameSequence { unimplemented!() }
+//!
+//! let server = VssServer::open(VssConfig::new("/tmp/store")).unwrap();
+//! let writer = server.session();
+//! writer.write(&WriteRequest::new("cam-3", vss_codec::Codec::H264), &frames()).unwrap();
+//! let reader = server.session();
+//! std::thread::spawn(move || {
+//!     reader.read(&ReadRequest::new("cam-3", 0.0, 1.0, vss_codec::Codec::H264)).unwrap();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+mod shard;
+mod stats;
+
+pub use shard::{ShardedEngine, DEFAULT_SHARD_COUNT};
+pub use stats::{ServerStats, ShardStatsSnapshot};
+
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vss_core::{
+    Engine, JointOutcome, MergeFunction, PlannerKind, ReadRequest, ReadResult, StorageBudget,
+    VssConfig, VssError, WriteRequest, WriteReport,
+};
+use vss_frame::FrameSequence;
+
+/// A shared, thread-safe VSS server handle. Cheap to clone; all clones (and
+/// all [`Session`]s) share the same sharded engine.
+#[derive(Clone)]
+pub struct VssServer {
+    inner: Arc<ServerInner>,
+}
+
+struct ServerInner {
+    engine: ShardedEngine,
+    next_session: AtomicU64,
+}
+
+impl VssServer {
+    /// Opens (or creates) a sharded store with the default shard count.
+    pub fn open(config: VssConfig) -> Result<Self, VssError> {
+        Self::open_sharded(config, 0)
+    }
+
+    /// Opens (or creates) a sharded store with an explicit shard count
+    /// (`0` = [`DEFAULT_SHARD_COUNT`]). Reopening an existing store keeps
+    /// the shard count it was created with.
+    pub fn open_sharded(config: VssConfig, shards: usize) -> Result<Self, VssError> {
+        Ok(Self {
+            inner: Arc::new(ServerInner {
+                engine: ShardedEngine::open(config, shards)?,
+                next_session: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Opens a server rooted at a directory with default configuration.
+    pub fn open_at(root: impl Into<std::path::PathBuf>) -> Result<Self, VssError> {
+        Self::open(VssConfig::new(root))
+    }
+
+    /// Creates a new client session.
+    pub fn session(&self) -> Session {
+        Session {
+            server: self.clone(),
+            id: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The underlying sharded engine (for experiments and tests).
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.inner.engine
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.engine.shard_count()
+    }
+
+    /// The shard owning a logical video name.
+    pub fn shard_of(&self, name: &str) -> usize {
+        self.inner.engine.shard_of(name)
+    }
+
+    /// Point-in-time per-shard statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats { shards: self.inner.engine.shard_stats() }
+    }
+
+    /// Starts the background maintenance scheduler: one worker per shard,
+    /// each periodically sweeping its shard (deferred compression, eviction
+    /// follow-up, compaction) when the shard is otherwise idle. Workers stop
+    /// when the returned guard is dropped.
+    pub fn start_maintenance(&self, interval: Duration) -> MaintenanceScheduler {
+        let workers = (0..self.shard_count())
+            .map(|index| {
+                let (stop, stop_rx) = bounded::<()>(1);
+                let inner = Arc::clone(&self.inner);
+                let handle = std::thread::spawn(move || loop {
+                    match stop_rx.recv_timeout(interval) {
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Skip the shard when a foreground request holds
+                            // its lock (the paper performs this work "when no
+                            // other requests are being executed").
+                            let _ = inner.engine.try_maintain_shard(index);
+                        }
+                    }
+                });
+                MaintenanceWorker { stop: Some(stop), handle: Some(handle) }
+            })
+            .collect();
+        MaintenanceScheduler { workers }
+    }
+}
+
+/// A per-client handle to a [`VssServer`]. All operations take `&self`; the
+/// session routes each call to the shard owning the target video.
+pub struct Session {
+    server: VssServer,
+    id: u64,
+}
+
+impl Session {
+    /// The session's server-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The server this session belongs to.
+    pub fn server(&self) -> &VssServer {
+        &self.server
+    }
+
+    fn engine(&self) -> &ShardedEngine {
+        &self.server.inner.engine
+    }
+
+    /// Creates a logical video, optionally with an explicit storage budget.
+    pub fn create(&self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        self.engine().create_video(name, budget)
+    }
+
+    /// Deletes a logical video and all of its data.
+    pub fn delete(&self, name: &str) -> Result<(), VssError> {
+        self.engine().delete_video(name)
+    }
+
+    /// Writes a frame sequence to a logical video (creating it if needed).
+    pub fn write(&self, request: &WriteRequest, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        self.engine().write(request, frames)
+    }
+
+    /// Appends frames to a logical video's original representation.
+    pub fn append(&self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        self.engine().append(name, frames)
+    }
+
+    /// Executes a read with the default (optimal) planner.
+    pub fn read(&self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        self.engine().read(request)
+    }
+
+    /// Executes a read with an explicit planner choice.
+    pub fn read_with_planner(
+        &self,
+        request: &ReadRequest,
+        planner: PlannerKind,
+    ) -> Result<ReadResult, VssError> {
+        self.engine().read_with_planner(request, planner)
+    }
+
+    /// Names of all logical videos in the store.
+    pub fn video_names(&self) -> Vec<String> {
+        self.engine().video_names()
+    }
+
+    /// Bytes used by a logical video across all physical representations.
+    pub fn bytes_used(&self, name: &str) -> Result<u64, VssError> {
+        self.engine().bytes_used(name)
+    }
+
+    /// The storage budget of a logical video in bytes, if bounded.
+    pub fn budget_bytes(&self, name: &str) -> Result<Option<u64>, VssError> {
+        self.engine().budget_bytes(name)
+    }
+
+    /// Fraction of the storage budget currently consumed.
+    pub fn budget_fraction(&self, name: &str) -> Result<Option<f64>, VssError> {
+        self.engine().budget_fraction(name)
+    }
+
+    /// Runs compaction for a logical video, returning the number of merges.
+    pub fn compact(&self, name: &str) -> Result<usize, VssError> {
+        self.engine().compact(name)
+    }
+
+    /// Jointly compresses the overlapping portion of two videos (cross-shard
+    /// operation; see the crate docs for the lock-ordering protocol).
+    pub fn joint_compress(
+        &self,
+        left: &str,
+        right: &str,
+        merge: MergeFunction,
+    ) -> Result<JointOutcome, VssError> {
+        self.engine().joint_compress(left, right, merge)
+    }
+
+    /// Runs a function with exclusive access to the engine shard owning
+    /// `name` (experiment/ablation escape hatch, mirroring
+    /// [`vss_core::Vss::with_engine`]).
+    pub fn with_engine<R>(&self, name: &str, f: impl FnOnce(&mut Engine) -> R) -> R {
+        self.engine().with_engine(name, f)
+    }
+}
+
+struct MaintenanceWorker {
+    stop: Option<Sender<()>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Guard for the per-shard background maintenance workers; dropping it stops
+/// and joins every worker.
+pub struct MaintenanceScheduler {
+    workers: Vec<MaintenanceWorker>,
+}
+
+impl MaintenanceScheduler {
+    /// Number of maintenance workers (one per shard).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vss_codec::Codec;
+    use vss_frame::{pattern, PixelFormat};
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "vss-server-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn sequence(frames: usize, seed: u64) -> FrameSequence {
+        let frames: Vec<_> = (0..frames)
+            .map(|i| pattern::gradient(64, 48, PixelFormat::Yuv420, seed + i as u64))
+            .collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    /// Two names guaranteed to live on different shards of `server`.
+    fn names_on_distinct_shards(server: &VssServer) -> (String, String) {
+        let first = "cam-0".to_string();
+        for i in 1..64 {
+            let candidate = format!("cam-{i}");
+            if server.shard_of(&candidate) != server.shard_of(&first) {
+                return (first, candidate);
+            }
+        }
+        panic!("no distinct shard found across 64 names");
+    }
+
+    #[test]
+    fn session_round_trip_and_accounting() {
+        let root = temp_root("roundtrip");
+        let server = VssServer::open_sharded(VssConfig::new(&root), 4).unwrap();
+        assert_eq!(server.shard_count(), 4);
+        let writer = server.session();
+        let reader = server.session();
+        assert_ne!(writer.id(), reader.id());
+        writer.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 0)).unwrap();
+        assert_eq!(reader.video_names(), vec!["v".to_string()]);
+        assert!(reader.bytes_used("v").unwrap() > 0);
+        assert!(reader.budget_bytes("v").unwrap().unwrap() > reader.bytes_used("v").unwrap());
+        let result = reader.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)).unwrap();
+        assert_eq!(result.frames.len(), 30);
+        writer.delete("v").unwrap();
+        assert!(reader.video_names().is_empty());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn reopen_preserves_shard_count_and_data() {
+        let root = temp_root("reopen");
+        {
+            let server = VssServer::open_sharded(VssConfig::new(&root), 3).unwrap();
+            let session = server.session();
+            for i in 0..6 {
+                session
+                    .write(&WriteRequest::new(format!("cam-{i}"), Codec::H264), &sequence(30, i))
+                    .unwrap();
+            }
+        }
+        // A different requested count is ignored: routing is on-disk layout.
+        let server = VssServer::open_sharded(VssConfig::new(&root), 9).unwrap();
+        assert_eq!(server.shard_count(), 3);
+        let session = server.session();
+        assert_eq!(session.video_names().len(), 6);
+        for i in 0..6 {
+            let read = session
+                .read(&ReadRequest::new(format!("cam-{i}"), 0.0, 1.0, Codec::H264).uncacheable())
+                .unwrap();
+            assert_eq!(read.frames.len(), 30);
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn clients_on_distinct_videos_take_distinct_locks() {
+        let root = temp_root("distinct");
+        let server = VssServer::open_sharded(VssConfig::new(&root), 4).unwrap();
+        let (a, b) = names_on_distinct_shards(&server);
+        let session = server.session();
+        session.write(&WriteRequest::new(&a, Codec::H264), &sequence(30, 1)).unwrap();
+        session.write(&WriteRequest::new(&b, Codec::H264), &sequence(30, 2)).unwrap();
+
+        // Hold `a`'s shard lock exclusively; a read of `b` must still finish.
+        let (entered_tx, entered_rx) = bounded::<()>(1);
+        let (release_tx, release_rx) = bounded::<()>(1);
+        let holder = {
+            let server = server.clone();
+            let a = a.clone();
+            std::thread::spawn(move || {
+                server.engine().with_engine(&a, |_engine| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let (done_tx, done_rx) = bounded::<usize>(1);
+        let b_reader = {
+            let server = server.clone();
+            let b = b.clone();
+            std::thread::spawn(move || {
+                let session = server.session();
+                let frames = session
+                    .read(&ReadRequest::new(&b, 0.0, 1.0, Codec::H264).uncacheable())
+                    .unwrap()
+                    .frames
+                    .len();
+                done_tx.send(frames).unwrap();
+            })
+        };
+        let frames = done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("read of another shard's video must not block on a held shard lock");
+        assert_eq!(frames, 30);
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        b_reader.join().unwrap();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn stats_track_ops_lock_wait_and_hit_rate() {
+        let root = temp_root("stats");
+        let server = VssServer::open_sharded(VssConfig::new(&root), 2).unwrap();
+        let session = server.session();
+        session.write(&WriteRequest::new("v", Codec::H264), &sequence(60, 3)).unwrap();
+        // Cold read transcodes from the original and admits a fragment...
+        session.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
+        // ...which the warm read then hits.
+        session.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.shards.len(), 2);
+        assert_eq!(stats.total_write_ops(), 1);
+        assert_eq!(stats.total_read_ops(), 2);
+        assert!(stats.total_bytes_written() > 0);
+        assert!(stats.total_bytes_read() > 0);
+        let owner = &stats.shards[server.shard_of("v")];
+        assert_eq!(owner.videos, 1);
+        assert_eq!(owner.cache_hit_reads, 1);
+        assert!((owner.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn maintenance_scheduler_sweeps_idle_shards() {
+        let root = temp_root("maintenance");
+        let server = VssServer::open_sharded(VssConfig::new(&root), 2).unwrap();
+        let session = server.session();
+        session.with_engine("v", |engine| engine.config.deferred_compression = false);
+        session.create("v", Some(StorageBudget::Bytes(50_000_000))).unwrap();
+        let raw: Vec<_> =
+            (0..9).map(|i| pattern::gradient(64, 48, PixelFormat::Rgb8, i as u64)).collect();
+        let raw = FrameSequence::new(raw, 30.0).unwrap();
+        session.write(&WriteRequest::new("v", Codec::Raw(PixelFormat::Rgb8)), &raw).unwrap();
+        session.with_engine("v", |engine| engine.config.deferred_compression = true);
+        let used = session.bytes_used("v").unwrap();
+        // Tighten the budget so deferred compression activates.
+        session.with_engine("v", |engine| {
+            engine.set_storage_budget_bytes("v", Some(used + 1)).unwrap();
+        });
+        {
+            let scheduler = server.start_maintenance(Duration::from_millis(5));
+            assert_eq!(scheduler.worker_count(), 2);
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while session.bytes_used("v").unwrap() >= used && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert!(
+            session.bytes_used("v").unwrap() < used,
+            "per-shard maintenance worker should shrink raw pages"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

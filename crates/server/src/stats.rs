@@ -1,0 +1,145 @@
+//! Per-shard operation statistics.
+//!
+//! Every shard keeps a set of monotone atomic counters that its lock wrappers
+//! and operation wrappers bump as requests flow through. Counters are plain
+//! atomics read without any lock; snapshotting additionally takes each
+//! shard's read lock briefly (for the live video count) through a *quiet*
+//! acquisition that records no lock-wait — observers never show up in the
+//! contention metrics they report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use vss_core::{ReadStats, WriteReport};
+
+/// Monotone counters for one shard. All methods take `&self`.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Total time spent waiting to acquire this shard's engine lock, in
+    /// nanoseconds (both shared and exclusive acquisitions).
+    lock_wait_nanos: AtomicU64,
+    /// Completed read operations.
+    read_ops: AtomicU64,
+    /// Reads whose plan used at least one cached (non-original) fragment.
+    cache_hit_reads: AtomicU64,
+    /// Completed write/append operations.
+    write_ops: AtomicU64,
+    /// Bytes read from disk by reads.
+    bytes_read: AtomicU64,
+    /// Bytes written to disk by writes/appends.
+    bytes_written: AtomicU64,
+}
+
+impl ShardStats {
+    pub(crate) fn record_lock_wait(&self, waited: Duration) {
+        self.lock_wait_nanos.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self, stats: &ReadStats) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(stats.bytes_read, Ordering::Relaxed);
+        if stats.cached_fragments_used > 0 {
+            self.cache_hit_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_write(&self, report: &WriteReport) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(report.bytes_written, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize, videos: usize) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            shard,
+            videos,
+            lock_wait: Duration::from_nanos(self.lock_wait_nanos.load(Ordering::Relaxed)),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            cache_hit_reads: self.cache_hit_reads.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStatsSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Logical videos currently owned by the shard.
+    pub videos: usize,
+    /// Total time clients spent waiting for this shard's lock.
+    pub lock_wait: Duration,
+    /// Completed read operations.
+    pub read_ops: u64,
+    /// Reads whose plan used at least one cached (non-original) fragment.
+    pub cache_hit_reads: u64,
+    /// Completed write/append operations.
+    pub write_ops: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Fraction of reads served (at least partly) from cached fragments.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.read_ops == 0 {
+            0.0
+        } else {
+            self.cache_hit_reads as f64 / self.read_ops as f64
+        }
+    }
+}
+
+/// Statistics for every shard of a server, plus whole-server aggregates.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// One snapshot per shard, in shard order.
+    pub shards: Vec<ShardStatsSnapshot>,
+}
+
+impl ServerStats {
+    /// Total reads across all shards.
+    pub fn total_read_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_ops).sum()
+    }
+
+    /// Total writes/appends across all shards.
+    pub fn total_write_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.write_ops).sum()
+    }
+
+    /// Total cache-hit reads across all shards (reads whose plan used at
+    /// least one cached fragment). Useful for windowed hit rates: diff two
+    /// snapshots' totals.
+    pub fn total_cache_hit_reads(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hit_reads).sum()
+    }
+
+    /// Total bytes read across all shards.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_read).sum()
+    }
+
+    /// Total bytes written across all shards.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_written).sum()
+    }
+
+    /// Summed lock-wait time across all shards.
+    pub fn total_lock_wait(&self) -> Duration {
+        self.shards.iter().map(|s| s.lock_wait).sum()
+    }
+
+    /// Whole-server cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let reads = self.total_read_ops();
+        if reads == 0 {
+            0.0
+        } else {
+            self.shards.iter().map(|s| s.cache_hit_reads).sum::<u64>() as f64 / reads as f64
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-shard lock-ordering test.
+//!
+//! Joint compression of a video pair is the one operation that must hold two
+//! shard locks at once. The protocol (see `vss-server`'s crate docs) acquires
+//! them in ascending shard index order regardless of argument order, so two
+//! clients jointly compressing the same pair as `(a, b)` and `(b, a)`
+//! concurrently must never deadlock — with naive argument-order locking this
+//! test hangs. Both orders must also agree on the outcome.
+//!
+//! The joint path takes *shared* guards, but ordering is still load-bearing:
+//! with a write-preferring rwlock, two unordered two-lock readers plus a
+//! single-lock writer can cycle (reader 1 holds shard A and waits on shard B
+//! behind a pending writer; the writer waits on reader 2's shard-B read
+//! guard; reader 2 waits on shard A). The writer thread below keeps
+//! exclusive lock traffic flowing on both shards throughout the run to make
+//! exactly that interleaving reachable.
+
+use crossbeam::channel::bounded;
+use std::mem::discriminant;
+use std::time::Duration;
+use vss_codec::Codec;
+use vss_core::{MergeFunction, VssConfig, WriteRequest};
+use vss_frame::{pattern, FrameSequence, PixelFormat};
+use vss_server::VssServer;
+
+const ITERATIONS: usize = 6;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("vss-server-lockorder-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn sequence(seed: u64) -> FrameSequence {
+    let frames: Vec<_> =
+        (0..6).map(|i| pattern::gradient(64, 48, PixelFormat::Rgb8, seed + i as u64)).collect();
+    FrameSequence::new(frames, 30.0).unwrap()
+}
+
+/// Finds two video names routed to different shards (panics if 64 candidates
+/// all collide, which the routing-spread unit test rules out).
+fn names_on_distinct_shards(server: &VssServer) -> (String, String) {
+    let first = "pair-0".to_string();
+    for candidate in 1..64 {
+        let name = format!("pair-{candidate}");
+        if server.shard_of(&name) != server.shard_of(&first) {
+            return (first, name);
+        }
+    }
+    panic!("no pair of names on distinct shards among 64 candidates");
+}
+
+/// Finds two video names routed to the *same* shard.
+fn names_on_same_shard(server: &VssServer) -> (String, String) {
+    let first = "same-0".to_string();
+    for candidate in 1..64 {
+        let name = format!("same-{candidate}");
+        if server.shard_of(&name) == server.shard_of(&first) {
+            return (first, name);
+        }
+    }
+    panic!("no pair of names on the same shard among 64 candidates");
+}
+
+#[test]
+fn joint_compression_in_both_orders_never_deadlocks() {
+    let root = temp_root("both-orders");
+    let server = VssServer::open_sharded(VssConfig::new(&root), 4).unwrap();
+    let (a, b) = names_on_distinct_shards(&server);
+    let session = server.session();
+    session.write(&WriteRequest::new(&a, Codec::H264), &sequence(0)).unwrap();
+    session.write(&WriteRequest::new(&b, Codec::H264), &sequence(1)).unwrap();
+
+    let (done_tx, done_rx) = bounded::<()>(2);
+    let (stop_writer_tx, stop_writer_rx) = bounded::<()>(1);
+    // Single-lock writer: keeps exclusive lock traffic flowing on both
+    // shards while the two joint-compression orders race. Appends are capped
+    // so the videos (which every joint iteration decodes in full) stay small.
+    let writer = {
+        let server = server.clone();
+        let (a, b) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            let session = server.session();
+            let mut turn = 0usize;
+            while stop_writer_rx.recv_timeout(Duration::from_millis(1)).is_err() {
+                if turn < 40 {
+                    let target = if turn.is_multiple_of(2) { &a } else { &b };
+                    session.append(target, &sequence(10 + turn as u64)).unwrap();
+                }
+                turn += 1;
+            }
+        })
+    };
+    let mut handles = Vec::new();
+    for (left, right) in [(a.clone(), b.clone()), (b.clone(), a.clone())] {
+        let server = server.clone();
+        let done = done_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let session = server.session();
+            for _ in 0..ITERATIONS {
+                // The store mutates under the writer, so the *outcome* may
+                // legitimately vary between iterations; what must hold is
+                // that every call completes (ordered acquisition, no cycle).
+                session
+                    .joint_compress(&left, &right, MergeFunction::Mean)
+                    .expect("joint compression call failed");
+            }
+            done.send(()).unwrap();
+        }));
+    }
+    drop(done_tx);
+
+    // The deadlock check: both threads must finish within the watchdog.
+    done_rx
+        .recv_timeout(WATCHDOG)
+        .expect("joint compression deadlocked across shards (order 1)");
+    done_rx
+        .recv_timeout(WATCHDOG)
+        .expect("joint compression deadlocked across shards (order 2)");
+    stop_writer_tx.send(()).unwrap();
+    writer.join().expect("writer thread panicked");
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn same_shard_pairs_lock_once_and_self_pairs_are_rejected() {
+    let root = temp_root("same-shard");
+    let server = VssServer::open_sharded(VssConfig::new(&root), 4).unwrap();
+    let (a, b) = names_on_same_shard(&server);
+    let session = server.session();
+    session.write(&WriteRequest::new(&a, Codec::H264), &sequence(0)).unwrap();
+    session.write(&WriteRequest::new(&b, Codec::H264), &sequence(1)).unwrap();
+    // Would deadlock on a double-acquire of the shard lock if the same-shard
+    // case were not collapsed to a single acquisition.
+    let forward = session.joint_compress(&a, &b, MergeFunction::Mean).unwrap();
+    let backward = session.joint_compress(&b, &a, MergeFunction::Mean).unwrap();
+    assert_eq!(discriminant(&forward), discriminant(&backward));
+    assert!(session.joint_compress(&a, &a, MergeFunction::Mean).is_err());
+    let _ = std::fs::remove_dir_all(root);
+}

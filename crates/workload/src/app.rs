@@ -16,13 +16,27 @@
 //! format and the *application* performs the resize and colour conversion,
 //! exactly as the paper's baseline does. Multiple clients run the same
 //! phases concurrently against a shared store.
+//!
+//! # Concurrency model
+//!
+//! A [`SharedStore`] is a [`StoreFactory`]: each client thread asks it for
+//! its *own* [`VideoStore`] handle. Against the sharded [`VssServer`]
+//! (see [`server_store`]) every client gets an independent session and the
+//! storage manager itself provides the concurrency — there is no driver-side
+//! lock at all. Stores that are not internally thread-safe (the local file
+//! system and VStore-like baselines) are adapted by [`shared_store`], whose
+//! per-client handles serialize on one mutex exactly like the historical
+//! `Arc<Mutex<Box<dyn VideoStore>>>` driver did.
 
 use crate::detector::{detect_vehicles, Detection, DetectorParams};
-use std::sync::{Arc, Mutex};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vss_baseline::{BaselineError, VideoStore};
+use vss_baseline::{BaselineError, StoreReadResult, StoreWriteResult, VideoStore};
 use vss_codec::Codec;
+use vss_core::{ReadRequest, WriteRequest};
 use vss_frame::{resize_bilinear, PixelFormat, Resolution};
+use vss_server::VssServer;
 
 /// Application configuration.
 #[derive(Debug, Clone)]
@@ -71,16 +85,157 @@ impl PhaseTimings {
     }
 }
 
-/// A shared, thread-safe store handle used by the application driver.
-pub type SharedStore = Arc<Mutex<Box<dyn VideoStore + Send>>>;
+/// Hands out per-client [`VideoStore`] handles for the multi-client
+/// application driver.
+pub trait StoreFactory: Send + Sync {
+    /// Human-readable name used in benchmark output.
+    fn label(&self) -> &'static str;
 
-/// Wraps a store for use by the (possibly multi-client) application driver.
-pub fn shared_store(store: Box<dyn VideoStore + Send>) -> SharedStore {
-    Arc::new(Mutex::new(store))
+    /// Creates a store handle for one client. Handles from the same factory
+    /// share the underlying store state.
+    fn client(&self) -> Box<dyn VideoStore + Send>;
 }
 
-/// Runs all three phases once and returns the per-phase timings.
+/// A shared, thread-safe store handle used by the application driver.
+pub type SharedStore = Arc<dyn StoreFactory>;
+
+/// Wraps a store that is not internally thread-safe for use by the
+/// (possibly multi-client) application driver: every per-client handle
+/// serializes on one mutex around the store — the compatibility shim for
+/// the baseline stores (and the historical behaviour of this driver).
+pub fn shared_store(store: Box<dyn VideoStore + Send>) -> SharedStore {
+    let label = store.label();
+    Arc::new(MutexStoreFactory { label, store: Arc::new(Mutex::new(store)) })
+}
+
+/// Wraps a sharded [`VssServer`] for the application driver: every client
+/// handle is its own server session, so concurrency is provided by the
+/// storage manager (per-shard locks) with no driver-side lock.
+pub fn server_store(server: VssServer) -> SharedStore {
+    Arc::new(ServerStoreFactory { server })
+}
+
+struct MutexStoreFactory {
+    label: &'static str,
+    store: Arc<Mutex<Box<dyn VideoStore + Send>>>,
+}
+
+impl StoreFactory for MutexStoreFactory {
+    fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn client(&self) -> Box<dyn VideoStore + Send> {
+        Box::new(MutexStoreClient { store: Arc::clone(&self.store) })
+    }
+}
+
+/// A per-client handle that takes the shared mutex around every operation.
+struct MutexStoreClient {
+    store: Arc<Mutex<Box<dyn VideoStore + Send>>>,
+}
+
+impl VideoStore for MutexStoreClient {
+    fn label(&self) -> &'static str {
+        self.store.lock().label()
+    }
+
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &vss_frame::FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError> {
+        self.store.lock().write_video(name, codec, frames)
+    }
+
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError> {
+        self.store.lock().read_video(name, start, end, resolution, codec)
+    }
+
+    fn supports_conversion(&self, from: Codec, to: Codec) -> bool {
+        self.store.lock().supports_conversion(from, to)
+    }
+}
+
+struct ServerStoreFactory {
+    server: VssServer,
+}
+
+impl StoreFactory for ServerStoreFactory {
+    fn label(&self) -> &'static str {
+        "vss-server"
+    }
+
+    fn client(&self) -> Box<dyn VideoStore + Send> {
+        Box::new(ServerClient { session: self.server.session() })
+    }
+}
+
+/// A per-client handle over a server session (no driver-side locking).
+struct ServerClient {
+    session: vss_server::Session,
+}
+
+impl VideoStore for ServerClient {
+    fn label(&self) -> &'static str {
+        "vss-server"
+    }
+
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &vss_frame::FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError> {
+        let report = self.session.write(&WriteRequest::new(name, codec), frames)?;
+        Ok(StoreWriteResult { elapsed: report.elapsed, bytes_written: report.bytes_written })
+    }
+
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError> {
+        let started = Instant::now();
+        let mut request = ReadRequest::new(name, start, end, codec);
+        if let Some(resolution) = resolution {
+            request = request.at_resolution(resolution);
+        }
+        let result = self.session.read(&request)?;
+        Ok(StoreReadResult {
+            frames: result.frames,
+            elapsed: started.elapsed(),
+            bytes_read: result.stats.bytes_read,
+        })
+    }
+
+    fn supports_conversion(&self, _from: Codec, _to: Codec) -> bool {
+        true
+    }
+}
+
+/// Runs all three phases once against a per-client handle from the shared
+/// store factory, returning the per-phase timings.
 pub fn run_client(store: &SharedStore, config: &AppConfig) -> Result<PhaseTimings, BaselineError> {
+    run_client_with(&mut *store.client(), config)
+}
+
+/// Runs all three phases once against an explicit store handle.
+pub fn run_client_with(
+    store: &mut dyn VideoStore,
+    config: &AppConfig,
+) -> Result<PhaseTimings, BaselineError> {
     let mut timings = PhaseTimings::default();
 
     // --- Phase 1: indexing -------------------------------------------------
@@ -141,10 +296,8 @@ pub fn run_client(store: &SharedStore, config: &AppConfig) -> Result<PhaseTiming
     let started = Instant::now();
     for (start, _) in &matching {
         let clip_end = (start + config.clip_length).min(config.duration);
-        let store_supports = store.lock().expect("store lock").supports_conversion(config.source_codec, Codec::H264);
-        if store_supports {
-            let mut guard = store.lock().expect("store lock");
-            guard.read_video(&config.video, *start, clip_end, None, Codec::H264)?;
+        if store.supports_conversion(config.source_codec, Codec::H264) {
+            store.read_video(&config.video, *start, clip_end, None, Codec::H264)?;
         } else {
             // The application decodes in the stored format and transcodes
             // itself (the paper's OpenCV + local-file-system variant).
@@ -159,7 +312,9 @@ pub fn run_client(store: &SharedStore, config: &AppConfig) -> Result<PhaseTiming
 }
 
 /// Runs `clients` concurrent clients against the shared store and returns the
-/// per-client timings (in client order).
+/// per-client timings (in client order). Each client thread gets its own
+/// store handle from the factory (a private session against the sharded
+/// server; a mutex-sharing handle for the baseline stores).
 pub fn run_clients(
     store: &SharedStore,
     config: &AppConfig,
@@ -170,7 +325,7 @@ pub fn run_clients(
     for _ in 0..clients {
         let store = Arc::clone(store);
         let config = config.clone();
-        handles.push(std::thread::spawn(move || run_client(&store, &config)));
+        handles.push(std::thread::spawn(move || run_client_with(&mut *store.client(), &config)));
     }
     let mut results = Vec::with_capacity(clients);
     for handle in handles {
@@ -182,20 +337,15 @@ pub fn run_clients(
 /// Reads a range in the requested configuration, falling back to
 /// application-side conversion when the store cannot convert formats.
 fn read_as(
-    store: &SharedStore,
+    store: &mut dyn VideoStore,
     config: &AppConfig,
     start: f64,
     end: f64,
     resolution: Option<Resolution>,
     codec: Codec,
 ) -> Result<vss_frame::FrameSequence, BaselineError> {
-    let native = {
-        let guard = store.lock().expect("store lock");
-        guard.supports_conversion(config.source_codec, codec)
-    };
-    if native {
-        let mut guard = store.lock().expect("store lock");
-        match guard.read_video(&config.video, start, end, resolution, codec) {
+    if store.supports_conversion(config.source_codec, codec) {
+        match store.read_video(&config.video, start, end, resolution, codec) {
             Ok(result) => return Ok(result.frames),
             Err(BaselineError::Unsupported(_)) => {}
             Err(other) => return Err(other),
@@ -203,10 +353,7 @@ fn read_as(
     }
     // Store-side conversion unavailable: read in the stored format and let
     // the application convert.
-    let result = {
-        let mut guard = store.lock().expect("store lock");
-        guard.read_video(&config.video, start, end, None, config.source_codec)?
-    };
+    let result = store.read_video(&config.video, start, end, None, config.source_codec)?;
     let mut converted = Vec::with_capacity(result.frames.len());
     for frame in result.frames.frames() {
         let frame = match resolution {
@@ -294,9 +441,34 @@ mod tests {
         let mut store = VssStore::new(vss);
         store.write_video(&config.video, config.source_codec, &frames).unwrap();
         let shared = shared_store(Box::new(store));
+        assert_eq!(shared.label(), "vss");
         let results = run_clients(&shared, &config, 2).unwrap();
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|t| t.indexed_ranges > 0));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn application_runs_against_the_sharded_server_without_a_driver_lock() {
+        let (config, frames, root) = scenario("server");
+        let server = vss_server::VssServer::open_sharded(
+            vss_core::VssConfig::new(root.join("server")),
+            4,
+        )
+        .unwrap();
+        server
+            .session()
+            .write(&WriteRequest::new(&config.video, config.source_codec), &frames)
+            .unwrap();
+        let shared = server_store(server.clone());
+        assert_eq!(shared.label(), "vss-server");
+        let results = run_clients(&shared, &config, 2).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|t| t.indexed_ranges > 0));
+        assert!(results.iter().all(|t| t.clips == t.matching_ranges));
+        // Each client ran on its own session against the shard owning the
+        // video; the server accounted their reads.
+        assert!(server.stats().total_read_ops() > 0);
         let _ = std::fs::remove_dir_all(root);
     }
 }

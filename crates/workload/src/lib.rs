@@ -26,7 +26,10 @@ pub mod pairs;
 pub mod queries;
 pub mod scene;
 
-pub use app::{run_client, run_clients, shared_store, AppConfig, PhaseTimings, SharedStore};
+pub use app::{
+    run_client, run_client_with, run_clients, server_store, shared_store, AppConfig, PhaseTimings,
+    SharedStore, StoreFactory,
+};
 pub use datasets::{DatasetSpec, GeneratedDataset};
 pub use detector::{detect_vehicles, Detection, DetectorParams};
 pub use pairs::{random_pairs, GroundTruthPairs};
