@@ -12,9 +12,22 @@
 //!   every declared format at write time, and reads are served only for
 //!   staged formats.
 //!
-//! Both implement the [`VideoStore`] trait, as does [`VssStore`], a thin
-//! adapter over [`vss_core::Vss`], so the benchmark harness can drive all
-//! three uniformly.
+//! Both implement [`vss_core::VideoStorage`] — the same unified contract the
+//! VSS engine ([`vss_core::Vss`]) and the sharded `vss-server` sessions
+//! implement — so the benchmark harness and the end-to-end application
+//! driver swap stores without code changes. Unsupported conversions surface
+//! as [`VssError::Unsupported`]. Their streaming behaviour is honest about
+//! the architecture the paper criticizes: `read_stream` still reads the
+//! **whole monolithic file** before the first chunk decodes (GOP-at-a-time
+//! decode, O(file) I/O), and `write_sink` falls back to buffering the clip
+//! and batch-writing at finish — contrast with VSS, where both directions
+//! are O(GOP).
+//!
+//! The historical [`VideoStore`] trait (with its per-store
+//! [`StoreReadResult`]/[`StoreWriteResult`]) is deprecated; every
+//! [`VideoStorage`] implementor satisfies it through a blanket shim. Port
+//! call sites to request-based calls, e.g.
+//! `store.read(&ReadRequest::new(name, start, end, codec))`.
 
 #![warn(missing_docs)]
 
@@ -23,10 +36,15 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use vss_codec::{codec_instance, encode_to_gops, Codec, EncodedGop, EncoderConfig};
-use vss_core::{ReadRequest, Vss, WriteRequest};
+use vss_core::{
+    ChunkStats, ReadChunk, ReadRequest, ReadResult, ReadStream, StorageBudget, VideoMetadata,
+    VideoStorage, VssError, WriteReport, WriteRequest,
+};
 use vss_frame::{FrameSequence, Resolution};
 
-/// Errors produced by the baseline stores.
+/// Errors produced by the baseline stores (legacy vocabulary; the
+/// [`VideoStorage`] methods speak [`VssError`] directly, and the two convert
+/// into each other without information loss).
 #[derive(Debug)]
 pub enum BaselineError {
     /// Underlying I/O failure.
@@ -54,7 +72,16 @@ impl std::fmt::Display for BaselineError {
     }
 }
 
-impl std::error::Error for BaselineError {}
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Io(e) => Some(e),
+            BaselineError::Codec(e) => Some(e),
+            BaselineError::Vss(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for BaselineError {
     fn from(e: std::io::Error) -> Self {
@@ -68,58 +95,92 @@ impl From<vss_codec::CodecError> for BaselineError {
 }
 impl From<vss_core::VssError> for BaselineError {
     fn from(e: vss_core::VssError) -> Self {
-        BaselineError::Vss(e)
+        match e {
+            VssError::Unsupported(msg) => BaselineError::Unsupported(msg),
+            VssError::VideoNotFound(name) => BaselineError::NotFound(name),
+            other => BaselineError::Vss(other),
+        }
     }
 }
 
-/// The result of a store read: the decoded frames and the wall-clock time the
-/// store spent.
-#[derive(Debug)]
-pub struct StoreReadResult {
-    /// Decoded frames (always produced so callers can verify content).
-    pub frames: FrameSequence,
-    /// Time spent inside the store.
-    pub elapsed: Duration,
-    /// Bytes read from disk.
-    pub bytes_read: u64,
+/// The inverse mapping, so call sites can mix baseline stores and VSS behind
+/// one `Result<_, VssError>` without hand-mapping errors.
+impl From<BaselineError> for VssError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::Io(e) => VssError::Catalog(vss_catalog::CatalogError::Io(e)),
+            BaselineError::Unsupported(msg) => VssError::Unsupported(msg),
+            BaselineError::NotFound(name) => VssError::VideoNotFound(name),
+            BaselineError::Codec(e) => VssError::Codec(e),
+            BaselineError::Vss(e) => e,
+        }
+    }
 }
 
-/// The result of a store write.
-#[derive(Debug)]
-pub struct StoreWriteResult {
-    /// Time spent inside the store.
-    pub elapsed: Duration,
-    /// Bytes written to disk.
-    pub bytes_written: u64,
+fn io_error(e: std::io::Error) -> VssError {
+    VssError::Catalog(vss_catalog::CatalogError::Io(e))
 }
 
-/// A uniform interface over VSS and the baseline stores, used by the
-/// benchmark harness and the end-to-end application driver.
-pub trait VideoStore {
-    /// Human-readable name used in benchmark output.
-    fn label(&self) -> &'static str;
+/// Builds the GOP-at-a-time chunk iterator shared by both baselines: decode
+/// each overlapping GOP, keep the frames inside `[start, end)`, and (for
+/// same-codec compressed requests) hand the stored GOP through GOP-aligned.
+/// `file_bytes` — the monolithic read both baselines pay up front — is
+/// attributed to the first chunk.
+#[allow(clippy::too_many_arguments)]
+fn baseline_chunks(
+    gops: Vec<EncodedGop>,
+    codec: Codec,
+    frame_rate: f64,
+    start: f64,
+    end: f64,
+    file_bytes: u64,
+    emit_encoded: bool,
+) -> impl Iterator<Item = Result<ReadChunk, VssError>> + Send {
+    let mut time = 0.0f64;
+    let mut positioned = Vec::with_capacity(gops.len());
+    for gop in gops {
+        let duration = gop.frame_count() as f64 / frame_rate;
+        let gop_start = time;
+        time += duration;
+        if gop_start + duration > start && gop_start < end {
+            positioned.push((gop, gop_start));
+        }
+    }
+    let mut first = true;
+    positioned.into_iter().map(move |(gop, gop_start)| {
+        let implementation = codec_instance(codec);
+        let decoded = implementation.decode(&gop)?;
+        let mut frames = FrameSequence::empty(frame_rate)?;
+        for (i, frame) in decoded.frames().iter().enumerate() {
+            let t = gop_start + i as f64 / frame_rate;
+            if t >= start && t < end {
+                frames.push(frame.clone())?;
+            }
+        }
+        let frames_decoded = decoded.len();
+        let bytes_read = if first { file_bytes } else { 0 };
+        first = false;
+        Ok(ReadChunk {
+            frames,
+            encoded_gop: if emit_encoded { Some(gop) } else { None },
+            stats_delta: ChunkStats { gops_read: 1, frames_decoded, bytes_read },
+        })
+    })
+}
 
-    /// Writes a video in the given codec.
-    fn write_video(
-        &mut self,
-        name: &str,
-        codec: Codec,
-        frames: &FrameSequence,
-    ) -> Result<StoreWriteResult, BaselineError>;
-
-    /// Reads `[start, end)` seconds of a video, converted to the requested
-    /// codec and optional resolution.
-    fn read_video(
-        &mut self,
-        name: &str,
-        start: f64,
-        end: f64,
-        resolution: Option<Resolution>,
-        codec: Codec,
-    ) -> Result<StoreReadResult, BaselineError>;
-
-    /// True if the store can serve a read converting `from` into `to`.
-    fn supports_conversion(&self, from: Codec, to: Codec) -> bool;
+/// Validates the request shapes neither baseline can serve (they store one
+/// fixed configuration and perform no resampling).
+fn reject_resampling(request: &ReadRequest, label: &str) -> Result<(), VssError> {
+    if request.spatial.resolution.is_some() {
+        return Err(VssError::Unsupported(format!("{label} cannot rescale")));
+    }
+    if request.spatial.region.is_some() {
+        return Err(VssError::Unsupported(format!("{label} cannot crop")));
+    }
+    if request.temporal.frame_rate.is_some() {
+        return Err(VssError::Unsupported(format!("{label} cannot resample frame rates")));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -133,6 +194,23 @@ struct LocalFsVideo {
     path: PathBuf,
 }
 
+impl LocalFsVideo {
+    fn duration(&self) -> f64 {
+        self.gops.iter().map(|g| g.frame_count()).sum::<usize>() as f64 / self.frame_rate
+    }
+
+    fn write_file(&self) -> Result<u64, VssError> {
+        let mut file_bytes = Vec::new();
+        for gop in &self.gops {
+            let bytes = gop.to_bytes();
+            file_bytes.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            file_bytes.extend_from_slice(&bytes);
+        }
+        fs::write(&self.path, &file_bytes).map_err(io_error)?;
+        Ok(file_bytes.len() as u64)
+    }
+}
+
 /// The local-file-system baseline: one monolithic encoded file per video.
 pub struct LocalFs {
     root: PathBuf,
@@ -142,81 +220,137 @@ pub struct LocalFs {
 
 impl LocalFs {
     /// Creates a store rooted at a directory.
-    pub fn new(root: impl Into<PathBuf>) -> Result<Self, BaselineError> {
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, VssError> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
+        fs::create_dir_all(&root).map_err(io_error)?;
         Ok(Self { root, encoder: EncoderConfig::default(), videos: BTreeMap::new() })
+    }
+
+    fn video(&self, name: &str) -> Result<&LocalFsVideo, VssError> {
+        self.videos.get(name).ok_or_else(|| VssError::VideoNotFound(name.into()))
     }
 }
 
-impl VideoStore for LocalFs {
+impl VideoStorage for LocalFs {
     fn label(&self) -> &'static str {
         "local-fs"
     }
 
-    fn write_video(
-        &mut self,
-        name: &str,
-        codec: Codec,
-        frames: &FrameSequence,
-    ) -> Result<StoreWriteResult, BaselineError> {
-        let started = Instant::now();
-        let gops = encode_to_gops(frames, codec, &self.encoder)?;
-        let path = self.root.join(format!("{name}.{}", codec.name()));
-        let mut file_bytes = Vec::new();
-        for gop in &gops {
-            let bytes = gop.to_bytes();
-            file_bytes.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-            file_bytes.extend_from_slice(&bytes);
+    fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        if budget.is_some() {
+            return Err(VssError::Unsupported(
+                "local file system enforces no storage budgets".into(),
+            ));
         }
-        fs::write(&path, &file_bytes)?;
-        let bytes_written = file_bytes.len() as u64;
-        self.videos.insert(
-            name.to_string(),
-            LocalFsVideo { codec, frame_rate: frames.frame_rate(), gops, path },
-        );
-        Ok(StoreWriteResult { elapsed: started.elapsed(), bytes_written })
+        // Videos materialize on first write; nothing to record.
+        let _ = name;
+        Ok(())
     }
 
-    fn read_video(
+    fn delete(&mut self, name: &str) -> Result<(), VssError> {
+        let video =
+            self.videos.remove(name).ok_or_else(|| VssError::VideoNotFound(name.into()))?;
+        if video.path.exists() {
+            fs::remove_file(&video.path).map_err(io_error)?;
+        }
+        Ok(())
+    }
+
+    fn write(
         &mut self,
-        name: &str,
-        start: f64,
-        end: f64,
-        resolution: Option<Resolution>,
-        codec: Codec,
-    ) -> Result<StoreReadResult, BaselineError> {
+        request: &WriteRequest,
+        frames: &FrameSequence,
+    ) -> Result<WriteReport, VssError> {
         let started = Instant::now();
-        let video = self.videos.get(name).ok_or_else(|| BaselineError::NotFound(name.into()))?;
-        if codec != video.codec {
-            return Err(BaselineError::Unsupported(format!(
+        if frames.is_empty() {
+            return Err(VssError::EmptyWrite);
+        }
+        let gops = encode_to_gops(frames, request.codec, &self.encoder)?;
+        let path = self.root.join(format!("{}.{}", request.name, request.codec.name()));
+        let video = LocalFsVideo {
+            codec: request.codec,
+            frame_rate: frames.frame_rate(),
+            gops,
+            path,
+        };
+        let bytes_written = video.write_file()?;
+        let gops_written = video.gops.len();
+        self.videos.insert(request.name.clone(), video);
+        Ok(WriteReport {
+            physical_id: 0,
+            gops_written,
+            frames_written: frames.len(),
+            bytes_written,
+            deferred_levels: vec![0; gops_written],
+            elapsed: started.elapsed(),
+        })
+    }
+
+    fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        let started = Instant::now();
+        if frames.is_empty() {
+            return Err(VssError::EmptyWrite);
+        }
+        let encoder = self.encoder;
+        let video =
+            self.videos.get_mut(name).ok_or_else(|| VssError::VideoNotFound(name.into()))?;
+        if (frames.frame_rate() - video.frame_rate).abs() > 1e-9 {
+            return Err(VssError::Unsupported("append must match the stored frame rate".into()));
+        }
+        let new_gops = encode_to_gops(frames, video.codec, &encoder)?;
+        let gops_written = new_gops.len();
+        let before = fs::metadata(&video.path).map(|m| m.len()).unwrap_or(0);
+        video.gops.extend(new_gops);
+        // The monolithic file is rewritten in full — the baseline's append
+        // cost the paper's GOP-file layout avoids.
+        let total = video.write_file()?;
+        Ok(WriteReport {
+            physical_id: 0,
+            gops_written,
+            frames_written: frames.len(),
+            bytes_written: total - before,
+            deferred_levels: vec![0; gops_written],
+            elapsed: started.elapsed(),
+        })
+    }
+
+    fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        self.read_stream(request)?.drain()
+    }
+
+    fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        reject_resampling(request, "local file system")?;
+        let video = self.video(&request.name)?;
+        if request.physical.codec != video.codec {
+            return Err(VssError::Unsupported(format!(
                 "local file system cannot convert {} to {}",
-                video.codec, codec
+                video.codec, request.physical.codec
             )));
         }
-        if resolution.is_some() {
-            return Err(BaselineError::Unsupported("local file system cannot rescale".into()));
-        }
-        // Read the monolithic file back, then decode the requested range.
-        let file_bytes = fs::read(&video.path)?;
-        let bytes_read = file_bytes.len() as u64;
-        let implementation = codec_instance(video.codec);
-        let mut frames = FrameSequence::empty(video.frame_rate).map_err(vss_codec::CodecError::from)?;
-        let mut time = 0.0f64;
-        for gop in &video.gops {
-            let duration = gop.frame_count() as f64 / video.frame_rate;
-            if time + duration > start && time < end {
-                let decoded = implementation.decode(gop)?;
-                for (i, frame) in decoded.frames().iter().enumerate() {
-                    let t = time + i as f64 / video.frame_rate;
-                    if t >= start && t < end {
-                        frames.push(frame.clone()).map_err(vss_codec::CodecError::from)?;
-                    }
-                }
-            }
-            time += duration;
-        }
-        Ok(StoreReadResult { frames, elapsed: started.elapsed(), bytes_read })
+        // The whole monolithic file is read up front — decoding is then
+        // GOP-at-a-time, but the I/O is O(file) by construction.
+        let file_bytes = fs::read(&video.path).map_err(io_error)?.len() as u64;
+        let compressed = request.physical.codec.is_compressed();
+        let chunks = baseline_chunks(
+            video.gops.clone(),
+            video.codec,
+            video.frame_rate,
+            request.temporal.start,
+            request.temporal.end,
+            file_bytes,
+            compressed,
+        );
+        Ok(ReadStream::from_chunks(video.frame_rate, compressed, chunks))
+    }
+
+    fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        let video = self.video(name)?;
+        let bytes_used = fs::metadata(&video.path).map(|m| m.len()).unwrap_or(0);
+        Ok(VideoMetadata {
+            bytes_used,
+            budget_bytes: None,
+            time_range: Some((0.0, video.duration())),
+        })
     }
 
     fn supports_conversion(&self, from: Codec, to: Codec) -> bool {
@@ -244,84 +378,128 @@ type StagedVideo = (f64, Vec<EncodedGop>, PathBuf);
 impl VStoreLike {
     /// Creates a store that will stage the given formats for every written
     /// video (the a-priori workload knowledge VStore requires).
-    pub fn new(root: impl Into<PathBuf>, staged_formats: Vec<Codec>) -> Result<Self, BaselineError> {
+    pub fn new(root: impl Into<PathBuf>, staged_formats: Vec<Codec>) -> Result<Self, VssError> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
+        fs::create_dir_all(&root).map_err(io_error)?;
         Ok(Self { root, encoder: EncoderConfig::default(), staged_formats, videos: BTreeMap::new() })
     }
 }
 
-impl VideoStore for VStoreLike {
+impl VideoStorage for VStoreLike {
     fn label(&self) -> &'static str {
         "vstore-like"
     }
 
-    fn write_video(
+    fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        if budget.is_some() {
+            return Err(VssError::Unsupported("vstore-like enforces no storage budgets".into()));
+        }
+        let _ = name;
+        Ok(())
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), VssError> {
+        let staged =
+            self.videos.remove(name).ok_or_else(|| VssError::VideoNotFound(name.into()))?;
+        for (_, (_, _, path)) in staged {
+            if path.exists() {
+                fs::remove_file(path).map_err(io_error)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn write(
         &mut self,
-        name: &str,
-        codec: Codec,
+        request: &WriteRequest,
         frames: &FrameSequence,
-    ) -> Result<StoreWriteResult, BaselineError> {
+    ) -> Result<WriteReport, VssError> {
         let started = Instant::now();
+        if frames.is_empty() {
+            return Err(VssError::EmptyWrite);
+        }
         let mut staged = BTreeMap::new();
         let mut bytes_written = 0u64;
+        let mut gops_written = 0usize;
         let mut formats = self.staged_formats.clone();
-        if !formats.contains(&codec) {
-            formats.push(codec);
+        if !formats.contains(&request.codec) {
+            formats.push(request.codec);
         }
         // VStore materializes the complete video in every pre-declared
         // format, even if only a small subset will ever be read.
         for format in formats {
             let gops = encode_to_gops(frames, format, &self.encoder)?;
-            let path = self.root.join(format!("{name}.{}", format.name()));
+            let path = self.root.join(format!("{}.{}", request.name, format.name()));
             let mut file_bytes = Vec::new();
             for gop in &gops {
                 file_bytes.extend_from_slice(&gop.to_bytes());
             }
-            fs::write(&path, &file_bytes)?;
+            fs::write(&path, &file_bytes).map_err(io_error)?;
             bytes_written += file_bytes.len() as u64;
+            gops_written += gops.len();
             staged.insert(format.name(), (frames.frame_rate(), gops, path));
         }
-        self.videos.insert(name.to_string(), staged);
-        Ok(StoreWriteResult { elapsed: started.elapsed(), bytes_written })
+        self.videos.insert(request.name.clone(), staged);
+        Ok(WriteReport {
+            physical_id: 0,
+            gops_written,
+            frames_written: frames.len(),
+            bytes_written,
+            deferred_levels: vec![0; gops_written],
+            elapsed: started.elapsed(),
+        })
     }
 
-    fn read_video(
-        &mut self,
-        name: &str,
-        start: f64,
-        end: f64,
-        resolution: Option<Resolution>,
-        codec: Codec,
-    ) -> Result<StoreReadResult, BaselineError> {
-        let started = Instant::now();
-        let video = self.videos.get(name).ok_or_else(|| BaselineError::NotFound(name.into()))?;
-        if resolution.is_some() {
-            return Err(BaselineError::Unsupported("vstore-like staging is full-resolution only".into()));
-        }
+    fn append(&mut self, name: &str, _frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        let _ = self.videos.get(name).ok_or_else(|| VssError::VideoNotFound(name.into()))?;
+        Err(VssError::Unsupported(
+            "vstore-like staging materializes whole videos at write time; append would restage \
+             every declared format"
+                .into(),
+        ))
+    }
+
+    fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        self.read_stream(request)?.drain()
+    }
+
+    fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        reject_resampling(request, "vstore-like staging")?;
+        let video = self
+            .videos
+            .get(&request.name)
+            .ok_or_else(|| VssError::VideoNotFound(request.name.clone()))?;
+        let codec = request.physical.codec;
         let Some((frame_rate, gops, path)) = video.get(codec.name().as_str()) else {
-            return Err(BaselineError::Unsupported(format!(
+            return Err(VssError::Unsupported(format!(
                 "format {codec} was not staged at write time"
             )));
         };
-        let bytes_read = fs::metadata(path)?.len();
-        let implementation = codec_instance(codec);
-        let mut frames = FrameSequence::empty(*frame_rate).map_err(vss_codec::CodecError::from)?;
-        let mut time = 0.0f64;
-        for gop in gops {
-            let duration = gop.frame_count() as f64 / frame_rate;
-            if time + duration > start && time < end {
-                let decoded = implementation.decode(gop)?;
-                for (i, frame) in decoded.frames().iter().enumerate() {
-                    let t = time + i as f64 / frame_rate;
-                    if t >= start && t < end {
-                        frames.push(frame.clone()).map_err(vss_codec::CodecError::from)?;
-                    }
-                }
-            }
-            time += duration;
+        let file_bytes = fs::metadata(path).map_err(io_error)?.len();
+        let compressed = codec.is_compressed();
+        let chunks = baseline_chunks(
+            gops.clone(),
+            codec,
+            *frame_rate,
+            request.temporal.start,
+            request.temporal.end,
+            file_bytes,
+            compressed,
+        );
+        Ok(ReadStream::from_chunks(*frame_rate, compressed, chunks))
+    }
+
+    fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        let staged =
+            self.videos.get(name).ok_or_else(|| VssError::VideoNotFound(name.into()))?;
+        let mut bytes_used = 0u64;
+        let mut duration = 0.0f64;
+        for (frame_rate, gops, path) in staged.values() {
+            bytes_used += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            duration = duration
+                .max(gops.iter().map(|g| g.frame_count()).sum::<usize>() as f64 / frame_rate);
         }
-        Ok(StoreReadResult { frames, elapsed: started.elapsed(), bytes_read })
+        Ok(VideoMetadata { bytes_used, budget_bytes: None, time_range: Some((0.0, duration)) })
     }
 
     fn supports_conversion(&self, _from: Codec, to: Codec) -> bool {
@@ -330,29 +508,70 @@ impl VideoStore for VStoreLike {
 }
 
 // ---------------------------------------------------------------------------
-// VSS adapter
+// Deprecated `VideoStore` shim
 // ---------------------------------------------------------------------------
 
-/// Adapter exposing a [`Vss`] store through the [`VideoStore`] trait.
-pub struct VssStore {
-    vss: Vss,
+/// The result of a legacy store read.
+#[deprecated(note = "use vss_core::VideoStorage::read, which returns ReadResult")]
+#[derive(Debug)]
+pub struct StoreReadResult {
+    /// Decoded frames (always produced so callers can verify content).
+    pub frames: FrameSequence,
+    /// Time spent inside the store.
+    pub elapsed: Duration,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
 }
 
-impl VssStore {
-    /// Wraps an existing VSS handle.
-    pub fn new(vss: Vss) -> Self {
-        Self { vss }
-    }
-
-    /// Access to the underlying handle.
-    pub fn vss(&self) -> &Vss {
-        &self.vss
-    }
+/// The result of a legacy store write.
+#[deprecated(note = "use vss_core::VideoStorage::write, which returns WriteReport")]
+#[derive(Debug)]
+pub struct StoreWriteResult {
+    /// Time spent inside the store.
+    pub elapsed: Duration,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
 }
 
-impl VideoStore for VssStore {
+/// The historical uniform store interface, superseded by
+/// [`vss_core::VideoStorage`] (which additionally covers create/delete,
+/// streaming reads, incremental writes and metadata). Every `VideoStorage`
+/// implementor satisfies this trait through a blanket impl, so legacy call
+/// sites keep compiling while they migrate.
+#[deprecated(note = "use vss_core::VideoStorage; see the crate docs for the migration mapping")]
+pub trait VideoStore {
+    /// Human-readable name used in benchmark output.
+    fn label(&self) -> &'static str;
+
+    /// Writes a video in the given codec.
+    #[allow(deprecated)]
+    fn write_video(
+        &mut self,
+        name: &str,
+        codec: Codec,
+        frames: &FrameSequence,
+    ) -> Result<StoreWriteResult, BaselineError>;
+
+    /// Reads `[start, end)` seconds of a video, converted to the requested
+    /// codec and optional resolution.
+    #[allow(deprecated)]
+    fn read_video(
+        &mut self,
+        name: &str,
+        start: f64,
+        end: f64,
+        resolution: Option<Resolution>,
+        codec: Codec,
+    ) -> Result<StoreReadResult, BaselineError>;
+
+    /// True if the store can serve a read converting `from` into `to`.
+    fn supports_conversion(&self, from: Codec, to: Codec) -> bool;
+}
+
+#[allow(deprecated)]
+impl<S: VideoStorage + ?Sized> VideoStore for S {
     fn label(&self) -> &'static str {
-        "vss"
+        VideoStorage::label(self)
     }
 
     fn write_video(
@@ -361,7 +580,7 @@ impl VideoStore for VssStore {
         codec: Codec,
         frames: &FrameSequence,
     ) -> Result<StoreWriteResult, BaselineError> {
-        let report = self.vss.write(&WriteRequest::new(name, codec), frames)?;
+        let report = VideoStorage::write(self, &WriteRequest::new(name, codec), frames)?;
         Ok(StoreWriteResult { elapsed: report.elapsed, bytes_written: report.bytes_written })
     }
 
@@ -376,9 +595,9 @@ impl VideoStore for VssStore {
         let started = Instant::now();
         let mut request = ReadRequest::new(name, start, end, codec);
         if let Some(resolution) = resolution {
-            request = request.at_resolution(resolution);
+            request = request.resolution(resolution);
         }
-        let result = self.vss.read(&request)?;
+        let result = VideoStorage::read(self, &request)?;
         Ok(StoreReadResult {
             frames: result.frames,
             elapsed: started.elapsed(),
@@ -386,8 +605,8 @@ impl VideoStore for VssStore {
         })
     }
 
-    fn supports_conversion(&self, _from: Codec, _to: Codec) -> bool {
-        true
+    fn supports_conversion(&self, from: Codec, to: Codec) -> bool {
+        VideoStorage::supports_conversion(self, from, to)
     }
 }
 
@@ -416,25 +635,68 @@ mod tests {
     fn local_fs_round_trips_same_format_only() {
         let root = temp_root("localfs");
         let mut store = LocalFs::new(&root).unwrap();
-        let written = store.write_video("v", Codec::H264, &sequence(60)).unwrap();
+        let written = store.write(&WriteRequest::new("v", Codec::H264), &sequence(60)).unwrap();
         assert!(written.bytes_written > 0);
-        let read = store.read_video("v", 0.5, 1.5, None, Codec::H264).unwrap();
+        let read = store.read(&ReadRequest::new("v", 0.5, 1.5, Codec::H264)).unwrap();
         assert_eq!(read.frames.len(), 30);
-        assert!(read.bytes_read >= written.bytes_written);
+        assert!(read.stats.bytes_read >= written.bytes_written);
+        assert!(read.encoded.as_ref().is_some_and(|g| !g.is_empty()), "same-codec GOPs pass through");
         assert!(matches!(
-            store.read_video("v", 0.0, 1.0, None, Codec::Hevc),
-            Err(BaselineError::Unsupported(_))
+            store.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)),
+            Err(VssError::Unsupported(_))
         ));
         assert!(matches!(
-            store.read_video("v", 0.0, 1.0, Some(Resolution::QVGA), Codec::H264),
-            Err(BaselineError::Unsupported(_))
+            store.read(&ReadRequest::new("v", 0.0, 1.0, Codec::H264).resolution(Resolution::QVGA)),
+            Err(VssError::Unsupported(_))
         ));
         assert!(matches!(
-            store.read_video("missing", 0.0, 1.0, None, Codec::H264),
-            Err(BaselineError::NotFound(_))
+            store.read(&ReadRequest::new("missing", 0.0, 1.0, Codec::H264)),
+            Err(VssError::VideoNotFound(_))
         ));
-        assert!(store.supports_conversion(Codec::H264, Codec::H264));
-        assert!(!store.supports_conversion(Codec::H264, Codec::Hevc));
+        assert!(VideoStorage::supports_conversion(&store, Codec::H264, Codec::H264));
+        assert!(!VideoStorage::supports_conversion(&store, Codec::H264, Codec::Hevc));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn local_fs_streaming_matches_materialized_reads() {
+        let root = temp_root("localfs-stream");
+        let mut store = LocalFs::new(&root).unwrap();
+        store.write(&WriteRequest::new("v", Codec::H264), &sequence(90)).unwrap();
+        let request = ReadRequest::new("v", 0.5, 2.5, Codec::H264);
+        let materialized = store.read(&request).unwrap();
+        let mut streamed = FrameSequence::empty(30.0).unwrap();
+        let mut chunks = 0;
+        for chunk in store.read_stream(&request).unwrap() {
+            streamed.extend(chunk.unwrap().frames).unwrap();
+            chunks += 1;
+        }
+        assert!(chunks >= 2, "GOP-at-a-time chunking yields multiple chunks");
+        assert_eq!(streamed.frames(), materialized.frames.frames());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn local_fs_lifecycle_append_delete_metadata() {
+        let root = temp_root("localfs-lifecycle");
+        let mut store = LocalFs::new(&root).unwrap();
+        store.create("v", None).unwrap();
+        assert!(matches!(
+            store.create("v", Some(StorageBudget::Bytes(1))),
+            Err(VssError::Unsupported(_))
+        ));
+        store.write(&WriteRequest::new("v", Codec::H264), &sequence(30)).unwrap();
+        store.append("v", &sequence(30)).unwrap();
+        let metadata = store.metadata("v").unwrap();
+        assert!(metadata.bytes_used > 0);
+        assert_eq!(metadata.budget_bytes, None);
+        let (start, end) = metadata.time_range.unwrap();
+        assert_eq!(start, 0.0);
+        assert!((end - 2.0).abs() < 1e-9);
+        let read = store.read(&ReadRequest::new("v", 0.0, 2.0, Codec::H264)).unwrap();
+        assert_eq!(read.frames.len(), 60);
+        store.delete("v").unwrap();
+        assert!(matches!(store.metadata("v"), Err(VssError::VideoNotFound(_))));
         let _ = fs::remove_dir_all(root);
     }
 
@@ -443,35 +705,78 @@ mod tests {
         let root = temp_root("vstore");
         let mut staged =
             VStoreLike::new(&root, vec![Codec::H264, Codec::Raw(PixelFormat::Yuv420)]).unwrap();
-        let written = staged.write_video("v", Codec::H264, &sequence(30)).unwrap();
+        let written = staged.write(&WriteRequest::new("v", Codec::H264), &sequence(30)).unwrap();
         // The raw staging dominates: the whole video exists in both formats.
         let raw_size = PixelFormat::Yuv420.frame_bytes(64, 48) * 30;
         assert!(written.bytes_written as usize > raw_size);
-        assert!(staged.read_video("v", 0.0, 1.0, None, Codec::Raw(PixelFormat::Yuv420)).is_ok());
-        assert!(staged.read_video("v", 0.0, 1.0, None, Codec::H264).is_ok());
+        assert!(staged.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Raw(PixelFormat::Yuv420))).is_ok());
+        assert!(staged.read(&ReadRequest::new("v", 0.0, 1.0, Codec::H264)).is_ok());
         assert!(matches!(
-            staged.read_video("v", 0.0, 1.0, None, Codec::Hevc),
-            Err(BaselineError::Unsupported(_))
+            staged.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)),
+            Err(VssError::Unsupported(_))
         ));
-        assert!(staged.supports_conversion(Codec::H264, Codec::Raw(PixelFormat::Yuv420)));
-        assert!(!staged.supports_conversion(Codec::H264, Codec::Hevc));
+        assert!(matches!(staged.append("v", &sequence(3)), Err(VssError::Unsupported(_))));
+        assert!(VideoStorage::supports_conversion(&staged, Codec::H264, Codec::Raw(PixelFormat::Yuv420)));
+        assert!(!VideoStorage::supports_conversion(&staged, Codec::H264, Codec::Hevc));
+        let metadata = staged.metadata("v").unwrap();
+        assert!(metadata.bytes_used as usize > raw_size);
+        staged.delete("v").unwrap();
+        assert!(staged.metadata("v").is_err());
         let _ = fs::remove_dir_all(root);
     }
 
     #[test]
-    fn vss_adapter_serves_any_conversion() {
-        let root = temp_root("vss-adapter");
-        let vss = Vss::open_at(&root).unwrap();
-        let mut store = VssStore::new(vss);
-        store.write_video("v", Codec::H264, &sequence(60)).unwrap();
-        let read = store.read_video("v", 0.0, 1.0, None, Codec::Hevc).unwrap();
+    fn vss_handle_serves_any_conversion_through_the_same_trait() {
+        let root = temp_root("vss-handle");
+        let mut vss = vss_core::Vss::open_at(&root).unwrap();
+        // Drive the handle through the unified trait, as the workload does.
+        let store: &mut dyn VideoStorage = &mut vss;
+        store.write(&WriteRequest::new("v", Codec::H264), &sequence(60)).unwrap();
+        let read = store.read(&ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)).unwrap();
         assert_eq!(read.frames.len(), 30);
         let scaled = store
-            .read_video("v", 0.0, 1.0, Some(Resolution::new(32, 24)), Codec::Raw(PixelFormat::Rgb8))
+            .read(
+                &ReadRequest::new("v", 0.0, 1.0, Codec::Raw(PixelFormat::Rgb8))
+                    .resolution(Resolution::new(32, 24)),
+            )
             .unwrap();
         assert_eq!(scaled.frames.frames()[0].width(), 32);
-        assert!(store.supports_conversion(Codec::H264, Codec::Hevc));
-        assert_eq!(store.label(), "vss");
+        assert!(VideoStorage::supports_conversion(store, Codec::H264, Codec::Hevc));
+        assert_eq!(VideoStorage::label(store), "vss");
         let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn legacy_video_store_shim_still_works() {
+        #![allow(deprecated)]
+        let root = temp_root("legacy-shim");
+        let mut store = LocalFs::new(&root).unwrap();
+        let written = VideoStore::write_video(&mut store, "v", Codec::H264, &sequence(30)).unwrap();
+        assert!(written.bytes_written > 0);
+        let read = VideoStore::read_video(&mut store, "v", 0.0, 1.0, None, Codec::H264).unwrap();
+        assert_eq!(read.frames.len(), 30);
+        assert!(matches!(
+            VideoStore::read_video(&mut store, "v", 0.0, 1.0, None, Codec::Hevc),
+            Err(BaselineError::Unsupported(_))
+        ));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn errors_convert_in_both_directions_with_sources() {
+        let vss: VssError = BaselineError::NotFound("v".into()).into();
+        assert!(matches!(vss, VssError::VideoNotFound(_)));
+        let vss: VssError = BaselineError::Unsupported("x".into()).into();
+        assert!(matches!(vss, VssError::Unsupported(_)));
+        let baseline: BaselineError = VssError::Unsupported("x".into()).into();
+        assert!(matches!(baseline, BaselineError::Unsupported(_)));
+        let baseline: BaselineError = VssError::VideoNotFound("v".into()).into();
+        assert!(matches!(baseline, BaselineError::NotFound(_)));
+        // Round trip through both directions preserves the category.
+        let io = BaselineError::Io(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&io).is_some(), "Io carries its source");
+        let as_vss: VssError = io.into();
+        assert!(std::error::Error::source(&as_vss).is_some(), "source survives conversion");
+        assert!(as_vss.to_string().contains("boom"));
     }
 }

@@ -3,9 +3,9 @@
 //! and 15).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vss_baseline::{LocalFs, VideoStore, VssStore};
+use vss_baseline::LocalFs;
 use vss_codec::Codec;
-use vss_core::Vss;
+use vss_core::{ReadRequest, VideoStorage, Vss, WriteRequest};
 use vss_frame::{FrameSequence, PixelFormat};
 use vss_workload::{SceneConfig, SceneRenderer};
 
@@ -35,10 +35,11 @@ fn storage_benches(c: &mut Criterion) {
             b.iter_with_setup(
                 || {
                     let root = scratch("write-vss");
-                    VssStore::new(Vss::open_at(&root).unwrap())
+                    Vss::open_at(&root).unwrap()
                 },
                 |mut store| {
-                    store.write_video("video", codec, &frames).unwrap();
+                    VideoStorage::write(&mut store, &WriteRequest::new("video", codec), &frames)
+                        .unwrap();
                 },
             );
         });
@@ -46,7 +47,7 @@ fn storage_benches(c: &mut Criterion) {
             b.iter_with_setup(
                 || LocalFs::new(scratch("write-fs")).unwrap(),
                 |mut store| {
-                    store.write_video("video", codec, &frames).unwrap();
+                    store.write(&WriteRequest::new("video", codec), &frames).unwrap();
                 },
             );
         });
@@ -57,19 +58,37 @@ fn storage_benches(c: &mut Criterion) {
     group.sample_size(10);
     // Same-format read and a transcoding read against VSS.
     let root = scratch("read-vss");
-    let mut vss_store = VssStore::new(Vss::open_at(&root).unwrap());
-    vss_store.write_video("video", Codec::H264, &frames).unwrap();
+    let mut vss_store = Vss::open_at(&root).unwrap();
+    VideoStorage::write(&mut vss_store, &WriteRequest::new("video", Codec::H264), &frames).unwrap();
     group.bench_function("vss/h264_to_h264", |b| {
-        b.iter(|| vss_store.read_video("video", 0.0, 1.0, None, Codec::H264).unwrap());
+        b.iter(|| {
+            VideoStorage::read(&mut vss_store, &ReadRequest::new("video", 0.0, 1.0, Codec::H264))
+                .unwrap()
+        });
     });
     group.bench_function("vss/h264_to_hevc", |b| {
-        b.iter(|| vss_store.read_video("video", 0.0, 1.0, None, Codec::Hevc).unwrap());
+        b.iter(|| {
+            VideoStorage::read(&mut vss_store, &ReadRequest::new("video", 0.0, 1.0, Codec::Hevc))
+                .unwrap()
+        });
+    });
+    group.bench_function("vss/h264_stream_gops", |b| {
+        b.iter(|| {
+            // GOP-at-a-time streaming read: consume chunks without
+            // materializing the clip.
+            let stream = VideoStorage::read_stream(
+                &mut vss_store,
+                &ReadRequest::new("video", 0.0, 1.0, Codec::H264).uncacheable(),
+            )
+            .unwrap();
+            stream.map(|chunk| chunk.unwrap().frames.len()).sum::<usize>()
+        });
     });
     let fs_root = scratch("read-fs");
     let mut fs_store = LocalFs::new(&fs_root).unwrap();
-    fs_store.write_video("video", Codec::H264, &frames).unwrap();
+    fs_store.write(&WriteRequest::new("video", Codec::H264), &frames).unwrap();
     group.bench_function("local-fs/h264_to_h264", |b| {
-        b.iter(|| fs_store.read_video("video", 0.0, 1.0, None, Codec::H264).unwrap());
+        b.iter(|| fs_store.read(&ReadRequest::new("video", 0.0, 1.0, Codec::H264)).unwrap());
     });
     group.finish();
     let _ = std::fs::remove_dir_all(root);

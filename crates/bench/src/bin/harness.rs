@@ -19,13 +19,13 @@
 //! the guard rail every performance PR runs before and after its change.
 
 use std::time::Instant;
-use vss_baseline::{LocalFs, VStoreLike, VideoStore, VssStore};
+use vss_baseline::{LocalFs, VStoreLike};
 use vss_bench::{fps, scratch_dir, Report, Row, ScaleConfig};
 use vss_codec::{codec_instance, encode_to_gops, lossless, Codec, EncoderConfig};
 use vss_core::{
     joint_compress_sequences, recover_sequences, GopFingerprint, JointConfig, JointOutcome,
-    MergeFunction, PairSelector, PlannerKind, ReadRequest, StorageBudget, Vss, VssConfig,
-    WriteRequest,
+    MergeFunction, PairSelector, PlannerKind, ReadRequest, StorageBudget, VideoStorage, Vss,
+    VssConfig, WriteRequest,
 };
 use vss_frame::{quality, FrameSequence, PixelFormat, PsnrDb, Resolution};
 use vss_server::VssServer;
@@ -59,7 +59,7 @@ fn main() {
     let experiments: Vec<&str> = if argument == "all" {
         vec![
             "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-            "fig18", "fig19", "fig20", "fig21", "fig21_scale", "table2",
+            "fig18", "fig19", "fig20", "fig21", "fig21_scale", "stream_mem", "table2",
         ]
     } else {
         vec![Box::leak(argument.clone().into_boxed_str())]
@@ -82,6 +82,7 @@ fn main() {
             "fig20" => fig20(&scale),
             "fig21" => fig21(&scale),
             "fig21_scale" => fig21_scale(&scale),
+            "stream_mem" => stream_mem(&scale),
             "table2" => table2(&scale),
             other => {
                 eprintln!("unknown experiment '{other}'");
@@ -416,14 +417,21 @@ fn fig12(scale: &ScaleConfig) -> Report {
         // requested conversion (the paper's OpenCV-style variant).
         let root = scratch_dir(&format!("fig12-localfs-{population}"));
         let mut local = LocalFs::new(&root).expect("local fs");
-        local.write_video("video", Codec::H264, dataset.primary()).expect("write");
+        local
+            .write(&WriteRequest::new("video", Codec::H264), dataset.primary())
+            .expect("write");
         let short = QueryWorkload::short_reads("video", duration, resolution, 23);
         let requests = short.generate(scale.iterations.max(5));
         let encoder = EncoderConfig::default();
         let started = Instant::now();
         for request in &requests {
             let decoded = local
-                .read_video("video", request.temporal.start, request.temporal.end, None, Codec::H264)
+                .read(&ReadRequest::new(
+                    "video",
+                    request.temporal.start,
+                    request.temporal.end,
+                    Codec::H264,
+                ))
                 .expect("local fs read");
             if request.physical.codec.is_compressed() && request.physical.codec != Codec::H264 {
                 let _ = encode_to_gops(&decoded.frames, request.physical.codec, &encoder);
@@ -511,20 +519,21 @@ fn fig14(scale: &ScaleConfig) -> Report {
 
     for (label, stored, requested) in cases {
         let mut row = Row::new(label);
-        // VSS.
-        let (vss, vss_root) = open_vss(&format!("fig14-vss-{label}"));
-        let mut vss_store = VssStore::new(vss);
-        vss_store.write_video("video", stored, frames).expect("write");
+        let read_request = ReadRequest::new("video", 0.0, duration, requested);
+        // VSS (the handle implements the same `VideoStorage` trait as the
+        // baselines — no adapter).
+        let (mut vss, vss_root) = open_vss(&format!("fig14-vss-{label}"));
+        VideoStorage::write(&mut vss, &WriteRequest::new("video", stored), frames).expect("write");
         let started = Instant::now();
-        let result = vss_store.read_video("video", 0.0, duration, None, requested).expect("vss read");
+        let result = VideoStorage::read(&mut vss, &read_request).expect("vss read");
         row = row.with("vss_fps", fps(result.frames.len(), started.elapsed()));
         cleanup(&vss_root);
         // Local FS.
         let fs_root = scratch_dir(&format!("fig14-fs-{label}"));
         let mut local = LocalFs::new(&fs_root).expect("local fs");
-        local.write_video("video", stored, frames).expect("write");
+        local.write(&WriteRequest::new("video", stored), frames).expect("write");
         let started = Instant::now();
-        if let Ok(result) = local.read_video("video", 0.0, duration, None, requested) {
+        if let Ok(result) = local.read(&read_request) {
             row = row.with("local_fs_fps", fps(result.frames.len(), started.elapsed()));
         }
         cleanup(&fs_root);
@@ -532,9 +541,9 @@ fn fig14(scale: &ScaleConfig) -> Report {
         // paper's "VStore does not support reading some formats").
         let vstore_root = scratch_dir(&format!("fig14-vstore-{label}"));
         let mut vstore = VStoreLike::new(&vstore_root, vec![Codec::H264, raw]).expect("vstore");
-        vstore.write_video("video", stored, frames).expect("write");
+        vstore.write(&WriteRequest::new("video", stored), frames).expect("write");
         let started = Instant::now();
-        if let Ok(result) = vstore.read_video("video", 0.0, duration, None, requested) {
+        if let Ok(result) = vstore.read(&read_request) {
             row = row.with("vstore_fps", fps(result.frames.len(), started.elapsed()));
         }
         cleanup(&vstore_root);
@@ -558,21 +567,21 @@ fn fig15(scale: &ScaleConfig) -> Report {
         let frames = dataset.primary();
         for (mode, codec) in [("raw", Codec::Raw(PixelFormat::Yuv420)), ("h264", Codec::H264)] {
             let mut row = Row::new(format!("{}-{mode}", spec.name));
-            let (vss, vss_root) = open_vss(&format!("fig15-vss-{}-{mode}", spec.name));
-            let mut store = VssStore::new(vss);
-            let result = store.write_video("video", codec, frames).expect("vss write");
+            let write_request = WriteRequest::new("video", codec);
+            let (mut vss, vss_root) = open_vss(&format!("fig15-vss-{}-{mode}", spec.name));
+            let result = VideoStorage::write(&mut vss, &write_request, frames).expect("vss write");
             row = row.with("vss_fps", fps(frames.len(), result.elapsed));
             cleanup(&vss_root);
 
             let fs_root = scratch_dir(&format!("fig15-fs-{}-{mode}", spec.name));
             let mut local = LocalFs::new(&fs_root).expect("local fs");
-            let result = local.write_video("video", codec, frames).expect("fs write");
+            let result = local.write(&write_request, frames).expect("fs write");
             row = row.with("local_fs_fps", fps(frames.len(), result.elapsed));
             cleanup(&fs_root);
 
             let vstore_root = scratch_dir(&format!("fig15-vstore-{}-{mode}", spec.name));
             let mut vstore = VStoreLike::new(&vstore_root, vec![codec]).expect("vstore");
-            let result = vstore.write_video("video", codec, frames).expect("vstore write");
+            let result = vstore.write(&write_request, frames).expect("vstore write");
             row = row.with("vstore_fps", fps(frames.len(), result.elapsed));
             cleanup(&vstore_root);
             report.push(row);
@@ -912,7 +921,7 @@ fn fig21(scale: &ScaleConfig) -> Report {
         // Local FS ("OpenCV" variant).
         let fs_root = scratch_dir(&format!("fig21-fs-{clients}"));
         let mut local = LocalFs::new(&fs_root).expect("local fs");
-        local.write_video(&config.video, Codec::H264, frames).expect("write");
+        local.write(&WriteRequest::new(&config.video, Codec::H264), frames).expect("write");
         let shared = shared_store(Box::new(local));
         let fs_results = run_clients(&shared, &config, clients).expect("fs app");
         cleanup(&fs_root);
@@ -1020,7 +1029,7 @@ fn fig21_scale(scale: &ScaleConfig) -> Report {
     cleanup(&seq_root);
 
     let shared_server = server_store(server.clone());
-    let shared_mono = shared_store(Box::new(VssStore::new(mono)));
+    let shared_mono = shared_store(Box::new(mono));
     for clients in [1usize, 2, 4] {
         let run = |shared: &vss_workload::SharedStore| -> f64 {
             let started = Instant::now();
@@ -1062,6 +1071,90 @@ fn fig21_scale(scale: &ScaleConfig) -> Report {
     }
     cleanup(&server_root);
     cleanup(&mono_root);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Streaming memory — O(GOP) streaming reads vs. O(clip) materialized reads
+// ---------------------------------------------------------------------------
+
+fn stream_mem(scale: &ScaleConfig) -> Report {
+    let mut report = Report::new(
+        "stream_mem",
+        "Peak buffered frames/bytes per read: materialized read() vs. a GOP-at-a-time \
+         read_stream() consumer, for raw and transcoding reads (same bytes out — a correctness \
+         gate asserts chunk-concatenation equals the materialized result byte-for-byte)",
+    );
+    let spec = DatasetSpec::by_name("visualroad-2k-30").expect("preset");
+    let dataset = spec.generate(scale.resolution_divisor, scale.max_frames.max(90));
+    let frames = dataset.primary();
+    let duration = frames.duration_seconds();
+    let (vss, root) = open_vss("stream-mem");
+    vss.write(&WriteRequest::new("video", Codec::H264), frames).expect("write");
+
+    for (label, codec) in [
+        ("h264_to_raw", Codec::Raw(PixelFormat::Yuv420)),
+        ("h264_to_hevc", Codec::Hevc),
+    ] {
+        let request = ReadRequest::new("video", 0.0, duration, codec).uncacheable();
+
+        // Streaming first (it admits nothing, so the later materialized read
+        // sees identical store state).
+        let started = Instant::now();
+        let mut stream = vss.read_stream(&request).expect("stream open");
+        let mut streamed_frames = 0usize;
+        let mut streamed_chunks: Vec<vss_core::ReadChunk> = Vec::new();
+        for chunk in &mut stream {
+            let chunk = chunk.expect("stream chunk");
+            streamed_frames += chunk.frames.len();
+            streamed_chunks.push(chunk); // kept only for the correctness gate
+        }
+        let stream_seconds = started.elapsed().as_secs_f64();
+        let stream_stats = stream.stats();
+
+        let started = Instant::now();
+        let materialized = vss.read(&request).expect("materialized read");
+        let read_seconds = started.elapsed().as_secs_f64();
+
+        // Correctness gate: the streamed chunks concatenate to exactly the
+        // materialized result. A divergence panics and fails the harness run.
+        let mut concat = vss_frame::FrameSequence::empty(materialized.frames.frame_rate())
+            .expect("sequence");
+        let mut concat_gops: Vec<Vec<u8>> = Vec::new();
+        for chunk in streamed_chunks {
+            concat.extend(chunk.frames).expect("extend");
+            if let Some(gop) = chunk.encoded_gop {
+                concat_gops.push(gop.to_bytes());
+            }
+        }
+        assert_eq!(
+            concat.frames(),
+            materialized.frames.frames(),
+            "streamed frames diverged from the materialized read ({label})"
+        );
+        let materialized_gops: Vec<Vec<u8>> = materialized
+            .encoded
+            .iter()
+            .flatten()
+            .map(|g| g.to_bytes())
+            .collect();
+        assert_eq!(
+            concat_gops, materialized_gops,
+            "streamed GOPs diverged from the materialized read ({label})"
+        );
+
+        report.push(
+            Row::new(label)
+                .with("frames", streamed_frames as f64)
+                .with("stream_peak_frames", stream_stats.peak_buffered_frames as f64)
+                .with("stream_peak_kb", stream_stats.peak_buffered_bytes as f64 / 1024.0)
+                .with("read_peak_frames", materialized.stats.peak_buffered_frames as f64)
+                .with("read_peak_kb", materialized.stats.peak_buffered_bytes as f64 / 1024.0)
+                .with("stream_seconds", stream_seconds)
+                .with("read_seconds", read_seconds),
+        );
+    }
+    cleanup(&root);
     report
 }
 

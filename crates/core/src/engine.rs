@@ -10,7 +10,9 @@ use crate::quality::QualityModel;
 use crate::VssError;
 use std::time::Duration;
 use vss_catalog::{Catalog, PhysicalVideoId};
-use vss_codec::{lossless, CostModel, EncodedGop};
+use vss_codec::CostModel;
+#[cfg(test)]
+use vss_codec::{lossless, EncodedGop};
 use vss_solver::ReadPlan;
 
 /// Statistics describing how a read was executed.
@@ -37,6 +39,12 @@ pub struct ReadStats {
     pub decoding: Duration,
     /// Time spent converting and (re)encoding the output.
     pub encoding: Duration,
+    /// High-water mark of frames buffered while producing the result. For a
+    /// materialized read this is O(clip); consuming a
+    /// [`ReadStream`](crate::ReadStream) chunk-by-chunk keeps it O(GOP).
+    pub peak_buffered_frames: usize,
+    /// High-water mark of pixel/GOP bytes buffered while producing the result.
+    pub peak_buffered_bytes: u64,
 }
 
 /// Statistics describing how a write was executed.
@@ -182,7 +190,10 @@ impl Engine {
     }
 
     /// Loads and parses a GOP, transparently undoing deferred (lossless)
-    /// compression if it was applied.
+    /// compression if it was applied. (Production reads resolve GOP files at
+    /// plan-snapshot time and load them lock-free — see [`crate::stream`];
+    /// this eager helper remains for tests.)
+    #[cfg(test)]
     pub(crate) fn load_gop(
         &self,
         video: &str,

@@ -31,6 +31,11 @@ pub enum VssError {
     /// No combination of materialized views satisfies the read at the
     /// requested quality.
     Unsatisfiable(String),
+    /// The storage backend does not support the requested operation (e.g. a
+    /// format conversion the local-file-system baseline cannot perform).
+    /// VSS itself never returns this; it exists so the baseline stores can
+    /// speak the unified [`VideoStorage`](crate::VideoStorage) vocabulary.
+    Unsupported(String),
     /// Joint compression could not be applied to the requested pair.
     JointCompressionAborted(String),
     /// An error from the metadata catalog / file store.
@@ -59,6 +64,7 @@ impl fmt::Display for VssError {
             }
             VssError::EmptyWrite => write!(f, "write contained no frames"),
             VssError::Unsatisfiable(msg) => write!(f, "read cannot be satisfied: {msg}"),
+            VssError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             VssError::JointCompressionAborted(msg) => write!(f, "joint compression aborted: {msg}"),
             VssError::Catalog(e) => write!(f, "catalog error: {e}"),
             VssError::Codec(e) => write!(f, "codec error: {e}"),

@@ -36,6 +36,25 @@
 //! `crates/bench/benches` (`codec_throughput`'s `encode_parallel` /
 //! `decode_parallel` groups measure the scaling).
 //!
+//! # Streaming API
+//!
+//! Every store — [`Engine`], [`Vss`], a `vss-server` session and the
+//! `vss-baseline` stores — speaks one contract, the [`VideoStorage`] trait
+//! (`create` / `delete` / `write` / `append` / `read` / `read_stream` /
+//! `write_sink` / `metadata`). Reads and writes come in two flavours:
+//!
+//! * **Materialized** — [`VideoStorage::read`] returns the whole result,
+//!   [`VideoStorage::write`] takes the whole clip; memory is O(clip).
+//! * **Streaming** — [`VideoStorage::read_stream`] yields
+//!   [`ReadChunk`]s GOP-at-a-time and [`VideoStorage::write_sink`] persists
+//!   each GOP as it fills; a pipelining consumer holds O(GOP) memory, and the
+//!   plan is snapshotted up front so decoding runs lock-free.
+//!
+//! The materialized entry points are thin wrappers that drain the stream
+//! (reads) or drive the sink's per-GOP persistence path (writes), so the two
+//! flavours are **byte-identical** for the same request and store state. See
+//! the [`stream`](crate::ReadStream) and [`sink`](crate::WriteSink) docs.
+//!
 //! # Concurrency and sharding
 //!
 //! [`Vss`] guards the whole engine with a single mutex — simple, and fine
@@ -69,6 +88,9 @@ mod params;
 mod quality;
 mod read;
 mod select;
+pub mod sink;
+pub mod storage;
+pub mod stream;
 mod write;
 
 pub use cache::{eviction_order, EvictionCandidate};
@@ -81,11 +103,15 @@ pub use joint::{
     MergeFunction,
 };
 pub use params::{
-    PhysicalParameters, ReadRequest, SpatialParameters, StorageBudget, TemporalRange, WriteRequest,
+    PhysicalParameters, PlannerKind, ReadRequest, SpatialParameters, StorageBudget, TemporalRange,
+    WriteRequest,
 };
 pub use quality::{QualityModel, DEFAULT_QUALITY_THRESHOLD};
-pub use read::{PlannerKind, ReadResult};
+pub use read::ReadResult;
 pub use select::{GopFingerprint, PairSelector};
+pub use sink::{GopWriteBackend, IncrementalWrite, WriteSink};
+pub use storage::{VideoMetadata, VideoStorage};
+pub use stream::{ChunkStats, ReadChunk, ReadStream};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
@@ -136,7 +162,7 @@ impl Vss {
         self.engine.lock().append(name, frames)
     }
 
-    /// Executes a read with the default (optimal) planner.
+    /// Executes a read planned by `request.planner` (optimal by default).
     pub fn read(&self, request: &ReadRequest) -> Result<ReadResult, VssError> {
         self.engine.lock().read(request)
     }
@@ -149,6 +175,48 @@ impl Vss {
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
         self.engine.lock().read_with_planner(request, planner)
+    }
+
+    /// Opens a GOP-at-a-time streaming read. The engine lock is held only
+    /// while the plan is snapshotted; the returned [`ReadStream`] decodes
+    /// lock-free, so long streaming reads never starve other clients. The
+    /// drained stream is byte-identical to [`read`](Self::read) of the same
+    /// request, but never admits its result to the cache.
+    pub fn read_stream(&self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        self.engine.lock().read_stream(request)
+    }
+
+    /// Opens an incremental write: each GOP is encoded and persisted as it
+    /// fills, taking the engine lock per GOP rather than for the whole
+    /// ingest. The resulting store is byte-identical to a batch
+    /// [`write`](Self::write) of the same frames.
+    pub fn write_sink(&self, request: &WriteRequest, frame_rate: f64) -> Result<WriteSink<'static>, VssError> {
+        let (gop_size, write) = {
+            let engine = self.engine.lock();
+            (engine.write_gop_size(request.codec), engine.begin_incremental_write(request, frame_rate)?)
+        };
+        struct VssSinkBackend {
+            vss: Vss,
+            write: IncrementalWrite,
+        }
+        impl GopWriteBackend for VssSinkBackend {
+            fn flush_gop(&mut self, frames: &[vss_frame::Frame]) -> Result<(), VssError> {
+                self.vss.engine.lock().push_incremental_gop(&mut self.write, frames)
+            }
+            fn finish(&mut self) -> Result<WriteReport, VssError> {
+                self.vss.engine.lock().finish_incremental_write(&mut self.write)
+            }
+        }
+        Ok(WriteSink::from_backend(
+            Box::new(VssSinkBackend { vss: self.clone(), write }),
+            frame_rate,
+            gop_size,
+        ))
+    }
+
+    /// Storage accounting for one logical video.
+    pub fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        self.engine.lock().metadata(name)
     }
 
     /// Names of all logical videos in the store.
@@ -208,6 +276,52 @@ impl Vss {
             }
         });
         BackgroundWorker { stop: Some(stop_tx), handle: Some(handle) }
+    }
+}
+
+impl VideoStorage for Vss {
+    fn label(&self) -> &'static str {
+        "vss"
+    }
+
+    fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        Vss::create(self, name, budget)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), VssError> {
+        Vss::delete(self, name)
+    }
+
+    fn write(
+        &mut self,
+        request: &WriteRequest,
+        frames: &FrameSequence,
+    ) -> Result<WriteReport, VssError> {
+        Vss::write(self, request, frames)
+    }
+
+    fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        Vss::append(self, name, frames)
+    }
+
+    fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        Vss::read(self, request)
+    }
+
+    fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        Vss::read_stream(self, request)
+    }
+
+    fn write_sink(
+        &mut self,
+        request: &WriteRequest,
+        frame_rate: f64,
+    ) -> Result<WriteSink<'_>, VssError> {
+        Vss::write_sink(self, request, frame_rate)
+    }
+
+    fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        Vss::metadata(self, name)
     }
 }
 

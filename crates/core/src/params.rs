@@ -9,6 +9,17 @@
 use vss_codec::Codec;
 use vss_frame::{PsnrDb, RegionOfInterest, Resolution};
 
+/// Which planning algorithm a read should use (the greedy variant exists for
+/// the Figure 10 baseline comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerKind {
+    /// The exact minimum-cost planner (default).
+    #[default]
+    Optimal,
+    /// The dependency-naïve greedy baseline.
+    Greedy,
+}
+
 /// A half-open temporal interval `[start, end)` in seconds, with an optional
 /// frame-rate override.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,11 +123,13 @@ pub struct ReadRequest {
     /// Whether VSS may admit the result into its cache of materialized views
     /// (the default). Disabling is useful for benchmarking baselines.
     pub cacheable: bool,
+    /// Which planning algorithm answers the read (default: optimal).
+    pub planner: PlannerKind,
 }
 
 impl ReadRequest {
     /// A read of `[start, end)` seconds in the given codec, source resolution
-    /// and frame rate, cacheable.
+    /// and frame rate, cacheable, planned by the optimal planner.
     pub fn new(name: impl Into<String>, start: f64, end: f64, codec: Codec) -> Self {
         Self {
             name: name.into(),
@@ -124,30 +137,64 @@ impl ReadRequest {
             spatial: SpatialParameters::source(),
             physical: PhysicalParameters::codec(codec),
             cacheable: true,
+            planner: PlannerKind::default(),
         }
     }
 
     /// Sets the output resolution.
-    pub fn at_resolution(mut self, resolution: Resolution) -> Self {
+    pub fn resolution(mut self, resolution: Resolution) -> Self {
         self.spatial.resolution = Some(resolution);
         self
     }
 
-    /// Sets the region of interest.
-    pub fn with_region(mut self, region: RegionOfInterest) -> Self {
+    /// Sets the output resolution (alias of [`resolution`](Self::resolution)).
+    pub fn at_resolution(self, resolution: Resolution) -> Self {
+        self.resolution(resolution)
+    }
+
+    /// Sets the region of interest to crop the output to.
+    pub fn crop(mut self, region: RegionOfInterest) -> Self {
         self.spatial.region = Some(region);
         self
     }
 
+    /// Sets the region of interest (alias of [`crop`](Self::crop)).
+    pub fn with_region(self, region: RegionOfInterest) -> Self {
+        self.crop(region)
+    }
+
     /// Sets the output frame rate.
-    pub fn at_frame_rate(mut self, fps: f64) -> Self {
+    pub fn fps(mut self, fps: f64) -> Self {
         self.temporal.frame_rate = Some(fps);
+        self
+    }
+
+    /// Sets the output frame rate (alias of [`fps`](Self::fps)).
+    pub fn at_frame_rate(self, fps: f64) -> Self {
+        self.fps(fps)
+    }
+
+    /// Sets the minimum acceptable output quality.
+    pub fn quality_threshold(mut self, threshold: PsnrDb) -> Self {
+        self.physical.quality_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the encoder quality used when the result must be (re)compressed.
+    pub fn encoder_quality(mut self, quality: u8) -> Self {
+        self.physical.encoder_quality = Some(quality);
         self
     }
 
     /// Marks the read as non-cacheable.
     pub fn uncacheable(mut self) -> Self {
         self.cacheable = false;
+        self
+    }
+
+    /// Selects the planning algorithm.
+    pub fn planner(mut self, planner: PlannerKind) -> Self {
+        self.planner = planner;
         self
     }
 }
@@ -173,9 +220,15 @@ impl WriteRequest {
     }
 
     /// Sets the encoder quality.
-    pub fn with_encoder_quality(mut self, quality: u8) -> Self {
+    pub fn encoder_quality(mut self, quality: u8) -> Self {
         self.encoder_quality = Some(quality);
         self
+    }
+
+    /// Sets the encoder quality (alias of
+    /// [`encoder_quality`](Self::encoder_quality)).
+    pub fn with_encoder_quality(self, quality: u8) -> Self {
+        self.encoder_quality(quality)
     }
 
     /// Sets the start time of the written data.
@@ -243,6 +296,29 @@ mod tests {
         assert_eq!(r.spatial.region, Some(roi));
         assert_eq!(r.temporal.frame_rate, Some(15.0));
         assert!(!r.cacheable);
+        assert_eq!(r.planner, PlannerKind::Optimal);
+    }
+
+    #[test]
+    fn read_request_short_builders_match_legacy_names() {
+        let roi = RegionOfInterest::new(2, 2, 10, 10).unwrap();
+        let short = ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)
+            .resolution(Resolution::new(64, 48))
+            .crop(roi)
+            .fps(10.0)
+            .quality_threshold(PsnrDb(30.0))
+            .encoder_quality(70)
+            .planner(PlannerKind::Greedy);
+        let legacy = ReadRequest::new("v", 0.0, 1.0, Codec::Hevc)
+            .at_resolution(Resolution::new(64, 48))
+            .with_region(roi)
+            .at_frame_rate(10.0)
+            .planner(PlannerKind::Greedy);
+        assert_eq!(short.spatial, legacy.spatial);
+        assert_eq!(short.temporal, legacy.temporal);
+        assert_eq!(short.planner, PlannerKind::Greedy);
+        assert_eq!(short.physical.quality_threshold, Some(PsnrDb(30.0)));
+        assert_eq!(short.physical.encoder_quality, Some(70));
     }
 
     #[test]

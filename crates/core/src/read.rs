@@ -14,19 +14,20 @@
 //! 4. **Cache admission** — the result is admitted as a new physical video
 //!    (paper Section 4), the storage budget is enforced by evicting GOP
 //!    pages, and a deferred-compression step runs if the budget is tight.
+//!
+//! Stages 1–3 are implemented by the GOP-at-a-time [`crate::stream`] module:
+//! every read opens a [`ReadStream`](crate::ReadStream) and the materialized
+//! entry points below simply [drain](crate::ReadStream::drain) it, so
+//! streaming and materialized reads are byte-identical by construction.
 
 use crate::engine::{Engine, ReadStats};
-use crate::fragments::{build_candidates, CandidateSet};
-use crate::params::ReadRequest;
+use crate::fragments::CandidateSet;
+use crate::params::{PlannerKind, ReadRequest};
 use crate::quality::QualityModel;
 use crate::VssError;
-use std::time::Instant;
-use vss_catalog::PhysicalVideoRecord;
-use vss_codec::{codec_instance, encode_to_gops_parallel, Codec, EncodedGop, EncoderConfig};
-use vss_frame::{
-    convert_frame_rate, crop, resize_bilinear, Frame, FrameSequence, PixelFormat, Resolution,
-};
-use vss_solver::{plan_read, plan_read_greedy, ReadPlan, ReadPlanRequest};
+use vss_codec::EncodedGop;
+use vss_frame::{FrameSequence, Resolution};
+use vss_solver::ReadPlan;
 
 /// The result of a read operation.
 #[derive(Debug, Clone)]
@@ -44,30 +45,22 @@ pub struct ReadResult {
     pub stats: ReadStats,
 }
 
-/// Which planning algorithm a read should use (the greedy variant exists for
-/// the Figure 10 baseline comparison).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PlannerKind {
-    /// The exact minimum-cost planner (default).
-    #[default]
-    Optimal,
-    /// The dependency-naïve greedy baseline.
-    Greedy,
-}
-
 impl Engine {
-    /// Executes a read with the default (optimal) planner.
+    /// Executes a read planned by `request.planner` (the optimal planner by
+    /// default).
     pub fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
-        self.read_with_planner(request, PlannerKind::Optimal)
+        self.read_with_planner(request, request.planner)
     }
 
-    /// Executes a read with an explicit planner choice.
+    /// Executes a read with an explicit planner choice (overriding
+    /// `request.planner`).
     pub fn read_with_planner(
         &mut self,
         request: &ReadRequest,
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
-        let (mut result, admission) = self.read_core(request, planner)?;
+        let stream = self.plan_stream(request, planner, true)?;
+        let (mut result, admission) = stream.drain_with_admission()?;
         // --- cache admission -----------------------------------------------
         // Results assembled partly from pass-through GOP reuse are not
         // re-admitted: the reused pieces already exist in the requested
@@ -113,300 +106,8 @@ impl Engine {
         request: &ReadRequest,
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
-        let (result, _admission) = self.read_core(request, planner)?;
-        Ok(result)
-    }
-
-    /// The lock-agnostic part of a read: planning, execution and output
-    /// finalization. Returns the result (with `cache_admitted = false`) plus
-    /// everything the exclusive path needs to decide on cache admission.
-    fn read_core(
-        &self,
-        request: &ReadRequest,
-        planner: PlannerKind,
-    ) -> Result<(ReadResult, AdmissionInputs), VssError> {
-        let video = self.catalog.video(&request.name)?.clone();
-        let original = video
-            .original()
-            .ok_or_else(|| VssError::Unsatisfiable("video has no written data".into()))?;
-        let (start, end) = (request.temporal.start, request.temporal.end);
-        if end <= start
-            || start < original.start_time() - 1e-6
-            || end > original.end_time() + 1e-6
-        {
-            return Err(VssError::OutOfRange {
-                requested_start: start,
-                requested_end: end,
-                available_start: original.start_time(),
-                available_end: original.end_time(),
-            });
-        }
-        let threshold =
-            request.physical.quality_threshold.unwrap_or(self.config.default_quality_threshold);
-        let output_resolution = request.spatial.resolution.unwrap_or_else(|| original.resolution());
-        let output_fps = request.temporal.frame_rate.unwrap_or(original.frame_rate);
-
-        // --- plan ----------------------------------------------------------
-        let plan_started = Instant::now();
-        let candidates = build_candidates(&video, &self.quality_model, threshold);
-        let plan_request = ReadPlanRequest {
-            start,
-            end,
-            resolution: output_resolution,
-            codec: request.physical.codec,
-        };
-        let plan = match planner {
-            PlannerKind::Optimal => plan_read(&plan_request, &candidates.candidates, &self.cost_model)?,
-            PlannerKind::Greedy => {
-                plan_read_greedy(&plan_request, &candidates.candidates, &self.cost_model)?
-            }
-        };
-        let planning = plan_started.elapsed();
-
-        // --- execute --------------------------------------------------------
-        let decode_started = Instant::now();
-        let target_format = match request.physical.codec {
-            Codec::Raw(format) => format,
-            _ => PixelFormat::Yuv420,
-        };
-        let execution = self.execute_plan(
-            request,
-            &video.physical,
-            &candidates,
-            &plan,
-            output_resolution,
-            output_fps,
-            target_format,
-        )?;
-        let decoding = decode_started.elapsed();
-
-        // --- finalize output -------------------------------------------------
-        let encode_started = Instant::now();
-        let mut output = FrameSequence::empty(output_fps)?;
-        let mut reused_any = false;
-        for segment in &execution.segments {
-            output.extend(segment.frames.clone())?;
-            reused_any |= segment.reused_gops.is_some();
-        }
-        if let Some(region) = request.spatial.region {
-            let cropped = vss_parallel::try_par_map(
-                self.config.parallelism,
-                output.frames(),
-                |_, frame| crop(frame, &region),
-            )?;
-            output = FrameSequence::new(cropped, output.frame_rate())?;
-        }
-        let encoded = if request.physical.codec.is_compressed() {
-            let config = EncoderConfig {
-                quality: request
-                    .physical
-                    .encoder_quality
-                    .unwrap_or(self.config.default_encoder_quality),
-                gop_size: self.config.gop_size,
-            };
-            // Segments already stored in the requested configuration are
-            // emitted GOP-for-GOP without re-encoding (the cheap path the
-            // materialized-view cache exists to enable); everything else is
-            // (re)encoded from the normalized frames, one GOP per worker.
-            let mut gops = Vec::new();
-            for segment in &execution.segments {
-                match (&segment.reused_gops, request.spatial.region) {
-                    (Some(reused), None) => gops.extend(reused.iter().cloned()),
-                    _ => {
-                        if !segment.frames.is_empty() {
-                            let cropped = match request.spatial.region {
-                                Some(region) => {
-                                    let frames = vss_parallel::try_par_map(
-                                        self.config.parallelism,
-                                        segment.frames.frames(),
-                                        |_, frame| crop(frame, &region),
-                                    )?;
-                                    FrameSequence::new(frames, segment.frames.frame_rate())?
-                                }
-                                None => segment.frames.clone(),
-                            };
-                            gops.extend(encode_to_gops_parallel(
-                                &cropped,
-                                request.physical.codec,
-                                &config,
-                                self.config.parallelism,
-                            )?);
-                        }
-                    }
-                }
-            }
-            Some(gops)
-        } else {
-            None
-        };
-        let encoding = encode_started.elapsed();
-
-        let result = ReadResult {
-            frames: output,
-            encoded,
-            stats: ReadStats {
-                plan,
-                fragments_available: candidates.candidates.len(),
-                gops_read: execution.gops_read,
-                frames_decoded: execution.frames_decoded,
-                bytes_read: execution.bytes_read,
-                cached_fragments_used: execution.cached_segments,
-                cache_admitted: false,
-                planning,
-                decoding,
-                encoding,
-            },
-        };
-        let admission = AdmissionInputs {
-            candidates,
-            reused_any,
-            derivation_mse: execution.derivation_mse,
-            source_mse_bound: execution.source_mse_bound,
-            output_resolution,
-        };
-        Ok((result, admission))
-    }
-
-    /// Loads, decodes and normalizes every plan segment into a single output
-    /// sequence at the requested resolution, frame rate and pixel format.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_plan(
-        &self,
-        request: &ReadRequest,
-        physicals: &[PhysicalVideoRecord],
-        candidates: &CandidateSet,
-        plan: &ReadPlan,
-        output_resolution: Resolution,
-        output_fps: f64,
-        target_format: PixelFormat,
-    ) -> Result<PlanExecution, VssError> {
-        let mut segments: Vec<SegmentOutput> = Vec::new();
-        let mut gops_read = 0usize;
-        let mut frames_decoded = 0usize;
-        let mut bytes_read = 0u64;
-        let mut cached_segments = 0usize;
-        let mut derivation_mse = 0.0f64;
-        let mut derivation_measured = false;
-        let mut source_mse_bound = 0.0f64;
-
-        for segment in &plan.segments {
-            let run = candidates.run(segment.fragment_id);
-            let physical = physicals
-                .iter()
-                .find(|p| p.id == run.physical_id)
-                .ok_or_else(|| VssError::Unsatisfiable("plan references a missing physical video".into()))?;
-            source_mse_bound = source_mse_bound.max(physical.mse_bound);
-            if !physical.is_original {
-                cached_segments += 1;
-            }
-            let source_codec = physical
-                .codec()
-                .ok_or_else(|| VssError::Unsatisfiable("unknown stored codec".into()))?;
-            let implementation = codec_instance(source_codec);
-            // A segment whose fragment already matches the requested codec,
-            // resolution and frame rate can hand its stored GOPs straight to
-            // the output without re-encoding.
-            let passthrough = request.physical.codec.is_compressed()
-                && source_codec == request.physical.codec
-                && physical.resolution() == output_resolution
-                && (physical.frame_rate - output_fps).abs() < 1e-9;
-
-            // Stage 1 (sequential): index lookups, file I/O and recency
-            // bookkeeping. The precomputed index → GOP map replaces the
-            // previous per-lookup linear scan over `physical.gops`.
-            let gop_map = physical.gop_index_map();
-            let mut loaded: Vec<(EncodedGop, usize, usize)> = Vec::new();
-            for &gop_index in &run.gop_indices {
-                let Some(gop_record) = gop_map.get(&gop_index) else {
-                    continue;
-                };
-                if !gop_record.overlaps(segment.start, segment.end) {
-                    continue;
-                }
-                let (gop, gop_bytes) = self.load_gop(&request.name, run.physical_id, gop_index)?;
-                gops_read += 1;
-                bytes_read += gop_bytes;
-                let gop_fps = if gop.frame_rate() > 0.0 { gop.frame_rate() } else { physical.frame_rate };
-                let relative_start = (segment.start - gop_record.start_time).max(0.0);
-                let relative_end =
-                    (segment.end - gop_record.start_time).min(gop_record.duration().max(0.0));
-                let first = (relative_start * gop_fps).round() as usize;
-                if first >= gop.frame_count() {
-                    continue;
-                }
-                let last = ((relative_end * gop_fps).round() as usize)
-                    .min(gop.frame_count())
-                    .max(first + 1);
-                self.catalog.touch_gop(&request.name, run.physical_id, gop_index)?;
-                loaded.push((gop, first, last));
-            }
-
-            // Stage 2 (parallel): each GOP decodes independently; decoding up
-            // to `last` pays the look-back cost for mid-GOP entry. Results
-            // are collected in input order, so the output is identical to the
-            // sequential path for any `parallelism` setting.
-            let decoded = vss_parallel::try_par_map(
-                self.config.parallelism,
-                &loaded,
-                |_, (gop, _, last)| implementation.decode_prefix(gop, *last),
-            )?;
-
-            let mut segment_frames: Vec<Frame> = Vec::new();
-            let mut reused_gops: Vec<EncodedGop> = Vec::new();
-            for ((gop, first, _), frames) in loaded.into_iter().zip(decoded) {
-                frames_decoded += frames.len();
-                segment_frames.extend_from_slice(&frames.frames()[first.min(frames.len())..]);
-                if passthrough {
-                    reused_gops.push(gop);
-                }
-            }
-            if segment_frames.is_empty() {
-                continue;
-            }
-            let source_sequence = FrameSequence::new(segment_frames, physical.frame_rate)?;
-
-            // Stage 3 (parallel): normalize spatial configuration and
-            // physical layout per frame, then retime.
-            let resize_needed = output_resolution != physical.resolution();
-            let normalized = vss_parallel::try_par_map(
-                self.config.parallelism,
-                source_sequence.frames(),
-                |_, frame| -> Result<Frame, vss_frame::FrameError> {
-                    let resized = if resize_needed && frame.resolution() != output_resolution {
-                        resize_bilinear(frame, output_resolution.width, output_resolution.height)?
-                    } else {
-                        frame.clone()
-                    };
-                    resized.convert(target_format)
-                },
-            )?;
-            let normalized = FrameSequence::new(normalized, physical.frame_rate)?;
-            if !derivation_measured && output_resolution != physical.resolution() {
-                derivation_mse = QualityModel::resampling_mse(&source_sequence, &normalized);
-                derivation_measured = true;
-            }
-            let retimed = if (physical.frame_rate - output_fps).abs() > 1e-9 {
-                convert_frame_rate(&normalized, output_fps)?
-            } else {
-                normalized
-            };
-            segments.push(SegmentOutput {
-                frames: retimed,
-                reused_gops: if passthrough && !reused_gops.is_empty() { Some(reused_gops) } else { None },
-            });
-        }
-        if segments.iter().all(|s| s.frames.is_empty()) {
-            return Err(VssError::Unsatisfiable("plan produced no frames".into()));
-        }
-        Ok(PlanExecution {
-            segments,
-            gops_read,
-            frames_decoded,
-            bytes_read,
-            cached_segments,
-            derivation_mse,
-            source_mse_bound,
-        })
+        // Shared reads never admit, so no admission-quality measurement.
+        self.plan_stream(request, planner, false)?.drain()
     }
 
     /// Admits a read result into the cache of materialized views, unless the
@@ -486,40 +187,14 @@ impl Engine {
     }
 }
 
-/// Per-segment execution output: the normalized decoded frames plus, for
-/// segments already stored in the requested configuration, the stored GOPs
-/// that can be emitted without re-encoding.
-struct SegmentOutput {
-    frames: FrameSequence,
-    reused_gops: Option<Vec<EncodedGop>>,
-}
-
-struct PlanExecution {
-    segments: Vec<SegmentOutput>,
-    gops_read: usize,
-    frames_decoded: usize,
-    bytes_read: u64,
-    cached_segments: usize,
-    derivation_mse: f64,
-    source_mse_bound: f64,
-}
-
-/// Everything the exclusive read path needs, beyond the result itself, to
-/// decide on (and perform) cache admission after the shared phase.
-struct AdmissionInputs {
-    candidates: CandidateSet,
-    reused_any: bool,
-    derivation_mse: f64,
-    source_mse_bound: f64,
-    output_resolution: Resolution,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::test_support::temp_engine;
+    use crate::fragments::build_candidates;
     use crate::params::{ReadRequest, WriteRequest};
-    use vss_frame::{pattern, quality, RegionOfInterest};
+    use vss_codec::Codec;
+    use vss_frame::{pattern, quality, PixelFormat, RegionOfInterest};
 
     fn sequence(frames: usize, width: u32, height: u32) -> FrameSequence {
         let frames: Vec<_> =
@@ -648,6 +323,11 @@ mod tests {
             .unwrap();
         assert!(result.stats.plan.covers_range(0.0, 2.0));
         assert_eq!(result.frames.len(), 60);
+        // The request-level builder selects the same planner.
+        let via_request = engine
+            .read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc).planner(PlannerKind::Greedy))
+            .unwrap();
+        assert_eq!(via_request.frames.len(), 60);
         let _ = std::fs::remove_dir_all(root);
     }
 

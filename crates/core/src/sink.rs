@@ -1,0 +1,445 @@
+//! Incremental, GOP-at-a-time writes.
+//!
+//! [`WriteSink`] is the write-side counterpart of
+//! [`ReadStream`](crate::ReadStream): frames are pushed incrementally, each
+//! GOP is encoded and persisted **as it fills**, and
+//! [`finish`](WriteSink::finish) returns the same
+//! [`WriteReport`] a batch write would. An ingest
+//! pipeline therefore holds at most one GOP of frames, instead of the whole
+//! clip [`Engine::write`] requires up front — and because the sink persists
+//! through the exact per-GOP path the batch write uses (same GOP boundaries,
+//! same deferred-compression decisions, in the same order), the resulting
+//! store is **byte-identical** to a batch write of the same frames.
+//!
+//! Three layers cooperate:
+//!
+//! * [`Engine::begin_incremental_write`] / [`Engine::push_incremental_gop`] /
+//!   [`Engine::finish_incremental_write`] are the lock-scoped primitives: each
+//!   call needs the engine only briefly, so callers that guard the engine with
+//!   a lock (the [`Vss`](crate::Vss) mutex, a `vss-server` shard lock) hold it
+//!   per GOP, not for the whole ingest.
+//! * [`GopWriteBackend`] adapts those primitives to a particular locking
+//!   discipline (or, for the baseline stores, to a buffer-then-batch-write
+//!   fallback — baselines write monolithic files and genuinely cannot stream,
+//!   which is exactly the contrast the paper draws).
+//! * [`WriteSink`] owns the frame buffer and GOP chunking on top of any
+//!   backend.
+
+use crate::engine::{Engine, WriteReport};
+use crate::params::WriteRequest;
+use crate::VssError;
+use std::time::Instant;
+use vss_catalog::PhysicalVideoId;
+use vss_codec::{codec_instance, Codec, EncoderConfig};
+use vss_frame::{Frame, FrameError, FrameSequence};
+
+/// In-flight state of one incremental write. Opaque to callers; thread it
+/// through the [`Engine`] incremental-write methods.
+#[derive(Debug)]
+pub struct IncrementalWrite {
+    request: WriteRequest,
+    frame_rate: f64,
+    /// Established on the first flushed GOP.
+    physical_id: Option<PhysicalVideoId>,
+    time: f64,
+    gops_written: usize,
+    frames_written: usize,
+    bytes_written: u64,
+    deferred_levels: Vec<u8>,
+    started: Instant,
+}
+
+impl IncrementalWrite {
+    /// The logical video being written.
+    pub fn name(&self) -> &str {
+        &self.request.name
+    }
+
+    /// Frames persisted so far.
+    pub fn frames_written(&self) -> usize {
+        self.frames_written
+    }
+}
+
+impl Engine {
+    /// Frames per persisted block for the given codec (compressed GOP size or
+    /// uncompressed block size) — the boundary at which a [`WriteSink`]
+    /// flushes, chosen to match the batch write path exactly.
+    pub fn write_gop_size(&self, codec: Codec) -> usize {
+        if codec.is_compressed() {
+            self.config.gop_size
+        } else {
+            self.config.uncompressed_gop_frames
+        }
+    }
+
+    /// Begins an incremental write of `request` at the given frame rate
+    /// (which must be positive and finite, as in a [`FrameSequence`]).
+    /// Nothing is created until the first GOP is pushed (so an abandoned
+    /// sink leaves no trace, and an empty one errors at finish just like an
+    /// empty batch write).
+    pub fn begin_incremental_write(
+        &self,
+        request: &WriteRequest,
+        frame_rate: f64,
+    ) -> Result<IncrementalWrite, VssError> {
+        if !(frame_rate > 0.0 && frame_rate.is_finite()) {
+            return Err(VssError::Frame(FrameError::InvalidFrameRate));
+        }
+        Ok(IncrementalWrite {
+            request: request.clone(),
+            frame_rate,
+            physical_id: None,
+            time: request.start_time,
+            gops_written: 0,
+            frames_written: 0,
+            bytes_written: 0,
+            deferred_levels: Vec::new(),
+            started: Instant::now(),
+        })
+    }
+
+    /// Encodes and persists one GOP of an incremental write. The first push
+    /// creates the logical video if needed and registers the physical video
+    /// (the original, if none exists yet) — mirroring what a batch write does
+    /// before its first GOP.
+    pub fn push_incremental_gop(
+        &mut self,
+        write: &mut IncrementalWrite,
+        frames: &[Frame],
+    ) -> Result<(), VssError> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let name = write.request.name.clone();
+        let codec = write.request.codec;
+        let physical_id = match write.physical_id {
+            Some(id) => id,
+            None => {
+                if !self.catalog.contains_video(&name) {
+                    self.create_video(&name, None)?;
+                }
+                let is_original = self.catalog.video(&name)?.original().is_none();
+                let resolution = frames[0].resolution();
+                let id = self.catalog.add_physical(
+                    &name,
+                    resolution.width,
+                    resolution.height,
+                    write.frame_rate,
+                    &codec.name(),
+                    is_original,
+                    0.0,
+                )?;
+                write.physical_id = Some(id);
+                id
+            }
+        };
+        let encoder = EncoderConfig {
+            quality: write.request.encoder_quality.unwrap_or(self.config.default_encoder_quality),
+            gop_size: self.write_gop_size(codec),
+        };
+        let gop = codec_instance(codec).encode_slice(frames, write.frame_rate, &encoder)?;
+        let (bytes, level) = self.persist_gop(
+            &name,
+            physical_id,
+            codec,
+            &gop,
+            write.time,
+            frames.len(),
+            write.frame_rate,
+        )?;
+        write.bytes_written += bytes;
+        write.deferred_levels.push(level);
+        write.gops_written += 1;
+        write.frames_written += frames.len();
+        write.time += frames.len() as f64 / write.frame_rate;
+        Ok(())
+    }
+
+    /// Completes an incremental write: establishes the storage budget (once
+    /// the original's size is known) and persists the catalog. Errors with
+    /// [`VssError::EmptyWrite`] if no frames were pushed.
+    pub fn finish_incremental_write(
+        &mut self,
+        write: &mut IncrementalWrite,
+    ) -> Result<WriteReport, VssError> {
+        let Some(physical_id) = write.physical_id else {
+            return Err(VssError::EmptyWrite);
+        };
+        self.establish_budget(&write.request.name)?;
+        self.catalog.persist()?;
+        Ok(WriteReport {
+            physical_id,
+            gops_written: write.gops_written,
+            frames_written: write.frames_written,
+            bytes_written: write.bytes_written,
+            deferred_levels: std::mem::take(&mut write.deferred_levels),
+            elapsed: write.started.elapsed(),
+        })
+    }
+}
+
+/// Adapts a storage backend's locking discipline to [`WriteSink`]. Each
+/// `flush_gop` call receives exactly one GOP-sized (or final partial) run of
+/// frames, in order; `finish` is called once, after the last flush.
+///
+/// Implementations exist for the engine itself, the [`Vss`](crate::Vss)
+/// handle, `vss-server` sessions and (as a buffer-then-write fallback) every
+/// other [`VideoStorage`](crate::VideoStorage) implementor.
+pub trait GopWriteBackend {
+    /// Encodes and persists one GOP's worth of frames.
+    fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError>;
+    /// Completes the write and produces its report.
+    fn finish(&mut self) -> Result<WriteReport, VssError>;
+}
+
+/// An incremental writer: push frames, each GOP is encoded and persisted as
+/// it fills, `finish()` returns the [`WriteReport`]. See the
+/// [module docs](self).
+pub struct WriteSink<'a> {
+    backend: Box<dyn GopWriteBackend + 'a>,
+    pending: Vec<Frame>,
+    frame_rate: f64,
+    gop_size: usize,
+    /// Shape of the first frame ever pushed; every later frame must match it
+    /// (the per-sink equivalent of `FrameSequence`'s shape check — it must
+    /// not reset when `pending` drains at a GOP boundary).
+    shape: Option<(u32, u32, vss_frame::PixelFormat)>,
+}
+
+impl std::fmt::Debug for WriteSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteSink")
+            .field("buffered_frames", &self.pending.len())
+            .field("gop_size", &self.gop_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> WriteSink<'a> {
+    /// Builds a sink over a backend. `gop_size` is the flush boundary; pass
+    /// [`Engine::write_gop_size`] for engine-backed sinks so the chunking
+    /// matches batch writes byte-for-byte.
+    pub fn from_backend(
+        backend: Box<dyn GopWriteBackend + 'a>,
+        frame_rate: f64,
+        gop_size: usize,
+    ) -> Self {
+        Self { backend, pending: Vec::new(), frame_rate, gop_size: gop_size.max(1), shape: None }
+    }
+
+    /// The sink's frame rate.
+    pub fn frame_rate(&self) -> f64 {
+        self.frame_rate
+    }
+
+    /// Frames currently buffered (always `< gop_size` after a push returns).
+    pub fn buffered_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pushes one frame, flushing a GOP to the backend when full. Frames must
+    /// all share the first frame's shape (as in a [`FrameSequence`]) — across
+    /// the whole ingest, exactly like a batch write of the same frames.
+    pub fn push_frame(&mut self, frame: Frame) -> Result<(), VssError> {
+        let shape = (frame.width(), frame.height(), frame.format());
+        match self.shape {
+            None => self.shape = Some(shape),
+            Some(expected) if expected != shape => {
+                return Err(VssError::Frame(FrameError::ShapeMismatch));
+            }
+            Some(_) => {}
+        }
+        self.pending.push(frame);
+        if self.pending.len() >= self.gop_size {
+            let chunk: Vec<Frame> = self.pending.drain(..).collect();
+            self.backend.flush_gop(&chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes every frame of a sequence (its frame rate must match the
+    /// sink's).
+    pub fn push_sequence(&mut self, frames: &FrameSequence) -> Result<(), VssError> {
+        if (frames.frame_rate() - self.frame_rate).abs() > 1e-9 {
+            return Err(VssError::Frame(FrameError::InvalidFrameRate));
+        }
+        for frame in frames.frames() {
+            self.push_frame(frame.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the final partial GOP and completes the write.
+    pub fn finish(mut self) -> Result<WriteReport, VssError> {
+        if !self.pending.is_empty() {
+            let chunk: Vec<Frame> = self.pending.drain(..).collect();
+            self.backend.flush_gop(&chunk)?;
+        }
+        self.backend.finish()
+    }
+}
+
+/// Engine-backed sink: flushes go straight at the exclusively borrowed
+/// engine.
+pub(crate) struct EngineSinkBackend<'a> {
+    pub(crate) engine: &'a mut Engine,
+    pub(crate) write: IncrementalWrite,
+}
+
+impl GopWriteBackend for EngineSinkBackend<'_> {
+    fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        self.engine.push_incremental_gop(&mut self.write, frames)
+    }
+
+    fn finish(&mut self) -> Result<WriteReport, VssError> {
+        self.engine.finish_incremental_write(&mut self.write)
+    }
+}
+
+/// Buffer-then-batch-write fallback used as the default
+/// [`VideoStorage::write_sink`](crate::VideoStorage::write_sink): stores that
+/// cannot persist incrementally (the monolithic-file baselines) accumulate
+/// the frames and issue one batch write at finish.
+pub(crate) struct BufferedSinkBackend<'a, S: crate::VideoStorage + ?Sized> {
+    pub(crate) store: &'a mut S,
+    pub(crate) request: WriteRequest,
+    pub(crate) frame_rate: f64,
+    pub(crate) frames: Vec<Frame>,
+}
+
+impl<S: crate::VideoStorage + ?Sized> GopWriteBackend for BufferedSinkBackend<'_, S> {
+    fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        self.frames.extend_from_slice(frames);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<WriteReport, VssError> {
+        let frames = FrameSequence::new(std::mem::take(&mut self.frames), self.frame_rate)?;
+        self.store.write(&self.request, &frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_support::temp_engine;
+    use vss_frame::{pattern, PixelFormat};
+
+    fn frames(count: usize) -> Vec<Frame> {
+        (0..count).map(|i| pattern::gradient(64, 48, PixelFormat::Yuv420, i as u64)).collect()
+    }
+
+    #[test]
+    fn sink_write_is_byte_identical_to_batch_write() {
+        let source = frames(75); // 2 full GOPs + 1 partial at gop_size 30
+        let collect_pages = |root: &std::path::Path| {
+            let mut pages: Vec<(String, Vec<u8>)> = Vec::new();
+            let mut pending = vec![root.to_path_buf()];
+            while let Some(dir) = pending.pop() {
+                for entry in std::fs::read_dir(&dir).unwrap() {
+                    let path = entry.unwrap().path();
+                    if path.is_dir() {
+                        pending.push(path);
+                    } else {
+                        let relative =
+                            path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                        pages.push((relative, std::fs::read(&path).unwrap()));
+                    }
+                }
+            }
+            pages.sort_by(|a, b| a.0.cmp(&b.0));
+            pages
+        };
+
+        let (mut batch_engine, batch_root) = temp_engine("sink-batch");
+        let sequence = FrameSequence::new(source.clone(), 30.0).unwrap();
+        let batch_report =
+            batch_engine.write(&WriteRequest::new("v", Codec::H264), &sequence).unwrap();
+
+        let (mut sink_engine, sink_root) = temp_engine("sink-inc");
+        let request = WriteRequest::new("v", Codec::H264);
+        let gop_size = sink_engine.write_gop_size(request.codec);
+        let backend = EngineSinkBackend {
+            write: sink_engine.begin_incremental_write(&request, 30.0).unwrap(),
+            engine: &mut sink_engine,
+        };
+        let mut sink = WriteSink::from_backend(Box::new(backend), 30.0, gop_size);
+        for frame in source {
+            sink.push_frame(frame).unwrap();
+            assert!(sink.buffered_frames() < gop_size, "sink never holds a full GOP");
+        }
+        let sink_report = sink.finish().unwrap();
+
+        assert_eq!(sink_report.gops_written, batch_report.gops_written);
+        assert_eq!(sink_report.frames_written, batch_report.frames_written);
+        assert_eq!(sink_report.bytes_written, batch_report.bytes_written);
+        assert_eq!(sink_report.deferred_levels, batch_report.deferred_levels);
+        assert_eq!(
+            collect_pages(&batch_root),
+            collect_pages(&sink_root),
+            "incremental and batch writes must produce identical stores"
+        );
+        let _ = std::fs::remove_dir_all(batch_root);
+        let _ = std::fs::remove_dir_all(sink_root);
+    }
+
+    #[test]
+    fn empty_sink_errors_like_an_empty_write() {
+        let (mut engine, root) = temp_engine("sink-empty");
+        let request = WriteRequest::new("v", Codec::H264);
+        let backend = EngineSinkBackend {
+            write: engine.begin_incremental_write(&request, 30.0).unwrap(),
+            engine: &mut engine,
+        };
+        let sink = WriteSink::from_backend(Box::new(backend), 30.0, 30);
+        assert!(matches!(sink.finish(), Err(VssError::EmptyWrite)));
+        // Nothing was created.
+        assert!(engine.video_names().is_empty());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sink_rejects_shape_and_rate_mismatches() {
+        let (mut engine, root) = temp_engine("sink-shape");
+        let request = WriteRequest::new("v", Codec::H264);
+        let backend = EngineSinkBackend {
+            write: engine.begin_incremental_write(&request, 30.0).unwrap(),
+            engine: &mut engine,
+        };
+        let mut sink = WriteSink::from_backend(Box::new(backend), 30.0, 30);
+        sink.push_frame(pattern::gradient(64, 48, PixelFormat::Yuv420, 0)).unwrap();
+        assert!(matches!(
+            sink.push_frame(pattern::gradient(32, 24, PixelFormat::Yuv420, 0)),
+            Err(VssError::Frame(FrameError::ShapeMismatch))
+        ));
+        // The shape contract spans GOP boundaries: after a full GOP flushes
+        // (pending drains), a differently shaped frame must still be
+        // rejected, exactly as a batch write of the same frames would be.
+        for i in 1..30 {
+            sink.push_frame(pattern::gradient(64, 48, PixelFormat::Yuv420, i)).unwrap();
+        }
+        assert_eq!(sink.buffered_frames(), 0, "first GOP flushed");
+        assert!(matches!(
+            sink.push_frame(pattern::gradient(32, 24, PixelFormat::Yuv420, 0)),
+            Err(VssError::Frame(FrameError::ShapeMismatch))
+        ));
+        let other_rate =
+            FrameSequence::new(vec![pattern::gradient(64, 48, PixelFormat::Yuv420, 1)], 25.0)
+                .unwrap();
+        assert!(matches!(
+            sink.push_sequence(&other_rate),
+            Err(VssError::Frame(FrameError::InvalidFrameRate))
+        ));
+        // Non-positive / non-finite frame rates are rejected up front, like
+        // FrameSequence::new on the batch path.
+        drop(sink);
+        for bad_rate in [0.0, -30.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                engine.begin_incremental_write(&request, bad_rate),
+                Err(VssError::Frame(FrameError::InvalidFrameRate))
+            ));
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,943 @@
+//! GOP-at-a-time streaming reads.
+//!
+//! [`ReadStream`] is the incremental counterpart of [`Engine::read`]: instead
+//! of materializing a whole `ReadResult` (whose memory
+//! footprint scales with the clip length), a stream yields
+//! [`ReadChunk`]s — one GOP's worth of decoded frames (plus, for compressed
+//! requests, one encoded output GOP) at a time — so a consumer that processes
+//! frames incrementally holds O(GOP) memory instead of O(clip).
+//!
+//! # Snapshot, then decode lock-free
+//!
+//! Opening a stream does all the catalog-dependent work up front — range
+//! validation, candidate collection, planning, recency bookkeeping and
+//! resolving every planned GOP to its on-disk file — and captures the result
+//! in a self-contained work list. Iteration then needs **no access to the
+//! engine at all**: GOP files are read straight from disk, decoded, normalized
+//! and (re)encoded one plan step at a time. This is what lets `vss-server`
+//! open a stream under a shard's *shared* lock and release the lock before the
+//! first byte of video is decoded: the shard lock is never held across GOP
+//! file reads.
+//!
+//! # Equivalence with materialized reads
+//!
+//! `Engine::read`/`read_shared` are thin wrappers that open a stream and
+//! [`drain`](ReadStream::drain) it, so draining a stream is *by construction*
+//! byte-identical to a materialized read of the same request against the same
+//! store state. Chunk boundaries follow the plan: pass-through segments yield
+//! one chunk per reused stored GOP; re-encoded segments yield one chunk per
+//! output GOP of the configured GOP size. Streaming reads never admit their
+//! result to the cache of materialized views (use [`Engine::read`] when cache
+//! admission is wanted).
+//!
+//! # Memory accounting
+//!
+//! The stream tracks how many frames (and pixel-buffer bytes) it holds at any
+//! moment — pending encoder input, retiming buffers, quality-measurement
+//! accumulators and chunks awaiting the consumer — and records the high-water
+//! mark, exposed as [`ReadStream::peak_buffered_frames`] /
+//! [`peak_buffered_bytes`](ReadStream::peak_buffered_bytes) and reported in
+//! [`ReadStats`]. For reads that need no frame-rate conversion the peak is
+//! bounded by **two GOPs** (one being assembled plus one awaiting the
+//! consumer); frame-rate-converted segments are the documented exception —
+//! retiming is a whole-segment operation, so such segments are buffered in
+//! full before conversion. (Exclusive cache-admitting reads additionally
+//! accumulate the first resized segment for the admission-quality
+//! measurement — but those reads drain the whole result anyway; streams
+//! opened through `read_stream` skip that measurement.)
+
+use crate::engine::{Engine, ReadStats};
+use crate::fragments::{build_candidates, CandidateSet};
+use crate::params::{PlannerKind, ReadRequest};
+use crate::quality::QualityModel;
+use crate::read::ReadResult;
+use crate::VssError;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use vss_codec::{codec_instance, lossless, Codec, EncodedGop, EncoderConfig};
+use vss_frame::{
+    convert_frame_rate, crop, resize_bilinear, Frame, FrameSequence, PixelFormat,
+    RegionOfInterest, Resolution,
+};
+use vss_solver::{plan_read, plan_read_greedy, ReadPlan, ReadPlanRequest};
+
+/// Execution-statistics increments carried by one [`ReadChunk`]: how much
+/// work (I/O, decode) was done since the previous chunk was yielded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// GOP files read from disk for this chunk.
+    pub gops_read: usize,
+    /// Frames decoded for this chunk (including look-back frames).
+    pub frames_decoded: usize,
+    /// Bytes read from disk for this chunk.
+    pub bytes_read: u64,
+}
+
+/// One increment of a streaming read: a GOP's worth of output.
+#[derive(Debug, Clone)]
+pub struct ReadChunk {
+    /// Decoded frames in the requested spatial/temporal/physical
+    /// configuration. Concatenating every chunk's frames reproduces the
+    /// `frames` of the equivalent materialized read exactly.
+    pub frames: FrameSequence,
+    /// The encoded output GOP, present when the requested codec is
+    /// compressed. Concatenating every chunk's GOP reproduces the `encoded`
+    /// output of the equivalent materialized read exactly.
+    pub encoded_gop: Option<EncodedGop>,
+    /// Work performed since the previous chunk.
+    pub stats_delta: ChunkStats,
+}
+
+/// One planned GOP, fully resolved to its on-disk file at snapshot time so
+/// iteration never needs the catalog.
+#[derive(Debug)]
+struct GopWork {
+    path: PathBuf,
+    /// Whether the stored bytes are under deferred (lossless) compression.
+    lossless: bool,
+    /// First decoded frame that belongs to the output (mid-GOP entry).
+    first: usize,
+    /// Decode up to this frame (look-back included).
+    last: usize,
+}
+
+/// A by-value copy of one segment's transform descriptors, taken per step so
+/// the mutable borrow of the segment queue can end before chunks are emitted.
+#[derive(Debug, Clone, Copy)]
+struct SegmentShape {
+    source_codec: Codec,
+    frame_rate: f64,
+    resolution: Resolution,
+    passthrough: bool,
+    retime: bool,
+    measure_mse: bool,
+    /// True when the step consumed the segment's final GOP.
+    last_gop: bool,
+}
+
+/// One plan segment's snapshot: where its GOPs live and how to transform them.
+#[derive(Debug)]
+struct SegmentWork {
+    source_codec: Codec,
+    frame_rate: f64,
+    resolution: Resolution,
+    /// Stored GOPs can be handed to the output without re-encoding.
+    passthrough: bool,
+    /// Frame-rate conversion required (whole-segment operation).
+    retime: bool,
+    /// This segment measures the resampling MSE for cache admission.
+    measure_mse: bool,
+    gops: VecDeque<GopWork>,
+}
+
+/// Everything the exclusive read path needs, beyond the drained result, to
+/// decide on (and perform) cache admission.
+#[derive(Debug)]
+pub(crate) struct AdmissionCarry {
+    pub(crate) candidates: CandidateSet,
+    pub(crate) reused_any: bool,
+    pub(crate) derivation_mse: f64,
+    pub(crate) source_mse_bound: f64,
+    pub(crate) output_resolution: Resolution,
+}
+
+impl Default for AdmissionCarry {
+    fn default() -> Self {
+        Self {
+            candidates: CandidateSet::default(),
+            reused_any: false,
+            derivation_mse: 0.0,
+            source_mse_bound: 0.0,
+            output_resolution: Resolution::new(0, 0),
+        }
+    }
+}
+
+/// Accumulated stream-level statistics (the parts of [`ReadStats`] that are
+/// not per-chunk deltas).
+#[derive(Debug)]
+struct StreamBase {
+    plan: ReadPlan,
+    fragments_available: usize,
+    cached_fragments_used: usize,
+    planning: Duration,
+    decoding: Duration,
+    encoding: Duration,
+    gops_read: usize,
+    frames_decoded: usize,
+    bytes_read: u64,
+    /// Totals already attributed to yielded chunks (for delta computation).
+    reported_gops: usize,
+    reported_frames: usize,
+    reported_bytes: u64,
+    peak_buffered_frames: usize,
+    peak_buffered_bytes: u64,
+    output_frame_rate: f64,
+    compressed: bool,
+}
+
+/// The decode-side state of a plan-backed stream.
+struct PlanState {
+    codec: Codec,
+    encoder: EncoderConfig,
+    gop_size: usize,
+    parallelism: usize,
+    target_format: PixelFormat,
+    region: Option<RegionOfInterest>,
+    output_resolution: Resolution,
+    output_fps: f64,
+    segments: VecDeque<SegmentWork>,
+    /// Cropped frames awaiting enough material for one output GOP.
+    pending: Vec<Frame>,
+    pending_rate: f64,
+    /// Whole-segment buffer for frame-rate conversion.
+    retime_buffer: Vec<Frame>,
+    /// Accumulators for the admission-quality measurement (first resized
+    /// segment only).
+    mse_source: Vec<Frame>,
+    mse_normalized: Vec<Frame>,
+    derivation_measured: bool,
+    carry: AdmissionCarry,
+}
+
+enum StreamSource {
+    /// An engine plan snapshot, decoded lazily.
+    Plan(Box<PlanState>),
+    /// Pre-chunked source (used by the baseline stores to speak the same
+    /// streaming vocabulary).
+    Chunks(Box<dyn Iterator<Item = Result<ReadChunk, VssError>> + Send>),
+}
+
+/// A lazily-evaluated, GOP-at-a-time read. See the [module docs](self).
+///
+/// `ReadStream` implements `Iterator<Item = Result<ReadChunk, VssError>>`.
+/// After iteration completes, [`stats`](Self::stats) reports the full
+/// [`ReadStats`]; [`drain`](Self::drain) consumes the stream into the
+/// equivalent materialized [`ReadResult`].
+pub struct ReadStream {
+    source: StreamSource,
+    base: StreamBase,
+    ready: VecDeque<ReadChunk>,
+    emitted_frames: usize,
+    /// Set once a fatal error has been yielded; the stream then fuses.
+    failed: bool,
+    exhausted: bool,
+    /// Plan-backed streams must produce at least one frame.
+    require_frames: bool,
+}
+
+impl std::fmt::Debug for ReadStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadStream")
+            .field("emitted_frames", &self.emitted_frames)
+            .field("peak_buffered_frames", &self.base.peak_buffered_frames)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReadStream {
+    /// Builds a stream from pre-computed chunks (the adapter the baseline
+    /// stores use to expose GOP-at-a-time reads through the one
+    /// [`VideoStorage`](crate::VideoStorage) vocabulary). `compressed` states
+    /// whether chunks carry encoded GOPs; `output_frame_rate` is the frame
+    /// rate of the drained output.
+    pub fn from_chunks(
+        output_frame_rate: f64,
+        compressed: bool,
+        chunks: impl Iterator<Item = Result<ReadChunk, VssError>> + Send + 'static,
+    ) -> Self {
+        ReadStream {
+            source: StreamSource::Chunks(Box::new(chunks)),
+            base: StreamBase {
+                plan: ReadPlan { segments: Vec::new(), total_cost: 0.0 },
+                fragments_available: 0,
+                cached_fragments_used: 0,
+                planning: Duration::ZERO,
+                decoding: Duration::ZERO,
+                encoding: Duration::ZERO,
+                gops_read: 0,
+                frames_decoded: 0,
+                bytes_read: 0,
+                reported_gops: 0,
+                reported_frames: 0,
+                reported_bytes: 0,
+                peak_buffered_frames: 0,
+                peak_buffered_bytes: 0,
+                output_frame_rate,
+                compressed,
+            },
+            ready: VecDeque::new(),
+            emitted_frames: 0,
+            failed: false,
+            exhausted: false,
+            require_frames: false,
+        }
+    }
+
+    /// The read plan behind this stream (empty for chunk-backed streams).
+    pub fn plan(&self) -> &ReadPlan {
+        &self.base.plan
+    }
+
+    /// High-water mark of frames buffered inside the stream so far.
+    pub fn peak_buffered_frames(&self) -> usize {
+        self.base.peak_buffered_frames
+    }
+
+    /// High-water mark of pixel-buffer bytes buffered inside the stream.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.base.peak_buffered_bytes
+    }
+
+    /// Point-in-time execution statistics (complete once the stream is
+    /// exhausted). `cache_admitted` is always false: streams never admit.
+    pub fn stats(&self) -> ReadStats {
+        ReadStats {
+            plan: self.base.plan.clone(),
+            fragments_available: self.base.fragments_available,
+            gops_read: self.base.gops_read,
+            frames_decoded: self.base.frames_decoded,
+            bytes_read: self.base.bytes_read,
+            cached_fragments_used: self.base.cached_fragments_used,
+            cache_admitted: false,
+            planning: self.base.planning,
+            decoding: self.base.decoding,
+            encoding: self.base.encoding,
+            peak_buffered_frames: self.base.peak_buffered_frames,
+            peak_buffered_bytes: self.base.peak_buffered_bytes,
+        }
+    }
+
+    /// Consumes the stream, materializing the equivalent [`ReadResult`].
+    ///
+    /// The drained output is byte-identical to [`Engine::read`] /
+    /// [`Engine::read_shared`] for the same request and store state (those
+    /// methods are implemented as exactly this drain). Draining necessarily
+    /// accumulates the whole result, so the reported peak buffered memory is
+    /// O(clip) — the number streaming consumers avoid.
+    pub fn drain(self) -> Result<ReadResult, VssError> {
+        self.drain_with_admission().map(|(result, _)| result)
+    }
+
+    /// Drains the stream and also returns the cache-admission inputs the
+    /// exclusive read path needs.
+    pub(crate) fn drain_with_admission(
+        mut self,
+    ) -> Result<(ReadResult, AdmissionCarry), VssError> {
+        let mut output = FrameSequence::empty(self.base.output_frame_rate)?;
+        let mut encoded: Vec<EncodedGop> = Vec::new();
+        while let Some(chunk) = self.next() {
+            let chunk = chunk?;
+            // The drain itself accumulates the whole result; count it so the
+            // reported peak reflects what a materialized read really holds.
+            output.extend(chunk.frames)?;
+            if let Some(gop) = chunk.encoded_gop {
+                encoded.push(gop);
+            }
+            let bytes: u64 = output.byte_len() as u64
+                + encoded.iter().map(|g| g.byte_len() as u64).sum::<u64>();
+            self.base.peak_buffered_frames = self.base.peak_buffered_frames.max(output.len());
+            self.base.peak_buffered_bytes = self.base.peak_buffered_bytes.max(bytes);
+        }
+        let stats = self.stats();
+        let carry = match self.source {
+            StreamSource::Plan(state) => state.carry,
+            StreamSource::Chunks(_) => AdmissionCarry::default(),
+        };
+        let result = ReadResult {
+            frames: output,
+            encoded: if self.base.compressed { Some(encoded) } else { None },
+            stats,
+        };
+        Ok((result, carry))
+    }
+}
+
+impl Iterator for ReadStream {
+    type Item = Result<ReadChunk, VssError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(mut chunk) = self.ready.pop_front() {
+                chunk.stats_delta = self.base.take_delta();
+                self.emitted_frames += chunk.frames.len();
+                return Some(Ok(chunk));
+            }
+            if self.exhausted {
+                return None;
+            }
+            let stepped = match &mut self.source {
+                StreamSource::Chunks(chunks) => match chunks.next() {
+                    Some(Ok(chunk)) => {
+                        self.base.gops_read += chunk.stats_delta.gops_read;
+                        self.base.frames_decoded += chunk.stats_delta.frames_decoded;
+                        self.base.bytes_read += chunk.stats_delta.bytes_read;
+                        let bytes = chunk.frames.byte_len() as u64
+                            + chunk.encoded_gop.as_ref().map_or(0, |g| g.byte_len() as u64);
+                        self.base.peak_buffered_frames =
+                            self.base.peak_buffered_frames.max(chunk.frames.len());
+                        self.base.peak_buffered_bytes = self.base.peak_buffered_bytes.max(bytes);
+                        self.ready.push_back(chunk);
+                        Ok(true)
+                    }
+                    Some(Err(error)) => Err(error),
+                    None => Ok(false),
+                },
+                StreamSource::Plan(state) => {
+                    state.step(&mut self.base, &mut self.ready)
+                }
+            };
+            match stepped {
+                Ok(true) => continue,
+                Ok(false) => {
+                    self.exhausted = true;
+                    if self.require_frames && self.emitted_frames == 0 && self.ready.is_empty() {
+                        self.failed = true;
+                        return Some(Err(VssError::Unsatisfiable(
+                            "plan produced no frames".into(),
+                        )));
+                    }
+                }
+                Err(error) => {
+                    self.failed = true;
+                    return Some(Err(error));
+                }
+            }
+        }
+    }
+}
+
+impl StreamBase {
+    fn take_delta(&mut self) -> ChunkStats {
+        let delta = ChunkStats {
+            gops_read: self.gops_read - self.reported_gops,
+            frames_decoded: self.frames_decoded - self.reported_frames,
+            bytes_read: self.bytes_read - self.reported_bytes,
+        };
+        self.reported_gops = self.gops_read;
+        self.reported_frames = self.frames_decoded;
+        self.reported_bytes = self.bytes_read;
+        delta
+    }
+}
+
+impl PlanState {
+    /// Advances the stream by one unit of work — at most one GOP load/decode
+    /// or one segment finalization — pushing any completed chunks into
+    /// `ready`. Returns `Ok(false)` once all segments are exhausted.
+    fn step(
+        &mut self,
+        base: &mut StreamBase,
+        ready: &mut VecDeque<ReadChunk>,
+    ) -> Result<bool, VssError> {
+        let Some(front) = self.segments.front_mut() else {
+            return Ok(false);
+        };
+        let Some(work) = front.gops.pop_front() else {
+            self.finish_segment(base, ready)?;
+            return Ok(true);
+        };
+        // Copy out the segment descriptors so the front borrow ends here.
+        let segment = SegmentShape {
+            source_codec: front.source_codec,
+            frame_rate: front.frame_rate,
+            resolution: front.resolution,
+            passthrough: front.passthrough,
+            retime: front.retime,
+            measure_mse: front.measure_mse,
+            last_gop: front.gops.is_empty(),
+        };
+
+        // --- load + decode (the formerly lock-held part, now lock-free) ----
+        let started = Instant::now();
+        let bytes = std::fs::read(&work.path)
+            .map_err(|e| VssError::Catalog(vss_catalog::CatalogError::Io(e)))?;
+        base.gops_read += 1;
+        base.bytes_read += bytes.len() as u64;
+        let container = if work.lossless { lossless::decompress(&bytes)? } else { bytes };
+        let gop = EncodedGop::from_bytes(&container)?;
+        let implementation = codec_instance(segment.source_codec);
+        let decoded = implementation.decode_prefix(&gop, work.last)?;
+        base.frames_decoded += decoded.len();
+        let sliced = &decoded.frames()[work.first.min(decoded.len())..];
+        base.decoding += started.elapsed();
+        self.note_buffered(base, ready, decoded.len(), decoded.byte_len() as u64);
+        if sliced.is_empty() {
+            if segment.last_gop {
+                self.finish_segment(base, ready)?;
+            }
+            return Ok(true);
+        }
+
+        if segment.passthrough {
+            // The stored GOP already matches the requested configuration:
+            // convert the physical layout only and reuse the encoded bytes.
+            let started = Instant::now();
+            let target = self.target_format;
+            let frames = vss_parallel::try_par_map(self.parallelism, sliced, |_, frame| {
+                frame.convert(target)
+            })?;
+            base.decoding += started.elapsed();
+            self.carry.reused_any = true;
+            let rate = segment.frame_rate;
+            let chunk = ReadChunk {
+                frames: FrameSequence::new(frames, rate)?,
+                encoded_gop: Some(gop),
+                stats_delta: ChunkStats::default(),
+            };
+            self.note_buffered(base, ready, chunk.frames.len(), chunk.frames.byte_len() as u64);
+            ready.push_back(chunk);
+        } else {
+            // Normalize spatial configuration and physical layout per frame.
+            let resize_needed = self.output_resolution != segment.resolution;
+            let (width, height) = (self.output_resolution.width, self.output_resolution.height);
+            let output_resolution = self.output_resolution;
+            let target = self.target_format;
+            let started = Instant::now();
+            let normalized = vss_parallel::try_par_map(
+                self.parallelism,
+                sliced,
+                |_, frame| -> Result<Frame, vss_frame::FrameError> {
+                    let resized = if resize_needed && frame.resolution() != output_resolution {
+                        resize_bilinear(frame, width, height)?
+                    } else {
+                        frame.clone()
+                    };
+                    resized.convert(target)
+                },
+            )?;
+            base.decoding += started.elapsed();
+            if segment.measure_mse && !self.derivation_measured {
+                self.mse_source.extend_from_slice(sliced);
+                self.mse_normalized.extend_from_slice(&normalized);
+            }
+            if segment.retime {
+                self.retime_buffer.extend(normalized);
+                self.note_buffered(base, ready, 0, 0);
+            } else {
+                let rate = segment.frame_rate;
+                self.emit_output(normalized, rate, base, ready)?;
+            }
+        }
+        if segment.last_gop {
+            self.finish_segment(base, ready)?;
+        }
+        Ok(true)
+    }
+
+    /// Closes out the front segment: measures the admission MSE, retimes the
+    /// buffered segment if needed and flushes the partial output GOP.
+    fn finish_segment(
+        &mut self,
+        base: &mut StreamBase,
+        ready: &mut VecDeque<ReadChunk>,
+    ) -> Result<(), VssError> {
+        let Some(segment) = self.segments.pop_front() else { return Ok(()) };
+        if segment.measure_mse && !self.derivation_measured && !self.mse_source.is_empty() {
+            let source =
+                FrameSequence::new(std::mem::take(&mut self.mse_source), segment.frame_rate)?;
+            let normalized =
+                FrameSequence::new(std::mem::take(&mut self.mse_normalized), segment.frame_rate)?;
+            self.carry.derivation_mse = QualityModel::resampling_mse(&source, &normalized);
+            self.derivation_measured = true;
+        }
+        if segment.retime && !self.retime_buffer.is_empty() {
+            let started = Instant::now();
+            let normalized =
+                FrameSequence::new(std::mem::take(&mut self.retime_buffer), segment.frame_rate)?;
+            let retimed = convert_frame_rate(&normalized, self.output_fps)?;
+            base.decoding += started.elapsed();
+            self.emit_output(retimed.into_frames(), self.output_fps, base, ready)?;
+        }
+        // Output GOPs never span plan segments: flush the partial GOP.
+        if self.codec.is_compressed() && !self.pending.is_empty() {
+            let frames = std::mem::take(&mut self.pending);
+            let rate = self.pending_rate;
+            self.emit_encoded(frames, rate, base, ready)?;
+        }
+        Ok(())
+    }
+
+    /// Routes normalized frames to the output: cropped, then either yielded
+    /// directly (raw requests) or staged for GOP-sized re-encoding.
+    fn emit_output(
+        &mut self,
+        frames: Vec<Frame>,
+        rate: f64,
+        base: &mut StreamBase,
+        ready: &mut VecDeque<ReadChunk>,
+    ) -> Result<(), VssError> {
+        let started = Instant::now();
+        let cropped = match self.region {
+            Some(region) => {
+                vss_parallel::try_par_map(self.parallelism, &frames, |_, frame| {
+                    crop(frame, &region)
+                })?
+            }
+            None => frames,
+        };
+        base.encoding += started.elapsed();
+        if self.codec.is_compressed() {
+            self.pending.extend(cropped);
+            self.pending_rate = rate;
+            self.note_buffered(base, ready, 0, 0);
+            while self.pending.len() >= self.gop_size {
+                let chunk: Vec<Frame> = self.pending.drain(..self.gop_size).collect();
+                self.emit_encoded(chunk, rate, base, ready)?;
+            }
+        } else {
+            let chunk = ReadChunk {
+                frames: FrameSequence::new(cropped, rate)?,
+                encoded_gop: None,
+                stats_delta: ChunkStats::default(),
+            };
+            self.note_buffered(base, ready, chunk.frames.len(), chunk.frames.byte_len() as u64);
+            ready.push_back(chunk);
+        }
+        Ok(())
+    }
+
+    /// Encodes one output GOP and yields it with its source frames.
+    fn emit_encoded(
+        &mut self,
+        frames: Vec<Frame>,
+        rate: f64,
+        base: &mut StreamBase,
+        ready: &mut VecDeque<ReadChunk>,
+    ) -> Result<(), VssError> {
+        let started = Instant::now();
+        let gop = codec_instance(self.codec).encode_slice(&frames, rate, &self.encoder)?;
+        base.encoding += started.elapsed();
+        let chunk = ReadChunk {
+            frames: FrameSequence::new(frames, rate)?,
+            encoded_gop: Some(gop),
+            stats_delta: ChunkStats::default(),
+        };
+        self.note_buffered(base, ready, chunk.frames.len(), chunk.frames.byte_len() as u64);
+        ready.push_back(chunk);
+        Ok(())
+    }
+
+    /// Updates the buffered-memory high-water mark. `transient` covers
+    /// material held by the current step that is not yet in a named buffer
+    /// (e.g. a freshly decoded GOP).
+    fn note_buffered(
+        &self,
+        base: &mut StreamBase,
+        ready: &VecDeque<ReadChunk>,
+        transient_frames: usize,
+        transient_bytes: u64,
+    ) {
+        let held_frames = self.pending.len()
+            + self.retime_buffer.len()
+            + self.mse_source.len()
+            + self.mse_normalized.len()
+            + ready.iter().map(|c| c.frames.len()).sum::<usize>()
+            + transient_frames;
+        let held_bytes = byte_len(&self.pending)
+            + byte_len(&self.retime_buffer)
+            + byte_len(&self.mse_source)
+            + byte_len(&self.mse_normalized)
+            + ready.iter().map(|c| c.frames.byte_len() as u64).sum::<u64>()
+            + transient_bytes;
+        base.peak_buffered_frames = base.peak_buffered_frames.max(held_frames);
+        base.peak_buffered_bytes = base.peak_buffered_bytes.max(held_bytes);
+    }
+}
+
+fn byte_len(frames: &[Frame]) -> u64 {
+    frames.iter().map(|f| f.byte_len() as u64).sum()
+}
+
+impl Engine {
+    /// Opens a GOP-at-a-time streaming read (planned by `request.planner`).
+    ///
+    /// All catalog-dependent work happens here, through `&self`; the returned
+    /// stream owns a complete snapshot and performs its file I/O, decoding and
+    /// re-encoding without touching the engine — see the
+    /// [module docs](crate::stream). Streaming reads never admit their result
+    /// to the cache of materialized views.
+    pub fn read_stream(&self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        self.plan_stream(request, request.planner, false)
+    }
+
+    /// [`read_stream`](Self::read_stream) with an explicit planner choice.
+    /// `for_admission` is set by the exclusive read path only: it enables the
+    /// whole-segment quality measurement cache admission needs, which
+    /// (deliberately) costs O(segment) memory — pure streaming reads never
+    /// admit, so they skip it and keep the O(GOP) bound even on resizes.
+    pub(crate) fn plan_stream(
+        &self,
+        request: &ReadRequest,
+        planner: PlannerKind,
+        for_admission: bool,
+    ) -> Result<ReadStream, VssError> {
+        let video = self.catalog.video(&request.name)?;
+        let original = video
+            .original()
+            .ok_or_else(|| VssError::Unsatisfiable("video has no written data".into()))?;
+        let (start, end) = (request.temporal.start, request.temporal.end);
+        if end <= start
+            || start < original.start_time() - 1e-6
+            || end > original.end_time() + 1e-6
+        {
+            return Err(VssError::OutOfRange {
+                requested_start: start,
+                requested_end: end,
+                available_start: original.start_time(),
+                available_end: original.end_time(),
+            });
+        }
+        let threshold =
+            request.physical.quality_threshold.unwrap_or(self.config.default_quality_threshold);
+        let output_resolution = request.spatial.resolution.unwrap_or_else(|| original.resolution());
+        let output_fps = request.temporal.frame_rate.unwrap_or(original.frame_rate);
+
+        // --- plan ----------------------------------------------------------
+        let plan_started = Instant::now();
+        let candidates = build_candidates(video, &self.quality_model, threshold);
+        let plan_request = ReadPlanRequest {
+            start,
+            end,
+            resolution: output_resolution,
+            codec: request.physical.codec,
+        };
+        let plan = match planner {
+            PlannerKind::Optimal => plan_read(&plan_request, &candidates.candidates, &self.cost_model)?,
+            PlannerKind::Greedy => {
+                plan_read_greedy(&plan_request, &candidates.candidates, &self.cost_model)?
+            }
+        };
+        let planning = plan_started.elapsed();
+        let target_format = match request.physical.codec {
+            Codec::Raw(format) => format,
+            _ => PixelFormat::Yuv420,
+        };
+
+        // --- snapshot the plan's GOPs ---------------------------------------
+        // Resolve every planned GOP to its on-disk file, perform the recency
+        // bookkeeping (atomic — `&self` suffices) and record how each segment
+        // must be transformed. After this loop the stream is self-contained.
+        let mut segments: VecDeque<SegmentWork> = VecDeque::new();
+        let mut cached_segments = 0usize;
+        let mut source_mse_bound = 0.0f64;
+        let mut mse_segment_assigned = false;
+        for segment in &plan.segments {
+            let run = candidates.run(segment.fragment_id);
+            let physical = video
+                .physical
+                .iter()
+                .find(|p| p.id == run.physical_id)
+                .ok_or_else(|| {
+                    VssError::Unsatisfiable("plan references a missing physical video".into())
+                })?;
+            source_mse_bound = source_mse_bound.max(physical.mse_bound);
+            if !physical.is_original {
+                cached_segments += 1;
+            }
+            let source_codec = physical
+                .codec()
+                .ok_or_else(|| VssError::Unsatisfiable("unknown stored codec".into()))?;
+            let retime = (physical.frame_rate - output_fps).abs() > 1e-9;
+            let passthrough = request.physical.codec.is_compressed()
+                && source_codec == request.physical.codec
+                && physical.resolution() == output_resolution
+                && !retime
+                && request.spatial.region.is_none();
+            let gop_map = physical.gop_index_map();
+            let gop_fps =
+                if physical.frame_rate > 0.0 { physical.frame_rate } else { output_fps };
+            let mut gops: VecDeque<GopWork> = VecDeque::new();
+            for &gop_index in &run.gop_indices {
+                let Some(gop_record) = gop_map.get(&gop_index) else {
+                    continue;
+                };
+                if !gop_record.overlaps(segment.start, segment.end) {
+                    continue;
+                }
+                let relative_start = (segment.start - gop_record.start_time).max(0.0);
+                let relative_end =
+                    (segment.end - gop_record.start_time).min(gop_record.duration().max(0.0));
+                let first = (relative_start * gop_fps).round() as usize;
+                if first >= gop_record.frame_count {
+                    continue;
+                }
+                let last = ((relative_end * gop_fps).round() as usize)
+                    .min(gop_record.frame_count)
+                    .max(first + 1);
+                self.catalog.touch_gop(&request.name, run.physical_id, gop_index)?;
+                gops.push_back(GopWork {
+                    path: self.catalog.gop_path(&request.name, physical, gop_index),
+                    lossless: gop_record.lossless_level.is_some(),
+                    first,
+                    last,
+                });
+            }
+            let resize_needed = output_resolution != physical.resolution();
+            let measure_mse =
+                for_admission && !mse_segment_assigned && resize_needed && !gops.is_empty();
+            mse_segment_assigned |= measure_mse;
+            segments.push_back(SegmentWork {
+                source_codec,
+                frame_rate: physical.frame_rate,
+                resolution: physical.resolution(),
+                passthrough,
+                retime,
+                measure_mse,
+                gops,
+            });
+        }
+
+        let encoder = EncoderConfig {
+            quality: request
+                .physical
+                .encoder_quality
+                .unwrap_or(self.config.default_encoder_quality),
+            gop_size: self.config.gop_size,
+        };
+        let state = PlanState {
+            codec: request.physical.codec,
+            encoder,
+            gop_size: self.config.gop_size,
+            parallelism: self.config.parallelism,
+            target_format,
+            region: request.spatial.region,
+            output_resolution,
+            output_fps,
+            segments,
+            pending: Vec::new(),
+            pending_rate: output_fps,
+            retime_buffer: Vec::new(),
+            mse_source: Vec::new(),
+            mse_normalized: Vec::new(),
+            derivation_measured: false,
+            carry: AdmissionCarry {
+                candidates,
+                reused_any: false,
+                derivation_mse: 0.0,
+                source_mse_bound,
+                output_resolution,
+            },
+        };
+        let fragments_available = state.carry.candidates.candidates.len();
+        Ok(ReadStream {
+            source: StreamSource::Plan(Box::new(state)),
+            base: StreamBase {
+                plan,
+                fragments_available,
+                cached_fragments_used: cached_segments,
+                planning,
+                decoding: Duration::ZERO,
+                encoding: Duration::ZERO,
+                gops_read: 0,
+                frames_decoded: 0,
+                bytes_read: 0,
+                reported_gops: 0,
+                reported_frames: 0,
+                reported_bytes: 0,
+                peak_buffered_frames: 0,
+                peak_buffered_bytes: 0,
+                output_frame_rate: output_fps,
+                compressed: request.physical.codec.is_compressed(),
+            },
+            ready: VecDeque::new(),
+            emitted_frames: 0,
+            failed: false,
+            exhausted: false,
+            require_frames: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_support::temp_engine;
+    use crate::params::WriteRequest;
+    use vss_frame::pattern;
+
+    fn sequence(frames: usize) -> FrameSequence {
+        let frames: Vec<_> = (0..frames)
+            .map(|i| pattern::gradient(64, 48, PixelFormat::Yuv420, i as u64))
+            .collect();
+        FrameSequence::new(frames, 30.0).unwrap()
+    }
+
+    #[test]
+    fn stream_chunks_concatenate_to_the_materialized_read() {
+        let (mut engine, root) = temp_engine("stream-concat");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(90)).unwrap();
+        let request = ReadRequest::new("v", 0.0, 3.0, Codec::Hevc).uncacheable();
+        let mut streamed = FrameSequence::empty(30.0).unwrap();
+        let mut gops = Vec::new();
+        let mut stream = engine.read_stream(&request).unwrap();
+        for chunk in &mut stream {
+            let chunk = chunk.unwrap();
+            streamed.extend(chunk.frames).unwrap();
+            gops.extend(chunk.encoded_gop);
+        }
+        let materialized = engine.read(&request).unwrap();
+        assert_eq!(streamed.frames(), materialized.frames.frames());
+        let stream_bytes: Vec<Vec<u8>> = gops.iter().map(|g| g.to_bytes()).collect();
+        let read_bytes: Vec<Vec<u8>> =
+            materialized.encoded.unwrap().iter().map(|g| g.to_bytes()).collect();
+        assert_eq!(stream_bytes, read_bytes);
+        // The streaming consumer held a bounded buffer; the materialized read
+        // necessarily held the whole clip.
+        assert!(stream.peak_buffered_frames() < materialized.stats.peak_buffered_frames);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn stream_deltas_sum_to_the_stream_stats() {
+        let (mut engine, root) = temp_engine("stream-deltas");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(60)).unwrap();
+        let request = ReadRequest::new("v", 0.0, 2.0, Codec::H264).uncacheable();
+        let mut stream = engine.read_stream(&request).unwrap();
+        let mut delta = ChunkStats::default();
+        for chunk in &mut stream {
+            let chunk = chunk.unwrap();
+            delta.gops_read += chunk.stats_delta.gops_read;
+            delta.frames_decoded += chunk.stats_delta.frames_decoded;
+            delta.bytes_read += chunk.stats_delta.bytes_read;
+        }
+        let stats = stream.stats();
+        assert_eq!(delta.gops_read, stats.gops_read);
+        assert_eq!(delta.frames_decoded, stats.frames_decoded);
+        assert_eq!(delta.bytes_read, stats.bytes_read);
+        assert!(stats.gops_read >= 2);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn empty_plans_error_like_materialized_reads() {
+        let (mut engine, root) = temp_engine("stream-range");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(30)).unwrap();
+        assert!(matches!(
+            engine.read_stream(&ReadRequest::new("v", 0.0, 5.0, Codec::H264)),
+            Err(VssError::OutOfRange { .. })
+        ));
+        assert!(engine.read_stream(&ReadRequest::new("missing", 0.0, 1.0, Codec::H264)).is_err());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn chunk_backed_streams_drain() {
+        let frames = sequence(6);
+        let chunk = ReadChunk {
+            frames: frames.clone(),
+            encoded_gop: None,
+            stats_delta: ChunkStats { gops_read: 1, frames_decoded: 6, bytes_read: 10 },
+        };
+        let stream = ReadStream::from_chunks(30.0, false, vec![Ok(chunk)].into_iter());
+        let result = stream.drain().unwrap();
+        assert_eq!(result.frames.frames(), frames.frames());
+        assert!(result.encoded.is_none());
+        assert_eq!(result.stats.gops_read, 1);
+        assert_eq!(result.stats.bytes_read, 10);
+    }
+}

@@ -117,32 +117,14 @@ impl Engine {
         let mut time = start_time;
         for (&(chunk_start, chunk_end), gop) in ranges.iter().zip(&encoded) {
             let frame_count = chunk_end - chunk_start;
-            let duration = frame_count as f64 / frame_rate;
-            let (data, level) = self.maybe_defer_on_write(name, codec, gop)?;
-            bytes_written += data.len() as u64;
+            let (bytes, level) =
+                self.persist_gop(name, physical_id, codec, gop, time, frame_count, frame_rate)?;
+            bytes_written += bytes;
             deferred_levels.push(level);
-            self.catalog.append_gop(
-                name,
-                physical_id,
-                time,
-                time + duration,
-                frame_count,
-                &data,
-                if level > 0 { Some(level) } else { None },
-            )?;
             gops_written += 1;
-            time += duration;
+            time += frame_count as f64 / frame_rate;
         }
-        // Establish the budget once the original's size is known.
-        let video = self.catalog.video_mut(name)?;
-        if video.storage_budget_bytes.is_none() {
-            if let Some(original) = video.original() {
-                let original_bytes = original.byte_len();
-                if original_bytes > 0 {
-                    video.storage_budget_bytes = self.config.default_budget.resolve(original_bytes);
-                }
-            }
-        }
+        self.establish_budget(name)?;
         Ok(WriteReport {
             physical_id,
             gops_written,
@@ -151,6 +133,55 @@ impl Engine {
             deferred_levels,
             elapsed: started.elapsed(),
         })
+    }
+
+    /// Serializes and persists one encoded GOP under an existing physical
+    /// video, applying write-time deferred compression when the budget calls
+    /// for it. This is the unit of persistence shared by the batch write path
+    /// above and the incremental [`WriteSink`](crate::WriteSink) path —
+    /// the two produce byte-identical stores because they both come through
+    /// here with identical GOP boundaries, in the same order. Returns the
+    /// bytes stored and the lossless level applied (0 = none).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn persist_gop(
+        &mut self,
+        name: &str,
+        physical_id: PhysicalVideoId,
+        codec: Codec,
+        gop: &EncodedGop,
+        time: f64,
+        frame_count: usize,
+        frame_rate: f64,
+    ) -> Result<(u64, u8), VssError> {
+        let duration = frame_count as f64 / frame_rate;
+        let (data, level) = self.maybe_defer_on_write(name, codec, gop)?;
+        let bytes = data.len() as u64;
+        self.catalog.append_gop(
+            name,
+            physical_id,
+            time,
+            time + duration,
+            frame_count,
+            &data,
+            if level > 0 { Some(level) } else { None },
+        )?;
+        Ok((bytes, level))
+    }
+
+    /// Establishes the video's storage budget once the original's size is
+    /// known (a no-op when already set or nothing has been written).
+    pub(crate) fn establish_budget(&mut self, name: &str) -> Result<(), VssError> {
+        let default_budget = self.config.default_budget;
+        let video = self.catalog.video_mut(name)?;
+        if video.storage_budget_bytes.is_none() {
+            if let Some(original) = video.original() {
+                let original_bytes = original.byte_len();
+                if original_bytes > 0 {
+                    video.storage_budget_bytes = default_budget.resolve(original_bytes);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Serializes a GOP for storage, applying write-time deferred compression

@@ -77,8 +77,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use vss_core::{
-    Engine, JointOutcome, MergeFunction, PlannerKind, ReadRequest, ReadResult, StorageBudget,
-    VssConfig, VssError, WriteRequest, WriteReport,
+    Engine, GopWriteBackend, IncrementalWrite, JointOutcome, MergeFunction, PlannerKind,
+    ReadRequest, ReadResult, ReadStream, StorageBudget, VideoMetadata, VideoStorage, VssConfig,
+    VssError, WriteRequest, WriteReport, WriteSink,
 };
 use vss_frame::FrameSequence;
 
@@ -214,7 +215,7 @@ impl Session {
         self.engine().append(name, frames)
     }
 
-    /// Executes a read with the default (optimal) planner.
+    /// Executes a read planned by `request.planner` (optimal by default).
     pub fn read(&self, request: &ReadRequest) -> Result<ReadResult, VssError> {
         self.engine().read(request)
     }
@@ -226,6 +227,50 @@ impl Session {
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
         self.engine().read_with_planner(request, planner)
+    }
+
+    /// Opens a GOP-at-a-time streaming read: the plan is snapshotted under
+    /// the owning shard's **read** lock and the lock is released before this
+    /// returns — decoding runs lock-free, concurrently with every other
+    /// client of the shard (the shard lock is never held across GOP file
+    /// reads). Draining the stream is byte-identical to
+    /// [`read`](Self::read); streaming reads never admit to the cache.
+    pub fn read_stream(&self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        self.engine().read_stream(request)
+    }
+
+    /// Opens an incremental write: each GOP is encoded and persisted under
+    /// the owning shard's write lock **per GOP**, so a slow producer never
+    /// holds the shard across its whole ingest. The resulting store is
+    /// byte-identical to a batch [`write`](Self::write) of the same frames.
+    pub fn write_sink(
+        &self,
+        request: &WriteRequest,
+        frame_rate: f64,
+    ) -> Result<WriteSink<'static>, VssError> {
+        let (gop_size, write) = self.engine().begin_sink(request, frame_rate)?;
+        struct SessionSinkBackend {
+            server: VssServer,
+            write: IncrementalWrite,
+        }
+        impl GopWriteBackend for SessionSinkBackend {
+            fn flush_gop(&mut self, frames: &[vss_frame::Frame]) -> Result<(), VssError> {
+                self.server.inner.engine.push_sink_gop(&mut self.write, frames)
+            }
+            fn finish(&mut self) -> Result<WriteReport, VssError> {
+                self.server.inner.engine.finish_sink(&mut self.write)
+            }
+        }
+        Ok(WriteSink::from_backend(
+            Box::new(SessionSinkBackend { server: self.server.clone(), write }),
+            frame_rate,
+            gop_size,
+        ))
+    }
+
+    /// Storage accounting for one logical video.
+    pub fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        self.engine().metadata(name)
     }
 
     /// Names of all logical videos in the store.
@@ -269,6 +314,55 @@ impl Session {
     /// [`vss_core::Vss::with_engine`]).
     pub fn with_engine<R>(&self, name: &str, f: impl FnOnce(&mut Engine) -> R) -> R {
         self.engine().with_engine(name, f)
+    }
+}
+
+/// A session speaks the same unified contract as every other store, so the
+/// workload driver and benchmark harness can swap the sharded server in for
+/// the monolithic engine or a baseline without code changes.
+impl VideoStorage for Session {
+    fn label(&self) -> &'static str {
+        "vss-server"
+    }
+
+    fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        Session::create(self, name, budget)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), VssError> {
+        Session::delete(self, name)
+    }
+
+    fn write(
+        &mut self,
+        request: &WriteRequest,
+        frames: &FrameSequence,
+    ) -> Result<WriteReport, VssError> {
+        Session::write(self, request, frames)
+    }
+
+    fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        Session::append(self, name, frames)
+    }
+
+    fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        Session::read(self, request)
+    }
+
+    fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        Session::read_stream(self, request)
+    }
+
+    fn write_sink(
+        &mut self,
+        request: &WriteRequest,
+        frame_rate: f64,
+    ) -> Result<WriteSink<'_>, VssError> {
+        Session::write_sink(self, request, frame_rate)
+    }
+
+    fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        Session::metadata(self, name)
     }
 }
 

@@ -38,7 +38,8 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 use vss_core::{
     joint_compress_sequences, Engine, JointOutcome, JointTimings, MergeFunction, PlannerKind,
-    ReadRequest, ReadResult, StorageBudget, VssConfig, VssError, WriteRequest, WriteReport,
+    ReadRequest, ReadResult, ReadStream, StorageBudget, VssConfig, VssError, WriteRequest,
+    WriteReport,
 };
 use vss_frame::{FrameSequence, PixelFormat};
 
@@ -203,9 +204,9 @@ impl ShardedEngine {
         Ok(report)
     }
 
-    /// Executes a read with the default (optimal) planner.
+    /// Executes a read planned by `request.planner` (optimal by default).
     pub fn read(&self, request: &ReadRequest) -> Result<ReadResult, VssError> {
-        self.read_with_planner(request, PlannerKind::Optimal)
+        self.read_with_planner(request, request.planner)
     }
 
     /// Executes a read with an explicit planner choice.
@@ -228,6 +229,76 @@ impl ShardedEngine {
         };
         shard.stats.record_read(&result.stats);
         Ok(result)
+    }
+
+    /// Opens a GOP-at-a-time streaming read.
+    ///
+    /// The plan is snapshotted under the owning shard's **shared** lock —
+    /// range validation, candidate collection, planning, recency bookkeeping
+    /// and resolving every planned GOP to its on-disk file — and the lock is
+    /// released before this method returns. The stream then decodes
+    /// completely lock-free: the shard lock is never held across GOP file
+    /// reads, so an arbitrarily slow streaming consumer cannot starve other
+    /// clients of the shard. Streaming reads never admit results to the
+    /// cache (use [`read`](Self::read) for cache-admitting reads).
+    ///
+    /// The drained stream is byte-identical to [`read`](Self::read) of the
+    /// same request against the same store state.
+    pub fn read_stream(&self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        let shard = self.shard(&request.name);
+        let stream = shard.read().read_stream(request)?;
+        // The shard lock is released here; account the read at open time
+        // (bytes flow lock-free afterwards and are reported in the stream's
+        // own stats).
+        shard.stats.record_stream_open(&stream.stats());
+        Ok(stream)
+    }
+
+    /// Begins an incremental write: captures the GOP-size boundary and the
+    /// write state under the shard lock, releasing it between GOPs.
+    pub(crate) fn begin_sink(
+        &self,
+        request: &WriteRequest,
+        frame_rate: f64,
+    ) -> Result<(usize, vss_core::IncrementalWrite), VssError> {
+        let shard = self.shard(&request.name);
+        let engine = shard.read();
+        Ok((
+            engine.write_gop_size(request.codec),
+            engine.begin_incremental_write(request, frame_rate)?,
+        ))
+    }
+
+    /// Persists one GOP of an incremental write under the owning shard's
+    /// exclusive lock (held per GOP, not for the whole ingest).
+    pub(crate) fn push_sink_gop(
+        &self,
+        write: &mut vss_core::IncrementalWrite,
+        frames: &[vss_frame::Frame],
+    ) -> Result<(), VssError> {
+        let shard = self.shard(write.name());
+        shard.write().push_incremental_gop(write, frames)
+    }
+
+    /// Completes an incremental write and accounts it in the shard's stats.
+    pub(crate) fn finish_sink(
+        &self,
+        write: &mut vss_core::IncrementalWrite,
+    ) -> Result<WriteReport, VssError> {
+        let shard = self.shard(write.name());
+        let report = shard.write().finish_incremental_write(write)?;
+        shard.stats.record_write(&report);
+        Ok(report)
+    }
+
+    /// Storage accounting for one logical video.
+    pub fn metadata(&self, name: &str) -> Result<vss_core::VideoMetadata, VssError> {
+        self.shard(name).read().metadata(name)
+    }
+
+    /// Time range `[start, end)` in seconds covered by a logical video.
+    pub fn video_time_range(&self, name: &str) -> Result<(f64, f64), VssError> {
+        self.shard(name).read().video_time_range(name)
     }
 
     /// Names of all logical videos across all shards, sorted. Visits shards

@@ -42,6 +42,16 @@ impl ShardStats {
         }
     }
 
+    /// Accounts a streaming read at open time. The plan (and therefore the
+    /// cache-hit signal) is known when the snapshot is taken; the bytes flow
+    /// lock-free afterwards and are not attributed back to the shard.
+    pub(crate) fn record_stream_open(&self, stats: &ReadStats) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        if stats.cached_fragments_used > 0 {
+            self.cache_hit_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn record_write(&self, report: &WriteReport) {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(report.bytes_written, Ordering::Relaxed);

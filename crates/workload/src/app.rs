@@ -11,7 +11,7 @@
 //! 3. **Streaming** — retrieve the matching clips compressed with the
 //!    device's codec (H.264) for playback.
 //!
-//! The driver runs against any [`VideoStore`]; stores that cannot convert
+//! The driver runs against any [`VideoStorage`]; stores that cannot convert
 //! formats (the local-file-system / "OpenCV" variant) decode in the stored
 //! format and the *application* performs the resize and colour conversion,
 //! exactly as the paper's baseline does. Multiple clients run the same
@@ -20,7 +20,7 @@
 //! # Concurrency model
 //!
 //! A [`SharedStore`] is a [`StoreFactory`]: each client thread asks it for
-//! its *own* [`VideoStore`] handle. Against the sharded [`VssServer`]
+//! its *own* [`VideoStorage`] handle. Against the sharded [`VssServer`]
 //! (see [`server_store`]) every client gets an independent session and the
 //! storage manager itself provides the concurrency — there is no driver-side
 //! lock at all. Stores that are not internally thread-safe (the local file
@@ -32,10 +32,12 @@ use crate::detector::{detect_vehicles, Detection, DetectorParams};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vss_baseline::{BaselineError, StoreReadResult, StoreWriteResult, VideoStore};
 use vss_codec::Codec;
-use vss_core::{ReadRequest, WriteRequest};
-use vss_frame::{resize_bilinear, PixelFormat, Resolution};
+use vss_core::{
+    ReadRequest, ReadResult, ReadStream, StorageBudget, VideoMetadata, VideoStorage, VssError,
+    WriteReport, WriteRequest,
+};
+use vss_frame::{resize_bilinear, FrameSequence, PixelFormat, Resolution};
 use vss_server::VssServer;
 
 /// Application configuration.
@@ -85,7 +87,7 @@ impl PhaseTimings {
     }
 }
 
-/// Hands out per-client [`VideoStore`] handles for the multi-client
+/// Hands out per-client [`VideoStorage`] handles for the multi-client
 /// application driver.
 pub trait StoreFactory: Send + Sync {
     /// Human-readable name used in benchmark output.
@@ -93,7 +95,7 @@ pub trait StoreFactory: Send + Sync {
 
     /// Creates a store handle for one client. Handles from the same factory
     /// share the underlying store state.
-    fn client(&self) -> Box<dyn VideoStore + Send>;
+    fn client(&self) -> Box<dyn VideoStorage + Send>;
 }
 
 /// A shared, thread-safe store handle used by the application driver.
@@ -103,7 +105,7 @@ pub type SharedStore = Arc<dyn StoreFactory>;
 /// (possibly multi-client) application driver: every per-client handle
 /// serializes on one mutex around the store — the compatibility shim for
 /// the baseline stores (and the historical behaviour of this driver).
-pub fn shared_store(store: Box<dyn VideoStore + Send>) -> SharedStore {
+pub fn shared_store(store: Box<dyn VideoStorage + Send>) -> SharedStore {
     let label = store.label();
     Arc::new(MutexStoreFactory { label, store: Arc::new(Mutex::new(store)) })
 }
@@ -117,7 +119,7 @@ pub fn server_store(server: VssServer) -> SharedStore {
 
 struct MutexStoreFactory {
     label: &'static str,
-    store: Arc<Mutex<Box<dyn VideoStore + Send>>>,
+    store: Arc<Mutex<Box<dyn VideoStorage + Send>>>,
 }
 
 impl StoreFactory for MutexStoreFactory {
@@ -125,39 +127,52 @@ impl StoreFactory for MutexStoreFactory {
         self.label
     }
 
-    fn client(&self) -> Box<dyn VideoStore + Send> {
+    fn client(&self) -> Box<dyn VideoStorage + Send> {
         Box::new(MutexStoreClient { store: Arc::clone(&self.store) })
     }
 }
 
 /// A per-client handle that takes the shared mutex around every operation.
 struct MutexStoreClient {
-    store: Arc<Mutex<Box<dyn VideoStore + Send>>>,
+    store: Arc<Mutex<Box<dyn VideoStorage + Send>>>,
 }
 
-impl VideoStore for MutexStoreClient {
+impl VideoStorage for MutexStoreClient {
     fn label(&self) -> &'static str {
         self.store.lock().label()
     }
 
-    fn write_video(
-        &mut self,
-        name: &str,
-        codec: Codec,
-        frames: &vss_frame::FrameSequence,
-    ) -> Result<StoreWriteResult, BaselineError> {
-        self.store.lock().write_video(name, codec, frames)
+    fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        self.store.lock().create(name, budget)
     }
 
-    fn read_video(
+    fn delete(&mut self, name: &str) -> Result<(), VssError> {
+        self.store.lock().delete(name)
+    }
+
+    fn write(
         &mut self,
-        name: &str,
-        start: f64,
-        end: f64,
-        resolution: Option<Resolution>,
-        codec: Codec,
-    ) -> Result<StoreReadResult, BaselineError> {
-        self.store.lock().read_video(name, start, end, resolution, codec)
+        request: &WriteRequest,
+        frames: &FrameSequence,
+    ) -> Result<WriteReport, VssError> {
+        self.store.lock().write(request, frames)
+    }
+
+    fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        self.store.lock().append(name, frames)
+    }
+
+    fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        self.store.lock().read(request)
+    }
+
+    fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        // The stream is snapshotted under the mutex and consumed outside it.
+        self.store.lock().read_stream(request)
+    }
+
+    fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        self.store.lock().metadata(name)
     }
 
     fn supports_conversion(&self, from: Codec, to: Codec) -> bool {
@@ -174,68 +189,23 @@ impl StoreFactory for ServerStoreFactory {
         "vss-server"
     }
 
-    fn client(&self) -> Box<dyn VideoStore + Send> {
-        Box::new(ServerClient { session: self.server.session() })
-    }
-}
-
-/// A per-client handle over a server session (no driver-side locking).
-struct ServerClient {
-    session: vss_server::Session,
-}
-
-impl VideoStore for ServerClient {
-    fn label(&self) -> &'static str {
-        "vss-server"
-    }
-
-    fn write_video(
-        &mut self,
-        name: &str,
-        codec: Codec,
-        frames: &vss_frame::FrameSequence,
-    ) -> Result<StoreWriteResult, BaselineError> {
-        let report = self.session.write(&WriteRequest::new(name, codec), frames)?;
-        Ok(StoreWriteResult { elapsed: report.elapsed, bytes_written: report.bytes_written })
-    }
-
-    fn read_video(
-        &mut self,
-        name: &str,
-        start: f64,
-        end: f64,
-        resolution: Option<Resolution>,
-        codec: Codec,
-    ) -> Result<StoreReadResult, BaselineError> {
-        let started = Instant::now();
-        let mut request = ReadRequest::new(name, start, end, codec);
-        if let Some(resolution) = resolution {
-            request = request.at_resolution(resolution);
-        }
-        let result = self.session.read(&request)?;
-        Ok(StoreReadResult {
-            frames: result.frames,
-            elapsed: started.elapsed(),
-            bytes_read: result.stats.bytes_read,
-        })
-    }
-
-    fn supports_conversion(&self, _from: Codec, _to: Codec) -> bool {
-        true
+    fn client(&self) -> Box<dyn VideoStorage + Send> {
+        // A session speaks `VideoStorage` natively; no adapter needed.
+        Box::new(self.server.session())
     }
 }
 
 /// Runs all three phases once against a per-client handle from the shared
 /// store factory, returning the per-phase timings.
-pub fn run_client(store: &SharedStore, config: &AppConfig) -> Result<PhaseTimings, BaselineError> {
+pub fn run_client(store: &SharedStore, config: &AppConfig) -> Result<PhaseTimings, VssError> {
     run_client_with(&mut *store.client(), config)
 }
 
 /// Runs all three phases once against an explicit store handle.
 pub fn run_client_with(
-    store: &mut dyn VideoStore,
+    store: &mut dyn VideoStorage,
     config: &AppConfig,
-) -> Result<PhaseTimings, BaselineError> {
+) -> Result<PhaseTimings, VssError> {
     let mut timings = PhaseTimings::default();
 
     // --- Phase 1: indexing -------------------------------------------------
@@ -293,11 +263,17 @@ pub fn run_client_with(
     timings.matching_ranges = matching.len();
 
     // --- Phase 3: streaming content retrieval -------------------------------
+    // Clips are consumed GOP-at-a-time through the streaming read API — a
+    // playback client needs only the chunk in hand, not the whole clip.
     let started = Instant::now();
     for (start, _) in &matching {
         let clip_end = (start + config.clip_length).min(config.duration);
         if store.supports_conversion(config.source_codec, Codec::H264) {
-            store.read_video(&config.video, *start, clip_end, None, Codec::H264)?;
+            let stream = store
+                .read_stream(&ReadRequest::new(&config.video, *start, clip_end, Codec::H264))?;
+            for chunk in stream {
+                let _gop = chunk?; // hand each GOP to the (simulated) player
+            }
         } else {
             // The application decodes in the stored format and transcodes
             // itself (the paper's OpenCV + local-file-system variant).
@@ -319,7 +295,7 @@ pub fn run_clients(
     store: &SharedStore,
     config: &AppConfig,
     clients: usize,
-) -> Result<Vec<PhaseTimings>, BaselineError> {
+) -> Result<Vec<PhaseTimings>, VssError> {
     let clients = clients.max(1);
     let mut handles = Vec::with_capacity(clients);
     for _ in 0..clients {
@@ -337,50 +313,51 @@ pub fn run_clients(
 /// Reads a range in the requested configuration, falling back to
 /// application-side conversion when the store cannot convert formats.
 fn read_as(
-    store: &mut dyn VideoStore,
+    store: &mut dyn VideoStorage,
     config: &AppConfig,
     start: f64,
     end: f64,
     resolution: Option<Resolution>,
     codec: Codec,
-) -> Result<vss_frame::FrameSequence, BaselineError> {
+) -> Result<FrameSequence, VssError> {
     if store.supports_conversion(config.source_codec, codec) {
-        match store.read_video(&config.video, start, end, resolution, codec) {
+        let mut request = ReadRequest::new(&config.video, start, end, codec);
+        if let Some(resolution) = resolution {
+            request = request.resolution(resolution);
+        }
+        match store.read(&request) {
             Ok(result) => return Ok(result.frames),
-            Err(BaselineError::Unsupported(_)) => {}
+            Err(VssError::Unsupported(_)) => {}
             Err(other) => return Err(other),
         }
     }
     // Store-side conversion unavailable: read in the stored format and let
     // the application convert.
-    let result = store.read_video(&config.video, start, end, None, config.source_codec)?;
+    let result =
+        store.read(&ReadRequest::new(&config.video, start, end, config.source_codec))?;
     let mut converted = Vec::with_capacity(result.frames.len());
     for frame in result.frames.frames() {
         let frame = match resolution {
-            Some(r) if frame.resolution() != r => {
-                resize_bilinear(frame, r.width, r.height).map_err(vss_codec::CodecError::from)?
-            }
+            Some(r) if frame.resolution() != r => resize_bilinear(frame, r.width, r.height)?,
             _ => frame.clone(),
         };
         let target_format = match codec {
             Codec::Raw(format) => format,
             _ => PixelFormat::Yuv420,
         };
-        converted.push(frame.convert(target_format).map_err(vss_codec::CodecError::from)?);
+        converted.push(frame.convert(target_format)?);
     }
-    vss_frame::FrameSequence::new(converted, result.frames.frame_rate())
-        .map_err(vss_codec::CodecError::from)
-        .map_err(BaselineError::from)
+    Ok(FrameSequence::new(converted, result.frames.frame_rate())?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scene::{SceneConfig, SceneRenderer};
-    use vss_baseline::{LocalFs, VssStore};
+    use vss_baseline::LocalFs;
     use vss_core::Vss;
 
-    fn scenario(tag: &str) -> (AppConfig, vss_frame::FrameSequence, std::path::PathBuf) {
+    fn scenario(tag: &str) -> (AppConfig, FrameSequence, std::path::PathBuf) {
         let root = std::env::temp_dir().join(format!(
             "vss-app-test-{tag}-{}-{:?}",
             std::process::id(),
@@ -410,9 +387,9 @@ mod tests {
     #[test]
     fn application_runs_against_vss() {
         let (config, frames, root) = scenario("vss");
-        let vss = Vss::open_at(root.join("vss")).unwrap();
-        let mut store = VssStore::new(vss);
-        store.write_video(&config.video, config.source_codec, &frames).unwrap();
+        let mut store = Vss::open_at(root.join("vss")).unwrap();
+        VideoStorage::write(&mut store, &WriteRequest::new(&config.video, config.source_codec), &frames)
+            .unwrap();
         let shared = shared_store(Box::new(store));
         let timings = run_client(&shared, &config).unwrap();
         assert!(timings.indexed_ranges > 0, "the scene contains vehicles");
@@ -426,7 +403,7 @@ mod tests {
     fn application_runs_against_local_fs_with_app_side_conversion() {
         let (config, frames, root) = scenario("fs");
         let mut store = LocalFs::new(root.join("fs")).unwrap();
-        store.write_video(&config.video, config.source_codec, &frames).unwrap();
+        store.write(&WriteRequest::new(&config.video, config.source_codec), &frames).unwrap();
         let shared = shared_store(Box::new(store));
         let timings = run_client(&shared, &config).unwrap();
         assert!(timings.indexed_ranges > 0);
@@ -437,9 +414,9 @@ mod tests {
     #[test]
     fn multiple_clients_complete() {
         let (config, frames, root) = scenario("multi");
-        let vss = Vss::open_at(root.join("vss")).unwrap();
-        let mut store = VssStore::new(vss);
-        store.write_video(&config.video, config.source_codec, &frames).unwrap();
+        let mut store = Vss::open_at(root.join("vss")).unwrap();
+        VideoStorage::write(&mut store, &WriteRequest::new(&config.video, config.source_codec), &frames)
+            .unwrap();
         let shared = shared_store(Box::new(store));
         assert_eq!(shared.label(), "vss");
         let results = run_clients(&shared, &config, 2).unwrap();

@@ -64,7 +64,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cached.stats.plan.total_cost
     );
 
-    // 6. Inspect storage accounting.
+    // 6. Stream a read GOP-at-a-time: the chunks concatenate to exactly what
+    //    step 4 materialized, but the consumer only ever holds one GOP.
+    let mut chunks = 0usize;
+    let mut streamed_frames = 0usize;
+    let stream =
+        vss.read_stream(&ReadRequest::new("traffic", 0.0, 2.0, Codec::Hevc).uncacheable())?;
+    for chunk in stream {
+        let chunk = chunk?;
+        chunks += 1;
+        streamed_frames += chunk.frames.len();
+    }
+    println!("streamed the same read as {chunks} GOP chunk(s), {streamed_frames} frames total");
+
+    // 7. Inspect storage accounting.
     println!(
         "store now holds {} KiB across {} logical video(s)",
         vss.bytes_used("traffic")? / 1024,

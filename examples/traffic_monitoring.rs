@@ -9,7 +9,7 @@
 //! cargo run --release --example traffic_monitoring
 //! ```
 
-use vss::baseline::{LocalFs, VideoStore, VssStore};
+use vss::baseline::LocalFs;
 use vss::prelude::*;
 use vss::workload::{run_client, shared_store, AppConfig, SceneConfig, SceneRenderer};
 
@@ -36,10 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // --- VSS ----------------------------------------------------------------
+    // The Vss handle and the baselines implement the same `VideoStorage`
+    // trait, so the driver swaps stores without adapters.
     let vss_root = std::env::temp_dir().join("vss-example-traffic-vss");
     let _ = std::fs::remove_dir_all(&vss_root);
-    let mut store = VssStore::new(Vss::open(VssConfig::new(&vss_root))?);
-    store.write_video(&config.video, Codec::H264, &video)?;
+    let mut store = Vss::open(VssConfig::new(&vss_root))?;
+    VideoStorage::write(&mut store, &WriteRequest::new(&config.video, Codec::H264), &video)?;
     let shared = shared_store(Box::new(store));
     let vss_timings = run_client(&shared, &config)?;
 
@@ -47,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs_root = std::env::temp_dir().join("vss-example-traffic-fs");
     let _ = std::fs::remove_dir_all(&fs_root);
     let mut store = LocalFs::new(&fs_root)?;
-    store.write_video(&config.video, Codec::H264, &video)?;
+    store.write(&WriteRequest::new(&config.video, Codec::H264), &video)?;
     let shared = shared_store(Box::new(store));
     let fs_timings = run_client(&shared, &config)?;
 

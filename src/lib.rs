@@ -36,8 +36,8 @@ pub use vss_workload as workload;
 pub mod prelude {
     pub use vss_codec::{Codec, VideoCodec};
     pub use vss_core::{
-        PhysicalParameters, ReadRequest, SpatialParameters, TemporalRange, Vss, VssConfig,
-        WriteRequest,
+        PhysicalParameters, PlannerKind, ReadChunk, ReadRequest, ReadStream, SpatialParameters,
+        TemporalRange, VideoStorage, Vss, VssConfig, WriteRequest, WriteSink,
     };
     pub use vss_frame::{Frame, FrameSequence, PixelFormat, RegionOfInterest, Resolution};
 }

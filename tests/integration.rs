@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full write → read → cache → evict →
 //! deferred-compress → joint-compress lifecycle through the public API.
 
-use vss::baseline::{LocalFs, VStoreLike, VideoStore, VssStore};
+use vss::baseline::{LocalFs, VStoreLike};
 use vss::codec::EncoderConfig;
 use vss::core::{
     joint_compress_sequences, recover_sequences, EvictionPolicy, JointConfig, JointOutcome,
@@ -200,23 +200,27 @@ fn joint_compression_end_to_end_on_table1_style_pair() {
 
 #[test]
 fn baselines_and_vss_agree_on_content() {
+    // Every store is driven through the one `VideoStorage` trait.
     let video = traffic_video(60);
     let duration = video.duration_seconds();
+    let write = WriteRequest::new("v", Codec::H264);
+    let read = ReadRequest::new("v", 0.0, duration, Codec::H264);
 
     let vss_root = scratch("agree-vss");
-    let mut vss_store = VssStore::new(Vss::open(VssConfig::new(&vss_root)).unwrap());
-    vss_store.write_video("v", Codec::H264, &video).unwrap();
-    let vss_frames = vss_store.read_video("v", 0.0, duration, None, Codec::H264).unwrap().frames;
+    let mut vss_store = Vss::open(VssConfig::new(&vss_root)).unwrap();
+    let store: &mut dyn VideoStorage = &mut vss_store;
+    store.write(&write, &video).unwrap();
+    let vss_frames = store.read(&read).unwrap().frames;
 
     let fs_root = scratch("agree-fs");
     let mut fs_store = LocalFs::new(&fs_root).unwrap();
-    fs_store.write_video("v", Codec::H264, &video).unwrap();
-    let fs_frames = fs_store.read_video("v", 0.0, duration, None, Codec::H264).unwrap().frames;
+    fs_store.write(&write, &video).unwrap();
+    let fs_frames = fs_store.read(&read).unwrap().frames;
 
     let vstore_root = scratch("agree-vstore");
     let mut vstore = VStoreLike::new(&vstore_root, vec![Codec::H264]).unwrap();
-    vstore.write_video("v", Codec::H264, &video).unwrap();
-    let vstore_frames = vstore.read_video("v", 0.0, duration, None, Codec::H264).unwrap().frames;
+    vstore.write(&write, &video).unwrap();
+    let vstore_frames = vstore.read(&read).unwrap().frames;
 
     assert_eq!(vss_frames.len(), video.len());
     assert_eq!(fs_frames.len(), video.len());
