@@ -88,5 +88,58 @@ fn parallel_scaling_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, codec_benches, parallel_scaling_benches);
+/// The readahead dimension: multi-GOP decode through the bounded in-order
+/// prefetcher the streaming read path uses, at depths 0 (synchronous
+/// baseline), 1 and 4. Depth > 0 overlaps the decode of GOP *n + k* with the
+/// consumer's handling of GOP *n*; output order (and bytes) are identical at
+/// every depth, so the rows measure pipelining alone.
+fn readahead_benches(c: &mut Criterion) {
+    let seq = sequence(32, 160, 96);
+    let pixels = 160 * 96 * seq.len() as u64;
+    let config = EncoderConfig { quality: 85, gop_size: 4 };
+
+    let mut group = c.benchmark_group("decode_readahead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pixels));
+    for codec in [Codec::H264, Codec::Hevc] {
+        // Share the encoded GOPs behind Arcs so the depth > 0 arms hand the
+        // prefetcher an owned work list without copying any bitstream bytes
+        // inside the timed region.
+        let gops: Vec<std::sync::Arc<vss_codec::EncodedGop>> =
+            encode_to_gops_parallel(&seq, codec, &config, 1)
+                .unwrap()
+                .into_iter()
+                .map(std::sync::Arc::new)
+                .collect();
+        for depth in [0usize, 1, 4] {
+            group.bench_with_input(BenchmarkId::new(codec.name(), depth), &depth, |b, &depth| {
+                b.iter(|| {
+                    let implementation = codec_instance(codec);
+                    let mut decoded_frames = 0usize;
+                    if depth == 0 {
+                        for gop in &gops {
+                            decoded_frames += implementation.decode(gop).unwrap().len();
+                        }
+                    } else {
+                        let mut prefetch = vss_parallel::OrderedPrefetch::spawn(
+                            0,
+                            depth,
+                            gops.clone(),
+                            move |_, gop: &std::sync::Arc<vss_codec::EncodedGop>| {
+                                codec_instance(codec).decode(gop).unwrap()
+                            },
+                        );
+                        while let Some(frames) = prefetch.recv() {
+                            decoded_frames += frames.len();
+                        }
+                    }
+                    assert_eq!(decoded_frames, seq.len());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches, parallel_scaling_benches, readahead_benches);
 criterion_main!(benches);

@@ -1082,77 +1082,140 @@ fn stream_mem(scale: &ScaleConfig) -> Report {
     let mut report = Report::new(
         "stream_mem",
         "Peak buffered frames/bytes per read: materialized read() vs. a GOP-at-a-time \
-         read_stream() consumer, for raw and transcoding reads (same bytes out — a correctness \
-         gate asserts chunk-concatenation equals the materialized result byte-for-byte)",
+         read_stream() consumer, for raw and transcoding reads at readahead depths 0 (synchronous) \
+         and 2 (bounded prefetch workers). Same bytes out everywhere — correctness gates assert \
+         chunk-concatenation equals the materialized result byte-for-byte at every depth, that \
+         depths agree with each other, and that an overlapped WriteSink ingest matches the \
+         synchronous sink's report",
     );
     let spec = DatasetSpec::by_name("visualroad-2k-30").expect("preset");
     let dataset = spec.generate(scale.resolution_divisor, scale.max_frames.max(90));
     let frames = dataset.primary();
     let duration = frames.duration_seconds();
-    let (vss, root) = open_vss("stream-mem");
-    vss.write(&WriteRequest::new("video", Codec::H264), frames).expect("write");
+    let root = scratch_dir("stream-mem");
+    Vss::open(VssConfig::new(&root))
+        .expect("open vss")
+        .write(&WriteRequest::new("video", Codec::H264), frames)
+        .expect("write");
 
     for (label, codec) in [
         ("h264_to_raw", Codec::Raw(PixelFormat::Yuv420)),
         ("h264_to_hevc", Codec::Hevc),
     ] {
         let request = ReadRequest::new("video", 0.0, duration, codec).uncacheable();
+        // Byte-identity reference across the readahead axis (depth 0 fills it).
+        let mut reference: Option<(Vec<vss_frame::Frame>, Vec<Vec<u8>>)> = None;
+        for readahead in [0usize, 2] {
+            let vss =
+                Vss::open(VssConfig::new(&root).with_readahead(readahead)).expect("reopen vss");
 
-        // Streaming first (it admits nothing, so the later materialized read
-        // sees identical store state).
-        let started = Instant::now();
-        let mut stream = vss.read_stream(&request).expect("stream open");
-        let mut streamed_frames = 0usize;
-        let mut streamed_chunks: Vec<vss_core::ReadChunk> = Vec::new();
-        for chunk in &mut stream {
-            let chunk = chunk.expect("stream chunk");
-            streamed_frames += chunk.frames.len();
-            streamed_chunks.push(chunk); // kept only for the correctness gate
+            // Streaming first (it admits nothing, so the later materialized
+            // read sees identical store state).
+            let started = Instant::now();
+            let mut stream = vss.read_stream(&request).expect("stream open");
+            let mut streamed_frames = 0usize;
+            let mut streamed_chunks: Vec<vss_core::ReadChunk> = Vec::new();
+            for chunk in &mut stream {
+                let chunk = chunk.expect("stream chunk");
+                streamed_frames += chunk.frames.len();
+                streamed_chunks.push(chunk); // kept only for the correctness gate
+            }
+            let stream_seconds = started.elapsed().as_secs_f64();
+            let stream_stats = stream.stats();
+
+            let started = Instant::now();
+            let materialized = vss.read(&request).expect("materialized read");
+            let read_seconds = started.elapsed().as_secs_f64();
+
+            // Correctness gate: the streamed chunks concatenate to exactly the
+            // materialized result. A divergence panics and fails the harness run.
+            let mut concat = vss_frame::FrameSequence::empty(materialized.frames.frame_rate())
+                .expect("sequence");
+            let mut concat_gops: Vec<Vec<u8>> = Vec::new();
+            for chunk in streamed_chunks {
+                concat.extend(chunk.frames).expect("extend");
+                if let Some(gop) = chunk.encoded_gop {
+                    concat_gops.push(gop.to_bytes());
+                }
+            }
+            assert_eq!(
+                concat.frames(),
+                materialized.frames.frames(),
+                "streamed frames diverged from the materialized read ({label}, readahead {readahead})"
+            );
+            let materialized_gops: Vec<Vec<u8>> = materialized
+                .encoded
+                .iter()
+                .flatten()
+                .map(|g| g.to_bytes())
+                .collect();
+            assert_eq!(
+                concat_gops, materialized_gops,
+                "streamed GOPs diverged from the materialized read ({label}, readahead {readahead})"
+            );
+            // Cross-depth gate: every readahead depth yields the bytes the
+            // synchronous stream yielded.
+            match &reference {
+                None => reference = Some((concat.frames().to_vec(), concat_gops)),
+                Some((reference_frames, reference_gops)) => {
+                    assert_eq!(
+                        concat.frames(),
+                        &reference_frames[..],
+                        "readahead {readahead} changed streamed frames ({label})"
+                    );
+                    assert_eq!(
+                        &concat_gops, reference_gops,
+                        "readahead {readahead} changed streamed GOPs ({label})"
+                    );
+                }
+            }
+
+            report.push(
+                Row::new(format!("{label}_ra{readahead}"))
+                    .with("frames", streamed_frames as f64)
+                    .with("stream_peak_frames", stream_stats.peak_buffered_frames as f64)
+                    .with("stream_peak_kb", stream_stats.peak_buffered_bytes as f64 / 1024.0)
+                    .with("read_peak_frames", materialized.stats.peak_buffered_frames as f64)
+                    .with("read_peak_kb", materialized.stats.peak_buffered_bytes as f64 / 1024.0)
+                    .with("stream_seconds", stream_seconds)
+                    .with("read_seconds", read_seconds),
+            );
         }
-        let stream_seconds = started.elapsed().as_secs_f64();
-        let stream_stats = stream.stats();
+    }
 
+    // Overlapped-sink arm: frame-by-frame ingest with the encode worker off
+    // (ra0) and on (ra2); the write reports must agree exactly.
+    let mut sink_reference: Option<(usize, u64)> = None;
+    for readahead in [0usize, 2] {
+        let sink_root = scratch_dir(&format!("stream-mem-sink-{readahead}"));
+        let vss = Vss::open(VssConfig::new(&sink_root).with_readahead(readahead)).expect("open");
         let started = Instant::now();
-        let materialized = vss.read(&request).expect("materialized read");
-        let read_seconds = started.elapsed().as_secs_f64();
-
-        // Correctness gate: the streamed chunks concatenate to exactly the
-        // materialized result. A divergence panics and fails the harness run.
-        let mut concat = vss_frame::FrameSequence::empty(materialized.frames.frame_rate())
-            .expect("sequence");
-        let mut concat_gops: Vec<Vec<u8>> = Vec::new();
-        for chunk in streamed_chunks {
-            concat.extend(chunk.frames).expect("extend");
-            if let Some(gop) = chunk.encoded_gop {
-                concat_gops.push(gop.to_bytes());
+        let mut sink =
+            vss.write_sink(&WriteRequest::new("ingest", Codec::H264), frames.frame_rate())
+                .expect("sink open");
+        for frame in frames.frames() {
+            sink.push_frame(frame.clone()).expect("sink push");
+        }
+        let sink_report = sink.finish().expect("sink finish");
+        let sink_seconds = started.elapsed().as_secs_f64();
+        match sink_reference {
+            None => sink_reference = Some((sink_report.gops_written, sink_report.bytes_written)),
+            Some((gops, bytes)) => {
+                assert_eq!(
+                    (sink_report.gops_written, sink_report.bytes_written),
+                    (gops, bytes),
+                    "overlapped sink diverged from the synchronous sink"
+                );
             }
         }
-        assert_eq!(
-            concat.frames(),
-            materialized.frames.frames(),
-            "streamed frames diverged from the materialized read ({label})"
-        );
-        let materialized_gops: Vec<Vec<u8>> = materialized
-            .encoded
-            .iter()
-            .flatten()
-            .map(|g| g.to_bytes())
-            .collect();
-        assert_eq!(
-            concat_gops, materialized_gops,
-            "streamed GOPs diverged from the materialized read ({label})"
-        );
-
         report.push(
-            Row::new(label)
-                .with("frames", streamed_frames as f64)
-                .with("stream_peak_frames", stream_stats.peak_buffered_frames as f64)
-                .with("stream_peak_kb", stream_stats.peak_buffered_bytes as f64 / 1024.0)
-                .with("read_peak_frames", materialized.stats.peak_buffered_frames as f64)
-                .with("read_peak_kb", materialized.stats.peak_buffered_bytes as f64 / 1024.0)
-                .with("stream_seconds", stream_seconds)
-                .with("read_seconds", read_seconds),
+            Row::new(format!("sink_ingest_ra{readahead}"))
+                .with("frames", sink_report.frames_written as f64)
+                .with("gops", sink_report.gops_written as f64)
+                .with("bytes_kb", sink_report.bytes_written as f64 / 1024.0)
+                .with("sink_seconds", sink_seconds),
         );
+        cleanup(&sink_root);
     }
     cleanup(&root);
     report

@@ -80,7 +80,10 @@ pub fn decode_residuals(data: &[u8], pos: &mut usize) -> Result<Vec<i32>, CodecE
     if count > 1 << 28 {
         return Err(CodecError::Corrupt(format!("residual count {count} implausibly large")));
     }
-    let mut out = Vec::with_capacity(count);
+    // Cap the pre-allocation: a corrupt header claiming a huge (but
+    // below-limit) count must not commit gigabytes before the payload check
+    // fails. Legitimate blocks grow past the cap via ordinary resizing.
+    let mut out = Vec::with_capacity(count.min(1 << 16));
     while out.len() < count {
         let zero_run = read_varint(data, pos)? as usize;
         if out.len() + zero_run > count {

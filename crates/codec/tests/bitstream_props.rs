@@ -1,0 +1,153 @@
+//! Property-based round-trip and robustness tests (proptest shim) for the
+//! zero-run/varint bitstream coder — the entropy layer every simulated codec
+//! serializes its quantized residuals through.
+//!
+//! Two families of properties:
+//!
+//! * **Lossless round trip** — arbitrary residual blocks (dense, sparse and
+//!   zero-run-heavy) encode→decode to exactly the input, consuming exactly
+//!   the bytes the encoder produced.
+//! * **Robustness** — truncated or corrupted bitstreams (and entirely random
+//!   bytes, at both the residual and the GOP-container layer) return
+//!   [`CodecError`]s instead of panicking or over-allocating.
+
+use proptest::prelude::*;
+use vss_codec::bitstream::{
+    decode_residuals, encode_residuals, read_varint, unzigzag, write_varint, zigzag,
+};
+use vss_codec::EncodedGop;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn varint_round_trips_and_consumes_exactly_its_bytes(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, value);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos).unwrap(), value);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trips_and_keeps_small_magnitudes_small(value in any::<i64>()) {
+        prop_assert_eq!(unzigzag(zigzag(value)), value);
+        if let Some(magnitude) = value.checked_abs() {
+            if magnitude <= i64::MAX / 2 {
+                prop_assert!(zigzag(value) <= 2 * magnitude as u64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_residual_blocks_round_trip(
+        residuals in proptest::collection::vec(-100_000i32..100_000, 0..2048),
+    ) {
+        let mut buf = Vec::new();
+        encode_residuals(&residuals, &mut buf);
+        let mut pos = 0;
+        let decoded = decode_residuals(&buf, &mut pos).unwrap();
+        prop_assert_eq!(decoded, residuals);
+        prop_assert_eq!(pos, buf.len(), "decoder must consume exactly the encoded bytes");
+    }
+
+    #[test]
+    fn zero_run_heavy_blocks_round_trip(
+        // Sparse blocks built as (run-length, value) pairs: long zero runs
+        // are the regime temporally coherent video puts the coder in.
+        runs in proptest::collection::vec((0usize..600, -512i32..512), 0..32),
+        trailing_zeros in 0usize..500,
+    ) {
+        let mut residuals = Vec::new();
+        for (run, value) in runs {
+            residuals.extend(std::iter::repeat_n(0i32, run));
+            residuals.push(value);
+        }
+        residuals.extend(std::iter::repeat_n(0i32, trailing_zeros));
+        let mut buf = Vec::new();
+        encode_residuals(&residuals, &mut buf);
+        let mut pos = 0;
+        let decoded = decode_residuals(&buf, &mut pos).unwrap();
+        prop_assert_eq!(decoded, residuals);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn extreme_residual_values_round_trip(
+        residuals in proptest::collection::vec(any::<i32>(), 0..256),
+    ) {
+        let mut buf = Vec::new();
+        encode_residuals(&residuals, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(decode_residuals(&buf, &mut pos).unwrap(), residuals);
+    }
+
+    #[test]
+    fn truncated_residual_streams_error_instead_of_panicking(
+        residuals in proptest::collection::vec(-512i32..512, 1..512),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        encode_residuals(&residuals, &mut buf);
+        // Every strict prefix must fail: the decoder consumes exactly the
+        // full encoding, so a missing suffix always surfaces as an error.
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < buf.len());
+        buf.truncate(cut);
+        let mut pos = 0;
+        prop_assert!(decode_residuals(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn corrupted_residual_streams_never_panic(
+        residuals in proptest::collection::vec(-512i32..512, 1..256),
+        flip_index in any::<usize>(),
+        flip_mask in 1u8..255,
+    ) {
+        let mut buf = Vec::new();
+        encode_residuals(&residuals, &mut buf);
+        let index = flip_index % buf.len();
+        buf[index] ^= flip_mask;
+        // A flipped byte may still decode (to different residuals) or error;
+        // it must never panic, and the decoder must stay inside the buffer.
+        let mut pos = 0;
+        let _ = decode_residuals(&buf, &mut pos);
+        prop_assert!(pos <= buf.len());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_residual_decoder(
+        noise in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Arbitrary garbage, including headers claiming huge residual
+        // counts: the decoder must reject or finish without panicking and
+        // without committing count-sized allocations up front.
+        let mut pos = 0;
+        let _ = decode_residuals(&noise, &mut pos);
+        prop_assert!(pos <= noise.len());
+    }
+
+    #[test]
+    fn truncated_or_random_gop_containers_error_instead_of_panicking(
+        noise in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // The GOP container sits directly above the bitstream layer; feeding
+        // it noise (or a truncated header) must produce a clean error.
+        let _ = EncodedGop::from_bytes(&noise);
+    }
+}
+
+#[test]
+fn huge_claimed_count_is_rejected_without_allocation() {
+    // A 2-byte stream whose count varint claims ~2^28 residuals: the decoder
+    // must fail on the missing payload without first allocating gigabytes.
+    let mut buf = Vec::new();
+    write_varint(&mut buf, (1 << 28) - 1);
+    let mut pos = 0;
+    assert!(decode_residuals(&buf, &mut pos).is_err());
+    // And counts above the plausibility limit are rejected outright.
+    let mut buf = Vec::new();
+    write_varint(&mut buf, 1 << 29);
+    let mut pos = 0;
+    assert!(decode_residuals(&buf, &mut pos).is_err());
+}

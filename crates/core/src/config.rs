@@ -96,6 +96,27 @@ pub struct VssConfig {
     /// setting produces byte-identical output — the knob only changes wall
     /// time.
     pub parallelism: usize,
+    /// Streaming readahead depth, in GOPs. `0` (the default) keeps the
+    /// historical fully synchronous streaming paths: a
+    /// [`ReadStream`](crate::ReadStream) loads and decodes each GOP on the
+    /// consumer's thread, and a [`WriteSink`](crate::WriteSink) encodes each
+    /// GOP inline before persisting it. With `readahead = N > 0`:
+    ///
+    /// * a `ReadStream` prefetches file bytes and decodes up to `N` GOPs
+    ///   ahead of the consumer on a bounded worker pool (restoring cross-GOP
+    ///   decode parallelism on the streaming path), raising the stream's
+    ///   peak buffered memory bound from ~2 GOPs to ~`2 + N` GOPs; and
+    /// * a `WriteSink` encodes GOP *n + 1* on a worker while GOP *n* is
+    ///   being persisted, keeping up to `N` encoded GOPs in flight.
+    ///
+    /// Results are delivered strictly in input order, so every `readahead`
+    /// setting produces byte-identical read output and byte-identical
+    /// on-disk stores — like [`parallelism`](Self::parallelism), the knob
+    /// only trades memory for wall time. Workers never touch the engine or
+    /// its locks (streams snapshot their plan first; sinks persist on the
+    /// caller's thread), and dropping a stream or sink cancels and joins its
+    /// workers.
+    pub readahead: usize,
 }
 
 impl VssConfig {
@@ -116,6 +137,7 @@ impl VssConfig {
             compaction_enabled: true,
             joint: JointConfig::default(),
             parallelism: 0,
+            readahead: 0,
         }
     }
 
@@ -155,6 +177,14 @@ impl VssConfig {
         self.parallelism = threads;
         self
     }
+
+    /// Overrides the streaming readahead depth in GOPs (`0` = synchronous
+    /// streaming, `N` = prefetch/encode up to `N` GOPs ahead — see
+    /// [`readahead`](Self::readahead)).
+    pub fn with_readahead(mut self, gops: usize) -> Self {
+        self.readahead = gops;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +202,7 @@ mod tests {
         assert_eq!(c.joint.duplicate_epsilon, 0.1);
         assert!(matches!(c.default_budget, StorageBudget::MultipleOfOriginal(m) if m == 10.0));
         assert_eq!(c.parallelism, 0, "default uses every available core");
+        assert_eq!(c.readahead, 0, "default streaming is synchronous");
     }
 
     #[test]
@@ -182,12 +213,14 @@ mod tests {
             .without_deferred_compression()
             .with_gop_size(0)
             .with_default_budget(StorageBudget::Bytes(123))
-            .with_parallelism(2);
+            .with_parallelism(2)
+            .with_readahead(4);
         assert!(!c.caching_enabled);
         assert!(!c.deferred_compression);
         assert_eq!(c.eviction_policy, EvictionPolicy::Lru);
         assert_eq!(c.gop_size, 1);
         assert_eq!(c.default_budget, StorageBudget::Bytes(123));
         assert_eq!(c.parallelism, 2);
+        assert_eq!(c.readahead, 4);
     }
 }

@@ -55,6 +55,19 @@
 //! flavours are **byte-identical** for the same request and store state. See
 //! the [`stream`](crate::ReadStream) and [`sink`](crate::WriteSink) docs.
 //!
+//! Next to [`VssConfig::parallelism`] sits [`VssConfig::readahead`]: with
+//! `readahead = N > 0`, a `ReadStream` prefetches file bytes and decodes up
+//! to `N` GOPs ahead of the consumer on a bounded in-order worker pool, and
+//! a `WriteSink` encodes GOP *n + 1* on a worker while GOP *n*'s file write
+//! persists — both hot paths overlap I/O with codec work while staying
+//! byte-identical at every depth (a streaming consumer's memory bound grows
+//! from ~2 to ~`2 + N` GOPs). This restores the cross-GOP decode
+//! parallelism the drained read path temporarily traded away when plan
+//! execution moved into `ReadStream`: within a plan segment the synchronous
+//! (`readahead = 0`) stream decodes GOPs one at a time, but with readahead
+//! enabled multiple GOPs decode concurrently again, on workers that never
+//! touch the engine or its locks.
+//!
 //! # Concurrency and sharding
 //!
 //! [`Vss`] guards the whole engine with a single mutex — simple, and fine
@@ -109,7 +122,7 @@ pub use params::{
 pub use quality::{QualityModel, DEFAULT_QUALITY_THRESHOLD};
 pub use read::ReadResult;
 pub use select::{GopFingerprint, PairSelector};
-pub use sink::{GopWriteBackend, IncrementalWrite, WriteSink};
+pub use sink::{GopWriteBackend, IncrementalWrite, SinkEncoder, WriteSink};
 pub use storage::{VideoMetadata, VideoStorage};
 pub use stream::{ChunkStats, ReadChunk, ReadStream};
 
@@ -188,12 +201,19 @@ impl Vss {
 
     /// Opens an incremental write: each GOP is encoded and persisted as it
     /// fills, taking the engine lock per GOP rather than for the whole
-    /// ingest. The resulting store is byte-identical to a batch
-    /// [`write`](Self::write) of the same frames.
+    /// ingest (with [`VssConfig::readahead`] `> 0`, encoding happens on a
+    /// worker thread, overlapped with the previous GOP's persist — the lock
+    /// is still only ever taken on the caller's thread, per GOP). The
+    /// resulting store is byte-identical to a batch [`write`](Self::write)
+    /// of the same frames.
     pub fn write_sink(&self, request: &WriteRequest, frame_rate: f64) -> Result<WriteSink<'static>, VssError> {
-        let (gop_size, write) = {
+        let (gop_size, encoder, write) = {
             let engine = self.engine.lock();
-            (engine.write_gop_size(request.codec), engine.begin_incremental_write(request, frame_rate)?)
+            (
+                engine.write_gop_size(request.codec),
+                engine.sink_encoder(request),
+                engine.begin_incremental_write(request, frame_rate)?,
+            )
         };
         struct VssSinkBackend {
             vss: Vss,
@@ -203,14 +223,22 @@ impl Vss {
             fn flush_gop(&mut self, frames: &[vss_frame::Frame]) -> Result<(), VssError> {
                 self.vss.engine.lock().push_incremental_gop(&mut self.write, frames)
             }
+            fn flush_encoded(
+                &mut self,
+                frames: &[vss_frame::Frame],
+                gop: vss_codec::EncodedGop,
+            ) -> Result<(), VssError> {
+                self.vss.engine.lock().push_incremental_encoded(&mut self.write, frames, &gop)
+            }
             fn finish(&mut self) -> Result<WriteReport, VssError> {
                 self.vss.engine.lock().finish_incremental_write(&mut self.write)
             }
         }
-        Ok(WriteSink::from_backend(
+        Ok(WriteSink::overlapped(
             Box::new(VssSinkBackend { vss: self.clone(), write }),
             frame_rate,
             gop_size,
+            encoder,
         ))
     }
 

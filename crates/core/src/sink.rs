@@ -24,13 +24,30 @@
 //!   which is exactly the contrast the paper draws).
 //! * [`WriteSink`] owns the frame buffer and GOP chunking on top of any
 //!   backend.
+//!
+//! # Overlapped encoding
+//!
+//! With [`VssConfig::readahead`](crate::VssConfig::readahead) `= N > 0`, the
+//! sink encodes off-thread: each full GOP is handed to a dedicated encode
+//! worker and the caller's thread persists previously encoded GOPs through
+//! the backend, so the encode of GOP *n + 1* overlaps the file write of GOP
+//! *n* (at most `N` encoded GOPs in flight). The worker uses exactly the
+//! parameters [`Engine::sink_encoder`] captures and GOPs persist strictly in
+//! submission order, so the resulting store stays **byte-identical** to both
+//! the synchronous sink and a batch write. Backends never move threads: the
+//! lock-scoped persist calls stay on the caller, which is what keeps the
+//! `vss-server` shard-locking discipline (write lock per GOP) unchanged.
+//! Dropping an overlapped sink mid-clip joins the worker and discards
+//! in-flight GOPs — only fully persisted GOPs remain on disk.
 
 use crate::engine::{Engine, WriteReport};
 use crate::params::WriteRequest;
 use crate::VssError;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread::JoinHandle;
 use std::time::Instant;
 use vss_catalog::PhysicalVideoId;
-use vss_codec::{codec_instance, Codec, EncoderConfig};
+use vss_codec::{codec_instance, Codec, CodecError, EncodedGop, EncoderConfig};
 use vss_frame::{Frame, FrameError, FrameSequence};
 
 /// In-flight state of one incremental write. Opaque to callers; thread it
@@ -99,14 +116,57 @@ impl Engine {
         })
     }
 
-    /// Encodes and persists one GOP of an incremental write. The first push
-    /// creates the logical video if needed and registers the physical video
-    /// (the original, if none exists yet) — mirroring what a batch write does
-    /// before its first GOP.
+    /// The encoder parameters an incremental write of `request` uses for
+    /// every GOP — captured once so an off-thread encoder (the overlapped
+    /// [`WriteSink`] pipeline) produces bit-identical GOPs to the inline
+    /// [`push_incremental_gop`](Self::push_incremental_gop) path.
+    pub fn sink_encoder(&self, request: &WriteRequest) -> SinkEncoder {
+        SinkEncoder {
+            codec: request.codec,
+            encoder: EncoderConfig {
+                quality: request.encoder_quality.unwrap_or(self.config.default_encoder_quality),
+                gop_size: self.write_gop_size(request.codec),
+            },
+            depth: self.config.readahead,
+        }
+    }
+
+    /// Encodes and persists one GOP of an incremental write — the inline
+    /// ([`sink_encoder`](Self::sink_encoder)-equivalent) encode followed by
+    /// [`push_incremental_encoded`](Self::push_incremental_encoded).
     pub fn push_incremental_gop(
         &mut self,
         write: &mut IncrementalWrite,
         frames: &[Frame],
+    ) -> Result<(), VssError> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        // One derivation of the encode parameters for both the inline and
+        // the overlapped path — the byte-identity guarantee depends on the
+        // two never disagreeing.
+        let encoder = self.sink_encoder(&write.request);
+        let gop = codec_instance(encoder.codec).encode_slice(
+            frames,
+            write.frame_rate,
+            &encoder.encoder,
+        )?;
+        self.push_incremental_encoded(write, frames, &gop)
+    }
+
+    /// Persists one pre-encoded GOP of an incremental write. The GOP must
+    /// have been encoded from exactly `frames` with the write's
+    /// [`sink_encoder`](Self::sink_encoder) parameters (the overlapped
+    /// [`WriteSink`] pipeline guarantees this), so the stored bytes are
+    /// identical to the inline-encoding path. The first push creates the
+    /// logical video if needed and registers the physical video (the
+    /// original, if none exists yet) — mirroring what a batch write does
+    /// before its first GOP.
+    pub fn push_incremental_encoded(
+        &mut self,
+        write: &mut IncrementalWrite,
+        frames: &[Frame],
+        gop: &EncodedGop,
     ) -> Result<(), VssError> {
         if frames.is_empty() {
             return Ok(());
@@ -134,16 +194,11 @@ impl Engine {
                 id
             }
         };
-        let encoder = EncoderConfig {
-            quality: write.request.encoder_quality.unwrap_or(self.config.default_encoder_quality),
-            gop_size: self.write_gop_size(codec),
-        };
-        let gop = codec_instance(codec).encode_slice(frames, write.frame_rate, &encoder)?;
         let (bytes, level) = self.persist_gop(
             &name,
             physical_id,
             codec,
-            &gop,
+            gop,
             write.time,
             frames.len(),
             write.frame_rate,
@@ -189,8 +244,100 @@ impl Engine {
 pub trait GopWriteBackend {
     /// Encodes and persists one GOP's worth of frames.
     fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError>;
+
+    /// Persists one GOP that was already encoded off-thread (the overlapped
+    /// [`WriteSink`] pipeline). The GOP was encoded from exactly `frames`
+    /// with the backend's [`SinkEncoder`] parameters, so backends that can
+    /// persist pre-encoded GOPs skip the redundant encode; the default
+    /// ignores `gop` and re-encodes via [`flush_gop`](Self::flush_gop) —
+    /// byte-identical either way.
+    fn flush_encoded(&mut self, frames: &[Frame], gop: EncodedGop) -> Result<(), VssError> {
+        let _ = gop;
+        self.flush_gop(frames)
+    }
+
     /// Completes the write and produces its report.
     fn finish(&mut self) -> Result<WriteReport, VssError>;
+}
+
+/// The parameters an overlapped [`WriteSink`] encode worker needs to produce
+/// GOPs bit-identical to the inline
+/// [`Engine::push_incremental_gop`] path, plus the pipeline depth
+/// (`depth = 0` disables overlapping). Obtain from [`Engine::sink_encoder`].
+#[derive(Debug, Clone, Copy)]
+pub struct SinkEncoder {
+    /// Codec every GOP is encoded with.
+    pub codec: Codec,
+    /// Encoder parameters (quality and GOP size) captured at sink creation.
+    pub encoder: EncoderConfig,
+    /// Maximum encoded-but-unpersisted GOPs in flight (0 = inline encoding).
+    pub depth: usize,
+}
+
+/// One GOP through the encode worker: the source frames (needed by the
+/// persist call) and the encode outcome, delivered in submission order.
+type EncodedUnit = (Vec<Frame>, Result<EncodedGop, CodecError>);
+
+/// The encode worker of an overlapped [`WriteSink`]: full GOPs are handed to
+/// a dedicated thread that encodes them in submission order while the
+/// caller's thread persists previously encoded GOPs through the backend —
+/// encode of GOP *n + 1* overlaps the file write of GOP *n*. At most `depth`
+/// GOPs are in flight between pushes (`depth + 1` momentarily, while a flush
+/// retires); dropping the pipeline (sink abort) closes the work
+/// channel and joins the worker, discarding any not-yet-persisted GOPs so no
+/// partial GOP ever reaches disk.
+struct EncodePipeline {
+    /// Work channel; `None` once closed (drop/teardown).
+    submit: Option<Sender<Vec<Frame>>>,
+    /// Completed (frames, encode result) pairs, in submission order.
+    complete: Option<Receiver<EncodedUnit>>,
+    worker: Option<JoinHandle<()>>,
+    /// GOPs submitted but not yet retired (≤ depth).
+    in_flight: usize,
+    depth: usize,
+}
+
+impl EncodePipeline {
+    fn spawn(encoder: SinkEncoder, frame_rate: f64) -> Self {
+        let depth = encoder.depth.max(1);
+        // Both channels hold `depth + 1` slots: a flush submits the new GOP
+        // *before* retiring down to `depth`, so occupancy momentarily
+        // reaches `depth + 1` — the headroom guarantees neither side ever
+        // blocks on a full channel, leaving the deliberate in-order wait in
+        // `retire_one` as the only blocking point.
+        let (submit, work) = bounded::<Vec<Frame>>(depth + 1);
+        let (done, complete) = bounded::<EncodedUnit>(depth + 1);
+        let worker = std::thread::spawn(move || {
+            let implementation = codec_instance(encoder.codec);
+            while let Ok(frames) = work.recv() {
+                let encoded = implementation.encode_slice(&frames, frame_rate, &encoder.encoder);
+                if done.send((frames, encoded)).is_err() {
+                    break; // sink dropped; stop encoding
+                }
+            }
+        });
+        Self {
+            submit: Some(submit),
+            complete: Some(complete),
+            worker: Some(worker),
+            in_flight: 0,
+            depth,
+        }
+    }
+}
+
+impl Drop for EncodePipeline {
+    fn drop(&mut self) {
+        // Close both channels first so a worker blocked on either side wakes
+        // with a disconnect, then join it — the pipeline never leaks threads,
+        // and unpersisted GOPs are simply discarded (a persisted prefix is
+        // all an aborted sink leaves behind).
+        self.submit = None;
+        self.complete = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 /// An incremental writer: push frames, each GOP is encoded and persisted as
@@ -205,6 +352,10 @@ pub struct WriteSink<'a> {
     /// (the per-sink equivalent of `FrameSequence`'s shape check — it must
     /// not reset when `pending` drains at a GOP boundary).
     shape: Option<(u32, u32, vss_frame::PixelFormat)>,
+    /// Overlapped-encode parameters (worker spawned lazily on the first full
+    /// GOP); `None` or `depth == 0` keeps the synchronous flush path.
+    encoder: Option<SinkEncoder>,
+    pipeline: Option<EncodePipeline>,
 }
 
 impl std::fmt::Debug for WriteSink<'_> {
@@ -225,7 +376,87 @@ impl<'a> WriteSink<'a> {
         frame_rate: f64,
         gop_size: usize,
     ) -> Self {
-        Self { backend, pending: Vec::new(), frame_rate, gop_size: gop_size.max(1), shape: None }
+        Self {
+            backend,
+            pending: Vec::new(),
+            frame_rate,
+            gop_size: gop_size.max(1),
+            shape: None,
+            encoder: None,
+            pipeline: None,
+        }
+    }
+
+    /// [`from_backend`](Self::from_backend) with overlapped encoding: when
+    /// `encoder.depth > 0`, full GOPs are encoded on a worker thread (with
+    /// exactly the given parameters) while previously encoded GOPs persist
+    /// through the backend on the caller's thread, keeping at most
+    /// `encoder.depth` encoded GOPs in flight. `depth == 0` is exactly
+    /// `from_backend`. The store produced is byte-identical either way; see
+    /// [`VssConfig::readahead`](crate::VssConfig::readahead).
+    pub fn overlapped(
+        backend: Box<dyn GopWriteBackend + 'a>,
+        frame_rate: f64,
+        gop_size: usize,
+        encoder: SinkEncoder,
+    ) -> Self {
+        let mut sink = Self::from_backend(backend, frame_rate, gop_size);
+        if encoder.depth > 0 {
+            sink.encoder = Some(encoder);
+        }
+        sink
+    }
+
+    /// GOPs handed to the encode worker and not yet persisted (always 0 for
+    /// synchronous sinks).
+    pub fn in_flight_gops(&self) -> usize {
+        self.pipeline.as_ref().map_or(0, |p| p.in_flight)
+    }
+
+    /// Routes one full (or final partial) GOP to the backend: directly when
+    /// synchronous, through the encode worker when overlapped.
+    fn dispatch_gop(&mut self, frames: Vec<Frame>) -> Result<(), VssError> {
+        let Some(encoder) = self.encoder else {
+            return self.backend.flush_gop(&frames);
+        };
+        if self.pipeline.is_none() {
+            self.pipeline = Some(EncodePipeline::spawn(encoder, self.frame_rate));
+        }
+        // Submit the new GOP *first*, then persist completed GOPs (in
+        // submission order) back down to the depth limit: the worker encodes
+        // the GOP just submitted while this thread writes its predecessors —
+        // overlap holds even at depth 1.
+        let pipeline = self.pipeline.as_mut().expect("pipeline spawned above");
+        let submit = pipeline.submit.as_ref().expect("open work channel");
+        submit.send(frames).map_err(|_| {
+            VssError::Unsatisfiable("sink encode worker exited unexpectedly".into())
+        })?;
+        pipeline.in_flight += 1;
+        while self.pipeline.as_ref().is_some_and(|p| p.in_flight > p.depth) {
+            self.retire_one()?;
+        }
+        Ok(())
+    }
+
+    /// Receives the oldest in-flight GOP from the encode worker and persists
+    /// it through the backend.
+    fn retire_one(&mut self) -> Result<(), VssError> {
+        let pipeline = self.pipeline.as_mut().expect("retire with an active pipeline");
+        let complete = pipeline.complete.as_ref().expect("open completion channel");
+        let (frames, encoded) = complete.recv().map_err(|_| {
+            VssError::Unsatisfiable("sink encode worker exited unexpectedly".into())
+        })?;
+        pipeline.in_flight -= 1;
+        self.backend.flush_encoded(&frames, encoded?)
+    }
+
+    /// Persists every in-flight GOP and retires the encode worker.
+    fn drain_pipeline(&mut self) -> Result<(), VssError> {
+        while self.pipeline.as_ref().is_some_and(|p| p.in_flight > 0) {
+            self.retire_one()?;
+        }
+        self.pipeline = None; // worker is idle; drop closes channels and joins
+        Ok(())
     }
 
     /// The sink's frame rate.
@@ -253,7 +484,7 @@ impl<'a> WriteSink<'a> {
         self.pending.push(frame);
         if self.pending.len() >= self.gop_size {
             let chunk: Vec<Frame> = self.pending.drain(..).collect();
-            self.backend.flush_gop(&chunk)?;
+            self.dispatch_gop(chunk)?;
         }
         Ok(())
     }
@@ -270,8 +501,10 @@ impl<'a> WriteSink<'a> {
         Ok(())
     }
 
-    /// Flushes the final partial GOP and completes the write.
+    /// Flushes the final partial GOP and completes the write. (Overlapped
+    /// sinks first persist every in-flight GOP, in submission order.)
     pub fn finish(mut self) -> Result<WriteReport, VssError> {
+        self.drain_pipeline()?;
         if !self.pending.is_empty() {
             let chunk: Vec<Frame> = self.pending.drain(..).collect();
             self.backend.flush_gop(&chunk)?;
@@ -290,6 +523,10 @@ pub(crate) struct EngineSinkBackend<'a> {
 impl GopWriteBackend for EngineSinkBackend<'_> {
     fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError> {
         self.engine.push_incremental_gop(&mut self.write, frames)
+    }
+
+    fn flush_encoded(&mut self, frames: &[Frame], gop: EncodedGop) -> Result<(), VssError> {
+        self.engine.push_incremental_encoded(&mut self.write, frames, &gop)
     }
 
     fn finish(&mut self) -> Result<WriteReport, VssError> {
@@ -382,6 +619,95 @@ mod tests {
         );
         let _ = std::fs::remove_dir_all(batch_root);
         let _ = std::fs::remove_dir_all(sink_root);
+    }
+
+    #[test]
+    fn overlapped_sink_store_is_byte_identical_to_the_synchronous_sink() {
+        let source = frames(100); // 3 full GOPs + 1 partial at gop_size 30
+        let collect_pages = |root: &std::path::Path| {
+            let mut pages: Vec<(String, Vec<u8>)> = Vec::new();
+            let mut pending = vec![root.to_path_buf()];
+            while let Some(dir) = pending.pop() {
+                for entry in std::fs::read_dir(&dir).unwrap() {
+                    let path = entry.unwrap().path();
+                    if path.is_dir() {
+                        pending.push(path);
+                    } else {
+                        let relative =
+                            path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                        pages.push((relative, std::fs::read(&path).unwrap()));
+                    }
+                }
+            }
+            pages.sort_by(|a, b| a.0.cmp(&b.0));
+            pages
+        };
+        let run = |tag: &str, depth: usize| {
+            let (mut engine, root) = temp_engine(tag);
+            engine.config.readahead = depth;
+            let request = WriteRequest::new("v", Codec::H264);
+            let gop_size = engine.write_gop_size(request.codec);
+            let encoder = engine.sink_encoder(&request);
+            let backend = EngineSinkBackend {
+                write: engine.begin_incremental_write(&request, 30.0).unwrap(),
+                engine: &mut engine,
+            };
+            let mut sink = WriteSink::overlapped(Box::new(backend), 30.0, gop_size, encoder);
+            let mut saw_in_flight = false;
+            for frame in source.clone() {
+                sink.push_frame(frame).unwrap();
+                saw_in_flight |= sink.in_flight_gops() > 0;
+            }
+            assert_eq!(
+                saw_in_flight,
+                depth > 0,
+                "overlap pipeline engaged iff readahead > 0 (depth {depth})"
+            );
+            let report = sink.finish().unwrap();
+            (report, collect_pages(&root), root)
+        };
+        let (baseline_report, baseline_pages, baseline_root) = run("sink-overlap-0", 0);
+        for depth in [1usize, 2, 4] {
+            let (report, pages, root) = run(&format!("sink-overlap-{depth}"), depth);
+            assert_eq!(report.gops_written, baseline_report.gops_written);
+            assert_eq!(report.frames_written, baseline_report.frames_written);
+            assert_eq!(report.bytes_written, baseline_report.bytes_written);
+            assert_eq!(report.deferred_levels, baseline_report.deferred_levels);
+            assert_eq!(
+                pages, baseline_pages,
+                "overlapped sink (depth {depth}) must write an identical store"
+            );
+            let _ = std::fs::remove_dir_all(root);
+        }
+        let _ = std::fs::remove_dir_all(baseline_root);
+    }
+
+    #[test]
+    fn aborted_overlapped_sink_leaves_only_fully_persisted_gops() {
+        let (mut engine, root) = temp_engine("sink-abort");
+        engine.config.readahead = 1;
+        let request = WriteRequest::new("v", Codec::H264);
+        let gop_size = engine.write_gop_size(request.codec);
+        let encoder = engine.sink_encoder(&request);
+        let backend = EngineSinkBackend {
+            write: engine.begin_incremental_write(&request, 30.0).unwrap(),
+            engine: &mut engine,
+        };
+        let mut sink = WriteSink::overlapped(Box::new(backend), 30.0, gop_size, encoder);
+        // 3 full GOPs submitted; with depth 1 at least two retire (persist),
+        // the last may still be in flight — plus a partial that never flushes.
+        for frame in frames(3 * gop_size + 10) {
+            sink.push_frame(frame).unwrap();
+        }
+        drop(sink); // abort: joins the worker, discards in-flight work
+        // Whatever prefix was persisted is complete and fully readable.
+        let (start, end) = engine.video_time_range("v").unwrap();
+        let persisted = engine
+            .read(&crate::params::ReadRequest::new("v", start, end, Codec::H264).uncacheable())
+            .unwrap();
+        assert!(persisted.frames.len() >= 2 * gop_size, "retired GOPs survive the abort");
+        assert_eq!(persisted.frames.len() % gop_size, 0, "no partial GOP reaches disk");
+        let _ = std::fs::remove_dir_all(root);
     }
 
     #[test]

@@ -159,11 +159,13 @@ impl VideoStorage for Engine {
         frame_rate: f64,
     ) -> Result<WriteSink<'_>, VssError> {
         let gop_size = self.write_gop_size(request.codec);
+        let encoder = self.sink_encoder(request);
         let write = self.begin_incremental_write(request, frame_rate)?;
-        Ok(WriteSink::from_backend(
+        Ok(WriteSink::overlapped(
             Box::new(EngineSinkBackend { engine: self, write }),
             frame_rate,
             gop_size,
+            encoder,
         ))
     }
 

@@ -30,21 +30,38 @@
 //! result to the cache of materialized views (use [`Engine::read`] when cache
 //! admission is wanted).
 //!
+//! # Readahead
+//!
+//! With [`VssConfig::readahead`](crate::VssConfig::readahead) `= N > 0`, the
+//! snapshot's GOP work list is handed to a bounded
+//! [`OrderedPrefetch`] worker pool at open time: workers read file bytes and
+//! decode up to `N` GOPs ahead of the consumer, restoring the cross-GOP
+//! decode parallelism the drained path traded away when plan execution moved
+//! to this stream. Delivery is strictly in plan order and the sequential
+//! stages (retiming, output-GOP chunking, re-encoding, the admission
+//! measurement) stay on the consumer's thread, so **chunk order and bytes
+//! are identical at every readahead depth by construction**. Workers touch
+//! only the snapshot and the GOP files — never the engine or any lock — and
+//! dropping the stream mid-flight cancels and joins them.
+//!
 //! # Memory accounting
 //!
 //! The stream tracks how many frames (and pixel-buffer bytes) it holds at any
 //! moment — pending encoder input, retiming buffers, quality-measurement
-//! accumulators and chunks awaiting the consumer — and records the high-water
-//! mark, exposed as [`ReadStream::peak_buffered_frames`] /
+//! accumulators, decoded GOPs held by readahead workers and chunks awaiting
+//! the consumer — and records the high-water mark, exposed as
+//! [`ReadStream::peak_buffered_frames`] /
 //! [`peak_buffered_bytes`](ReadStream::peak_buffered_bytes) and reported in
 //! [`ReadStats`]. For reads that need no frame-rate conversion the peak is
-//! bounded by **two GOPs** (one being assembled plus one awaiting the
-//! consumer); frame-rate-converted segments are the documented exception —
-//! retiming is a whole-segment operation, so such segments are buffered in
-//! full before conversion. (Exclusive cache-admitting reads additionally
-//! accumulate the first resized segment for the admission-quality
-//! measurement — but those reads drain the whole result anyway; streams
-//! opened through `read_stream` skip that measurement.)
+//! bounded by **`2 + readahead` GOPs** (one being assembled, one awaiting
+//! the consumer, plus up to `readahead` prefetched ahead — two GOPs total in
+//! the default synchronous configuration); frame-rate-converted segments are
+//! the documented exception — retiming is a whole-segment operation, so such
+//! segments are buffered in full before conversion. (Exclusive
+//! cache-admitting reads additionally accumulate the first resized segment
+//! for the admission-quality measurement — but those reads drain the whole
+//! result anyway; streams opened through `read_stream` skip that
+//! measurement.)
 
 use crate::engine::{Engine, ReadStats};
 use crate::fragments::{build_candidates, CandidateSet};
@@ -54,7 +71,10 @@ use crate::read::ReadResult;
 use crate::VssError;
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vss_parallel::OrderedPrefetch;
 use vss_codec::{codec_instance, lossless, Codec, EncodedGop, EncoderConfig};
 use vss_frame::{
     convert_frame_rate, crop, resize_bilinear, Frame, FrameSequence, PixelFormat,
@@ -114,6 +134,128 @@ struct SegmentShape {
     measure_mse: bool,
     /// True when the step consumed the segment's final GOP.
     last_gop: bool,
+}
+
+/// One readahead work unit: a fully resolved GOP plus the by-value segment
+/// descriptors a worker needs to decode and normalize it without the engine.
+#[derive(Debug)]
+struct PrefetchJob {
+    work: GopWork,
+    /// Absolute index of the owning segment in the plan snapshot.
+    segment: usize,
+    shape: SegmentShape,
+}
+
+/// A worker's output for one GOP: everything the consumer-side sequential
+/// stages (retiming, chunking, re-encode, admission measurement) need.
+#[derive(Debug)]
+struct PrefetchedGop {
+    segment: usize,
+    shape: SegmentShape,
+    /// The stored encoded GOP (pass-through segments reuse it verbatim).
+    encoded: Option<EncodedGop>,
+    /// Sliced source frames, kept only when this segment measures the
+    /// admission MSE.
+    source: Vec<Frame>,
+    /// Normalized output frames (cropping stays on the consumer's thread).
+    frames: Vec<Frame>,
+    bytes_read: u64,
+    frames_decoded: usize,
+    decoding: Duration,
+}
+
+/// Shared gauge of decoded frames held by readahead workers (produced but
+/// not yet received by the consumer), folded into the stream's buffered-
+/// memory high-water marks so the reported peak covers the whole pipeline.
+#[derive(Debug, Default)]
+struct InflightGauge {
+    frames: AtomicUsize,
+    bytes: AtomicU64,
+    peak_frames: AtomicUsize,
+    peak_bytes: AtomicU64,
+}
+
+impl InflightGauge {
+    fn add(&self, frames: usize, bytes: u64) {
+        let now = self.frames.fetch_add(frames, Ordering::SeqCst) + frames;
+        self.peak_frames.fetch_max(now, Ordering::SeqCst);
+        let now = self.bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn sub(&self, frames: usize, bytes: u64) {
+        self.frames.fetch_sub(frames, Ordering::SeqCst);
+        self.bytes.fetch_sub(bytes, Ordering::SeqCst);
+    }
+
+    fn held_frames(&self) -> usize {
+        self.frames.load(Ordering::SeqCst)
+    }
+
+    fn held_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::SeqCst)
+    }
+}
+
+/// The per-GOP work a readahead worker performs: load the file, decode,
+/// slice and normalize — exactly the stages [`PlanState::step`] runs inline
+/// when readahead is off, so both paths produce identical frames.
+fn decode_gop_job(
+    job: &PrefetchJob,
+    target_format: PixelFormat,
+    output_resolution: Resolution,
+    parallelism: usize,
+) -> Result<PrefetchedGop, VssError> {
+    let started = Instant::now();
+    let bytes = std::fs::read(&job.work.path)
+        .map_err(|e| VssError::Catalog(vss_catalog::CatalogError::Io(e)))?;
+    let bytes_read = bytes.len() as u64;
+    let container = if job.work.lossless { lossless::decompress(&bytes)? } else { bytes };
+    let gop = EncodedGop::from_bytes(&container)?;
+    let implementation = codec_instance(job.shape.source_codec);
+    let decoded = implementation.decode_prefix(&gop, job.work.last)?;
+    let frames_decoded = decoded.len();
+    let sliced = &decoded.frames()[job.work.first.min(decoded.len())..];
+    let mut item = PrefetchedGop {
+        segment: job.segment,
+        shape: job.shape,
+        encoded: None,
+        source: Vec::new(),
+        frames: Vec::new(),
+        bytes_read,
+        frames_decoded,
+        decoding: Duration::ZERO,
+    };
+    if sliced.is_empty() {
+        item.decoding = started.elapsed();
+        return Ok(item);
+    }
+    if job.shape.passthrough {
+        item.frames = vss_parallel::try_par_map(parallelism, sliced, |_, frame| {
+            frame.convert(target_format)
+        })?;
+        item.encoded = Some(gop);
+    } else {
+        let resize_needed = output_resolution != job.shape.resolution;
+        let (width, height) = (output_resolution.width, output_resolution.height);
+        item.frames = vss_parallel::try_par_map(
+            parallelism,
+            sliced,
+            |_, frame| -> Result<Frame, vss_frame::FrameError> {
+                let resized = if resize_needed && frame.resolution() != output_resolution {
+                    resize_bilinear(frame, width, height)?
+                } else {
+                    frame.clone()
+                };
+                resized.convert(target_format)
+            },
+        )?;
+        if job.shape.measure_mse {
+            item.source = sliced.to_vec();
+        }
+    }
+    item.decoding = started.elapsed();
+    Ok(item)
 }
 
 /// One plan segment's snapshot: where its GOPs live and how to transform them.
@@ -188,6 +330,13 @@ struct PlanState {
     output_resolution: Resolution,
     output_fps: f64,
     segments: VecDeque<SegmentWork>,
+    /// Absolute plan index of the front segment (how many have finished).
+    segment_cursor: usize,
+    /// Bounded worker pool decoding GOPs ahead of the consumer
+    /// (`readahead > 0` only); owns the flattened GOP work list.
+    prefetch: Option<OrderedPrefetch<Result<PrefetchedGop, VssError>>>,
+    /// Decoded frames currently held by readahead workers.
+    gauge: Arc<InflightGauge>,
     /// Cropped frames awaiting enough material for one output GOP.
     pending: Vec<Frame>,
     pending_rate: f64,
@@ -434,6 +583,9 @@ impl PlanState {
         base: &mut StreamBase,
         ready: &mut VecDeque<ReadChunk>,
     ) -> Result<bool, VssError> {
+        if self.prefetch.is_some() {
+            return self.step_prefetch(base, ready);
+        }
         let Some(front) = self.segments.front_mut() else {
             return Ok(false);
         };
@@ -529,6 +681,91 @@ impl PlanState {
         Ok(true)
     }
 
+    /// The readahead counterpart of [`step`](Self::step): receives the next
+    /// decoded GOP from the worker pool (in plan order) and runs the
+    /// sequential stages on it. One call consumes at most one GOP or closes
+    /// out one segment, mirroring the synchronous path exactly.
+    fn step_prefetch(
+        &mut self,
+        base: &mut StreamBase,
+        ready: &mut VecDeque<ReadChunk>,
+    ) -> Result<bool, VssError> {
+        let received = self.prefetch.as_mut().expect("prefetch mode").recv();
+        self.merge_gauge_peaks(base);
+        let item = match received {
+            None => {
+                // Every GOP has been delivered; close out the remaining
+                // segments (retime/partial-GOP flushes) one per step.
+                if self.segments.is_empty() {
+                    self.prefetch = None; // workers already exited; join them
+                    return Ok(false);
+                }
+                self.finish_segment(base, ready)?;
+                return Ok(true);
+            }
+            // Errors surface in plan order, like the synchronous path; drop
+            // the pool so remaining workers are cancelled and joined.
+            Some(Err(error)) => {
+                self.prefetch = None;
+                return Err(error);
+            }
+            Some(Ok(item)) => item,
+        };
+        let held_frames = item.frames.len() + item.source.len();
+        let held_bytes = byte_len(&item.frames) + byte_len(&item.source);
+        self.gauge.sub(held_frames, held_bytes);
+        // Segments the work list skipped entirely (no decodable GOPs) still
+        // finish in plan order before this GOP's segment is processed.
+        while self.segment_cursor < item.segment {
+            self.finish_segment(base, ready)?;
+        }
+        base.gops_read += 1;
+        base.bytes_read += item.bytes_read;
+        base.frames_decoded += item.frames_decoded;
+        base.decoding += item.decoding;
+        self.note_buffered(base, ready, held_frames, held_bytes);
+        let shape = item.shape;
+        if item.frames.is_empty() {
+            if shape.last_gop {
+                self.finish_segment(base, ready)?;
+            }
+            return Ok(true);
+        }
+        if shape.passthrough {
+            self.carry.reused_any = true;
+            let chunk = ReadChunk {
+                frames: FrameSequence::new(item.frames, shape.frame_rate)?,
+                encoded_gop: item.encoded,
+                stats_delta: ChunkStats::default(),
+            };
+            self.note_buffered(base, ready, chunk.frames.len(), chunk.frames.byte_len() as u64);
+            ready.push_back(chunk);
+        } else {
+            if shape.measure_mse && !self.derivation_measured {
+                self.mse_source.extend(item.source);
+                self.mse_normalized.extend_from_slice(&item.frames);
+            }
+            if shape.retime {
+                self.retime_buffer.extend(item.frames);
+                self.note_buffered(base, ready, 0, 0);
+            } else {
+                self.emit_output(item.frames, shape.frame_rate, base, ready)?;
+            }
+        }
+        if shape.last_gop {
+            self.finish_segment(base, ready)?;
+        }
+        Ok(true)
+    }
+
+    /// Folds the workers' in-flight high-water marks into the stream's.
+    fn merge_gauge_peaks(&self, base: &mut StreamBase) {
+        base.peak_buffered_frames =
+            base.peak_buffered_frames.max(self.gauge.peak_frames.load(Ordering::SeqCst));
+        base.peak_buffered_bytes =
+            base.peak_buffered_bytes.max(self.gauge.peak_bytes.load(Ordering::SeqCst));
+    }
+
     /// Closes out the front segment: measures the admission MSE, retimes the
     /// buffered segment if needed and flushes the partial output GOP.
     fn finish_segment(
@@ -537,6 +774,7 @@ impl PlanState {
         ready: &mut VecDeque<ReadChunk>,
     ) -> Result<(), VssError> {
         let Some(segment) = self.segments.pop_front() else { return Ok(()) };
+        self.segment_cursor += 1;
         if segment.measure_mse && !self.derivation_measured && !self.mse_source.is_empty() {
             let source =
                 FrameSequence::new(std::mem::take(&mut self.mse_source), segment.frame_rate)?;
@@ -637,12 +875,14 @@ impl PlanState {
             + self.mse_source.len()
             + self.mse_normalized.len()
             + ready.iter().map(|c| c.frames.len()).sum::<usize>()
+            + self.gauge.held_frames()
             + transient_frames;
         let held_bytes = byte_len(&self.pending)
             + byte_len(&self.retime_buffer)
             + byte_len(&self.mse_source)
             + byte_len(&self.mse_normalized)
             + ready.iter().map(|c| c.frames.byte_len() as u64).sum::<u64>()
+            + self.gauge.held_bytes()
             + transient_bytes;
         base.peak_buffered_frames = base.peak_buffered_frames.max(held_frames);
         base.peak_buffered_bytes = base.peak_buffered_bytes.max(held_bytes);
@@ -799,7 +1039,7 @@ impl Engine {
                 .unwrap_or(self.config.default_encoder_quality),
             gop_size: self.config.gop_size,
         };
-        let state = PlanState {
+        let mut state = PlanState {
             codec: request.physical.codec,
             encoder,
             gop_size: self.config.gop_size,
@@ -809,6 +1049,9 @@ impl Engine {
             output_resolution,
             output_fps,
             segments,
+            segment_cursor: 0,
+            prefetch: None,
+            gauge: Arc::new(InflightGauge::default()),
             pending: Vec::new(),
             pending_rate: output_fps,
             retime_buffer: Vec::new(),
@@ -823,6 +1066,54 @@ impl Engine {
                 output_resolution,
             },
         };
+        // Readahead: flatten the snapshot's GOPs into an owned work list and
+        // hand it to a bounded in-order worker pool. Workers start decoding
+        // immediately — they touch only the snapshot and the GOP files, never
+        // the engine — while the sequential stages stay on the consumer.
+        let readahead = self.config.readahead;
+        if readahead > 0 {
+            let mut jobs: Vec<PrefetchJob> = Vec::new();
+            for (segment_index, segment) in state.segments.iter_mut().enumerate() {
+                let gop_count = segment.gops.len();
+                for (position, work) in segment.gops.drain(..).enumerate() {
+                    jobs.push(PrefetchJob {
+                        work,
+                        segment: segment_index,
+                        shape: SegmentShape {
+                            source_codec: segment.source_codec,
+                            frame_rate: segment.frame_rate,
+                            resolution: segment.resolution,
+                            passthrough: segment.passthrough,
+                            retime: segment.retime,
+                            measure_mse: segment.measure_mse,
+                            last_gop: position + 1 == gop_count,
+                        },
+                    });
+                }
+            }
+            if !jobs.is_empty() {
+                let gauge = Arc::clone(&state.gauge);
+                let target_format = state.target_format;
+                let worker_resolution = state.output_resolution;
+                let parallelism = state.parallelism;
+                state.prefetch = Some(OrderedPrefetch::spawn(
+                    parallelism,
+                    readahead,
+                    jobs,
+                    move |_, job| {
+                        let result =
+                            decode_gop_job(job, target_format, worker_resolution, parallelism);
+                        if let Ok(item) = &result {
+                            gauge.add(
+                                item.frames.len() + item.source.len(),
+                                byte_len(&item.frames) + byte_len(&item.source),
+                            );
+                        }
+                        result
+                    },
+                ));
+            }
+        }
         let fragments_available = state.carry.candidates.candidates.len();
         Ok(ReadStream {
             source: StreamSource::Plan(Box::new(state)),
@@ -910,6 +1201,69 @@ mod tests {
         assert_eq!(delta.frames_decoded, stats.frames_decoded);
         assert_eq!(delta.bytes_read, stats.bytes_read);
         assert!(stats.gops_read >= 2);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn readahead_streams_are_byte_identical_to_synchronous_streams() {
+        let (mut engine, root) = temp_engine("stream-readahead");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(120)).unwrap();
+        let requests = [
+            ReadRequest::new("v", 0.0, 4.0, Codec::Hevc).uncacheable(),
+            ReadRequest::new("v", 0.0, 4.0, Codec::Raw(PixelFormat::Yuv420)).uncacheable(),
+            ReadRequest::new("v", 0.5, 3.5, Codec::H264).uncacheable(),
+            ReadRequest::new("v", 0.0, 3.0, Codec::Raw(PixelFormat::Yuv420))
+                .fps(15.0)
+                .uncacheable(),
+        ];
+        for request in requests {
+            let baseline = {
+                engine.config.readahead = 0;
+                engine.read_stream(&request).unwrap().drain().unwrap()
+            };
+            for depth in [1usize, 2, 4, 16] {
+                engine.config.readahead = depth;
+                let piped = engine.read_stream(&request).unwrap().drain().unwrap();
+                assert_eq!(
+                    piped.frames.frames(),
+                    baseline.frames.frames(),
+                    "frames diverged at readahead {depth} ({request:?})"
+                );
+                let base_gops: Vec<Vec<u8>> =
+                    baseline.encoded.iter().flatten().map(|g| g.to_bytes()).collect();
+                let piped_gops: Vec<Vec<u8>> =
+                    piped.encoded.iter().flatten().map(|g| g.to_bytes()).collect();
+                assert_eq!(piped_gops, base_gops, "GOPs diverged at readahead {depth}");
+                assert_eq!(piped.stats.gops_read, baseline.stats.gops_read);
+                assert_eq!(piped.stats.bytes_read, baseline.stats.bytes_read);
+                assert_eq!(piped.stats.frames_decoded, baseline.stats.frames_decoded);
+            }
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn dropping_a_readahead_stream_mid_flight_joins_its_workers() {
+        let (mut engine, root) = temp_engine("stream-earlydrop");
+        engine.write(&WriteRequest::new("v", Codec::H264), &sequence(150)).unwrap();
+        engine.config.readahead = 4;
+        for consumed in [0usize, 1, 3] {
+            let mut stream = engine
+                .read_stream(&ReadRequest::new("v", 0.0, 5.0, Codec::Hevc).uncacheable())
+                .unwrap();
+            for _ in 0..consumed {
+                stream.next().unwrap().unwrap();
+            }
+            drop(stream); // cancels the pool; Drop joins every worker
+            // The engine is immediately usable again, and a full read still
+            // sees consistent bytes.
+            let full = engine
+                .read_stream(&ReadRequest::new("v", 0.0, 5.0, Codec::Hevc).uncacheable())
+                .unwrap()
+                .drain()
+                .unwrap();
+            assert_eq!(full.frames.len(), 150);
+        }
         let _ = std::fs::remove_dir_all(root);
     }
 

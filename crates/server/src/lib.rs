@@ -235,20 +235,32 @@ impl Session {
     /// client of the shard (the shard lock is never held across GOP file
     /// reads). Draining the stream is byte-identical to
     /// [`read`](Self::read); streaming reads never admit to the cache.
+    ///
+    /// With [`VssConfig::readahead`] `> 0` the returned stream decodes GOPs
+    /// ahead of the consumer on a bounded worker pool; the workers read only
+    /// the snapshot's GOP files and never touch a shard lock, and dropping
+    /// the stream mid-flight cancels and joins them without blocking any
+    /// other client of the shard.
     pub fn read_stream(&self, request: &ReadRequest) -> Result<ReadStream, VssError> {
         self.engine().read_stream(request)
     }
 
     /// Opens an incremental write: each GOP is encoded and persisted under
     /// the owning shard's write lock **per GOP**, so a slow producer never
-    /// holds the shard across its whole ingest. The resulting store is
-    /// byte-identical to a batch [`write`](Self::write) of the same frames.
+    /// holds the shard across its whole ingest. With
+    /// [`VssConfig::readahead`] `> 0`, encoding runs on a worker thread that
+    /// holds **no** shard lock — the lock is taken only for each in-order
+    /// persist on the caller's thread, so the encode of GOP *n + 1* overlaps
+    /// the locked file write of GOP *n*. The resulting store is
+    /// byte-identical to a batch [`write`](Self::write) of the same frames
+    /// at every readahead setting; aborting the sink (dropping it mid-clip)
+    /// joins the worker and leaves only fully persisted GOPs behind.
     pub fn write_sink(
         &self,
         request: &WriteRequest,
         frame_rate: f64,
     ) -> Result<WriteSink<'static>, VssError> {
-        let (gop_size, write) = self.engine().begin_sink(request, frame_rate)?;
+        let (gop_size, encoder, write) = self.engine().begin_sink(request, frame_rate)?;
         struct SessionSinkBackend {
             server: VssServer,
             write: IncrementalWrite,
@@ -257,14 +269,22 @@ impl Session {
             fn flush_gop(&mut self, frames: &[vss_frame::Frame]) -> Result<(), VssError> {
                 self.server.inner.engine.push_sink_gop(&mut self.write, frames)
             }
+            fn flush_encoded(
+                &mut self,
+                frames: &[vss_frame::Frame],
+                gop: vss_codec::EncodedGop,
+            ) -> Result<(), VssError> {
+                self.server.inner.engine.push_sink_encoded(&mut self.write, frames, &gop)
+            }
             fn finish(&mut self) -> Result<WriteReport, VssError> {
                 self.server.inner.engine.finish_sink(&mut self.write)
             }
         }
-        Ok(WriteSink::from_backend(
+        Ok(WriteSink::overlapped(
             Box::new(SessionSinkBackend { server: self.server.clone(), write }),
             frame_rate,
             gop_size,
+            encoder,
         ))
     }
 

@@ -254,17 +254,19 @@ impl ShardedEngine {
         Ok(stream)
     }
 
-    /// Begins an incremental write: captures the GOP-size boundary and the
-    /// write state under the shard lock, releasing it between GOPs.
+    /// Begins an incremental write: captures the GOP-size boundary, the
+    /// encode parameters (for the overlapped-encode worker) and the write
+    /// state under the shard lock, releasing it between GOPs.
     pub(crate) fn begin_sink(
         &self,
         request: &WriteRequest,
         frame_rate: f64,
-    ) -> Result<(usize, vss_core::IncrementalWrite), VssError> {
+    ) -> Result<(usize, vss_core::SinkEncoder, vss_core::IncrementalWrite), VssError> {
         let shard = self.shard(&request.name);
         let engine = shard.read();
         Ok((
             engine.write_gop_size(request.codec),
+            engine.sink_encoder(request),
             engine.begin_incremental_write(request, frame_rate)?,
         ))
     }
@@ -278,6 +280,19 @@ impl ShardedEngine {
     ) -> Result<(), VssError> {
         let shard = self.shard(write.name());
         shard.write().push_incremental_gop(write, frames)
+    }
+
+    /// Persists one pre-encoded GOP of an incremental write (the overlapped
+    /// sink path: the GOP was encoded off-thread, **without** any shard
+    /// lock; only this persist call takes the owning shard's write lock).
+    pub(crate) fn push_sink_encoded(
+        &self,
+        write: &mut vss_core::IncrementalWrite,
+        frames: &[vss_frame::Frame],
+        gop: &vss_codec::EncodedGop,
+    ) -> Result<(), VssError> {
+        let shard = self.shard(write.name());
+        shard.write().push_incremental_encoded(write, frames, gop)
     }
 
     /// Completes an incremental write and accounts it in the shard's stats.

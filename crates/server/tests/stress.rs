@@ -1,8 +1,11 @@
 //! Concurrency stress test for the sharded server.
 //!
-//! `THREADS` client threads issue a mix of reads, writes/appends and
+//! `THREADS` client threads issue a mix of reads, streaming reads (drained
+//! and early-dropped), writes/appends, streaming sink ingest and
 //! create/delete churn across many logical videos while the per-shard
-//! maintenance scheduler runs underneath. The test asserts:
+//! maintenance scheduler runs underneath — with **readahead enabled**, so
+//! every stream decodes on prefetch workers and every sink encodes on an
+//! overlapped worker while shard locks churn. The test asserts:
 //!
 //! * **no deadlock** — every thread finishes within a generous watchdog
 //!   timeout (a lock-ordering bug would hang here, not fail an assertion);
@@ -25,6 +28,8 @@ use vss_server::VssServer;
 
 const THREADS: usize = 8;
 const OPS_PER_THREAD: usize = 12;
+/// Streams prefetch-decode and sinks encode up to this many GOPs ahead.
+const READAHEAD: usize = 2;
 const VERIFY_VIDEOS: usize = 3;
 const CHURN_VIDEOS: usize = 2;
 const WATCHDOG: Duration = Duration::from_secs(120);
@@ -47,8 +52,10 @@ fn sequence(seed: u64, frames: usize) -> FrameSequence {
 fn mixed_concurrent_workload_is_deadlock_free_and_byte_identical() {
     let server_root = temp_root("server");
     let reference_root = temp_root("reference");
-    let server = VssServer::open_sharded(VssConfig::new(&server_root), 4).unwrap();
-    // The sequential ground truth: the monolithic engine, one worker thread.
+    let server =
+        VssServer::open_sharded(VssConfig::new(&server_root).with_readahead(READAHEAD), 4).unwrap();
+    // The sequential ground truth: the monolithic engine, one worker thread,
+    // no readahead — the configuration every pipelined result must match.
     let reference = Vss::open(VssConfig::new(&reference_root).with_parallelism(1)).unwrap();
 
     for video in 0..VERIFY_VIDEOS {
@@ -77,7 +84,7 @@ fn mixed_concurrent_workload_is_deadlock_free_and_byte_identical() {
         handles.push(std::thread::spawn(move || {
             let session = server.session();
             for op in 0..OPS_PER_THREAD {
-                match (thread + op) % 4 {
+                match (thread + op) % 6 {
                     // Verification read: non-cacheable, compared byte-for-byte
                     // against the sequential engine.
                     0 => {
@@ -111,28 +118,80 @@ fn mixed_concurrent_workload_is_deadlock_free_and_byte_identical() {
                             "encoded GOPs diverged from the sequential engine"
                         );
                     }
+                    // Streaming verification read: drained chunk-by-chunk on
+                    // readahead workers, still byte-identical to the
+                    // sequential engine's materialized read.
+                    1 => {
+                        let video = format!("verify-{}", (thread + op) % VERIFY_VIDEOS);
+                        let start = f64::from(((thread * 5 + op) % 3) as u32) * 0.5;
+                        let request =
+                            ReadRequest::new(&video, start, start + 1.0, Codec::Hevc)
+                                .uncacheable();
+                        let streamed =
+                            session.read_stream(&request).unwrap().drain().unwrap();
+                        let sequential = reference.read(&request).unwrap();
+                        assert_eq!(
+                            streamed.frames.frames(),
+                            sequential.frames.frames(),
+                            "streamed frames diverged from the sequential engine \
+                             (thread {thread}, op {op}, {video})"
+                        );
+                        let streamed_gops: Vec<Vec<u8>> = streamed
+                            .encoded
+                            .iter()
+                            .flatten()
+                            .map(|g| g.to_bytes())
+                            .collect();
+                        let sequential_gops: Vec<Vec<u8>> = sequential
+                            .encoded
+                            .iter()
+                            .flatten()
+                            .map(|g| g.to_bytes())
+                            .collect();
+                        assert_eq!(
+                            streamed_gops, sequential_gops,
+                            "streamed GOPs diverged from the sequential engine"
+                        );
+                    }
                     // Cache churn: cacheable transcoding reads that admit,
                     // evict and deferred-compress fragments concurrently.
-                    1 => {
+                    2 => {
                         let video = format!("churn-{}", (thread + op) % CHURN_VIDEOS);
                         let start = f64::from(((thread + op * 3) % 2) as u32) * 0.5;
                         session
                             .read(&ReadRequest::new(&video, start, start + 1.0, Codec::Hevc))
                             .unwrap();
                     }
-                    // Streaming ingest into a thread-private video.
-                    2 => {
+                    // Streaming ingest into a thread-private video: the first
+                    // write goes through an overlapped WriteSink (encode
+                    // worker in flight while shard locks churn), later ones
+                    // append.
+                    3 => {
                         let video = format!("private-{thread}");
                         if session.bytes_used(&video).is_err() {
-                            session
-                                .write(
-                                    &WriteRequest::new(&video, Codec::H264),
-                                    &sequence(200 + thread as u64, 30),
-                                )
+                            let frames = sequence(200 + thread as u64, 30);
+                            let mut sink = session
+                                .write_sink(&WriteRequest::new(&video, Codec::H264), 30.0)
                                 .unwrap();
+                            for frame in frames.frames() {
+                                sink.push_frame(frame.clone()).unwrap();
+                            }
+                            sink.finish().unwrap();
                         } else {
                             session.append(&video, &sequence(300 + thread as u64, 30)).unwrap();
                         }
+                    }
+                    // Early drop: abandon a stream with readahead workers in
+                    // flight — must not wedge the shard or leak threads.
+                    4 => {
+                        let video = format!("verify-{}", (thread + op) % VERIFY_VIDEOS);
+                        let mut stream = session
+                            .read_stream(
+                                &ReadRequest::new(&video, 0.0, 2.0, Codec::Hevc).uncacheable(),
+                            )
+                            .unwrap();
+                        let _ = stream.next();
+                        drop(stream);
                     }
                     // Catalog churn: create + delete a transient video.
                     _ => {

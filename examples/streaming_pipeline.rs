@@ -1,8 +1,15 @@
 //! Streaming ingest and playback with bounded memory: frames flow into a
 //! [`WriteSink`] one at a time (each GOP persists as it fills), then a
 //! [`ReadStream`] transcodes the clip GOP-at-a-time for a device that only
-//! plays HEVC — the whole pipeline never holds more than ~2 GOPs of frames,
-//! regardless of clip length.
+//! plays HEVC — the whole pipeline never holds more than a few GOPs of
+//! frames, regardless of clip length.
+//!
+//! `VssConfig::readahead` turns both hot paths into overlapped pipelines:
+//! the sink encodes each GOP on a worker while the previous GOP's file
+//! write persists, and the stream decodes up to `readahead` GOPs ahead of
+//! the consumer on a bounded worker pool. Output is byte-identical at every
+//! depth — the knob trades a bounded amount of memory (~`2 + readahead`
+//! GOPs peak) for wall time.
 //!
 //! Run with:
 //!
@@ -16,7 +23,8 @@ use vss::workload::{SceneConfig, SceneRenderer};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = std::env::temp_dir().join("vss-example-streaming");
     let _ = std::fs::remove_dir_all(&root);
-    let vss = Vss::open(VssConfig::new(&root))?;
+    // Readahead 2: decode (and encode) up to two GOPs ahead of the consumer.
+    let vss = Vss::open(VssConfig::new(&root).with_readahead(2))?;
 
     // --- Ingest: a camera delivering one frame at a time --------------------
     let renderer = SceneRenderer::new(SceneConfig {
@@ -28,9 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sink = vss.write_sink(&WriteRequest::new("camera", Codec::H264), 30.0)?;
     for frame in live.frames() {
         sink.push_frame(frame.clone())?;
-        // The sink never buffers a full GOP: each one is encoded and
-        // persisted the moment it fills, holding the engine lock per GOP.
+        // The sink never buffers a full GOP: each one is handed to the
+        // encode worker the moment it fills (at most `readahead` in flight)
+        // and persisted in order, holding the engine lock per GOP.
         assert!(sink.buffered_frames() < 30);
+        assert!(sink.in_flight_gops() <= 2);
     }
     let report = sink.finish()?;
     println!(

@@ -2,17 +2,52 @@
 //!
 //! * `read_stream` drained chunk-by-chunk reproduces the materialized
 //!   `read()` **byte-for-byte** across the full matrix of codec (raw and
-//!   compressed) × cacheability × parallelism × backend (monolithic `Vss`
-//!   engine and sharded `vss-server` session);
-//! * a streaming consumer never holds more than two GOPs of frames
-//!   mid-stream (the O(GOP) vs O(clip) memory win);
+//!   compressed) × cacheability × parallelism (1/4) × readahead (0/1/4) ×
+//!   backend (monolithic `Vss` engine and sharded `vss-server` session) —
+//!   and every readahead depth produces identical bytes to depth 0;
+//! * a streaming consumer never holds more than `2 + readahead` GOPs of
+//!   frames mid-stream (two GOPs in the default synchronous configuration —
+//!   the O(GOP) vs O(clip) memory win);
 //! * an incremental `WriteSink` produces a byte-identical store to a batch
 //!   `write()` of the same frames, through both the `Vss` handle and a
-//!   server session.
+//!   server session, at every readahead depth (overlapped encoding included);
+//! * dropping a `ReadStream` (or aborting a `WriteSink`) with readahead
+//!   workers in flight joins every worker, leaves no partial GOP on disk and
+//!   never wedges a shard lock.
+//!
+//! Setting `VSS_STREAM_READAHEAD=<n>` adds depth `n` to the readahead axis
+//! (CI uses this to re-run the suite in an extra readahead-enabled
+//! configuration).
 
 use vss::prelude::*;
 use vss::workload::{SceneConfig, SceneRenderer};
 use vss_server::VssServer;
+
+/// The readahead axis of the equivalence matrix: synchronous, minimal
+/// pipelining and a deeper pool; `VSS_STREAM_READAHEAD` appends an extra
+/// depth so CI can force a readahead-enabled re-run of the whole suite.
+fn readahead_depths() -> Vec<usize> {
+    let mut depths = vec![0usize, 1, 4];
+    if let Ok(value) = std::env::var("VSS_STREAM_READAHEAD") {
+        if let Ok(depth) = value.trim().parse::<usize>() {
+            if !depths.contains(&depth) {
+                depths.push(depth);
+            }
+        }
+    }
+    depths
+}
+
+/// Count of live threads in this process (Linux); used to prove readahead
+/// workers are joined, not leaked. Returns `None` where unsupported.
+fn live_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|line| line.starts_with("Threads:"))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|value| value.parse().ok())
+}
 
 fn scratch(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -78,62 +113,106 @@ fn request_matrix(video: &str) -> Vec<ReadRequest> {
 }
 
 #[test]
-fn stream_matches_materialized_read_on_the_engine_across_parallelism() {
+fn stream_matches_materialized_read_on_the_engine_across_parallelism_and_readahead() {
     let video = traffic_video(90);
     for parallelism in [1usize, 4] {
-        let root = scratch(&format!("engine-eq-{parallelism}"));
-        let vss =
-            Vss::open(VssConfig::new(&root).with_parallelism(parallelism)).unwrap();
-        vss.write(&WriteRequest::new("v", Codec::H264), &video).unwrap();
-        // Warm the cache so later plans mix original and cached fragments.
-        vss.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
-        for request in request_matrix("v") {
-            // Stream first: it admits nothing, so the materialized read that
-            // follows sees the same store state the snapshot saw.
-            let stream = vss.read_stream(&request).unwrap();
-            let (frames, gops, _) = drain_chunks(stream, video.frame_rate());
-            let materialized = vss.read(&request).unwrap();
-            assert_eq!(
-                frames.frames(),
-                materialized.frames.frames(),
-                "frames diverged (parallelism {parallelism}, request {request:?})"
-            );
-            let materialized_gops = encoded_bytes(&materialized.encoded).unwrap_or_default();
-            assert_eq!(
-                gops, materialized_gops,
-                "encoded GOPs diverged (parallelism {parallelism}, request {request:?})"
-            );
+        // Per-request reference output, captured at readahead 0: every depth
+        // must reproduce it byte-for-byte.
+        let mut reference: Vec<(FrameSequence, Vec<Vec<u8>>)> = Vec::new();
+        for readahead in readahead_depths() {
+            let root = scratch(&format!("engine-eq-{parallelism}-{readahead}"));
+            let vss = Vss::open(
+                VssConfig::new(&root).with_parallelism(parallelism).with_readahead(readahead),
+            )
+            .unwrap();
+            vss.write(&WriteRequest::new("v", Codec::H264), &video).unwrap();
+            // Warm the cache so later plans mix original and cached fragments.
+            vss.read(&ReadRequest::new("v", 0.0, 2.0, Codec::Hevc)).unwrap();
+            for (index, request) in request_matrix("v").into_iter().enumerate() {
+                // Stream first: it admits nothing, so the materialized read
+                // that follows sees the same store state the snapshot saw.
+                let stream = vss.read_stream(&request).unwrap();
+                let (frames, gops, _) = drain_chunks(stream, video.frame_rate());
+                let materialized = vss.read(&request).unwrap();
+                assert_eq!(
+                    frames.frames(),
+                    materialized.frames.frames(),
+                    "frames diverged (parallelism {parallelism}, readahead {readahead}, \
+                     request {request:?})"
+                );
+                let materialized_gops = encoded_bytes(&materialized.encoded).unwrap_or_default();
+                assert_eq!(
+                    gops, materialized_gops,
+                    "encoded GOPs diverged (parallelism {parallelism}, readahead {readahead}, \
+                     request {request:?})"
+                );
+                match reference.get(index) {
+                    None => reference.push((frames, gops)),
+                    Some((reference_frames, reference_gops)) => {
+                        assert_eq!(
+                            frames.frames(),
+                            reference_frames.frames(),
+                            "readahead {readahead} changed streamed frames \
+                             (parallelism {parallelism}, request {request:?})"
+                        );
+                        assert_eq!(
+                            &gops, reference_gops,
+                            "readahead {readahead} changed streamed GOPs \
+                             (parallelism {parallelism}, request {request:?})"
+                        );
+                    }
+                }
+            }
+            let _ = std::fs::remove_dir_all(root);
         }
-        let _ = std::fs::remove_dir_all(root);
     }
 }
 
 #[test]
-fn stream_matches_materialized_read_through_the_sharded_session() {
+fn stream_matches_materialized_read_through_the_sharded_session_across_readahead() {
     let video = traffic_video(90);
-    let root = scratch("session-eq");
-    let server = VssServer::open_sharded(VssConfig::new(&root), 4).unwrap();
-    let session = server.session();
-    session.write(&WriteRequest::new("cam", Codec::H264), &video).unwrap();
-    session.read(&ReadRequest::new("cam", 0.0, 2.0, Codec::Hevc)).unwrap();
-    for request in request_matrix("cam") {
-        // The session snapshots under the shard's read lock and decodes
-        // lock-free; output must still match the locked read exactly.
-        let stream = session.read_stream(&request).unwrap();
-        let (frames, gops, _) = drain_chunks(stream, video.frame_rate());
-        let materialized = session.read(&request).unwrap();
-        assert_eq!(
-            frames.frames(),
-            materialized.frames.frames(),
-            "session stream frames diverged ({request:?})"
-        );
-        assert_eq!(
-            gops,
-            encoded_bytes(&materialized.encoded).unwrap_or_default(),
-            "session stream GOPs diverged ({request:?})"
-        );
+    let mut reference: Vec<(FrameSequence, Vec<Vec<u8>>)> = Vec::new();
+    for readahead in readahead_depths() {
+        let root = scratch(&format!("session-eq-{readahead}"));
+        let server =
+            VssServer::open_sharded(VssConfig::new(&root).with_readahead(readahead), 4).unwrap();
+        let session = server.session();
+        session.write(&WriteRequest::new("cam", Codec::H264), &video).unwrap();
+        session.read(&ReadRequest::new("cam", 0.0, 2.0, Codec::Hevc)).unwrap();
+        for (index, request) in request_matrix("cam").into_iter().enumerate() {
+            // The session snapshots under the shard's read lock and decodes
+            // lock-free (on readahead workers when enabled); output must
+            // still match the locked read exactly.
+            let stream = session.read_stream(&request).unwrap();
+            let (frames, gops, _) = drain_chunks(stream, video.frame_rate());
+            let materialized = session.read(&request).unwrap();
+            assert_eq!(
+                frames.frames(),
+                materialized.frames.frames(),
+                "session stream frames diverged (readahead {readahead}, {request:?})"
+            );
+            assert_eq!(
+                gops,
+                encoded_bytes(&materialized.encoded).unwrap_or_default(),
+                "session stream GOPs diverged (readahead {readahead}, {request:?})"
+            );
+            match reference.get(index) {
+                None => reference.push((frames, gops)),
+                Some((reference_frames, reference_gops)) => {
+                    assert_eq!(
+                        frames.frames(),
+                        reference_frames.frames(),
+                        "readahead {readahead} changed session stream frames ({request:?})"
+                    );
+                    assert_eq!(
+                        &gops, reference_gops,
+                        "readahead {readahead} changed session stream GOPs ({request:?})"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(root);
     }
-    let _ = std::fs::remove_dir_all(root);
 }
 
 #[test]
@@ -159,41 +238,46 @@ fn session_streams_decode_concurrently_with_an_exclusive_writer_elsewhere() {
 }
 
 #[test]
-fn streaming_reads_buffer_at_most_two_gops() {
+fn streaming_reads_buffer_at_most_two_gops_plus_readahead() {
     // 150 frames = 5 GOPs at the default GOP size of 30. A streaming
-    // consumer must never see more than 2 GOPs buffered, for raw reads,
-    // same-codec reads and transcoding reads — while the materialized read
-    // necessarily buffers the whole clip.
+    // consumer must never see more than `2 + readahead` GOPs buffered (2 in
+    // the default synchronous configuration), for raw reads, same-codec
+    // reads and transcoding reads — while the materialized read necessarily
+    // buffers the whole clip.
     let video = traffic_video(150);
-    let root = scratch("bounded");
-    let vss = Vss::open(VssConfig::new(&root)).unwrap();
-    vss.write(&WriteRequest::new("v", Codec::H264), &video).unwrap();
     let gop_size = 30usize;
-    for request in [
-        ReadRequest::new("v", 0.0, 5.0, Codec::Raw(PixelFormat::Yuv420)).uncacheable(),
-        ReadRequest::new("v", 0.0, 5.0, Codec::H264).uncacheable(),
-        ReadRequest::new("v", 0.0, 5.0, Codec::Hevc).uncacheable(),
-        // Resized streaming reads stay bounded too: the admission-quality
-        // measurement (which buffers a whole segment) only runs on
-        // cache-admitting reads, never on streams.
-        ReadRequest::new("v", 0.0, 5.0, Codec::Hevc)
-            .resolution(Resolution::new(48, 28))
-            .uncacheable(),
-    ] {
-        let stream = vss.read_stream(&request).unwrap();
-        let (frames, _, peak) = drain_chunks(stream, video.frame_rate());
-        assert_eq!(frames.len(), 150);
-        assert!(
-            peak <= 2 * gop_size,
-            "streaming read buffered {peak} frames (> 2 GOPs) for {request:?}"
-        );
-        let materialized = vss.read(&request).unwrap();
-        assert!(
-            materialized.stats.peak_buffered_frames >= 150,
-            "materialized reads hold the whole clip"
-        );
+    for readahead in readahead_depths() {
+        let root = scratch(&format!("bounded-{readahead}"));
+        let vss = Vss::open(VssConfig::new(&root).with_readahead(readahead)).unwrap();
+        vss.write(&WriteRequest::new("v", Codec::H264), &video).unwrap();
+        for request in [
+            ReadRequest::new("v", 0.0, 5.0, Codec::Raw(PixelFormat::Yuv420)).uncacheable(),
+            ReadRequest::new("v", 0.0, 5.0, Codec::H264).uncacheable(),
+            ReadRequest::new("v", 0.0, 5.0, Codec::Hevc).uncacheable(),
+            // Resized streaming reads stay bounded too: the admission-quality
+            // measurement (which buffers a whole segment) only runs on
+            // cache-admitting reads, never on streams.
+            ReadRequest::new("v", 0.0, 5.0, Codec::Hevc)
+                .resolution(Resolution::new(48, 28))
+                .uncacheable(),
+        ] {
+            let stream = vss.read_stream(&request).unwrap();
+            let (frames, _, peak) = drain_chunks(stream, video.frame_rate());
+            assert_eq!(frames.len(), 150);
+            assert!(
+                peak <= (2 + readahead) * gop_size,
+                "streaming read buffered {peak} frames (> {} GOPs) at readahead \
+                 {readahead} for {request:?}",
+                2 + readahead
+            );
+            let materialized = vss.read(&request).unwrap();
+            assert!(
+                materialized.stats.peak_buffered_frames >= 150,
+                "materialized reads hold the whole clip"
+            );
+        }
+        let _ = std::fs::remove_dir_all(root);
     }
-    let _ = std::fs::remove_dir_all(root);
 }
 
 #[test]
@@ -221,28 +305,37 @@ fn write_sink_store_is_byte_identical_to_batch_write() {
     let batch_root = scratch("sink-batch");
     let batch = Vss::open(VssConfig::new(&batch_root)).unwrap();
     let batch_report = batch.write(&WriteRequest::new("v", Codec::H264), &video).unwrap();
+    let batch_pages = collect_pages(&batch_root);
 
-    // Incremental write through the Vss handle, pushed frame-by-frame.
-    let sink_root = scratch("sink-inc");
-    let incremental = Vss::open(VssConfig::new(&sink_root)).unwrap();
-    let mut sink = incremental.write_sink(&WriteRequest::new("v", Codec::H264), 30.0).unwrap();
-    for frame in video.frames() {
-        sink.push_frame(frame.clone()).unwrap();
+    // Incremental writes through the Vss handle, pushed frame-by-frame, at
+    // every readahead depth (depth > 0 encodes on the overlapped worker):
+    // all of them must produce the exact on-disk store the batch write did.
+    for readahead in readahead_depths() {
+        let sink_root = scratch(&format!("sink-inc-{readahead}"));
+        let incremental = Vss::open(VssConfig::new(&sink_root).with_readahead(readahead)).unwrap();
+        let mut sink = incremental.write_sink(&WriteRequest::new("v", Codec::H264), 30.0).unwrap();
+        for frame in video.frames() {
+            sink.push_frame(frame.clone()).unwrap();
+        }
+        let sink_report = sink.finish().unwrap();
+        assert_eq!(sink_report.gops_written, batch_report.gops_written);
+        assert_eq!(sink_report.bytes_written, batch_report.bytes_written);
+        assert_eq!(sink_report.deferred_levels, batch_report.deferred_levels);
+        assert_eq!(
+            batch_pages,
+            collect_pages(&sink_root),
+            "sink store diverged from the batch store at readahead {readahead}"
+        );
+
+        // Reads of the sink-written store match reads of the batch-written one.
+        let request =
+            ReadRequest::new("v", 0.0, 2.5, Codec::Raw(PixelFormat::Yuv420)).uncacheable();
+        let a = batch.read(&request).unwrap();
+        let b = incremental.read(&request).unwrap();
+        assert_eq!(a.frames.frames(), b.frames.frames());
+        let _ = std::fs::remove_dir_all(sink_root);
     }
-    let sink_report = sink.finish().unwrap();
-    assert_eq!(sink_report.gops_written, batch_report.gops_written);
-    assert_eq!(sink_report.bytes_written, batch_report.bytes_written);
-    assert_eq!(sink_report.deferred_levels, batch_report.deferred_levels);
-    assert_eq!(collect_pages(&batch_root), collect_pages(&sink_root));
-
-    // Reads of the sink-written store match reads of the batch-written one.
-    let request = ReadRequest::new("v", 0.0, 2.5, Codec::Raw(PixelFormat::Yuv420)).uncacheable();
-    let a = batch.read(&request).unwrap();
-    let b = incremental.read(&request).unwrap();
-    assert_eq!(a.frames.frames(), b.frames.frames());
-
     let _ = std::fs::remove_dir_all(batch_root);
-    let _ = std::fs::remove_dir_all(sink_root);
 }
 
 #[test]
@@ -255,7 +348,11 @@ fn session_write_sink_matches_session_batch_write() {
         server.session().write(&WriteRequest::new("cam", Codec::H264), &video).unwrap();
     }
     {
-        let server = VssServer::open_sharded(VssConfig::new(&sink_root), 2).unwrap();
+        // Readahead 2: the session sink encodes on its overlapped worker
+        // while persisting under the shard lock per GOP — the store must
+        // still be byte-identical to the synchronous batch write.
+        let server =
+            VssServer::open_sharded(VssConfig::new(&sink_root).with_readahead(2), 2).unwrap();
         let session = server.session();
         let mut sink = session.write_sink(&WriteRequest::new("cam", Codec::H264), 30.0).unwrap();
         // Push in uneven slabs to exercise re-chunking at GOP boundaries.
@@ -280,6 +377,71 @@ fn session_write_sink_matches_session_batch_write() {
     assert_eq!(a.frames.frames(), b.frames.frames());
     let _ = std::fs::remove_dir_all(batch_root);
     let _ = std::fs::remove_dir_all(sink_root);
+}
+
+#[test]
+fn early_drop_with_readahead_in_flight_leaks_nothing_and_wedges_no_lock() {
+    // Dropping a ReadStream (and aborting a WriteSink mid-clip) while
+    // readahead workers are in flight must join every worker thread, leave
+    // no partial GOP files and leave every shard lock free — proven by a
+    // same-shard write plus a follow-up full read of the store afterwards.
+    let video = traffic_video(150);
+    let root = scratch("early-drop");
+    let server = VssServer::open_sharded(VssConfig::new(&root).with_readahead(4), 2).unwrap();
+    let session = server.session();
+    session.write(&WriteRequest::new("cam", Codec::H264), &video).unwrap();
+    let baseline_threads = live_threads();
+
+    for consumed in [0usize, 1, 2] {
+        // --- ReadStream dropped with prefetch workers in flight ------------
+        let mut stream = session
+            .read_stream(&ReadRequest::new("cam", 0.0, 5.0, Codec::Hevc).uncacheable())
+            .unwrap();
+        for _ in 0..consumed {
+            stream.next().unwrap().unwrap();
+        }
+        drop(stream);
+
+        // --- WriteSink aborted mid-clip with encodes in flight -------------
+        let aborted = format!("aborted-{consumed}");
+        let mut sink = session.write_sink(&WriteRequest::new(&aborted, Codec::H264), 30.0).unwrap();
+        for frame in video.frames().iter().take(75) {
+            sink.push_frame(frame.clone()).unwrap();
+        }
+        drop(sink);
+
+        // The shard locks are free: a write routed to the same store (and a
+        // full read of the original clip) completes immediately.
+        session.append("cam", &traffic_video(30)).unwrap();
+        let (start, end) = session.metadata("cam").unwrap().time_range.unwrap();
+        let full = session
+            .read(&ReadRequest::new("cam", start, end, Codec::Raw(PixelFormat::Yuv420)).uncacheable())
+            .unwrap();
+        assert_eq!(full.frames.len(), 150 + 30 * (consumed + 1));
+
+        // Whatever prefix the aborted sink persisted is complete: either the
+        // video never materialized, or every stored GOP is fully readable.
+        if let Ok(metadata) = session.metadata(&aborted) {
+            let (start, end) = metadata.time_range.unwrap();
+            let persisted = session
+                .read(
+                    &ReadRequest::new(&aborted, start, end, Codec::Raw(PixelFormat::Yuv420))
+                        .uncacheable(),
+                )
+                .unwrap();
+            assert!(persisted.frames.len().is_multiple_of(30), "aborted sink left a partial GOP");
+            assert!(persisted.frames.len() <= 75);
+        }
+    }
+
+    // Every readahead/encode worker was joined on drop (Linux-only check).
+    if let (Some(before), Some(after)) = (baseline_threads, live_threads()) {
+        assert!(
+            after <= before,
+            "early drops leaked threads: {before} before, {after} after"
+        );
+    }
+    let _ = std::fs::remove_dir_all(root);
 }
 
 #[test]
