@@ -94,11 +94,26 @@ impl From<vss_codec::CodecError> for BaselineError {
     }
 }
 impl From<vss_core::VssError> for BaselineError {
+    // Deliberately exhaustive (no `_`/catch-all arm) so that adding a
+    // `VssError` variant forces a decision here — and in the `vss-net` wire
+    // mapping — instead of silently degrading to a generic wrapper.
     fn from(e: vss_core::VssError) -> Self {
         match e {
             VssError::Unsupported(msg) => BaselineError::Unsupported(msg),
             VssError::VideoNotFound(name) => BaselineError::NotFound(name),
-            other => BaselineError::Vss(other),
+            VssError::Codec(e) => BaselineError::Codec(e),
+            VssError::Catalog(vss_catalog::CatalogError::Io(e)) => BaselineError::Io(e),
+            other @ (VssError::VideoExists(_)
+            | VssError::OutOfRange { .. }
+            | VssError::EmptyWrite
+            | VssError::Unsatisfiable(_)
+            | VssError::JointCompressionAborted(_)
+            | VssError::Overloaded(_)
+            | VssError::Remote { .. }
+            | VssError::Catalog(_)
+            | VssError::Frame(_)
+            | VssError::Solver(_)
+            | VssError::Vision(_)) => BaselineError::Vss(other),
         }
     }
 }

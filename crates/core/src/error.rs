@@ -38,6 +38,22 @@ pub enum VssError {
     Unsupported(String),
     /// Joint compression could not be applied to the requested pair.
     JointCompressionAborted(String),
+    /// The server refused the session or request because it is operating at
+    /// its configured admission limits (or is shutting down). Produced by
+    /// `vss-server`'s admission control and surfaced through the `vss-net`
+    /// wire protocol; retry after backing off.
+    Overloaded(String),
+    /// An error reported by a remote VSS server for which no structural
+    /// local equivalent can be reconstructed (nested subsystem errors whose
+    /// payloads do not cross the wire). Carries the wire-protocol error code
+    /// and the remote error's display text; re-encoding a `Remote` error
+    /// preserves the original code, so proxies are lossless.
+    Remote {
+        /// The `vss-net` wire-protocol error code.
+        code: u16,
+        /// Display text of the remote error.
+        message: String,
+    },
     /// An error from the metadata catalog / file store.
     Catalog(CatalogError),
     /// An error from the codec layer.
@@ -66,6 +82,8 @@ impl fmt::Display for VssError {
             VssError::Unsatisfiable(msg) => write!(f, "read cannot be satisfied: {msg}"),
             VssError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             VssError::JointCompressionAborted(msg) => write!(f, "joint compression aborted: {msg}"),
+            VssError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
+            VssError::Remote { code, message } => write!(f, "remote error (code {code}): {message}"),
             VssError::Catalog(e) => write!(f, "catalog error: {e}"),
             VssError::Codec(e) => write!(f, "codec error: {e}"),
             VssError::Frame(e) => write!(f, "frame error: {e}"),
@@ -76,6 +94,8 @@ impl fmt::Display for VssError {
 }
 
 impl std::error::Error for VssError {
+    // Deliberately exhaustive (no `_` arm): adding a variant must force a
+    // decision about whether it wraps a source error.
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             VssError::Catalog(e) => Some(e),
@@ -83,7 +103,15 @@ impl std::error::Error for VssError {
             VssError::Frame(e) => Some(e),
             VssError::Solver(e) => Some(e),
             VssError::Vision(e) => Some(e),
-            _ => None,
+            VssError::VideoNotFound(_)
+            | VssError::VideoExists(_)
+            | VssError::OutOfRange { .. }
+            | VssError::EmptyWrite
+            | VssError::Unsatisfiable(_)
+            | VssError::Unsupported(_)
+            | VssError::JointCompressionAborted(_)
+            | VssError::Overloaded(_)
+            | VssError::Remote { .. } => None,
         }
     }
 }

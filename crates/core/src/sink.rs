@@ -464,6 +464,13 @@ impl<'a> WriteSink<'a> {
         self.frame_rate
     }
 
+    /// The flush boundary in frames: one backend flush per this many pushed
+    /// frames (plus one final partial flush). A network server announces it
+    /// to remote clients so their sinks chunk on the same boundary.
+    pub fn gop_size(&self) -> usize {
+        self.gop_size
+    }
+
     /// Frames currently buffered (always `< gop_size` after a push returns).
     pub fn buffered_frames(&self) -> usize {
         self.pending.len()

@@ -207,6 +207,26 @@ mod tests {
         assert!(store.metadata("v").is_err());
     }
 
+    /// Object-safety and `Send` audit: every store — including `vss-net`'s
+    /// `RemoteStore` — is consumed as `Box<dyn VideoStorage + Send>`, and the
+    /// streaming handles cross threads (client-side socket readers, workload
+    /// client threads). A compile failure here means a trait or handle change
+    /// broke the multi-process service layer.
+    #[test]
+    fn trait_stays_object_safe_and_streams_stay_send() {
+        fn assert_send<T: Send>() {}
+        // `WriteSink` is deliberately not `Send`: its backend may borrow a
+        // non-thread-safe store (the buffered baseline fallback). Streams are
+        // free-standing snapshots and must stay movable across threads.
+        assert_send::<ReadStream>();
+        fn dynamic(_store: &mut dyn VideoStorage) {}
+        let (mut engine, root) = temp_engine("storage-object-safety");
+        dynamic(&mut engine);
+        let boxed: Box<dyn VideoStorage + Send> = Box::new(engine);
+        assert_eq!(boxed.label(), "vss");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
     #[test]
     fn engine_implements_the_unified_contract() {
         let (mut engine, root) = temp_engine("storage-engine");

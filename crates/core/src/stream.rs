@@ -429,6 +429,18 @@ impl ReadStream {
         &self.base.plan
     }
 
+    /// Frame rate of the drained output (known at open time; a network
+    /// server needs it before the first chunk to announce the stream).
+    pub fn output_frame_rate(&self) -> f64 {
+        self.base.output_frame_rate
+    }
+
+    /// True when the requested codec is compressed, i.e. chunks carry
+    /// [`ReadChunk::encoded_gop`] values.
+    pub fn is_compressed(&self) -> bool {
+        self.base.compressed
+    }
+
     /// High-water mark of frames buffered inside the stream so far.
     pub fn peak_buffered_frames(&self) -> usize {
         self.base.peak_buffered_frames

@@ -1,0 +1,470 @@
+//! The network client: [`RemoteStore`] speaks the full
+//! [`VideoStorage`] contract against a [`NetServer`](crate::server::NetServer)
+//! over TCP.
+//!
+//! One `RemoteStore` holds a persistent **control connection** for unary
+//! operations (create / delete / metadata) and dials a **dedicated
+//! connection per streaming operation** (reads, sinks, batch writes,
+//! appends). The dedicated connection makes cancellation trivial — dropping
+//! a half-consumed [`ReadStream`] or an unfinished [`WriteSink`] closes the
+//! socket, which the server observes and aborts its side (joining readahead
+//! workers, discarding unpersisted GOPs) — and lets several streams of one
+//! client proceed concurrently.
+//!
+//! Streamed read chunks are decoded on a dedicated socket-reader thread and
+//! handed to the consumer through a **bounded channel**: when the consumer
+//! lags, the channel fills, the reader stops draining the socket, TCP flow
+//! control pushes back on the server, and the server's in-flight-byte gauge
+//! rises — end-to-end backpressure with O(GOP) memory at every hop.
+
+use crate::wire::{
+    fragment_boundaries, read_message, write_chunk_message, write_message, Message,
+    PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+use crossbeam::channel::{bounded, Receiver};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use vss_core::{
+    GopWriteBackend, ReadChunk, ReadRequest, ReadResult, ReadStream, StorageBudget, VideoMetadata,
+    VideoStorage, VssError, WriteReport, WriteRequest, WriteSink,
+};
+use vss_frame::{Frame, FrameSequence};
+
+use crate::wire::{check_name, io_error, protocol_error};
+
+/// One handshaken TCP connection.
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session: u64,
+}
+
+impl Connection {
+    fn dial(addr: SocketAddr) -> Result<Self, VssError> {
+        let stream = TcpStream::connect(addr).map_err(io_error)?;
+        stream.set_nodelay(true).map_err(io_error)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io_error)?);
+        let mut connection = Self { reader, writer: BufWriter::new(stream), session: 0 };
+        connection
+            .send(&Message::Hello { magic: PROTOCOL_MAGIC, version: PROTOCOL_VERSION })?;
+        match connection.recv()? {
+            Message::HelloAck { version: PROTOCOL_VERSION, session } => {
+                connection.session = session;
+                Ok(connection)
+            }
+            Message::HelloAck { version, .. } => Err(protocol_error(format!(
+                "server negotiated unsupported protocol version {version}"
+            ))),
+            Message::Error(error) => Err(error.into_error()),
+            other => Err(protocol_error(format!("unexpected handshake reply {}", other.kind_name()))),
+        }
+    }
+
+    fn send(&mut self, message: &Message) -> Result<(), VssError> {
+        write_message(&mut self.writer, message)?;
+        self.writer.flush().map_err(io_error)
+    }
+
+    /// Sends one `WriteChunk` serialized directly from borrowed frames (no
+    /// pixel-buffer clone on the ingest hot path).
+    fn send_frame_slab(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        write_chunk_message(&mut self.writer, frames)?;
+        self.writer.flush().map_err(io_error)
+    }
+
+    fn recv(&mut self) -> Result<Message, VssError> {
+        read_message(&mut self.reader)
+    }
+}
+
+/// A remote VSS store: the full [`VideoStorage`] contract over the `vss-net`
+/// wire protocol, so the workload driver, harness and tests run unmodified
+/// against a store living in another process.
+///
+/// Every connection the store dials is admitted through the server's
+/// [`ServerConfig`](vss_server::ServerConfig) gate; an overloaded server
+/// surfaces as [`VssError::Overloaded`] here. Note that a store holds one
+/// session for its control connection and one more per live streaming
+/// operation — when a streaming call is shed, back off **without holding
+/// the store** (drop it and re-dial): a fleet of clients that keep their
+/// control connections while waiting for streaming slots can occupy every
+/// admission slot and starve itself. Remote reads stream
+/// GOP-at-a-time and never admit to the server's cache of materialized views
+/// ([`read`](VideoStorage::read) is a client-side drain of
+/// [`read_stream`](VideoStorage::read_stream), byte-identical by
+/// construction); remote writes stream through the server's
+/// `Session::write_sink` path, so the resulting store is byte-identical to a
+/// local batch write of the same frames.
+pub struct RemoteStore {
+    addr: SocketAddr,
+    control: Mutex<Option<Connection>>,
+    /// Chunks buffered client-side between the socket reader and the
+    /// consumer (the bounded-channel depth).
+    chunk_buffer: usize,
+}
+
+impl std::fmt::Debug for RemoteStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteStore")
+            .field("addr", &self.addr)
+            .field("chunk_buffer", &self.chunk_buffer)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteStore {
+    /// Dials and handshakes the control connection to a
+    /// [`NetServer`](crate::server::NetServer) (`addr` resolves to its
+    /// listen address). Fails with
+    /// [`VssError::Overloaded`] when the server's admission control sheds
+    /// the session.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, VssError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(io_error)?
+            .next()
+            .ok_or_else(|| protocol_error("address resolved to nothing"))?;
+        let control = Connection::dial(addr)?;
+        Ok(Self { addr, control: Mutex::new(Some(control)), chunk_buffer: 2 })
+    }
+
+    /// Overrides the number of streamed chunks buffered client-side between
+    /// the socket reader and the consumer (default 2). Higher values smooth
+    /// bursty consumers at the cost of up to that many GOPs of memory.
+    pub fn with_chunk_buffer(mut self, chunks: usize) -> Self {
+        self.chunk_buffer = chunks.max(1);
+        self
+    }
+
+    /// The server address this store dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server-side session id of the control connection.
+    pub fn session_id(&self) -> Result<u64, VssError> {
+        let mut slot = self.control.lock().expect("control lock");
+        if slot.is_none() {
+            *slot = Some(Connection::dial(self.addr)?);
+        }
+        Ok(slot.as_ref().expect("dialed above").session)
+    }
+
+    /// Runs one request/response exchange on the control connection,
+    /// redialing a broken connection on the next call.
+    fn unary(&self, message: Message) -> Result<Message, VssError> {
+        let mut slot = self.control.lock().expect("control lock");
+        if slot.is_none() {
+            *slot = Some(Connection::dial(self.addr)?);
+        }
+        let connection = slot.as_mut().expect("dialed above");
+        let outcome = connection.send(&message).and_then(|()| connection.recv());
+        match outcome {
+            // A typed server error leaves the exchange aligned; keep the
+            // connection.
+            Ok(Message::Error(error)) => Err(error.into_error()),
+            Ok(reply) => Ok(reply),
+            // Transport failure: drop the connection so the next unary call
+            // redials.
+            Err(error) => {
+                *slot = None;
+                Err(error)
+            }
+        }
+    }
+
+    fn dial_stream(&self) -> Result<Connection, VssError> {
+        Connection::dial(self.addr)
+    }
+}
+
+/// Iterator over streamed chunks, fed by a socket-reader thread through a
+/// bounded channel. Dropping it mid-stream closes the dedicated connection
+/// (cancelling the server-side drain) and joins the reader thread.
+struct ChunkIter {
+    receiver: Option<Receiver<Result<ReadChunk, VssError>>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Iterator for ChunkIter {
+    type Item = Result<ReadChunk, VssError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // A closed channel is the clean end of the stream: the reader thread
+        // always sends a final Err before exiting abnormally.
+        self.receiver.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for ChunkIter {
+    fn drop(&mut self) {
+        // Close the channel first so a reader blocked on send() wakes and
+        // exits (dropping its connection, which aborts the server-side
+        // drain), then join it — streams never leak threads.
+        self.receiver = None;
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The socket-reader half of a streamed read: reassembles chunk fragments
+/// and hands completed chunks to the bounded channel. Exits when the stream
+/// ends, errors, or the consumer goes away.
+fn stream_reader(
+    mut connection: Connection,
+    sender: &crossbeam::channel::Sender<Result<ReadChunk, VssError>>,
+) {
+    let mut pending: Vec<Frame> = Vec::new();
+    let mut pending_bytes = 0u64;
+    loop {
+        match connection.recv() {
+            Ok(Message::StreamChunk { frame_rate, last, frames, encoded_gop, delta }) => {
+                pending_bytes += frames.iter().map(|f| f.byte_len() as u64).sum::<u64>();
+                pending.extend(frames);
+                // Receiver-side accumulation guard: a peer that keeps
+                // sending `last = false` fragments cannot grow this side
+                // unboundedly (the per-hop O(GOP) discipline).
+                if pending.len() > crate::wire::MAX_CHUNK_FRAMES
+                    || pending_bytes > crate::wire::MAX_CHUNK_BYTES
+                {
+                    let _ = sender.send(Err(protocol_error(format!(
+                        "chunk reassembly exceeded {} frames / {} bytes",
+                        crate::wire::MAX_CHUNK_FRAMES,
+                        crate::wire::MAX_CHUNK_BYTES
+                    ))));
+                    return;
+                }
+                if !last {
+                    continue;
+                }
+                pending_bytes = 0;
+                let frames = std::mem::take(&mut pending);
+                let sequence = if frames.is_empty() {
+                    FrameSequence::empty(frame_rate)
+                } else {
+                    FrameSequence::new(frames, frame_rate)
+                };
+                let item = sequence
+                    .map(|frames| ReadChunk { frames, encoded_gop, stats_delta: delta })
+                    .map_err(VssError::Frame);
+                let failed = item.is_err();
+                if sender.send(item).is_err() || failed {
+                    return; // consumer dropped, or the stream is poisoned
+                }
+            }
+            Ok(Message::StreamEnd) => return,
+            Ok(Message::Error(error)) => {
+                let _ = sender.send(Err(error.into_error()));
+                return;
+            }
+            Ok(other) => {
+                let _ = sender
+                    .send(Err(protocol_error(format!("unexpected message in stream: {}", other.kind_name()))));
+                return;
+            }
+            Err(error) => {
+                let _ = sender.send(Err(error));
+                return;
+            }
+        }
+    }
+}
+
+/// Sink backend that relays GOPs to the server over a dedicated connection.
+/// Dropping it unfinished sends a best-effort abort and closes the socket;
+/// the server then discards unpersisted GOPs (PR 4 abort semantics), so only
+/// fully persisted GOPs survive a client crash mid-ingest.
+struct RemoteSinkBackend {
+    connection: Option<Connection>,
+}
+
+impl RemoteSinkBackend {
+    fn connection(&mut self) -> Result<&mut Connection, VssError> {
+        self.connection
+            .as_mut()
+            .ok_or_else(|| protocol_error("write connection already finished"))
+    }
+
+    /// Sends frames in slabs cut by the shared [`fragment_boundaries`] rule,
+    /// keeping every wire message under the envelope cap. Slabs are
+    /// serialized straight from the borrowed frames
+    /// ([`write_chunk_message`]) — the write hot path never clones a pixel
+    /// buffer.
+    fn send_frames(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        let connection = self.connection()?;
+        let mut start = 0usize;
+        for end in fragment_boundaries(frames) {
+            if end > start {
+                connection.send_frame_slab(&frames[start..end])?;
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    fn finish_exchange(&mut self) -> Result<WriteReport, VssError> {
+        let connection = self.connection()?;
+        connection.send(&Message::WriteFinish)?;
+        let reply = connection.recv()?;
+        self.connection = None; // exchange complete either way
+        match reply {
+            Message::WriteReport(report) => Ok(report.into_report()),
+            Message::Error(error) => Err(error.into_error()),
+            other => Err(protocol_error(format!("unexpected write reply {}", other.kind_name()))),
+        }
+    }
+}
+
+impl GopWriteBackend for RemoteSinkBackend {
+    fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        self.send_frames(frames)
+    }
+
+    fn finish(&mut self) -> Result<WriteReport, VssError> {
+        self.finish_exchange()
+    }
+}
+
+impl Drop for RemoteSinkBackend {
+    fn drop(&mut self) {
+        if let Some(mut connection) = self.connection.take() {
+            // Best-effort explicit abort; closing the socket aborts too.
+            let _ = connection.send(&Message::WriteAbort);
+        }
+    }
+}
+
+impl VideoStorage for RemoteStore {
+    fn label(&self) -> &'static str {
+        "vss-net"
+    }
+
+    fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
+        check_name(name)?;
+        match self.unary(Message::Create { name: name.into(), budget })? {
+            Message::Ok => Ok(()),
+            other => Err(protocol_error(format!("unexpected create reply {}", other.kind_name()))),
+        }
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), VssError> {
+        check_name(name)?;
+        match self.unary(Message::Delete { name: name.into() })? {
+            Message::Ok => Ok(()),
+            other => Err(protocol_error(format!("unexpected delete reply {}", other.kind_name()))),
+        }
+    }
+
+    fn write(
+        &mut self,
+        request: &WriteRequest,
+        frames: &FrameSequence,
+    ) -> Result<WriteReport, VssError> {
+        // A batch write is a drained sink: the server persists GOP-at-a-time
+        // through `Session::write_sink`, producing a byte-identical store to
+        // a local batch write of the same frames.
+        let mut sink = self.write_sink(request, frames.frame_rate())?;
+        sink.push_sequence(frames)?;
+        sink.finish()
+    }
+
+    fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        check_name(name)?;
+        let mut connection = self.dial_stream()?;
+        connection.send(&Message::AppendBegin {
+            name: name.into(),
+            frame_rate: frames.frame_rate(),
+        })?;
+        match connection.recv()? {
+            Message::Ok => {}
+            Message::Error(error) => return Err(error.into_error()),
+            other => return Err(protocol_error(format!("unexpected append reply {}", other.kind_name()))),
+        }
+        let mut backend = RemoteSinkBackend { connection: Some(connection) };
+        backend.send_frames(frames.frames())?;
+        backend.finish_exchange()
+    }
+
+    fn read(&mut self, request: &ReadRequest) -> Result<ReadResult, VssError> {
+        // Byte-identical to the server executing the same request: the
+        // server drains `Session::read_stream`, and draining is how the
+        // engine implements materialized reads. (Remote reads never admit to
+        // the server's cache — like every streaming read.)
+        self.read_stream(request)?.drain()
+    }
+
+    fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        check_name(&request.name)?;
+        let mut connection = self.dial_stream()?;
+        connection.send(&Message::OpenReadStream { request: request.clone() })?;
+        match connection.recv()? {
+            Message::StreamBegin { frame_rate, compressed } => {
+                let (sender, receiver) = bounded(self.chunk_buffer);
+                let reader = std::thread::spawn(move || {
+                    // A panic inside the reader must surface as a stream
+                    // error, not as a clean (silently truncated) end.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        stream_reader(connection, &sender)
+                    }));
+                    if outcome.is_err() {
+                        let _ =
+                            sender.send(Err(protocol_error("stream reader thread panicked")));
+                    }
+                });
+                Ok(ReadStream::from_chunks(
+                    frame_rate,
+                    compressed,
+                    ChunkIter { receiver: Some(receiver), reader: Some(reader) },
+                ))
+            }
+            Message::Error(error) => Err(error.into_error()),
+            other => Err(protocol_error(format!("unexpected stream reply {}", other.kind_name()))),
+        }
+    }
+
+    fn write_sink(
+        &mut self,
+        request: &WriteRequest,
+        frame_rate: f64,
+    ) -> Result<WriteSink<'_>, VssError> {
+        check_name(&request.name)?;
+        let mut connection = self.dial_stream()?;
+        connection.send(&Message::WriteBegin { request: request.clone(), frame_rate })?;
+        match connection.recv()? {
+            Message::WriteReady { gop_size } => Ok(WriteSink::from_backend(
+                Box::new(RemoteSinkBackend { connection: Some(connection) }),
+                frame_rate,
+                // Chunk pushes on the server's own GOP boundary so each
+                // flush relays exactly one server-side GOP.
+                gop_size.clamp(1, u32::MAX as u64) as usize,
+            )),
+            Message::Error(error) => Err(error.into_error()),
+            other => Err(protocol_error(format!("unexpected write-begin reply {}", other.kind_name()))),
+        }
+    }
+
+    fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
+        check_name(name)?;
+        match self.unary(Message::Metadata { name: name.into() })? {
+            Message::MetadataReply(metadata) => Ok(metadata),
+            other => Err(protocol_error(format!("unexpected metadata reply {}", other.kind_name()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workload driver boxes stores as `dyn VideoStorage + Send` and
+    /// moves streams across threads; both must stay `Send`.
+    #[test]
+    fn remote_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RemoteStore>();
+        assert_send::<ChunkIter>();
+    }
+}

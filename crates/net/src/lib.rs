@@ -1,0 +1,154 @@
+//! # vss-net
+//!
+//! The network layer of the VSS reproduction: a streaming wire protocol plus
+//! a TCP server ([`NetServer`]) and client ([`RemoteStore`]) that turn the
+//! in-process `vss-server` service into a real **multi-process** storage
+//! service. The client implements the full
+//! [`vss_core::VideoStorage`] contract, so the workload driver, benchmark
+//! harness and streaming test matrix run unmodified against a store in
+//! another process.
+//!
+//! ```no_run
+//! use vss_core::{ReadRequest, VideoStorage, VssConfig, WriteRequest};
+//! use vss_net::{NetServer, RemoteStore};
+//! use vss_server::VssServer;
+//! # fn frames() -> vss_frame::FrameSequence { unimplemented!() }
+//!
+//! let server = VssServer::open(VssConfig::new("/tmp/store")).unwrap();
+//! let net = NetServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+//! let mut store = RemoteStore::connect(net.local_addr()).unwrap();
+//! store.write(&WriteRequest::new("cam", vss_codec::Codec::H264), &frames()).unwrap();
+//! for chunk in store
+//!     .read_stream(&ReadRequest::new("cam", 0.0, 1.0, vss_codec::Codec::H264))
+//!     .unwrap()
+//! {
+//!     let _gop = chunk.unwrap(); // GOP-at-a-time, O(GOP) memory end to end
+//! }
+//! net.shutdown();
+//! ```
+//!
+//! # Protocol specification
+//!
+//! The protocol is a length-prefixed, versioned binary exchange over one TCP
+//! connection per session. All integers are little-endian.
+//!
+//! ## Frame grammar
+//!
+//! ```text
+//! connection  = hello hello-ack operation*
+//! envelope    = length:u32 payload            ; 1 <= length <= 64 MiB
+//! payload     = kind:u8 fields                ; kinds 0x01.. client→server,
+//!                                             ;       0x81.. server→client
+//!
+//! hello       = 0x01 magic:u32 version:u16    ; magic = "VSSN" (0x5653534E)
+//! hello-ack   = 0x81 version:u16 session:u64  ; or error (e.g. OVERLOADED)
+//!
+//! operation   = unary | read-stream | write | append
+//! unary       = (create | delete | metadata) (ok | error)
+//! create      = 0x02 name:str budget:opt<budget>
+//! delete      = 0x03 name:str
+//! metadata    = 0x04 name:str                 ; reply 0x84 metadata-reply
+//!
+//! read-stream = 0x05 read-request
+//!               ( error
+//!               | stream-begin stream-chunk* (stream-end | error) )
+//! stream-begin= 0x85 frame_rate:f64 compressed:bool
+//! stream-chunk= 0x86 frame_rate:f64 last:bool frames:vec<frame>
+//!                    gop:opt<bytes> delta:3*u64
+//! stream-end  = 0x87
+//!
+//! write       = 0x06 write-request frame_rate:f64
+//!               ( error
+//!               | write-ready ingest )
+//! append      = 0x07 name:str frame_rate:f64 ( error | ok ingest )
+//! write-ready = 0x88 gop_size:u64
+//! ingest      = chunk* (finish (write-report | error) | abort)
+//! chunk       = 0x08 frames:vec<frame>
+//! finish      = 0x09
+//! abort       = 0x0A
+//! write-report= 0x89 physical_id:u64 gops:u64 frames:u64 bytes:u64
+//!                    deferred:bytes elapsed_us:u64
+//!
+//! error       = 0x83 code:u16 message:str range:opt<4*f64>
+//! frame       = width:u32 height:u32 format:str data:bytes
+//! str / bytes = length:u32 raw                ; str <= 1 MiB, UTF-8
+//! opt<T>      = 0x00 | 0x01 T
+//! ```
+//!
+//! Full field-level definitions (and the caps every decoder enforces before
+//! allocating) live in [`wire`].
+//!
+//! One known protocol limit: chunk fragmentation splits **between** frames
+//! (an oversized encoded GOP rides a trailing fragment of its own), never
+//! inside a frame or GOP — so a single raw frame or single encoded GOP
+//! whose wire form exceeds the 64 MiB envelope (≈ uncompressed 8K RGB and
+//! above) cannot cross the wire; the sender refuses the message and the
+//! connection ends. Stores of such frames remain fully usable in-process;
+//! intra-frame fragmentation is a ROADMAP follow-on.
+//!
+//! ## Version negotiation
+//!
+//! The client's `Hello` carries the protocol magic and the highest version
+//! it speaks; a server that does not speak that exact version answers with a
+//! typed protocol error naming its own version and closes. (With a single
+//! deployed version this is strict equality; the `HelloAck` echoes the
+//! negotiated version so future servers can answer an older client at the
+//! client's version.) Anything other than a valid `Hello` on a fresh
+//! connection is a protocol error.
+//!
+//! ## Admission control
+//!
+//! Every connection is admitted through [`vss_server::VssServer::try_session`]
+//! between `Hello` and `HelloAck`: when the server is at its
+//! [`ServerConfig`](vss_server::ServerConfig) limits (max concurrent
+//! sessions, max in-flight bytes) the connection is answered with error code
+//! `OVERLOADED` (13) — optionally after queueing for the configured window —
+//! and closed. Clients should back off and retry. A shutting-down server
+//! refuses new connections the same way while in-flight operations drain.
+//!
+//! ## Streaming and backpressure semantics
+//!
+//! * **Reads** — the server drains [`vss_server::Session::read_stream`]: the
+//!   plan is snapshotted under the shard's *read* lock and the lock is
+//!   released **before the first chunk hits the socket**; decoding (with
+//!   readahead workers when the store's `readahead > 0`) overlaps the
+//!   transfer. One `stream-chunk` message carries (a fragment of) one GOP;
+//!   fragments of oversized GOPs share its frame rate, and the `last`
+//!   fragment carries the chunk's encoded GOP and stats delta. The client
+//!   reassembles chunks on a socket-reader thread and hands them to the
+//!   consumer through a **bounded channel** (depth =
+//!   [`RemoteStore::with_chunk_buffer`], default 2): a slow consumer fills
+//!   the channel, the reader stops draining the socket, TCP flow control
+//!   pushes back, and the server's blocked writes keep those bytes counted
+//!   in its in-flight gauge — which feeds the admission gate. End-to-end
+//!   memory stays O(GOP) per stream.
+//! * **Writes** — `write-ready` announces the server's GOP size; the client
+//!   pushes frames in GOP-aligned chunks and the server persists through
+//!   [`vss_server::Session::write_sink`]: shard write lock per GOP, encode
+//!   overlapped with persistence when readahead is enabled, store bytes
+//!   identical to a local batch write. The socket is the pipeline: the
+//!   client never needs more than one GOP in hand.
+//! * **Cancellation** — every streaming operation runs on a dedicated
+//!   connection; dropping the client-side stream or sink closes it. The
+//!   server observes the closed socket and aborts: a read drain stops (its
+//!   readahead workers are cancelled and joined), an ingest drops its sink
+//!   so **only fully persisted GOPs remain on disk**.
+//!
+//! ## Error mapping
+//!
+//! Every [`vss_core::VssError`] variant has a wire code ([`wire::code`]);
+//! the encode mapping is exhaustive by construction (no catch-all arm), so
+//! adding an error variant is a compile error here, not a silent downgrade.
+//! Structural variants round-trip exactly; nested subsystem errors cross as
+//! their display text and decode into the same top-level variant where a
+//! string-carrying inner error exists (`Catalog`, `Codec`), or into the
+//! typed [`vss_core::VssError::Remote`] otherwise.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::RemoteStore;
+pub use server::NetServer;

@@ -1,0 +1,520 @@
+//! The network front-end: [`NetServer`] serves the wire protocol over TCP
+//! on top of a [`VssServer`].
+//!
+//! One handler thread per connection. Every connection is admitted through
+//! [`VssServer::try_session`], so the [`ServerConfig`](vss_server::ServerConfig)
+//! limits govern remote clients: an over-limit connection is answered with a
+//! typed `Overloaded` error and closed. Reads drain
+//! [`Session::read_stream`] — the shard lock is released when the plan
+//! snapshot is taken, before the first chunk hits the socket — and writes
+//! flow through [`Session::write_sink`], persisting GOP-at-a-time under the
+//! shard's write lock per GOP (with overlapped encode when the store's
+//! readahead is enabled). Chunk payloads in motion are counted into the
+//! server's in-flight-byte gauge, which feeds the admission gate.
+//!
+//! [`NetServer::shutdown`] stops the listener, closes every live connection
+//! (handlers observe the closed socket, abort any in-flight operation and
+//! drop their sessions — an aborted sink leaves only fully persisted GOPs)
+//! and joins every thread. Pair it with [`VssServer::shutdown`] to drain
+//! in-process sessions too.
+
+use crate::wire::{
+    fragment_boundaries, read_message, write_message, Message, WireError, WireWriteReport,
+    FRAGMENT_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use vss_core::{ReadChunk, VssError, WriteSink};
+use vss_frame::Frame;
+use vss_server::{Session, VssServer};
+
+use crate::wire::io_error;
+
+/// One live connection's registry entry: the handler thread plus a clone of
+/// its socket (closed on shutdown to unblock the handler's reads).
+struct ConnectionEntry {
+    socket: Option<TcpStream>,
+    handler: JoinHandle<()>,
+}
+
+struct NetInner {
+    server: VssServer,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    /// Live connections; finished entries are reaped on every accept (and a
+    /// final sweep at shutdown), so a long-running server does not
+    /// accumulate dead sockets or join handles.
+    connections: Mutex<Vec<ConnectionEntry>>,
+}
+
+/// A TCP listener serving the `vss-net` protocol for one [`VssServer`]. See
+/// the [module docs](self).
+pub struct NetServer {
+    inner: Arc<NetInner>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Binds a listener (use port 0 for an ephemeral port — see
+    /// [`local_addr`](Self::local_addr)) and starts accepting connections
+    /// against `server`.
+    pub fn bind(server: VssServer, addr: impl ToSocketAddrs) -> Result<Self, VssError> {
+        let listener = TcpListener::bind(addr).map_err(io_error)?;
+        let addr = listener.local_addr().map_err(io_error)?;
+        let inner = Arc::new(NetInner {
+            server,
+            addr,
+            stop: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&inner, listener))
+        };
+        Ok(Self { inner, accept: Mutex::new(Some(accept)) })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The served [`VssServer`].
+    pub fn server(&self) -> &VssServer {
+        &self.inner.server
+    }
+
+    /// Stops the listener, closes every live connection and joins the accept
+    /// and handler threads. Handlers whose socket closes mid-operation abort
+    /// that operation exactly like a client disconnect: streams cancel and
+    /// join their readahead workers, sinks discard unpersisted GOPs and drop
+    /// their session. Idempotent. Does **not** drain in-process sessions —
+    /// follow with [`VssServer::shutdown`] for a full drain.
+    pub fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            // Another caller is (or was) shutting down; still join below so
+            // every caller returns to a quiesced server.
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(accept) = self.accept.lock().expect("accept lock").take() {
+            let _ = accept.join();
+        }
+        let connections: Vec<ConnectionEntry> =
+            std::mem::take(&mut *self.inner.connections.lock().expect("connections lock"));
+        for entry in &connections {
+            if let Some(socket) = &entry.socket {
+                let _ = socket.shutdown(Shutdown::Both);
+            }
+        }
+        for entry in connections {
+            let _ = entry.handler.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(inner: &Arc<NetInner>, listener: TcpListener) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) if inner.stop.load(Ordering::SeqCst) => return,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) must not
+                // busy-spin: back off briefly so handlers can finish and
+                // free their descriptors.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return; // the shutdown wake-up connection (or a late client)
+        }
+        let socket = stream.try_clone().ok();
+        let handler = {
+            let inner = Arc::clone(inner);
+            std::thread::spawn(move || handle_connection(&inner, stream))
+        };
+        let mut connections = inner.connections.lock().expect("connections lock");
+        // Reap finished connections so fds and join handles don't accumulate
+        // across a long-running server's lifetime.
+        let mut live = Vec::with_capacity(connections.len() + 1);
+        for entry in connections.drain(..) {
+            if entry.handler.is_finished() {
+                let _ = entry.handler.join();
+            } else {
+                live.push(entry);
+            }
+        }
+        live.push(ConnectionEntry { socket, handler });
+        *connections = live;
+    }
+}
+
+/// Serves one connection: handshake, admission, then the request loop. Any
+/// transport error ends the connection; dropping the [`Session`] releases
+/// its admission slot.
+fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Pre-admission read timeout: an idle or byte-trickling connection
+    // cannot hold a handler thread (and its descriptors) forever *before*
+    // it has passed the admission gate; it is dropped and reaped instead.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let send = |writer: &mut BufWriter<TcpStream>, message: &Message| -> Result<(), VssError> {
+        write_message(writer, message)?;
+        writer.flush().map_err(io_error)
+    };
+
+    // --- handshake + admission --------------------------------------------
+    match read_message(&mut reader) {
+        Ok(Message::Hello { magic: PROTOCOL_MAGIC, version: PROTOCOL_VERSION }) => {}
+        Ok(Message::Hello { magic: PROTOCOL_MAGIC, version }) => {
+            let _ = send(
+                &mut writer,
+                &Message::Error(WireError::protocol(format!(
+                    "unsupported protocol version {version} (this server speaks \
+                     {PROTOCOL_VERSION})"
+                ))),
+            );
+            return;
+        }
+        Ok(_) | Err(_) => {
+            let _ = send(
+                &mut writer,
+                &Message::Error(WireError::protocol("expected a Hello handshake")),
+            );
+            return;
+        }
+    }
+    let session = match inner.server.try_session() {
+        Ok(session) => session,
+        Err(error) => {
+            // Typed shed: the client sees VssError::Overloaded (or whatever
+            // the admission gate produced) and can back off.
+            let _ = send(&mut writer, &Message::Error(WireError::from_error(&error)));
+            return;
+        }
+    };
+    if send(
+        &mut writer,
+        &Message::HelloAck { version: PROTOCOL_VERSION, session: session.id() },
+    )
+    .is_err()
+    {
+        return;
+    }
+    // Admitted: the session now counts against the server's limits, so the
+    // anti-idle timeout comes off (long-lived control connections are fine).
+    let _ = reader.get_ref().set_read_timeout(None);
+
+    // --- request loop ------------------------------------------------------
+    loop {
+        let message = match read_message(&mut reader) {
+            Ok(message) => message,
+            Err(_) => return, // disconnect (or garbage): drop the session
+        };
+        let outcome = match message {
+            Message::Create { name, budget } => {
+                reply_unit(&mut writer, session.create(&name, budget))
+            }
+            Message::Delete { name } => reply_unit(&mut writer, session.delete(&name)),
+            Message::Metadata { name } => match session.metadata(&name) {
+                Ok(metadata) => send(&mut writer, &Message::MetadataReply(metadata)),
+                Err(error) => send(&mut writer, &Message::Error(WireError::from_error(&error))),
+            },
+            Message::OpenReadStream { request } => {
+                serve_read_stream(inner, &session, &request, &mut writer)
+            }
+            Message::WriteBegin { request, frame_rate } => {
+                serve_write(inner, &session, &request, frame_rate, &mut reader, &mut writer)
+            }
+            Message::AppendBegin { name, frame_rate } => {
+                serve_append(inner, &session, &name, frame_rate, &mut reader, &mut writer)
+            }
+            other => send(
+                &mut writer,
+                &Message::Error(WireError::protocol(format!(
+                    "unexpected message {} outside any operation",
+                    other.kind_name()
+                ))),
+            ),
+        };
+        if outcome.is_err() {
+            return; // transport failure: connection is gone
+        }
+    }
+}
+
+fn reply_unit(
+    writer: &mut BufWriter<TcpStream>,
+    result: Result<(), VssError>,
+) -> Result<(), VssError> {
+    let message = match result {
+        Ok(()) => Message::Ok,
+        Err(error) => Message::Error(WireError::from_error(&error)),
+    };
+    write_message(writer, &message)?;
+    writer.flush().map_err(io_error)
+}
+
+/// Drains a `Session::read_stream` onto the socket GOP-at-a-time. The shard
+/// lock was released inside `read_stream` (plan-snapshot design), so this
+/// loop runs lock-free; TCP flow control paces it against the client, and
+/// each chunk's bytes are counted in flight while they queue on the socket.
+fn serve_read_stream(
+    inner: &Arc<NetInner>,
+    session: &Session,
+    request: &vss_core::ReadRequest,
+    writer: &mut BufWriter<TcpStream>,
+) -> Result<(), VssError> {
+    let stream = match session.read_stream(request) {
+        Ok(stream) => stream,
+        Err(error) => {
+            write_message(writer, &Message::Error(WireError::from_error(&error)))?;
+            return writer.flush().map_err(io_error);
+        }
+    };
+    write_message(
+        writer,
+        &Message::StreamBegin {
+            frame_rate: stream.output_frame_rate(),
+            compressed: stream.is_compressed(),
+        },
+    )?;
+    writer.flush().map_err(io_error)?;
+    for chunk in stream {
+        match chunk {
+            Ok(chunk) => send_chunk(inner, writer, chunk)?,
+            Err(error) => {
+                // Errors surface in plan order, exactly like a local stream;
+                // the stream is fused after this.
+                write_message(writer, &Message::Error(WireError::from_error(&error)))?;
+                return writer.flush().map_err(io_error);
+            }
+        }
+    }
+    write_message(writer, &Message::StreamEnd)?;
+    writer.flush().map_err(io_error)
+}
+
+/// Writes one chunk, fragmenting GOPs whose pixel payload would overflow the
+/// wire envelope. The fragment bytes are tracked as in flight until the
+/// socket accepts them, so slow clients raise the admission gauge.
+fn send_chunk(
+    inner: &Arc<NetInner>,
+    writer: &mut BufWriter<TcpStream>,
+    mut chunk: ReadChunk,
+) -> Result<(), VssError> {
+    let frame_rate = chunk.frames.frame_rate();
+    let mut frames: Vec<Frame> = chunk.frames.into_frames();
+    // One fragmentation rule for both directions of the protocol.
+    let boundaries = fragment_boundaries(&frames);
+    // An encoded GOP too big to share the final pixel fragment's budget
+    // rides a trailing fragment of its own, so a compressed GOP has the
+    // whole envelope — not just the fragment slack — to itself.
+    let gop_bytes = chunk.encoded_gop.as_ref().map_or(0, |g| g.byte_len());
+    let final_start = if boundaries.len() >= 2 { boundaries[boundaries.len() - 2] } else { 0 };
+    let final_bytes: usize = frames[final_start..].iter().map(Frame::byte_len).sum();
+    let own_gop_fragment = gop_bytes > 0 && final_bytes + gop_bytes > FRAGMENT_BYTES;
+    let last_index = boundaries.len() - 1;
+    let mut consumed = 0usize;
+    for (index, end) in boundaries.into_iter().enumerate() {
+        let fragment: Vec<Frame> = frames.drain(..end - consumed).collect();
+        consumed = end;
+        let last = index == last_index && !own_gop_fragment;
+        let bytes: u64 = fragment.iter().map(|f| f.byte_len() as u64).sum();
+        let message = Message::StreamChunk {
+            frame_rate,
+            last,
+            frames: fragment,
+            // The chunk is owned and exactly one fragment carries the GOP —
+            // move it, don't copy it.
+            encoded_gop: if last { chunk.encoded_gop.take() } else { None },
+            delta: if last { chunk.stats_delta } else { Default::default() },
+        };
+        let _in_flight = inner.server.track_in_flight(bytes);
+        write_message(writer, &message)?;
+        writer.flush().map_err(io_error)?;
+    }
+    if own_gop_fragment {
+        let message = Message::StreamChunk {
+            frame_rate,
+            last: true,
+            frames: Vec::new(),
+            encoded_gop: chunk.encoded_gop.take(),
+            delta: chunk.stats_delta,
+        };
+        let _in_flight = inner.server.track_in_flight(gop_bytes as u64);
+        write_message(writer, &message)?;
+        writer.flush().map_err(io_error)?;
+    }
+    Ok(())
+}
+
+/// Services one incremental write: frames stream in, each server-side GOP
+/// persists under the shard write lock per GOP (overlapped encode when
+/// readahead is on). A disconnect mid-ingest drops the sink — only fully
+/// persisted GOPs remain.
+fn serve_write(
+    inner: &Arc<NetInner>,
+    session: &Session,
+    request: &vss_core::WriteRequest,
+    frame_rate: f64,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> Result<(), VssError> {
+    let sink = match session.write_sink(request, frame_rate) {
+        Ok(sink) => sink,
+        Err(error) => {
+            write_message(writer, &Message::Error(WireError::from_error(&error)))?;
+            return writer.flush().map_err(io_error);
+        }
+    };
+    write_message(writer, &Message::WriteReady { gop_size: sink.gop_size() as u64 })?;
+    writer.flush().map_err(io_error)?;
+    ingest(inner, reader, writer, IngestTarget::Sink(Box::new(sink)))
+}
+
+/// Services one append: frames are buffered (append is a batch operation in
+/// the engine — the buffered bytes count as in flight, feeding the admission
+/// gate) and applied on finish.
+fn serve_append(
+    inner: &Arc<NetInner>,
+    session: &Session,
+    name: &str,
+    frame_rate: f64,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> Result<(), VssError> {
+    // Fail fast: reject an append to a nonexistent video at begin, before
+    // the client ships (and this side buffers) the whole clip.
+    if let Err(error) = session.metadata(name) {
+        write_message(writer, &Message::Error(WireError::from_error(&error)))?;
+        return writer.flush().map_err(io_error);
+    }
+    write_message(writer, &Message::Ok)?;
+    writer.flush().map_err(io_error)?;
+    ingest(
+        inner,
+        reader,
+        writer,
+        IngestTarget::Append { session, name: name.to_string(), frame_rate, frames: Vec::new() },
+    )
+}
+
+enum IngestTarget<'a> {
+    Sink(Box<WriteSink<'static>>),
+    Append { session: &'a Session, name: String, frame_rate: f64, frames: Vec<Frame> },
+}
+
+/// Shared chunk-consumption loop for writes and appends. After a storage
+/// error the typed reply has already been sent; remaining chunks are
+/// discarded so the client's pipelined sends cannot desynchronize the
+/// connection, and its `finish` reads the earlier error.
+fn ingest(
+    inner: &Arc<NetInner>,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    mut target: IngestTarget<'_>,
+) -> Result<(), VssError> {
+    let mut failed = false;
+    // In-flight accounting for buffered appends lives as long as the buffer.
+    let mut buffered_guards = Vec::new();
+    loop {
+        // A disconnect mid-ingest propagates the error: dropping the sink
+        // aborts it (only fully persisted GOPs remain on disk).
+        let message = read_message(reader)?;
+        match message {
+            Message::WriteChunk { frames } => {
+                if failed {
+                    continue; // discard until the client finishes or aborts
+                }
+                let bytes: u64 = frames.iter().map(|f| f.byte_len() as u64).sum();
+                match &mut target {
+                    IngestTarget::Sink(sink) => {
+                        let _in_flight = inner.server.track_in_flight(bytes);
+                        for frame in frames {
+                            if let Err(error) = sink.push_frame(frame) {
+                                write_message(
+                                    writer,
+                                    &Message::Error(WireError::from_error(&error)),
+                                )?;
+                                writer.flush().map_err(io_error)?;
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    IngestTarget::Append { frames: buffer, .. } => {
+                        buffered_guards.push(inner.server.track_in_flight(bytes));
+                        buffer.extend(frames);
+                        // The in-flight-byte limit gates *active* transfers
+                        // too, not just new sessions: an admitted client
+                        // streaming an unbounded append is shed with a typed
+                        // Overloaded before it can exhaust server memory.
+                        let limit = inner.server.server_config().max_in_flight_bytes;
+                        if limit > 0 && inner.server.in_flight_bytes() > limit {
+                            let error = VssError::Overloaded(format!(
+                                "append transfer exceeded the in-flight byte limit \
+                                 ({} of {limit} bytes in flight)",
+                                inner.server.in_flight_bytes()
+                            ));
+                            write_message(writer, &Message::Error(WireError::from_error(&error)))?;
+                            writer.flush().map_err(io_error)?;
+                            buffer.clear();
+                            buffer.shrink_to_fit();
+                            buffered_guards.clear();
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            Message::WriteFinish => {
+                if !failed {
+                    let result = match target {
+                        IngestTarget::Sink(sink) => sink.finish(),
+                        IngestTarget::Append { session, name, frame_rate, frames } => {
+                            let sequence = if frames.is_empty() {
+                                vss_frame::FrameSequence::empty(frame_rate)
+                            } else {
+                                vss_frame::FrameSequence::new(frames, frame_rate)
+                            }
+                            .map_err(VssError::Frame);
+                            sequence.and_then(|frames| session.append(&name, &frames))
+                        }
+                    };
+                    let message = match result {
+                        Ok(report) => Message::WriteReport(WireWriteReport::from_report(&report)),
+                        Err(error) => Message::Error(WireError::from_error(&error)),
+                    };
+                    write_message(writer, &message)?;
+                    writer.flush().map_err(io_error)?;
+                }
+                return Ok(());
+            }
+            Message::WriteAbort => return Ok(()), // drop the target: abort
+            other => {
+                write_message(
+                    writer,
+                    &Message::Error(WireError::protocol(format!(
+                        "unexpected message {} during an ingest",
+                        other.kind_name()
+                    ))),
+                )?;
+                writer.flush().map_err(io_error)?;
+                return Ok(()); // treat as abort; connection stays aligned
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Property-based round-trip and robustness tests (proptest shim) for the
+//! `vss-net` wire format — every message kind the protocol defines.
+//!
+//! Two families of properties, mirroring the codec layer's bitstream suite:
+//!
+//! * **Lossless round trip** — arbitrary messages of every kind
+//!   encode→decode to exactly the input value.
+//! * **Robustness** — truncated (strict prefix), bit-flipped and entirely
+//!   random payloads return errors (or, for benign flips, a decoded
+//!   message), but **never panic and never allocate from an unvalidated
+//!   length** — oversized envelope lengths and implausible frame counts are
+//!   refused up front, the same pre-allocation discipline as
+//!   `decode_residuals`.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use vss_codec::{codec_instance, Codec, EncoderConfig};
+use vss_core::{
+    ChunkStats, PlannerKind, ReadRequest, StorageBudget, VideoMetadata, WriteRequest,
+};
+use vss_frame::{pattern, Frame, PixelFormat, RegionOfInterest, Resolution};
+use vss_net::wire::{
+    decode_message, encode_message, read_message, Message, WireError, WireWriteReport,
+    MAX_MESSAGE_BYTES,
+};
+
+const KIND_COUNT: u8 = 19;
+
+fn arbitrary_string(rng: &mut TestRng) -> String {
+    let len = rng.next_below(12) as usize;
+    (0..len).map(|_| char::from(b'a' + (rng.next_below(26) as u8))).collect()
+}
+
+fn arbitrary_frames(rng: &mut TestRng) -> Vec<Frame> {
+    let formats = [PixelFormat::Rgb8, PixelFormat::Yuv420, PixelFormat::Yuv422];
+    let format = formats[rng.next_below(3) as usize];
+    let count = rng.next_below(4) as usize;
+    (0..count).map(|i| pattern::gradient(16, 12, format, rng.next_u64() ^ i as u64)).collect()
+}
+
+fn arbitrary_budget(rng: &mut TestRng) -> Option<StorageBudget> {
+    match rng.next_below(4) {
+        0 => None,
+        1 => Some(StorageBudget::MultipleOfOriginal(rng.next_f64() * 20.0)),
+        2 => Some(StorageBudget::Bytes(rng.next_u64() >> 20)),
+        _ => Some(StorageBudget::Unlimited),
+    }
+}
+
+fn arbitrary_read_request(rng: &mut TestRng) -> ReadRequest {
+    let codecs = [
+        Codec::H264,
+        Codec::Hevc,
+        Codec::Raw(PixelFormat::Rgb8),
+        Codec::Raw(PixelFormat::Yuv420),
+        Codec::Raw(PixelFormat::Yuv422),
+    ];
+    let mut request = ReadRequest::new(
+        arbitrary_string(rng),
+        rng.next_f64() * 10.0,
+        10.0 + rng.next_f64() * 10.0,
+        codecs[rng.next_below(5) as usize],
+    );
+    if rng.next_below(2) == 0 {
+        request = request.fps(1.0 + rng.next_f64() * 59.0);
+    }
+    if rng.next_below(2) == 0 {
+        request = request.resolution(Resolution::new(
+            2 + 2 * rng.next_below(500) as u32,
+            2 + 2 * rng.next_below(500) as u32,
+        ));
+    }
+    if rng.next_below(2) == 0 {
+        let x0 = rng.next_below(50) as u32;
+        let y0 = rng.next_below(50) as u32;
+        request = request
+            .crop(RegionOfInterest::new(x0, y0, x0 + 1 + rng.next_below(50) as u32, y0 + 1 + rng.next_below(50) as u32).unwrap());
+    }
+    if rng.next_below(2) == 0 {
+        request = request.quality_threshold(vss_frame::PsnrDb(20.0 + rng.next_f64() * 30.0));
+    }
+    if rng.next_below(2) == 0 {
+        request = request.encoder_quality(rng.next_below(101) as u8);
+    }
+    if rng.next_below(2) == 0 {
+        request = request.uncacheable();
+    }
+    if rng.next_below(2) == 0 {
+        request = request.planner(PlannerKind::Greedy);
+    }
+    request
+}
+
+fn arbitrary_error(rng: &mut TestRng) -> WireError {
+    WireError {
+        code: rng.next_below(120) as u16,
+        message: arbitrary_string(rng),
+        range: if rng.next_below(2) == 0 {
+            None
+        } else {
+            Some((rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()))
+        },
+    }
+}
+
+/// Builds one arbitrary message of the given kind — together the 19 kinds
+/// cover every frame type of the protocol.
+fn arbitrary_message(kind: u8, rng: &mut TestRng) -> Message {
+    match kind % KIND_COUNT {
+        0 => Message::Hello { magic: rng.next_u64() as u32, version: rng.next_u64() as u16 },
+        1 => Message::Create { name: arbitrary_string(rng), budget: arbitrary_budget(rng) },
+        2 => Message::Delete { name: arbitrary_string(rng) },
+        3 => Message::Metadata { name: arbitrary_string(rng) },
+        4 => Message::OpenReadStream { request: arbitrary_read_request(rng) },
+        5 => {
+            let mut request = WriteRequest::new(
+                arbitrary_string(rng),
+                if rng.next_below(2) == 0 { Codec::H264 } else { Codec::Raw(PixelFormat::Rgb8) },
+            );
+            if rng.next_below(2) == 0 {
+                request = request.encoder_quality(rng.next_below(101) as u8);
+            }
+            request = request.starting_at(rng.next_f64() * 100.0);
+            Message::WriteBegin { request, frame_rate: 1.0 + rng.next_f64() * 59.0 }
+        }
+        6 => Message::AppendBegin {
+            name: arbitrary_string(rng),
+            frame_rate: 1.0 + rng.next_f64() * 59.0,
+        },
+        7 => Message::WriteChunk { frames: arbitrary_frames(rng) },
+        8 => Message::WriteFinish,
+        9 => Message::WriteAbort,
+        10 => Message::HelloAck { version: rng.next_u64() as u16, session: rng.next_u64() },
+        11 => Message::Ok,
+        12 => Message::Error(arbitrary_error(rng)),
+        13 => Message::MetadataReply(VideoMetadata {
+            bytes_used: rng.next_u64() >> 10,
+            budget_bytes: if rng.next_below(2) == 0 { None } else { Some(rng.next_u64() >> 10) },
+            time_range: if rng.next_below(2) == 0 {
+                None
+            } else {
+                Some((rng.next_f64() * 10.0, 10.0 + rng.next_f64() * 10.0))
+            },
+        }),
+        14 => Message::StreamBegin {
+            frame_rate: 1.0 + rng.next_f64() * 59.0,
+            compressed: rng.next_below(2) == 0,
+        },
+        15 => {
+            let frames = arbitrary_frames(rng);
+            let encoded_gop = if rng.next_below(2) == 0 || frames.is_empty() {
+                None
+            } else {
+                Some(
+                    codec_instance(Codec::H264)
+                        .encode_slice(&frames, 30.0, &EncoderConfig::default())
+                        .unwrap(),
+                )
+            };
+            Message::StreamChunk {
+                frame_rate: 1.0 + rng.next_f64() * 59.0,
+                last: rng.next_below(2) == 0,
+                frames,
+                encoded_gop,
+                delta: ChunkStats {
+                    gops_read: rng.next_below(100) as usize,
+                    frames_decoded: rng.next_below(10_000) as usize,
+                    bytes_read: rng.next_u64() >> 20,
+                },
+            }
+        }
+        16 => Message::StreamEnd,
+        17 => Message::WriteReady { gop_size: 1 + rng.next_below(300) },
+        _ => Message::WriteReport(WireWriteReport {
+            physical_id: rng.next_u64(),
+            gops_written: rng.next_below(1000),
+            frames_written: rng.next_below(100_000),
+            bytes_written: rng.next_u64() >> 16,
+            deferred_levels: (0..rng.next_below(16)).map(|_| rng.next_below(10) as u8).collect(),
+            elapsed_micros: rng.next_u64() >> 16,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_message_kind_round_trips(kind in 0u8..KIND_COUNT, seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let message = arbitrary_message(kind, &mut rng);
+        let payload = encode_message(&message);
+        prop_assert!(payload.len() <= MAX_MESSAGE_BYTES);
+        let decoded = decode_message(&payload)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn strict_prefixes_of_every_kind_always_error(kind in 0u8..KIND_COUNT, seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let payload = encode_message(&arbitrary_message(kind, &mut rng));
+        // Sampled cut points (every prefix for short messages).
+        for cut in 0..payload.len() {
+            if payload.len() > 64 && cut % 7 != 0 && cut + 8 < payload.len() {
+                continue;
+            }
+            prop_assert!(
+                decode_message(&payload[..cut]).is_err(),
+                "strict prefix of {} / {} bytes decoded",
+                cut,
+                payload.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_or_overallocate(
+        kind in 0u8..KIND_COUNT,
+        seed in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let mut rng = TestRng::new(seed);
+        let mut payload = encode_message(&arbitrary_message(kind, &mut rng));
+        prop_assume!(!payload.is_empty());
+        let position = (flip as usize) % payload.len();
+        payload[position] ^= 1 << (flip % 8);
+        // Either a decode error or some (different) valid message — both
+        // fine; what matters is that nothing panics and nothing allocates
+        // from a corrupt length (caps inside the decoders).
+        let _ = decode_message(&payload);
+    }
+
+    #[test]
+    fn random_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_message(&bytes);
+    }
+
+    #[test]
+    fn oversized_envelope_lengths_are_refused(claimed in (MAX_MESSAGE_BYTES as u64 + 1)..u32::MAX as u64) {
+        // An envelope whose header claims gigabytes must be refused before
+        // any payload allocation (read_message validates the length first).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(claimed as u32).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        prop_assert!(read_message(&mut bytes.as_slice()).is_err());
+    }
+}

@@ -42,12 +42,22 @@
 //! compression / compaction only when the shard is otherwise idle — shards
 //! are swept independently instead of stop-the-world.
 //!
-//! # Sessions
+//! # Sessions, admission control and shutdown
 //!
 //! [`VssServer::session`] hands out lightweight [`Session`] handles (one per
 //! client thread, or per logical request stream). Sessions borrow nothing:
 //! they are owned values over an `Arc`'d server and implement every
 //! read/write/create operation with `&self`.
+//!
+//! Untrusted entry points (the `vss-net` TCP front-end) admit sessions
+//! through [`VssServer::try_session`] instead, which enforces the
+//! [`ServerConfig`] limits — maximum concurrent sessions and maximum bytes
+//! in flight through streaming transfers — queueing up to
+//! [`ServerConfig::admission_queue`] before shedding the session with
+//! [`VssError::Overloaded`]. [`VssServer::shutdown`] drains the server
+//! gracefully: new sessions are refused while existing sessions *and
+//! in-flight incremental writes* run to completion, so a shutdown never cuts
+//! a [`Session::write_sink`] off mid-GOP.
 //!
 //! ```no_run
 //! use vss_core::{ReadRequest, VssConfig, WriteRequest};
@@ -72,16 +82,51 @@ pub use shard::{ShardedEngine, DEFAULT_SHARD_COUNT};
 pub use stats::{ServerStats, ShardStatsSnapshot};
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vss_core::{
     Engine, GopWriteBackend, IncrementalWrite, JointOutcome, MergeFunction, PlannerKind,
     ReadRequest, ReadResult, ReadStream, StorageBudget, VideoMetadata, VideoStorage, VssConfig,
     VssError, WriteRequest, WriteReport, WriteSink,
 };
 use vss_frame::FrameSequence;
+
+/// Admission-control knobs of a [`VssServer`] (all default to "unlimited"):
+/// how many sessions may be active at once, how many bytes may be in flight
+/// through streaming transfers, and how long a new session may queue for a
+/// slot before it is shed with [`VssError::Overloaded`].
+///
+/// Only [`VssServer::try_session`] enforces these limits;
+/// [`VssServer::session`] is the trusted in-process escape hatch that always
+/// admits (but is still counted, so shutdown drains it too). The `vss-net`
+/// network front-end admits every TCP connection through `try_session`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum concurrently active sessions (plus in-flight incremental
+    /// writes, which count as activity even after their session is dropped).
+    /// `0` = unlimited.
+    pub max_concurrent_sessions: usize,
+    /// Maximum bytes in flight through streaming transfers (tracked by
+    /// [`VssServer::track_in_flight`]) before new sessions are refused.
+    /// `0` = unlimited.
+    pub max_in_flight_bytes: u64,
+    /// How long [`VssServer::try_session`] queues for a free slot before
+    /// shedding with [`VssError::Overloaded`]. [`Duration::ZERO`] sheds
+    /// immediately.
+    pub admission_queue: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent_sessions: 0,
+            max_in_flight_bytes: 0,
+            admission_queue: Duration::ZERO,
+        }
+    }
+}
 
 /// A shared, thread-safe VSS server handle. Cheap to clone; all clones (and
 /// all [`Session`]s) share the same sharded engine.
@@ -93,6 +138,54 @@ pub struct VssServer {
 struct ServerInner {
     engine: ShardedEngine,
     next_session: AtomicU64,
+    server_config: ServerConfig,
+    /// Count of active sessions + in-flight incremental writes, guarded by a
+    /// mutex so admission waiters can block on `admission_signal`.
+    admission: Mutex<usize>,
+    admission_signal: Condvar,
+    in_flight_bytes: AtomicU64,
+    rejected_sessions: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// RAII counter of one unit of server activity (a session or an in-flight
+/// incremental write); dropping it releases the slot and wakes admission
+/// waiters and [`VssServer::shutdown`].
+struct ActivityPermit {
+    inner: Arc<ServerInner>,
+}
+
+impl ActivityPermit {
+    fn acquire(inner: &Arc<ServerInner>) -> Self {
+        *inner.admission.lock().expect("admission lock") += 1;
+        Self { inner: Arc::clone(inner) }
+    }
+}
+
+impl Drop for ActivityPermit {
+    fn drop(&mut self) {
+        let mut active = self.inner.admission.lock().expect("admission lock");
+        *active = active.saturating_sub(1);
+        self.inner.admission_signal.notify_all();
+    }
+}
+
+/// RAII record of bytes currently in flight through a streaming transfer
+/// (one GOP chunk on its way to or from a socket, one slab of append frames
+/// buffered server-side). Obtained from [`VssServer::track_in_flight`];
+/// dropping it subtracts the bytes and wakes admission waiters.
+pub struct InFlightBytes {
+    inner: Arc<ServerInner>,
+    bytes: u64,
+}
+
+impl Drop for InFlightBytes {
+    fn drop(&mut self) {
+        self.inner.in_flight_bytes.fetch_sub(self.bytes, Ordering::SeqCst);
+        // Waiters may be blocked on the byte gate; nudge them.
+        let _guard = self.inner.admission.lock().expect("admission lock");
+        self.inner.admission_signal.notify_all();
+    }
 }
 
 impl VssServer {
@@ -105,10 +198,26 @@ impl VssServer {
     /// (`0` = [`DEFAULT_SHARD_COUNT`]). Reopening an existing store keeps
     /// the shard count it was created with.
     pub fn open_sharded(config: VssConfig, shards: usize) -> Result<Self, VssError> {
+        Self::open_configured(config, shards, ServerConfig::default())
+    }
+
+    /// [`open_sharded`](Self::open_sharded) with explicit admission-control
+    /// limits.
+    pub fn open_configured(
+        config: VssConfig,
+        shards: usize,
+        server_config: ServerConfig,
+    ) -> Result<Self, VssError> {
         Ok(Self {
             inner: Arc::new(ServerInner {
                 engine: ShardedEngine::open(config, shards)?,
                 next_session: AtomicU64::new(0),
+                server_config,
+                admission: Mutex::new(0),
+                admission_signal: Condvar::new(),
+                in_flight_bytes: AtomicU64::new(0),
+                rejected_sessions: AtomicU64::new(0),
+                shutting_down: AtomicBool::new(false),
             }),
         })
     }
@@ -118,12 +227,143 @@ impl VssServer {
         Self::open(VssConfig::new(root))
     }
 
-    /// Creates a new client session.
+    /// Creates a new client session, bypassing admission limits (the trusted
+    /// in-process escape hatch — experiments, maintenance tooling, tests).
+    /// The session is still counted as activity, so
+    /// [`shutdown`](Self::shutdown) waits for it. Untrusted multi-process
+    /// entry points (the `vss-net` front-end) must use
+    /// [`try_session`](Self::try_session) instead.
     pub fn session(&self) -> Session {
         Session {
-            server: self.clone(),
             id: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+            _permit: ActivityPermit::acquire(&self.inner),
+            server: self.clone(),
         }
+    }
+
+    /// Creates a new client session subject to the configured
+    /// [`ServerConfig`] admission limits.
+    ///
+    /// When the server is at its session or in-flight-byte limit, the call
+    /// queues for up to [`ServerConfig::admission_queue`] (immediately with
+    /// the zero default) and then sheds the session with
+    /// [`VssError::Overloaded`]. A shutting-down server refuses new sessions
+    /// outright.
+    pub fn try_session(&self) -> Result<Session, VssError> {
+        let config = &self.inner.server_config;
+        let deadline = Instant::now() + config.admission_queue;
+        let mut active = self.inner.admission.lock().expect("admission lock");
+        loop {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                self.inner.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+                return Err(VssError::Overloaded("server is shutting down".into()));
+            }
+            let sessions_ok = config.max_concurrent_sessions == 0
+                || *active < config.max_concurrent_sessions;
+            let in_flight = self.inner.in_flight_bytes.load(Ordering::SeqCst);
+            let bytes_ok =
+                config.max_in_flight_bytes == 0 || in_flight < config.max_in_flight_bytes;
+            if sessions_ok && bytes_ok {
+                *active += 1;
+                drop(active);
+                return Ok(Session {
+                    id: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
+                    // The slot was already claimed under the lock above.
+                    _permit: ActivityPermit { inner: Arc::clone(&self.inner) },
+                    server: self.clone(),
+                });
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.inner.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+                return Err(VssError::Overloaded(format!(
+                    "admission limits reached: {active} active session(s) (limit {}), \
+                     {in_flight} in-flight byte(s) (limit {})",
+                    config.max_concurrent_sessions, config.max_in_flight_bytes
+                )));
+            }
+            let (guard, _timeout) = self
+                .inner
+                .admission_signal
+                .wait_timeout(active, remaining)
+                .expect("admission lock");
+            active = guard;
+        }
+    }
+
+    /// The admission-control configuration this server was opened with.
+    pub fn server_config(&self) -> ServerConfig {
+        self.inner.server_config
+    }
+
+    /// Sessions (plus in-flight incremental writes) currently active.
+    pub fn active_sessions(&self) -> usize {
+        *self.inner.admission.lock().expect("admission lock")
+    }
+
+    /// Bytes currently in flight through streaming transfers.
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.inner.in_flight_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Sessions shed by admission control since the server was opened.
+    pub fn rejected_sessions(&self) -> u64 {
+        self.inner.rejected_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Records `bytes` as in flight through a streaming transfer until the
+    /// returned guard is dropped. The total feeds the
+    /// [`ServerConfig::max_in_flight_bytes`] admission gate.
+    pub fn track_in_flight(&self, bytes: u64) -> InFlightBytes {
+        self.inner.in_flight_bytes.fetch_add(bytes, Ordering::SeqCst);
+        InFlightBytes { inner: Arc::clone(&self.inner), bytes }
+    }
+
+    /// True once [`begin_shutdown`](Self::begin_shutdown) or
+    /// [`shutdown`](Self::shutdown) has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful shutdown without waiting: new
+    /// [`try_session`](Self::try_session) calls are refused with
+    /// [`VssError::Overloaded`] from this point on, while existing sessions
+    /// (and in-flight incremental writes) keep running.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        let _guard = self.inner.admission.lock().expect("admission lock");
+        self.inner.admission_signal.notify_all();
+    }
+
+    /// Gracefully shuts the server down: refuses new sessions (like
+    /// [`begin_shutdown`](Self::begin_shutdown)) and then waits up to
+    /// `timeout` for every active session **and every in-flight incremental
+    /// write** to finish — a [`Session::write_sink`] counts as activity even
+    /// after its session is dropped, so a drain that returns `true`
+    /// guarantees no write was cut off mid-GOP (the sink layer additionally
+    /// guarantees that an *aborted* sink leaves only fully persisted GOPs).
+    ///
+    /// Returns `true` once the server is drained, `false` on timeout (the
+    /// shutdown flag stays set either way). The caller must have dropped its
+    /// own sessions first, and should drop any [`MaintenanceScheduler`]
+    /// separately — its guard joins the per-shard workers.
+    pub fn shutdown(&self, timeout: Duration) -> bool {
+        self.begin_shutdown();
+        let deadline = Instant::now() + timeout;
+        let mut active = self.inner.admission.lock().expect("admission lock");
+        while *active > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .inner
+                .admission_signal
+                .wait_timeout(active, remaining)
+                .expect("admission lock");
+            active = guard;
+        }
+        true
     }
 
     /// The underlying sharded engine (for experiments and tests).
@@ -174,10 +414,13 @@ impl VssServer {
 }
 
 /// A per-client handle to a [`VssServer`]. All operations take `&self`; the
-/// session routes each call to the shard owning the target video.
+/// session routes each call to the shard owning the target video. Dropping
+/// the session releases its admission slot (see [`VssServer::try_session`]).
 pub struct Session {
     server: VssServer,
     id: u64,
+    /// Holds the session's admission slot; released on drop.
+    _permit: ActivityPermit,
 }
 
 impl Session {
@@ -264,6 +507,10 @@ impl Session {
         struct SessionSinkBackend {
             server: VssServer,
             write: IncrementalWrite,
+            /// An in-flight sink is server activity in its own right: it must
+            /// keep [`VssServer::shutdown`] waiting even if the session that
+            /// opened it is dropped first, so no write is cut off mid-GOP.
+            _permit: ActivityPermit,
         }
         impl GopWriteBackend for SessionSinkBackend {
             fn flush_gop(&mut self, frames: &[vss_frame::Frame]) -> Result<(), VssError> {
@@ -281,7 +528,11 @@ impl Session {
             }
         }
         Ok(WriteSink::overlapped(
-            Box::new(SessionSinkBackend { server: self.server.clone(), write }),
+            Box::new(SessionSinkBackend {
+                write,
+                _permit: ActivityPermit::acquire(&self.server.inner),
+                server: self.server.clone(),
+            }),
             frame_rate,
             gop_size,
             encoder,

@@ -27,7 +27,8 @@ pub mod queries;
 pub mod scene;
 
 pub use app::{
-    run_client, run_client_with, run_clients, server_store, shared_store, AppConfig, PhaseTimings,
+    net_store, run_client, run_client_with, run_clients, server_store, shared_store, AppConfig,
+    PhaseTimings,
     SharedStore, StoreFactory,
 };
 pub use datasets::{DatasetSpec, GeneratedDataset};

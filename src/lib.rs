@@ -19,6 +19,11 @@
 //! * [`catalog`] — on-disk layout, metadata catalog and temporal index.
 //! * [`core`] — the VSS storage manager itself (create/write/read/delete,
 //!   caching, deferred compression, joint compression).
+//! * [`server`] — the sharded multi-client service layer (per-client
+//!   sessions, admission control, graceful shutdown).
+//! * [`net`] — the streaming wire protocol with its TCP server and
+//!   [`RemoteStore`](vss_net::RemoteStore) client, making VSS a
+//!   multi-process service.
 //! * [`baseline`] — the Local-FS and VStore-like baseline storage engines.
 //! * [`workload`] — synthetic datasets, query generators and the end-to-end
 //!   application driver used by the benchmark harness.
@@ -28,6 +33,8 @@ pub use vss_catalog as catalog;
 pub use vss_codec as codec;
 pub use vss_core as core;
 pub use vss_frame as frame;
+pub use vss_net as net;
+pub use vss_server as server;
 pub use vss_solver as solver;
 pub use vss_vision as vision;
 pub use vss_workload as workload;

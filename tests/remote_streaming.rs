@@ -1,0 +1,363 @@
+//! The acceptance gate for the `vss-net` multi-process service:
+//!
+//! * `RemoteStore` passes the streaming byte-identity equivalence matrix
+//!   (the `tests/streaming.rs` request matrix, readahead {0, 1, 4} ×
+//!   parallelism {1, 4}) against a loopback `NetServer` — every remote
+//!   stream reproduces the in-process materialized read byte-for-byte, and
+//!   every readahead depth produces identical bytes;
+//! * a multi-client stress test (8+ concurrent TCP clients, mixed ops,
+//!   admission limit exercised) verifies byte-identical stores vs. the
+//!   sequential engine, with **zero leaked threads** and **no partial GOPs**
+//!   after shutdown.
+//!
+//! `VSS_STREAM_READAHEAD=<n>` appends a depth to the readahead axis, like
+//! the local streaming suite.
+
+use vss::net::{NetServer, RemoteStore};
+use vss::prelude::*;
+use vss::server::{ServerConfig, VssServer};
+use vss::workload::{SceneConfig, SceneRenderer};
+use vss_core::VssError;
+
+fn readahead_depths() -> Vec<usize> {
+    let mut depths = vec![0usize, 1, 4];
+    if let Ok(value) = std::env::var("VSS_STREAM_READAHEAD") {
+        if let Ok(depth) = value.trim().parse::<usize>() {
+            if !depths.contains(&depth) {
+                depths.push(depth);
+            }
+        }
+    }
+    depths
+}
+
+/// Count of live threads in this process (Linux); `None` where unsupported.
+fn live_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|line| line.starts_with("Threads:"))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|value| value.parse().ok())
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vss-remote-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn traffic_video(frames: usize) -> FrameSequence {
+    let renderer = SceneRenderer::new(SceneConfig {
+        resolution: Resolution::new(96, 54),
+        format: PixelFormat::Yuv420,
+        ..Default::default()
+    });
+    renderer.render_sequence(0, frames)
+}
+
+/// The request matrix of `tests/streaming.rs`, verbatim.
+fn request_matrix(video: &str) -> Vec<ReadRequest> {
+    vec![
+        ReadRequest::new(video, 0.0, 3.0, Codec::Raw(PixelFormat::Yuv420)),
+        ReadRequest::new(video, 0.0, 3.0, Codec::Raw(PixelFormat::Rgb8)).uncacheable(),
+        ReadRequest::new(video, 0.0, 3.0, Codec::Hevc),
+        ReadRequest::new(video, 0.0, 3.0, Codec::Hevc).uncacheable(),
+        ReadRequest::new(video, 0.5, 2.5, Codec::H264).uncacheable(),
+        ReadRequest::new(video, 0.0, 2.0, Codec::H264).resolution(Resolution::new(48, 28)),
+        ReadRequest::new(video, 0.0, 2.0, Codec::Raw(PixelFormat::Yuv420)).fps(15.0).uncacheable(),
+    ]
+}
+
+fn drain_chunks(stream: ReadStream) -> (FrameSequence, Vec<Vec<u8>>) {
+    let mut frames: Option<FrameSequence> = None;
+    let mut gops = Vec::new();
+    for chunk in stream {
+        let chunk = chunk.unwrap();
+        match &mut frames {
+            None => frames = Some(chunk.frames),
+            Some(sequence) => sequence.extend(chunk.frames).unwrap(),
+        }
+        if let Some(gop) = chunk.encoded_gop {
+            gops.push(gop.to_bytes());
+        }
+    }
+    (frames.unwrap_or_else(|| FrameSequence::empty(30.0).unwrap()), gops)
+}
+
+#[test]
+fn remote_store_passes_the_streaming_equivalence_matrix_over_loopback() {
+    let video = traffic_video(90);
+    let baseline_threads = live_threads();
+    for parallelism in [1usize, 4] {
+        // Reference bytes per request index, captured at the first readahead
+        // depth of this parallelism: every depth must reproduce them.
+        let mut reference: Vec<(FrameSequence, Vec<Vec<u8>>)> = Vec::new();
+        for readahead in readahead_depths() {
+            let root = scratch(&format!("matrix-{parallelism}-{readahead}"));
+            let server = VssServer::open_sharded(
+                VssConfig::new(&root).with_parallelism(parallelism).with_readahead(readahead),
+                4,
+            )
+            .unwrap();
+            let net = NetServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+            let mut remote = RemoteStore::connect(net.local_addr()).unwrap();
+
+            // Ingest over the wire, then warm the cache in-process so later
+            // plans mix original and cached fragments, like the local suite.
+            remote.write(&WriteRequest::new("cam", Codec::H264), &video).unwrap();
+            server.session().read(&ReadRequest::new("cam", 0.0, 2.0, Codec::Hevc)).unwrap();
+
+            for (index, request) in request_matrix("cam").into_iter().enumerate() {
+                // Remote stream first: it admits nothing server-side, so the
+                // in-process materialized read that follows sees the same
+                // store state the snapshot saw.
+                let (frames, gops) = drain_chunks(remote.read_stream(&request).unwrap());
+                let materialized = server.session().read(&request).unwrap();
+                assert_eq!(
+                    frames.frames(),
+                    materialized.frames.frames(),
+                    "remote frames diverged from the in-process read \
+                     (parallelism {parallelism}, readahead {readahead}, request {request:?})"
+                );
+                let local_gops: Vec<Vec<u8>> =
+                    materialized.encoded.iter().flatten().map(|g| g.to_bytes()).collect();
+                assert_eq!(
+                    gops, local_gops,
+                    "remote GOPs diverged (parallelism {parallelism}, readahead {readahead})"
+                );
+                match reference.get(index) {
+                    None => reference.push((frames, gops)),
+                    Some((reference_frames, reference_gops)) => {
+                        assert_eq!(
+                            frames.frames(),
+                            reference_frames.frames(),
+                            "readahead {readahead} changed remote bytes \
+                             (parallelism {parallelism}, request {request:?})"
+                        );
+                        assert_eq!(&gops, reference_gops);
+                    }
+                }
+            }
+            // The remote materialized read is the same drain (spot check —
+            // RemoteStore::read is implemented as exactly this drain).
+            let request = ReadRequest::new("cam", 0.5, 2.5, Codec::H264).uncacheable();
+            let (streamed, _) = drain_chunks(remote.read_stream(&request).unwrap());
+            let materialized = remote.read(&request).unwrap();
+            assert_eq!(materialized.frames.frames(), streamed.frames());
+            net.shutdown();
+            drop(remote);
+            assert!(
+                server.shutdown(std::time::Duration::from_secs(30)),
+                "server drains after the network front-end stops"
+            );
+            let _ = std::fs::remove_dir_all(root);
+        }
+    }
+    if let (Some(before), Some(after)) = (baseline_threads, live_threads()) {
+        assert!(after <= before, "matrix run leaked threads: {before} -> {after}");
+    }
+}
+
+const STRESS_CLIENTS: usize = 8;
+const SESSION_LIMIT: usize = 4;
+const GOP_SIZE: usize = 30;
+
+/// Retries an operation while the server sheds it with `Overloaded` — the
+/// client-side half of admission control.
+fn with_backoff<T>(mut op: impl FnMut() -> Result<T, VssError>) -> T {
+    for _ in 0..3000 {
+        match op() {
+            Ok(value) => return value,
+            Err(VssError::Overloaded(_)) => {
+                std::thread::sleep(std::time::Duration::from_millis(5))
+            }
+            Err(other) => panic!("unexpected error under stress: {other:?}"),
+        }
+    }
+    panic!("operation stayed Overloaded for 15 seconds");
+}
+
+#[test]
+fn eight_tcp_clients_with_admission_limit_leave_a_byte_identical_store() {
+    let server_root = scratch("stress-server");
+    let reference_root = scratch("stress-reference");
+    let server = VssServer::open_configured(
+        VssConfig::new(&server_root).with_readahead(2),
+        4,
+        ServerConfig { max_concurrent_sessions: SESSION_LIMIT, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let net = NetServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+    let addr = net.local_addr();
+    // Sequential ground truth: monolithic engine, one worker, no readahead.
+    let reference = Vss::open(VssConfig::new(&reference_root).with_parallelism(1)).unwrap();
+    let baseline_threads = live_threads();
+
+    // Mixed ops per client: wire write of its own video, streamed reads
+    // (drained and early-dropped), an append, and an aborted sink mid-clip —
+    // all while the session limit (4) gates 8 clients plus their dedicated
+    // streaming connections. Each attempt dials a fresh store inside its
+    // backoff loop, so a shed client holds **zero** sessions while it
+    // sleeps — the documented client discipline that keeps a saturated
+    // admission gate live (a client that kept its control connection while
+    // waiting for a streaming slot could livelock the fleet).
+    let clips: Vec<FrameSequence> = (0..STRESS_CLIENTS)
+        .map(|client| {
+            let renderer = SceneRenderer::new(SceneConfig {
+                resolution: Resolution::new(48, 36),
+                format: PixelFormat::Yuv420,
+                seed: client as u64,
+                ..Default::default()
+            });
+            renderer.render_sequence(0, 60)
+        })
+        .collect();
+    let tail: FrameSequence = SceneRenderer::new(SceneConfig {
+        resolution: Resolution::new(48, 36),
+        format: PixelFormat::Yuv420,
+        seed: 99,
+        ..Default::default()
+    })
+    .render_sequence(60, 30);
+    let mut handles = Vec::new();
+    for (client, clip) in clips.iter().enumerate() {
+        let clip = clip.clone();
+        let tail = tail.clone();
+        handles.push(std::thread::spawn(move || {
+            let name = format!("verify-{client}");
+            with_backoff(|| {
+                RemoteStore::connect(addr)?.write(&WriteRequest::new(&name, Codec::H264), &clip)
+            });
+
+            // Drained stream + early-dropped stream. The store handle drops
+            // at the end of the closure; the stream keeps only its own
+            // dedicated connection.
+            let stream = with_backoff(|| {
+                RemoteStore::connect(addr)?
+                    .read_stream(&ReadRequest::new(&name, 0.0, 2.0, Codec::Hevc).uncacheable())
+            });
+            let (frames, _) = drain_chunks(stream);
+            assert_eq!(frames.len(), 60);
+            let mut dropped = with_backoff(|| {
+                RemoteStore::connect(addr)?
+                    .read_stream(&ReadRequest::new(&name, 0.0, 2.0, Codec::Hevc).uncacheable())
+            });
+            dropped.next().unwrap().unwrap();
+            drop(dropped);
+
+            // Append the shared tail (part of the verified content).
+            with_backoff(|| RemoteStore::connect(addr)?.append(&name, &tail));
+
+            // Abort a sink mid-clip on a churn video: after shutdown only
+            // fully persisted GOPs may exist. (Explicit loop — the sink
+            // borrows its store, so both live and die together per attempt.)
+            let churn = format!("churn-{client}");
+            loop {
+                let mut store = match RemoteStore::connect(addr) {
+                    Ok(store) => store,
+                    Err(VssError::Overloaded(_)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        continue;
+                    }
+                    Err(other) => panic!("unexpected dial error: {other:?}"),
+                };
+                let aborted = {
+                    match store.write_sink(&WriteRequest::new(&churn, Codec::H264), 30.0) {
+                        Ok(mut sink) => {
+                            for frame in clip.frames().iter().take(GOP_SIZE + 10) {
+                                sink.push_frame(frame.clone()).unwrap();
+                            }
+                            drop(sink); // abort
+                            true
+                        }
+                        Err(VssError::Overloaded(_)) => false,
+                        Err(other) => panic!("unexpected sink error: {other:?}"),
+                    }
+                };
+                drop(store); // hold nothing while backing off
+                if aborted {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("stress client panicked");
+    }
+    assert!(
+        server.rejected_sessions() > 0,
+        "8 clients × dedicated stream connections against a limit of {SESSION_LIMIT} \
+         must exercise admission control"
+    );
+
+    // Build the reference store sequentially and compare byte-for-byte.
+    for (client, clip) in clips.iter().enumerate() {
+        let name = format!("verify-{client}");
+        reference.write(&WriteRequest::new(&name, Codec::H264), clip).unwrap();
+        reference.append(&name, &tail).unwrap();
+    }
+    let mut verifier = with_backoff(|| RemoteStore::connect(addr));
+    for client in 0..STRESS_CLIENTS {
+        let name = format!("verify-{client}");
+        for request in [
+            ReadRequest::new(&name, 0.0, 3.0, Codec::Raw(PixelFormat::Yuv420)).uncacheable(),
+            ReadRequest::new(&name, 0.0, 3.0, Codec::Hevc).uncacheable(),
+        ] {
+            let remote = with_backoff(|| verifier.read(&request));
+            let local = reference.read(&request).unwrap();
+            assert_eq!(
+                remote.frames.frames(),
+                local.frames.frames(),
+                "remote store diverged from the sequential engine on {name}"
+            );
+            let remote_gops: Vec<Vec<u8>> =
+                remote.encoded.iter().flatten().map(|g| g.to_bytes()).collect();
+            let local_gops: Vec<Vec<u8>> =
+                local.encoded.iter().flatten().map(|g| g.to_bytes()).collect();
+            assert_eq!(remote_gops, local_gops, "encoded GOPs diverged on {name}");
+        }
+    }
+    drop(verifier);
+
+    // Shutdown: network first, then drain the engine.
+    net.shutdown();
+    assert!(
+        server.shutdown(std::time::Duration::from_secs(30)),
+        "server drains all sessions after shutdown"
+    );
+
+    // No partial GOPs: every aborted churn video holds whole GOPs only.
+    let session = server.session(); // trusted escape hatch for the audit
+    for client in 0..STRESS_CLIENTS {
+        let churn = format!("churn-{client}");
+        if let Ok(metadata) = session.metadata(&churn) {
+            let (start, end) = metadata.time_range.unwrap();
+            let persisted = session
+                .read(
+                    &ReadRequest::new(&churn, start, end, Codec::Raw(PixelFormat::Yuv420))
+                        .uncacheable(),
+                )
+                .unwrap();
+            assert_eq!(
+                persisted.frames.len() % GOP_SIZE,
+                0,
+                "aborted sink left a partial GOP on {churn}"
+            );
+        }
+    }
+    drop(session);
+
+    // Zero leaked threads (Linux-only check): handlers, readers and
+    // readahead workers were all joined.
+    if let (Some(before), Some(after)) = (baseline_threads, live_threads()) {
+        assert!(after <= before, "stress run leaked threads: {before} -> {after}");
+    }
+    let _ = std::fs::remove_dir_all(server_root);
+    let _ = std::fs::remove_dir_all(reference_root);
+}
