@@ -93,6 +93,47 @@ fn storage_benches(c: &mut Criterion) {
     group.finish();
     let _ = std::fs::remove_dir_all(root);
     let _ = std::fs::remove_dir_all(fs_root);
+
+    // Catalog mutation durability: one fsynced WAL append per mutation
+    // (PR 6) versus the pre-WAL discipline of rewriting the whole
+    // `catalog.json` on every mutation. The gap is what turns O(catalog)
+    // metadata persistence into O(record).
+    let mut group = c.benchmark_group("catalog_mutation");
+    group.sample_size(10);
+    let populated_catalog = |tag: &str| {
+        let root = scratch(tag);
+        let mut catalog = vss_catalog::Catalog::open(&root).unwrap();
+        catalog.set_checkpoint_threshold(u64::MAX);
+        for v in 0..64 {
+            let name = format!("cam-{v}");
+            catalog.create_video(&name).unwrap();
+            for _ in 0..4 {
+                catalog.add_physical(&name, 1920, 1080, 30.0, "h264", false, 0.0).unwrap();
+            }
+        }
+        (root, catalog)
+    };
+    let (wal_root, mut wal_catalog) = populated_catalog("catalog-wal");
+    let mut budget = 0u64;
+    group.bench_function("wal_append", |b| {
+        b.iter(|| {
+            budget += 1;
+            wal_catalog.set_storage_budget("cam-0", Some(budget)).unwrap();
+        });
+    });
+    let (rewrite_root, mut rewrite_catalog) = populated_catalog("catalog-rewrite");
+    group.bench_function("full_rewrite", |b| {
+        b.iter(|| {
+            budget += 1;
+            rewrite_catalog.set_storage_budget("cam-0", Some(budget)).unwrap();
+            // Fold the journal into catalog.json immediately: the cost of
+            // making every mutation durable by whole-file rewrite.
+            rewrite_catalog.checkpoint().unwrap();
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(wal_root);
+    let _ = std::fs::remove_dir_all(rewrite_root);
 }
 
 criterion_group!(benches, storage_benches);

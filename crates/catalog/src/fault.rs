@@ -1,0 +1,305 @@
+//! Fault injection for the durable I/O paths.
+//!
+//! Every write the catalog must make durable (GOP files, write-ahead journal
+//! appends, checkpoint files, and — via [`crate::durable`] — the server
+//! manifest) funnels through [`on_write`]/[`on_sync`] checks. An installed
+//! [`FaultPlan`] can make the Nth such write fail outright, *tear* it (only a
+//! prefix of the bytes reaches the file before the error surfaces), fail the
+//! Nth `fsync`, or fail writes at a low deterministic pseudo-random rate —
+//! the machinery the crash-recovery suite uses to prove that any injected
+//! failure surfaces as a typed [`CatalogError::Io`](crate::CatalogError) and
+//! that reopening the store always recovers a consistent catalog.
+//!
+//! Plans are scoped by a path prefix so concurrently running tests cannot
+//! perturb each other's stores; a plan with no prefix applies to every
+//! durable write in the process. The environment variable `VSS_FAULT_INJECT`
+//! installs a process-wide plan at first use, e.g.:
+//!
+//! ```text
+//! VSS_FAULT_INJECT="rate=0.02,seed=7"        # ~2% of durable writes fail
+//! VSS_FAULT_INJECT="fail-nth=5"              # the 5th durable write fails
+//! VSS_FAULT_INJECT="tear-nth=3,tear-at=17"   # 3rd write torn after 17 bytes
+//! VSS_FAULT_INJECT="sync-fail-nth=2"         # the 2nd fsync fails
+//! ```
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What an injected fault does to one durable write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// No fault: perform the full write.
+    Proceed,
+    /// Tear the write: only the first `n` bytes reach the file, then the
+    /// write fails with an injected I/O error.
+    Tear(usize),
+    /// Fail the write before any byte reaches the file.
+    Fail,
+}
+
+/// A fault-injection plan. All trigger fields are optional and combine; the
+/// counters behind `*_nth` count only writes/syncs matching [`prefix`].
+///
+/// [`prefix`]: FaultPlan::prefix
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Only paths under this prefix are subject to the plan (`None` = all).
+    pub prefix: Option<std::path::PathBuf>,
+    /// Fail the Nth matching durable write (1-based).
+    pub fail_nth: Option<u64>,
+    /// Tear the Nth matching durable write (1-based)...
+    pub tear_nth: Option<u64>,
+    /// ...leaving only this many bytes in the file.
+    pub tear_at: usize,
+    /// Fail the Nth matching `fsync` (1-based).
+    pub sync_fail_nth: Option<u64>,
+    /// Fail each matching write with this probability (deterministic
+    /// pseudo-random stream derived from [`seed`](FaultPlan::seed)).
+    pub rate: f64,
+    /// Seed for the `rate` stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parses the `VSS_FAULT_INJECT` grammar: comma-separated `key=value`
+    /// pairs (`fail-nth`, `tear-nth`, `tear-at`, `sync-fail-nth`, `rate`,
+    /// `seed`, `prefix`). Unknown keys or malformed values are an error so
+    /// CI misconfiguration cannot silently disable injection.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan { seed: 0x5eed, ..Default::default() };
+        for pair in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("expected key=value, got '{pair}'"))?;
+            let parse_u64 =
+                |v: &str| v.parse::<u64>().map_err(|e| format!("bad value for {key}: {e}"));
+            match key {
+                "fail-nth" => plan.fail_nth = Some(parse_u64(value)?),
+                "tear-nth" => plan.tear_nth = Some(parse_u64(value)?),
+                "tear-at" => plan.tear_at = parse_u64(value)? as usize,
+                "sync-fail-nth" => plan.sync_fail_nth = Some(parse_u64(value)?),
+                "seed" => plan.seed = parse_u64(value)?,
+                "rate" => {
+                    plan.rate = value
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad value for rate: {e}"))?
+                        .clamp(0.0, 1.0)
+                }
+                "prefix" => plan.prefix = Some(value.into()),
+                other => return Err(format!("unknown fault-injection key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// One installed plan plus its private counters.
+struct Installed {
+    id: u64,
+    plan: FaultPlan,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+    rng: AtomicU64,
+}
+
+impl Installed {
+    fn matches(&self, path: &Path) -> bool {
+        self.plan.prefix.as_deref().is_none_or(|prefix| path.starts_with(prefix))
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Installed>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Installed>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut initial = Vec::new();
+        if let Ok(spec) = std::env::var("VSS_FAULT_INJECT") {
+            if !spec.trim().is_empty() {
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => initial.push(Arc::new(Installed {
+                        id: 0,
+                        rng: AtomicU64::new(plan.seed | 1),
+                        plan,
+                        writes: AtomicU64::new(0),
+                        syncs: AtomicU64::new(0),
+                    })),
+                    Err(message) => {
+                        // Surfacing a panic here would violate the "never
+                        // panics" contract; a loud message is the best a
+                        // process-wide misconfiguration can get.
+                        eprintln!("VSS_FAULT_INJECT ignored: {message}");
+                    }
+                }
+            }
+        }
+        Mutex::new(initial)
+    })
+}
+
+/// Uninstalls its plan when dropped (so a test's faults cannot outlive it).
+#[derive(Debug)]
+pub struct FaultGuard {
+    id: u64,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut entries = registry().lock().expect("fault registry lock");
+        entries.retain(|entry| entry.id != self.id);
+    }
+}
+
+/// Installs a fault plan; faults apply until the returned guard drops. Pair
+/// with [`FaultPlan::prefix`] scoped to the test's own store directory so
+/// concurrently running tests are unaffected.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new(Installed {
+        id,
+        rng: AtomicU64::new(plan.seed | 1),
+        plan,
+        writes: AtomicU64::new(0),
+        syncs: AtomicU64::new(0),
+    });
+    registry().lock().expect("fault registry lock").push(entry);
+    FaultGuard { id }
+}
+
+fn injected_error(what: &str, path: &Path) -> io::Error {
+    io::Error::other(format!("injected fault: {what} ({})", path.display()))
+}
+
+/// xorshift64* step, returning a uniform value in `[0, 1)`.
+fn next_uniform(rng: &AtomicU64) -> f64 {
+    let mut x = rng.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng.store(x, Ordering::Relaxed);
+    // The `*` output multiply scrambles the high bits; without it, small
+    // seeds yield near-zero first draws and rate mode fires immediately.
+    (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Consults the installed plans about a durable write of `len` bytes to
+/// `path`. Called by [`crate::durable`] immediately before the bytes are
+/// written.
+pub fn on_write(path: &Path, len: usize) -> Result<WriteOutcome, io::Error> {
+    let entries: Vec<Arc<Installed>> =
+        registry().lock().expect("fault registry lock").iter().cloned().collect();
+    for entry in entries {
+        if !entry.matches(path) {
+            continue;
+        }
+        let count = entry.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if entry.plan.fail_nth == Some(count) {
+            return Err(injected_error("write failed", path));
+        }
+        if entry.plan.tear_nth == Some(count) {
+            return Ok(WriteOutcome::Tear(entry.plan.tear_at.min(len)));
+        }
+        if entry.plan.rate > 0.0 && next_uniform(&entry.rng) < entry.plan.rate {
+            return Err(injected_error("write failed (rate)", path));
+        }
+    }
+    Ok(WriteOutcome::Proceed)
+}
+
+/// Consults the installed plans about an `fsync` of `path` (file or
+/// directory). Called immediately before the real sync.
+pub fn on_sync(path: &Path) -> Result<(), io::Error> {
+    let entries: Vec<Arc<Installed>> =
+        registry().lock().expect("fault registry lock").iter().cloned().collect();
+    for entry in entries {
+        if !entry.matches(path) {
+            continue;
+        }
+        let count = entry.syncs.fetch_add(1, Ordering::Relaxed) + 1;
+        if entry.plan.sync_fail_nth == Some(count) {
+            return Err(injected_error("sync failed", path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse("fail-nth=5, tear-nth=3,tear-at=17,rate=0.25,seed=9").unwrap();
+        assert_eq!(plan.fail_nth, Some(5));
+        assert_eq!(plan.tear_nth, Some(3));
+        assert_eq!(plan.tear_at, 17);
+        assert_eq!(plan.rate, 0.25);
+        assert_eq!(plan.seed, 9);
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("rate=abc").is_err());
+        assert!(FaultPlan::parse("fail-nth").is_err());
+    }
+
+    #[test]
+    fn nth_write_faults_fire_once_and_only_under_the_prefix() {
+        let prefix = PathBuf::from("/fault-test-scope/nth");
+        let guard = install(FaultPlan {
+            prefix: Some(prefix.clone()),
+            fail_nth: Some(2),
+            ..Default::default()
+        });
+        let inside = prefix.join("file");
+        let outside = PathBuf::from("/fault-test-scope/other/file");
+        assert_eq!(on_write(&outside, 10).unwrap(), WriteOutcome::Proceed);
+        assert_eq!(on_write(&inside, 10).unwrap(), WriteOutcome::Proceed);
+        assert!(on_write(&inside, 10).is_err(), "second matching write fails");
+        assert_eq!(on_write(&inside, 10).unwrap(), WriteOutcome::Proceed);
+        drop(guard);
+        assert_eq!(on_write(&inside, 10).unwrap(), WriteOutcome::Proceed);
+    }
+
+    #[test]
+    fn tear_is_capped_to_the_write_length() {
+        let prefix = PathBuf::from("/fault-test-scope/tear");
+        let _guard = install(FaultPlan {
+            prefix: Some(prefix.clone()),
+            tear_nth: Some(1),
+            tear_at: 1000,
+            ..Default::default()
+        });
+        assert_eq!(on_write(&prefix.join("f"), 8).unwrap(), WriteOutcome::Tear(8));
+    }
+
+    #[test]
+    fn sync_faults_are_counted_separately() {
+        let prefix = PathBuf::from("/fault-test-scope/sync");
+        let _guard = install(FaultPlan {
+            prefix: Some(prefix.clone()),
+            sync_fail_nth: Some(1),
+            ..Default::default()
+        });
+        let path = prefix.join("f");
+        assert_eq!(on_write(&path, 4).unwrap(), WriteOutcome::Proceed);
+        assert!(on_sync(&path).is_err());
+        assert!(on_sync(&path).is_ok());
+    }
+
+    #[test]
+    fn rate_mode_is_deterministic_for_a_seed() {
+        let prefix = PathBuf::from("/fault-test-scope/rate");
+        let run = |seed: u64| {
+            let _guard = install(FaultPlan {
+                prefix: Some(prefix.clone()),
+                rate: 0.5,
+                seed,
+                ..Default::default()
+            });
+            (0..64).map(|_| on_write(&prefix.join("f"), 1).is_err()).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same fault stream");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "rate 0.5 mixes outcomes");
+    }
+}

@@ -9,34 +9,76 @@
 //! holding the associated visual information (paper Figure 2). This crate
 //! provides the same mechanism:
 //!
-//! * [`Catalog`] — the metadata store. All logical/physical video and GOP
-//!   records live in a single JSON document that is rewritten atomically
-//!   (write-temp-then-rename) on every mutation, standing in for SQLite.
+//! * [`Catalog`] — the metadata store: a write-ahead journal
+//!   (`catalog.wal`) of mutation records folded periodically into a JSON
+//!   checkpoint (`catalog.json`), standing in for SQLite's transactional
+//!   guarantees.
 //! * [`records`] — the record types ([`LogicalVideoRecord`],
 //!   [`PhysicalVideoRecord`], [`GopRecord`]) with temporal-index queries.
 //! * GOP file I/O — writing, reading and deleting the per-GOP files laid out
 //!   under `<root>/<video>/<WxH>r<fps>.<codec>.<id>/<gop#>.gop`.
+//! * [`durable`] — crash-safe write primitives (temp → fsync → rename →
+//!   parent-dir fsync), and [`fault`] — the injection seam the
+//!   crash-recovery suite uses to tear and fail them.
 //!
 //! Policy (what to cache, what to evict, how to answer reads) lives above
 //! this crate in `vss-core`; the catalog only records and retrieves state.
+//!
+//! # Durability contract
+//!
+//! After any crash — including `kill -9` or a power cut at an arbitrary
+//! instruction — reopening the catalog with [`Catalog::open`] yields a
+//! consistent store in which:
+//!
+//! * **Every acknowledged mutation survives.** Before a mutator returns
+//!   `Ok`, its journal record has been appended to `catalog.wal` and
+//!   `fsync`ed, and any file bytes it promised (a GOP's data) have been
+//!   written temp-then-rename with both the file and its parent directory
+//!   synced. Replay-on-open reapplies journaled records on top of the last
+//!   checkpoint.
+//! * **Unacknowledged work disappears cleanly.** A torn journal tail is
+//!   truncated at the last valid record; GOP files with no catalog entry
+//!   (the crash hit between the file rename and the journal append) are
+//!   deleted; catalog entries whose file is missing or unreadable are
+//!   dropped; leftover `*.tmp` files are removed. The
+//!   [`RecoveryReport`] returned by [`Catalog::recovery_report`] itemizes
+//!   everything replayed and repaired.
+//! * **What is *not* covered:** recency clocks ([`GopRecord::last_access`])
+//!   are advisory and journaled only at GOP append and checkpoint time —
+//!   touches between checkpoints may be forgotten, which can change
+//!   eviction *order* but never correctness. Direct field mutation through
+//!   [`Catalog::video_mut`] bypasses the journal entirely and is only
+//!   crash-safe after an explicit [`Catalog::checkpoint`].
+//!
+//! The journal turns the previous O(catalog) rewrite-per-mutation into an
+//! O(record) append; [`Catalog::persist`] now folds the journal into the
+//! checkpoint only once it grows past a threshold
+//! ([`Catalog::set_checkpoint_threshold`]).
 
 #![warn(missing_docs)]
 
+pub mod durable;
+pub mod fault;
 pub mod records;
+pub mod wal;
 
 pub use records::{AtomicClock, GopRecord, LogicalVideoRecord, PhysicalVideoId, PhysicalVideoRecord};
+pub use wal::{RecoveryReport, WalRecord};
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use wal::Wal;
 
 /// Errors produced by catalog operations.
 #[derive(Debug)]
 pub enum CatalogError {
     /// An I/O error while reading or writing catalog state or GOP files.
+    /// Injected faults surface here too, so callers can treat a simulated
+    /// disk failure exactly like a real one.
     Io(std::io::Error),
-    /// The persisted catalog JSON could not be parsed.
+    /// The persisted catalog state (checkpoint or journal) could not be
+    /// parsed, or a journal record could not be applied.
     Corrupt(String),
     /// A logical video with this name already exists.
     VideoExists(String),
@@ -83,6 +125,29 @@ impl From<std::io::Error> for CatalogError {
     }
 }
 
+/// Last-folded journal sequence number stored inside the checkpoint.
+///
+/// Wrapped in a newtype so checkpoints written before the journal existed
+/// (no such field, which the JSON shim surfaces as `null`) load as 0 instead
+/// of failing to parse.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct CheckpointSeq(u64);
+
+impl serde::Serialize for CheckpointSeq {
+    fn to_value(&self) -> serde::json::Value {
+        self.0.to_value()
+    }
+}
+
+impl serde::Deserialize for CheckpointSeq {
+    fn from_value(value: &serde::json::Value) -> Result<Self, String> {
+        match value {
+            serde::json::Value::Null => Ok(Self(0)),
+            other => u64::from_value(other).map(Self),
+        }
+    }
+}
+
 #[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
 struct CatalogState {
     /// Monotonically increasing id generator for physical videos.
@@ -92,6 +157,140 @@ struct CatalogState {
     access_clock: AtomicClock,
     /// Logical videos by name.
     videos: BTreeMap<String, LogicalVideoRecord>,
+    /// Sequence number of the last journal record folded into this
+    /// checkpoint; replay skips records at or below it.
+    journal_seq: CheckpointSeq,
+}
+
+impl CatalogState {
+    /// Applies one journal record to the in-memory state. Pure metadata —
+    /// no file I/O — so the live mutation path and replay-on-open share it
+    /// and cannot drift apart.
+    fn apply(&mut self, record: &WalRecord) -> Result<(), String> {
+        match record {
+            WalRecord::CreateVideo { name } => {
+                if self.videos.contains_key(name) {
+                    return Err(format!("create of existing video '{name}'"));
+                }
+                self.videos.insert(name.clone(), LogicalVideoRecord::new(name.clone()));
+            }
+            WalRecord::DeleteVideo { name } => {
+                if self.videos.remove(name).is_none() {
+                    return Err(format!("delete of unknown video '{name}'"));
+                }
+            }
+            WalRecord::AddPhysical {
+                video,
+                id,
+                width,
+                height,
+                frame_rate,
+                codec,
+                is_original,
+                mse_bound,
+            } => {
+                let record = self
+                    .videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("add-physical to unknown video '{video}'"))?;
+                if record.physical_by_id(*id).is_some() {
+                    return Err(format!("add-physical with duplicate id {id}"));
+                }
+                record.physical.push(PhysicalVideoRecord {
+                    id: *id,
+                    width: *width,
+                    height: *height,
+                    frame_rate: *frame_rate,
+                    codec: codec.clone(),
+                    is_original: *is_original,
+                    mse_bound: *mse_bound,
+                    gops: Vec::new(),
+                });
+                self.next_physical_id = self.next_physical_id.max(id + 1);
+            }
+            WalRecord::RemovePhysical { video, id } => {
+                let record = self
+                    .videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("remove-physical from unknown video '{video}'"))?;
+                let Some(pos) = record.physical.iter().position(|p| p.id == *id) else {
+                    return Err(format!("remove of unknown physical video {id}"));
+                };
+                record.physical.remove(pos);
+            }
+            WalRecord::AppendGop {
+                video,
+                physical,
+                index,
+                start_time,
+                end_time,
+                frame_count,
+                byte_len,
+                lossless_level,
+                clock,
+            } => {
+                let target = self
+                    .videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("append-gop to unknown video '{video}'"))?
+                    .physical_by_id_mut(*physical)
+                    .ok_or_else(|| format!("append-gop to unknown physical video {physical}"))?;
+                if target.gops.last().is_some_and(|g| g.index >= *index) {
+                    return Err(format!("append-gop with non-monotonic index {index}"));
+                }
+                target.gops.push(GopRecord {
+                    index: *index,
+                    start_time: *start_time,
+                    end_time: *end_time,
+                    frame_count: *frame_count,
+                    byte_len: *byte_len,
+                    lossless_level: *lossless_level,
+                    last_access: AtomicClock::new(*clock),
+                    duplicate_of: None,
+                });
+                self.access_clock.advance_to(*clock);
+            }
+            WalRecord::RewriteGop { video, physical, index, byte_len, lossless_level } => {
+                let gop = self
+                    .videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("rewrite-gop in unknown video '{video}'"))?
+                    .physical_by_id_mut(*physical)
+                    .ok_or_else(|| format!("rewrite-gop in unknown physical video {physical}"))?
+                    .gop_by_index_mut(*index)
+                    .ok_or_else(|| format!("rewrite of unknown GOP {index}"))?;
+                gop.byte_len = *byte_len;
+                gop.lossless_level = *lossless_level;
+            }
+            WalRecord::RemoveGop { video, physical, index } => {
+                let target = self
+                    .videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("remove-gop in unknown video '{video}'"))?
+                    .physical_by_id_mut(*physical)
+                    .ok_or_else(|| format!("remove-gop in unknown physical video {physical}"))?;
+                let Some(pos) = target.gop_position(*index) else {
+                    return Err(format!("remove of unknown GOP {index}"));
+                };
+                target.gops.remove(pos);
+            }
+            WalRecord::SetBudget { video, bytes } => {
+                self.videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("set-budget on unknown video '{video}'"))?
+                    .storage_budget_bytes = *bytes;
+            }
+            WalRecord::SetMseBound { video, physical, bound } => {
+                self.videos
+                    .get_mut(video)
+                    .ok_or_else(|| format!("set-mse-bound on unknown video '{video}'"))?
+                    .physical_by_id_mut(*physical)
+                    .ok_or_else(|| format!("set-mse-bound on unknown physical video {physical}"))?
+                    .mse_bound = *bound;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The VSS metadata catalog and GOP file store rooted at a directory.
@@ -99,24 +298,79 @@ struct CatalogState {
 pub struct Catalog {
     root: PathBuf,
     state: CatalogState,
+    wal: Wal,
+    /// Sequence number of the last record appended to the journal.
+    seq: u64,
+    checkpoint_threshold: u64,
+    recovery: RecoveryReport,
 }
 
 const CATALOG_FILE: &str = "catalog.json";
 
+/// Journal size (bytes) past which [`Catalog::persist`] folds it into the
+/// checkpoint. Large enough that steady-state mutation cost is an append,
+/// small enough that replay-on-open stays fast.
+pub const DEFAULT_CHECKPOINT_THRESHOLD: u64 = 256 * 1024;
+
 impl Catalog {
-    /// Opens (or initializes) a catalog rooted at `root`. The directory is
-    /// created if missing; existing state is loaded from `catalog.json`.
+    /// Opens (or initializes) a catalog rooted at `root`, running crash
+    /// recovery: load the `catalog.json` checkpoint, replay `catalog.wal`
+    /// on top (truncating any torn tail), then reconcile the resulting
+    /// state against the GOP files actually on disk. See the crate-level
+    /// *Durability contract*. What recovery found is available from
+    /// [`recovery_report`](Self::recovery_report).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, CatalogError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        let path = root.join(CATALOG_FILE);
-        let state = if path.exists() {
-            let data = fs::read_to_string(&path)?;
+        let mut recovery = RecoveryReport::default();
+
+        let checkpoint = root.join(CATALOG_FILE);
+        let mut state: CatalogState = if checkpoint.exists() {
+            recovery.checkpoint_loaded = true;
+            let data = fs::read_to_string(&checkpoint)?;
             serde_json::from_str(&data).map_err(|e| CatalogError::Corrupt(e.to_string()))?
         } else {
             CatalogState::default()
         };
-        Ok(Self { root, state })
+
+        let mut seq = state.journal_seq.0;
+        let valid_len = match wal::read_wal_bytes(&root)? {
+            Some(bytes) => {
+                let scanned = wal::scan(&bytes)?;
+                recovery.torn_bytes_truncated = bytes.len() as u64 - scanned.valid_len;
+                for (record_seq, record) in &scanned.records {
+                    if *record_seq <= seq {
+                        recovery.wal_records_stale += 1;
+                        continue;
+                    }
+                    state.apply(record).map_err(|e| {
+                        CatalogError::Corrupt(format!("WAL replay (record {record_seq}): {e}"))
+                    })?;
+                    seq = *record_seq;
+                    recovery.wal_records_replayed += 1;
+                }
+                Some(scanned.valid_len)
+            }
+            None => None,
+        };
+        let wal = Wal::open(&root, valid_len)?;
+
+        reconcile(&root, &mut state, &mut recovery)?;
+
+        let mut catalog = Self {
+            root,
+            state,
+            wal,
+            seq,
+            checkpoint_threshold: DEFAULT_CHECKPOINT_THRESHOLD,
+            recovery,
+        };
+        if catalog.recovery.repaired_anything() {
+            // Make the repaired state durable so a crash right after this
+            // open cannot resurrect the orphans we just removed.
+            catalog.checkpoint()?;
+        }
+        Ok(catalog)
     }
 
     /// The catalog's root directory.
@@ -124,19 +378,65 @@ impl Catalog {
         &self.root
     }
 
-    /// Persists the catalog state atomically (write to a temporary file in
-    /// the same directory, then rename over the previous version).
-    pub fn persist(&self) -> Result<(), CatalogError> {
+    /// What crash recovery replayed and repaired when this catalog was
+    /// opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Bytes currently in the write-ahead journal.
+    pub fn journal_bytes(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Sets the journal size past which [`persist`](Self::persist) folds it
+    /// into the checkpoint.
+    pub fn set_checkpoint_threshold(&mut self, bytes: u64) {
+        self.checkpoint_threshold = bytes;
+    }
+
+    /// Folds the journal into the checkpoint if it has grown past the
+    /// threshold.
+    ///
+    /// Every mutation is already durable the moment its mutator returns
+    /// (journal append + fsync), so unlike the pre-journal design this is
+    /// *not* required for durability — it only bounds replay time on the
+    /// next open. Kept as the historical name because every write path
+    /// already calls it at transaction boundaries.
+    pub fn persist(&mut self) -> Result<(), CatalogError> {
+        if self.wal.len() >= self.checkpoint_threshold {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally folds the journal into `catalog.json` (write-temp,
+    /// fsync file and parent directory, rename) and resets the journal.
+    /// Also captures state the journal does not carry: recency clocks and
+    /// any direct [`video_mut`](Self::video_mut) edits.
+    pub fn checkpoint(&mut self) -> Result<(), CatalogError> {
+        self.state.journal_seq = CheckpointSeq(self.seq);
         let serialized = serde_json::to_string_pretty(&self.state)
             .map_err(|e| CatalogError::Corrupt(e.to_string()))?;
-        let tmp = self.root.join(format!("{CATALOG_FILE}.tmp"));
-        {
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(serialized.as_bytes())?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp, self.root.join(CATALOG_FILE))?;
+        durable::write_atomic(&self.root.join(CATALOG_FILE), serialized.as_bytes())?;
+        // A crash here (checkpoint renamed, journal not yet reset) is safe:
+        // replay skips records at or below `journal_seq`.
+        self.wal.reset()?;
         Ok(())
+    }
+
+    /// Appends one record to the journal (fsynced — the durability point of
+    /// every mutation) and applies it to the in-memory state.
+    ///
+    /// Callers validate preconditions *before* journaling, so `apply`
+    /// failing afterwards means the validation and apply logic disagree —
+    /// surfaced as [`CatalogError::Corrupt`] rather than papered over.
+    fn commit(&mut self, record: WalRecord) -> Result<(), CatalogError> {
+        self.wal.append(self.seq + 1, &record)?;
+        self.seq += 1;
+        self.state
+            .apply(&record)
+            .map_err(|e| CatalogError::Corrupt(format!("applying journaled record: {e}")))
     }
 
     /// Advances and returns the logical access clock (used for LRU
@@ -159,16 +459,25 @@ impl Catalog {
         if self.state.videos.contains_key(name) {
             return Err(CatalogError::VideoExists(name.to_string()));
         }
-        self.state.videos.insert(name.to_string(), LogicalVideoRecord::new(name));
+        // Directory first: if the journal append below fails (or we crash
+        // between the two), an unreferenced directory is reconciled away on
+        // the next open; the reverse order could journal a video whose
+        // directory was never created.
         fs::create_dir_all(self.root.join(name))?;
-        Ok(())
+        durable::fsync_dir(&self.root)?;
+        self.commit(WalRecord::CreateVideo { name: name.to_string() })
     }
 
     /// Deletes a logical video and all of its on-disk data.
     pub fn delete_video(&mut self, name: &str) -> Result<(), CatalogError> {
-        if self.state.videos.remove(name).is_none() {
+        if !self.state.videos.contains_key(name) {
             return Err(CatalogError::VideoNotFound(name.to_string()));
         }
+        // Journal first: deletion of the files is idempotent (recovery
+        // removes directories the catalog no longer references), whereas
+        // deleting files before the journal entry could strand a journaled
+        // video without data.
+        self.commit(WalRecord::DeleteVideo { name: name.to_string() })?;
         let dir = self.root.join(name);
         if dir.exists() {
             fs::remove_dir_all(dir)?;
@@ -187,6 +496,12 @@ impl Catalog {
     }
 
     /// Mutably borrows a logical video record.
+    ///
+    /// Edits made through this reference bypass the write-ahead journal:
+    /// they are visible immediately but survive a crash only once
+    /// [`checkpoint`](Self::checkpoint) has run. Prefer the journaled
+    /// setters ([`set_storage_budget`](Self::set_storage_budget),
+    /// [`set_mse_bound`](Self::set_mse_bound)) for durable changes.
     pub fn video_mut(&mut self, name: &str) -> Result<&mut LogicalVideoRecord, CatalogError> {
         self.state.videos.get_mut(name).ok_or_else(|| CatalogError::VideoNotFound(name.to_string()))
     }
@@ -194,6 +509,32 @@ impl Catalog {
     /// True if a logical video with this name exists.
     pub fn contains_video(&self, name: &str) -> bool {
         self.state.videos.contains_key(name)
+    }
+
+    /// Durably sets (or clears) a logical video's storage budget.
+    pub fn set_storage_budget(
+        &mut self,
+        video: &str,
+        bytes: Option<u64>,
+    ) -> Result<(), CatalogError> {
+        if !self.state.videos.contains_key(video) {
+            return Err(CatalogError::VideoNotFound(video.to_string()));
+        }
+        self.commit(WalRecord::SetBudget { video: video.to_string(), bytes })
+    }
+
+    /// Durably updates a physical video's accumulated-MSE bound (used by
+    /// compaction when re-encode chains lengthen).
+    pub fn set_mse_bound(
+        &mut self,
+        video: &str,
+        physical: PhysicalVideoId,
+        bound: f64,
+    ) -> Result<(), CatalogError> {
+        if self.video(video)?.physical_by_id(physical).is_none() {
+            return Err(CatalogError::PhysicalNotFound(physical));
+        }
+        self.commit(WalRecord::SetMseBound { video: video.to_string(), physical, bound })
     }
 
     // --- physical videos ---------------------------------------------------
@@ -215,8 +556,8 @@ impl Catalog {
             return Err(CatalogError::VideoNotFound(video.to_string()));
         }
         let id = self.state.next_physical_id;
-        self.state.next_physical_id += 1;
-        let record = PhysicalVideoRecord {
+        let record = WalRecord::AddPhysical {
+            video: video.to_string(),
             id,
             width,
             height,
@@ -224,23 +565,23 @@ impl Catalog {
             codec: codec.to_string(),
             is_original,
             mse_bound,
-            gops: Vec::new(),
         };
-        let dir = self.root.join(video).join(record.directory_name());
-        fs::create_dir_all(dir)?;
-        self.state.videos.get_mut(video).expect("checked above").physical.push(record);
+        let dir_name = format!("{width}x{height}r{frame_rate}.{codec}.{id}");
+        let video_dir = self.root.join(video);
+        fs::create_dir_all(video_dir.join(dir_name))?;
+        durable::fsync_dir(&video_dir)?;
+        self.commit(record)?;
         Ok(id)
     }
 
     /// Removes a physical video's record and files.
     pub fn remove_physical(&mut self, video: &str, id: PhysicalVideoId) -> Result<(), CatalogError> {
-        let root = self.root.clone();
-        let record = self.video_mut(video)?;
-        let Some(pos) = record.physical.iter().position(|p| p.id == id) else {
+        let record = self.video(video)?;
+        let Some(physical) = record.physical_by_id(id) else {
             return Err(CatalogError::PhysicalNotFound(id));
         };
-        let removed = record.physical.remove(pos);
-        let dir = root.join(video).join(removed.directory_name());
+        let dir = self.root.join(video).join(physical.directory_name());
+        self.commit(WalRecord::RemovePhysical { video: video.to_string(), id })?;
         if dir.exists() {
             fs::remove_dir_all(dir)?;
         }
@@ -254,9 +595,10 @@ impl Catalog {
         self.root.join(video).join(physical.directory_name()).join(format!("{index}.gop"))
     }
 
-    /// Writes a GOP's bytes to disk and records its metadata. The GOP is
-    /// appended to the physical video's GOP list (callers write GOPs in
-    /// temporal order).
+    /// Durably writes a GOP's bytes to disk and records its metadata. The
+    /// GOP is appended to the physical video's GOP list (callers write GOPs
+    /// in temporal order). When this returns `Ok`, the GOP — bytes and
+    /// metadata both — survives any crash.
     #[allow(clippy::too_many_arguments)]
     pub fn append_gop(
         &mut self,
@@ -268,27 +610,29 @@ impl Catalog {
         data: &[u8],
         lossless_level: Option<u8>,
     ) -> Result<u64, CatalogError> {
-        let clock = self.tick();
-        let root = self.root.clone();
-        let video_name = video.to_string();
-        let record = self.video_mut(video)?;
+        let record = self.video(video)?;
         let physical = record
-            .physical_by_id_mut(physical_id)
+            .physical_by_id(physical_id)
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
         let index = physical.gops.last().map_or(0, |g| g.index + 1);
-        let dir = root.join(&video_name).join(physical.directory_name());
+        let dir = self.root.join(video).join(physical.directory_name());
         fs::create_dir_all(&dir)?;
-        fs::write(dir.join(format!("{index}.gop")), data)?;
-        physical.gops.push(GopRecord {
+        // Data first, journal second: a crash in between leaves an orphan
+        // file (reconciled away — the append was never acknowledged), never
+        // a catalog entry without data.
+        durable::write_atomic(&dir.join(format!("{index}.gop")), data)?;
+        let clock = self.tick();
+        self.commit(WalRecord::AppendGop {
+            video: video.to_string(),
+            physical: physical_id,
             index,
             start_time,
             end_time,
             frame_count,
             byte_len: data.len() as u64,
             lossless_level,
-            last_access: AtomicClock::new(clock),
-            duplicate_of: None,
-        });
+            clock,
+        })?;
         Ok(index)
     }
 
@@ -308,8 +652,10 @@ impl Catalog {
         Ok(fs::read(self.gop_path(video, physical, index))?)
     }
 
-    /// Overwrites a GOP file's bytes and updates its recorded size and
-    /// lossless level (used by deferred compression and compaction).
+    /// Durably overwrites a GOP file's bytes and updates its recorded size
+    /// and lossless level (used by deferred compression and compaction).
+    /// The rewrite is atomic: a crash leaves either the old or the new
+    /// version, never a mix.
     pub fn rewrite_gop(
         &mut self,
         video: &str,
@@ -318,20 +664,22 @@ impl Catalog {
         data: &[u8],
         lossless_level: Option<u8>,
     ) -> Result<(), CatalogError> {
-        let root = self.root.clone();
-        let video_name = video.to_string();
-        let record = self.video_mut(video)?;
+        let record = self.video(video)?;
         let physical = record
-            .physical_by_id_mut(physical_id)
+            .physical_by_id(physical_id)
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
-        let dir_name = physical.directory_name();
-        let gop = physical
-            .gop_by_index_mut(index)
-            .ok_or(CatalogError::GopNotFound { physical: physical_id, index })?;
-        fs::write(root.join(&video_name).join(dir_name).join(format!("{index}.gop")), data)?;
-        gop.byte_len = data.len() as u64;
-        gop.lossless_level = lossless_level;
-        Ok(())
+        if physical.gop_by_index(index).is_none() {
+            return Err(CatalogError::GopNotFound { physical: physical_id, index });
+        }
+        let path = self.gop_path(video, physical, index);
+        durable::write_atomic(&path, data)?;
+        self.commit(WalRecord::RewriteGop {
+            video: video.to_string(),
+            physical: physical_id,
+            index,
+            byte_len: data.len() as u64,
+            lossless_level,
+        })
     }
 
     /// Deletes a GOP file and its record.
@@ -341,18 +689,15 @@ impl Catalog {
         physical_id: PhysicalVideoId,
         index: u64,
     ) -> Result<(), CatalogError> {
-        let root = self.root.clone();
-        let video_name = video.to_string();
-        let record = self.video_mut(video)?;
+        let record = self.video(video)?;
         let physical = record
-            .physical_by_id_mut(physical_id)
+            .physical_by_id(physical_id)
             .ok_or(CatalogError::PhysicalNotFound(physical_id))?;
-        let Some(pos) = physical.gop_position(index) else {
+        if physical.gop_by_index(index).is_none() {
             return Err(CatalogError::GopNotFound { physical: physical_id, index });
-        };
-        let dir_name = physical.directory_name();
-        let gop = physical.gops.remove(pos);
-        let path = root.join(&video_name).join(dir_name).join(format!("{}.gop", gop.index));
+        }
+        let path = self.gop_path(video, physical, index);
+        self.commit(WalRecord::RemoveGop { video: video.to_string(), physical: physical_id, index })?;
         if path.exists() {
             fs::remove_file(path)?;
         }
@@ -364,6 +709,8 @@ impl Catalog {
     /// Takes `&self`: the clocks are [`AtomicClock`]s, so concurrent readers
     /// holding a shared lock can all bump recency without serializing on a
     /// write lock. Racing touches keep the latest timestamp (`fetch_max`).
+    /// Not journaled (see the crate-level durability contract): a touch is
+    /// durable only after the next checkpoint.
     pub fn touch_gop(
         &self,
         video: &str,
@@ -388,6 +735,156 @@ impl Catalog {
     }
 }
 
+// --- recovery reconciliation ------------------------------------------------
+
+/// Whether an on-disk GOP file's content is a parsable GOP, and in which
+/// wrapping.
+enum GopFileContent {
+    /// A raw `EncodedGop` container.
+    Raw,
+    /// A losslessly compressed container that decompresses to a valid GOP.
+    Lossless,
+    /// Neither: torn, truncated or foreign bytes.
+    Invalid,
+}
+
+fn classify_gop_file(bytes: &[u8]) -> GopFileContent {
+    if vss_codec::EncodedGop::from_bytes(bytes).is_ok() {
+        return GopFileContent::Raw;
+    }
+    match vss_codec::lossless::decompress(bytes) {
+        Ok(inner) if vss_codec::EncodedGop::from_bytes(&inner).is_ok() => GopFileContent::Lossless,
+        _ => GopFileContent::Invalid,
+    }
+}
+
+/// Brings the catalog state and the files on disk back into agreement after
+/// a crash. The store root is owned by the catalog: any file or directory
+/// it does not reference is treated as debris from an interrupted operation
+/// and removed.
+fn reconcile(
+    root: &Path,
+    state: &mut CatalogState,
+    report: &mut RecoveryReport,
+) -> Result<(), CatalogError> {
+    // Pass 1: walk the catalog, verifying every referenced file.
+    for video in state.videos.values_mut() {
+        let video_dir = root.join(&video.name);
+        for physical in &mut video.physical {
+            let dir = video_dir.join(physical.directory_name());
+            // A referenced directory can only be missing if a crash
+            // interrupted `delete`-after-journal cleanup of a *different*
+            // generation; recreate it so the store stays navigable.
+            fs::create_dir_all(&dir)?;
+            physical.gops.retain_mut(|gop| {
+                let path = dir.join(format!("{}.gop", gop.index));
+                let Ok(meta) = fs::metadata(&path) else {
+                    report.gop_records_dropped += 1;
+                    return false;
+                };
+                if meta.len() == gop.byte_len {
+                    return true; // fast path: size agrees, trust the record
+                }
+                // Size disagrees: the crash hit between an (atomic) GOP
+                // rewrite and its journal record. The file is one complete
+                // generation — figure out which, and repair the metadata.
+                match fs::read(&path).as_deref().map(classify_gop_file) {
+                    Ok(GopFileContent::Raw) => {
+                        gop.byte_len = meta.len();
+                        gop.lossless_level = None;
+                        report.gop_records_healed += 1;
+                        true
+                    }
+                    Ok(GopFileContent::Lossless) => {
+                        gop.byte_len = meta.len();
+                        gop.lossless_level =
+                            gop.lossless_level.or(Some(vss_codec::lossless::MIN_LEVEL));
+                        report.gop_records_healed += 1;
+                        true
+                    }
+                    _ => {
+                        let _ = fs::remove_file(&path);
+                        report.gop_records_dropped += 1;
+                        false
+                    }
+                }
+            });
+        }
+    }
+
+    // Pass 2: walk the disk, deleting anything the catalog does not
+    // reference (orphan GOPs from un-journaled appends, leftover `.tmp`
+    // files, directories of deleted videos).
+    for entry in fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type()?.is_dir() {
+            match state.videos.get(&name) {
+                Some(video) => reconcile_video_dir(&entry.path(), video, report)?,
+                None => {
+                    fs::remove_dir_all(entry.path())?;
+                    report.orphan_dirs_removed += 1;
+                }
+            }
+        } else if name != CATALOG_FILE && name != wal::WAL_FILE {
+            fs::remove_file(entry.path())?;
+            report.orphan_files_removed += 1;
+        }
+    }
+    Ok(())
+}
+
+fn reconcile_video_dir(
+    dir: &Path,
+    video: &LogicalVideoRecord,
+    report: &mut RecoveryReport,
+) -> Result<(), CatalogError> {
+    let physical_dirs: BTreeMap<String, &PhysicalVideoRecord> =
+        video.physical.iter().map(|p| (p.directory_name(), p)).collect();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type()?.is_dir() {
+            match physical_dirs.get(&name) {
+                Some(physical) => reconcile_physical_dir(&entry.path(), physical, report)?,
+                None => {
+                    fs::remove_dir_all(entry.path())?;
+                    report.orphan_dirs_removed += 1;
+                }
+            }
+        } else {
+            fs::remove_file(entry.path())?;
+            report.orphan_files_removed += 1;
+        }
+    }
+    Ok(())
+}
+
+fn reconcile_physical_dir(
+    dir: &Path,
+    physical: &PhysicalVideoRecord,
+    report: &mut RecoveryReport,
+) -> Result<(), CatalogError> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let referenced = name
+            .strip_suffix(".gop")
+            .and_then(|stem| stem.parse::<u64>().ok())
+            .is_some_and(|index| physical.gop_by_index(index).is_some());
+        if !referenced {
+            if entry.file_type()?.is_dir() {
+                fs::remove_dir_all(entry.path())?;
+                report.orphan_dirs_removed += 1;
+            } else {
+                fs::remove_file(entry.path())?;
+                report.orphan_files_removed += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,14 +899,34 @@ mod tests {
         dir
     }
 
+    /// A parsable GOP container for tests that exercise reconciliation
+    /// (reconcile only trusts files whose size matches the record or whose
+    /// content classifies as a valid GOP).
+    fn gop_bytes(frames: usize) -> Vec<u8> {
+        let frame_infos = (0..frames)
+            .map(|i| vss_codec::FrameInfo { is_intra: i == 0, offset: i * 4, len: 4 })
+            .collect();
+        vss_codec::EncodedGop::new(
+            vss_codec::Codec::Raw(vss_frame::PixelFormat::Rgb8),
+            4,
+            4,
+            30.0,
+            10,
+            frame_infos,
+            vec![0u8; frames * 4],
+        )
+        .to_bytes()
+    }
+
     #[test]
     fn create_and_reload_catalog() {
         let root = temp_root("reload");
+        let payload = gop_bytes(3);
         {
             let mut cat = Catalog::open(&root).unwrap();
             cat.create_video("traffic").unwrap();
             let id = cat.add_physical("traffic", 1920, 1080, 30.0, "hevc", true, 0.0).unwrap();
-            cat.append_gop("traffic", id, 0.0, 1.0, 30, b"gop-bytes", None).unwrap();
+            cat.append_gop("traffic", id, 0.0, 1.0, 30, &payload, None).unwrap();
             cat.persist().unwrap();
         }
         let cat = Catalog::open(&root).unwrap();
@@ -417,7 +934,7 @@ mod tests {
         let video = cat.video("traffic").unwrap();
         assert_eq!(video.physical.len(), 1);
         assert_eq!(video.physical[0].gops.len(), 1);
-        assert_eq!(cat.read_gop("traffic", video.physical[0].id, 0).unwrap(), b"gop-bytes");
+        assert_eq!(cat.read_gop("traffic", video.physical[0].id, 0).unwrap(), payload);
         fs::remove_dir_all(&root).unwrap();
     }
 
@@ -436,11 +953,16 @@ mod tests {
         let mut cat = Catalog::open(&root).unwrap();
         assert!(matches!(cat.video("nope"), Err(CatalogError::VideoNotFound(_))));
         assert!(matches!(cat.bytes_used("nope"), Err(CatalogError::VideoNotFound(_))));
+        assert!(matches!(
+            cat.set_storage_budget("nope", Some(1)),
+            Err(CatalogError::VideoNotFound(_))
+        ));
         cat.create_video("v").unwrap();
         assert!(matches!(
             cat.append_gop("v", 99, 0.0, 1.0, 30, b"x", None),
             Err(CatalogError::PhysicalNotFound(99))
         ));
+        assert!(matches!(cat.set_mse_bound("v", 42, 1.0), Err(CatalogError::PhysicalNotFound(42))));
         let id = cat.add_physical("v", 64, 64, 30.0, "h264", true, 0.0).unwrap();
         assert!(matches!(
             cat.read_gop("v", id, 5),
@@ -522,6 +1044,219 @@ mod tests {
         cat.remove_physical("v", id).unwrap();
         assert!(!dir.exists());
         assert!(cat.video("v").unwrap().physical.is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // --- durability behavior ------------------------------------------------
+
+    #[test]
+    fn mutations_survive_reopen_without_an_explicit_persist() {
+        let root = temp_root("wal-survive");
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            let id = cat.add_physical("v", 64, 48, 30.0, "rgb", true, 0.0).unwrap();
+            cat.append_gop("v", id, 0.0, 1.0, 30, &gop_bytes(2), None).unwrap();
+            cat.set_storage_budget("v", Some(12345)).unwrap();
+            // No persist(): the journal alone must carry the state.
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.recovery_report().wal_records_replayed, 4);
+        let video = cat.video("v").unwrap();
+        assert_eq!(video.storage_budget_bytes, Some(12345));
+        assert_eq!(video.physical[0].gops.len(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_folds_and_resets_the_journal() {
+        let root = temp_root("checkpoint");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        assert!(cat.journal_bytes() > 8, "journal holds a record past its magic header");
+        cat.checkpoint().unwrap();
+        let after = cat.journal_bytes();
+        cat.create_video("w").unwrap();
+        assert!(cat.journal_bytes() > after, "journal grows again after checkpoint");
+        drop(cat);
+        let cat = Catalog::open(&root).unwrap();
+        assert!(cat.recovery_report().checkpoint_loaded);
+        assert_eq!(cat.recovery_report().wal_records_replayed, 1, "only post-checkpoint record");
+        assert!(cat.contains_video("v") && cat.contains_video("w"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn persist_checkpoints_only_past_the_threshold() {
+        let root = temp_root("threshold");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.set_checkpoint_threshold(u64::MAX);
+        cat.create_video("v").unwrap();
+        let journal = cat.journal_bytes();
+        cat.persist().unwrap();
+        assert_eq!(cat.journal_bytes(), journal, "below threshold: no checkpoint");
+        cat.set_checkpoint_threshold(1);
+        cat.persist().unwrap();
+        assert!(cat.journal_bytes() < journal, "past threshold: journal folded");
+        assert!(root.join(CATALOG_FILE).exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_without_losing_prior_records() {
+        let root = temp_root("torn-tail");
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            cat.set_storage_budget("v", Some(777)).unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-record at the tail.
+        let wal_path = root.join(wal::WAL_FILE);
+        let mut bytes = fs::read(&wal_path).unwrap();
+        let intact = bytes.len();
+        bytes.extend_from_slice(&[0x55; 13]);
+        fs::write(&wal_path, &bytes).unwrap();
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.recovery_report().torn_bytes_truncated, 13);
+        assert_eq!(cat.recovery_report().wal_records_replayed, 2);
+        assert_eq!(cat.video("v").unwrap().storage_budget_bytes, Some(777));
+        assert_eq!(fs::metadata(&wal_path).unwrap().len(), intact as u64, "tail truncated");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn orphan_gop_files_are_reconciled_away() {
+        let root = temp_root("orphan");
+        let payload = gop_bytes(2);
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            let id = cat.add_physical("v", 4, 4, 30.0, "rgb", true, 0.0).unwrap();
+            cat.append_gop("v", id, 0.0, 1.0, 30, &payload, None).unwrap();
+            // A crash between GOP-file rename and journal append leaves an
+            // orphan file with no record:
+            let dir = root.join("v").join(cat.video("v").unwrap().physical[0].directory_name());
+            fs::write(dir.join("1.gop"), b"unacked bytes").unwrap();
+            fs::write(dir.join("2.gop.tmp"), b"half a temp file").unwrap();
+            fs::write(root.join("catalog.json.tmp"), b"half a checkpoint").unwrap();
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.recovery_report().orphan_files_removed, 3);
+        let video = cat.video("v").unwrap();
+        assert_eq!(video.physical[0].gops.len(), 1, "acked GOP survives");
+        assert_eq!(cat.read_gop("v", video.physical[0].id, 0).unwrap(), payload);
+        let dir = root.join("v").join(video.physical[0].directory_name());
+        assert!(!dir.join("1.gop").exists() && !dir.join("2.gop.tmp").exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_gop_file_drops_only_its_record() {
+        let root = temp_root("missing-gop");
+        let payload = gop_bytes(2);
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            let id = cat.add_physical("v", 4, 4, 30.0, "rgb", true, 0.0).unwrap();
+            cat.append_gop("v", id, 0.0, 1.0, 30, &payload, None).unwrap();
+            cat.append_gop("v", id, 1.0, 2.0, 30, &payload, None).unwrap();
+            let dir = root.join("v").join(cat.video("v").unwrap().physical[0].directory_name());
+            fs::remove_file(dir.join("0.gop")).unwrap();
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.recovery_report().gop_records_dropped, 1);
+        let video = cat.video("v").unwrap();
+        assert_eq!(video.physical[0].gops.len(), 1);
+        assert_eq!(video.physical[0].gops[0].index, 1, "the surviving record");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rewritten_gop_whose_journal_record_was_lost_is_healed() {
+        let root = temp_root("heal");
+        let small = gop_bytes(1);
+        let big = gop_bytes(4);
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            let id = cat.add_physical("v", 4, 4, 30.0, "rgb", true, 0.0).unwrap();
+            cat.append_gop("v", id, 0.0, 1.0, 30, &small, None).unwrap();
+            // Crash between the atomic file rewrite and its journal record:
+            // the file holds the complete new generation, the catalog still
+            // records the old size.
+            let dir = root.join("v").join(cat.video("v").unwrap().physical[0].directory_name());
+            fs::write(dir.join("0.gop"), &big).unwrap();
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.recovery_report().gop_records_healed, 1);
+        let gop = &cat.video("v").unwrap().physical[0].gops[0];
+        assert_eq!(gop.byte_len, big.len() as u64, "size repaired from disk");
+        assert_eq!(gop.lossless_level, None);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn repairs_are_checkpointed_so_a_second_open_is_clean() {
+        let root = temp_root("repair-once");
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            let id = cat.add_physical("v", 4, 4, 30.0, "rgb", true, 0.0).unwrap();
+            cat.append_gop("v", id, 0.0, 1.0, 30, &gop_bytes(2), None).unwrap();
+            let dir = root.join("v").join(cat.video("v").unwrap().physical[0].directory_name());
+            fs::remove_file(dir.join("0.gop")).unwrap();
+        }
+        let first = Catalog::open(&root).unwrap();
+        assert!(first.recovery_report().repaired_anything());
+        drop(first);
+        let second = Catalog::open(&root).unwrap();
+        assert!(!second.recovery_report().repaired_anything(), "repairs were made durable");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_as_typed_io_error_and_state_is_unchanged() {
+        let root = temp_root("fault-typed");
+        let mut cat = Catalog::open(&root).unwrap();
+        cat.create_video("v").unwrap();
+        let id = cat.add_physical("v", 4, 4, 30.0, "rgb", true, 0.0).unwrap();
+        let guard = fault::install(fault::FaultPlan {
+            prefix: Some(root.clone()),
+            fail_nth: Some(1),
+            ..Default::default()
+        });
+        let err = cat.append_gop("v", id, 0.0, 1.0, 30, &gop_bytes(2), None).unwrap_err();
+        assert!(matches!(err, CatalogError::Io(_)), "typed I/O error, got {err}");
+        drop(guard);
+        assert!(cat.video("v").unwrap().physical[0].gops.is_empty(), "mutation not applied");
+        // The store still works after the fault clears.
+        cat.append_gop("v", id, 0.0, 1.0, 30, &gop_bytes(2), None).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn failed_journal_append_rolls_back_so_later_mutations_survive() {
+        let root = temp_root("wal-rollback");
+        {
+            let mut cat = Catalog::open(&root).unwrap();
+            cat.create_video("v").unwrap();
+            // Tear the next journal append mid-record.
+            let guard = fault::install(fault::FaultPlan {
+                prefix: Some(root.join(wal::WAL_FILE)),
+                tear_nth: Some(1),
+                tear_at: 7,
+                ..Default::default()
+            });
+            assert!(matches!(cat.create_video("torn"), Err(CatalogError::Io(_))));
+            drop(guard);
+            // The torn bytes were rolled back, so this append lands on a
+            // clean journal and must survive reopen.
+            cat.create_video("after").unwrap();
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert!(cat.contains_video("v") && cat.contains_video("after"));
+        assert!(!cat.contains_video("torn"));
+        assert_eq!(cat.recovery_report().torn_bytes_truncated, 0, "no torn tail left behind");
         fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -1,0 +1,247 @@
+//! Property-based corruption suite for the write-ahead catalog journal.
+//!
+//! Each case builds a real store with a seeded sequence of structural
+//! mutations, snapshotting `(journal length, visible state)` after every
+//! committed record. Then the journal file is mangled — truncated at an
+//! arbitrary byte offset, bit-flipped, extended with garbage, or fed a
+//! duplicated (stale) record — and the store is reopened. The contract under
+//! test:
+//!
+//! * recovery **never panics**: every open returns a catalog or a typed
+//!   [`CatalogError`];
+//! * a recovered catalog's state is always a **committed prefix** of the
+//!   original mutation history (corruption can cost the torn suffix, never
+//!   reorder or invent state);
+//! * a second open finds nothing left to repair (repairs are checkpointed).
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use vss_catalog::{Catalog, CatalogError};
+
+const WAL_MAGIC_LEN: u64 = 8;
+
+fn temp_root(tag: &str, case: u64) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "vss-wal-props-{tag}-{case}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// A catalog's externally visible structural state.
+type Snapshot = Vec<(String, Option<u64>)>;
+
+fn snapshot(catalog: &Catalog) -> Snapshot {
+    let mut names = catalog.video_names();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let budget = catalog.video(&name).expect("listed video").storage_budget_bytes;
+            (name, budget)
+        })
+        .collect()
+}
+
+/// Builds a store by applying `ops` (each op word seeds one structural
+/// mutation; invalid ones are skipped), returning the snapshot history as
+/// `(journal_bytes after the commit, state)` pairs — index 0 is the fresh
+/// store. The checkpoint threshold is maxed out so every mutation stays in
+/// the journal.
+fn build_store(root: &Path, ops: &[u64]) -> Vec<(u64, Snapshot)> {
+    let mut catalog = Catalog::open(root).expect("open fresh store");
+    catalog.set_checkpoint_threshold(u64::MAX);
+    let mut history = vec![(catalog.journal_bytes(), snapshot(&catalog))];
+    for op in ops {
+        let name = format!("v{}", op % 5);
+        let applied = match (op >> 8) % 3 {
+            0 if !catalog.contains_video(&name) => catalog.create_video(&name).is_ok(),
+            1 if catalog.contains_video(&name) => catalog.delete_video(&name).is_ok(),
+            2 if catalog.contains_video(&name) => {
+                catalog.set_storage_budget(&name, Some(op >> 16)).is_ok()
+            }
+            _ => false,
+        };
+        if applied {
+            history.push((catalog.journal_bytes(), snapshot(&catalog)));
+        }
+    }
+    history
+}
+
+fn wal_path(root: &Path) -> PathBuf {
+    root.join("catalog.wal")
+}
+
+/// Reopens the store and asserts the recovery contract. Returns the
+/// recovered snapshot (or `None` for a typed corruption error, which the
+/// contract also allows for non-prefix damage like a mangled magic).
+fn reopen_checked(root: &Path, context: &str) -> Result<Option<Snapshot>, TestCaseError> {
+    match Catalog::open(root) {
+        Ok(catalog) => {
+            let state = snapshot(&catalog);
+            drop(catalog);
+            // Whatever the first open repaired must have been checkpointed.
+            let second = Catalog::open(root)
+                .map_err(|e| TestCaseError::fail(format!("{context}: second open failed: {e:?}")))?;
+            prop_assert!(
+                !second.recovery_report().repaired_anything(),
+                "{context}: second open still repairing: {:?}",
+                second.recovery_report()
+            );
+            prop_assert_eq!(
+                snapshot(&second),
+                state.clone(),
+                "{context}: recovered state must be stable across opens"
+            );
+            Ok(Some(state))
+        }
+        Err(CatalogError::Corrupt(_)) | Err(CatalogError::Io(_)) => Ok(None),
+        Err(other) => Err(TestCaseError::fail(format!(
+            "{context}: expected Corrupt/Io, got {other:?}"
+        ))),
+    }
+}
+
+fn assert_is_committed_prefix(
+    state: &Snapshot,
+    history: &[(u64, Snapshot)],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        history.iter().any(|(_, past)| past == state),
+        "{context}: recovered state {state:?} is not any committed prefix of {history:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Truncating the journal at *any* byte offset loses at most the torn
+    /// suffix: the store reopens to exactly the last state whose commits fit
+    /// inside the kept prefix.
+    #[test]
+    fn torn_tail_at_any_offset_recovers_the_longest_committed_prefix(
+        ops in proptest::collection::vec(any::<u64>(), 1..24),
+        cut_word in any::<u64>(),
+    ) {
+        let root = temp_root("torn", cut_word ^ ops.len() as u64);
+        let history = build_store(&root, &ops);
+        let wal = wal_path(&root);
+        let full = std::fs::metadata(&wal).expect("wal exists").len();
+        // Cut anywhere from mid-magic to one byte short of the full file.
+        let cut = WAL_MAGIC_LEN.saturating_sub(4) + cut_word % full.max(1);
+        let cut = cut.min(full.saturating_sub(1));
+        let file = std::fs::OpenOptions::new().write(true).open(&wal).expect("open wal");
+        file.set_len(cut).expect("truncate wal");
+        drop(file);
+
+        match reopen_checked(&root, "torn tail")? {
+            Some(state) => {
+                // The recovered state is precisely the newest snapshot whose
+                // journal fit entirely within the cut.
+                let expected = history
+                    .iter()
+                    .rev()
+                    .find(|(bytes, _)| *bytes <= cut)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_default();
+                prop_assert_eq!(state, expected, "cut at {} of {}", cut, full);
+            }
+            // Cutting into the 8-byte magic may surface as typed corruption.
+            None => prop_assert!(
+                cut < WAL_MAGIC_LEN,
+                "cut at {} of {} must only error inside the magic",
+                cut,
+                full
+            ),
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    /// Flipping any single bit of the journal never panics and never invents
+    /// state: the store either reopens to a committed prefix of the history
+    /// or surfaces a typed corruption error.
+    #[test]
+    fn single_bit_flips_never_panic_and_keep_a_committed_prefix(
+        ops in proptest::collection::vec(any::<u64>(), 1..24),
+        flip_word in any::<u64>(),
+    ) {
+        let root = temp_root("flip", flip_word ^ ops.len() as u64);
+        let history = build_store(&root, &ops);
+        let wal = wal_path(&root);
+        let mut bytes = std::fs::read(&wal).expect("read wal");
+        let offset = (flip_word % bytes.len() as u64) as usize;
+        bytes[offset] ^= 1 << ((flip_word >> 32) % 8);
+        std::fs::write(&wal, &bytes).expect("write flipped wal");
+
+        if let Some(state) = reopen_checked(&root, "bit flip")? {
+            assert_is_committed_prefix(&state, &history, "bit flip")?;
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    /// Random garbage appended after valid records is discarded as a torn
+    /// tail: every committed record survives.
+    #[test]
+    fn appended_garbage_is_discarded_without_losing_committed_records(
+        ops in proptest::collection::vec(any::<u64>(), 1..24),
+        garbage in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let root = temp_root("garbage", garbage.len() as u64 ^ ops.len() as u64);
+        let history = build_store(&root, &ops);
+        let wal = wal_path(&root);
+        let mut bytes = std::fs::read(&wal).expect("read wal");
+        bytes.extend_from_slice(&garbage);
+        std::fs::write(&wal, &bytes).expect("append garbage");
+
+        if let Some(state) = reopen_checked(&root, "appended garbage")? {
+            // Garbage can only cost itself; with astronomically unlikely CRC
+            // collisions aside, the full history survives. Committed-prefix
+            // is the hard guarantee.
+            assert_is_committed_prefix(&state, &history, "appended garbage")?;
+            prop_assert_eq!(
+                state,
+                history.last().expect("non-empty history").1.clone(),
+                "garbage after the last record must not cost committed records"
+            );
+        } else {
+            return Err(TestCaseError::fail("appended garbage must never fail the open"));
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    /// Re-appending the bytes of an earlier record (a duplicate with a stale
+    /// sequence number, as a crashed-and-restarted writer could produce) is
+    /// skipped on replay rather than double-applied.
+    #[test]
+    fn duplicated_stale_records_are_skipped_on_replay(
+        ops in proptest::collection::vec(any::<u64>(), 2..24),
+        pick in any::<u64>(),
+    ) {
+        let root = temp_root("stale", pick ^ ops.len() as u64);
+        let history = build_store(&root, &ops);
+        prop_assume!(history.len() > 1); // need at least one committed record
+        let wal = wal_path(&root);
+        let mut bytes = std::fs::read(&wal).expect("read wal");
+        // Record i occupies [history[i].0, history[i+1].0); duplicate one.
+        let victim = (pick % (history.len() as u64 - 1)) as usize;
+        let (start, end) = (history[victim].0 as usize, history[victim + 1].0 as usize);
+        let record = bytes[start..end].to_vec();
+        bytes.extend_from_slice(&record);
+        std::fs::write(&wal, &bytes).expect("append duplicate");
+
+        match reopen_checked(&root, "stale duplicate")? {
+            Some(state) => prop_assert_eq!(
+                state,
+                history.last().expect("non-empty history").1.clone(),
+                "a stale duplicate must be skipped, not applied"
+            ),
+            None => return Err(TestCaseError::fail("stale duplicate must not fail the open")),
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

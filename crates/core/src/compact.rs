@@ -99,9 +99,9 @@ impl Engine {
             }
         }
         let source_bound = source_record.mse_bound;
-        let video = self.catalog.video_mut(name)?;
-        if let Some(target_record) = video.physical_by_id_mut(target) {
-            target_record.mse_bound = target_record.mse_bound.max(source_bound);
+        if let Some(target_record) = self.catalog.video(name)?.physical_by_id(target) {
+            let raised = target_record.mse_bound.max(source_bound);
+            self.catalog.set_mse_bound(name, target, raised)?;
         }
         self.catalog.remove_physical(name, source)?;
         Ok(())

@@ -117,6 +117,12 @@ pub struct VssConfig {
     /// caller's thread), and dropping a stream or sink cancels and joins its
     /// workers.
     pub readahead: usize,
+    /// Size in bytes past which the catalog's write-ahead journal is folded
+    /// into its JSON checkpoint at the next transaction boundary. Durability
+    /// does not depend on this value (every mutation is journaled and
+    /// fsynced before it is acknowledged); it only trades steady-state
+    /// append cost against replay time on the next open.
+    pub wal_checkpoint_bytes: u64,
 }
 
 impl VssConfig {
@@ -138,6 +144,7 @@ impl VssConfig {
             joint: JointConfig::default(),
             parallelism: 0,
             readahead: 0,
+            wal_checkpoint_bytes: vss_catalog::DEFAULT_CHECKPOINT_THRESHOLD,
         }
     }
 
@@ -183,6 +190,13 @@ impl VssConfig {
     /// [`readahead`](Self::readahead)).
     pub fn with_readahead(mut self, gops: usize) -> Self {
         self.readahead = gops;
+        self
+    }
+
+    /// Overrides the journal-checkpoint threshold — see
+    /// [`wal_checkpoint_bytes`](Self::wal_checkpoint_bytes).
+    pub fn with_wal_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.wal_checkpoint_bytes = bytes;
         self
     }
 }

@@ -81,7 +81,8 @@ pub struct Engine {
 impl Engine {
     /// Opens an engine rooted at the configuration's directory.
     pub fn open(config: VssConfig) -> Result<Self, VssError> {
-        let catalog = Catalog::open(&config.root)?;
+        let mut catalog = Catalog::open(&config.root)?;
+        catalog.set_checkpoint_threshold(config.wal_checkpoint_bytes);
         Ok(Self { config, catalog, cost_model: CostModel::default(), quality_model: QualityModel::new() })
     }
 
@@ -97,9 +98,9 @@ impl Engine {
         }
         self.catalog.create_video(name)?;
         if let Some(StorageBudget::Bytes(bytes)) = budget {
-            self.catalog.video_mut(name)?.storage_budget_bytes = Some(bytes);
+            self.catalog.set_storage_budget(name, Some(bytes))?;
         } else if let Some(StorageBudget::Unlimited) = budget {
-            self.catalog.video_mut(name)?.storage_budget_bytes = Some(u64::MAX);
+            self.catalog.set_storage_budget(name, Some(u64::MAX))?;
         }
         // MultipleOfOriginal budgets are resolved lazily once the original
         // physical video has been written and its size is known.
@@ -155,8 +156,14 @@ impl Engine {
         name: &str,
         bytes: Option<u64>,
     ) -> Result<(), VssError> {
-        self.catalog.video_mut(name)?.storage_budget_bytes = bytes;
+        self.catalog.set_storage_budget(name, bytes)?;
         Ok(())
+    }
+
+    /// What crash recovery replayed and repaired when this engine's catalog
+    /// was opened (journal records, torn-tail truncation, orphan cleanup).
+    pub fn recovery_report(&self) -> &vss_catalog::RecoveryReport {
+        self.catalog.recovery_report()
     }
 
     /// Time range `[start, end)` in seconds covered by a logical video's

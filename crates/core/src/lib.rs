@@ -84,6 +84,29 @@
 //! * GOP recency clocks are atomic ([`vss_catalog::AtomicClock`]), so
 //!   read-only traffic bumps LRU state without exclusive access.
 //!
+//! # Durability contract
+//!
+//! The store survives `kill -9` (and power cuts) at any instruction, backed
+//! by the catalog's write-ahead journal (see the `vss_catalog` crate docs
+//! for the mechanism). What the engine guarantees after reopening:
+//!
+//! * **Acked GOPs survive byte-identically.** Every GOP persisted through
+//!   [`VideoStorage::write`]/`append` or a [`WriteSink`] is written
+//!   temp-then-rename with file *and* directory fsyncs, and its catalog
+//!   record is journaled and fsynced, before the call returns — so a GOP a
+//!   caller has been acknowledged is never lost, truncated, or reordered.
+//! * **In-flight work disappears cleanly.** A GOP that was mid-persist when
+//!   the process died (file renamed but record not journaled, or a torn
+//!   journal tail) is removed on the next [`Engine::open`]; the catalog and
+//!   the files on disk always agree. [`Engine::recovery_report`] itemizes
+//!   what replay repaired.
+//! * **Not covered:** GOP recency (LRU) clocks between checkpoints — losing
+//!   them can change future eviction *order*, never data correctness.
+//!
+//! Injected storage faults (see `vss_catalog::fault`) surface as typed
+//! [`VssError::Catalog`] I/O errors, never panics; `tests/crash_recovery.rs`
+//! exercises the whole contract with a `kill -9` subprocess harness.
+//!
 //! The main entry point is [`Vss`]. See the `examples/` directory of the
 //! workspace for end-to-end usage.
 

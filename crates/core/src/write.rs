@@ -172,12 +172,14 @@ impl Engine {
     /// known (a no-op when already set or nothing has been written).
     pub(crate) fn establish_budget(&mut self, name: &str) -> Result<(), VssError> {
         let default_budget = self.config.default_budget;
-        let video = self.catalog.video_mut(name)?;
+        let video = self.catalog.video(name)?;
         if video.storage_budget_bytes.is_none() {
             if let Some(original) = video.original() {
                 let original_bytes = original.byte_len();
                 if original_bytes > 0 {
-                    video.storage_budget_bytes = default_budget.resolve(original_bytes);
+                    if let Some(resolved) = default_budget.resolve(original_bytes) {
+                        self.catalog.set_storage_budget(name, Some(resolved))?;
+                    }
                 }
             }
         }

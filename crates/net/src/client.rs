@@ -33,6 +33,70 @@ use vss_core::{
 use vss_frame::{Frame, FrameSequence};
 
 use crate::wire::{check_name, io_error, protocol_error};
+use std::time::{Duration, Instant};
+
+/// Jittered exponential retry/backoff for operations that are provably safe
+/// to reissue: dialing a connection (the request was never sent) and
+/// exchanges the server answered with a typed
+/// [`VssError::Overloaded`] shed (the server refused the work before doing
+/// it). A mid-exchange transport failure is **never** retried — the server
+/// may have applied the operation — and a partially consumed stream is never
+/// silently reopened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total time budget: once elapsed time plus the next backoff would
+    /// exceed it, the last error is returned instead of sleeping again.
+    pub deadline: Duration,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Backoff growth factor per attempt.
+    pub multiplier: f64,
+    /// Fraction of each backoff randomized away (0.0 = fixed delays,
+    /// 0.5 = each delay uniformly in [50%, 100%] of nominal). Jitter
+    /// de-synchronizes a fleet of shed clients so they do not re-dial the
+    /// server in lockstep.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream (vary per client).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given total deadline and conventional defaults:
+    /// 10 ms initial backoff doubling to a 500 ms cap, 50% jitter.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            multiplier: 2.0,
+            jitter: 0.5,
+            seed: 0x5eed_cafe,
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based), with jitter
+    /// drawn from `rng` (xorshift64* state).
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let nominal = self.initial_backoff.as_secs_f64()
+            * self.multiplier.max(1.0).powi(attempt.min(24) as i32);
+        let nominal = nominal.min(self.max_backoff.as_secs_f64());
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let uniform = (rng.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * uniform;
+        Duration::from_secs_f64(nominal * scale)
+    }
+}
+
+/// Outcome of one attempt inside a retry loop: either final (success or a
+/// non-retryable error) or a failure the policy may retry.
+enum Attempt<T> {
+    Done(Result<T, VssError>),
+    Retry(VssError),
+}
 
 /// One handshaken TCP connection.
 struct Connection {
@@ -103,6 +167,9 @@ pub struct RemoteStore {
     /// Chunks buffered client-side between the socket reader and the
     /// consumer (the bounded-channel depth).
     chunk_buffer: usize,
+    /// Retry/backoff policy for safely retryable failures (`None`, the
+    /// default, fails fast — see [`RetryPolicy`]).
+    retry: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for RemoteStore {
@@ -127,7 +194,44 @@ impl RemoteStore {
             .next()
             .ok_or_else(|| protocol_error("address resolved to nothing"))?;
         let control = Connection::dial(addr)?;
-        Ok(Self { addr, control: Mutex::new(Some(control)), chunk_buffer: 2 })
+        Ok(Self { addr, control: Mutex::new(Some(control)), chunk_buffer: 2, retry: None })
+    }
+
+    /// Like [`connect`](Self::connect), but retries the initial dial under
+    /// `policy` (transient connect failures and admission sheds back off
+    /// with jitter until the deadline) and installs the policy on the store
+    /// for subsequent operations, as
+    /// [`with_retry`](Self::with_retry) would.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<Self, VssError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(io_error)?
+            .next()
+            .ok_or_else(|| protocol_error("address resolved to nothing"))?;
+        let store = Self {
+            addr,
+            control: Mutex::new(None),
+            chunk_buffer: 2,
+            retry: Some(policy),
+        };
+        let control = store.run_with_retry(|| match Connection::dial(addr) {
+            Ok(connection) => Attempt::Done(Ok(connection)),
+            Err(error) => Attempt::Retry(error),
+        })?;
+        *store.control.lock().expect("control lock") = Some(control);
+        Ok(store)
+    }
+
+    /// Installs a retry/backoff policy. Only provably-unapplied failures are
+    /// retried — dial failures and typed [`VssError::Overloaded`] sheds, on
+    /// unary operations and stream *opens*; a partially consumed stream or
+    /// an ambiguous mid-exchange transport failure is never retried.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Overrides the number of streamed chunks buffered client-side between
@@ -153,30 +257,102 @@ impl RemoteStore {
     }
 
     /// Runs one request/response exchange on the control connection,
-    /// redialing a broken connection on the next call.
+    /// redialing a broken connection on the next call. Under a
+    /// [`RetryPolicy`], dial failures and typed [`VssError::Overloaded`]
+    /// sheds back off and retry (the request was provably not applied);
+    /// mid-exchange transport failures never do.
     fn unary(&self, message: Message) -> Result<Message, VssError> {
+        self.run_with_retry(|| self.unary_once(&message))
+    }
+
+    fn unary_once(&self, message: &Message) -> Attempt<Message> {
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            *slot = Some(Connection::dial(self.addr)?);
+            match Connection::dial(self.addr) {
+                Ok(connection) => *slot = Some(connection),
+                // Nothing was sent: transient connect failures (and
+                // admission sheds during the handshake) are retryable.
+                Err(error) => return Attempt::Retry(error),
+            }
         }
         let connection = slot.as_mut().expect("dialed above");
-        let outcome = connection.send(&message).and_then(|()| connection.recv());
+        let outcome = connection.send(message).and_then(|()| connection.recv());
         match outcome {
             // A typed server error leaves the exchange aligned; keep the
-            // connection.
-            Ok(Message::Error(error)) => Err(error.into_error()),
-            Ok(reply) => Ok(reply),
-            // Transport failure: drop the connection so the next unary call
-            // redials.
+            // connection. An `Overloaded` shed means the server refused the
+            // request before executing it — safe to retry.
+            Ok(Message::Error(error)) => match error.into_error() {
+                shed @ VssError::Overloaded(_) => Attempt::Retry(shed),
+                other => Attempt::Done(Err(other)),
+            },
+            Ok(reply) => Attempt::Done(Ok(reply)),
+            // Transport failure mid-exchange: the server may or may not have
+            // applied the request, so surface it; drop the connection so the
+            // next unary call redials.
             Err(error) => {
                 *slot = None;
-                Err(error)
+                Attempt::Done(Err(error))
             }
         }
     }
 
-    fn dial_stream(&self) -> Result<Connection, VssError> {
-        Connection::dial(self.addr)
+    /// Dials the dedicated connection for one streaming operation and runs
+    /// its opening exchange. Under a [`RetryPolicy`], dial failures
+    /// (including handshake-time admission sheds) and typed `Overloaded`
+    /// replies to the open message back off and retry — the server refused
+    /// the stream before starting it. Once a stream is open it is never
+    /// silently reopened; `classify` decides what the opening reply means.
+    fn open_stream<T>(
+        &self,
+        open: &Message,
+        mut classify: impl FnMut(Message, Connection) -> Attempt<T>,
+    ) -> Result<T, VssError> {
+        self.run_with_retry(|| {
+            let mut connection = match Connection::dial(self.addr) {
+                Ok(connection) => connection,
+                Err(error) => return Attempt::Retry(error),
+            };
+            match connection.send(open).and_then(|()| connection.recv()) {
+                Ok(Message::Error(error)) => match error.into_error() {
+                    shed @ VssError::Overloaded(_) => Attempt::Retry(shed),
+                    other => Attempt::Done(Err(other)),
+                },
+                Ok(reply) => classify(reply, connection),
+                Err(error) => Attempt::Done(Err(error)),
+            }
+        })
+    }
+
+    /// Drives attempts of a safely-retryable operation under the store's
+    /// [`RetryPolicy`] (first failure is final when no policy is set).
+    /// Retries only fire for [`Attempt::Retry`] failures whose request was
+    /// provably not applied, and only `Overloaded` sheds or I/O failures
+    /// (real or injected dial errors) among those.
+    fn run_with_retry<T>(&self, mut attempt: impl FnMut() -> Attempt<T>) -> Result<T, VssError> {
+        let Some(policy) = &self.retry else {
+            return match attempt() {
+                Attempt::Done(outcome) => outcome,
+                Attempt::Retry(error) => Err(error),
+            };
+        };
+        let started = Instant::now();
+        let mut rng = policy.seed | 1;
+        let mut tries = 0u32;
+        loop {
+            let error = match attempt() {
+                Attempt::Done(outcome) => return outcome,
+                Attempt::Retry(error) => error,
+            };
+            if !matches!(&error, VssError::Overloaded(_) | VssError::Catalog(_)) {
+                return Err(error);
+            }
+            let backoff = policy.backoff(tries, &mut rng);
+            if started.elapsed() + backoff > policy.deadline {
+                return Err(error);
+            }
+            std::thread::sleep(backoff);
+            tries += 1;
+        }
     }
 }
 
@@ -373,16 +549,14 @@ impl VideoStorage for RemoteStore {
 
     fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
         check_name(name)?;
-        let mut connection = self.dial_stream()?;
-        connection.send(&Message::AppendBegin {
-            name: name.into(),
-            frame_rate: frames.frame_rate(),
+        let begin = Message::AppendBegin { name: name.into(), frame_rate: frames.frame_rate() };
+        let connection = self.open_stream(&begin, |reply, connection| match reply {
+            Message::Ok => Attempt::Done(Ok(connection)),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected append reply {}",
+                other.kind_name()
+            )))),
         })?;
-        match connection.recv()? {
-            Message::Ok => {}
-            Message::Error(error) => return Err(error.into_error()),
-            other => return Err(protocol_error(format!("unexpected append reply {}", other.kind_name()))),
-        }
         let mut backend = RemoteSinkBackend { connection: Some(connection) };
         backend.send_frames(frames.frames())?;
         backend.finish_exchange()
@@ -398,31 +572,33 @@ impl VideoStorage for RemoteStore {
 
     fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
         check_name(&request.name)?;
-        let mut connection = self.dial_stream()?;
-        connection.send(&Message::OpenReadStream { request: request.clone() })?;
-        match connection.recv()? {
-            Message::StreamBegin { frame_rate, compressed } => {
-                let (sender, receiver) = bounded(self.chunk_buffer);
-                let reader = std::thread::spawn(move || {
-                    // A panic inside the reader must surface as a stream
-                    // error, not as a clean (silently truncated) end.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        stream_reader(connection, &sender)
-                    }));
-                    if outcome.is_err() {
-                        let _ =
-                            sender.send(Err(protocol_error("stream reader thread panicked")));
-                    }
-                });
-                Ok(ReadStream::from_chunks(
-                    frame_rate,
-                    compressed,
-                    ChunkIter { receiver: Some(receiver), reader: Some(reader) },
-                ))
+        let open = Message::OpenReadStream { request: request.clone() };
+        let (connection, frame_rate, compressed) =
+            self.open_stream(&open, |reply, connection| match reply {
+                Message::StreamBegin { frame_rate, compressed } => {
+                    Attempt::Done(Ok((connection, frame_rate, compressed)))
+                }
+                other => Attempt::Done(Err(protocol_error(format!(
+                    "unexpected stream reply {}",
+                    other.kind_name()
+                )))),
+            })?;
+        let (sender, receiver) = bounded(self.chunk_buffer);
+        let reader = std::thread::spawn(move || {
+            // A panic inside the reader must surface as a stream
+            // error, not as a clean (silently truncated) end.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stream_reader(connection, &sender)
+            }));
+            if outcome.is_err() {
+                let _ = sender.send(Err(protocol_error("stream reader thread panicked")));
             }
-            Message::Error(error) => Err(error.into_error()),
-            other => Err(protocol_error(format!("unexpected stream reply {}", other.kind_name()))),
-        }
+        });
+        Ok(ReadStream::from_chunks(
+            frame_rate,
+            compressed,
+            ChunkIter { receiver: Some(receiver), reader: Some(reader) },
+        ))
     }
 
     fn write_sink(
@@ -431,19 +607,21 @@ impl VideoStorage for RemoteStore {
         frame_rate: f64,
     ) -> Result<WriteSink<'_>, VssError> {
         check_name(&request.name)?;
-        let mut connection = self.dial_stream()?;
-        connection.send(&Message::WriteBegin { request: request.clone(), frame_rate })?;
-        match connection.recv()? {
-            Message::WriteReady { gop_size } => Ok(WriteSink::from_backend(
-                Box::new(RemoteSinkBackend { connection: Some(connection) }),
-                frame_rate,
-                // Chunk pushes on the server's own GOP boundary so each
-                // flush relays exactly one server-side GOP.
-                gop_size.clamp(1, u32::MAX as u64) as usize,
-            )),
-            Message::Error(error) => Err(error.into_error()),
-            other => Err(protocol_error(format!("unexpected write-begin reply {}", other.kind_name()))),
-        }
+        let open = Message::WriteBegin { request: request.clone(), frame_rate };
+        let (connection, gop_size) = self.open_stream(&open, |reply, connection| match reply {
+            Message::WriteReady { gop_size } => Attempt::Done(Ok((connection, gop_size))),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected write-begin reply {}",
+                other.kind_name()
+            )))),
+        })?;
+        Ok(WriteSink::from_backend(
+            Box::new(RemoteSinkBackend { connection: Some(connection) }),
+            frame_rate,
+            // Chunk pushes on the server's own GOP boundary so each
+            // flush relays exactly one server-side GOP.
+            gop_size.clamp(1, u32::MAX as u64) as usize,
+        ))
     }
 
     fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {

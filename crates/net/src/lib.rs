@@ -150,5 +150,5 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::RemoteStore;
+pub use client::{RemoteStore, RetryPolicy};
 pub use server::NetServer;

@@ -127,7 +127,11 @@ impl ShardedEngine {
                 let manifest = ServerManifest { shards: count };
                 let text = serde_json::to_string_pretty(&manifest)
                     .map_err(|e| VssError::Unsatisfiable(format!("manifest encode: {e}")))?;
-                std::fs::write(root.join(MANIFEST_FILE), text).map_err(vss_catalog_io)?;
+                // The manifest pins the shard count for the store's lifetime
+                // (routing depends on it), so its write must survive a crash:
+                // temp-then-rename with file and directory fsyncs.
+                vss_catalog::durable::write_atomic(&root.join(MANIFEST_FILE), text.as_bytes())
+                    .map_err(vss_catalog_io)?;
                 count
             }
         };
