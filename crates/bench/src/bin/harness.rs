@@ -41,9 +41,18 @@ use vss_workload::{
 const BASELINE_WARN_FRACTION: f64 = 0.10;
 const BASELINE_SEVERE_FRACTION: f64 = 0.25;
 
+/// Thresholds for the `--telemetry` comparison mode. Telemetry snapshots mix
+/// deterministic counters with wall-clock latency distributions, which vary
+/// far more between machines and runs than the scaled experiment metrics do,
+/// so the bands are much wider: flag ≥50% regressions, fail only on ≥300%
+/// (4x) regressions.
+const TELEMETRY_WARN_FRACTION: f64 = 0.50;
+const TELEMETRY_SEVERE_FRACTION: f64 = 3.00;
+
 fn main() {
     let scale = ScaleConfig::from_env();
     let mut baseline_dir: Option<std::path::PathBuf> = None;
+    let mut telemetry = false;
     let mut argument = "all".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +64,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--telemetry" => telemetry = true,
             other => argument = other.to_string(),
         }
     }
@@ -105,6 +115,9 @@ fn main() {
             Ok(path) => println!("wrote {}\n", path.display()),
             Err(error) => eprintln!("failed to write results: {error}\n"),
         }
+        if telemetry {
+            severe_regressions += write_telemetry_snapshot(experiment, &report);
+        }
     }
     if severe_regressions > 0 {
         eprintln!("{severe_regressions} severe regression(s) against the baseline");
@@ -147,6 +160,64 @@ fn compare_against_baseline(baseline_dir: &std::path::Path, report: &Report) -> 
         );
     }
     comparison.severe.len()
+}
+
+/// The `--telemetry` step for one experiment: folds the process-wide
+/// telemetry snapshot (plus the experiment's own rows) into a
+/// `BENCH_<experiment>` report, diffs it against the checked-in
+/// `BENCH_<experiment>.json` at the repo root (wide tolerance bands — see
+/// [`TELEMETRY_SEVERE_FRACTION`]), writes the comparison as
+/// `BENCH_<experiment>.md`, then overwrites the JSON with this run's
+/// snapshot. Returns the number of severe regressions. Snapshots are
+/// process-cumulative, so run one experiment per invocation for clean
+/// numbers.
+fn write_telemetry_snapshot(experiment: &str, results: &Report) -> usize {
+    let current = vss_bench::telemetry_report(experiment, results, &vss_telemetry::snapshot());
+    let json_path = std::path::Path::new(&format!("{}.json", current.experiment)).to_path_buf();
+    let markdown_path = format!("{}.md", current.experiment);
+    // Compare before overwriting: the baseline is the previous (checked-in)
+    // snapshot at the repo root.
+    let mut severe = 0usize;
+    let markdown = match std::fs::read_to_string(&json_path).ok().map(|t| Report::from_json(&t)) {
+        Some(Ok(baseline)) => {
+            let comparison = vss_bench::compare_to_baseline(
+                &baseline,
+                &current,
+                TELEMETRY_WARN_FRACTION,
+                TELEMETRY_SEVERE_FRACTION,
+            );
+            println!("{}", comparison.to_table(&current.experiment));
+            severe = comparison.severe.len();
+            comparison.to_markdown(&current.experiment)
+        }
+        Some(Err(error)) => {
+            eprintln!("unreadable telemetry baseline {}: {error}\n", json_path.display());
+            format!(
+                "## `{}` telemetry comparison\n\n_Baseline file was unreadable; wrote a fresh \
+                 snapshot._\n",
+                current.experiment
+            )
+        }
+        None => format!(
+            "## `{}` telemetry comparison\n\n_No baseline snapshot yet; wrote the first one._\n",
+            current.experiment
+        ),
+    };
+    if let Err(error) = std::fs::write(&markdown_path, markdown) {
+        eprintln!("failed to write {markdown_path}: {error}");
+    }
+    match current.write_json(".") {
+        Ok(path) => println!("wrote {}\n", path.display()),
+        Err(error) => eprintln!("failed to write telemetry snapshot: {error}\n"),
+    }
+    if severe > 0 {
+        eprintln!(
+            "{severe} severe telemetry regression(s) in {} (≥{:.0}% worse)\n",
+            current.experiment,
+            TELEMETRY_SEVERE_FRACTION * 100.0
+        );
+    }
+    severe
 }
 
 // ---------------------------------------------------------------------------

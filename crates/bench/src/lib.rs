@@ -165,6 +165,7 @@ pub fn metric_direction(key: &str) -> MetricDirection {
     if key.contains("seconds")
         || key.ends_with("_s")
         || key.ends_with("_ms")
+        || key.ends_with("_ns")
         || key.ends_with("_kb")
         || key.ends_with("_bytes")
     {
@@ -232,11 +233,99 @@ impl BaselineComparison {
         }
         out
     }
+    /// Renders the comparison as a GitHub-flavoured markdown table (the
+    /// `--telemetry` report artifact). Regressions are flagged ⚠️ (warning)
+    /// or ❌ (severe); improvements and unchanged metrics render unflagged.
+    pub fn to_markdown(&self, experiment: &str) -> String {
+        let mut out = format!("## `{experiment}` telemetry comparison\n\n");
+        if self.deltas.is_empty() {
+            out.push_str("_No comparable metrics in common with the baseline._\n");
+            return out;
+        }
+        out.push_str("| row / metric | baseline | current | change | |\n");
+        out.push_str("|---|---:|---:|---:|---|\n");
+        for delta in &self.deltas {
+            let flag = if self.severe.iter().any(|d| same_metric(d, delta)) {
+                "❌ severe"
+            } else if self.warnings.iter().any(|d| same_metric(d, delta)) {
+                "⚠️ warning"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "| `{}/{}` | {:.3} | {:.3} | {:+.1}% | {flag} |\n",
+                delta.row,
+                delta.metric,
+                delta.baseline,
+                delta.current,
+                delta.regression_fraction * 100.0,
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} metric(s) compared, {} warning(s), {} severe regression(s).\n",
+            self.deltas.len(),
+            self.warnings.len() - self.severe.len(),
+            self.severe.len()
+        ));
+        out
+    }
 }
 
 fn same_metric(a: &MetricDelta, b: &MetricDelta) -> bool {
     a.row == b.row && a.metric == b.metric
 }
+
+/// Folds a process-wide [`vss_telemetry::TelemetrySnapshot`] into a
+/// comparable [`Report`] named `BENCH_<experiment>`: the experiment's own
+/// result rows come first (the primary regression signal), then one
+/// `telemetry/<metric>` row per counter, gauge and histogram. Histogram rows
+/// expose `count`, `mean_ns` and the `p50/p90/p99/max` nanosecond summaries,
+/// which the `_ns` naming convention marks lower-is-better for baseline
+/// diffs. Snapshots are process-cumulative, so one experiment per process
+/// (how `--telemetry` is meant to run) gives clean numbers.
+pub fn telemetry_report(
+    experiment: &str,
+    results: &Report,
+    snapshot: &vss_telemetry::TelemetrySnapshot,
+) -> Report {
+    let mut report = Report::new(
+        format!("BENCH_{experiment}"),
+        format!("telemetry snapshot after the {experiment} experiment"),
+    );
+    for row in &results.rows {
+        report.push(Row { label: format!("result/{}", row.label), values: row.values.clone() });
+    }
+    for (name, value) in &snapshot.counters {
+        report.push(Row::new(format!("telemetry/{name}")).with("total", *value as f64));
+    }
+    for (name, value) in &snapshot.gauges {
+        report.push(Row::new(format!("telemetry/{name}")).with("level", *value as f64));
+    }
+    for (name, summary) in &snapshot.histograms {
+        let mut row = Row::new(format!("telemetry/{name}"))
+            .with("count", summary.count as f64)
+            .with("mean_ns", summary.mean());
+        // Tail quantiles of a handful of samples are single observations —
+        // pure scheduling noise that would flood the comparison with false
+        // severe regressions. Emit them only once the histogram has enough
+        // samples for a tail to mean something; low-count histograms keep
+        // count and mean, and missing columns are skipped by the diff.
+        if summary.count >= TELEMETRY_QUANTILE_MIN_COUNT {
+            row = row
+                .with("p50_ns", summary.p50 as f64)
+                .with("p90_ns", summary.p90 as f64)
+                .with("p99_ns", summary.p99 as f64)
+                .with("max_ns", summary.max as f64);
+        }
+        report.push(row);
+    }
+    report
+}
+
+/// Minimum histogram sample count before [`telemetry_report`] publishes
+/// p50/p90/p99/max columns (below it, quantiles are individual samples and
+/// comparing them across runs is noise).
+pub const TELEMETRY_QUANTILE_MIN_COUNT: u64 = 16;
 
 /// Diffs `current` against `baseline`, flagging metrics that got worse by at
 /// least `warn_fraction` (warning) or `severe_fraction` (severe). Rows and

@@ -397,6 +397,31 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<WalScan, CatalogError> {
 
 // --- the append handle ------------------------------------------------------
 
+/// Process-wide journal telemetry (`wal.journal.*`), cached so the durable
+/// mutation path never takes the registry lock.
+mod metrics {
+    use std::sync::OnceLock;
+
+    /// End-to-end latency of one durable record append (encode + write +
+    /// fsync).
+    pub(super) fn append() -> &'static vss_telemetry::Histogram {
+        static H: OnceLock<&'static vss_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| vss_telemetry::histogram("wal.journal.append_ns"))
+    }
+
+    /// Latency of the `fsync` that makes one appended frame durable.
+    pub(super) fn fsync() -> &'static vss_telemetry::Histogram {
+        static H: OnceLock<&'static vss_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| vss_telemetry::histogram("wal.journal.fsync_ns"))
+    }
+
+    /// Checkpoints taken (journal folded into the catalog and reset).
+    pub(super) fn checkpoints() -> &'static vss_telemetry::Counter {
+        static C: OnceLock<&'static vss_telemetry::Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("wal.journal.checkpoints"))
+    }
+}
+
 /// The open journal: an append handle plus the bookkeeping needed to keep
 /// appends atomic-or-rolled-back from the caller's point of view.
 #[derive(Debug)]
@@ -465,7 +490,10 @@ impl Wal {
         frame.extend_from_slice(&record_crc(seq, &payload).to_le_bytes());
         frame.extend_from_slice(&seq.to_le_bytes());
         frame.extend_from_slice(&payload);
-        match self.append_frame(&frame) {
+        let started = std::time::Instant::now();
+        let outcome = self.append_frame(&frame);
+        metrics::append().record_duration(started.elapsed());
+        match outcome {
             Ok(()) => {
                 self.len += frame.len() as u64;
                 Ok(())
@@ -498,12 +526,16 @@ impl Wal {
             WriteOutcome::Fail => unreachable!("on_write reports failures as errors"),
         }
         fault::on_sync(&self.path)?;
-        self.file.sync_all()
+        let started = std::time::Instant::now();
+        let outcome = self.file.sync_all();
+        metrics::fsync().record_duration(started.elapsed());
+        outcome
     }
 
     /// Resets the journal to just its header (after a checkpoint folded the
     /// records into `catalog.json`).
     pub(crate) fn reset(&mut self) -> io::Result<()> {
+        metrics::checkpoints().incr();
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.seek(io::SeekFrom::Start(WAL_MAGIC.len() as u64))?;
         fault::on_sync(&self.path)?;

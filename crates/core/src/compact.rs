@@ -19,6 +19,7 @@ impl Engine {
     /// Compacts pairs of contiguous cached physical videos with identical
     /// configurations. Returns the number of merges performed.
     pub fn compact_video(&mut self, name: &str) -> Result<usize, VssError> {
+        let _span = vss_telemetry::span("engine", "compact", name);
         if !self.config.compaction_enabled {
             return Ok(0);
         }

@@ -79,10 +79,46 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Opens an engine rooted at the configuration's directory.
+    /// Opens an engine rooted at the configuration's directory. What crash
+    /// recovery found (journal records replayed, torn bytes truncated,
+    /// orphans removed, …) is published as `engine.recovery.*` startup
+    /// metrics and, when anything had to be repaired or replayed, as one
+    /// structured `recovery` log line.
     pub fn open(config: VssConfig) -> Result<Self, VssError> {
         let mut catalog = Catalog::open(&config.root)?;
         catalog.set_checkpoint_threshold(config.wal_checkpoint_bytes);
+        let report = catalog.recovery_report();
+        vss_telemetry::counter("engine.recovery.opens").incr();
+        vss_telemetry::counter("engine.recovery.wal_records_replayed")
+            .add(report.wal_records_replayed as u64);
+        vss_telemetry::counter("engine.recovery.wal_records_stale")
+            .add(report.wal_records_stale as u64);
+        vss_telemetry::counter("engine.recovery.torn_bytes_truncated")
+            .add(report.torn_bytes_truncated);
+        vss_telemetry::counter("engine.recovery.orphan_files_removed")
+            .add(report.orphan_files_removed as u64);
+        vss_telemetry::counter("engine.recovery.orphan_dirs_removed")
+            .add(report.orphan_dirs_removed as u64);
+        vss_telemetry::counter("engine.recovery.gop_records_dropped")
+            .add(report.gop_records_dropped as u64);
+        vss_telemetry::counter("engine.recovery.gop_records_healed")
+            .add(report.gop_records_healed as u64);
+        if report.repaired_anything() || report.wal_records_replayed > 0 {
+            vss_telemetry::log_event(
+                "recovery",
+                &[
+                    ("root", config.root.display().to_string()),
+                    ("checkpoint_loaded", report.checkpoint_loaded.to_string()),
+                    ("wal_replayed", report.wal_records_replayed.to_string()),
+                    ("wal_stale", report.wal_records_stale.to_string()),
+                    ("torn_bytes", report.torn_bytes_truncated.to_string()),
+                    ("orphan_files", report.orphan_files_removed.to_string()),
+                    ("orphan_dirs", report.orphan_dirs_removed.to_string()),
+                    ("gops_dropped", report.gop_records_dropped.to_string()),
+                    ("gops_healed", report.gop_records_healed.to_string()),
+                ],
+            );
+        }
         Ok(Self { config, catalog, cost_model: CostModel::default(), quality_model: QualityModel::new() })
     }
 

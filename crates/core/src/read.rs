@@ -59,6 +59,7 @@ impl Engine {
         request: &ReadRequest,
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
+        let _span = vss_telemetry::span("engine", "read", request.name.as_str());
         let stream = self.plan_stream(request, planner, true)?;
         let (mut result, admission) = stream.drain_with_admission()?;
         // --- cache admission -----------------------------------------------
@@ -106,6 +107,7 @@ impl Engine {
         request: &ReadRequest,
         planner: PlannerKind,
     ) -> Result<ReadResult, VssError> {
+        let _span = vss_telemetry::span("engine", "read", request.name.as_str());
         // Shared reads never admit, so no admission-quality measurement.
         self.plan_stream(request, planner, false)?.drain()
     }

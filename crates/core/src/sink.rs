@@ -234,6 +234,25 @@ impl Engine {
     }
 }
 
+/// Process-wide overlapped-sink telemetry (`sink.pipeline.*`), cached so the
+/// ingest hot path never takes the registry lock.
+mod metrics {
+    use std::sync::OnceLock;
+
+    /// Time the persisting thread blocked waiting for the encode worker to
+    /// deliver the oldest in-flight GOP (zero = perfect overlap).
+    pub(super) fn encode_wait() -> &'static vss_telemetry::Histogram {
+        static H: OnceLock<&'static vss_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| vss_telemetry::histogram("sink.pipeline.encode_wait_ns"))
+    }
+
+    /// Time spent persisting one already-encoded GOP through the backend.
+    pub(super) fn persist() -> &'static vss_telemetry::Histogram {
+        static H: OnceLock<&'static vss_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| vss_telemetry::histogram("sink.pipeline.persist_ns"))
+    }
+}
+
 /// Adapts a storage backend's locking discipline to [`WriteSink`]. Each
 /// `flush_gop` call receives exactly one GOP-sized (or final partial) run of
 /// frames, in order; `finish` is called once, after the last flush.
@@ -439,15 +458,23 @@ impl<'a> WriteSink<'a> {
     }
 
     /// Receives the oldest in-flight GOP from the encode worker and persists
-    /// it through the backend.
+    /// it through the backend. The two timed phases quantify the overlap:
+    /// `encode_wait` is how long this thread blocked on the worker (zero when
+    /// encoding hid entirely behind the previous persist), `persist` is the
+    /// backend write itself.
     fn retire_one(&mut self) -> Result<(), VssError> {
         let pipeline = self.pipeline.as_mut().expect("retire with an active pipeline");
         let complete = pipeline.complete.as_ref().expect("open completion channel");
+        let wait_started = Instant::now();
         let (frames, encoded) = complete.recv().map_err(|_| {
             VssError::Unsatisfiable("sink encode worker exited unexpectedly".into())
         })?;
+        metrics::encode_wait().record_duration(wait_started.elapsed());
         pipeline.in_flight -= 1;
-        self.backend.flush_encoded(&frames, encoded?)
+        let persist_started = Instant::now();
+        let outcome = self.backend.flush_encoded(&frames, encoded?);
+        metrics::persist().record_duration(persist_started.elapsed());
+        outcome
     }
 
     /// Persists every in-flight GOP and retires the encode worker.

@@ -164,9 +164,38 @@ struct PrefetchedGop {
     decoding: Duration,
 }
 
+/// Process-wide readahead telemetry (`stream.readahead.*`), cached so the
+/// hot path never takes the registry lock.
+mod metrics {
+    use std::sync::OnceLock;
+
+    /// Time the consumer spent blocked waiting for the next prefetched GOP
+    /// (zero when the worker pool stays ahead of the drain).
+    pub(super) fn stall() -> &'static vss_telemetry::Histogram {
+        static H: OnceLock<&'static vss_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| vss_telemetry::histogram("stream.readahead.stall_ns"))
+    }
+
+    /// Decoded bytes currently held by readahead workers across all live
+    /// streams (produced but not yet received by a consumer).
+    pub(super) fn buffered_bytes() -> &'static vss_telemetry::Gauge {
+        static G: OnceLock<&'static vss_telemetry::Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("stream.readahead.buffered_bytes"))
+    }
+
+    /// Decoded frames currently held by readahead workers across all live
+    /// streams.
+    pub(super) fn buffered_frames() -> &'static vss_telemetry::Gauge {
+        static G: OnceLock<&'static vss_telemetry::Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("stream.readahead.buffered_frames"))
+    }
+}
+
 /// Shared gauge of decoded frames held by readahead workers (produced but
 /// not yet received by the consumer), folded into the stream's buffered-
 /// memory high-water marks so the reported peak covers the whole pipeline.
+/// Mirrored into the process-wide `stream.readahead.buffered_*` telemetry
+/// gauges (those aggregate every live stream's pool occupancy).
 #[derive(Debug, Default)]
 struct InflightGauge {
     frames: AtomicUsize,
@@ -181,11 +210,15 @@ impl InflightGauge {
         self.peak_frames.fetch_max(now, Ordering::SeqCst);
         let now = self.bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
         self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+        metrics::buffered_frames().add(frames as i64);
+        metrics::buffered_bytes().add(bytes as i64);
     }
 
     fn sub(&self, frames: usize, bytes: u64) {
         self.frames.fetch_sub(frames, Ordering::SeqCst);
         self.bytes.fetch_sub(bytes, Ordering::SeqCst);
+        metrics::buffered_frames().sub(frames as i64);
+        metrics::buffered_bytes().sub(bytes as i64);
     }
 
     fn held_frames(&self) -> usize {
@@ -702,7 +735,9 @@ impl PlanState {
         base: &mut StreamBase,
         ready: &mut VecDeque<ReadChunk>,
     ) -> Result<bool, VssError> {
+        let stall_started = Instant::now();
         let received = self.prefetch.as_mut().expect("prefetch mode").recv();
+        metrics::stall().record_duration(stall_started.elapsed());
         self.merge_gauge_peaks(base);
         let item = match received {
             None => {
@@ -914,6 +949,10 @@ impl Engine {
     /// [module docs](crate::stream). Streaming reads never admit their result
     /// to the cache of materialized views.
     pub fn read_stream(&self, request: &ReadRequest) -> Result<ReadStream, VssError> {
+        // The span covers the open (candidate collection + planning); the
+        // drain happens on the caller's schedule, tracked by the readahead
+        // stall/occupancy metrics instead.
+        let _span = vss_telemetry::span("engine", "read_stream", request.name.as_str());
         self.plan_stream(request, request.planner, false)
     }
 

@@ -22,6 +22,7 @@ impl Engine {
     /// the default budget) if it does not exist yet; the first write becomes
     /// the original physical video.
     pub fn write(&mut self, request: &WriteRequest, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        let _span = vss_telemetry::span("engine", "write", request.name.as_str());
         if frames.is_empty() {
             return Err(VssError::EmptyWrite);
         }
@@ -56,6 +57,7 @@ impl Engine {
     /// configuration; they are stored continuing from its current end time.
     /// Readers may query any prefix of the data written so far.
     pub fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
+        let _span = vss_telemetry::span("engine", "append", name);
         if frames.is_empty() {
             return Err(VssError::EmptyWrite);
         }

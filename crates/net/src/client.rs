@@ -18,12 +18,13 @@
 //! rises — end-to-end backpressure with O(GOP) memory at every hop.
 
 use crate::wire::{
-    fragment_boundaries, read_message, write_chunk_message, write_message, Message,
-    PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    fragment_boundaries, read_message, write_chunk_message, write_message, write_tagged_message,
+    Message, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
 use crossbeam::channel::{bounded, Receiver};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 use vss_core::{
@@ -98,24 +99,49 @@ enum Attempt<T> {
     Retry(VssError),
 }
 
+/// Mints process-unique request ids for client-originated operations. The
+/// id rides the wire in a tagged envelope (protocol version 2+) and shows up
+/// in span records on both sides of the connection.
+fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// One handshaken TCP connection.
 struct Connection {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     session: u64,
+    /// Protocol version agreed with the server during the handshake.
+    negotiated: u16,
 }
 
 impl Connection {
-    fn dial(addr: SocketAddr) -> Result<Self, VssError> {
+    /// Dials and handshakes, offering `min(cap, PROTOCOL_VERSION)` and
+    /// accepting whatever the server negotiates down to within the supported
+    /// window. `cap` exists so tests (and cautious deployments) can force an
+    /// old protocol version against a newer server.
+    fn dial(addr: SocketAddr, cap: u16) -> Result<Self, VssError> {
+        let offered = cap.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
         let stream = TcpStream::connect(addr).map_err(io_error)?;
         stream.set_nodelay(true).map_err(io_error)?;
         let reader = BufReader::new(stream.try_clone().map_err(io_error)?);
-        let mut connection = Self { reader, writer: BufWriter::new(stream), session: 0 };
-        connection
-            .send(&Message::Hello { magic: PROTOCOL_MAGIC, version: PROTOCOL_VERSION })?;
+        // Until the ack lands, hold the negotiated version at the floor so
+        // the handshake itself is never wrapped in a tagged envelope (the
+        // server parses Hello with the version-agnostic plain decoder).
+        let mut connection = Self {
+            reader,
+            writer: BufWriter::new(stream),
+            session: 0,
+            negotiated: MIN_PROTOCOL_VERSION,
+        };
+        connection.send(&Message::Hello { magic: PROTOCOL_MAGIC, version: offered })?;
         match connection.recv()? {
-            Message::HelloAck { version: PROTOCOL_VERSION, session } => {
+            Message::HelloAck { version, session }
+                if (MIN_PROTOCOL_VERSION..=offered).contains(&version) =>
+            {
                 connection.session = session;
+                connection.negotiated = version;
                 Ok(connection)
             }
             Message::HelloAck { version, .. } => Err(protocol_error(format!(
@@ -127,7 +153,15 @@ impl Connection {
     }
 
     fn send(&mut self, message: &Message) -> Result<(), VssError> {
-        write_message(&mut self.writer, message)?;
+        // On a version-2 connection, requests sent while a telemetry request
+        // scope is active carry the request id in a tagged envelope, so the
+        // server's spans for this operation join the client's trace.
+        match vss_telemetry::current_request_id() {
+            Some(request_id) if self.negotiated >= 2 => {
+                write_tagged_message(&mut self.writer, request_id, message)?;
+            }
+            _ => write_message(&mut self.writer, message)?,
+        }
         self.writer.flush().map_err(io_error)
     }
 
@@ -170,6 +204,10 @@ pub struct RemoteStore {
     /// Retry/backoff policy for safely retryable failures (`None`, the
     /// default, fails fast — see [`RetryPolicy`]).
     retry: Option<RetryPolicy>,
+    /// Highest protocol version this store will offer when dialing
+    /// (defaults to [`PROTOCOL_VERSION`]; see
+    /// [`with_protocol_cap`](Self::with_protocol_cap)).
+    protocol_cap: u16,
 }
 
 impl std::fmt::Debug for RemoteStore {
@@ -193,8 +231,14 @@ impl RemoteStore {
             .map_err(io_error)?
             .next()
             .ok_or_else(|| protocol_error("address resolved to nothing"))?;
-        let control = Connection::dial(addr)?;
-        Ok(Self { addr, control: Mutex::new(Some(control)), chunk_buffer: 2, retry: None })
+        let control = Connection::dial(addr, PROTOCOL_VERSION)?;
+        Ok(Self {
+            addr,
+            control: Mutex::new(Some(control)),
+            chunk_buffer: 2,
+            retry: None,
+            protocol_cap: PROTOCOL_VERSION,
+        })
     }
 
     /// Like [`connect`](Self::connect), but retries the initial dial under
@@ -216,8 +260,9 @@ impl RemoteStore {
             control: Mutex::new(None),
             chunk_buffer: 2,
             retry: Some(policy),
+            protocol_cap: PROTOCOL_VERSION,
         };
-        let control = store.run_with_retry(|| match Connection::dial(addr) {
+        let control = store.run_with_retry(|| match Connection::dial(addr, PROTOCOL_VERSION) {
             Ok(connection) => Attempt::Done(Ok(connection)),
             Err(error) => Attempt::Retry(error),
         })?;
@@ -242,6 +287,51 @@ impl RemoteStore {
         self
     }
 
+    /// Caps the protocol version this store offers when dialing (clamped to
+    /// the supported window). Any already-dialed control connection is
+    /// dropped so the cap applies to every subsequent exchange. Used by
+    /// negotiation-fallback tests to emulate an old client against a newer
+    /// server; version-2 features ([`stats_snapshot`](Self::stats_snapshot),
+    /// request-id tagging) degrade gracefully on a capped connection.
+    pub fn with_protocol_cap(mut self, cap: u16) -> Self {
+        self.protocol_cap = cap.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        *self.control.lock().expect("control lock") = None;
+        self
+    }
+
+    /// Requests the server's live telemetry snapshot (counters, gauges and
+    /// histogram summaries) over the control connection. Requires a
+    /// version-2 connection; on an older negotiated version this fails with
+    /// a typed [`VssError::Unsupported`] without sending anything.
+    pub fn stats_snapshot(&self) -> Result<vss_telemetry::TelemetrySnapshot, VssError> {
+        let request_id = next_request_id();
+        let _scope = vss_telemetry::request_scope(request_id);
+        let _span = vss_telemetry::span("client", "stats", "");
+        let mut slot = self.control.lock().expect("control lock");
+        if slot.is_none() {
+            *slot = Some(Connection::dial(self.addr, self.protocol_cap)?);
+        }
+        let connection = slot.as_mut().expect("dialed above");
+        if connection.negotiated < 2 {
+            return Err(VssError::Unsupported(format!(
+                "stats snapshots require protocol version >= 2 (negotiated {})",
+                connection.negotiated
+            )));
+        }
+        let outcome = connection.send(&Message::StatsRequest).and_then(|()| connection.recv());
+        match outcome {
+            Ok(Message::StatsSnapshot(snapshot)) => Ok(snapshot),
+            Ok(Message::Error(error)) => Err(error.into_error()),
+            Ok(other) => {
+                Err(protocol_error(format!("unexpected stats reply {}", other.kind_name())))
+            }
+            Err(error) => {
+                *slot = None;
+                Err(error)
+            }
+        }
+    }
+
     /// The server address this store dials.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -251,9 +341,19 @@ impl RemoteStore {
     pub fn session_id(&self) -> Result<u64, VssError> {
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            *slot = Some(Connection::dial(self.addr)?);
+            *slot = Some(Connection::dial(self.addr, self.protocol_cap)?);
         }
         Ok(slot.as_ref().expect("dialed above").session)
+    }
+
+    /// The protocol version negotiated on the control connection (dialing it
+    /// first if necessary).
+    pub fn negotiated_version(&self) -> Result<u16, VssError> {
+        let mut slot = self.control.lock().expect("control lock");
+        if slot.is_none() {
+            *slot = Some(Connection::dial(self.addr, self.protocol_cap)?);
+        }
+        Ok(slot.as_ref().expect("dialed above").negotiated)
     }
 
     /// Runs one request/response exchange on the control connection,
@@ -268,7 +368,7 @@ impl RemoteStore {
     fn unary_once(&self, message: &Message) -> Attempt<Message> {
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            match Connection::dial(self.addr) {
+            match Connection::dial(self.addr, self.protocol_cap) {
                 Ok(connection) => *slot = Some(connection),
                 // Nothing was sent: transient connect failures (and
                 // admission sheds during the handshake) are retryable.
@@ -308,7 +408,7 @@ impl RemoteStore {
         mut classify: impl FnMut(Message, Connection) -> Attempt<T>,
     ) -> Result<T, VssError> {
         self.run_with_retry(|| {
-            let mut connection = match Connection::dial(self.addr) {
+            let mut connection = match Connection::dial(self.addr, self.protocol_cap) {
                 Ok(connection) => connection,
                 Err(error) => return Attempt::Retry(error),
             };
@@ -520,6 +620,8 @@ impl VideoStorage for RemoteStore {
 
     fn create(&mut self, name: &str, budget: Option<StorageBudget>) -> Result<(), VssError> {
         check_name(name)?;
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "create", name);
         match self.unary(Message::Create { name: name.into(), budget })? {
             Message::Ok => Ok(()),
             other => Err(protocol_error(format!("unexpected create reply {}", other.kind_name()))),
@@ -528,6 +630,8 @@ impl VideoStorage for RemoteStore {
 
     fn delete(&mut self, name: &str) -> Result<(), VssError> {
         check_name(name)?;
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "delete", name);
         match self.unary(Message::Delete { name: name.into() })? {
             Message::Ok => Ok(()),
             other => Err(protocol_error(format!("unexpected delete reply {}", other.kind_name()))),
@@ -549,6 +653,8 @@ impl VideoStorage for RemoteStore {
 
     fn append(&mut self, name: &str, frames: &FrameSequence) -> Result<WriteReport, VssError> {
         check_name(name)?;
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "append", name);
         let begin = Message::AppendBegin { name: name.into(), frame_rate: frames.frame_rate() };
         let connection = self.open_stream(&begin, |reply, connection| match reply {
             Message::Ok => Attempt::Done(Ok(connection)),
@@ -572,6 +678,11 @@ impl VideoStorage for RemoteStore {
 
     fn read_stream(&mut self, request: &ReadRequest) -> Result<ReadStream, VssError> {
         check_name(&request.name)?;
+        // The scope covers the stream *open* — the tagged envelope carries
+        // the id to the server, whose spans for the whole drain then join
+        // this trace; the client-side span measures time-to-first-chunk.
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "read_stream", request.name.as_str());
         let open = Message::OpenReadStream { request: request.clone() };
         let (connection, frame_rate, compressed) =
             self.open_stream(&open, |reply, connection| match reply {
@@ -607,6 +718,8 @@ impl VideoStorage for RemoteStore {
         frame_rate: f64,
     ) -> Result<WriteSink<'_>, VssError> {
         check_name(&request.name)?;
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "write", request.name.as_str());
         let open = Message::WriteBegin { request: request.clone(), frame_rate };
         let (connection, gop_size) = self.open_stream(&open, |reply, connection| match reply {
             Message::WriteReady { gop_size } => Attempt::Done(Ok((connection, gop_size))),
@@ -626,6 +739,8 @@ impl VideoStorage for RemoteStore {
 
     fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
         check_name(name)?;
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "metadata", name);
         match self.unary(Message::Metadata { name: name.into() })? {
             Message::MetadataReply(metadata) => Ok(metadata),
             other => Err(protocol_error(format!("unexpected metadata reply {}", other.kind_name()))),

@@ -19,10 +19,10 @@
 //! in-process sessions too.
 
 use crate::wire::{
-    fragment_boundaries, read_message, write_message, Message, WireError, WireWriteReport,
-    FRAGMENT_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    fragment_boundaries, read_envelope, read_message, write_message, Message, WireError,
+    WireWriteReport, FRAGMENT_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read as IoRead, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -32,6 +32,77 @@ use vss_frame::Frame;
 use vss_server::{Session, VssServer};
 
 use crate::wire::io_error;
+
+/// Cached `&'static` telemetry handles for the connection hot path.
+mod metrics {
+    use std::sync::OnceLock;
+    use vss_telemetry::{Counter, Gauge};
+
+    /// `net.conn.bytes_received`: request bytes off every socket.
+    pub(super) fn bytes_received() -> &'static Counter {
+        static C: OnceLock<&'static Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("net.conn.bytes_received"))
+    }
+
+    /// `net.conn.bytes_sent`: reply bytes onto every socket.
+    pub(super) fn bytes_sent() -> &'static Counter {
+        static C: OnceLock<&'static Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("net.conn.bytes_sent"))
+    }
+
+    /// `net.conn.accepted`: connections accepted since process start.
+    pub(super) fn accepted() -> &'static Counter {
+        static C: OnceLock<&'static Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("net.conn.accepted"))
+    }
+
+    /// `net.conn.active`: handler threads currently live.
+    pub(super) fn active() -> &'static Gauge {
+        static G: OnceLock<&'static Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("net.conn.active"))
+    }
+}
+
+/// A transport wrapper counting every byte that crosses the socket into a
+/// telemetry counter (buffered above, so the count reflects actual I/O).
+struct Counting<T> {
+    inner: T,
+    counter: &'static vss_telemetry::Counter,
+}
+
+impl<T: IoRead> IoRead for Counting<T> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counter.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for Counting<T> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.counter.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The handler's buffered, byte-counted transport halves.
+type ConnReader = BufReader<Counting<TcpStream>>;
+type ConnWriter = BufWriter<Counting<TcpStream>>;
+
+/// Decrements the live-connection gauge when a handler exits (however it
+/// exits).
+struct ConnectionGuard;
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        metrics::active().sub(1);
+    }
+}
 
 /// One live connection's registry entry: the handler thread plus a clone of
 /// its socket (closed on shutdown to unblock the handler's reads).
@@ -163,28 +234,39 @@ fn accept_loop(inner: &Arc<NetInner>, listener: TcpListener) {
 /// transport error ends the connection; dropping the [`Session`] releases
 /// its admission slot.
 fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
+    metrics::accepted().incr();
+    metrics::active().add(1);
+    let _conn = ConnectionGuard;
     let _ = stream.set_nodelay(true);
     // Pre-admission read timeout: an idle or byte-trickling connection
     // cannot hold a handler thread (and its descriptors) forever *before*
     // it has passed the admission gate; it is dropped and reaped instead.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let send = |writer: &mut BufWriter<TcpStream>, message: &Message| -> Result<(), VssError> {
+    let mut reader =
+        BufReader::new(Counting { inner: read_half, counter: metrics::bytes_received() });
+    let mut writer = BufWriter::new(Counting { inner: stream, counter: metrics::bytes_sent() });
+    let send = |writer: &mut ConnWriter, message: &Message| -> Result<(), VssError> {
         write_message(writer, message)?;
         writer.flush().map_err(io_error)
     };
 
     // --- handshake + admission --------------------------------------------
-    match read_message(&mut reader) {
-        Ok(Message::Hello { magic: PROTOCOL_MAGIC, version: PROTOCOL_VERSION }) => {}
+    // The server speaks min(client, server) within the supported window; a
+    // newer client is negotiated down rather than rejected, an older-than-
+    // MIN client gets a typed protocol error.
+    let negotiated = match read_message(&mut reader) {
+        Ok(Message::Hello { magic: PROTOCOL_MAGIC, version })
+            if version >= MIN_PROTOCOL_VERSION =>
+        {
+            version.min(PROTOCOL_VERSION)
+        }
         Ok(Message::Hello { magic: PROTOCOL_MAGIC, version }) => {
             let _ = send(
                 &mut writer,
                 &Message::Error(WireError::protocol(format!(
                     "unsupported protocol version {version} (this server speaks \
-                     {PROTOCOL_VERSION})"
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                 ))),
             );
             return;
@@ -196,7 +278,7 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
             );
             return;
         }
-    }
+    };
     let session = match inner.server.try_session() {
         Ok(session) => session,
         Err(error) => {
@@ -206,41 +288,58 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
             return;
         }
     };
-    if send(
-        &mut writer,
-        &Message::HelloAck { version: PROTOCOL_VERSION, session: session.id() },
-    )
-    .is_err()
+    if send(&mut writer, &Message::HelloAck { version: negotiated, session: session.id() })
+        .is_err()
     {
         return;
     }
     // Admitted: the session now counts against the server's limits, so the
     // anti-idle timeout comes off (long-lived control connections are fine).
-    let _ = reader.get_ref().set_read_timeout(None);
+    let _ = reader.get_ref().inner.set_read_timeout(None);
 
     // --- request loop ------------------------------------------------------
     loop {
-        let message = match read_message(&mut reader) {
-            Ok(message) => message,
+        // Version-2 clients may tag any request with a request id; the id is
+        // installed as this thread's telemetry request scope, so the server-
+        // and engine-layer spans of the operation all carry it.
+        let envelope = match read_envelope(&mut reader) {
+            Ok(envelope) => envelope,
             Err(_) => return, // disconnect (or garbage): drop the session
         };
-        let outcome = match message {
+        let _scope = envelope.request_id.map(vss_telemetry::request_scope);
+        let outcome = match envelope.message {
             Message::Create { name, budget } => {
+                let _span = vss_telemetry::span("net", "create", name.as_str());
                 reply_unit(&mut writer, session.create(&name, budget))
             }
-            Message::Delete { name } => reply_unit(&mut writer, session.delete(&name)),
-            Message::Metadata { name } => match session.metadata(&name) {
-                Ok(metadata) => send(&mut writer, &Message::MetadataReply(metadata)),
-                Err(error) => send(&mut writer, &Message::Error(WireError::from_error(&error))),
-            },
+            Message::Delete { name } => {
+                let _span = vss_telemetry::span("net", "delete", name.as_str());
+                reply_unit(&mut writer, session.delete(&name))
+            }
+            Message::Metadata { name } => {
+                let _span = vss_telemetry::span("net", "metadata", name.as_str());
+                match session.metadata(&name) {
+                    Ok(metadata) => send(&mut writer, &Message::MetadataReply(metadata)),
+                    Err(error) => {
+                        send(&mut writer, &Message::Error(WireError::from_error(&error)))
+                    }
+                }
+            }
             Message::OpenReadStream { request } => {
+                let _span = vss_telemetry::span("net", "read_stream", request.name.as_str());
                 serve_read_stream(inner, &session, &request, &mut writer)
             }
             Message::WriteBegin { request, frame_rate } => {
+                let _span = vss_telemetry::span("net", "write", request.name.as_str());
                 serve_write(inner, &session, &request, frame_rate, &mut reader, &mut writer)
             }
             Message::AppendBegin { name, frame_rate } => {
+                let _span = vss_telemetry::span("net", "append", name.as_str());
                 serve_append(inner, &session, &name, frame_rate, &mut reader, &mut writer)
+            }
+            Message::StatsRequest if negotiated >= 2 => {
+                let _span = vss_telemetry::span("net", "stats", "");
+                send(&mut writer, &Message::StatsSnapshot(vss_telemetry::snapshot()))
             }
             other => send(
                 &mut writer,
@@ -257,7 +356,7 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
 }
 
 fn reply_unit(
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut ConnWriter,
     result: Result<(), VssError>,
 ) -> Result<(), VssError> {
     let message = match result {
@@ -276,7 +375,7 @@ fn serve_read_stream(
     inner: &Arc<NetInner>,
     session: &Session,
     request: &vss_core::ReadRequest,
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut ConnWriter,
 ) -> Result<(), VssError> {
     let stream = match session.read_stream(request) {
         Ok(stream) => stream,
@@ -313,7 +412,7 @@ fn serve_read_stream(
 /// socket accepts them, so slow clients raise the admission gauge.
 fn send_chunk(
     inner: &Arc<NetInner>,
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut ConnWriter,
     mut chunk: ReadChunk,
 ) -> Result<(), VssError> {
     let frame_rate = chunk.frames.frame_rate();
@@ -371,8 +470,8 @@ fn serve_write(
     session: &Session,
     request: &vss_core::WriteRequest,
     frame_rate: f64,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
+    reader: &mut ConnReader,
+    writer: &mut ConnWriter,
 ) -> Result<(), VssError> {
     let sink = match session.write_sink(request, frame_rate) {
         Ok(sink) => sink,
@@ -394,8 +493,8 @@ fn serve_append(
     session: &Session,
     name: &str,
     frame_rate: f64,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
+    reader: &mut ConnReader,
+    writer: &mut ConnWriter,
 ) -> Result<(), VssError> {
     // Fail fast: reject an append to a nonexistent video at begin, before
     // the client ships (and this side buffers) the whole clip.
@@ -424,8 +523,8 @@ enum IngestTarget<'a> {
 /// connection, and its `finish` reads the earlier error.
 fn ingest(
     inner: &Arc<NetInner>,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
+    reader: &mut ConnReader,
+    writer: &mut ConnWriter,
     mut target: IngestTarget<'_>,
 ) -> Result<(), VssError> {
     let mut failed = false;
@@ -433,8 +532,13 @@ fn ingest(
     let mut buffered_guards = Vec::new();
     loop {
         // A disconnect mid-ingest propagates the error: dropping the sink
-        // aborts it (only fully persisted GOPs remain on disk).
-        let message = read_message(reader)?;
+        // aborts it (only fully persisted GOPs remain on disk). Read through
+        // the envelope decoder: a version-2 client tags any client→server
+        // message sent under an active request scope (`WriteFinish` of an
+        // append, a sink's `WriteAbort`), and the ingest loop must accept
+        // those exactly like the top-level request loop does. The request id
+        // is already scoped from the operation's opening message.
+        let message = read_envelope(reader)?.message;
         match message {
             Message::WriteChunk { frames } => {
                 if failed {

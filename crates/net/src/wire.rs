@@ -27,11 +27,20 @@ use vss_core::{
     WriteRequest,
 };
 use vss_frame::{Frame, PixelFormat, RegionOfInterest, Resolution};
+use vss_telemetry::{HistogramSummary, TelemetrySnapshot};
 
 /// Protocol magic carried by the client's `Hello` ("VSSN").
 pub const PROTOCOL_MAGIC: u32 = 0x5653_534e;
-/// Protocol version spoken by this build; the handshake rejects mismatches.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Newest protocol version spoken by this build. Version 2 added the tagged
+/// request-id envelope ([`ENVELOPE_TAGGED`]) and the
+/// [`Message::StatsRequest`]/[`Message::StatsSnapshot`] pair.
+pub const PROTOCOL_VERSION: u16 = 2;
+/// Oldest protocol version this build still speaks. The handshake
+/// negotiates `min(client, server)` within
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and rejects anything
+/// older; on a version-1 connection neither side emits version-2 constructs
+/// (no tagged envelopes, no stats messages).
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 /// Ceiling on one message's payload, checked before any allocation.
 pub const MAX_MESSAGE_BYTES: usize = 64 << 20;
 /// Ceiling on one string field (names, error text).
@@ -52,6 +61,15 @@ pub const MAX_CHUNK_FRAMES: usize = 1 << 16;
 /// Ceiling on the pixel bytes one reassembled chunk may accumulate across
 /// its fragments.
 pub const MAX_CHUNK_BYTES: u64 = 1 << 30;
+/// First payload byte of a version-2 tagged envelope: `[0x7f][request id:
+/// u64 LE][message]`. The value collides with no message kind (client kinds
+/// are `0x01..=0x7e`, server kinds `0x81..`), so a tagged payload is
+/// unambiguous — and a version-1 decoder rejects it as an unknown kind,
+/// which is why tagging is only used after the handshake negotiates ≥ 2.
+pub const ENVELOPE_TAGGED: u8 = 0x7f;
+/// Ceiling on the metrics one [`Message::StatsSnapshot`] section (counters,
+/// gauges or histograms) may carry, checked before any allocation.
+pub const MAX_METRICS: usize = 4096;
 
 /// Wire error codes — one per [`VssError`] variant (the encode mapping in
 /// [`WireError::from_error`] is deliberately exhaustive: adding a `VssError`
@@ -231,7 +249,9 @@ pub enum Message {
     Hello {
         /// Must be [`PROTOCOL_MAGIC`].
         magic: u32,
-        /// Must be [`PROTOCOL_VERSION`].
+        /// Newest version the client speaks; the server negotiates
+        /// `min(client, server)` and rejects anything below
+        /// [`MIN_PROTOCOL_VERSION`].
         version: u16,
     },
     /// Creates a logical video.
@@ -284,10 +304,13 @@ pub enum Message {
     /// Abandons an in-progress write or append: the server discards
     /// unpersisted data (for a sink, only fully persisted GOPs remain).
     WriteAbort,
+    /// Requests the server's telemetry snapshot (version ≥ 2 only); the
+    /// server replies [`Message::StatsSnapshot`].
+    StatsRequest,
     /// Handshake acknowledgement: negotiated version and the admitted
     /// session's server-unique id.
     HelloAck {
-        /// Version the server will speak.
+        /// Version the server will speak: `min(client, server)`.
         version: u16,
         /// Server-side session id.
         session: u64,
@@ -332,6 +355,9 @@ pub enum Message {
     },
     /// Reply to [`Message::WriteFinish`].
     WriteReport(WireWriteReport),
+    /// Reply to [`Message::StatsRequest`]: the server process's full
+    /// telemetry snapshot (version ≥ 2 only).
+    StatsSnapshot(TelemetrySnapshot),
 }
 
 impl Message {
@@ -349,6 +375,7 @@ impl Message {
             Message::WriteChunk { .. } => "WriteChunk",
             Message::WriteFinish => "WriteFinish",
             Message::WriteAbort => "WriteAbort",
+            Message::StatsRequest => "StatsRequest",
             Message::HelloAck { .. } => "HelloAck",
             Message::Ok => "Ok",
             Message::Error(_) => "Error",
@@ -358,6 +385,7 @@ impl Message {
             Message::StreamEnd => "StreamEnd",
             Message::WriteReady { .. } => "WriteReady",
             Message::WriteReport(_) => "WriteReport",
+            Message::StatsSnapshot(_) => "StatsSnapshot",
         }
     }
 }
@@ -372,6 +400,7 @@ const KIND_APPEND_BEGIN: u8 = 0x07;
 const KIND_WRITE_CHUNK: u8 = 0x08;
 const KIND_WRITE_FINISH: u8 = 0x09;
 const KIND_WRITE_ABORT: u8 = 0x0a;
+const KIND_STATS_REQUEST: u8 = 0x0b;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_OK: u8 = 0x82;
 const KIND_ERROR: u8 = 0x83;
@@ -381,6 +410,7 @@ const KIND_STREAM_CHUNK: u8 = 0x86;
 const KIND_STREAM_END: u8 = 0x87;
 const KIND_WRITE_READY: u8 = 0x88;
 const KIND_WRITE_REPORT: u8 = 0x89;
+const KIND_STATS_SNAPSHOT: u8 = 0x8a;
 
 // ---------------------------------------------------------------------------
 // Primitive writers
@@ -733,6 +763,63 @@ fn get_report(cursor: &mut Cursor<'_>) -> DecodeResult<WireWriteReport> {
     })
 }
 
+fn put_snapshot(out: &mut Vec<u8>, snapshot: &TelemetrySnapshot) {
+    put_u32(out, snapshot.counters.len() as u32);
+    for (name, value) in &snapshot.counters {
+        put_str(out, name);
+        put_u64(out, *value);
+    }
+    put_u32(out, snapshot.gauges.len() as u32);
+    for (name, value) in &snapshot.gauges {
+        put_str(out, name);
+        // i64 travels as its two's-complement bit pattern.
+        put_u64(out, *value as u64);
+    }
+    put_u32(out, snapshot.histograms.len() as u32);
+    for (name, h) in &snapshot.histograms {
+        put_str(out, name);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        put_u64(out, h.max);
+        put_u64(out, h.p50);
+        put_u64(out, h.p90);
+        put_u64(out, h.p99);
+    }
+}
+
+/// Reads one snapshot-section length, refusing implausible counts before any
+/// allocation.
+fn get_metric_count(cursor: &mut Cursor<'_>) -> DecodeResult<usize> {
+    let count = cursor.get_u32()? as usize;
+    if count > MAX_METRICS {
+        return Err(format!("snapshot section of {count} metrics exceeds the {MAX_METRICS} cap"));
+    }
+    Ok(count)
+}
+
+fn get_snapshot(cursor: &mut Cursor<'_>) -> DecodeResult<TelemetrySnapshot> {
+    let mut snapshot = TelemetrySnapshot::default();
+    for _ in 0..get_metric_count(cursor)? {
+        snapshot.counters.push((cursor.get_str()?, cursor.get_u64()?));
+    }
+    for _ in 0..get_metric_count(cursor)? {
+        snapshot.gauges.push((cursor.get_str()?, cursor.get_u64()? as i64));
+    }
+    for _ in 0..get_metric_count(cursor)? {
+        let name = cursor.get_str()?;
+        let summary = HistogramSummary {
+            count: cursor.get_u64()?,
+            sum: cursor.get_u64()?,
+            max: cursor.get_u64()?,
+            p50: cursor.get_u64()?,
+            p90: cursor.get_u64()?,
+            p99: cursor.get_u64()?,
+        };
+        snapshot.histograms.push((name, summary));
+    }
+    Ok(snapshot)
+}
+
 // ---------------------------------------------------------------------------
 // Message encode / decode
 // ---------------------------------------------------------------------------
@@ -780,6 +867,7 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
         }
         Message::WriteFinish => out.push(KIND_WRITE_FINISH),
         Message::WriteAbort => out.push(KIND_WRITE_ABORT),
+        Message::StatsRequest => out.push(KIND_STATS_REQUEST),
         Message::HelloAck { version, session } => {
             out.push(KIND_HELLO_ACK);
             put_u16(&mut out, *version);
@@ -816,6 +904,10 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
             out.push(KIND_WRITE_REPORT);
             put_report(&mut out, report);
         }
+        Message::StatsSnapshot(snapshot) => {
+            out.push(KIND_STATS_SNAPSHOT);
+            put_snapshot(&mut out, snapshot);
+        }
     }
     out
 }
@@ -850,6 +942,7 @@ pub fn decode_message(payload: &[u8]) -> DecodeResult<Message> {
         KIND_WRITE_CHUNK => Message::WriteChunk { frames: get_frames(&mut cursor)? },
         KIND_WRITE_FINISH => Message::WriteFinish,
         KIND_WRITE_ABORT => Message::WriteAbort,
+        KIND_STATS_REQUEST => Message::StatsRequest,
         KIND_HELLO_ACK => Message::HelloAck {
             version: cursor.get_u16()?,
             session: cursor.get_u64()?,
@@ -875,6 +968,7 @@ pub fn decode_message(payload: &[u8]) -> DecodeResult<Message> {
         KIND_STREAM_END => Message::StreamEnd,
         KIND_WRITE_READY => Message::WriteReady { gop_size: cursor.get_u64()? },
         KIND_WRITE_REPORT => Message::WriteReport(get_report(&mut cursor)?),
+        KIND_STATS_SNAPSHOT => Message::StatsSnapshot(get_snapshot(&mut cursor)?),
         other => return Err(format!("unknown message kind 0x{other:02x}")),
     };
     if cursor.remaining() != 0 {
@@ -935,6 +1029,62 @@ pub fn write_message(writer: &mut impl Write, message: &Message) -> Result<(), V
     write_payload(writer, &encode_message(message))
 }
 
+/// One decoded payload: the message plus the request id its version-2
+/// tagged envelope carried, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Request id from the [`ENVELOPE_TAGGED`] extension (absent on plain
+    /// version-1 payloads).
+    pub request_id: Option<u64>,
+    /// The message itself.
+    pub message: Message,
+}
+
+/// Encodes one message wrapped in the version-2 tagged envelope. Only send
+/// this on a connection whose negotiated version is ≥ 2 — a version-1 peer
+/// rejects the marker byte as an unknown kind.
+pub fn encode_tagged(request_id: u64, message: &Message) -> Vec<u8> {
+    let body = encode_message(message);
+    let mut out = Vec::with_capacity(9 + body.len());
+    out.push(ENVELOPE_TAGGED);
+    put_u64(&mut out, request_id);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one payload that may or may not carry the tagged-envelope
+/// extension. Total, like [`decode_message`].
+pub fn decode_envelope(payload: &[u8]) -> DecodeResult<Envelope> {
+    if payload.first() == Some(&ENVELOPE_TAGGED) {
+        if payload.len() < 9 {
+            return Err("truncated tagged envelope".into());
+        }
+        let request_id = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+        Ok(Envelope { request_id: Some(request_id), message: decode_message(&payload[9..])? })
+    } else {
+        Ok(Envelope { request_id: None, message: decode_message(payload)? })
+    }
+}
+
+/// Writes one message wrapped in the version-2 tagged envelope (see
+/// [`encode_tagged`]).
+pub fn write_tagged_message(
+    writer: &mut impl Write,
+    request_id: u64,
+    message: &Message,
+) -> Result<(), VssError> {
+    write_payload(writer, &encode_tagged(request_id, message))
+}
+
+/// Reads one length-prefixed payload and decodes it as an [`Envelope`]
+/// (tagged or plain). Servers read requests through this so a version-2
+/// client's request ids are surfaced; [`read_message`] is the plain
+/// equivalent for reply streams, which are never tagged.
+pub fn read_envelope(reader: &mut impl Read) -> Result<Envelope, VssError> {
+    let payload = read_payload(reader)?;
+    decode_envelope(&payload).map_err(protocol_error)
+}
+
 /// Writes a [`Message::WriteChunk`] directly from borrowed frames — the
 /// write hot path serializes pixel buffers straight into the payload instead
 /// of cloning them into an owned message first.
@@ -971,10 +1121,10 @@ pub fn fragment_boundaries(frames: &[Frame]) -> Vec<usize> {
     boundaries
 }
 
-/// Reads one length-prefixed message. The length is validated against
+/// Reads one length-prefixed payload. The length is validated against
 /// [`MAX_MESSAGE_BYTES`] **before** the payload buffer is allocated, so an
 /// adversarial or corrupt length can never cause an outsized allocation.
-pub fn read_message(reader: &mut impl Read) -> Result<Message, VssError> {
+fn read_payload(reader: &mut impl Read) -> Result<Vec<u8>, VssError> {
     let mut header = [0u8; 4];
     reader.read_exact(&mut header).map_err(io_error)?;
     let len = u32::from_le_bytes(header) as usize;
@@ -985,7 +1135,15 @@ pub fn read_message(reader: &mut impl Read) -> Result<Message, VssError> {
     }
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload).map_err(io_error)?;
-    decode_message(&payload).map_err(protocol_error)
+    Ok(payload)
+}
+
+/// Reads one length-prefixed message. The length is validated against
+/// [`MAX_MESSAGE_BYTES`] before the payload buffer is allocated. Rejects
+/// tagged envelopes — replies are never tagged; use [`read_envelope`] on
+/// the request path.
+pub fn read_message(reader: &mut impl Read) -> Result<Message, VssError> {
+    decode_message(&read_payload(reader)?).map_err(protocol_error)
 }
 
 #[cfg(test)]
@@ -1121,6 +1279,53 @@ mod tests {
         let mut payload = vec![KIND_WRITE_CHUNK];
         put_u32(&mut payload, u32::MAX);
         assert!(decode_message(&payload).is_err());
+    }
+
+    #[test]
+    fn stats_messages_round_trip() {
+        assert_eq!(
+            decode_message(&encode_message(&Message::StatsRequest)).unwrap(),
+            Message::StatsRequest
+        );
+        let snapshot = TelemetrySnapshot {
+            counters: vec![("engine.read.ops".into(), 42), ("wal.append.ops".into(), 7)],
+            gauges: vec![("server.admission.queue_depth".into(), -3)],
+            histograms: vec![(
+                "engine.read.latency_ns".into(),
+                HistogramSummary { count: 10, sum: 1000, max: 400, p50: 90, p90: 300, p99: 400 },
+            )],
+        };
+        let message = Message::StatsSnapshot(snapshot);
+        assert_eq!(decode_message(&encode_message(&message)).unwrap(), message);
+    }
+
+    #[test]
+    fn snapshot_metric_count_is_capped_before_allocation() {
+        let mut payload = vec![KIND_STATS_SNAPSHOT];
+        put_u32(&mut payload, u32::MAX);
+        assert!(decode_message(&payload).is_err());
+    }
+
+    #[test]
+    fn tagged_envelopes_round_trip_and_plain_payloads_pass_through() {
+        let message = Message::Metadata { name: "cam-7".into() };
+        let tagged = encode_tagged(99, &message);
+        assert_eq!(tagged[0], ENVELOPE_TAGGED);
+        assert_eq!(
+            decode_envelope(&tagged).unwrap(),
+            Envelope { request_id: Some(99), message: message.clone() }
+        );
+        assert_eq!(
+            decode_envelope(&encode_message(&message)).unwrap(),
+            Envelope { request_id: None, message: message.clone() }
+        );
+        // A version-1 decoder (plain decode_message) rejects the marker as
+        // an unknown kind instead of misreading the payload.
+        assert!(decode_message(&tagged).is_err());
+        // Strict prefixes of a tagged envelope always error.
+        for len in 0..tagged.len() {
+            assert!(decode_envelope(&tagged[..len]).is_err(), "prefix of {len} bytes decoded");
+        }
     }
 
     #[test]

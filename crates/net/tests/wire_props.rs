@@ -1,0 +1,87 @@
+//! Property tests for the version-2 wire extensions: tagged request-id
+//! envelopes and telemetry snapshots must round-trip for arbitrary values,
+//! and a version-1 decoder must always reject tagged payloads (the
+//! negotiation-fallback invariant) rather than misparse them.
+
+use proptest::prelude::*;
+use vss_net::wire::{decode_envelope, decode_message, encode_message, encode_tagged, Message};
+use vss_telemetry::{HistogramSummary, TelemetrySnapshot};
+
+fn snapshot_from(counters: &[u64], gauges: &[i64], histograms: &[u64]) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        counters: counters
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| (format!("test.counter.c{i}"), value))
+            .collect(),
+        gauges: gauges
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| (format!("test.gauge.g{i}"), value))
+            .collect(),
+        histograms: histograms
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let summary = HistogramSummary {
+                    count: seed,
+                    sum: seed.wrapping_mul(3),
+                    max: seed.wrapping_add(7),
+                    p50: seed / 2,
+                    p90: seed / 2 + seed / 4,
+                    p99: seed,
+                };
+                (format!("test.histogram.h{i}_ns"), summary)
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Any request id wrapped around any unary message survives the tagged
+    /// envelope round trip, and the same bytes are rejected by the plain
+    /// version-1 decoder (`0x7f` is not a message kind there).
+    #[test]
+    fn tagged_envelopes_round_trip_for_any_request_id(request_id in any::<u64>()) {
+        let message = Message::StatsRequest;
+        let tagged = encode_tagged(request_id, &message);
+        let envelope = decode_envelope(&tagged).expect("tagged payload decodes");
+        prop_assert_eq!(envelope.request_id, Some(request_id));
+        prop_assert!(matches!(envelope.message, Message::StatsRequest));
+        prop_assert!(
+            decode_message(&tagged).is_err(),
+            "a version-1 decoder must reject the tagged marker"
+        );
+        // Untagged payloads pass through decode_envelope unchanged.
+        let plain = encode_message(&message);
+        let envelope = decode_envelope(&plain).expect("plain payload decodes");
+        prop_assert_eq!(envelope.request_id, None);
+    }
+
+    /// Telemetry snapshots of arbitrary shape and values round-trip through
+    /// the StatsSnapshot codec exactly.
+    #[test]
+    fn stats_snapshots_round_trip(
+        counters in proptest::collection::vec(any::<u64>(), 0..8),
+        gauges in proptest::collection::vec(any::<i64>(), 0..8),
+        histograms in proptest::collection::vec(any::<u64>(), 0..8),
+        request_id in any::<u64>(),
+    ) {
+        let snapshot = snapshot_from(&counters, &gauges, &histograms);
+        let message = Message::StatsSnapshot(snapshot.clone());
+        let decoded = decode_message(&encode_message(&message)).expect("snapshot decodes");
+        let Message::StatsSnapshot(back) = decoded else {
+            return Err(TestCaseError::fail("wrong kind"));
+        };
+        prop_assert_eq!(&back.counters, &snapshot.counters);
+        prop_assert_eq!(&back.gauges, &snapshot.gauges);
+        prop_assert_eq!(&back.histograms, &snapshot.histograms);
+        // Snapshots also survive the tagged envelope (replies are plain on
+        // the wire today, but the framing must compose).
+        let envelope =
+            decode_envelope(&encode_tagged(request_id, &message)).expect("tagged snapshot");
+        prop_assert_eq!(envelope.request_id, Some(request_id));
+    }
+}

@@ -93,6 +93,40 @@ use vss_core::{
 };
 use vss_frame::FrameSequence;
 
+/// Cached `&'static` handles into the process-global telemetry registry —
+/// looked up once, recorded through plain atomics on the hot paths.
+mod metrics {
+    use std::sync::OnceLock;
+    use vss_telemetry::{Counter, Gauge};
+
+    /// `server.admission.active`: live sessions + in-flight incremental
+    /// writes (everything holding an activity permit).
+    pub(crate) fn active() -> &'static Gauge {
+        static G: OnceLock<&'static Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("server.admission.active"))
+    }
+
+    /// `server.admission.queue_depth`: callers currently queued in
+    /// `try_session` waiting for a slot.
+    pub(crate) fn queue_depth() -> &'static Gauge {
+        static G: OnceLock<&'static Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("server.admission.queue_depth"))
+    }
+
+    /// `server.admission.shed_total`: sessions refused with `Overloaded`.
+    pub(crate) fn shed_total() -> &'static Counter {
+        static C: OnceLock<&'static Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("server.admission.shed_total"))
+    }
+
+    /// `server.admission.in_flight_bytes`: bytes currently in flight through
+    /// streaming transfers (mirrors the atomic the admission gate reads).
+    pub(crate) fn in_flight_bytes() -> &'static Gauge {
+        static G: OnceLock<&'static Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("server.admission.in_flight_bytes"))
+    }
+}
+
 /// Admission-control knobs of a [`VssServer`] (all default to "unlimited"):
 /// how many sessions may be active at once, how many bytes may be in flight
 /// through streaming transfers, and how long a new session may queue for a
@@ -158,12 +192,19 @@ struct ActivityPermit {
 impl ActivityPermit {
     fn acquire(inner: &Arc<ServerInner>) -> Self {
         *inner.admission.lock().expect("admission lock") += 1;
-        Self { inner: Arc::clone(inner) }
+        Self::claimed(Arc::clone(inner))
+    }
+
+    /// Wraps a slot already counted under the admission lock.
+    fn claimed(inner: Arc<ServerInner>) -> Self {
+        metrics::active().add(1);
+        Self { inner }
     }
 }
 
 impl Drop for ActivityPermit {
     fn drop(&mut self) {
+        metrics::active().sub(1);
         let mut active = self.inner.admission.lock().expect("admission lock");
         *active = active.saturating_sub(1);
         self.inner.admission_signal.notify_all();
@@ -181,6 +222,7 @@ pub struct InFlightBytes {
 
 impl Drop for InFlightBytes {
     fn drop(&mut self) {
+        metrics::in_flight_bytes().sub(self.bytes as i64);
         self.inner.in_flight_bytes.fetch_sub(self.bytes, Ordering::SeqCst);
         // Waiters may be blocked on the byte gate; nudge them.
         let _guard = self.inner.admission.lock().expect("admission lock");
@@ -252,9 +294,19 @@ impl VssServer {
     pub fn try_session(&self) -> Result<Session, VssError> {
         let config = &self.inner.server_config;
         let deadline = Instant::now() + config.admission_queue;
+        // Observability of the gate itself: how deep the admission queue is
+        // right now, and how many sessions it has shed in total.
+        let mut queued = false;
+        let unqueue = |queued: bool| {
+            if queued {
+                metrics::queue_depth().sub(1);
+            }
+        };
         let mut active = self.inner.admission.lock().expect("admission lock");
         loop {
             if self.inner.shutting_down.load(Ordering::SeqCst) {
+                unqueue(queued);
+                metrics::shed_total().incr();
                 self.inner.rejected_sessions.fetch_add(1, Ordering::Relaxed);
                 return Err(VssError::Overloaded("server is shutting down".into()));
             }
@@ -264,23 +316,30 @@ impl VssServer {
             let bytes_ok =
                 config.max_in_flight_bytes == 0 || in_flight < config.max_in_flight_bytes;
             if sessions_ok && bytes_ok {
+                unqueue(queued);
                 *active += 1;
                 drop(active);
                 return Ok(Session {
                     id: self.inner.next_session.fetch_add(1, Ordering::Relaxed),
                     // The slot was already claimed under the lock above.
-                    _permit: ActivityPermit { inner: Arc::clone(&self.inner) },
+                    _permit: ActivityPermit::claimed(Arc::clone(&self.inner)),
                     server: self.clone(),
                 });
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
+                unqueue(queued);
+                metrics::shed_total().incr();
                 self.inner.rejected_sessions.fetch_add(1, Ordering::Relaxed);
                 return Err(VssError::Overloaded(format!(
                     "admission limits reached: {active} active session(s) (limit {}), \
                      {in_flight} in-flight byte(s) (limit {})",
                     config.max_concurrent_sessions, config.max_in_flight_bytes
                 )));
+            }
+            if !queued {
+                metrics::queue_depth().add(1);
+                queued = true;
             }
             let (guard, _timeout) = self
                 .inner
@@ -315,6 +374,7 @@ impl VssServer {
     /// returned guard is dropped. The total feeds the
     /// [`ServerConfig::max_in_flight_bytes`] admission gate.
     pub fn track_in_flight(&self, bytes: u64) -> InFlightBytes {
+        metrics::in_flight_bytes().add(bytes as i64);
         self.inner.in_flight_bytes.fetch_add(bytes, Ordering::SeqCst);
         InFlightBytes { inner: Arc::clone(&self.inner), bytes }
     }
@@ -814,6 +874,71 @@ mod tests {
         assert_eq!(owner.cache_hit_reads, 1);
         assert!((owner.cache_hit_rate() - 0.5).abs() < 1e-9);
         assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn lock_wait_histogram_exposes_distribution() {
+        let root = temp_root("lockhist");
+        let server = VssServer::open_sharded(VssConfig::new(&root), 2).unwrap();
+        let session = server.session();
+        session.write(&WriteRequest::new("v", Codec::H264), &sequence(30, 11)).unwrap();
+        session.read(&ReadRequest::new("v", 0.0, 1.0, Codec::H264).uncacheable()).unwrap();
+        let stats = server.stats();
+        let owner = &stats.shards[server.shard_of("v")];
+        let histogram = owner.lock_wait_histogram;
+        // Every client acquisition (write: create-if-needed + write; read:
+        // shared) records a sample — the distribution, not just a total.
+        assert!(histogram.count >= 2, "expected >= 2 lock acquisitions, got {histogram:?}");
+        assert!(histogram.p99 >= histogram.p50);
+        assert!(histogram.max as u128 <= owner.lock_wait.as_nanos());
+        assert_eq!(owner.lock_wait.as_nanos(), histogram.sum as u128);
+        assert!(stats.lock_wait_p99() >= Duration::from_nanos(histogram.p99));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    /// Regression test for the "quiet acquisition" property: snapshotting
+    /// statistics while a shard is locked must not perturb the lock-wait
+    /// metrics the snapshot reports — the observer's own (long) wait behind
+    /// the held lock may not show up as a sample.
+    #[test]
+    fn stats_snapshot_is_quiet_under_contention() {
+        let root = temp_root("quiet");
+        let server = VssServer::open_sharded(VssConfig::new(&root), 2).unwrap();
+        let session = server.session();
+        session.write(&WriteRequest::new("v", Codec::H264), &sequence(30, 12)).unwrap();
+        let before = server.stats();
+        let baseline = before.shards[server.shard_of("v")].lock_wait_histogram;
+
+        // Hold `v`'s shard lock exclusively while an observer snapshots.
+        let (entered_tx, entered_rx) = bounded::<()>(1);
+        let holder = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                server.engine().with_engine("v", |_engine| {
+                    entered_tx.send(()).unwrap();
+                    // Long enough that an accounted observer wait would be
+                    // clearly visible in count and sum.
+                    std::thread::sleep(Duration::from_millis(100));
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let during = server.stats(); // blocks ~100ms behind the holder
+        holder.join().unwrap();
+        let after = during.shards[server.shard_of("v")].lock_wait_histogram;
+        // Exactly one new sample — the holder's own (accounted) exclusive
+        // acquisition. The observer's ~100ms wait behind the held lock must
+        // not appear: neither as a sample nor in the summed wait.
+        assert_eq!(
+            after.count,
+            baseline.count + 1,
+            "quiet snapshot acquisition recorded lock-wait samples of its own"
+        );
+        assert!(
+            after.sum - baseline.sum < Duration::from_millis(50).as_nanos() as u64,
+            "observer wait leaked into the lock-wait total: {baseline:?} -> {after:?}"
+        );
         let _ = std::fs::remove_dir_all(root);
     }
 

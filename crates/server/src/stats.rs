@@ -6,17 +6,24 @@
 //! shard's read lock briefly (for the live video count) through a *quiet*
 //! acquisition that records no lock-wait — observers never show up in the
 //! contention metrics they report.
+//!
+//! Lock-wait time is kept as a full [`vss_telemetry::Histogram`] per shard
+//! (not just a running total), so a snapshot exposes the wait *distribution*
+//! — p50/p90/p99 — alongside the summed total the scaling experiments diff.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use vss_core::{ReadStats, WriteReport};
+use vss_telemetry::{Histogram, HistogramSummary};
 
 /// Monotone counters for one shard. All methods take `&self`.
 #[derive(Debug, Default)]
 pub(crate) struct ShardStats {
-    /// Total time spent waiting to acquire this shard's engine lock, in
-    /// nanoseconds (both shared and exclusive acquisitions).
-    lock_wait_nanos: AtomicU64,
+    /// Distribution of per-acquisition waits for this shard's engine lock,
+    /// in nanoseconds (both shared and exclusive acquisitions). Owned by the
+    /// shard — never registered globally — so snapshotting one server can
+    /// never mix another store's contention into these numbers.
+    lock_wait: Histogram,
     /// Completed read operations.
     read_ops: AtomicU64,
     /// Reads whose plan used at least one cached (non-original) fragment.
@@ -31,7 +38,7 @@ pub(crate) struct ShardStats {
 
 impl ShardStats {
     pub(crate) fn record_lock_wait(&self, waited: Duration) {
-        self.lock_wait_nanos.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.lock_wait.record_duration(waited);
     }
 
     pub(crate) fn record_read(&self, stats: &ReadStats) {
@@ -58,10 +65,14 @@ impl ShardStats {
     }
 
     pub(crate) fn snapshot(&self, shard: usize, videos: usize) -> ShardStatsSnapshot {
+        let lock_wait = self.lock_wait.summary();
         ShardStatsSnapshot {
             shard,
             videos,
-            lock_wait: Duration::from_nanos(self.lock_wait_nanos.load(Ordering::Relaxed)),
+            // The histogram's exact sum preserves the historical total-wait
+            // metric (windowed diffs in the scaling experiments rely on it).
+            lock_wait: Duration::from_nanos(lock_wait.sum),
+            lock_wait_histogram: lock_wait,
             read_ops: self.read_ops.load(Ordering::Relaxed),
             cache_hit_reads: self.cache_hit_reads.load(Ordering::Relaxed),
             write_ops: self.write_ops.load(Ordering::Relaxed),
@@ -80,6 +91,9 @@ pub struct ShardStatsSnapshot {
     pub videos: usize,
     /// Total time clients spent waiting for this shard's lock.
     pub lock_wait: Duration,
+    /// Per-acquisition lock-wait distribution in nanoseconds: count, exact
+    /// sum/max, and p50/p90/p99 upper-bound estimates.
+    pub lock_wait_histogram: HistogramSummary,
     /// Completed read operations.
     pub read_ops: u64,
     /// Reads whose plan used at least one cached (non-original) fragment.
@@ -141,6 +155,13 @@ impl ServerStats {
     /// Summed lock-wait time across all shards.
     pub fn total_lock_wait(&self) -> Duration {
         self.shards.iter().map(|s| s.lock_wait).sum()
+    }
+
+    /// Worst per-shard p99 per-acquisition lock wait (upper-bound estimate).
+    pub fn lock_wait_p99(&self) -> Duration {
+        Duration::from_nanos(
+            self.shards.iter().map(|s| s.lock_wait_histogram.p99).max().unwrap_or(0),
+        )
     }
 
     /// Whole-server cache hit rate.

@@ -1,0 +1,115 @@
+//! Property tests for the telemetry primitives: histogram quantiles stay
+//! within their documented bucket error bounds on arbitrary sample sets, and
+//! counters are race-free under a multi-thread hammer.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vss_telemetry::{Counter, Gauge, Histogram};
+
+/// Exact quantile of a sorted sample set, `rank = ceil(q * n)` (1-based),
+/// mirroring the histogram's rank rule.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// For any sample set, every reported quantile is an upper bound on the
+    /// exact quantile and overshoots by at most the bucket width: 25%
+    /// relative error plus one (the sub-bucket rounding), never above the
+    /// exact maximum.
+    #[test]
+    fn quantiles_are_bounded_upper_estimates(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let histogram = Histogram::new();
+        for &sample in &samples {
+            histogram.record(sample);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let max = *sorted.last().expect("non-empty");
+        prop_assert_eq!(histogram.count(), samples.len() as u64);
+        prop_assert_eq!(histogram.max(), max);
+        // The sum is a plain wrapping atomic accumulator.
+        prop_assert_eq!(histogram.sum(), samples.iter().fold(0u64, |a, &b| a.wrapping_add(b)));
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let reported = histogram.quantile(q);
+            prop_assert!(
+                reported >= exact,
+                "q={} reported {} below exact {}",
+                q, reported, exact
+            );
+            prop_assert!(reported <= max, "q={} reported {} above max {}", q, reported, max);
+            // Bucket width is at most max(1, lower/4), so the upper bound
+            // overshoots the exact value by at most 25% (plus 1 for the
+            // integer sub-bucket rounding).
+            let bound = exact.saturating_add(exact / 4).saturating_add(1);
+            prop_assert!(
+                reported <= bound,
+                "q={} reported {} beyond error bound {} (exact {})",
+                q, reported, bound, exact
+            );
+        }
+    }
+
+    /// Recording order never changes what a histogram reports.
+    #[test]
+    fn histograms_are_order_insensitive(
+        samples in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let forward = Histogram::new();
+        let backward = Histogram::new();
+        for &sample in &samples {
+            forward.record(sample);
+        }
+        for &sample in samples.iter().rev() {
+            backward.record(sample);
+        }
+        prop_assert_eq!(forward.summary(), backward.summary());
+    }
+}
+
+/// Eight threads hammering the same counter, gauge and histogram must lose
+/// no updates: counters land on the exact total, gauges return to their
+/// starting level after balanced add/sub, and the histogram accounts every
+/// sample in both `count` and `sum`.
+#[test]
+fn counters_survive_an_eight_thread_hammer() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let counter = Arc::new(Counter::new());
+    let gauge = Arc::new(Gauge::new());
+    let histogram = Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = Arc::clone(&counter);
+            let gauge = Arc::clone(&gauge);
+            let histogram = Arc::clone(&histogram);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.incr();
+                    gauge.add(3);
+                    gauge.sub(3);
+                    // Spread samples across many buckets, varied per thread.
+                    histogram.record((t as u64 + 1) * (i % 4096));
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("hammer thread");
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    assert_eq!(gauge.get(), 0);
+    assert_eq!(histogram.count(), total);
+    let expected_sum: u64 =
+        (0..THREADS as u64).map(|t| (t + 1) * (0..PER_THREAD).map(|i| i % 4096).sum::<u64>()).sum();
+    assert_eq!(histogram.sum(), expected_sum);
+    assert_eq!(histogram.max(), THREADS as u64 * 4095);
+    assert!(histogram.quantile(0.99) >= histogram.quantile(0.5));
+}
