@@ -29,7 +29,7 @@ use vss_core::{
 };
 use vss_frame::{quality, FrameSequence, PixelFormat, PsnrDb, Resolution};
 use vss_server::VssServer;
-use vss_net::{NetServer, RemoteStore};
+use vss_net::{NetServer, RemoteStore, SubEvent, SubscribeFrom};
 use vss_server::ServerConfig;
 use vss_workload::{
     net_store, random_pairs, run_client_with, run_clients, server_store, shared_store, AppConfig,
@@ -72,7 +72,7 @@ fn main() {
         vec![
             "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
             "fig18", "fig19", "fig20", "fig21", "fig21_scale", "fig21_net", "stream_mem",
-            "table2",
+            "live_ingest", "table2",
         ]
     } else {
         vec![Box::leak(argument.clone().into_boxed_str())]
@@ -97,6 +97,7 @@ fn main() {
             "fig21_scale" => fig21_scale(&scale),
             "fig21_net" => fig21_net(&scale),
             "stream_mem" => stream_mem(&scale),
+            "live_ingest" => live_ingest(&scale),
             "table2" => table2(&scale),
             other => {
                 eprintln!("unknown experiment '{other}'");
@@ -1313,6 +1314,205 @@ fn fig21_net(scale: &ScaleConfig) -> Report {
     );
     drop(admitted);
     gated_net.shutdown();
+    cleanup(&gated_root);
+    cleanup(&server_root);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Live ingest — pub/sub fan-out over growing videos (vss-live)
+// ---------------------------------------------------------------------------
+
+fn live_ingest(scale: &ScaleConfig) -> Report {
+    let mut report = Report::new(
+        "live_ingest",
+        "Live ingest fan-out: one writer appends GOPs to a growing video while N loopback-TCP \
+         subscribers tail it through vss-live subscriptions (persisted GOPs fan out already \
+         encoded — zero re-encode on the hot path). Correctness gates assert every subscriber's \
+         drained bytes are byte-identical to a full read of the final video, and a forced-lag arm \
+         overflows a two-GOP subscriber queue to assert the lag → catch-up → re-seam path \
+         engages and still delivers every GOP exactly once. Fan-out rates and delivery lags are \
+         informational wall clocks; the full subscriber-lag distribution rides the --telemetry \
+         snapshot (live.sub.delivery_lag_ns).",
+    );
+    let gop_frames = 30usize;
+    let gops = (scale.max_frames / gop_frames).clamp(4, 8);
+    let spec = DatasetSpec::by_name("visualroad-2k-30").expect("preset");
+    let resolution = spec.scaled_resolution(scale.resolution_divisor * 2);
+    let clip = SceneRenderer::new(SceneConfig {
+        resolution,
+        format: PixelFormat::Rgb8,
+        frame_rate: 30.0,
+        vehicles: 6,
+        noise_amplitude: 1,
+        seed: 17,
+        ..Default::default()
+    })
+    .render_sequence(0, gops * gop_frames);
+    let batch = |index: usize| {
+        FrameSequence::new(
+            clip.frames()[index * gop_frames..(index + 1) * gop_frames].to_vec(),
+            30.0,
+        )
+        .expect("uniform batch")
+    };
+
+    let server_root = scratch_dir("live-ingest");
+    let server = VssServer::open_sharded(VssConfig::new(&server_root), 2).expect("server");
+    let net = NetServer::bind(server.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = net.local_addr();
+
+    /// Concatenated container bytes of a full same-codec read — the
+    /// byte-identity reference every subscriber must match.
+    fn full_read_bytes(server: &VssServer, name: &str) -> Vec<u8> {
+        let session = server.session();
+        let (start, end) =
+            session.with_engine(name, |e| e.video_time_range(name)).expect("time range");
+        let stream = session
+            .read_stream(&ReadRequest::new(name, start, end, Codec::H264).uncacheable())
+            .expect("reference stream");
+        let mut bytes = Vec::new();
+        for chunk in stream {
+            let chunk = chunk.expect("reference chunk");
+            bytes.extend_from_slice(&chunk.encoded_gop.expect("passthrough read").to_bytes());
+        }
+        bytes
+    }
+
+    for subscribers in [1usize, 2, 4, 8] {
+        let video = format!("live-{subscribers}");
+        // The writer stamps each sequence number as its append returns; a
+        // subscriber's delivery lag is receive-time minus that stamp
+        // (publication happens just before the stamp, so lags are a slight
+        // underestimate — comparable across runs, which is what matters).
+        let published: std::sync::Arc<Vec<std::sync::OnceLock<Instant>>> =
+            std::sync::Arc::new((0..gops).map(|_| std::sync::OnceLock::new()).collect());
+        let ready = std::sync::Arc::new(std::sync::Barrier::new(subscribers + 1));
+        let mut tails = Vec::new();
+        for _ in 0..subscribers {
+            let ready = std::sync::Arc::clone(&ready);
+            let published = std::sync::Arc::clone(&published);
+            let video = video.clone();
+            tails.push(std::thread::spawn(move || {
+                let store = RemoteStore::connect(addr).expect("subscriber dial");
+                let mut feed =
+                    store.subscribe(&video, SubscribeFrom::Start).expect("subscribe");
+                ready.wait();
+                let mut bytes = Vec::new();
+                let mut lags_micros = Vec::new();
+                for expected in 0..gops as u64 {
+                    match feed.next() {
+                        Some(Ok(SubEvent::Gop(gop))) => {
+                            assert_eq!(gop.seq, expected, "GOP duplicated or skipped");
+                            if let Some(stamp) = published[gop.seq as usize].get() {
+                                let lag = Instant::now().saturating_duration_since(*stamp);
+                                lags_micros.push(lag.as_micros() as f64);
+                            }
+                            bytes.extend_from_slice(&gop.gop.to_bytes());
+                        }
+                        other => panic!("expected GOP {expected}, got {other:?}"),
+                    }
+                }
+                (bytes, lags_micros)
+            }));
+        }
+        ready.wait();
+        let started = Instant::now();
+        let mut writer = RemoteStore::connect(addr).expect("writer dial");
+        writer.write(&WriteRequest::new(&video, Codec::H264), &batch(0)).expect("live write");
+        published[0].set(Instant::now()).expect("stamp once");
+        for index in 1..gops {
+            writer.append(&video, &batch(index)).expect("live append");
+            published[index].set(Instant::now()).expect("stamp once");
+        }
+        let mut lags = Vec::new();
+        let mut fanned_bytes = 0usize;
+        let reference = full_read_bytes(&server, &video);
+        for tail in tails {
+            let (bytes, tail_lags) = tail.join().expect("subscriber thread panicked");
+            assert_eq!(
+                bytes, reference,
+                "a subscriber's drained bytes diverged from a full read of {video}"
+            );
+            fanned_bytes += bytes.len();
+            lags.extend(tail_lags);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lags"));
+        let p99 = if lags.is_empty() {
+            0.0
+        } else {
+            lags[((lags.len() - 1) as f64 * 0.99) as usize]
+        };
+        report.push(
+            Row::new(format!("{subscribers} subscriber(s)"))
+                .with("gops", gops as f64)
+                .with("fanout_gops_per_sec", (subscribers * gops) as f64 / wall)
+                .with("fanout_mb_per_sec", fanned_bytes as f64 / wall / 1.0e6)
+                .with("delivery_lag_p99_micros", p99),
+        );
+    }
+    net.shutdown();
+
+    // Forced-lag arm: a two-GOP queue plus a subscriber that sits idle
+    // through the burst must overflow, fall back to catch-up reads and
+    // re-seam without duplicating or skipping a GOP.
+    let gated_root = scratch_dir("live-ingest-lag");
+    let gated = VssServer::open_configured(
+        VssConfig::new(&gated_root),
+        2,
+        ServerConfig { live_queue_capacity: 2, ..ServerConfig::default() },
+    )
+    .expect("gated server");
+    {
+        let session = gated.session();
+        session.write(&WriteRequest::new("cam", Codec::H264), &batch(0)).expect("lag write");
+        let mut slow = session.subscribe("cam", SubscribeFrom::Start);
+        match slow.next_timeout(std::time::Duration::from_secs(20)).expect("first event") {
+            Some(SubEvent::Gop(gop)) => assert_eq!(gop.seq, 0),
+            other => panic!("expected the first GOP, got {other:?}"),
+        }
+        // Idle at the head so the subscription seams onto the live queue,
+        // then burst far past its capacity.
+        assert!(slow
+            .next_timeout(std::time::Duration::from_millis(50))
+            .expect("idle poll")
+            .is_none());
+        for index in 1..gops {
+            session.append("cam", &batch(index)).expect("lag append");
+        }
+        let mut bytes = full_read_bytes(&gated, "cam")[..0].to_vec();
+        for expected in 0..gops as u64 {
+            if expected == 0 {
+                // Sequence 0 was drained above; re-subscribe replays it for
+                // the byte gate.
+                let mut replay = session.subscribe("cam", SubscribeFrom::Seq(0));
+                match replay.next_timeout(std::time::Duration::from_secs(20)).expect("replay") {
+                    Some(SubEvent::Gop(gop)) => bytes.extend_from_slice(&gop.gop.to_bytes()),
+                    other => panic!("expected replayed GOP 0, got {other:?}"),
+                }
+                continue;
+            }
+            match slow.next_timeout(std::time::Duration::from_secs(20)).expect("lagged event") {
+                Some(SubEvent::Gop(gop)) => {
+                    assert_eq!(gop.seq, expected, "lagged subscriber duplicated or skipped");
+                    bytes.extend_from_slice(&gop.gop.to_bytes());
+                }
+                other => panic!("expected GOP {expected}, got {other:?}"),
+            }
+        }
+        assert_eq!(bytes, full_read_bytes(&gated, "cam"), "re-seamed bytes diverged");
+        assert!(
+            slow.lag_transitions() >= 1,
+            "the burst must have overflowed the two-GOP queue"
+        );
+        report.push(
+            Row::new("forced lag (queue capacity 2)")
+                .with("gops", gops as f64)
+                .with("lag_transitions", slow.lag_transitions() as f64)
+                .with("catchup_rounds", slow.catchup_rounds() as f64),
+        );
+    }
     cleanup(&gated_root);
     cleanup(&server_root);
     report

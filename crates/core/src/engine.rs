@@ -6,8 +6,10 @@
 
 use crate::config::VssConfig;
 use crate::params::StorageBudget;
+use crate::publish::GopPublisher;
 use crate::quality::QualityModel;
 use crate::VssError;
+use std::sync::Arc;
 use std::time::Duration;
 use vss_catalog::{Catalog, PhysicalVideoId};
 use vss_codec::CostModel;
@@ -65,8 +67,49 @@ pub struct WriteReport {
     pub elapsed: Duration,
 }
 
+/// Outcome of a retention trim (see [`Engine::trim_before`]).
+#[derive(Debug, Clone, Default)]
+pub struct TrimReport {
+    /// Whole GOPs removed from the original timeline.
+    pub gops_removed: usize,
+    /// Bytes those GOPs occupied on disk.
+    pub bytes_freed: u64,
+    /// Sequence number (catalog GOP index) of the oldest GOP still live
+    /// after the trim, when anything remains.
+    pub first_live_seq: Option<u64>,
+    /// Start time of the retained timeline after the trim, in seconds.
+    pub new_start_time: Option<f64>,
+}
+
+/// One persisted original-timeline GOP's position, as snapshotted for
+/// live-subscription catch-up (see [`Engine::original_gop_spans`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OriginalGopSpan {
+    /// Catalog GOP index — the live-subscription sequence number.
+    pub seq: u64,
+    /// Start time within the logical video, in seconds.
+    pub start_time: f64,
+    /// End time within the logical video, in seconds.
+    pub end_time: f64,
+    /// Number of frames in the GOP.
+    pub frame_count: usize,
+}
+
+/// A point-in-time snapshot of a video's persisted original timeline, used
+/// by live-subscription catch-up readers to plan `read_stream` calls whose
+/// chunks map one-to-one onto catalog GOPs (see
+/// [`Engine::original_gop_spans`]).
+#[derive(Debug, Clone)]
+pub struct OriginalGopManifest {
+    /// The original physical video's codec.
+    pub codec: vss_codec::Codec,
+    /// Frame rate of the original timeline, in frames per second.
+    pub frame_rate: f64,
+    /// Spans with sequence number `>= from_seq`, in temporal order.
+    pub spans: Vec<OriginalGopSpan>,
+}
+
 /// The engine behind a [`Vss`](crate::Vss) instance.
-#[derive(Debug)]
 pub struct Engine {
     /// The storage manager's configuration. Exposed mutably (through
     /// [`Vss::with_engine`](crate::Vss::with_engine)) so experiments can
@@ -76,6 +119,20 @@ pub struct Engine {
     pub(crate) catalog: Catalog,
     pub(crate) cost_model: CostModel,
     pub(crate) quality_model: QualityModel,
+    /// Live-fanout hook, fired after each original-timeline GOP persists
+    /// (see [`crate::publish`]). `None` (the default) keeps the write path
+    /// publication-free.
+    pub(crate) publisher: Option<Arc<dyn GopPublisher>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("catalog", &self.catalog)
+            .field("publisher_installed", &self.publisher.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine {
@@ -119,12 +176,26 @@ impl Engine {
                 ],
             );
         }
-        Ok(Self { config, catalog, cost_model: CostModel::default(), quality_model: QualityModel::new() })
+        Ok(Self {
+            config,
+            catalog,
+            cost_model: CostModel::default(),
+            quality_model: QualityModel::new(),
+            publisher: None,
+        })
     }
 
     /// Replaces the transcode cost model (e.g. with a calibrated one).
     pub fn set_cost_model(&mut self, model: CostModel) {
         self.cost_model = model;
+    }
+
+    /// Installs (or clears) the live-fanout hook fired after every durably
+    /// persisted original-timeline GOP — see [`crate::publish`] for the
+    /// delivery and non-blocking contract. The sharded server installs one
+    /// hub across all shards at open.
+    pub fn set_publisher(&mut self, publisher: Option<Arc<dyn GopPublisher>>) {
+        self.publisher = publisher;
     }
 
     /// Creates a logical video with an optional explicit storage budget.
@@ -144,11 +215,70 @@ impl Engine {
         Ok(())
     }
 
-    /// Deletes a logical video and all of its physical data.
+    /// Deletes a logical video and all of its physical data. Live
+    /// subscriptions to the video are notified (they terminate with an
+    /// end-of-stream event).
     pub fn delete_video(&mut self, name: &str) -> Result<(), VssError> {
         self.catalog.delete_video(name)?;
         self.catalog.persist()?;
+        if let Some(publisher) = &self.publisher {
+            publisher.video_deleted(name);
+        }
         Ok(())
+    }
+
+    /// Trims whole GOPs of a video's **original** timeline whose data lies
+    /// entirely before `cutoff` seconds — the time-windowed-retention
+    /// primitive. Each removal is journaled through the catalog WAL (crash
+    /// safe: the record commits before the file is deleted), so a trim that
+    /// dies mid-way reopens consistently. The newest GOP is always retained,
+    /// keeping the timeline non-empty for readers and for the budget/
+    /// deferred-compression machinery, which sees the freed bytes on its
+    /// next sweep. Reads of trimmed ranges fail with
+    /// [`VssError::OutOfRange`]; a live subscription catching up across a
+    /// trim observes the same hole and reports it as a gap.
+    ///
+    /// Cached (non-original) fragments covering trimmed ranges are left to
+    /// the existing eviction machinery; they can no longer be reached by
+    /// reads once the original's start time has advanced past them.
+    pub fn trim_before(&mut self, name: &str, cutoff: f64) -> Result<TrimReport, VssError> {
+        let _span = vss_telemetry::span("engine", "trim_before", name);
+        let video = self.catalog.video(name)?;
+        let Some(original) = video.original() else {
+            return Ok(TrimReport::default());
+        };
+        let physical_id = original.id;
+        // The removable prefix: GOPs ending at or before the cutoff. GOPs
+        // are stored in temporal order, so the first survivor ends the scan.
+        let mut removable: Vec<(u64, u64)> = Vec::new();
+        for gop in &original.gops {
+            if gop.end_time <= cutoff + 1e-9 {
+                removable.push((gop.index, gop.byte_len));
+            } else {
+                break;
+            }
+        }
+        if removable.len() == original.gops.len() {
+            removable.pop(); // always keep the newest GOP
+        }
+        if removable.is_empty() {
+            return Ok(TrimReport::default());
+        }
+        let mut report = TrimReport::default();
+        for (index, bytes) in &removable {
+            self.catalog.remove_gop(name, physical_id, *index)?;
+            report.gops_removed += 1;
+            report.bytes_freed += bytes;
+        }
+        self.catalog.persist()?;
+        let video = self.catalog.video(name)?;
+        if let Some(original) = video.original() {
+            if let Some(first) = original.gops.first() {
+                report.first_live_seq = Some(first.index);
+                report.new_start_time = Some(first.start_time);
+            }
+        }
+        Ok(report)
     }
 
     /// Names of all logical videos.
@@ -210,6 +340,41 @@ impl Engine {
             .original()
             .ok_or_else(|| VssError::Unsatisfiable("video has no written data".into()))?;
         Ok((original.start_time(), original.end_time()))
+    }
+
+    /// Snapshots the persisted original-timeline GOPs with sequence number
+    /// (catalog GOP index) `>= from_seq`, up to `max_gops` of them — the
+    /// manifest a live subscription's catch-up reader uses to plan a
+    /// `read_stream` over exactly those GOPs. A retention trim shows up as
+    /// `spans[0].seq > from_seq`; an empty `spans` means nothing is
+    /// persisted at or after `from_seq` yet. Returns `None` when the video
+    /// does not exist (yet) or has no written data — a subscription treats
+    /// both as "nothing to catch up on" and keeps waiting.
+    pub fn original_gop_spans(
+        &self,
+        name: &str,
+        from_seq: u64,
+        max_gops: usize,
+    ) -> Result<Option<OriginalGopManifest>, VssError> {
+        let Ok(video) = self.catalog.video(name) else { return Ok(None) };
+        let Some(original) = video.original() else { return Ok(None) };
+        let codec = original.codec().ok_or_else(|| {
+            VssError::Unsatisfiable(format!("unrecognized stored codec '{}'", original.codec))
+        })?;
+        // GOP indices are assigned monotonically and removals keep order, so
+        // the record list is sorted by index.
+        let start = original.gops.partition_point(|g| g.index < from_seq);
+        let spans = original.gops[start..]
+            .iter()
+            .take(max_gops)
+            .map(|g| OriginalGopSpan {
+                seq: g.index,
+                start_time: g.start_time,
+                end_time: g.end_time,
+                frame_count: g.frame_count,
+            })
+            .collect();
+        Ok(Some(OriginalGopManifest { codec, frame_rate: original.frame_rate, spans }))
     }
 
     /// Number of cached (non-original) GOP fragments currently materialized

@@ -107,6 +107,34 @@
 //! [`VssError::Catalog`] I/O errors, never panics; `tests/crash_recovery.rs`
 //! exercises the whole contract with a `kill -9` subprocess harness.
 //!
+//! # Live ingest and retention
+//!
+//! The write path doubles as a live-publication source: a
+//! [`GopPublisher`] installed via [`Engine::set_publisher`] observes every
+//! original-timeline GOP *after* it is durably persisted (the durability
+//! contract above is the publication barrier — subscribers can never see
+//! bytes a crash could lose), receiving the pre-deferral
+//! `vss_codec::EncodedGop` so fanout to N subscribers costs zero
+//! re-encodes. The `vss-live` crate builds the per-video broadcast hub,
+//! bounded subscriber queues and lag→catch-up→re-seam machinery on this
+//! hook; `vss-server` installs the hub across all shards and `vss-net`
+//! carries subscriptions over TCP.
+//!
+//! **Retention contract.** [`Engine::trim_before`] removes whole
+//! original-timeline GOPs that end at or before a cutoff timestamp, each
+//! removal journaled through the catalog WAL before the file is unlinked
+//! (crash safe), always retaining the newest GOP. After a trim:
+//!
+//! * the video's available range starts at the first retained GOP — reads
+//!   of trimmed ranges fail with [`VssError::OutOfRange`], and a
+//!   subscription catching up across the trim reports the hole as a gap
+//!   event rather than silently skipping data;
+//! * freed bytes lower budget consumption, so the existing deferred-
+//!   compression and compaction machinery sees the headroom on its next
+//!   sweep;
+//! * sequence numbers (catalog GOP indexes) are never reused — the trimmed
+//!   prefix leaves a permanent hole in the sequence space.
+//!
 //! The main entry point is [`Vss`]. See the `examples/` directory of the
 //! workspace for end-to-end usage.
 
@@ -121,6 +149,7 @@ mod error;
 mod fragments;
 pub mod joint;
 mod params;
+pub mod publish;
 mod quality;
 mod read;
 mod select;
@@ -131,7 +160,7 @@ mod write;
 
 pub use cache::{eviction_order, EvictionCandidate};
 pub use config::{EvictionPolicy, JointConfig, VssConfig};
-pub use engine::{Engine, ReadStats, WriteReport};
+pub use engine::{Engine, OriginalGopManifest, OriginalGopSpan, ReadStats, TrimReport, WriteReport};
 pub use error::VssError;
 pub use fragments::{build_candidates, contiguous_runs, CandidateSet, FragmentRun};
 pub use joint::{
@@ -142,6 +171,7 @@ pub use params::{
     PhysicalParameters, PlannerKind, ReadRequest, SpatialParameters, StorageBudget, TemporalRange,
     WriteRequest,
 };
+pub use publish::{GopPublication, GopPublisher};
 pub use quality::{QualityModel, DEFAULT_QUALITY_THRESHOLD};
 pub use read::ReadResult;
 pub use select::{GopFingerprint, PairSelector};

@@ -158,7 +158,7 @@ impl Engine {
         let duration = frame_count as f64 / frame_rate;
         let (data, level) = self.maybe_defer_on_write(name, codec, gop)?;
         let bytes = data.len() as u64;
-        self.catalog.append_gop(
+        let seq = self.catalog.append_gop(
             name,
             physical_id,
             time,
@@ -167,6 +167,28 @@ impl Engine {
             &data,
             if level > 0 { Some(level) } else { None },
         )?;
+        // Live fanout: the GOP is durable (journaled + fsynced + renamed into
+        // place) as of the append above, so it may now be published. Only the
+        // original timeline publishes — cached fragments materialized by the
+        // read path come through here too, but subscribers tail the original.
+        if let Some(publisher) = &self.publisher {
+            let is_original = self
+                .catalog
+                .video(name)?
+                .original()
+                .is_some_and(|original| original.id == physical_id);
+            if is_original {
+                publisher.gop_persisted(&crate::publish::GopPublication {
+                    name,
+                    seq,
+                    start_time: time,
+                    end_time: time + duration,
+                    frame_count,
+                    frame_rate,
+                    gop,
+                });
+            }
+        }
         Ok((bytes, level))
     }
 

@@ -23,7 +23,8 @@ use crate::wire::{
 };
 use crossbeam::channel::{bounded, Receiver};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
@@ -32,6 +33,7 @@ use vss_core::{
     VideoStorage, VssError, WriteReport, WriteRequest, WriteSink,
 };
 use vss_frame::{Frame, FrameSequence};
+use vss_live::{LiveGop, SubEvent, SubscribeFrom};
 
 use crate::wire::{check_name, io_error, protocol_error};
 use std::time::{Duration, Instant};
@@ -332,6 +334,48 @@ impl RemoteStore {
         }
     }
 
+    /// Opens a live tailing subscription on a dedicated connection: GOPs
+    /// persisted to `name` after (or, with [`SubscribeFrom::Start`], before)
+    /// this call stream back exactly as stored — already encoded, never
+    /// re-encoded. Requires a version-2 connection.
+    ///
+    /// Under a [`RetryPolicy`], dial failures and `Overloaded` sheds of the
+    /// subscription *open* back off and retry; once the feed is live it is
+    /// never silently reopened — a mid-stream transport failure surfaces as
+    /// an error event. Dropping the [`LiveFeed`] closes the connection; the
+    /// server notices and unregisters the subscriber, so an abandoned feed
+    /// never delays ingest.
+    pub fn subscribe(&self, name: &str, from: SubscribeFrom) -> Result<LiveFeed, VssError> {
+        check_name(name)?;
+        if self.protocol_cap < 2 {
+            return Err(VssError::Unsupported(format!(
+                "subscriptions require protocol version >= 2 (capped at {})",
+                self.protocol_cap
+            )));
+        }
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "subscribe", name);
+        let open = Message::Subscribe { name: name.into(), from };
+        let connection = self.open_stream(&open, |reply, connection| match reply {
+            Message::Ok => Attempt::Done(Ok(connection)),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected subscribe reply {}",
+                other.kind_name()
+            )))),
+        })?;
+        let socket = connection.reader.get_ref().try_clone().ok();
+        let (sender, receiver) = bounded(self.chunk_buffer);
+        let reader = std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                feed_reader(connection, &sender)
+            }));
+            if outcome.is_err() {
+                let _ = sender.send(Err(protocol_error("feed reader thread panicked")));
+            }
+        });
+        Ok(LiveFeed { receiver: Some(receiver), reader: Some(reader), socket })
+    }
+
     /// The server address this store dials.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -539,6 +583,100 @@ fn stream_reader(
             Ok(other) => {
                 let _ = sender
                     .send(Err(protocol_error(format!("unexpected message in stream: {}", other.kind_name()))));
+                return;
+            }
+            Err(error) => {
+                let _ = sender.send(Err(error));
+                return;
+            }
+        }
+    }
+}
+
+/// A live tailing feed over TCP: an iterator of [`SubEvent`]s decoded on a
+/// dedicated socket-reader thread and handed over through a bounded channel.
+/// A consumer that stops draining fills the channel, the reader stops
+/// draining the socket, TCP flow control pushes back on the server, and the
+/// hub's lag policy (drop + catch-up reads) absorbs the overflow — the
+/// ingest path never waits on this feed. The iterator finishes after
+/// [`SubEvent::End`] (the video was deleted) or an error event; dropping it
+/// mid-feed closes the connection and joins the reader thread.
+pub struct LiveFeed {
+    receiver: Option<Receiver<Result<SubEvent, VssError>>>,
+    reader: Option<JoinHandle<()>>,
+    /// A clone of the feed's socket, shut down on drop so a reader blocked
+    /// mid-`recv` wakes and exits.
+    socket: Option<TcpStream>,
+}
+
+impl std::fmt::Debug for LiveFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveFeed").finish_non_exhaustive()
+    }
+}
+
+impl Iterator for LiveFeed {
+    type Item = Result<SubEvent, VssError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // A closed channel is the end of the feed: the reader thread always
+        // sends a final End or Err before exiting.
+        self.receiver.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for LiveFeed {
+    fn drop(&mut self) {
+        // Shut the socket first so a reader blocked on recv() wakes, then
+        // close the channel so one blocked on send() wakes, then join —
+        // feeds never leak threads.
+        if let Some(socket) = self.socket.take() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        self.receiver = None;
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The socket-reader half of a live feed: decodes subscription events and
+/// hands them to the bounded channel. Exits on [`Message::SubEnd`], an error
+/// event, a transport failure, or when the consumer goes away.
+fn feed_reader(mut connection: Connection, sender: &crossbeam::channel::Sender<Result<SubEvent, VssError>>) {
+    loop {
+        match connection.recv() {
+            Ok(Message::SubChunk { seq, start_time, end_time, frame_rate, frame_count, gop }) => {
+                let event = SubEvent::Gop(LiveGop {
+                    seq,
+                    start_time,
+                    end_time,
+                    frame_count: frame_count as usize,
+                    frame_rate,
+                    gop: Arc::new(gop),
+                });
+                if sender.send(Ok(event)).is_err() {
+                    return; // consumer dropped the feed
+                }
+            }
+            Ok(Message::SubGap { from_seq, to_seq }) => {
+                if sender.send(Ok(SubEvent::Gap { from_seq, to_seq })).is_err() {
+                    return;
+                }
+            }
+            Ok(Message::SubEnd) => {
+                let _ = sender.send(Ok(SubEvent::End));
+                return;
+            }
+            Ok(Message::Error(error)) => {
+                let _ = sender.send(Err(error.into_error()));
+                return;
+            }
+            Ok(other) => {
+                let _ = sender.send(Err(protocol_error(format!(
+                    "unexpected message in feed: {}",
+                    other.kind_name()
+                ))));
                 return;
             }
             Err(error) => {
@@ -759,5 +897,6 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<RemoteStore>();
         assert_send::<ChunkIter>();
+        assert_send::<LiveFeed>();
     }
 }

@@ -43,7 +43,7 @@
 //! hello       = 0x01 magic:u32 version:u16    ; magic = "VSSN" (0x5653534E)
 //! hello-ack   = 0x81 version:u16 session:u64  ; or error (e.g. OVERLOADED)
 //!
-//! operation   = unary | read-stream | write | append
+//! operation   = unary | read-stream | write | append | subscribe
 //! unary       = (create | delete | metadata) (ok | error)
 //! create      = 0x02 name:str budget:opt<budget>
 //! delete      = 0x03 name:str
@@ -68,6 +68,15 @@
 //! abort       = 0x0A
 //! write-report= 0x89 physical_id:u64 gops:u64 frames:u64 bytes:u64
 //!                    deferred:bytes elapsed_us:u64
+//!
+//! subscribe   = 0x0C name:str from         ; version >= 2, dedicated conn
+//!               ( error
+//!               | ok (sub-chunk | sub-gap)* (sub-end | error) )
+//! from        = 0x00 | 0x01 seq:u64 | 0x02  ; start | seq(n) | live
+//! sub-chunk   = 0x8B seq:u64 start:f64 end:f64 frame_rate:f64
+//!                    frame_count:u64 gop:bytes
+//! sub-gap     = 0x8C from_seq:u64 to_seq:u64
+//! sub-end     = 0x8D
 //!
 //! error       = 0x83 code:u16 message:str range:opt<4*f64>
 //! frame       = width:u32 height:u32 format:str data:bytes
@@ -128,6 +137,18 @@
 //!   overlapped with persistence when readahead is enabled, store bytes
 //!   identical to a local batch write. The socket is the pipeline: the
 //!   client never needs more than one GOP in hand.
+//! * **Subscriptions** — `subscribe` opens a live tailing feed on its own
+//!   connection (version ≥ 2): every GOP persisted to the video fans out to
+//!   every subscriber **exactly as stored** — already encoded, never
+//!   re-encoded. A slow client is paced by TCP flow control; when its hub
+//!   queue overflows, the hub drops the queue and the subscription
+//!   transparently re-reads the missed GOPs from disk (cursor-based
+//!   catch-up over the ordinary read path), re-seaming onto the live feed
+//!   without duplicating or skipping a GOP — ingest never waits on a
+//!   subscriber. GOPs trimmed by retention before a subscriber reaches them
+//!   surface as an explicit `sub-gap`. Deleting the video ends the feed
+//!   with `sub-end`; dropping the client-side [`LiveFeed`] closes the
+//!   connection, which the server notices within its idle-probe interval.
 //! * **Cancellation** — every streaming operation runs on a dedicated
 //!   connection; dropping the client-side stream or sink closes it. The
 //!   server observes the closed socket and aborts: a read drain stops (its
@@ -150,5 +171,6 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{RemoteStore, RetryPolicy};
+pub use client::{LiveFeed, RemoteStore, RetryPolicy};
 pub use server::NetServer;
+pub use vss_live::{LiveGop, SubEvent, SubscribeFrom};

@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use vss_core::{ReadChunk, VssError, WriteSink};
 use vss_frame::Frame;
-use vss_server::{Session, VssServer};
+use vss_server::{Session, SubEvent, SubscribeFrom, VssServer};
 
 use crate::wire::io_error;
 
@@ -341,6 +341,14 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
                 let _span = vss_telemetry::span("net", "stats", "");
                 send(&mut writer, &Message::StatsSnapshot(vss_telemetry::snapshot()))
             }
+            Message::Subscribe { name, from } if negotiated >= 2 => {
+                let _span = vss_telemetry::span("net", "subscribe", name.as_str());
+                // A subscription is its connection's last operation (the
+                // liveness probes in `serve_subscribe` read the socket raw,
+                // unaligning the request framing): serve it and close.
+                let _ = serve_subscribe(inner, &session, &name, from, &mut reader, &mut writer);
+                return;
+            }
             other => send(
                 &mut writer,
                 &Message::Error(WireError::protocol(format!(
@@ -459,6 +467,89 @@ fn send_chunk(
         writer.flush().map_err(io_error)?;
     }
     Ok(())
+}
+
+/// Serves one live subscription on its dedicated connection: acknowledges
+/// with [`Message::Ok`], then relays hub events as
+/// [`Message::SubChunk`]/[`Message::SubGap`] until the video is deleted
+/// ([`Message::SubEnd`]), the server shuts down, or the client goes away.
+/// Between events the handler probes the socket so a departed client is
+/// noticed promptly — dropping the `Subscription` unregisters it from the
+/// hub, so a dead subscriber never delays ingest. TCP flow control paces a
+/// slow client: blocked chunk writes keep the subscription's queue filling,
+/// and the hub's lag policy (drop + catch-up) absorbs the overflow instead
+/// of the ingest path.
+fn serve_subscribe(
+    inner: &Arc<NetInner>,
+    session: &Session,
+    name: &str,
+    from: SubscribeFrom,
+    reader: &mut ConnReader,
+    writer: &mut ConnWriter,
+) -> Result<(), VssError> {
+    let mut subscription = session.subscribe(name, from);
+    write_message(writer, &Message::Ok)?;
+    writer.flush().map_err(io_error)?;
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            write_message(writer, &Message::SubEnd)?;
+            return writer.flush().map_err(io_error);
+        }
+        match subscription.next_timeout(std::time::Duration::from_millis(100)) {
+            Ok(Some(SubEvent::Gop(gop))) => {
+                let bytes = gop.gop.byte_len() as u64;
+                let message = Message::SubChunk {
+                    seq: gop.seq,
+                    start_time: gop.start_time,
+                    end_time: gop.end_time,
+                    frame_rate: gop.frame_rate,
+                    frame_count: gop.frame_count as u64,
+                    gop: (*gop.gop).clone(),
+                };
+                let _in_flight = inner.server.track_in_flight(bytes);
+                write_message(writer, &message)?;
+                writer.flush().map_err(io_error)?;
+            }
+            Ok(Some(SubEvent::Gap { from_seq, to_seq })) => {
+                write_message(writer, &Message::SubGap { from_seq, to_seq })?;
+                writer.flush().map_err(io_error)?;
+            }
+            Ok(Some(SubEvent::End)) => {
+                write_message(writer, &Message::SubEnd)?;
+                return writer.flush().map_err(io_error);
+            }
+            // Idle tick: probe the socket so a departed client is noticed
+            // even when no events flow.
+            Ok(None) => {
+                if !client_still_listening(reader) {
+                    return Ok(());
+                }
+            }
+            Err(error) => {
+                write_message(writer, &Message::Error(WireError::from_error(&error)))?;
+                return writer.flush().map_err(io_error);
+            }
+        }
+    }
+}
+
+/// Probes a subscription connection for liveness with a near-zero read
+/// timeout. A subscriber never sends after `Subscribe`, so EOF *or* a stray
+/// byte both mean the client is done with the stream.
+fn client_still_listening(reader: &mut ConnReader) -> bool {
+    let stream = &reader.get_ref().inner;
+    if stream.set_read_timeout(Some(std::time::Duration::from_millis(1))).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    match (&mut &*stream).read(&mut probe) {
+        Ok(0) => false, // EOF: the client closed its end.
+        Ok(_) => false, // A subscriber never sends: a stray byte also means done.
+        Err(error) => matches!(
+            error.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+    }
 }
 
 /// Services one incremental write: frames stream in, each server-side GOP

@@ -27,13 +27,16 @@ use vss_core::{
     WriteRequest,
 };
 use vss_frame::{Frame, PixelFormat, RegionOfInterest, Resolution};
+use vss_live::SubscribeFrom;
 use vss_telemetry::{HistogramSummary, TelemetrySnapshot};
 
 /// Protocol magic carried by the client's `Hello` ("VSSN").
 pub const PROTOCOL_MAGIC: u32 = 0x5653_534e;
 /// Newest protocol version spoken by this build. Version 2 added the tagged
-/// request-id envelope ([`ENVELOPE_TAGGED`]) and the
-/// [`Message::StatsRequest`]/[`Message::StatsSnapshot`] pair.
+/// request-id envelope ([`ENVELOPE_TAGGED`]), the
+/// [`Message::StatsRequest`]/[`Message::StatsSnapshot`] pair and the live
+/// subscription flow ([`Message::Subscribe`] and its
+/// [`Message::SubChunk`]/[`Message::SubGap`]/[`Message::SubEnd`] events).
 pub const PROTOCOL_VERSION: u16 = 2;
 /// Oldest protocol version this build still speaks. The handshake
 /// negotiates `min(client, server)` within
@@ -307,6 +310,17 @@ pub enum Message {
     /// Requests the server's telemetry snapshot (version ≥ 2 only); the
     /// server replies [`Message::StatsSnapshot`].
     StatsRequest,
+    /// Opens a live tailing subscription on a dedicated connection
+    /// (version ≥ 2 only). The server acknowledges with [`Message::Ok`] and
+    /// then streams [`Message::SubChunk`]/[`Message::SubGap`] events until
+    /// the video is deleted ([`Message::SubEnd`]) or the client closes the
+    /// connection.
+    Subscribe {
+        /// Logical video name (need not exist yet — the subscription waits).
+        name: String,
+        /// Where the subscription starts.
+        from: SubscribeFrom,
+    },
     /// Handshake acknowledgement: negotiated version and the admitted
     /// session's server-unique id.
     HelloAck {
@@ -358,6 +372,32 @@ pub enum Message {
     /// Reply to [`Message::StatsRequest`]: the server process's full
     /// telemetry snapshot (version ≥ 2 only).
     StatsSnapshot(TelemetrySnapshot),
+    /// One subscribed GOP, exactly as persisted (already encoded — no
+    /// re-encode on the fan-out path).
+    SubChunk {
+        /// The GOP's position in the video's original representation.
+        seq: u64,
+        /// Start timestamp (seconds).
+        start_time: f64,
+        /// End timestamp (seconds, exclusive).
+        end_time: f64,
+        /// Frame rate of the GOP.
+        frame_rate: f64,
+        /// Number of frames in the GOP.
+        frame_count: u64,
+        /// The persisted container bytes.
+        gop: EncodedGop,
+    },
+    /// Sequence numbers `from_seq..to_seq` are no longer available (trimmed
+    /// by retention before this subscriber could read them).
+    SubGap {
+        /// First missing sequence number.
+        from_seq: u64,
+        /// One past the last missing sequence number.
+        to_seq: u64,
+    },
+    /// The subscribed video was deleted; no further events follow.
+    SubEnd,
 }
 
 impl Message {
@@ -376,6 +416,7 @@ impl Message {
             Message::WriteFinish => "WriteFinish",
             Message::WriteAbort => "WriteAbort",
             Message::StatsRequest => "StatsRequest",
+            Message::Subscribe { .. } => "Subscribe",
             Message::HelloAck { .. } => "HelloAck",
             Message::Ok => "Ok",
             Message::Error(_) => "Error",
@@ -386,6 +427,9 @@ impl Message {
             Message::WriteReady { .. } => "WriteReady",
             Message::WriteReport(_) => "WriteReport",
             Message::StatsSnapshot(_) => "StatsSnapshot",
+            Message::SubChunk { .. } => "SubChunk",
+            Message::SubGap { .. } => "SubGap",
+            Message::SubEnd => "SubEnd",
         }
     }
 }
@@ -401,6 +445,7 @@ const KIND_WRITE_CHUNK: u8 = 0x08;
 const KIND_WRITE_FINISH: u8 = 0x09;
 const KIND_WRITE_ABORT: u8 = 0x0a;
 const KIND_STATS_REQUEST: u8 = 0x0b;
+const KIND_SUBSCRIBE: u8 = 0x0c;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_OK: u8 = 0x82;
 const KIND_ERROR: u8 = 0x83;
@@ -411,6 +456,14 @@ const KIND_STREAM_END: u8 = 0x87;
 const KIND_WRITE_READY: u8 = 0x88;
 const KIND_WRITE_REPORT: u8 = 0x89;
 const KIND_STATS_SNAPSHOT: u8 = 0x8a;
+const KIND_SUB_CHUNK: u8 = 0x8b;
+const KIND_SUB_GAP: u8 = 0x8c;
+const KIND_SUB_END: u8 = 0x8d;
+
+/// `SubscribeFrom` tag bytes.
+const SUB_FROM_START: u8 = 0x00;
+const SUB_FROM_SEQ: u8 = 0x01;
+const SUB_FROM_LIVE: u8 = 0x02;
 
 // ---------------------------------------------------------------------------
 // Primitive writers
@@ -868,6 +921,18 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
         Message::WriteFinish => out.push(KIND_WRITE_FINISH),
         Message::WriteAbort => out.push(KIND_WRITE_ABORT),
         Message::StatsRequest => out.push(KIND_STATS_REQUEST),
+        Message::Subscribe { name, from } => {
+            out.push(KIND_SUBSCRIBE);
+            put_str(&mut out, name);
+            match from {
+                SubscribeFrom::Start => out.push(SUB_FROM_START),
+                SubscribeFrom::Seq(seq) => {
+                    out.push(SUB_FROM_SEQ);
+                    put_u64(&mut out, *seq);
+                }
+                SubscribeFrom::Live => out.push(SUB_FROM_LIVE),
+            }
+        }
         Message::HelloAck { version, session } => {
             out.push(KIND_HELLO_ACK);
             put_u16(&mut out, *version);
@@ -908,6 +973,21 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
             out.push(KIND_STATS_SNAPSHOT);
             put_snapshot(&mut out, snapshot);
         }
+        Message::SubChunk { seq, start_time, end_time, frame_rate, frame_count, gop } => {
+            out.push(KIND_SUB_CHUNK);
+            put_u64(&mut out, *seq);
+            put_f64(&mut out, *start_time);
+            put_f64(&mut out, *end_time);
+            put_f64(&mut out, *frame_rate);
+            put_u64(&mut out, *frame_count);
+            put_bytes(&mut out, &gop.to_bytes());
+        }
+        Message::SubGap { from_seq, to_seq } => {
+            out.push(KIND_SUB_GAP);
+            put_u64(&mut out, *from_seq);
+            put_u64(&mut out, *to_seq);
+        }
+        Message::SubEnd => out.push(KIND_SUB_END),
     }
     out
 }
@@ -943,6 +1023,16 @@ pub fn decode_message(payload: &[u8]) -> DecodeResult<Message> {
         KIND_WRITE_FINISH => Message::WriteFinish,
         KIND_WRITE_ABORT => Message::WriteAbort,
         KIND_STATS_REQUEST => Message::StatsRequest,
+        KIND_SUBSCRIBE => {
+            let name = cursor.get_str()?;
+            let from = match cursor.get_u8()? {
+                SUB_FROM_START => SubscribeFrom::Start,
+                SUB_FROM_SEQ => SubscribeFrom::Seq(cursor.get_u64()?),
+                SUB_FROM_LIVE => SubscribeFrom::Live,
+                other => return Err(format!("unknown subscribe-from tag 0x{other:02x}")),
+            };
+            Message::Subscribe { name, from }
+        }
         KIND_HELLO_ACK => Message::HelloAck {
             version: cursor.get_u16()?,
             session: cursor.get_u64()?,
@@ -969,6 +1059,20 @@ pub fn decode_message(payload: &[u8]) -> DecodeResult<Message> {
         KIND_WRITE_READY => Message::WriteReady { gop_size: cursor.get_u64()? },
         KIND_WRITE_REPORT => Message::WriteReport(get_report(&mut cursor)?),
         KIND_STATS_SNAPSHOT => Message::StatsSnapshot(get_snapshot(&mut cursor)?),
+        KIND_SUB_CHUNK => {
+            let seq = cursor.get_u64()?;
+            let start_time = cursor.get_f64()?;
+            let end_time = cursor.get_f64()?;
+            let frame_rate = cursor.get_f64()?;
+            let frame_count = cursor.get_u64()?;
+            let gop = EncodedGop::from_bytes(cursor.get_bytes()?)
+                .map_err(|e| format!("invalid GOP: {e}"))?;
+            Message::SubChunk { seq, start_time, end_time, frame_rate, frame_count, gop }
+        }
+        KIND_SUB_GAP => {
+            Message::SubGap { from_seq: cursor.get_u64()?, to_seq: cursor.get_u64()? }
+        }
+        KIND_SUB_END => Message::SubEnd,
         other => return Err(format!("unknown message kind 0x{other:02x}")),
     };
     if cursor.remaining() != 0 {
@@ -1326,6 +1430,41 @@ mod tests {
         for len in 0..tagged.len() {
             assert!(decode_envelope(&tagged[..len]).is_err(), "prefix of {len} bytes decoded");
         }
+    }
+
+    #[test]
+    fn subscription_messages_round_trip() {
+        for from in [SubscribeFrom::Start, SubscribeFrom::Seq(42), SubscribeFrom::Live] {
+            let message = Message::Subscribe { name: "cam-3".into(), from };
+            assert_eq!(decode_message(&encode_message(&message)).unwrap(), message);
+        }
+        let frames: Vec<Frame> =
+            (0..3).map(|i| pattern::gradient(32, 24, PixelFormat::Yuv420, i)).collect();
+        let gop = vss_codec::codec_instance(Codec::H264)
+            .encode_slice(&frames, 30.0, &vss_codec::EncoderConfig::default())
+            .unwrap();
+        let chunk = Message::SubChunk {
+            seq: 7,
+            start_time: 7.0,
+            end_time: 8.0,
+            frame_rate: 30.0,
+            frame_count: 3,
+            gop,
+        };
+        assert_eq!(decode_message(&encode_message(&chunk)).unwrap(), chunk);
+        let gap = Message::SubGap { from_seq: 0, to_seq: 7 };
+        assert_eq!(decode_message(&encode_message(&gap)).unwrap(), gap);
+        assert_eq!(decode_message(&encode_message(&Message::SubEnd)).unwrap(), Message::SubEnd);
+        // Strict prefixes of a subscription chunk always error.
+        let payload = encode_message(&chunk);
+        for len in 0..payload.len() {
+            assert!(decode_message(&payload[..len]).is_err(), "prefix of {len} bytes decoded");
+        }
+        // An unknown subscribe-from tag is refused, not misread.
+        let mut bad = vec![KIND_SUBSCRIBE];
+        put_str(&mut bad, "cam");
+        bad.push(0x7f);
+        assert!(decode_message(&bad).is_err());
     }
 
     #[test]

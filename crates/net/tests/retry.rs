@@ -129,6 +129,59 @@ fn stream_open_retries_on_shed_but_streams_are_never_reopened_mid_flight() {
 }
 
 #[test]
+fn subscribe_open_retries_on_shed_but_a_live_feed_is_never_reopened() {
+    use vss_net::{SubEvent, SubscribeFrom};
+
+    let root = temp_root("subscribe");
+    let (server, net) = tiny_server(&root, 2);
+    let addr = net.local_addr();
+
+    let mut store = RemoteStore::connect(addr)
+        .unwrap()
+        .with_retry(RetryPolicy::with_deadline(Duration::from_secs(10)));
+    store.create("cam", None).unwrap();
+    store.write(&WriteRequest::new("cam", Codec::H264), &sequence(30, 0)).unwrap();
+
+    // The control connection plus one open stream hold both admission
+    // slots; the subscription open is shed until the stream finishes. The
+    // policy waits that out at *open* time — the server refused before the
+    // feed existed, so a retry is provably safe.
+    let request = ReadRequest::new("cam", 0.0, 1.0, Codec::Raw(PixelFormat::Yuv420)).uncacheable();
+    let mut occupant = store.read_stream(&request).unwrap();
+    occupant.next().unwrap().unwrap(); // stream live, slot held
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        drop(occupant);
+    });
+    let mut feed = store.subscribe("cam", SubscribeFrom::Start).unwrap();
+    release.join().unwrap();
+    match feed.next() {
+        Some(Ok(SubEvent::Gop(gop))) => assert_eq!(gop.seq, 0),
+        other => panic!("expected the first GOP, got {other:?}"),
+    }
+
+    // Once the feed is live it is never silently reopened: killing the
+    // server mid-feed surfaces promptly as an error/end, not a 10-second
+    // retry stall on the policy's deadline.
+    let started = Instant::now();
+    net.shutdown();
+    match feed.next() {
+        None | Some(Err(_)) | Some(Ok(SubEvent::End)) => {}
+        other => panic!("expected the feed to terminate, got {other:?}"),
+    }
+    assert!(feed.next().is_none(), "a terminated feed stays terminated");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "a mid-feed failure must not enter the retry loop"
+    );
+
+    drop(feed);
+    drop(store);
+    assert!(server.shutdown(Duration::from_secs(10)));
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn connect_with_retry_rides_out_a_late_listener() {
     // Reserve a port, then leave it dead: a bounded retry surfaces the
     // transient connect failure as a typed error once the deadline passes.

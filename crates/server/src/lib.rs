@@ -80,8 +80,10 @@ mod stats;
 
 pub use shard::{ShardedEngine, DEFAULT_SHARD_COUNT};
 pub use stats::{ServerStats, ShardStatsSnapshot};
+pub use vss_live::{LiveGop, LiveHub, SubEvent, SubscribeFrom, Subscription};
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -92,6 +94,7 @@ use vss_core::{
     VssError, WriteRequest, WriteReport, WriteSink,
 };
 use vss_frame::FrameSequence;
+use vss_live::CatchupSource;
 
 /// Cached `&'static` handles into the process-global telemetry registry —
 /// looked up once, recorded through plain atomics on the hot paths.
@@ -150,6 +153,12 @@ pub struct ServerConfig {
     /// shedding with [`VssError::Overloaded`]. [`Duration::ZERO`] sheds
     /// immediately.
     pub admission_queue: Duration,
+    /// Bound on each live subscriber's in-memory GOP queue before the hub's
+    /// lag policy drops it back to catch-up reads (see
+    /// [`Session::subscribe`]). `0` =
+    /// [`vss_live::DEFAULT_QUEUE_CAPACITY`]; tests force lag with tiny
+    /// capacities.
+    pub live_queue_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -158,6 +167,7 @@ impl Default for ServerConfig {
             max_concurrent_sessions: 0,
             max_in_flight_bytes: 0,
             admission_queue: Duration::ZERO,
+            live_queue_capacity: 0,
         }
     }
 }
@@ -171,6 +181,13 @@ pub struct VssServer {
 
 struct ServerInner {
     engine: ShardedEngine,
+    /// The live-fanout hub, installed as every shard engine's publisher at
+    /// open: GOPs persisted anywhere in the store fan out to subscribers.
+    hub: Arc<LiveHub>,
+    /// Per-video retention windows (`trim-before` feeds). Applied by the
+    /// maintenance workers (non-blocking) and by
+    /// [`VssServer::apply_retention`] (deterministic).
+    retention: Mutex<HashMap<String, Duration>>,
     next_session: AtomicU64,
     server_config: ServerConfig,
     /// Count of active sessions + in-flight incremental writes, guarded by a
@@ -250,9 +267,21 @@ impl VssServer {
         shards: usize,
         server_config: ServerConfig,
     ) -> Result<Self, VssError> {
+        let capacity = if server_config.live_queue_capacity == 0 {
+            vss_live::DEFAULT_QUEUE_CAPACITY
+        } else {
+            server_config.live_queue_capacity
+        };
+        let hub = LiveHub::new(capacity);
+        let engine = ShardedEngine::open(config, shards)?;
+        // Every shard publishes to the same hub, so a subscription follows
+        // its video wherever the name routes.
+        engine.set_publisher(Some(hub.clone()));
         Ok(Self {
             inner: Arc::new(ServerInner {
-                engine: ShardedEngine::open(config, shards)?,
+                engine,
+                hub,
+                retention: Mutex::new(HashMap::new()),
                 next_session: AtomicU64::new(0),
                 server_config,
                 admission: Mutex::new(0),
@@ -446,6 +475,61 @@ impl VssServer {
         ServerStats { shards: self.inner.engine.shard_stats() }
     }
 
+    /// The server's live-fanout hub (for observability: channel and
+    /// subscriber counts). Subscriptions are opened through
+    /// [`Session::subscribe`], not directly on the hub.
+    pub fn hub(&self) -> &Arc<LiveHub> {
+        &self.inner.hub
+    }
+
+    /// Sets (or, with `None`, clears) a time-windowed retention policy for
+    /// one video: background maintenance keeps trimming whole original-
+    /// timeline GOPs older than `window` behind the newest written data
+    /// (see [`vss_core::Engine::trim_before`] for the trim contract — reads
+    /// of trimmed ranges fail with [`VssError::OutOfRange`], and live
+    /// subscriptions catching up across a trim observe a gap event). The
+    /// freed bytes feed the existing deferred-compression/compaction
+    /// machinery on its next sweep.
+    pub fn set_retention(&self, name: &str, window: Option<Duration>) {
+        let mut retention = self.inner.retention.lock().expect("retention lock");
+        match window {
+            Some(window) => {
+                retention.insert(name.to_string(), window);
+            }
+            None => {
+                retention.remove(name);
+            }
+        }
+    }
+
+    /// The retention window configured for a video, if any.
+    pub fn retention_window(&self, name: &str) -> Option<Duration> {
+        self.inner.retention.lock().expect("retention lock").get(name).copied()
+    }
+
+    /// Applies every configured retention window right now, blocking on each
+    /// owning shard's lock in turn (the deterministic counterpart of the
+    /// maintenance workers' opportunistic sweeps; tests and operational
+    /// tooling call this). Returns the total number of GOPs trimmed.
+    pub fn apply_retention(&self) -> Result<usize, VssError> {
+        let targets: Vec<(String, Duration)> = {
+            let retention = self.inner.retention.lock().expect("retention lock");
+            retention.iter().map(|(n, w)| (n.clone(), *w)).collect()
+        };
+        let mut removed = 0;
+        for (name, window) in targets {
+            removed += self.inner.engine.with_engine(&name, |engine| {
+                match retention_cutoff(engine, &name, window) {
+                    Some(cutoff) => {
+                        engine.trim_before(&name, cutoff).map(|report| report.gops_removed)
+                    }
+                    None => Ok(0),
+                }
+            })?;
+        }
+        Ok(removed)
+    }
+
     /// Starts the background maintenance scheduler: one worker per shard,
     /// each periodically sweeping its shard (deferred compression, eviction
     /// follow-up, compaction) when the shard is otherwise idle. Workers stop
@@ -463,6 +547,8 @@ impl VssServer {
                             // its lock (the paper performs this work "when no
                             // other requests are being executed").
                             let _ = inner.engine.try_maintain_shard(index);
+                            // Retention trims ride the same idle-only policy.
+                            inner.sweep_retention(index);
                         }
                     }
                 });
@@ -471,6 +557,38 @@ impl VssServer {
             .collect();
         MaintenanceScheduler { workers }
     }
+}
+
+impl ServerInner {
+    /// One opportunistic retention pass over the videos owned by shard
+    /// `shard_index`: skips (rather than waits for) a busy shard, exactly
+    /// like deferred compression, so retention never stalls a client.
+    fn sweep_retention(&self, shard_index: usize) {
+        let targets: Vec<(String, Duration)> = {
+            let retention = self.retention.lock().expect("retention lock");
+            retention
+                .iter()
+                .filter(|(name, _)| self.engine.shard_of(name) == shard_index)
+                .map(|(n, w)| (n.clone(), *w))
+                .collect()
+        };
+        for (name, window) in targets {
+            let _ = self.engine.try_with_engine(&name, |engine| {
+                if let Some(cutoff) = retention_cutoff(engine, &name, window) {
+                    let _ = engine.trim_before(&name, cutoff);
+                }
+            });
+        }
+    }
+}
+
+/// The trim cutoff a retention window implies for a video right now, or
+/// `None` when the video has no written data or everything is younger than
+/// the window.
+fn retention_cutoff(engine: &Engine, name: &str, window: Duration) -> Option<f64> {
+    let (start, end) = engine.video_time_range(name).ok()?;
+    let cutoff = end - window.as_secs_f64();
+    (cutoff > start).then_some(cutoff)
 }
 
 /// A per-client handle to a [`VssServer`]. All operations take `&self`; the
@@ -599,6 +717,29 @@ impl Session {
         ))
     }
 
+    /// Opens a tailing live subscription on a video: every original-timeline
+    /// GOP persisted from now on (by any client's [`write`](Self::write),
+    /// [`append`](Self::append) or [`write_sink`](Self::write_sink)) is
+    /// delivered already-encoded, with zero re-encodes. Starting from
+    /// [`SubscribeFrom::Start`] or [`SubscribeFrom::Seq`] first replays the
+    /// persisted backlog through cursor-based catch-up reads (the
+    /// `read_stream` plan machinery, run lock-free outside the shard lock)
+    /// and then seams onto the live feed exactly — no GOP duplicated or
+    /// skipped. A subscriber that falls behind its bounded queue is
+    /// transparently switched back to catch-up and re-seamed; the ingesting
+    /// writer is never stalled. The video does not need to exist yet.
+    ///
+    /// Dropping the [`Subscription`] unsubscribes immediately (see
+    /// [`vss_live`]); dropping the session does not end subscriptions it
+    /// opened.
+    pub fn subscribe(&self, name: &str, from: SubscribeFrom) -> Subscription {
+        self.server.hub().subscribe(
+            name,
+            from,
+            Box::new(SessionCatchupSource { server: self.server.clone() }),
+        )
+    }
+
     /// Storage accounting for one logical video.
     pub fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
         self.engine().metadata(name)
@@ -694,6 +835,74 @@ impl VideoStorage for Session {
 
     fn metadata(&self, name: &str) -> Result<VideoMetadata, VssError> {
         Session::metadata(self, name)
+    }
+}
+
+/// The server-side [`CatchupSource`]: turns a cursor-based catch-up request
+/// into (1) a manifest snapshot of the persisted original-timeline GOPs
+/// under the owning shard's *read* lock, then (2) a `read_stream` over
+/// exactly those GOPs — the same plan machinery ordinary reads use, decoding
+/// lock-free. For a compressed original the stream passes the stored GOP
+/// containers through byte-identically; for an uncompressed original the
+/// chunks are re-packed with the (deterministic, lossless) raw container
+/// writer, which reproduces the writer's bytes exactly.
+struct SessionCatchupSource {
+    server: VssServer,
+}
+
+impl CatchupSource for SessionCatchupSource {
+    fn read_from(
+        &mut self,
+        name: &str,
+        from_seq: u64,
+        max_gops: usize,
+    ) -> Result<Vec<LiveGop>, VssError> {
+        let manifest = self
+            .server
+            .inner
+            .engine
+            .with_engine_read(name, |engine| engine.original_gop_spans(name, from_seq, max_gops));
+        let manifest = match manifest {
+            Ok(Some(manifest)) if !manifest.spans.is_empty() => manifest,
+            // No video / no data / nothing at the cursor yet: the
+            // subscription waits (or seams onto the live feed).
+            Ok(_) | Err(VssError::VideoNotFound(_)) => return Ok(Vec::new()),
+            Err(error) => return Err(error),
+        };
+        let (first, last) = (manifest.spans[0], manifest.spans[manifest.spans.len() - 1]);
+        let request =
+            ReadRequest::new(name, first.start_time, last.end_time, manifest.codec).uncacheable();
+        let mut stream = self.server.inner.engine.read_stream(&request)?;
+        let mut out = Vec::with_capacity(manifest.spans.len());
+        for span in &manifest.spans {
+            let chunk = stream.next().ok_or_else(|| {
+                VssError::Unsatisfiable(format!(
+                    "catch-up stream of '{name}' ended before sequence {}",
+                    span.seq
+                ))
+            })??;
+            let gop = match chunk.encoded_gop {
+                Some(gop) => gop,
+                None => vss_codec::codec_instance(manifest.codec)
+                    .encode_slice(
+                        chunk.frames.frames(),
+                        manifest.frame_rate,
+                        &vss_codec::EncoderConfig { quality: 0, gop_size: span.frame_count.max(1) },
+                    )
+                    .map_err(|e| {
+                        VssError::Unsatisfiable(format!("catch-up raw re-pack failed: {e}"))
+                    })?,
+            };
+            out.push(LiveGop {
+                seq: span.seq,
+                start_time: span.start_time,
+                end_time: span.end_time,
+                frame_count: span.frame_count,
+                frame_rate: manifest.frame_rate,
+                gop: Arc::new(gop),
+            });
+        }
+        Ok(out)
     }
 }
 

@@ -355,6 +355,30 @@ impl ShardedEngine {
         f(&mut self.shard(name).write())
     }
 
+    /// Runs a function with shared access to the engine shard owning `name`
+    /// (used by live catch-up readers to snapshot the persisted timeline
+    /// without blocking other readers of the shard).
+    pub fn with_engine_read<R>(&self, name: &str, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.shard(name).read())
+    }
+
+    /// Non-blocking [`with_engine`](Self::with_engine): returns `None`
+    /// without running `f` when a foreground request holds the owning
+    /// shard's lock (used by background retention sweeps, which — like
+    /// deferred compression — must never stall a client).
+    pub fn try_with_engine<R>(&self, name: &str, f: impl FnOnce(&mut Engine) -> R) -> Option<R> {
+        self.shard(name).try_write().map(|mut engine| f(&mut engine))
+    }
+
+    /// Installs (or clears) a live-fanout publisher on **every** shard's
+    /// engine, so original-timeline GOPs persisted anywhere in the store are
+    /// published to the same hub (see [`vss_core::GopPublisher`]).
+    pub fn set_publisher(&self, publisher: Option<std::sync::Arc<dyn vss_core::GopPublisher>>) {
+        for shard in &self.shards {
+            shard.write().set_publisher(publisher.clone());
+        }
+    }
+
     // --- maintenance --------------------------------------------------------
 
     /// Runs one unit of background maintenance (deferred compression or

@@ -1,0 +1,212 @@
+//! Live-subscription integration tests at the session layer: tailing
+//! byte-identity, late-joiner seam exactness, forced lag → catch-up →
+//! re-seam, retention gaps and subscriber-drop cleanup.
+
+use std::time::Duration;
+use vss_codec::Codec;
+use vss_core::{ReadRequest, VssConfig, WriteRequest};
+use vss_frame::{pattern, FrameSequence, PixelFormat};
+use vss_server::{ServerConfig, SubEvent, SubscribeFrom, VssServer};
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "vss-live-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn sequence(frames: usize, seed: u64) -> FrameSequence {
+    let frames: Vec<_> = (0..frames)
+        .map(|i| pattern::gradient(64, 48, PixelFormat::Yuv420, seed + i as u64))
+        .collect();
+    FrameSequence::new(frames, 30.0).unwrap()
+}
+
+fn open(tag: &str, config: ServerConfig) -> (VssServer, std::path::PathBuf) {
+    let root = temp_root(tag);
+    let server = VssServer::open_configured(VssConfig::new(&root), 2, config).unwrap();
+    (server, root)
+}
+
+/// Drains `n` GOP events (panicking on gaps/end), returning their sequence
+/// numbers and concatenated container bytes.
+fn drain_gops(sub: &mut vss_server::Subscription, n: usize) -> (Vec<u64>, Vec<u8>) {
+    let mut seqs = Vec::new();
+    let mut bytes = Vec::new();
+    while seqs.len() < n {
+        match sub.next_timeout(Duration::from_secs(20)).unwrap() {
+            Some(SubEvent::Gop(gop)) => {
+                seqs.push(gop.seq);
+                bytes.extend_from_slice(&gop.gop.to_bytes());
+            }
+            Some(other) => panic!("expected a GOP, got {other:?}"),
+            None => panic!("timed out draining GOP {} of {n}", seqs.len()),
+        }
+    }
+    (seqs, bytes)
+}
+
+/// Concatenated container bytes of a full same-codec streaming read — the
+/// byte-identity reference every subscriber must match.
+fn full_read_bytes(server: &VssServer, name: &str) -> Vec<u8> {
+    let session = server.session();
+    let (start, end) = session.with_engine(name, |e| e.video_time_range(name)).unwrap();
+    let stream = session
+        .read_stream(&ReadRequest::new(name, start, end, Codec::H264).uncacheable())
+        .unwrap();
+    let mut bytes = Vec::new();
+    for chunk in stream {
+        let chunk = chunk.unwrap();
+        bytes.extend_from_slice(&chunk.encoded_gop.expect("passthrough read").to_bytes());
+    }
+    bytes
+}
+
+#[test]
+fn tailing_subscription_is_byte_identical_to_a_full_read() {
+    let (server, root) = open("tail", ServerConfig::default());
+    let session = server.session();
+    let mut sub = session.subscribe("cam", SubscribeFrom::Start);
+    // The video does not exist yet when the subscription opens; the first
+    // write creates it and the subscription picks it up from sequence 0.
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(30, 0)).unwrap();
+    for batch in 1..4u64 {
+        session.append("cam", &sequence(30, batch * 1000)).unwrap();
+    }
+    let (seqs, bytes) = drain_gops(&mut sub, 4);
+    assert_eq!(seqs, vec![0, 1, 2, 3]);
+    assert_eq!(bytes, full_read_bytes(&server, "cam"), "drained bytes must equal a full read");
+    drop(sub);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn late_joiner_catches_up_then_seams_exactly() {
+    let (server, root) = open("late", ServerConfig::default());
+    let session = server.session();
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(90, 0)).unwrap();
+    // Join late: three GOPs already persisted.
+    let mut sub = session.subscribe("cam", SubscribeFrom::Start);
+    let (backlog, _) = drain_gops(&mut sub, 3);
+    assert_eq!(backlog, vec![0, 1, 2]);
+    assert!(sub.catchup_rounds() >= 1, "the backlog must come from catch-up reads");
+    // Idle at the head: the subscription seams onto the live queue.
+    assert!(sub.next_timeout(Duration::from_millis(50)).unwrap().is_none());
+    for batch in 0..3u64 {
+        session.append("cam", &sequence(30, 5000 + batch * 1000)).unwrap();
+    }
+    let (tail, _) = drain_gops(&mut sub, 3);
+    assert_eq!(tail, vec![3, 4, 5], "seam must neither duplicate nor skip a GOP");
+    let (_, bytes) = {
+        let mut replay = session.subscribe("cam", SubscribeFrom::Start);
+        drain_gops(&mut replay, 6)
+    };
+    assert_eq!(bytes, full_read_bytes(&server, "cam"));
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn slow_subscriber_lags_catches_up_and_reseams() {
+    // A two-GOP queue forces the lag policy as soon as the subscriber
+    // sleeps through a burst.
+    let (server, root) =
+        open("lag", ServerConfig { live_queue_capacity: 2, ..ServerConfig::default() });
+    let session = server.session();
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(30, 0)).unwrap();
+    let mut sub = session.subscribe("cam", SubscribeFrom::Start);
+    let (first, _) = drain_gops(&mut sub, 1);
+    assert_eq!(first, vec![0]);
+    assert!(sub.next_timeout(Duration::from_millis(50)).unwrap().is_none());
+    // Burst far past the queue capacity while the subscriber is idle.
+    for batch in 0..10u64 {
+        session.append("cam", &sequence(30, 1000 + batch * 1000)).unwrap();
+    }
+    let (seqs, _) = drain_gops(&mut sub, 10);
+    assert_eq!(seqs, (1..=10).collect::<Vec<u64>>(), "no GOP duplicated or skipped across the lag");
+    assert!(sub.lag_transitions() >= 1, "the burst must have overflowed the live queue");
+    // The writer was never stalled: everything it wrote is persisted.
+    let mut replay = session.subscribe("cam", SubscribeFrom::Start);
+    let (_, bytes) = drain_gops(&mut replay, 11);
+    assert_eq!(bytes, full_read_bytes(&server, "cam"));
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn retention_trim_surfaces_as_a_gap_event() {
+    let (server, root) = open("retention", ServerConfig::default());
+    let session = server.session();
+    // Six one-second GOPs, then retain only the newest ~2.5 seconds.
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(180, 0)).unwrap();
+    server.set_retention("cam", Some(Duration::from_millis(2500)));
+    assert_eq!(server.retention_window("cam"), Some(Duration::from_millis(2500)));
+    let removed = server.apply_retention().unwrap();
+    assert!(removed >= 3, "expected at least three GOPs trimmed, got {removed}");
+    let mut sub = session.subscribe("cam", SubscribeFrom::Start);
+    match sub.next_timeout(Duration::from_secs(20)).unwrap() {
+        Some(SubEvent::Gap { from_seq, to_seq }) => {
+            assert_eq!(from_seq, 0);
+            assert_eq!(to_seq, removed as u64);
+        }
+        other => panic!("expected a gap over the trimmed prefix, got {other:?}"),
+    }
+    let (seqs, bytes) = drain_gops(&mut sub, 6 - removed);
+    assert_eq!(seqs, (removed as u64..6).collect::<Vec<u64>>());
+    assert_eq!(bytes, full_read_bytes(&server, "cam"), "retained tail must match a full read");
+    // Reads of the trimmed range fail loudly rather than returning silence.
+    assert!(matches!(
+        session.read(&ReadRequest::new("cam", 0.0, 1.0, Codec::H264).uncacheable()),
+        Err(vss_core::VssError::OutOfRange { .. })
+    ));
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn maintenance_workers_apply_retention_in_the_background() {
+    let (server, root) = open("retention-bg", ServerConfig::default());
+    let session = server.session();
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(180, 0)).unwrap();
+    let before = session.bytes_used("cam").unwrap();
+    server.set_retention("cam", Some(Duration::from_millis(1500)));
+    {
+        let _scheduler = server.start_maintenance(Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while session.bytes_used("cam").unwrap() >= before
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    assert!(
+        session.bytes_used("cam").unwrap() < before,
+        "background retention should trim aged GOPs"
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn deleting_the_video_ends_subscriptions_and_drops_leak_nothing() {
+    let (server, root) = open("cleanup", ServerConfig::default());
+    let session = server.session();
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(30, 0)).unwrap();
+    let mut sub = session.subscribe("cam", SubscribeFrom::Start);
+    let other = session.subscribe("cam", SubscribeFrom::Live);
+    assert_eq!(server.hub().channel_count(), 1);
+    assert_eq!(server.hub().subscriber_count(), 2);
+    drop(other);
+    assert_eq!(server.hub().subscriber_count(), 1, "dropping one subscriber leaves the other");
+    let (seqs, _) = drain_gops(&mut sub, 1);
+    assert_eq!(seqs, vec![0]);
+    session.delete("cam").unwrap();
+    assert!(matches!(sub.next_timeout(Duration::from_secs(20)).unwrap(), Some(SubEvent::End)));
+    drop(sub);
+    assert_eq!(server.hub().channel_count(), 0, "no channel survives its last subscriber");
+    assert_eq!(server.hub().subscriber_count(), 0);
+    // Writing again after everyone unsubscribed must not stall or publish
+    // into stale state.
+    session.write(&WriteRequest::new("cam", Codec::H264), &sequence(30, 9000)).unwrap();
+    assert_eq!(server.hub().channel_count(), 0);
+    let _ = std::fs::remove_dir_all(root);
+}

@@ -19,8 +19,12 @@
 //! * [`catalog`] — on-disk layout, metadata catalog and temporal index.
 //! * [`core`] — the VSS storage manager itself (create/write/read/delete,
 //!   caching, deferred compression, joint compression).
+//! * [`live`] — live ingest pub/sub: the per-video broadcast hub fanning
+//!   freshly persisted GOPs to tailing subscribers with lag-tolerant
+//!   catch-up.
 //! * [`server`] — the sharded multi-client service layer (per-client
-//!   sessions, admission control, graceful shutdown).
+//!   sessions, admission control, graceful shutdown, live subscriptions,
+//!   retention).
 //! * [`net`] — the streaming wire protocol with its TCP server and
 //!   [`RemoteStore`](vss_net::RemoteStore) client, making VSS a
 //!   multi-process service.
@@ -33,6 +37,7 @@ pub use vss_catalog as catalog;
 pub use vss_codec as codec;
 pub use vss_core as core;
 pub use vss_frame as frame;
+pub use vss_live as live;
 pub use vss_net as net;
 pub use vss_server as server;
 pub use vss_solver as solver;
@@ -47,4 +52,5 @@ pub mod prelude {
         TemporalRange, VideoStorage, Vss, VssConfig, WriteRequest, WriteSink,
     };
     pub use vss_frame::{Frame, FrameSequence, PixelFormat, RegionOfInterest, Resolution};
+    pub use vss_live::{LiveGop, SubEvent, SubscribeFrom, Subscription};
 }
