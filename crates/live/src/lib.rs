@@ -35,6 +35,12 @@
 //!   [`Subscription`] drop removes the per-video entry (no leaked state for
 //!   videos nobody is tailing), and deleting a video terminates its
 //!   subscriptions with [`SubEvent::End`].
+//! * **Remote delivery.** Over `vss-net`, each remote feed is one
+//!   multiplexed stream on the client's single connection (protocol v3):
+//!   the server-side relay worker pulls from its [`Subscription`]
+//!   credit-paced, so a stalled remote consumer parks the relay — the hub's
+//!   bounded queue and lag policy absorb the overflow — without slowing
+//!   sibling streams, and dropping the client feed resets just that stream.
 //!
 //! Telemetry: `live.hub.subscribers` (gauge), `live.hub.published_gops`,
 //! `live.hub.lag_events`, `live.hub.catchup_reads` (counters) and

@@ -2,30 +2,37 @@
 //! [`VideoStorage`] contract against a [`NetServer`](crate::server::NetServer)
 //! over TCP.
 //!
-//! One `RemoteStore` holds a persistent **control connection** for unary
-//! operations (create / delete / metadata) and dials a **dedicated
-//! connection per streaming operation** (reads, sinks, batch writes,
-//! appends). The dedicated connection makes cancellation trivial — dropping
-//! a half-consumed [`ReadStream`] or an unfinished [`WriteSink`] closes the
-//! socket, which the server observes and aborts its side (joining readahead
-//! workers, discarding unpersisted GOPs) — and lets several streams of one
-//! client proceed concurrently.
+//! On a protocol-version-3 connection a `RemoteStore` holds **one**
+//! multiplexed connection for everything: the control plane (create /
+//! delete / metadata / stats) plus any number of concurrent reads, sinks,
+//! appends and subscriptions, each on its own stream id. A demultiplexing
+//! reader thread routes inbound frames to per-stream bounded channels;
+//! dropping a half-consumed stream sends a typed `MuxReset` (the server
+//! cancels just that stream's worker) without disturbing the socket the
+//! sibling streams share. Against a pre-v3 server the store negotiates
+//! down to the historical layout — a persistent control connection plus a
+//! dedicated connection per streaming operation, where closing the socket
+//! is the cancellation signal.
 //!
-//! Streamed read chunks are decoded on a dedicated socket-reader thread and
-//! handed to the consumer through a **bounded channel**: when the consumer
-//! lags, the channel fills, the reader stops draining the socket, TCP flow
-//! control pushes back on the server, and the server's in-flight-byte gauge
-//! rises — end-to-end backpressure with O(GOP) memory at every hop.
+//! Flow control is per stream, in credits: the client grants a window of
+//! data frames (`MuxCredit`) when it opens a stream and tops it up one
+//! frame at a time as the consumer drains its channel, so a slow consumer
+//! parks only its own stream while siblings keep flowing — with O(GOP)
+//! memory per stream at every hop. On the legacy dedicated connection the
+//! bounded channel plus TCP flow control provide the same bound per
+//! connection.
 
 use crate::wire::{
-    fragment_boundaries, read_message, write_chunk_message, write_message, write_tagged_message,
-    Message, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    fragment_boundaries, read_message, write_chunk_message, write_message, write_mux_chunk_message,
+    write_mux_message, write_tagged_message, Message, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 use vss_core::{
@@ -179,18 +186,395 @@ impl Connection {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Version-3 multiplexing: one shared connection, many streams
+// ---------------------------------------------------------------------------
+
+/// Slack on top of a stream's credit window when sizing its inbound channel:
+/// room for the credit-exempt control frames (open replies, terminal frames,
+/// write-window grants) so the demultiplexer can always route without
+/// blocking.
+const MUX_CHANNEL_SLACK: usize = 8;
+
+type FrameSender = Sender<Result<Message, VssError>>;
+
+/// Routing state shared between a [`MuxConn`] and its demultiplexing reader
+/// thread. The thread holds only this (never the `MuxConn`), so dropping the
+/// last connection handle tears the socket and thread down deterministically.
+struct MuxShared {
+    /// Per-stream inbound routes.
+    streams: Mutex<HashMap<u32, FrameSender>>,
+    /// One-shot route for the reply to the in-flight unary exchange.
+    control: Mutex<Option<FrameSender>>,
+    /// First fatal connection error, kept in lossless wire form so every
+    /// later caller can re-materialize the typed error.
+    dead: Mutex<Option<WireError>>,
+}
+
+impl MuxShared {
+    fn new() -> Self {
+        Self {
+            streams: Mutex::new(HashMap::new()),
+            control: Mutex::new(None),
+            dead: Mutex::new(None),
+        }
+    }
+
+    /// The connection's fatal error, if it has one.
+    fn dead(&self) -> Option<VssError> {
+        self.dead.lock().expect("dead lock").as_ref().map(|error| error.clone().into_error())
+    }
+
+    /// Marks the connection dead and wakes every waiter: the pending unary
+    /// exchange (if any) and all live streams receive the error, then their
+    /// channels close.
+    fn fail(&self, error: &VssError) {
+        let wire = WireError::from_error(error);
+        {
+            let mut dead = self.dead.lock().expect("dead lock");
+            if dead.is_none() {
+                *dead = Some(wire.clone());
+            }
+        }
+        if let Some(sender) = self.control.lock().expect("control lock").take() {
+            let _ = sender.try_send(Err(wire.clone().into_error()));
+        }
+        for (_, sender) in self.streams.lock().expect("streams lock").drain() {
+            let _ = sender.try_send(Err(wire.clone().into_error()));
+        }
+    }
+}
+
+/// A version-3 multiplexed connection: the store's single socket, shared by
+/// the control plane and every concurrent stream. Live streams hold an
+/// `Arc` to it, so the connection — and the **one** admission slot it
+/// occupies server-side — outlives the [`RemoteStore`] that dialed it until
+/// the last stream finishes.
+struct MuxConn {
+    socket: TcpStream,
+    writer: Mutex<BufWriter<TcpStream>>,
+    shared: Arc<MuxShared>,
+    /// The demultiplexing reader thread, joined on drop.
+    reader: Mutex<Option<JoinHandle<()>>>,
+    /// Serializes unary request/reply exchanges (streams are unaffected).
+    unary_gate: Mutex<()>,
+    next_stream: AtomicU32,
+    session: u64,
+    negotiated: u16,
+}
+
+impl MuxConn {
+    /// Converts a freshly handshaken v3 connection into a multiplexed one,
+    /// spawning its demultiplexing reader thread.
+    fn spawn(connection: Connection) -> Result<Arc<Self>, VssError> {
+        let Connection { reader, writer, session, negotiated } = connection;
+        let socket = reader.get_ref().try_clone().map_err(io_error)?;
+        let shared = Arc::new(MuxShared::new());
+        let conn = Arc::new(Self {
+            socket,
+            writer: Mutex::new(writer),
+            shared: Arc::clone(&shared),
+            reader: Mutex::new(None),
+            unary_gate: Mutex::new(()),
+            next_stream: AtomicU32::new(1),
+            session,
+            negotiated,
+        });
+        let thread = std::thread::spawn(move || {
+            let mut reader = reader;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                demux_reader(&mut reader, &shared);
+            }));
+            if outcome.is_err() {
+                shared.fail(&protocol_error("demultiplexer thread panicked"));
+            }
+            // However the reader exits, shut the socket down so a server
+            // blocked writing to a connection nobody drains fails fast.
+            let _ = reader.get_ref().shutdown(Shutdown::Both);
+        });
+        *conn.reader.lock().expect("reader slot") = Some(thread);
+        Ok(conn)
+    }
+
+    fn dead_error(&self) -> VssError {
+        self.shared.dead().unwrap_or_else(|| protocol_error("multiplexed connection closed"))
+    }
+
+    /// Sends one top-level frame (tagged with the active request id, as on
+    /// any version-2+ connection).
+    fn send(&self, message: &Message) -> Result<(), VssError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        match vss_telemetry::current_request_id() {
+            Some(request_id) => write_tagged_message(&mut *writer, request_id, message)?,
+            None => write_message(&mut *writer, message)?,
+        }
+        writer.flush().map_err(io_error)
+    }
+
+    /// Sends one mux-wrapped frame on `stream_id`.
+    fn send_mux(&self, stream_id: u32, message: &Message) -> Result<(), VssError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        match vss_telemetry::current_request_id() {
+            Some(request_id) => {
+                let wrapped = Message::Mux { stream_id, inner: Box::new(message.clone()) };
+                write_tagged_message(&mut *writer, request_id, &wrapped)?;
+            }
+            None => write_mux_message(&mut *writer, stream_id, message)?,
+        }
+        writer.flush().map_err(io_error)
+    }
+
+    /// Sends one `WriteChunk` on `stream_id` serialized directly from
+    /// borrowed frames (the ingest hot path never clones a pixel buffer).
+    fn send_mux_chunk(&self, stream_id: u32, frames: &[Frame]) -> Result<(), VssError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        write_mux_chunk_message(&mut *writer, stream_id, frames)?;
+        writer.flush().map_err(io_error)
+    }
+
+    /// Runs one unary request/reply exchange over the shared connection.
+    /// Correlation is by ordering: a gate serializes unary exchanges, and
+    /// the demultiplexer routes the next non-mux frame to the registered
+    /// one-shot slot. Streams proceed concurrently, unaffected by the gate.
+    fn unary(&self, message: &Message) -> Result<Message, VssError> {
+        let _gate = self.unary_gate.lock().expect("unary gate");
+        let (sender, receiver) = bounded(1);
+        *self.shared.control.lock().expect("control lock") = Some(sender);
+        // Registration, then the dead check: `fail` delivers to whatever is
+        // registered when it runs, so either this check sees the error or
+        // the receiver gets it — no window where a reply waiter hangs.
+        if let Some(error) = self.shared.dead() {
+            self.shared.control.lock().expect("control lock").take();
+            return Err(error);
+        }
+        self.send(message)?;
+        match receiver.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err(self.dead_error()),
+        }
+    }
+
+    /// Opens a new stream: allocates an id, registers its inbound route, and
+    /// sends the mux-wrapped `open` message, granting `window` data-frame
+    /// credits up front when the stream expects server data.
+    fn open_stream(
+        self: &Arc<Self>,
+        open: &Message,
+        window: u32,
+    ) -> Result<MuxStreamHandle, VssError> {
+        let stream_id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        if stream_id > crate::wire::MAX_STREAM_ID {
+            return Err(protocol_error("stream ids exhausted on this connection"));
+        }
+        let (sender, receiver) = bounded(window as usize + MUX_CHANNEL_SLACK);
+        self.shared.streams.lock().expect("streams lock").insert(stream_id, sender);
+        let handle =
+            MuxStreamHandle { conn: Arc::clone(self), stream_id, receiver, finished: false };
+        // Same registration-then-check ordering as `unary`.
+        if let Some(error) = self.shared.dead() {
+            return Err(error); // the handle's drop unregisters the route
+        }
+        self.send_mux(stream_id, open)?;
+        if window > 0 {
+            handle.grant(window)?;
+        }
+        Ok(handle)
+    }
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        // Shut the socket down first so a demultiplexer blocked mid-read
+        // wakes with an error, then join — connections never leak their
+        // reader thread or hang the dropper.
+        let _ = self.socket.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.lock().expect("reader slot").take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The demultiplexing reader: the connection's only socket reader, routing
+/// every inbound frame to its stream's bounded channel (or to the one-shot
+/// unary slot). It never blocks on a slow consumer — per-stream credit
+/// guarantees a channel slot for every data frame the server may send, so a
+/// full channel is a protocol violation, not a backpressure condition.
+fn demux_reader(reader: &mut BufReader<TcpStream>, shared: &MuxShared) {
+    loop {
+        match read_message(reader) {
+            Ok(Message::Mux { stream_id, inner }) => {
+                let streams = shared.streams.lock().expect("streams lock");
+                let Some(sender) = streams.get(&stream_id) else {
+                    continue; // the frame raced our reset of this stream
+                };
+                match sender.try_send(Ok(*inner)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        drop(streams);
+                        shared.fail(&protocol_error(format!(
+                            "server overran the credit window of stream {stream_id}"
+                        )));
+                        return;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {} // handle mid-drop
+                }
+            }
+            Ok(Message::MuxCredit { stream_id, frames }) => {
+                let streams = shared.streams.lock().expect("streams lock");
+                if let Some(sender) = streams.get(&stream_id) {
+                    if let Err(TrySendError::Full(_)) =
+                        sender.try_send(Ok(Message::MuxCredit { stream_id, frames }))
+                    {
+                        drop(streams);
+                        shared.fail(&protocol_error(format!(
+                            "server flooded credit grants on stream {stream_id}"
+                        )));
+                        return;
+                    }
+                }
+            }
+            Ok(Message::MuxReset { stream_id, error }) => {
+                // The server tore this one stream down; surface its typed
+                // error and close the stream's channel. Unknown ids are the
+                // benign race with a stream that just finished.
+                let sender = shared.streams.lock().expect("streams lock").remove(&stream_id);
+                if let Some(sender) = sender {
+                    let error = error.map(WireError::into_error).unwrap_or_else(|| {
+                        protocol_error(format!("stream {stream_id} reset by server"))
+                    });
+                    let _ = sender.try_send(Err(error));
+                }
+            }
+            Ok(reply) => {
+                let Some(sender) = shared.control.lock().expect("control lock").take() else {
+                    shared.fail(&protocol_error(format!(
+                        "unsolicited {} outside any exchange",
+                        reply.kind_name()
+                    )));
+                    return;
+                };
+                let _ = sender.try_send(Ok(reply));
+            }
+            Err(error) => {
+                shared.fail(&error);
+                return;
+            }
+        }
+    }
+}
+
+/// One live client-side stream on a multiplexed connection. Its frames
+/// arrive from the demultiplexer through a bounded channel; dropping it
+/// unfinished sends a typed `MuxReset` — the server cancels just this
+/// stream's worker — instead of closing the socket the sibling streams
+/// share.
+struct MuxStreamHandle {
+    conn: Arc<MuxConn>,
+    stream_id: u32,
+    receiver: Receiver<Result<Message, VssError>>,
+    /// Set once the stream reached a terminal frame, so drop skips the
+    /// (pointless) reset.
+    finished: bool,
+}
+
+impl MuxStreamHandle {
+    /// Waits for the next frame routed to this stream. A closed channel
+    /// means the connection died; the stored fatal error is surfaced.
+    fn recv(&self) -> Result<Message, VssError> {
+        match self.receiver.recv() {
+            Ok(item) => item,
+            Err(_) => Err(self.conn.dead_error()),
+        }
+    }
+
+    /// Dequeues a banked frame without blocking.
+    fn try_recv(&self) -> Option<Result<Message, VssError>> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Grants the server `frames` more data-frame credits on this stream.
+    fn grant(&self, frames: u32) -> Result<(), VssError> {
+        self.conn.send(&Message::MuxCredit { stream_id: self.stream_id, frames })
+    }
+
+    /// Sends one mux-wrapped frame on this stream.
+    fn send(&self, message: &Message) -> Result<(), VssError> {
+        self.conn.send_mux(self.stream_id, message)
+    }
+
+    /// Sends one `WriteChunk` on this stream straight from borrowed frames.
+    fn send_chunk(&self, frames: &[Frame]) -> Result<(), VssError> {
+        self.conn.send_mux_chunk(self.stream_id, frames)
+    }
+
+    /// Marks the stream terminally finished (no reset on drop).
+    fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+impl Drop for MuxStreamHandle {
+    fn drop(&mut self) {
+        self.conn.shared.streams.lock().expect("streams lock").remove(&self.stream_id);
+        if !self.finished {
+            // Typed per-stream cancellation: the server cancels this
+            // stream's worker (aborting an unfinished ingest, joining
+            // readahead); the shared socket and every sibling stream are
+            // untouched.
+            let _ =
+                self.conn.send(&Message::MuxReset { stream_id: self.stream_id, error: None });
+        }
+    }
+}
+
+/// The store's control-plane transport: a plain connection on protocol ≤ 2,
+/// the shared multiplexed connection on 3.
+enum ControlHandle {
+    Legacy(Connection),
+    Mux(Arc<MuxConn>),
+}
+
+impl ControlHandle {
+    fn negotiated(&self) -> u16 {
+        match self {
+            ControlHandle::Legacy(connection) => connection.negotiated,
+            ControlHandle::Mux(conn) => conn.negotiated,
+        }
+    }
+
+    fn session(&self) -> u64 {
+        match self {
+            ControlHandle::Legacy(connection) => connection.session,
+            ControlHandle::Mux(conn) => conn.session,
+        }
+    }
+
+    /// One request/reply exchange on the control plane.
+    fn exchange(&mut self, message: &Message) -> Result<Message, VssError> {
+        match self {
+            ControlHandle::Legacy(connection) => {
+                connection.send(message).and_then(|()| connection.recv())
+            }
+            ControlHandle::Mux(conn) => conn.unary(message),
+        }
+    }
+}
+
 /// A remote VSS store: the full [`VideoStorage`] contract over the `vss-net`
 /// wire protocol, so the workload driver, harness and tests run unmodified
 /// against a store living in another process.
 ///
 /// Every connection the store dials is admitted through the server's
 /// [`ServerConfig`](vss_server::ServerConfig) gate; an overloaded server
-/// surfaces as [`VssError::Overloaded`] here. Note that a store holds one
-/// session for its control connection and one more per live streaming
-/// operation — when a streaming call is shed, back off **without holding
-/// the store** (drop it and re-dial): a fleet of clients that keep their
-/// control connections while waiting for streaming slots can occupy every
-/// admission slot and starve itself. Remote reads stream
+/// surfaces as [`VssError::Overloaded`] here. On protocol version 3 a store
+/// holds exactly **one** admission slot no matter how many streams it runs:
+/// the control plane and every concurrent read, sink, append and
+/// subscription share one multiplexed connection, so a streaming client can
+/// no longer shed or starve *itself* at low `max_concurrent_sessions`.
+/// (Against a pre-v3 server the historical layout still applies — one
+/// session for the control connection plus one per live streaming
+/// operation — and when a streaming call is shed there, back off **without
+/// holding the store**: drop it and re-dial.) Remote reads stream
 /// GOP-at-a-time and never admit to the server's cache of materialized views
 /// ([`read`](VideoStorage::read) is a client-side drain of
 /// [`read_stream`](VideoStorage::read_stream), byte-identical by
@@ -199,9 +583,12 @@ impl Connection {
 /// local batch write of the same frames.
 pub struct RemoteStore {
     addr: SocketAddr,
-    control: Mutex<Option<Connection>>,
+    /// The control transport: the shared multiplexed connection on v3, a
+    /// plain dedicated connection against older peers.
+    control: Mutex<Option<ControlHandle>>,
     /// Chunks buffered client-side between the socket reader and the
-    /// consumer (the bounded-channel depth).
+    /// consumer (the bounded-channel depth); also sizes the credit window
+    /// granted to each multiplexed stream.
     chunk_buffer: usize,
     /// Retry/backoff policy for safely retryable failures (`None`, the
     /// default, fails fast — see [`RetryPolicy`]).
@@ -233,14 +620,16 @@ impl RemoteStore {
             .map_err(io_error)?
             .next()
             .ok_or_else(|| protocol_error("address resolved to nothing"))?;
-        let control = Connection::dial(addr, PROTOCOL_VERSION)?;
-        Ok(Self {
+        let store = Self {
             addr,
-            control: Mutex::new(Some(control)),
+            control: Mutex::new(None),
             chunk_buffer: 2,
             retry: None,
             protocol_cap: PROTOCOL_VERSION,
-        })
+        };
+        let control = store.dial_control()?;
+        *store.control.lock().expect("control lock") = Some(control);
+        Ok(store)
     }
 
     /// Like [`connect`](Self::connect), but retries the initial dial under
@@ -264,8 +653,8 @@ impl RemoteStore {
             retry: Some(policy),
             protocol_cap: PROTOCOL_VERSION,
         };
-        let control = store.run_with_retry(|| match Connection::dial(addr, PROTOCOL_VERSION) {
-            Ok(connection) => Attempt::Done(Ok(connection)),
+        let control = store.run_with_retry(|| match store.dial_control() {
+            Ok(handle) => Attempt::Done(Ok(handle)),
             Err(error) => Attempt::Retry(error),
         })?;
         *store.control.lock().expect("control lock") = Some(control);
@@ -311,17 +700,16 @@ impl RemoteStore {
         let _span = vss_telemetry::span("client", "stats", "");
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            *slot = Some(Connection::dial(self.addr, self.protocol_cap)?);
+            *slot = Some(self.dial_control()?);
         }
-        let connection = slot.as_mut().expect("dialed above");
-        if connection.negotiated < 2 {
+        let handle = slot.as_mut().expect("dialed above");
+        if handle.negotiated() < 2 {
             return Err(VssError::Unsupported(format!(
                 "stats snapshots require protocol version >= 2 (negotiated {})",
-                connection.negotiated
+                handle.negotiated()
             )));
         }
-        let outcome = connection.send(&Message::StatsRequest).and_then(|()| connection.recv());
-        match outcome {
+        match handle.exchange(&Message::StatsRequest) {
             Ok(Message::StatsSnapshot(snapshot)) => Ok(snapshot),
             Ok(Message::Error(error)) => Err(error.into_error()),
             Ok(other) => {
@@ -356,6 +744,17 @@ impl RemoteStore {
         let _scope = vss_telemetry::request_scope(next_request_id());
         let _span = vss_telemetry::span("client", "subscribe", name);
         let open = Message::Subscribe { name: name.into(), from };
+        let opened = self.open_mux(&open, self.stream_window(), |reply, handle| match reply {
+            Message::Ok => Attempt::Done(Ok(handle)),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected subscribe reply {}",
+                other.kind_name()
+            )))),
+        })?;
+        if let Some(handle) = opened {
+            return Ok(LiveFeed { inner: FeedInner::Mux { handle, done: false } });
+        }
+        // Pre-v3 peer: a dedicated connection drained by a reader thread.
         let connection = self.open_stream(&open, |reply, connection| match reply {
             Message::Ok => Attempt::Done(Ok(connection)),
             other => Attempt::Done(Err(protocol_error(format!(
@@ -373,7 +772,9 @@ impl RemoteStore {
                 let _ = sender.send(Err(protocol_error("feed reader thread panicked")));
             }
         });
-        Ok(LiveFeed { receiver: Some(receiver), reader: Some(reader), socket })
+        Ok(LiveFeed {
+            inner: FeedInner::Legacy { receiver: Some(receiver), reader: Some(reader), socket },
+        })
     }
 
     /// The server address this store dials.
@@ -381,13 +782,14 @@ impl RemoteStore {
         self.addr
     }
 
-    /// The server-side session id of the control connection.
+    /// The server-side session id of the control connection — on protocol
+    /// version 3, the session every stream of this store shares.
     pub fn session_id(&self) -> Result<u64, VssError> {
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            *slot = Some(Connection::dial(self.addr, self.protocol_cap)?);
+            *slot = Some(self.dial_control()?);
         }
-        Ok(slot.as_ref().expect("dialed above").session)
+        Ok(slot.as_ref().expect("dialed above").session())
     }
 
     /// The protocol version negotiated on the control connection (dialing it
@@ -395,9 +797,84 @@ impl RemoteStore {
     pub fn negotiated_version(&self) -> Result<u16, VssError> {
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            *slot = Some(Connection::dial(self.addr, self.protocol_cap)?);
+            *slot = Some(self.dial_control()?);
         }
-        Ok(slot.as_ref().expect("dialed above").negotiated)
+        Ok(slot.as_ref().expect("dialed above").negotiated())
+    }
+
+    /// Dials and handshakes the control transport: a v3 peer yields the
+    /// shared multiplexed connection, an older one a plain connection.
+    fn dial_control(&self) -> Result<ControlHandle, VssError> {
+        let connection = Connection::dial(self.addr, self.protocol_cap)?;
+        if connection.negotiated >= 3 {
+            Ok(ControlHandle::Mux(MuxConn::spawn(connection)?))
+        } else {
+            Ok(ControlHandle::Legacy(connection))
+        }
+    }
+
+    /// Ensures the control transport is dialed and returns the shared
+    /// multiplexed connection when the peer negotiated v3. `None` means a
+    /// pre-v3 peer: the caller falls back to a dedicated connection per
+    /// stream. A dead multiplexed connection is dropped and redialed.
+    fn mux_conn(&self) -> Result<Option<Arc<MuxConn>>, VssError> {
+        let mut slot = self.control.lock().expect("control lock");
+        if let Some(ControlHandle::Mux(conn)) = slot.as_ref() {
+            if conn.shared.dead().is_some() {
+                *slot = None;
+            }
+        }
+        if slot.is_none() {
+            *slot = Some(self.dial_control()?);
+        }
+        match slot.as_ref().expect("dialed above") {
+            ControlHandle::Mux(conn) => Ok(Some(Arc::clone(conn))),
+            ControlHandle::Legacy(_) => Ok(None),
+        }
+    }
+
+    /// Data-frame credit window granted to each multiplexed read/subscribe
+    /// stream: the channel depth the consumer drains, doubled so the server
+    /// keeps the next fragments in flight while the consumer works.
+    fn stream_window(&self) -> u32 {
+        (self.chunk_buffer.max(1) as u32).saturating_mul(2)
+    }
+
+    /// Opens one stream on the shared multiplexed connection under the
+    /// store's retry policy. `Ok(None)` means the peer is pre-v3 — fall back
+    /// to a dedicated connection. Dial failures and typed `Overloaded`
+    /// replies (including overload resets) back off and retry; once a
+    /// stream is open it is never silently reopened.
+    fn open_mux<T>(
+        &self,
+        open: &Message,
+        window: u32,
+        mut classify: impl FnMut(Message, MuxStreamHandle) -> Attempt<T>,
+    ) -> Result<Option<T>, VssError> {
+        self.run_with_retry(|| {
+            let conn = match self.mux_conn() {
+                Ok(Some(conn)) => conn,
+                Ok(None) => return Attempt::Done(Ok(None)),
+                Err(error) => return Attempt::Retry(error),
+            };
+            let handle = match conn.open_stream(open, window) {
+                Ok(handle) => handle,
+                Err(error) => return Attempt::Done(Err(error)),
+            };
+            match handle.recv() {
+                Ok(Message::Error(error)) => match error.into_error() {
+                    shed @ VssError::Overloaded(_) => Attempt::Retry(shed),
+                    other => Attempt::Done(Err(other)),
+                },
+                Ok(reply) => match classify(reply, handle) {
+                    Attempt::Done(Ok(value)) => Attempt::Done(Ok(Some(value))),
+                    Attempt::Done(Err(error)) => Attempt::Done(Err(error)),
+                    Attempt::Retry(error) => Attempt::Retry(error),
+                },
+                Err(shed @ VssError::Overloaded(_)) => Attempt::Retry(shed),
+                Err(error) => Attempt::Done(Err(error)),
+            }
+        })
     }
 
     /// Runs one request/response exchange on the control connection,
@@ -412,16 +889,15 @@ impl RemoteStore {
     fn unary_once(&self, message: &Message) -> Attempt<Message> {
         let mut slot = self.control.lock().expect("control lock");
         if slot.is_none() {
-            match Connection::dial(self.addr, self.protocol_cap) {
-                Ok(connection) => *slot = Some(connection),
+            match self.dial_control() {
+                Ok(handle) => *slot = Some(handle),
                 // Nothing was sent: transient connect failures (and
                 // admission sheds during the handshake) are retryable.
                 Err(error) => return Attempt::Retry(error),
             }
         }
-        let connection = slot.as_mut().expect("dialed above");
-        let outcome = connection.send(message).and_then(|()| connection.recv());
-        match outcome {
+        let handle = slot.as_mut().expect("dialed above");
+        match handle.exchange(message) {
             // A typed server error leaves the exchange aligned; keep the
             // connection. An `Overloaded` shed means the server refused the
             // request before executing it — safe to retry.
@@ -593,20 +1069,33 @@ fn stream_reader(
     }
 }
 
-/// A live tailing feed over TCP: an iterator of [`SubEvent`]s decoded on a
-/// dedicated socket-reader thread and handed over through a bounded channel.
-/// A consumer that stops draining fills the channel, the reader stops
-/// draining the socket, TCP flow control pushes back on the server, and the
-/// hub's lag policy (drop + catch-up reads) absorbs the overflow — the
-/// ingest path never waits on this feed. The iterator finishes after
-/// [`SubEvent::End`] (the video was deleted) or an error event; dropping it
-/// mid-feed closes the connection and joins the reader thread.
+/// A live tailing feed: an iterator of [`SubEvent`]s. On a multiplexed
+/// (v3) connection the feed is one credit-paced stream — a consumer that
+/// stops draining simply stops granting credits, parking the server-side
+/// relay while the hub's lag policy (drop + catch-up reads) absorbs the
+/// overflow; the ingest path and the store's sibling streams never wait on
+/// this feed. On a pre-v3 dedicated connection the same bound comes from a
+/// socket-reader thread, a bounded channel, and TCP flow control. The
+/// iterator finishes after [`SubEvent::End`] (the video was deleted) or an
+/// error event; dropping it mid-feed cancels the subscription (a typed
+/// `MuxReset` on v3, closing the connection before) without leaking any
+/// thread.
 pub struct LiveFeed {
-    receiver: Option<Receiver<Result<SubEvent, VssError>>>,
-    reader: Option<JoinHandle<()>>,
-    /// A clone of the feed's socket, shut down on drop so a reader blocked
-    /// mid-`recv` wakes and exits.
-    socket: Option<TcpStream>,
+    inner: FeedInner,
+}
+
+enum FeedInner {
+    /// Pre-v3: a dedicated connection drained by a socket-reader thread.
+    Legacy {
+        receiver: Option<Receiver<Result<SubEvent, VssError>>>,
+        reader: Option<JoinHandle<()>>,
+        /// A clone of the feed's socket, shut down on drop so a reader
+        /// blocked mid-`recv` wakes and exits.
+        socket: Option<TcpStream>,
+    },
+    /// One stream of the shared multiplexed connection: events arrive from
+    /// the demultiplexer, credits flow back as the consumer drains.
+    Mux { handle: MuxStreamHandle, done: bool },
 }
 
 impl std::fmt::Debug for LiveFeed {
@@ -619,23 +1108,86 @@ impl Iterator for LiveFeed {
     type Item = Result<SubEvent, VssError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        // A closed channel is the end of the feed: the reader thread always
-        // sends a final End or Err before exiting.
-        self.receiver.as_ref()?.recv().ok()
+        match &mut self.inner {
+            // A closed channel is the end of the feed: the reader thread
+            // always sends a final End or Err before exiting.
+            FeedInner::Legacy { receiver, .. } => receiver.as_ref()?.recv().ok(),
+            FeedInner::Mux { handle, done } => {
+                if *done {
+                    return None;
+                }
+                match handle.recv() {
+                    Ok(Message::SubChunk {
+                        seq,
+                        start_time,
+                        end_time,
+                        frame_rate,
+                        frame_count,
+                        gop,
+                    }) => {
+                        // The event left the channel: hand its credit back.
+                        let _ = handle.grant(1);
+                        Some(Ok(SubEvent::Gop(LiveGop {
+                            seq,
+                            start_time,
+                            end_time,
+                            frame_count: frame_count as usize,
+                            frame_rate,
+                            gop: Arc::new(gop),
+                        })))
+                    }
+                    Ok(Message::SubGap { from_seq, to_seq }) => {
+                        let _ = handle.grant(1);
+                        Some(Ok(SubEvent::Gap { from_seq, to_seq }))
+                    }
+                    Ok(Message::SubEnd) => {
+                        *done = true;
+                        handle.finish();
+                        Some(Ok(SubEvent::End))
+                    }
+                    Ok(Message::Error(error)) => {
+                        *done = true;
+                        handle.finish();
+                        Some(Err(error.into_error()))
+                    }
+                    Ok(other) => {
+                        *done = true;
+                        Some(Err(protocol_error(format!(
+                            "unexpected message in feed: {}",
+                            other.kind_name()
+                        ))))
+                    }
+                    Err(error) => {
+                        *done = true;
+                        handle.finish();
+                        Some(Err(error))
+                    }
+                }
+            }
+        }
     }
 }
 
 impl Drop for LiveFeed {
     fn drop(&mut self) {
-        // Shut the socket first so a reader blocked on recv() wakes, then
-        // close the channel so one blocked on send() wakes, then join —
-        // feeds never leak threads.
-        if let Some(socket) = self.socket.take() {
-            let _ = socket.shutdown(Shutdown::Both);
-        }
-        self.receiver = None;
-        if let Some(reader) = self.reader.take() {
-            let _ = reader.join();
+        match &mut self.inner {
+            FeedInner::Legacy { receiver, reader, socket } => {
+                // Shut the socket first so a reader blocked on recv() wakes,
+                // then close the channel so one blocked on send() wakes,
+                // then join — feeds never leak threads.
+                if let Some(socket) = socket.take() {
+                    let _ = socket.shutdown(Shutdown::Both);
+                }
+                *receiver = None;
+                if let Some(reader) = reader.take() {
+                    let _ = reader.join();
+                }
+            }
+            // A multiplexed feed owns no thread: dropping its handle sends
+            // a typed reset and the server unregisters the subscriber; the
+            // shared connection and its demultiplexer live on for the
+            // store's other streams.
+            FeedInner::Mux { .. } => {}
         }
     }
 }
@@ -751,6 +1303,204 @@ impl Drop for RemoteSinkBackend {
     }
 }
 
+/// Client half of a multiplexed streamed read: reassembles chunk fragments
+/// on the consumer's own thread (the demultiplexer already did the socket
+/// read) and replenishes one credit per drained fragment, keeping the
+/// server exactly one window ahead of the consumer.
+struct MuxChunkIter {
+    handle: MuxStreamHandle,
+    pending: Vec<Frame>,
+    pending_bytes: u64,
+    done: bool,
+}
+
+impl MuxChunkIter {
+    fn new(handle: MuxStreamHandle) -> Self {
+        Self { handle, pending: Vec::new(), pending_bytes: 0, done: false }
+    }
+}
+
+impl Iterator for MuxChunkIter {
+    type Item = Result<ReadChunk, VssError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.handle.recv() {
+                Ok(Message::StreamChunk { frame_rate, last, frames, encoded_gop, delta }) => {
+                    // The fragment left the channel: hand its credit back.
+                    let _ = self.handle.grant(1);
+                    self.pending_bytes += frames.iter().map(|f| f.byte_len() as u64).sum::<u64>();
+                    self.pending.extend(frames);
+                    // Receiver-side accumulation guard: a peer that keeps
+                    // sending `last = false` fragments cannot grow this side
+                    // unboundedly (the per-hop O(GOP) discipline).
+                    if self.pending.len() > crate::wire::MAX_CHUNK_FRAMES
+                        || self.pending_bytes > crate::wire::MAX_CHUNK_BYTES
+                    {
+                        self.done = true;
+                        return Some(Err(protocol_error(format!(
+                            "chunk reassembly exceeded {} frames / {} bytes",
+                            crate::wire::MAX_CHUNK_FRAMES,
+                            crate::wire::MAX_CHUNK_BYTES
+                        ))));
+                    }
+                    if !last {
+                        continue;
+                    }
+                    self.pending_bytes = 0;
+                    let frames = std::mem::take(&mut self.pending);
+                    let sequence = if frames.is_empty() {
+                        FrameSequence::empty(frame_rate)
+                    } else {
+                        FrameSequence::new(frames, frame_rate)
+                    };
+                    let item = sequence
+                        .map(|frames| ReadChunk { frames, encoded_gop, stats_delta: delta })
+                        .map_err(VssError::Frame);
+                    if item.is_err() {
+                        self.done = true; // poisoned: stop (drop sends the reset)
+                    }
+                    return Some(item);
+                }
+                Ok(Message::StreamEnd) => {
+                    self.done = true;
+                    self.handle.finish();
+                    return None;
+                }
+                Ok(Message::Error(error)) => {
+                    self.done = true;
+                    self.handle.finish(); // the server already ended the stream
+                    return Some(Err(error.into_error()));
+                }
+                Ok(other) => {
+                    self.done = true;
+                    return Some(Err(protocol_error(format!(
+                        "unexpected message in stream: {}",
+                        other.kind_name()
+                    ))));
+                }
+                Err(error) => {
+                    self.done = true;
+                    self.handle.finish(); // stream is gone; nothing to reset
+                    return Some(Err(error));
+                }
+            }
+        }
+    }
+}
+
+/// Sink backend that relays GOPs on one stream of the shared multiplexed
+/// connection, pacing sends by the server's credit grants instead of TCP
+/// backpressure. Dropping it unfinished sends a typed `MuxReset` — the
+/// server discards unpersisted GOPs (abort semantics) — without touching
+/// the socket the sibling streams share.
+struct MuxSinkBackend {
+    handle: Option<MuxStreamHandle>,
+    /// Data-frame credits banked from the server's `MuxCredit` grants.
+    credit: u64,
+}
+
+impl MuxSinkBackend {
+    /// Spends one data-frame credit: drains banked grants first, then
+    /// blocks until the server tops the window up. A typed error frame
+    /// arriving instead (the server failed or shed the ingest) surfaces
+    /// immediately — the legacy path only reports it at finish.
+    fn take_credit(&mut self) -> Result<(), VssError> {
+        loop {
+            let Some(handle) = self.handle.as_ref() else {
+                return Err(protocol_error("write stream already finished"));
+            };
+            let message = match handle.try_recv() {
+                Some(message) => message,
+                None if self.credit > 0 => break,
+                None => handle.recv(),
+            };
+            match message {
+                Ok(Message::MuxCredit { frames, .. }) => self.credit += u64::from(frames),
+                Ok(Message::Error(error)) => {
+                    self.handle = None; // the drop sends the reset: server aborts
+                    return Err(error.into_error());
+                }
+                Ok(other) => {
+                    self.handle = None;
+                    return Err(protocol_error(format!(
+                        "unexpected message in write stream: {}",
+                        other.kind_name()
+                    )));
+                }
+                Err(error) => {
+                    self.handle = None;
+                    return Err(error);
+                }
+            }
+        }
+        self.credit -= 1;
+        Ok(())
+    }
+
+    /// Sends frames in slabs cut by the shared [`fragment_boundaries`] rule,
+    /// spending one credit per slab; slabs go straight from the borrowed
+    /// frames onto the wire, as on the legacy path.
+    fn send_frames(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        let mut start = 0usize;
+        for end in fragment_boundaries(frames) {
+            if end > start {
+                self.take_credit()?;
+                let handle = self
+                    .handle
+                    .as_ref()
+                    .ok_or_else(|| protocol_error("write stream already finished"))?;
+                handle.send_chunk(&frames[start..end])?;
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    fn finish_exchange(&mut self) -> Result<WriteReport, VssError> {
+        let Some(mut handle) = self.handle.take() else {
+            return Err(protocol_error("write stream already finished"));
+        };
+        handle.send(&Message::WriteFinish)?;
+        loop {
+            match handle.recv() {
+                Ok(Message::MuxCredit { .. }) => continue, // grants raced the finish
+                Ok(Message::WriteReport(report)) => {
+                    handle.finish();
+                    return Ok(report.into_report());
+                }
+                Ok(Message::Error(error)) => {
+                    handle.finish();
+                    return Err(error.into_error());
+                }
+                Ok(other) => {
+                    return Err(protocol_error(format!(
+                        "unexpected write reply {}",
+                        other.kind_name()
+                    )));
+                }
+                Err(error) => {
+                    handle.finish(); // stream is gone; nothing to reset
+                    return Err(error);
+                }
+            }
+        }
+    }
+}
+
+impl GopWriteBackend for MuxSinkBackend {
+    fn flush_gop(&mut self, frames: &[Frame]) -> Result<(), VssError> {
+        self.send_frames(frames)
+    }
+
+    fn finish(&mut self) -> Result<WriteReport, VssError> {
+        self.finish_exchange()
+    }
+}
+
 impl VideoStorage for RemoteStore {
     fn label(&self) -> &'static str {
         "vss-net"
@@ -794,6 +1544,19 @@ impl VideoStorage for RemoteStore {
         let _scope = vss_telemetry::request_scope(next_request_id());
         let _span = vss_telemetry::span("client", "append", name);
         let begin = Message::AppendBegin { name: name.into(), frame_rate: frames.frame_rate() };
+        let opened = self.open_mux(&begin, 0, |reply, handle| match reply {
+            Message::Ok => Attempt::Done(Ok(handle)),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected append reply {}",
+                other.kind_name()
+            )))),
+        })?;
+        if let Some(handle) = opened {
+            let mut backend = MuxSinkBackend { handle: Some(handle), credit: 0 };
+            backend.send_frames(frames.frames())?;
+            return backend.finish_exchange();
+        }
+        // Pre-v3 peer: dedicated connection per append.
         let connection = self.open_stream(&begin, |reply, connection| match reply {
             Message::Ok => Attempt::Done(Ok(connection)),
             other => Attempt::Done(Err(protocol_error(format!(
@@ -822,6 +1585,19 @@ impl VideoStorage for RemoteStore {
         let _scope = vss_telemetry::request_scope(next_request_id());
         let _span = vss_telemetry::span("client", "read_stream", request.name.as_str());
         let open = Message::OpenReadStream { request: request.clone() };
+        let opened = self.open_mux(&open, self.stream_window(), |reply, handle| match reply {
+            Message::StreamBegin { frame_rate, compressed } => Attempt::Done(Ok(
+                ReadStream::from_chunks(frame_rate, compressed, MuxChunkIter::new(handle)),
+            )),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected stream reply {}",
+                other.kind_name()
+            )))),
+        })?;
+        if let Some(stream) = opened {
+            return Ok(stream);
+        }
+        // Pre-v3 peer: dedicated connection per streamed read.
         let (connection, frame_rate, compressed) =
             self.open_stream(&open, |reply, connection| match reply {
                 Message::StreamBegin { frame_rate, compressed } => {
@@ -859,6 +1635,23 @@ impl VideoStorage for RemoteStore {
         let _scope = vss_telemetry::request_scope(next_request_id());
         let _span = vss_telemetry::span("client", "write", request.name.as_str());
         let open = Message::WriteBegin { request: request.clone(), frame_rate };
+        let opened = self.open_mux(&open, 0, |reply, handle| match reply {
+            Message::WriteReady { gop_size } => Attempt::Done(Ok((handle, gop_size))),
+            other => Attempt::Done(Err(protocol_error(format!(
+                "unexpected write-begin reply {}",
+                other.kind_name()
+            )))),
+        })?;
+        if let Some((handle, gop_size)) = opened {
+            return Ok(WriteSink::from_backend(
+                Box::new(MuxSinkBackend { handle: Some(handle), credit: 0 }),
+                frame_rate,
+                // Chunk pushes on the server's own GOP boundary so each
+                // flush relays exactly one server-side GOP.
+                gop_size.clamp(1, u32::MAX as u64) as usize,
+            ));
+        }
+        // Pre-v3 peer: dedicated connection per sink.
         let (connection, gop_size) = self.open_stream(&open, |reply, connection| match reply {
             Message::WriteReady { gop_size } => Attempt::Done(Ok((connection, gop_size))),
             other => Attempt::Done(Err(protocol_error(format!(
@@ -891,12 +1684,15 @@ mod tests {
     use super::*;
 
     /// The workload driver boxes stores as `dyn VideoStorage + Send` and
-    /// moves streams across threads; both must stay `Send`.
+    /// moves streams across threads; both must stay `Send` — including the
+    /// multiplexed variants, which carry an `Arc<MuxConn>` across threads.
     #[test]
     fn remote_handles_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<RemoteStore>();
         assert_send::<ChunkIter>();
+        assert_send::<MuxChunkIter>();
+        assert_send::<MuxSinkBackend>();
         assert_send::<LiveFeed>();
     }
 }

@@ -29,19 +29,38 @@
 //!
 //! # Protocol specification
 //!
-//! The protocol is a length-prefixed, versioned binary exchange over one TCP
-//! connection per session. All integers are little-endian.
+//! The protocol is a length-prefixed, versioned binary exchange over TCP.
+//! All integers are little-endian. From version 3 on, one connection carries
+//! the control plane **and** any number of concurrent streaming operations,
+//! multiplexed frame-by-frame; before version 3, each streaming operation
+//! dialed a dedicated connection.
 //!
 //! ## Frame grammar
 //!
 //! ```text
-//! connection  = hello hello-ack operation*
+//! connection  = hello hello-ack frame*
 //! envelope    = length:u32 payload            ; 1 <= length <= 64 MiB
 //! payload     = kind:u8 fields                ; kinds 0x01.. client→server,
-//!                                             ;       0x81.. server→client
+//!               | 0x7F rid:u64 kind:u8 fields ;       0x81.. server→client;
+//!                                             ; 0x7F = request-id-tagged
+//!                                             ;        envelope, version >= 2
 //!
 //! hello       = 0x01 magic:u32 version:u16    ; magic = "VSSN" (0x5653534E)
 //! hello-ack   = 0x81 version:u16 session:u64  ; or error (e.g. OVERLOADED)
+//!
+//! frame       = operation                     ; version 1–2: one at a time
+//!             | mux | mux-credit | mux-reset  ; version >= 3: interleaved
+//!
+//! ;; ---- multiplexing (version >= 3) --------------------------------
+//! ;; A mux frame binds one operation message to one stream. A stream is
+//! ;; opened by the first client frame carrying a fresh id (its inner
+//! ;; message must be an opener: read-stream, write, append or subscribe);
+//! ;; every later frame of that operation rides the same id. Mux frames
+//! ;; never nest. Unary operations (create/delete/metadata/stats) travel
+//! ;; un-muxed on the same connection, serviced between stream frames.
+//! mux         = 0x7D stream_id:u32 payload    ; 1 <= stream_id <= 2^20
+//! mux-credit  = 0x7C stream_id:u32 frames:u32 ; 1 <= frames <= 2^16
+//! mux-reset   = 0x7B stream_id:u32 error:opt<error-fields>
 //!
 //! operation   = unary | read-stream | write | append | subscribe
 //! unary       = (create | delete | metadata) (ok | error)
@@ -69,23 +88,25 @@
 //! write-report= 0x89 physical_id:u64 gops:u64 frames:u64 bytes:u64
 //!                    deferred:bytes elapsed_us:u64
 //!
-//! subscribe   = 0x0C name:str from         ; version >= 2, dedicated conn
+//! subscribe   = 0x0C name:str from            ; version >= 2
 //!               ( error
 //!               | ok (sub-chunk | sub-gap)* (sub-end | error) )
-//! from        = 0x00 | 0x01 seq:u64 | 0x02  ; start | seq(n) | live
+//! from        = 0x00 | 0x01 seq:u64 | 0x02    ; start | seq(n) | live
 //! sub-chunk   = 0x8B seq:u64 start:f64 end:f64 frame_rate:f64
 //!                    frame_count:u64 gop:bytes
 //! sub-gap     = 0x8C from_seq:u64 to_seq:u64
 //! sub-end     = 0x8D
 //!
-//! error       = 0x83 code:u16 message:str range:opt<4*f64>
+//! error       = 0x83 error-fields
+//! error-fields= code:u16 message:str range:opt<4*f64>
 //! frame       = width:u32 height:u32 format:str data:bytes
 //! str / bytes = length:u32 raw                ; str <= 1 MiB, UTF-8
 //! opt<T>      = 0x00 | 0x01 T
 //! ```
 //!
 //! Full field-level definitions (and the caps every decoder enforces before
-//! allocating) live in [`wire`].
+//! allocating — stream ids and credit windows included, the same
+//! decode-before-alloc discipline as the rest of the wire) live in [`wire`].
 //!
 //! One known protocol limit: chunk fragmentation splits **between** frames
 //! (an oversized encoded GOP rides a trailing fragment of its own), never
@@ -95,15 +116,63 @@
 //! connection ends. Stores of such frames remain fully usable in-process;
 //! intra-frame fragmentation is a ROADMAP follow-on.
 //!
+//! ## Credit-based flow control (version >= 3)
+//!
+//! Per-connection TCP backpressure cannot pace streams independently: one
+//! slow consumer would stall every stream sharing the socket. Version 3
+//! therefore paces each stream by an explicit window of **data frames**:
+//!
+//! * Data frames are the ones that carry bulk payload: `stream-chunk`,
+//!   `sub-chunk` and `sub-gap` toward a client, `chunk` (`WriteChunk`)
+//!   toward a server. Every other frame — openers, acks, reports, errors,
+//!   terminals, resets — is credit-exempt, so completion and errors always
+//!   flow even when a window is closed.
+//! * A sender may ship one data frame per credit it holds; credits arrive as
+//!   cumulative `mux-credit` grants (travelling un-muxed, themselves
+//!   credit-exempt) and are spent one per data frame sent. A sender out of
+//!   credit parks **off the socket** (the server worker waits on its stream's
+//!   window, not the writer lock), so siblings keep flowing.
+//! * For reads and subscriptions the client grants its buffer depth (2 ×
+//!   [`RemoteStore::with_chunk_buffer`], default 4) right after opening the
+//!   stream and one more credit per data frame it consumes. For writes and
+//!   appends the server grants a fixed 4-frame window after `write-ready` /
+//!   `ok` and one more per chunk it dequeues into the persistence path.
+//! * Overrunning a window is a protocol violation: the receiver's router
+//!   never blocks on a stream channel, so a frame arriving with no window
+//!   open proves the peer ignored flow control — the server answers with a
+//!   `mux-reset` carrying a typed error (the connection survives); the
+//!   client fails the shared connection.
+//! * `mux-reset` tears down exactly one stream. A client reset cancels the
+//!   server-side operation (an unfinished ingest aborts — only fully
+//!   persisted GOPs remain); a server reset carries the typed error that
+//!   ended the stream. A reset naming an unknown or already-closed stream is
+//!   answered per-stream (or ignored — resets are idempotent), **never** by
+//!   closing the connection.
+//!
+//! Telemetry mirrors the mechanism: `net.mux.streams_opened` /
+//! `net.mux.streams_active` count streams, `net.mux.resets` counts
+//! teardowns, and `net.mux.credit_stall_ns` records how long server workers
+//! actually parked on closed windows.
+//!
 //! ## Version negotiation
 //!
 //! The client's `Hello` carries the protocol magic and the highest version
-//! it speaks; a server that does not speak that exact version answers with a
-//! typed protocol error naming its own version and closes. (With a single
-//! deployed version this is strict equality; the `HelloAck` echoes the
-//! negotiated version so future servers can answer an older client at the
-//! client's version.) Anything other than a valid `Hello` on a fresh
-//! connection is a protocol error.
+//! it speaks; the server answers at `min(client, server)` in its `HelloAck`
+//! (a client older than the server's minimum gets a typed protocol error
+//! naming the supported range). Both sides then speak the negotiated
+//! version's feature set — nothing version-gated is ever sent downward:
+//!
+//! | negotiated | envelopes            | streaming ops                  | features                    |
+//! |------------|----------------------|--------------------------------|-----------------------------|
+//! | 1          | untagged only        | dedicated connection per op    | core data plane             |
+//! | 2          | request-id tagged    | dedicated connection per op    | + stats, live subscriptions |
+//! | 3          | request-id tagged    | multiplexed on one connection  | + credit flow, mux resets   |
+//!
+//! Anything other than a valid `Hello` on a fresh connection is a protocol
+//! error. A v3 client talking to a v1/v2 server transparently falls back to
+//! the dedicated-connection layout (and one admission slot per streaming
+//! op — the pre-v3 accounting); v1/v2 clients against a v3 server are
+//! served exactly as before.
 //!
 //! ## Admission control
 //!
@@ -115,6 +184,14 @@
 //! and closed. Clients should back off and retry. A shutting-down server
 //! refuses new connections the same way while in-flight operations drain.
 //!
+//! On version 3 the admission slot is **per connection, not per operation**:
+//! a [`RemoteStore`] holds exactly one slot however many streams it runs
+//! concurrently (pre-v3, every streaming op's dedicated connection was a
+//! second session — a client could shed *itself* at low session limits).
+//! Within an admitted connection, concurrent streams are capped (64) and an
+//! opener past the cap is refused with a per-stream `OVERLOADED` reset, not
+//! a connection error.
+//!
 //! ## Streaming and backpressure semantics
 //!
 //! * **Reads** — the server drains [`vss_server::Session::read_stream`]: the
@@ -124,36 +201,40 @@
 //!   transfer. One `stream-chunk` message carries (a fragment of) one GOP;
 //!   fragments of oversized GOPs share its frame rate, and the `last`
 //!   fragment carries the chunk's encoded GOP and stats delta. The client
-//!   reassembles chunks on a socket-reader thread and hands them to the
-//!   consumer through a **bounded channel** (depth =
-//!   [`RemoteStore::with_chunk_buffer`], default 2): a slow consumer fills
-//!   the channel, the reader stops draining the socket, TCP flow control
-//!   pushes back, and the server's blocked writes keep those bytes counted
-//!   in its in-flight gauge — which feeds the admission gate. End-to-end
-//!   memory stays O(GOP) per stream.
+//!   reassembles chunks from its per-stream **bounded channel** (fed by the
+//!   demultiplexer thread on v3, a dedicated socket-reader pre-v3; depth
+//!   derived from [`RemoteStore::with_chunk_buffer`], default 2): a slow
+//!   consumer stops granting credit (pre-v3: stops draining the socket and
+//!   TCP pushes back), the server worker for that stream parks off the
+//!   shared socket, and the in-flight bytes stay counted in the server's
+//!   gauge — which feeds the admission gate. End-to-end memory stays O(GOP)
+//!   per stream.
 //! * **Writes** — `write-ready` announces the server's GOP size; the client
 //!   pushes frames in GOP-aligned chunks and the server persists through
 //!   [`vss_server::Session::write_sink`]: shard write lock per GOP, encode
 //!   overlapped with persistence when readahead is enabled, store bytes
 //!   identical to a local batch write. The socket is the pipeline: the
 //!   client never needs more than one GOP in hand.
-//! * **Subscriptions** — `subscribe` opens a live tailing feed on its own
-//!   connection (version ≥ 2): every GOP persisted to the video fans out to
-//!   every subscriber **exactly as stored** — already encoded, never
-//!   re-encoded. A slow client is paced by TCP flow control; when its hub
-//!   queue overflows, the hub drops the queue and the subscription
-//!   transparently re-reads the missed GOPs from disk (cursor-based
-//!   catch-up over the ordinary read path), re-seaming onto the live feed
-//!   without duplicating or skipping a GOP — ingest never waits on a
-//!   subscriber. GOPs trimmed by retention before a subscriber reaches them
-//!   surface as an explicit `sub-gap`. Deleting the video ends the feed
-//!   with `sub-end`; dropping the client-side [`LiveFeed`] closes the
-//!   connection, which the server notices within its idle-probe interval.
-//! * **Cancellation** — every streaming operation runs on a dedicated
-//!   connection; dropping the client-side stream or sink closes it. The
-//!   server observes the closed socket and aborts: a read drain stops (its
-//!   readahead workers are cancelled and joined), an ingest drops its sink
-//!   so **only fully persisted GOPs remain on disk**.
+//! * **Subscriptions** — `subscribe` (version ≥ 2) opens a live tailing
+//!   feed: every GOP persisted to the video fans out to every subscriber
+//!   **exactly as stored** — already encoded, never re-encoded. A slow
+//!   client is paced by its credit window (pre-v3: TCP flow control on the
+//!   feed's dedicated connection); when its hub queue overflows, the hub
+//!   drops the queue and the subscription transparently re-reads the missed
+//!   GOPs from disk (cursor-based catch-up over the ordinary read path),
+//!   re-seaming onto the live feed without duplicating or skipping a GOP —
+//!   ingest never waits on a subscriber. GOPs trimmed by retention before a
+//!   subscriber reaches them surface as an explicit `sub-gap`. Deleting the
+//!   video ends the feed with `sub-end`; dropping the client-side
+//!   [`LiveFeed`] sends a `mux-reset` for its stream (pre-v3: closes the
+//!   feed connection, noticed within the server's idle-probe interval).
+//! * **Cancellation** — dropping a client-side stream, sink or feed sends a
+//!   `mux-reset` for exactly that stream; the shared connection and every
+//!   sibling stream continue untouched. The server cancels the stream's
+//!   worker and aborts its operation: a read drain stops (its readahead
+//!   workers are cancelled and joined), an ingest drops its sink so **only
+//!   fully persisted GOPs remain on disk**. Pre-v3 the same semantics come
+//!   from closing the operation's dedicated connection.
 //!
 //! ## Error mapping
 //!

@@ -19,24 +19,26 @@
 //! in-process sessions too.
 
 use crate::wire::{
-    fragment_boundaries, read_envelope, read_message, write_message, Message, WireError,
-    WireWriteReport, FRAGMENT_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    fragment_boundaries, read_envelope, read_message, write_message, write_mux_message, Message,
+    WireError, WireWriteReport, FRAGMENT_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
 };
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read as IoRead, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use vss_core::{ReadChunk, VssError, WriteSink};
 use vss_frame::Frame;
-use vss_server::{Session, SubEvent, SubscribeFrom, VssServer};
+use vss_server::{InFlightBytes, Session, SubEvent, SubscribeFrom, VssServer};
 
 use crate::wire::io_error;
 
 /// Cached `&'static` telemetry handles for the connection hot path.
 mod metrics {
     use std::sync::OnceLock;
-    use vss_telemetry::{Counter, Gauge};
+    use vss_telemetry::{Counter, Gauge, Histogram};
 
     /// `net.conn.bytes_received`: request bytes off every socket.
     pub(super) fn bytes_received() -> &'static Counter {
@@ -60,6 +62,31 @@ mod metrics {
     pub(super) fn active() -> &'static Gauge {
         static G: OnceLock<&'static Gauge> = OnceLock::new();
         G.get_or_init(|| vss_telemetry::gauge("net.conn.active"))
+    }
+
+    /// `net.mux.streams_opened`: multiplexed streams opened since start.
+    pub(super) fn mux_streams_opened() -> &'static Counter {
+        static C: OnceLock<&'static Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("net.mux.streams_opened"))
+    }
+
+    /// `net.mux.streams_active`: multiplexed stream workers currently live.
+    pub(super) fn mux_streams_active() -> &'static Gauge {
+        static G: OnceLock<&'static Gauge> = OnceLock::new();
+        G.get_or_init(|| vss_telemetry::gauge("net.mux.streams_active"))
+    }
+
+    /// `net.mux.resets`: per-stream resets received or sent.
+    pub(super) fn mux_resets() -> &'static Counter {
+        static C: OnceLock<&'static Counter> = OnceLock::new();
+        C.get_or_init(|| vss_telemetry::counter("net.mux.resets"))
+    }
+
+    /// `net.mux.credit_stall_ns`: time stream workers spent waiting for a
+    /// client credit grant (one sample per wait that actually blocked).
+    pub(super) fn mux_credit_stall() -> &'static Histogram {
+        static H: OnceLock<&'static Histogram> = OnceLock::new();
+        H.get_or_init(|| vss_telemetry::histogram("net.mux.credit_stall_ns"))
     }
 }
 
@@ -279,8 +306,12 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
             return;
         }
     };
+    // One admission slot per connection — the connection's one `Session` is
+    // shared by its control plane and (version ≥ 3) every multiplexed
+    // stream, so a client with an open control session can stream without
+    // being shed against itself.
     let session = match inner.server.try_session() {
-        Ok(session) => session,
+        Ok(session) => Arc::new(session),
         Err(error) => {
             // Typed shed: the client sees VssError::Overloaded (or whatever
             // the admission gate produced) and can back off.
@@ -296,6 +327,14 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
     // Admitted: the session now counts against the server's limits, so the
     // anti-idle timeout comes off (long-lived control connections are fine).
     let _ = reader.get_ref().inner.set_read_timeout(None);
+
+    if negotiated >= 3 {
+        // Version 3: the handler becomes a per-connection dispatcher that
+        // routes multiplexed frames to per-stream workers (and still serves
+        // plain v1/v2-style operations inline).
+        serve_mux_connection(inner, &session, &mut reader, writer);
+        return;
+    }
 
     // --- request loop ------------------------------------------------------
     loop {
@@ -415,14 +454,11 @@ fn serve_read_stream(
     writer.flush().map_err(io_error)
 }
 
-/// Writes one chunk, fragmenting GOPs whose pixel payload would overflow the
-/// wire envelope. The fragment bytes are tracked as in flight until the
-/// socket accepts them, so slow clients raise the admission gauge.
-fn send_chunk(
-    inner: &Arc<NetInner>,
-    writer: &mut ConnWriter,
-    mut chunk: ReadChunk,
-) -> Result<(), VssError> {
+/// Cuts one owned chunk into its wire fragments — `(message, payload
+/// bytes)` pairs in send order — by the shared [`fragment_boundaries`]
+/// rule. Both the dedicated-connection and the multiplexed send paths
+/// consume this, so the two transports fragment byte-identically.
+fn chunk_fragments(mut chunk: ReadChunk) -> Vec<(Message, u64)> {
     let frame_rate = chunk.frames.frame_rate();
     let mut frames: Vec<Frame> = chunk.frames.into_frames();
     // One fragmentation rule for both directions of the protocol.
@@ -435,6 +471,7 @@ fn send_chunk(
     let final_bytes: usize = frames[final_start..].iter().map(Frame::byte_len).sum();
     let own_gop_fragment = gop_bytes > 0 && final_bytes + gop_bytes > FRAGMENT_BYTES;
     let last_index = boundaries.len() - 1;
+    let mut fragments = Vec::with_capacity(last_index + 2);
     let mut consumed = 0usize;
     for (index, end) in boundaries.into_iter().enumerate() {
         let fragment: Vec<Frame> = frames.drain(..end - consumed).collect();
@@ -450,9 +487,7 @@ fn send_chunk(
             encoded_gop: if last { chunk.encoded_gop.take() } else { None },
             delta: if last { chunk.stats_delta } else { Default::default() },
         };
-        let _in_flight = inner.server.track_in_flight(bytes);
-        write_message(writer, &message)?;
-        writer.flush().map_err(io_error)?;
+        fragments.push((message, bytes));
     }
     if own_gop_fragment {
         let message = Message::StreamChunk {
@@ -462,11 +497,737 @@ fn send_chunk(
             encoded_gop: chunk.encoded_gop.take(),
             delta: chunk.stats_delta,
         };
-        let _in_flight = inner.server.track_in_flight(gop_bytes as u64);
+        fragments.push((message, gop_bytes as u64));
+    }
+    fragments
+}
+
+/// Writes one chunk, fragmenting GOPs whose pixel payload would overflow the
+/// wire envelope. The fragment bytes are tracked as in flight until the
+/// socket accepts them, so slow clients raise the admission gauge.
+fn send_chunk(
+    inner: &Arc<NetInner>,
+    writer: &mut ConnWriter,
+    chunk: ReadChunk,
+) -> Result<(), VssError> {
+    for (message, bytes) in chunk_fragments(chunk) {
+        let _in_flight = inner.server.track_in_flight(bytes);
         write_message(writer, &message)?;
         writer.flush().map_err(io_error)?;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Version-3 multiplexing: per-connection dispatcher + per-stream workers
+// ---------------------------------------------------------------------------
+
+/// Initial client→server data-frame window granted to every multiplexed
+/// ingest stream (the server replenishes one credit per chunk it dequeues).
+const SERVER_WRITE_WINDOW: u32 = 4;
+/// Ceiling on concurrently open streams per connection: each stream is a
+/// worker thread, so a client cannot fan one admitted connection out into
+/// unbounded server threads. An open beyond the cap is answered with a typed
+/// per-stream `Overloaded` reset — the connection stays usable.
+const MAX_MUX_STREAMS: usize = 64;
+
+/// Per-stream flow-control state shared between the dispatcher (which
+/// receives credit grants and resets) and the stream's worker thread (which
+/// spends credit before every data frame).
+struct StreamCtl {
+    credit: Mutex<u64>,
+    granted: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl StreamCtl {
+    fn new() -> Self {
+        Self { credit: Mutex::new(0), granted: Condvar::new(), cancelled: AtomicBool::new(false) }
+    }
+
+    /// Adds a cumulative credit grant and wakes a waiting worker.
+    fn grant(&self, frames: u32) {
+        *self.credit.lock().expect("credit lock") += u64::from(frames);
+        self.granted.notify_all();
+    }
+
+    /// Cancels the stream and wakes any credit waiter.
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        let _guard = self.credit.lock().expect("credit lock");
+        self.granted.notify_all();
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Spends one data-frame credit, blocking until the client grants one.
+    /// Returns `false` when the stream was cancelled instead — this wait is
+    /// the stream's *only* pacing point, so a stalled consumer parks its
+    /// worker here (stall time is recorded) without touching the socket,
+    /// and sibling streams keep flowing.
+    fn take_credit(&self) -> bool {
+        let mut credit = self.credit.lock().expect("credit lock");
+        if *credit == 0 && !self.is_cancelled() {
+            let started = std::time::Instant::now();
+            while *credit == 0 && !self.is_cancelled() {
+                credit = self.granted.wait(credit).expect("credit lock");
+            }
+            metrics::mux_credit_stall().record_duration(started.elapsed());
+        }
+        if self.is_cancelled() {
+            return false;
+        }
+        *credit -= 1;
+        true
+    }
+}
+
+/// One frame routed from the dispatcher to an ingest worker. Chunk frames
+/// carry their in-flight-byte guard, so queued-but-unconsumed pixels keep
+/// feeding the admission gauge exactly like blocked socket writes do on a
+/// dedicated connection.
+enum IngestFrame {
+    Chunk { frames: Vec<Frame>, guard: InFlightBytes },
+    Finish,
+    Abort,
+}
+
+/// Dispatcher-side record of one live multiplexed stream.
+struct ServerStream {
+    ctl: Arc<StreamCtl>,
+    worker: JoinHandle<()>,
+    /// Feeds an ingest worker; `None` for read and subscribe streams.
+    ingest: Option<crossbeam::channel::Sender<IngestFrame>>,
+}
+
+impl ServerStream {
+    /// Cancels the stream (waking credit waits, closing the ingest queue)
+    /// and joins its worker.
+    fn stop(mut self) {
+        self.ctl.cancel();
+        self.ingest = None;
+        let _ = self.worker.join();
+    }
+}
+
+/// Decrements the active-stream gauge when a worker exits (however it
+/// exits).
+struct StreamGuard;
+
+impl Drop for StreamGuard {
+    fn drop(&mut self) {
+        metrics::mux_streams_active().sub(1);
+    }
+}
+
+/// Sends one mux-wrapped message under the shared writer lock. Workers call
+/// this only when they hold a credit (or for credit-exempt control frames),
+/// so the lock is held for one fragment's socket write at a time.
+fn send_mux(
+    writer: &Mutex<ConnWriter>,
+    stream_id: u32,
+    message: &Message,
+) -> Result<(), VssError> {
+    let mut writer = writer.lock().expect("writer lock");
+    write_mux_message(&mut *writer, stream_id, message)?;
+    writer.flush().map_err(io_error)
+}
+
+/// Sends a plain (un-muxed) frame under the shared writer lock — credit
+/// grants and resets, which carry their stream id themselves.
+fn send_plain(writer: &Mutex<ConnWriter>, message: &Message) -> Result<(), VssError> {
+    let mut writer = writer.lock().expect("writer lock");
+    write_message(&mut *writer, message)?;
+    writer.flush().map_err(io_error)
+}
+
+/// Answers a frame for an unknown (or just-closed) stream with a typed
+/// per-stream reset — never by dropping the connection, so a reset that
+/// races a late data frame cannot take down the client's other streams.
+fn reset_unknown_stream(
+    writer: &Mutex<ConnWriter>,
+    stream_id: u32,
+    what: &str,
+) -> Result<(), VssError> {
+    metrics::mux_resets().incr();
+    send_plain(
+        writer,
+        &Message::MuxReset {
+            stream_id,
+            error: Some(WireError::protocol(format!(
+                "{what} for unknown or closed stream {stream_id}"
+            ))),
+        },
+    )
+}
+
+/// The version-3 request loop: one dispatcher thread routes every inbound
+/// frame — mux opens spawn per-stream workers, data frames feed ingest
+/// queues, credit grants top up [`StreamCtl`]s, resets tear streams down —
+/// while plain (un-muxed) operations keep their exact v1/v2 inline
+/// semantics. All streams share the connection's one [`Session`]: admission
+/// is per client, not per stream.
+fn serve_mux_connection(
+    inner: &Arc<NetInner>,
+    session: &Arc<Session>,
+    reader: &mut ConnReader,
+    writer: ConnWriter,
+) {
+    let writer = Arc::new(Mutex::new(writer));
+    let mut streams: HashMap<u32, ServerStream> = HashMap::new();
+    // The loop ends on disconnect (or garbage) — tear the connection down.
+    while let Ok(envelope) = read_envelope(reader) {
+        // Reap workers that finished on their own (stream ran to its end);
+        // their map entries only exist to route late credit/reset frames.
+        let finished: Vec<u32> =
+            streams.iter().filter(|(_, s)| s.worker.is_finished()).map(|(id, _)| *id).collect();
+        for id in finished {
+            if let Some(stream) = streams.remove(&id) {
+                let _ = stream.worker.join();
+            }
+        }
+        let _scope = envelope.request_id.map(vss_telemetry::request_scope);
+        let outcome = match envelope.message {
+            Message::Mux { stream_id, inner: frame } => {
+                dispatch_mux_frame(inner, session, &writer, &mut streams, stream_id, *frame)
+            }
+            Message::MuxCredit { stream_id, frames } => match streams.get(&stream_id) {
+                Some(stream) => {
+                    stream.ctl.grant(frames);
+                    Ok(())
+                }
+                None => reset_unknown_stream(&writer, stream_id, "credit grant"),
+            },
+            Message::MuxReset { stream_id, .. } => {
+                metrics::mux_resets().incr();
+                // Resets are idempotent: an unknown id just means the stream
+                // already ended (the reset raced its terminal frame).
+                if let Some(stream) = streams.remove(&stream_id) {
+                    stream.stop();
+                }
+                Ok(())
+            }
+            // --- control plane: unary operations, served inline -----------
+            Message::Create { name, budget } => {
+                let _span = vss_telemetry::span("net", "create", name.as_str());
+                reply_unit(
+                    &mut writer.lock().expect("writer lock"),
+                    session.create(&name, budget),
+                )
+            }
+            Message::Delete { name } => {
+                let _span = vss_telemetry::span("net", "delete", name.as_str());
+                reply_unit(&mut writer.lock().expect("writer lock"), session.delete(&name))
+            }
+            Message::Metadata { name } => {
+                let _span = vss_telemetry::span("net", "metadata", name.as_str());
+                let reply = match session.metadata(&name) {
+                    Ok(metadata) => Message::MetadataReply(metadata),
+                    Err(error) => Message::Error(WireError::from_error(&error)),
+                };
+                send_plain(&writer, &reply)
+            }
+            Message::StatsRequest => {
+                let _span = vss_telemetry::span("net", "stats", "");
+                send_plain(&writer, &Message::StatsSnapshot(vss_telemetry::snapshot()))
+            }
+            // --- plain (un-muxed) streaming ops keep v2 semantics ---------
+            Message::OpenReadStream { request } => {
+                let _span = vss_telemetry::span("net", "read_stream", request.name.as_str());
+                serve_read_stream(
+                    inner,
+                    session,
+                    &request,
+                    &mut writer.lock().expect("writer lock"),
+                )
+            }
+            Message::WriteBegin { request, frame_rate } => {
+                let _span = vss_telemetry::span("net", "write", request.name.as_str());
+                let mut writer = writer.lock().expect("writer lock");
+                serve_write(inner, session, &request, frame_rate, reader, &mut writer)
+            }
+            Message::AppendBegin { name, frame_rate } => {
+                let _span = vss_telemetry::span("net", "append", name.as_str());
+                let mut writer = writer.lock().expect("writer lock");
+                serve_append(inner, session, &name, frame_rate, reader, &mut writer)
+            }
+            Message::Subscribe { name, from } => {
+                let _span = vss_telemetry::span("net", "subscribe", name.as_str());
+                // A plain subscription is its connection's last operation,
+                // exactly as on v2 (its liveness probes read the socket raw).
+                let mut writer = writer.lock().expect("writer lock");
+                let _ = serve_subscribe(inner, session, &name, from, reader, &mut writer);
+                break;
+            }
+            other => send_plain(
+                &writer,
+                &Message::Error(WireError::protocol(format!(
+                    "unexpected message {} outside any operation",
+                    other.kind_name()
+                ))),
+            ),
+        };
+        if outcome.is_err() {
+            break; // transport failure: connection is gone
+        }
+    }
+    // Teardown: cancel every live stream (waking credit waits and closing
+    // ingest queues) **before** joining, so no worker is joined while it can
+    // still block — an unfinished ingest aborts, leaving only fully
+    // persisted GOPs.
+    let remaining: Vec<ServerStream> = streams.into_values().collect();
+    for stream in &remaining {
+        stream.ctl.cancel();
+    }
+    for stream in remaining {
+        stream.stop();
+    }
+}
+
+/// Routes one inbound mux frame: opens a stream for the four opener
+/// messages, feeds ingest queues, and answers anything unroutable with a
+/// per-stream reset (never a connection abort).
+fn dispatch_mux_frame(
+    inner: &Arc<NetInner>,
+    session: &Arc<Session>,
+    writer: &Arc<Mutex<ConnWriter>>,
+    streams: &mut HashMap<u32, ServerStream>,
+    stream_id: u32,
+    frame: Message,
+) -> Result<(), VssError> {
+    if let Some(stream) = streams.get(&stream_id) {
+        let Some(sender) = stream.ingest.as_ref() else {
+            // Client data frames are only valid on ingest streams.
+            let stream = streams.remove(&stream_id).expect("present above");
+            stream.stop();
+            return reset_unknown_stream(writer, stream_id, frame.kind_name());
+        };
+        let item = match frame {
+            Message::WriteChunk { frames } => {
+                let bytes: u64 = frames.iter().map(|f| f.byte_len() as u64).sum();
+                IngestFrame::Chunk { frames, guard: inner.server.track_in_flight(bytes) }
+            }
+            Message::WriteFinish => IngestFrame::Finish,
+            Message::WriteAbort => IngestFrame::Abort,
+            other => {
+                let stream = streams.remove(&stream_id).expect("present above");
+                stream.stop();
+                return reset_unknown_stream(writer, stream_id, other.kind_name());
+            }
+        };
+        if sender.try_send(item).is_err() {
+            // The client overran its write window (or the worker died): a
+            // blocking send here would let one stream stall the whole
+            // dispatcher, so the stream is reset instead.
+            let stream = streams.remove(&stream_id).expect("present above");
+            stream.stop();
+            metrics::mux_resets().incr();
+            return send_plain(
+                writer,
+                &Message::MuxReset {
+                    stream_id,
+                    error: Some(WireError::protocol(format!(
+                        "stream {stream_id} overran its {SERVER_WRITE_WINDOW}-frame write window"
+                    ))),
+                },
+            );
+        }
+        return Ok(());
+    }
+    // Unknown id: the four opener messages start a new stream; anything else
+    // is a late frame for a closed stream — typed per-stream reset.
+    match frame {
+        opener @ (Message::OpenReadStream { .. }
+        | Message::WriteBegin { .. }
+        | Message::AppendBegin { .. }
+        | Message::Subscribe { .. }) => {
+            if streams.len() >= MAX_MUX_STREAMS {
+                metrics::mux_resets().incr();
+                return send_plain(
+                    writer,
+                    &Message::MuxReset {
+                        stream_id,
+                        error: Some(WireError::from_error(&VssError::Overloaded(format!(
+                            "connection already has {MAX_MUX_STREAMS} open streams"
+                        )))),
+                    },
+                );
+            }
+            let stream = spawn_mux_stream(inner, session, writer, stream_id, opener);
+            streams.insert(stream_id, stream);
+            Ok(())
+        }
+        other => reset_unknown_stream(writer, stream_id, other.kind_name()),
+    }
+}
+
+/// Spawns the worker thread for one newly opened stream.
+fn spawn_mux_stream(
+    inner: &Arc<NetInner>,
+    session: &Arc<Session>,
+    writer: &Arc<Mutex<ConnWriter>>,
+    stream_id: u32,
+    opener: Message,
+) -> ServerStream {
+    metrics::mux_streams_opened().incr();
+    metrics::mux_streams_active().add(1);
+    let ctl = Arc::new(StreamCtl::new());
+    let (ingest, receiver) = match &opener {
+        Message::WriteBegin { .. } | Message::AppendBegin { .. } => {
+            // Window-sized queue plus slack for the credit-exempt terminal
+            // frame: a client honoring its window never sees the queue full.
+            let (tx, rx) = crossbeam::channel::bounded(SERVER_WRITE_WINDOW as usize + 2);
+            (Some(tx), Some(rx))
+        }
+        _ => (None, None),
+    };
+    let worker = {
+        let inner = Arc::clone(inner);
+        let session = Arc::clone(session);
+        let writer = Arc::clone(writer);
+        let ctl = Arc::clone(&ctl);
+        // The dispatcher's envelope scope is active here but thread-locals
+        // don't cross the spawn: carry the request id into the worker so its
+        // span joins the caller's trace.
+        let request_id = vss_telemetry::current_request_id();
+        std::thread::spawn(move || {
+            let _scope = request_id.map(vss_telemetry::request_scope);
+            let _guard = StreamGuard;
+            match opener {
+                Message::OpenReadStream { request } => {
+                    let span = vss_telemetry::span("net", "read_stream", request.name.as_str());
+                    mux_read_worker(&inner, &session, &writer, stream_id, &ctl, &request, span);
+                }
+                Message::WriteBegin { request, frame_rate } => {
+                    let span = vss_telemetry::span("net", "write", request.name.as_str());
+                    let receiver = receiver.expect("ingest queue");
+                    mux_ingest_worker(
+                        &inner,
+                        &session,
+                        &writer,
+                        stream_id,
+                        MuxIngestKind::Sink { request, frame_rate },
+                        &receiver,
+                        span,
+                    );
+                }
+                Message::AppendBegin { name, frame_rate } => {
+                    let span = vss_telemetry::span("net", "append", name.as_str());
+                    let receiver = receiver.expect("ingest queue");
+                    mux_ingest_worker(
+                        &inner,
+                        &session,
+                        &writer,
+                        stream_id,
+                        MuxIngestKind::Append { name, frame_rate },
+                        &receiver,
+                        span,
+                    );
+                }
+                Message::Subscribe { name, from } => {
+                    let span = vss_telemetry::span("net", "subscribe", name.as_str());
+                    mux_subscribe_worker(
+                        &inner, &session, &writer, stream_id, &ctl, &name, from, span,
+                    );
+                }
+                _ => unreachable!("spawn_mux_stream is only called for opener messages"),
+            }
+        })
+    };
+    ServerStream { ctl, worker, ingest }
+}
+
+/// Drains one `Session::read_stream` onto the shared connection,
+/// credit-paced per fragment: the worker parks in [`StreamCtl::take_credit`]
+/// — not on the socket — when its client stops granting, so a slow stream
+/// never holds the writer lock against its siblings.
+fn mux_read_worker(
+    inner: &Arc<NetInner>,
+    session: &Arc<Session>,
+    writer: &Mutex<ConnWriter>,
+    stream_id: u32,
+    ctl: &StreamCtl,
+    request: &vss_core::ReadRequest,
+    span: vss_telemetry::Span,
+) {
+    // The span closes *before* the terminal frame goes out: a client that has
+    // seen this op's reply must also find the span in its very next stats
+    // snapshot, even though the worker thread may not be rescheduled yet.
+    let mut span = Some(span);
+    let stream = match session.read_stream(request) {
+        Ok(stream) => stream,
+        Err(error) => {
+            span.take();
+            let _ = send_mux(writer, stream_id, &Message::Error(WireError::from_error(&error)));
+            return;
+        }
+    };
+    let begin = Message::StreamBegin {
+        frame_rate: stream.output_frame_rate(),
+        compressed: stream.is_compressed(),
+    };
+    if send_mux(writer, stream_id, &begin).is_err() {
+        return;
+    }
+    for chunk in stream {
+        if ctl.is_cancelled() {
+            return; // dropping the stream cancels and joins its readahead workers
+        }
+        match chunk {
+            Ok(chunk) => {
+                for (message, bytes) in chunk_fragments(chunk) {
+                    if !ctl.take_credit() {
+                        return;
+                    }
+                    let _in_flight = inner.server.track_in_flight(bytes);
+                    if send_mux(writer, stream_id, &message).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(error) => {
+                // Errors surface in plan order, exactly like a local stream.
+                span.take();
+                let _ =
+                    send_mux(writer, stream_id, &Message::Error(WireError::from_error(&error)));
+                return;
+            }
+        }
+    }
+    span.take();
+    let _ = send_mux(writer, stream_id, &Message::StreamEnd);
+}
+
+enum MuxIngestKind {
+    Sink { request: vss_core::WriteRequest, frame_rate: f64 },
+    Append { name: String, frame_rate: f64 },
+}
+
+/// Services one multiplexed write or append: opens the target, grants the
+/// client its write window, then consumes queued chunks — replenishing one
+/// credit per dequeued chunk — until finish, abort, or teardown (a closed
+/// queue drops the sink, so only fully persisted GOPs remain).
+fn mux_ingest_worker(
+    inner: &Arc<NetInner>,
+    session: &Arc<Session>,
+    writer: &Mutex<ConnWriter>,
+    stream_id: u32,
+    kind: MuxIngestKind,
+    receiver: &crossbeam::channel::Receiver<IngestFrame>,
+    span: vss_telemetry::Span,
+) {
+    // Closed before any frame that ends the op from the client's point of
+    // view (Error / WriteReport), so the span is visible to a snapshot taken
+    // right after the reply — see `mux_read_worker`.
+    let mut span = Some(span);
+    enum Target<'a> {
+        Sink(Box<WriteSink<'static>>),
+        Append { session: &'a Session, name: String, frame_rate: f64, frames: Vec<Frame> },
+    }
+    let mut target = match kind {
+        MuxIngestKind::Sink { request, frame_rate } => {
+            match session.write_sink(&request, frame_rate) {
+                Ok(sink) => {
+                    let ready = Message::WriteReady { gop_size: sink.gop_size() as u64 };
+                    if send_mux(writer, stream_id, &ready).is_err() {
+                        return;
+                    }
+                    Target::Sink(Box::new(sink))
+                }
+                Err(error) => {
+                    span.take();
+                    let _ = send_mux(
+                        writer,
+                        stream_id,
+                        &Message::Error(WireError::from_error(&error)),
+                    );
+                    return;
+                }
+            }
+        }
+        MuxIngestKind::Append { name, frame_rate } => {
+            // Fail fast: reject an append to a nonexistent video at begin,
+            // before the client ships the whole clip.
+            if let Err(error) = session.metadata(&name) {
+                span.take();
+                let _ =
+                    send_mux(writer, stream_id, &Message::Error(WireError::from_error(&error)));
+                return;
+            }
+            if send_mux(writer, stream_id, &Message::Ok).is_err() {
+                return;
+            }
+            Target::Append { session, name, frame_rate, frames: Vec::new() }
+        }
+    };
+    if send_plain(writer, &Message::MuxCredit { stream_id, frames: SERVER_WRITE_WINDOW }).is_err()
+    {
+        return;
+    }
+    let mut failed = false;
+    // In-flight accounting for buffered appends lives as long as the buffer.
+    let mut buffered_guards = Vec::new();
+    loop {
+        let Ok(item) = receiver.recv() else {
+            return; // reset or teardown: drop the target, aborting it
+        };
+        match item {
+            IngestFrame::Chunk { frames, guard } => {
+                // The queue slot is free: replenish the window immediately so
+                // the client ships the next chunk while this one persists.
+                // Credits keep flowing after a failure too — the client may
+                // be blocked on its window on the way to its finish.
+                if send_plain(writer, &Message::MuxCredit { stream_id, frames: 1 }).is_err() {
+                    return;
+                }
+                if failed {
+                    continue; // discard until the client finishes or aborts
+                }
+                match &mut target {
+                    Target::Sink(sink) => {
+                        let _in_flight = guard;
+                        for frame in frames {
+                            if let Err(error) = sink.push_frame(frame) {
+                                span.take();
+                                let reply = Message::Error(WireError::from_error(&error));
+                                if send_mux(writer, stream_id, &reply).is_err() {
+                                    return;
+                                }
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    Target::Append { frames: buffer, .. } => {
+                        buffered_guards.push(guard);
+                        buffer.extend(frames);
+                        // The in-flight-byte limit gates active transfers
+                        // too: an admitted client streaming an unbounded
+                        // append is shed with a typed Overloaded before it
+                        // can exhaust server memory.
+                        let limit = inner.server.server_config().max_in_flight_bytes;
+                        if limit > 0 && inner.server.in_flight_bytes() > limit {
+                            let error = VssError::Overloaded(format!(
+                                "append transfer exceeded the in-flight byte limit \
+                                 ({} of {limit} bytes in flight)",
+                                inner.server.in_flight_bytes()
+                            ));
+                            span.take();
+                            let reply = Message::Error(WireError::from_error(&error));
+                            if send_mux(writer, stream_id, &reply).is_err() {
+                                return;
+                            }
+                            buffer.clear();
+                            buffer.shrink_to_fit();
+                            buffered_guards.clear();
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            IngestFrame::Finish => {
+                if !failed {
+                    let result = match target {
+                        Target::Sink(sink) => sink.finish(),
+                        Target::Append { session, name, frame_rate, frames } => {
+                            let sequence = if frames.is_empty() {
+                                vss_frame::FrameSequence::empty(frame_rate)
+                            } else {
+                                vss_frame::FrameSequence::new(frames, frame_rate)
+                            }
+                            .map_err(VssError::Frame);
+                            sequence.and_then(|frames| session.append(&name, &frames))
+                        }
+                    };
+                    let reply = match result {
+                        Ok(report) => Message::WriteReport(WireWriteReport::from_report(&report)),
+                        Err(error) => Message::Error(WireError::from_error(&error)),
+                    };
+                    span.take();
+                    let _ = send_mux(writer, stream_id, &reply);
+                }
+                return;
+            }
+            IngestFrame::Abort => return, // drop the target: abort
+        }
+    }
+}
+
+/// Services one multiplexed live subscription: relays hub events
+/// credit-paced, so a stalled feed consumer parks here (hub lag policy
+/// absorbing the overflow) while sibling streams keep flowing. No raw-socket
+/// liveness probe is needed — a departed client sends `MuxReset`, and the
+/// cancel flag is checked every idle tick.
+#[allow(clippy::too_many_arguments)]
+fn mux_subscribe_worker(
+    inner: &Arc<NetInner>,
+    session: &Arc<Session>,
+    writer: &Mutex<ConnWriter>,
+    stream_id: u32,
+    ctl: &StreamCtl,
+    name: &str,
+    from: SubscribeFrom,
+    span: vss_telemetry::Span,
+) {
+    // Closed before the terminal frame — see `mux_read_worker`.
+    let mut span = Some(span);
+    let mut subscription = session.subscribe(name, from);
+    if send_mux(writer, stream_id, &Message::Ok).is_err() {
+        return;
+    }
+    loop {
+        if ctl.is_cancelled() {
+            return;
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            span.take();
+            let _ = send_mux(writer, stream_id, &Message::SubEnd);
+            return;
+        }
+        match subscription.next_timeout(std::time::Duration::from_millis(100)) {
+            Ok(Some(SubEvent::Gop(gop))) => {
+                if !ctl.take_credit() {
+                    return;
+                }
+                let bytes = gop.gop.byte_len() as u64;
+                let message = Message::SubChunk {
+                    seq: gop.seq,
+                    start_time: gop.start_time,
+                    end_time: gop.end_time,
+                    frame_rate: gop.frame_rate,
+                    frame_count: gop.frame_count as u64,
+                    gop: (*gop.gop).clone(),
+                };
+                let _in_flight = inner.server.track_in_flight(bytes);
+                if send_mux(writer, stream_id, &message).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(SubEvent::Gap { from_seq, to_seq })) => {
+                if !ctl.take_credit() {
+                    return;
+                }
+                let message = Message::SubGap { from_seq, to_seq };
+                if send_mux(writer, stream_id, &message).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(SubEvent::End)) => {
+                span.take();
+                let _ = send_mux(writer, stream_id, &Message::SubEnd);
+                return;
+            }
+            Ok(None) => {} // idle tick: re-check cancellation and shutdown
+            Err(error) => {
+                span.take();
+                let _ =
+                    send_mux(writer, stream_id, &Message::Error(WireError::from_error(&error)));
+                return;
+            }
+        }
+    }
 }
 
 /// Serves one live subscription on its dedicated connection: acknowledges

@@ -37,7 +37,12 @@ pub const PROTOCOL_MAGIC: u32 = 0x5653_534e;
 /// [`Message::StatsRequest`]/[`Message::StatsSnapshot`] pair and the live
 /// subscription flow ([`Message::Subscribe`] and its
 /// [`Message::SubChunk`]/[`Message::SubGap`]/[`Message::SubEnd`] events).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Version 3 added stream multiplexing: the [`Message::Mux`] frame carries
+/// any operation's message on a client-chosen stream id, so one connection
+/// interleaves the control plane with N concurrent reads, writes and
+/// subscriptions, paced per stream by [`Message::MuxCredit`] window grants
+/// and torn down per stream by [`Message::MuxReset`].
+pub const PROTOCOL_VERSION: u16 = 3;
 /// Oldest protocol version this build still speaks. The handshake
 /// negotiates `min(client, server)` within
 /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and rejects anything
@@ -73,6 +78,15 @@ pub const ENVELOPE_TAGGED: u8 = 0x7f;
 /// Ceiling on the metrics one [`Message::StatsSnapshot`] section (counters,
 /// gauges or histograms) may carry, checked before any allocation.
 pub const MAX_METRICS: usize = 4096;
+/// Ceiling on a multiplexed stream id (version 3). Ids are client-chosen,
+/// start at 1 (0 is reserved for the connection's control plane and always
+/// invalid on the wire) and are validated **before** the frame's inner
+/// payload is decoded, so a corrupt id can never steer an allocation.
+pub const MAX_STREAM_ID: u32 = 1 << 20;
+/// Ceiling on one [`Message::MuxCredit`] grant in data frames. Grants are
+/// cumulative; a single grant above this cap (or of zero) is a protocol
+/// error, refused before any state changes.
+pub const MAX_CREDIT_FRAMES: u32 = 1 << 16;
 
 /// Wire error codes — one per [`VssError`] variant (the encode mapping in
 /// [`WireError::from_error`] is deliberately exhaustive: adding a `VssError`
@@ -398,6 +412,41 @@ pub enum Message {
     },
     /// The subscribed video was deleted; no further events follow.
     SubEnd,
+    /// One multiplexed frame (version ≥ 3, both directions): `inner` belongs
+    /// to the stream `stream_id`. A stream is opened by the first client
+    /// frame carrying its id (an [`Message::OpenReadStream`],
+    /// [`Message::WriteBegin`], [`Message::AppendBegin`] or
+    /// [`Message::Subscribe`]); every later frame of the operation rides the
+    /// same id. Mux frames never nest.
+    Mux {
+        /// Stream this frame belongs to (`1..=`[`MAX_STREAM_ID`]).
+        stream_id: u32,
+        /// The operation message, exactly as it would travel un-muxed.
+        inner: Box<Message>,
+    },
+    /// A cumulative credit grant (version ≥ 3, both directions): the sender
+    /// allows `frames` more *data* frames — [`Message::StreamChunk`],
+    /// [`Message::SubChunk`] and [`Message::SubGap`] toward a client,
+    /// [`Message::WriteChunk`] toward a server — on stream `stream_id`.
+    /// Control and terminal frames never consume credit.
+    MuxCredit {
+        /// Stream the grant applies to.
+        stream_id: u32,
+        /// Additional data frames allowed (`1..=`[`MAX_CREDIT_FRAMES`]).
+        frames: u32,
+    },
+    /// Tears down one stream without touching the connection (version ≥ 3,
+    /// both directions). A client reset cancels the server-side operation
+    /// (an unfinished ingest aborts — only fully persisted GOPs remain); a
+    /// server reset carries the typed error that ended the stream. Resetting
+    /// an unknown stream is answered (or ignored) per stream — never by
+    /// closing the connection.
+    MuxReset {
+        /// Stream being torn down.
+        stream_id: u32,
+        /// Why the stream ended (absent on a plain cancellation).
+        error: Option<WireError>,
+    },
 }
 
 impl Message {
@@ -430,6 +479,9 @@ impl Message {
             Message::SubChunk { .. } => "SubChunk",
             Message::SubGap { .. } => "SubGap",
             Message::SubEnd => "SubEnd",
+            Message::Mux { .. } => "Mux",
+            Message::MuxCredit { .. } => "MuxCredit",
+            Message::MuxReset { .. } => "MuxReset",
         }
     }
 }
@@ -459,6 +511,11 @@ const KIND_STATS_SNAPSHOT: u8 = 0x8a;
 const KIND_SUB_CHUNK: u8 = 0x8b;
 const KIND_SUB_GAP: u8 = 0x8c;
 const KIND_SUB_END: u8 = 0x8d;
+// Mux frames travel both directions, so their kinds live in the gap between
+// the client (0x01..) and marker (0x7f) namespaces.
+const KIND_MUX_RESET: u8 = 0x7b;
+const KIND_MUX_CREDIT: u8 = 0x7c;
+const KIND_MUX: u8 = 0x7d;
 
 /// `SubscribeFrom` tag bytes.
 const SUB_FROM_START: u8 = 0x00;
@@ -595,6 +652,16 @@ impl<'a> Cursor<'a> {
 // ---------------------------------------------------------------------------
 // Composite codecs
 // ---------------------------------------------------------------------------
+
+/// Reads and validates a multiplexed stream id — the first field of every v3
+/// frame, checked before anything after it is decoded.
+fn get_stream_id(cursor: &mut Cursor<'_>) -> DecodeResult<u32> {
+    let id = cursor.get_u32()?;
+    if id == 0 || id > MAX_STREAM_ID {
+        return Err(format!("stream id {id} outside 1..={MAX_STREAM_ID}"));
+    }
+    Ok(id)
+}
 
 fn put_codec(out: &mut Vec<u8>, codec: Codec) {
     put_str(out, &codec.name());
@@ -988,7 +1055,34 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
             put_u64(&mut out, *to_seq);
         }
         Message::SubEnd => out.push(KIND_SUB_END),
+        Message::Mux { stream_id, inner } => {
+            out.push(KIND_MUX);
+            put_u32(&mut out, *stream_id);
+            out.extend_from_slice(&encode_message(inner));
+        }
+        Message::MuxCredit { stream_id, frames } => {
+            out.push(KIND_MUX_CREDIT);
+            put_u32(&mut out, *stream_id);
+            put_u32(&mut out, *frames);
+        }
+        Message::MuxReset { stream_id, error } => {
+            out.push(KIND_MUX_RESET);
+            put_u32(&mut out, *stream_id);
+            put_opt(&mut out, error, put_wire_error);
+        }
     }
+    out
+}
+
+/// Encodes `message` wrapped in a [`Message::Mux`] frame for `stream_id`
+/// without boxing it first (the multiplexed send path's equivalent of
+/// [`encode_message`]).
+pub fn encode_mux(stream_id: u32, message: &Message) -> Vec<u8> {
+    let body = encode_message(message);
+    let mut out = Vec::with_capacity(5 + body.len());
+    out.push(KIND_MUX);
+    put_u32(&mut out, stream_id);
+    out.extend_from_slice(&body);
     out
 }
 
@@ -1073,6 +1167,35 @@ pub fn decode_message(payload: &[u8]) -> DecodeResult<Message> {
             Message::SubGap { from_seq: cursor.get_u64()?, to_seq: cursor.get_u64()? }
         }
         KIND_SUB_END => Message::SubEnd,
+        // Every v3 decoder validates the stream id (and any credit window)
+        // *before* touching the rest of the payload — the decode-before-alloc
+        // discipline — so a corrupt frame is refused before the inner
+        // message's length fields can steer an allocation.
+        KIND_MUX => {
+            let stream_id = get_stream_id(&mut cursor)?;
+            let inner = decode_message(cursor.take(cursor.remaining())?)?;
+            if matches!(
+                inner,
+                Message::Mux { .. } | Message::MuxCredit { .. } | Message::MuxReset { .. }
+            ) {
+                return Err(format!("mux frames never nest ({})", inner.kind_name()));
+            }
+            Message::Mux { stream_id, inner: Box::new(inner) }
+        }
+        KIND_MUX_CREDIT => {
+            let stream_id = get_stream_id(&mut cursor)?;
+            let frames = cursor.get_u32()?;
+            if frames == 0 || frames > MAX_CREDIT_FRAMES {
+                return Err(format!(
+                    "credit grant of {frames} frames outside 1..={MAX_CREDIT_FRAMES}"
+                ));
+            }
+            Message::MuxCredit { stream_id, frames }
+        }
+        KIND_MUX_RESET => {
+            let stream_id = get_stream_id(&mut cursor)?;
+            Message::MuxReset { stream_id, error: cursor.get_opt(get_wire_error)? }
+        }
         other => return Err(format!("unknown message kind 0x{other:02x}")),
     };
     if cursor.remaining() != 0 {
@@ -1195,6 +1318,34 @@ pub fn read_envelope(reader: &mut impl Read) -> Result<Envelope, VssError> {
 pub fn write_chunk_message(writer: &mut impl Write, frames: &[Frame]) -> Result<(), VssError> {
     let bytes: usize = frames.iter().map(|f| f.byte_len() + 32).sum();
     let mut payload = Vec::with_capacity(1 + 4 + bytes);
+    payload.push(KIND_WRITE_CHUNK);
+    put_frames(&mut payload, frames);
+    write_payload(writer, &payload)
+}
+
+/// Writes one message wrapped in a [`Message::Mux`] frame for `stream_id`
+/// (see [`encode_mux`]). Only send this on a connection whose negotiated
+/// version is ≥ 3.
+pub fn write_mux_message(
+    writer: &mut impl Write,
+    stream_id: u32,
+    message: &Message,
+) -> Result<(), VssError> {
+    write_payload(writer, &encode_mux(stream_id, message))
+}
+
+/// [`write_chunk_message`] on a multiplexed stream: serializes the
+/// [`Message::WriteChunk`] straight from borrowed frames inside the mux
+/// frame — the v3 ingest hot path clones no pixel buffer either.
+pub fn write_mux_chunk_message(
+    writer: &mut impl Write,
+    stream_id: u32,
+    frames: &[Frame],
+) -> Result<(), VssError> {
+    let bytes: usize = frames.iter().map(|f| f.byte_len() + 32).sum();
+    let mut payload = Vec::with_capacity(5 + 1 + 4 + bytes);
+    payload.push(KIND_MUX);
+    put_u32(&mut payload, stream_id);
     payload.push(KIND_WRITE_CHUNK);
     put_frames(&mut payload, frames);
     write_payload(writer, &payload)
@@ -1465,6 +1616,79 @@ mod tests {
         put_str(&mut bad, "cam");
         bad.push(0x7f);
         assert!(decode_message(&bad).is_err());
+    }
+
+    #[test]
+    fn mux_frames_round_trip_and_never_nest() {
+        let inner = Message::OpenReadStream {
+            request: ReadRequest::new("cam", 0.0, 2.0, Codec::H264),
+        };
+        let message = Message::Mux { stream_id: 7, inner: Box::new(inner.clone()) };
+        assert_eq!(decode_message(&encode_message(&message)).unwrap(), message);
+        // The unboxed encoder produces identical bytes.
+        assert_eq!(encode_mux(7, &inner), encode_message(&message));
+        // Strict prefixes of a mux frame always error.
+        let payload = encode_message(&message);
+        for len in 0..payload.len() {
+            assert!(decode_message(&payload[..len]).is_err(), "prefix of {len} bytes decoded");
+        }
+        // Nesting any mux-family frame inside a mux frame is refused.
+        for nested in [
+            Message::Mux { stream_id: 1, inner: Box::new(Message::Ok) },
+            Message::MuxCredit { stream_id: 1, frames: 1 },
+            Message::MuxReset { stream_id: 1, error: None },
+        ] {
+            let bytes = encode_mux(2, &nested);
+            assert!(decode_message(&bytes).is_err(), "nested {} decoded", nested.kind_name());
+        }
+        let credit = Message::MuxCredit { stream_id: 3, frames: 16 };
+        assert_eq!(decode_message(&encode_message(&credit)).unwrap(), credit);
+        for error in [None, Some(WireError::protocol("gone"))] {
+            let reset = Message::MuxReset { stream_id: 9, error };
+            assert_eq!(decode_message(&encode_message(&reset)).unwrap(), reset);
+        }
+        // A mux-wrapped chunk serialized from borrowed frames matches the
+        // owned encoding byte for byte.
+        let frames: Vec<Frame> =
+            (0..2).map(|i| pattern::gradient(16, 12, PixelFormat::Rgb8, i)).collect();
+        let mut direct = Vec::new();
+        write_mux_chunk_message(&mut direct, 5, &frames).unwrap();
+        let mut owned = Vec::new();
+        write_mux_message(&mut owned, 5, &Message::WriteChunk { frames }).unwrap();
+        assert_eq!(direct, owned);
+    }
+
+    #[test]
+    fn mux_fields_are_validated_before_the_inner_payload_is_touched() {
+        // Stream id 0 and over-cap ids are refused for every v3 kind.
+        for kind in [KIND_MUX, KIND_MUX_CREDIT, KIND_MUX_RESET] {
+            for id in [0u32, MAX_STREAM_ID + 1, u32::MAX] {
+                let mut payload = vec![kind];
+                put_u32(&mut payload, id);
+                // A huge claimed length follows; the id check must fire first.
+                put_u32(&mut payload, u32::MAX);
+                assert!(decode_message(&payload).is_err(), "kind 0x{kind:02x} id {id} decoded");
+            }
+        }
+        // A zero or over-cap credit grant is refused.
+        for frames in [0u32, MAX_CREDIT_FRAMES + 1] {
+            let mut payload = vec![KIND_MUX_CREDIT];
+            put_u32(&mut payload, 4);
+            put_u32(&mut payload, frames);
+            assert!(decode_message(&payload).is_err());
+        }
+        // A mux frame whose inner chunk claims 2^32-ish frames errors out of
+        // the inner decoder instead of allocating (the decode-before-alloc
+        // discipline holds through the wrapper).
+        let mut payload = vec![KIND_MUX];
+        put_u32(&mut payload, 1);
+        payload.push(KIND_WRITE_CHUNK);
+        put_u32(&mut payload, u32::MAX);
+        assert!(decode_message(&payload).is_err());
+        // An empty inner payload is a truncated frame, not a panic.
+        let mut empty = vec![KIND_MUX];
+        put_u32(&mut empty, 1);
+        assert!(decode_message(&empty).is_err());
     }
 
     #[test]

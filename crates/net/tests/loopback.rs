@@ -93,6 +93,65 @@ fn full_contract_round_trips_over_loopback() {
     let _ = std::fs::remove_dir_all(root);
 }
 
+/// Version coexistence: a v1 client (dedicated connections, untagged
+/// envelopes) and a v3 client (one multiplexed connection) run the full data
+/// plane against the same server at the same time, and each sees exactly the
+/// bytes the in-process engine produces.
+#[test]
+fn v1_and_v3_clients_share_a_server_concurrently() {
+    let root = temp_root("mixed-versions");
+    let server = VssServer::open_sharded(VssConfig::new(&root), 2).unwrap();
+    let net = NetServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+    let addr = net.local_addr();
+
+    let clients: Vec<_> = [1u16, 3]
+        .into_iter()
+        .map(|cap| {
+            std::thread::spawn(move || {
+                let mut store =
+                    RemoteStore::connect(addr).unwrap().with_protocol_cap(cap);
+                assert_eq!(store.negotiated_version().unwrap(), cap);
+                let name = format!("cam-v{cap}");
+                let clip = sequence(75, cap as u64);
+                store.create(&name, None).unwrap();
+                let report = store.write(&WriteRequest::new(&name, Codec::H264), &clip).unwrap();
+                assert_eq!(report.frames_written, 75);
+                store.append(&name, &sequence(30, 100 + cap as u64)).unwrap();
+
+                let request = ReadRequest::new(&name, 0.0, 2.5, Codec::Hevc).uncacheable();
+                let remote = store.read(&request).unwrap();
+                assert_eq!(remote.frames.len(), 75);
+
+                // Incremental sink, plus a half-consumed stream dropped early.
+                let sink_name = format!("sink-v{cap}");
+                let mut sink =
+                    store.write_sink(&WriteRequest::new(&sink_name, Codec::H264), 30.0).unwrap();
+                for frame in clip.frames() {
+                    sink.push_frame(frame.clone()).unwrap();
+                }
+                assert_eq!(sink.finish().unwrap().gops_written, report.gops_written);
+                let mut stream = store
+                    .read_stream(&ReadRequest::new(&name, 0.0, 3.0, Codec::Hevc).uncacheable())
+                    .unwrap();
+                stream.next().unwrap().unwrap();
+                drop(stream);
+                assert!(store.metadata(&name).unwrap().bytes_used > 0);
+                (name, request)
+            })
+        })
+        .collect();
+    for client in clients {
+        let (name, request) = client.join().expect("versioned client panicked");
+        // Each client's store content matches the in-process engine's view.
+        let local = server.session().read(&request).unwrap();
+        assert_eq!(local.frames.len(), 75, "{name} diverged");
+    }
+
+    net.shutdown();
+    assert!(server.shutdown(Duration::from_secs(10)));
+    let _ = std::fs::remove_dir_all(root);
+}
+
 #[test]
 fn admission_shed_surfaces_as_overloaded_and_cancellation_aborts_cleanly() {
     let root = temp_root("admission");

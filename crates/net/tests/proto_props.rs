@@ -21,10 +21,15 @@ use vss_core::{
 use vss_frame::{pattern, Frame, PixelFormat, RegionOfInterest, Resolution};
 use vss_net::wire::{
     decode_message, encode_message, read_message, Message, WireError, WireWriteReport,
-    MAX_MESSAGE_BYTES,
+    MAX_CREDIT_FRAMES, MAX_MESSAGE_BYTES, MAX_STREAM_ID,
 };
 
-const KIND_COUNT: u8 = 19;
+/// 19 pre-v3 kinds plus the three multiplexing frames. (The live/stats
+/// extension kinds have dedicated round-trip suites in `wire.rs`.)
+const KIND_COUNT: u8 = 22;
+/// Kinds `0..PLAIN_KIND_COUNT` are the un-muxed operation messages — the
+/// population a `Mux` frame's `inner` is drawn from (mux frames never nest).
+const PLAIN_KIND_COUNT: u8 = 19;
 
 fn arbitrary_string(rng: &mut TestRng) -> String {
     let len = rng.next_below(12) as usize;
@@ -103,8 +108,12 @@ fn arbitrary_error(rng: &mut TestRng) -> WireError {
     }
 }
 
-/// Builds one arbitrary message of the given kind — together the 19 kinds
-/// cover every frame type of the protocol.
+fn arbitrary_stream_id(rng: &mut TestRng) -> u32 {
+    1 + rng.next_below(MAX_STREAM_ID as u64) as u32
+}
+
+/// Builds one arbitrary message of the given kind — together the kinds
+/// cover every frame type of the core protocol, v3 multiplexing included.
 fn arbitrary_message(kind: u8, rng: &mut TestRng) -> Message {
     match kind % KIND_COUNT {
         0 => Message::Hello { magic: rng.next_u64() as u32, version: rng.next_u64() as u16 },
@@ -171,6 +180,21 @@ fn arbitrary_message(kind: u8, rng: &mut TestRng) -> Message {
         }
         16 => Message::StreamEnd,
         17 => Message::WriteReady { gop_size: 1 + rng.next_below(300) },
+        19 => Message::MuxCredit {
+            stream_id: arbitrary_stream_id(rng),
+            frames: 1 + rng.next_below(MAX_CREDIT_FRAMES as u64) as u32,
+        },
+        20 => Message::MuxReset {
+            stream_id: arbitrary_stream_id(rng),
+            error: if rng.next_below(2) == 0 { None } else { Some(arbitrary_error(rng)) },
+        },
+        21 => Message::Mux {
+            stream_id: arbitrary_stream_id(rng),
+            inner: Box::new(arbitrary_message(
+                (rng.next_below(PLAIN_KIND_COUNT as u64)) as u8,
+                rng,
+            )),
+        },
         _ => Message::WriteReport(WireWriteReport {
             physical_id: rng.next_u64(),
             gops_written: rng.next_below(1000),
@@ -244,5 +268,115 @@ proptest! {
         bytes.extend_from_slice(&(claimed as u32).to_le_bytes());
         bytes.extend_from_slice(&[0u8; 64]);
         prop_assert!(read_message(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_mux_fields_are_refused(
+        kind in PLAIN_KIND_COUNT..KIND_COUNT,
+        seed in any::<u64>(),
+        raw in any::<u32>(),
+        zero in any::<bool>(),
+    ) {
+        let stream_id =
+            if zero { 0 } else { MAX_STREAM_ID + 1 + raw % (u32::MAX - MAX_STREAM_ID) };
+        // Every v3 decoder validates its stream id before allocating for the
+        // body: patch a valid frame's id field (bytes 1..5 after the kind
+        // tag) out of range and the whole frame must be refused.
+        let mut rng = TestRng::new(seed);
+        let mut payload = encode_message(&arbitrary_message(kind, &mut rng));
+        payload[1..5].copy_from_slice(&stream_id.to_le_bytes());
+        prop_assert!(decode_message(&payload).is_err(), "stream id {stream_id} decoded");
+    }
+
+    #[test]
+    fn out_of_range_credit_windows_are_refused(
+        seed in any::<u64>(),
+        raw in any::<u32>(),
+        zero in any::<bool>(),
+    ) {
+        let frames =
+            if zero { 0 } else { MAX_CREDIT_FRAMES + 1 + raw % (u32::MAX - MAX_CREDIT_FRAMES) };
+        let mut rng = TestRng::new(seed);
+        let grant = Message::MuxCredit { stream_id: arbitrary_stream_id(&mut rng), frames: 1 };
+        let mut payload = encode_message(&grant);
+        // The window field follows the kind tag and the stream id.
+        payload[5..9].copy_from_slice(&frames.to_le_bytes());
+        prop_assert!(decode_message(&payload).is_err(), "credit window {frames} decoded");
+    }
+
+    #[test]
+    fn nested_mux_frames_are_refused(seed in any::<u64>(), kind in 0u8..PLAIN_KIND_COUNT) {
+        // A Mux frame whose inner message is itself a mux-family frame is a
+        // protocol violation — hand-build one (the encoder refuses to).
+        let mut rng = TestRng::new(seed);
+        let inner = Message::Mux {
+            stream_id: arbitrary_stream_id(&mut rng),
+            inner: Box::new(arbitrary_message(kind, &mut rng)),
+        };
+        for nested in [
+            inner.clone(),
+            Message::MuxCredit { stream_id: 1, frames: 1 },
+            Message::MuxReset { stream_id: 1, error: None },
+        ] {
+            let mut payload = vec![0x7d]; // KIND_MUX
+            payload.extend_from_slice(&arbitrary_stream_id(&mut rng).to_le_bytes());
+            payload.extend_from_slice(&encode_message(&nested));
+            prop_assert!(decode_message(&payload).is_err(), "nested {} decoded", nested.kind_name());
+        }
+        let _ = inner;
+    }
+
+    #[test]
+    fn interleaved_mux_streams_round_trip_in_order(seed in any::<u64>(), count in 1usize..24) {
+        // The demultiplexer's ground truth: frames of many concurrent
+        // streams interleaved arbitrarily on one connection decode back in
+        // exact order, and a stream truncated mid-frame yields every
+        // complete frame then an error — never a panic, never a frame from
+        // a partial envelope.
+        let mut rng = TestRng::new(seed);
+        let mut wire = Vec::new();
+        let mut sent = Vec::new();
+        for _ in 0..count {
+            let stream_id = 1 + rng.next_below(6) as u32;
+            let message = match rng.next_below(4) {
+                0 => Message::MuxCredit { stream_id, frames: 1 + rng.next_below(16) as u32 },
+                1 => Message::MuxReset {
+                    stream_id,
+                    error: if rng.next_below(2) == 0 {
+                        None
+                    } else {
+                        Some(arbitrary_error(&mut rng))
+                    },
+                },
+                _ => Message::Mux {
+                    stream_id,
+                    inner: Box::new(arbitrary_message(
+                        rng.next_below(PLAIN_KIND_COUNT as u64) as u8,
+                        &mut rng,
+                    )),
+                },
+            };
+            let payload = encode_message(&message);
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&payload);
+            sent.push(message);
+        }
+        let mut cursor = wire.as_slice();
+        for expected in &sent {
+            let decoded = read_message(&mut cursor)
+                .map_err(|e| TestCaseError::fail(format!("interleaved decode failed: {e}")))?;
+            prop_assert_eq!(&decoded, expected);
+        }
+        prop_assert!(cursor.is_empty());
+        // Truncate mid-final-frame: the tail read must error, not invent.
+        let cut = wire.len() - 1 - (rng.next_below(4) as usize).min(wire.len() - 1);
+        let mut cursor = &wire[..cut];
+        for expected in &sent {
+            match read_message(&mut cursor) {
+                Ok(decoded) => prop_assert_eq!(&decoded, expected),
+                Err(_) => return Ok(()),
+            }
+        }
+        prop_assert!(false, "truncated stream decoded every frame");
     }
 }

@@ -36,7 +36,7 @@ fn request_ids_trace_through_client_server_and_engine() {
     let server = VssServer::open_sharded(VssConfig::new(&root), 1).unwrap();
     let net = NetServer::bind(server.clone(), "127.0.0.1:0").unwrap();
     let mut store = RemoteStore::connect(net.local_addr()).unwrap();
-    assert_eq!(store.negotiated_version().unwrap(), 2);
+    assert_eq!(store.negotiated_version().unwrap(), 3);
 
     store.create("cam", None).unwrap();
     store.write(&WriteRequest::new("cam", Codec::H264), &sequence(60, 0)).unwrap();
@@ -83,7 +83,7 @@ fn request_ids_trace_through_client_server_and_engine() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-/// A version-2 client can pull the server's whole telemetry snapshot over
+/// A post-v1 client can pull the server's whole telemetry snapshot over
 /// the wire, and the snapshot reflects the work the connection performed
 /// (wire-byte counters, admission gauges, engine histograms).
 #[test]

@@ -54,7 +54,12 @@
 //! [`ServerConfig`] limits — maximum concurrent sessions and maximum bytes
 //! in flight through streaming transfers — queueing up to
 //! [`ServerConfig::admission_queue`] before shedding the session with
-//! [`VssError::Overloaded`]. [`VssServer::shutdown`] drains the server
+//! [`VssError::Overloaded`]. One admitted session serves one *client*: on
+//! the multiplexed protocol (v3) all of a connection's concurrent streams
+//! share its single session (the `Session` is `&self` throughout, so the
+//! per-stream workers operate on one `Arc`'d handle), and a client counts
+//! against `max_concurrent_sessions` exactly once however many streams it
+//! runs. [`VssServer::shutdown`] drains the server
 //! gracefully: new sessions are refused while existing sessions *and
 //! in-flight incremental writes* run to completion, so a shutdown never cuts
 //! a [`Session::write_sink`] off mid-GOP.

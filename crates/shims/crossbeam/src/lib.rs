@@ -6,6 +6,8 @@ pub mod channel {
     use std::time::Duration;
 
     pub use std::sync::mpsc::RecvTimeoutError;
+    pub use std::sync::mpsc::TryRecvError;
+    pub use std::sync::mpsc::TrySendError;
 
     /// Sending half of a bounded channel.
     #[derive(Clone)]
@@ -22,6 +24,13 @@ pub mod channel {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
         }
+
+        /// Enqueues without blocking: fails with [`TrySendError::Full`] when
+        /// the channel is at capacity (used by demultiplexers that must never
+        /// stall on one slow consumer).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
+        }
     }
 
     impl<T> Receiver<T> {
@@ -34,6 +43,13 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, mpsc::RecvError> {
             self.0.recv()
         }
+
+        /// Dequeues without blocking: fails with [`TryRecvError::Empty`]
+        /// when no message is buffered (used by consumers that drain banked
+        /// items before deciding whether to wait).
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
     }
 
     /// Creates a bounded channel with the given capacity.
@@ -45,6 +61,28 @@ pub mod channel {
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn try_send_reports_full_without_blocking() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            drop(rx);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+        }
+
+        #[test]
+        fn try_recv_drains_banked_items_without_blocking() {
+            let (tx, rx) = bounded::<u32>(2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            drop(tx);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
 
         #[test]
         fn bounded_round_trip_and_timeout() {

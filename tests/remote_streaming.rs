@@ -163,6 +163,66 @@ fn remote_store_passes_the_streaming_equivalence_matrix_over_loopback() {
     }
 }
 
+/// PR 9 regression (streaming double-admission): on the multiplexed
+/// protocol a `RemoteStore` holds exactly **one** admission slot no matter
+/// how many concurrent streams it runs. At `max_concurrent_sessions = 1` a
+/// client whose control session is live must still complete streaming reads,
+/// writes and a live subscription — before multiplexing, every streaming op
+/// dialed a dedicated connection that counted as a second session, so the
+/// client shed *itself* with `Overloaded`.
+#[test]
+fn single_admission_slot_serves_control_plus_streams() {
+    let root = scratch("one-slot");
+    let server = VssServer::open_configured(
+        VssConfig::new(&root).with_readahead(2),
+        1,
+        ServerConfig { max_concurrent_sessions: 1, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let net = NetServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+    let baseline_threads = live_threads();
+    let video = traffic_video(60);
+
+    let mut store = RemoteStore::connect(net.local_addr()).unwrap();
+    // Control-plane traffic keeps the session busy...
+    store.create("cam", None).unwrap();
+    // ...while the whole data plane multiplexes onto the same slot.
+    store.write(&WriteRequest::new("cam", Codec::H264), &video).unwrap();
+    assert!(store.metadata("cam").unwrap().bytes_used > 0);
+    let request = ReadRequest::new("cam", 0.0, 2.0, Codec::Raw(PixelFormat::Yuv420));
+    let (frames, _) = drain_chunks(store.read_stream(&request).unwrap());
+    assert_eq!(frames.len(), 60);
+
+    // Two concurrent streams plus a live feed plus interleaved control ops,
+    // still one slot; the second dial is the one that gets shed.
+    let mut feed = store.subscribe("cam", vss::net::SubscribeFrom::Start).unwrap();
+    let mut first = store.read_stream(&request).unwrap();
+    let second =
+        store.read_stream(&ReadRequest::new("cam", 0.0, 1.0, Codec::Hevc).uncacheable()).unwrap();
+    assert!(!first.next().unwrap().unwrap().frames.is_empty());
+    assert!(matches!(feed.next().unwrap().unwrap(), vss::net::SubEvent::Gop(_)));
+    assert!(store.metadata("cam").is_ok());
+    match RemoteStore::connect(net.local_addr()) {
+        Err(VssError::Overloaded(_)) => {}
+        other => panic!("second client must be shed at a limit of 1, got {other:?}"),
+    }
+    // Early drops reset their streams without tearing down the connection.
+    drop(first);
+    drop(feed);
+    let (frames, _) = drain_chunks(second);
+    assert_eq!(frames.len(), 30);
+    assert!(store.metadata("cam").is_ok(), "connection survives stream resets");
+    assert!(server.rejected_sessions() > 0);
+
+    drop(store);
+    net.shutdown();
+    assert!(server.shutdown(std::time::Duration::from_secs(30)));
+    if let (Some(before), Some(after)) = (baseline_threads, live_threads()) {
+        assert!(after <= before, "single-slot run leaked threads: {before} -> {after}");
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
 const STRESS_CLIENTS: usize = 8;
 const SESSION_LIMIT: usize = 4;
 const GOP_SIZE: usize = 30;
