@@ -1332,8 +1332,8 @@ fn live_ingest(scale: &ScaleConfig) -> Report {
          drained bytes are byte-identical to a full read of the final video, and a forced-lag arm \
          overflows a two-GOP subscriber queue to assert the lag → catch-up → re-seam path \
          engages and still delivers every GOP exactly once. Fan-out rates and delivery lags are \
-         informational wall clocks; the full subscriber-lag distribution rides the --telemetry \
-         snapshot (live.sub.delivery_lag_ns).",
+         informational wall clocks; each subscriber's lag distribution rides the --telemetry \
+         snapshot as its own labeled series (live.sub.delivery_lag_ns{sub=N}).",
     );
     let gop_frames = 30usize;
     let gops = (scale.max_frames / gop_frames).clamp(4, 8);

@@ -44,8 +44,12 @@
 //!
 //! Telemetry: `live.hub.subscribers` (gauge), `live.hub.published_gops`,
 //! `live.hub.lag_events`, `live.hub.catchup_reads` (counters) and
-//! `live.sub.delivery_lag_ns` (histogram of publish→delivery latency for
-//! GOPs delivered from the live queue).
+//! `live.sub.delivery_lag_ns{sub=N}` (one publish→delivery latency
+//! histogram per subscriber, labeled with a process-unique subscriber
+//! number — slow tails show up as *their own* series instead of hiding in
+//! a merged distribution). Subscriber series persist in the registry after
+//! the subscription drops, like all labeled series; label cardinality is
+//! one per subscription ever opened by the process.
 
 #![warn(missing_docs)]
 
@@ -93,10 +97,19 @@ mod metrics {
         C.get_or_init(|| vss_telemetry::counter("live.hub.catchup_reads"))
     }
 
-    /// Publish→delivery latency for GOPs handed out of the live queue.
-    pub(super) fn delivery_lag() -> &'static vss_telemetry::Histogram {
-        static H: OnceLock<&'static vss_telemetry::Histogram> = OnceLock::new();
-        H.get_or_init(|| vss_telemetry::histogram("live.sub.delivery_lag_ns"))
+    /// Publish→delivery latency for GOPs handed out of the live queue:
+    /// one `live.sub.delivery_lag_ns{sub=N}` series per subscriber, keyed
+    /// by a process-unique subscriber number (channel-local ids restart at
+    /// zero per video, so they cannot label a global series).
+    pub(super) fn delivery_lag(sub: u64) -> &'static vss_telemetry::Histogram {
+        vss_telemetry::histogram_with("live.sub.delivery_lag_ns", &[("sub", &sub.to_string())])
+    }
+
+    /// Allocates the next process-unique subscriber label.
+    pub(super) fn next_sub_label() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -292,6 +305,7 @@ impl LiveHub {
             terminal: false,
             catchup_rounds: 0,
             lag_transitions: 0,
+            delivery_lag: metrics::delivery_lag(metrics::next_sub_label()),
         }
     }
 }
@@ -363,6 +377,8 @@ pub struct Subscription {
     terminal: bool,
     catchup_rounds: u64,
     lag_transitions: u64,
+    /// This subscriber's `live.sub.delivery_lag_ns{sub=N}` series.
+    delivery_lag: &'static vss_telemetry::Histogram,
 }
 
 impl std::fmt::Debug for Subscription {
@@ -487,7 +503,7 @@ impl Subscription {
                     }
                     _ => {
                         let entry = queue.queue.pop_front().expect("front checked above");
-                        metrics::delivery_lag().record_duration(entry.published.elapsed());
+                        self.delivery_lag.record_duration(entry.published.elapsed());
                         return Some(SubEvent::Gop(entry.gop));
                     }
                 }

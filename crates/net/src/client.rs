@@ -24,8 +24,8 @@
 
 use crate::wire::{
     fragment_boundaries, read_message, write_chunk_message, write_message, write_mux_chunk_message,
-    write_mux_message, write_tagged_message, Message, WireError, MIN_PROTOCOL_VERSION,
-    PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    write_mux_message, write_tagged_message, write_traced_message, AdminTable, Message, WireError,
+    MAX_METRICS, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::collections::HashMap;
@@ -108,12 +108,31 @@ enum Attempt<T> {
     Retry(VssError),
 }
 
-/// Mints process-unique request ids for client-originated operations. The
-/// id rides the wire in a tagged envelope (protocol version 2+) and shows up
-/// in span records on both sides of the connection.
+/// Mints request ids for client-originated operations. The id rides the
+/// wire in a tagged envelope (protocol version 2+) and shows up in span
+/// records on both sides of the connection — where ids from *every* client
+/// process share one registry, so the counter starts at a per-process
+/// offset (pid and clock folded over the upper bits, low bits clear for
+/// readability) instead of 1: two clients tracing against the same server
+/// would otherwise collide on ids 1, 2, 3, ... and their span trees would
+/// merge into disconnected forests.
 fn next_request_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    use std::sync::OnceLock;
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let base = *BASE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        let seed = (std::process::id() as u64) ^ (nanos << 20);
+        // splitmix64 finalizer: spread pid/clock entropy over all bits.
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) << 20
+    });
+    base.wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed)).max(1)
 }
 
 /// One handshaken TCP connection.
@@ -164,8 +183,15 @@ impl Connection {
     fn send(&mut self, message: &Message) -> Result<(), VssError> {
         // On a version-2 connection, requests sent while a telemetry request
         // scope is active carry the request id in a tagged envelope, so the
-        // server's spans for this operation join the client's trace.
+        // server's spans for this operation join the client's trace. A
+        // version-3 connection additionally carries the caller's span id, so
+        // the server-side spans *parent* under the client span — one
+        // connected tree per request instead of a flat id-tagged bag.
         match vss_telemetry::current_request_id() {
+            Some(request_id) if self.negotiated >= 3 => {
+                let parent = vss_telemetry::current_parent_span();
+                write_traced_message(&mut self.writer, request_id, parent, message)?;
+            }
             Some(request_id) if self.negotiated >= 2 => {
                 write_tagged_message(&mut self.writer, request_id, message)?;
             }
@@ -300,12 +326,17 @@ impl MuxConn {
         self.shared.dead().unwrap_or_else(|| protocol_error("multiplexed connection closed"))
     }
 
-    /// Sends one top-level frame (tagged with the active request id, as on
-    /// any version-2+ connection).
+    /// Sends one top-level frame. A multiplexed connection is version 3 by
+    /// construction, so an active request scope travels as a traced envelope
+    /// — request id plus the caller's span id — and the server's spans
+    /// parent under the client span.
     fn send(&self, message: &Message) -> Result<(), VssError> {
         let mut writer = self.writer.lock().expect("writer lock");
         match vss_telemetry::current_request_id() {
-            Some(request_id) => write_tagged_message(&mut *writer, request_id, message)?,
+            Some(request_id) => {
+                let parent = vss_telemetry::current_parent_span();
+                write_traced_message(&mut *writer, request_id, parent, message)?;
+            }
             None => write_message(&mut *writer, message)?,
         }
         writer.flush().map_err(io_error)
@@ -316,8 +347,9 @@ impl MuxConn {
         let mut writer = self.writer.lock().expect("writer lock");
         match vss_telemetry::current_request_id() {
             Some(request_id) => {
+                let parent = vss_telemetry::current_parent_span();
                 let wrapped = Message::Mux { stream_id, inner: Box::new(message.clone()) };
-                write_tagged_message(&mut *writer, request_id, &wrapped)?;
+                write_traced_message(&mut *writer, request_id, parent, &wrapped)?;
             }
             None => write_mux_message(&mut *writer, stream_id, message)?,
         }
@@ -694,6 +726,13 @@ impl RemoteStore {
     /// histogram summaries) over the control connection. Requires a
     /// version-2 connection; on an older negotiated version this fails with
     /// a typed [`VssError::Unsupported`] without sending anything.
+    ///
+    /// On a version-3 connection the registry is fetched in pages
+    /// ([`Message::StatsPageRequest`]) and reassembled, so a labeled
+    /// registry of any size arrives complete — the one-frame
+    /// `StatsSnapshot` cap cannot truncate it. A version-2 server still
+    /// answers with the single-frame snapshot (and errors, rather than
+    /// truncates, if its registry outgrew the frame).
     pub fn stats_snapshot(&self) -> Result<vss_telemetry::TelemetrySnapshot, VssError> {
         let request_id = next_request_id();
         let _scope = vss_telemetry::request_scope(request_id);
@@ -702,18 +741,127 @@ impl RemoteStore {
         if slot.is_none() {
             *slot = Some(self.dial_control()?);
         }
-        let handle = slot.as_mut().expect("dialed above");
-        if handle.negotiated() < 2 {
+        let negotiated = slot.as_ref().expect("dialed above").negotiated();
+        if negotiated < 2 {
             return Err(VssError::Unsupported(format!(
-                "stats snapshots require protocol version >= 2 (negotiated {})",
+                "stats snapshots require protocol version >= 2 (negotiated {negotiated})"
+            )));
+        }
+        if negotiated < 3 {
+            let handle = slot.as_mut().expect("dialed above");
+            return match handle.exchange(&Message::StatsRequest) {
+                Ok(Message::StatsSnapshot(snapshot)) => Ok(snapshot),
+                Ok(Message::Error(error)) => Err(error.into_error()),
+                Ok(other) => {
+                    Err(protocol_error(format!("unexpected stats reply {}", other.kind_name())))
+                }
+                Err(error) => {
+                    *slot = None;
+                    Err(error)
+                }
+            };
+        }
+        // Version 3: walk the flattened registry page by page. Pages keep
+        // the registry's sorted section order, so concatenation reassembles
+        // the exact single-frame snapshot.
+        let mut merged = vss_telemetry::TelemetrySnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let mut start = 0u32;
+        loop {
+            let request = Message::StatsPageRequest { start, max: MAX_METRICS as u32 };
+            match slot.as_mut().expect("dialed above").exchange(&request) {
+                Ok(Message::StatsPage { total, start: page_start, snapshot }) => {
+                    if page_start != start {
+                        return Err(protocol_error(format!(
+                            "stats page started at {page_start}, expected {start}"
+                        )));
+                    }
+                    let got = snapshot.counters.len()
+                        + snapshot.gauges.len()
+                        + snapshot.histograms.len();
+                    merged.counters.extend(snapshot.counters);
+                    merged.gauges.extend(snapshot.gauges);
+                    merged.histograms.extend(snapshot.histograms);
+                    start = start.saturating_add(got as u32);
+                    if start >= total {
+                        return Ok(merged);
+                    }
+                    if got == 0 {
+                        return Err(protocol_error(format!(
+                            "stats paging stalled at {start} of {total} series"
+                        )));
+                    }
+                }
+                Ok(Message::Error(error)) => return Err(error.into_error()),
+                Ok(other) => {
+                    return Err(protocol_error(format!(
+                        "unexpected stats page reply {}",
+                        other.kind_name()
+                    )))
+                }
+                Err(error) => {
+                    *slot = None;
+                    return Err(error);
+                }
+            }
+        }
+    }
+
+    /// Fetches one pre-rendered admin table — live sessions, active mux
+    /// streams with credit state, the per-shard table, or recent span trees
+    /// (see [`crate::wire::admin_topic`]). Requires a version-3 connection;
+    /// the server owns the schema, so callers (and `vss-top`) only print.
+    pub fn admin_table(&self, topic: u8, arg: u64) -> Result<AdminTable, VssError> {
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "admin", "");
+        let mut slot = self.control.lock().expect("control lock");
+        if slot.is_none() {
+            *slot = Some(self.dial_control()?);
+        }
+        let handle = slot.as_mut().expect("dialed above");
+        if handle.negotiated() < 3 {
+            return Err(VssError::Unsupported(format!(
+                "the admin plane requires protocol version >= 3 (negotiated {})",
                 handle.negotiated()
             )));
         }
-        match handle.exchange(&Message::StatsRequest) {
-            Ok(Message::StatsSnapshot(snapshot)) => Ok(snapshot),
+        match handle.exchange(&Message::AdminRequest { topic, arg }) {
+            Ok(Message::AdminTable(table)) => Ok(table),
             Ok(Message::Error(error)) => Err(error.into_error()),
             Ok(other) => {
-                Err(protocol_error(format!("unexpected stats reply {}", other.kind_name())))
+                Err(protocol_error(format!("unexpected admin reply {}", other.kind_name())))
+            }
+            Err(error) => {
+                *slot = None;
+                Err(error)
+            }
+        }
+    }
+
+    /// Fetches the server registry as Prometheus-style text exposition.
+    /// Requires a version-3 connection.
+    pub fn metrics_text(&self) -> Result<String, VssError> {
+        let _scope = vss_telemetry::request_scope(next_request_id());
+        let _span = vss_telemetry::span("client", "metrics_text", "");
+        let mut slot = self.control.lock().expect("control lock");
+        if slot.is_none() {
+            *slot = Some(self.dial_control()?);
+        }
+        let handle = slot.as_mut().expect("dialed above");
+        if handle.negotiated() < 3 {
+            return Err(VssError::Unsupported(format!(
+                "the text exposition requires protocol version >= 3 (negotiated {})",
+                handle.negotiated()
+            )));
+        }
+        match handle.exchange(&Message::MetricsTextRequest) {
+            Ok(Message::MetricsText { text }) => Ok(text),
+            Ok(Message::Error(error)) => Err(error.into_error()),
+            Ok(other) => {
+                Err(protocol_error(format!("unexpected metrics reply {}", other.kind_name())))
             }
             Err(error) => {
                 *slot = None;

@@ -42,8 +42,11 @@
 //! envelope    = length:u32 payload            ; 1 <= length <= 64 MiB
 //! payload     = kind:u8 fields                ; kinds 0x01.. client→server,
 //!               | 0x7F rid:u64 kind:u8 fields ;       0x81.. server→client;
-//!                                             ; 0x7F = request-id-tagged
-//!                                             ;        envelope, version >= 2
+//!               | 0x7E rid:u64 parent:u64     ; 0x7F = request-id-tagged
+//!                 kind:u8 fields              ;        envelope, version >= 2
+//!                                             ; 0x7E = traced envelope
+//!                                             ;        (+ parent span id,
+//!                                             ;        0 = none), version >= 3
 //!
 //! hello       = 0x01 magic:u32 version:u16    ; magic = "VSSN" (0x5653534E)
 //! hello-ack   = 0x81 version:u16 session:u64  ; or error (e.g. OVERLOADED)
@@ -63,7 +66,7 @@
 //! mux-reset   = 0x7B stream_id:u32 error:opt<error-fields>
 //!
 //! operation   = unary | read-stream | write | append | subscribe
-//! unary       = (create | delete | metadata) (ok | error)
+//! unary       = (create | delete | metadata | admin) (ok | error)
 //! create      = 0x02 name:str budget:opt<budget>
 //! delete      = 0x03 name:str
 //! metadata    = 0x04 name:str                 ; reply 0x84 metadata-reply
@@ -96,6 +99,24 @@
 //!                    frame_count:u64 gop:bytes
 //! sub-gap     = 0x8C from_seq:u64 to_seq:u64
 //! sub-end     = 0x8D
+//!
+//! ;; ---- admin plane (version >= 3) ----------------------------------
+//! ;; Unary introspection over the control connection. An unknown topic
+//! ;; byte decodes fine and is answered with a typed UNSUPPORTED error —
+//! ;; never by dropping the connection.
+//! admin       = admin-req (admin-table | error)
+//!             | stats-page-req (stats-page | error)
+//!             | metrics-req (metrics-text | error)
+//! admin-req   = 0x0D topic:u8 arg:u64
+//! topic       = 0x01 sessions | 0x02 streams   ; arg unused (0)
+//!             | 0x03 shards                    ; arg unused (0)
+//!             | 0x04 spans                     ; arg 0 = recent request ids,
+//!                                              ;     n = one request's tree
+//! admin-table = 0x8E title:str cols:vec<str> rows:vec<vec<str>>
+//! stats-page-req = 0x0E start:u32 max:u32      ; 1 <= max <= 4096/section
+//! stats-page  = 0x8F total:u32 start:u32 snapshot
+//! metrics-req = 0x0F                           ; Prometheus-style text
+//! metrics-text= 0x90 text:str
 //!
 //! error       = 0x83 error-fields
 //! error-fields= code:u16 message:str range:opt<4*f64>
@@ -154,6 +175,27 @@
 //! teardowns, and `net.mux.credit_stall_ns` records how long server workers
 //! actually parked on closed windows.
 //!
+//! ## Introspection plane (version >= 3)
+//!
+//! Version 3 adds a unary **admin plane** over the control connection (see
+//! the grammar above): `sessions`, `streams` (with per-stream credit
+//! state), `shards` and `spans` tables; a **paginated** registry fetch
+//! (`stats-page-req`) that replaces the single-frame `stats` message for
+//! registries larger than its per-section cap; and the Prometheus-style
+//! text exposition (`metrics-req`). The `vss-top` binary renders all of it
+//! live against a running server.
+//!
+//! Tracing rides the same version: every version-3 payload travels in a
+//! `0x7E` **traced envelope** carrying `(request id, parent span id)`, so
+//! the spans a server opens while serving a request attach under the
+//! client's operation span. One client op therefore yields a single
+//! connected span tree — client → net dispatch → per-stream worker → shard
+//! lock → engine decode → WAL fsync — queryable via
+//! `vss_telemetry::span_tree` in-process or the `spans` admin topic over
+//! the wire. Each connection additionally keeps a bounded **flight
+//! recorder** of recent wire events, dumped into the log on errors and
+//! slow operations and listed in the `sessions` table.
+//!
 //! ## Version negotiation
 //!
 //! The client's `Hello` carries the protocol magic and the highest version
@@ -166,7 +208,7 @@
 //! |------------|----------------------|--------------------------------|-----------------------------|
 //! | 1          | untagged only        | dedicated connection per op    | core data plane             |
 //! | 2          | request-id tagged    | dedicated connection per op    | + stats, live subscriptions |
-//! | 3          | request-id tagged    | multiplexed on one connection  | + credit flow, mux resets   |
+//! | 3          | traced (span-tagged) | multiplexed on one connection  | + credit flow, mux resets, admin plane, paginated stats, distributed span trees |
 //!
 //! Anything other than a valid `Hello` on a fresh connection is a protocol
 //! error. A v3 client talking to a v1/v2 server transparently falls back to

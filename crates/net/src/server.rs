@@ -19,14 +19,15 @@
 //! in-process sessions too.
 
 use crate::wire::{
-    fragment_boundaries, read_envelope, read_message, write_message, write_mux_message, Message,
-    WireError, WireWriteReport, FRAGMENT_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC,
+    admin_topic, fragment_boundaries, read_envelope, read_message, snapshot_page, write_message,
+    write_mux_message, AdminTable, Message, WireError, WireWriteReport, FRAGMENT_BYTES,
+    MAX_ADMIN_ROWS, MAX_METRICS, MAX_STRING_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Read as IoRead, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use vss_core::{ReadChunk, VssError, WriteSink};
@@ -90,6 +91,92 @@ mod metrics {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Flight recorder + connection registry (the admin plane's data source)
+// ---------------------------------------------------------------------------
+
+/// Events kept per connection. Small on purpose: the recorder answers "what
+/// were the last few frames before this reset", not "replay the session".
+const FLIGHT_EVENTS: usize = 64;
+
+/// A bounded ring of one connection's recent wire events — frames routed,
+/// credit grants, stalls, resets — dumped into the error text of a typed
+/// `MuxReset`, so the client receives the reset *with* its context instead
+/// of a bare one-liner. Events are numbered from connection start so gaps
+/// after wrap-around are visible.
+pub(crate) struct FlightRecorder {
+    events: Mutex<VecDeque<(u64, String)>>,
+    next: AtomicU64,
+}
+
+impl FlightRecorder {
+    fn new() -> Self {
+        Self { events: Mutex::new(VecDeque::with_capacity(FLIGHT_EVENTS)), next: AtomicU64::new(0) }
+    }
+
+    /// Appends one event, evicting the oldest past [`FLIGHT_EVENTS`].
+    pub(crate) fn record(&self, event: impl Into<String>) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock().expect("flight recorder lock");
+        if events.len() == FLIGHT_EVENTS {
+            events.pop_front();
+        }
+        events.push_back((seq, event.into()));
+    }
+
+    /// Renders the retained events oldest-first, one `#seq event` per line.
+    pub(crate) fn dump(&self) -> String {
+        let events = self.events.lock().expect("flight recorder lock");
+        let mut out = String::new();
+        for (seq, event) in events.iter() {
+            out.push_str(&format!("  #{seq} {event}\n"));
+        }
+        out
+    }
+}
+
+/// One admitted connection's admin-plane state, registered in
+/// [`NetInner::conns`] for the lifetime of its handler. Everything the
+/// `sessions`/`streams` admin tables show lives here.
+struct ConnState {
+    /// Process-unique connection id (admin tables key rows by it).
+    id: u64,
+    /// Peer address, or `?` when the socket can no longer say.
+    peer: String,
+    /// Negotiated protocol version.
+    version: u16,
+    /// The admitted session's server-side id.
+    session_id: u64,
+    /// Recent wire events (shared with every stream's [`StreamCtl`] so
+    /// credit stalls land in the same timeline as the dispatcher's frames).
+    recorder: Arc<FlightRecorder>,
+    /// Live mux streams, mirroring the dispatcher's private map.
+    streams: Mutex<BTreeMap<u32, StreamInfo>>,
+}
+
+/// Admin-plane view of one live mux stream.
+struct StreamInfo {
+    /// Stream kind label: `read`, `write` or `sub`.
+    kind: &'static str,
+    /// The operation's target video name.
+    target: String,
+    /// Shared flow-control state; the admin plane reads live credit off it.
+    ctl: Arc<StreamCtl>,
+}
+
+/// Deregisters a connection from the admin registry when its handler exits
+/// (however it exits).
+struct ConnRegistration {
+    inner: Arc<NetInner>,
+    id: u64,
+}
+
+impl Drop for ConnRegistration {
+    fn drop(&mut self) {
+        self.inner.conns.lock().expect("conns lock").remove(&self.id);
+    }
+}
+
 /// A transport wrapper counting every byte that crosses the socket into a
 /// telemetry counter (buffered above, so the count reflects actual I/O).
 struct Counting<T> {
@@ -146,6 +233,11 @@ struct NetInner {
     /// final sweep at shutdown), so a long-running server does not
     /// accumulate dead sockets or join handles.
     connections: Mutex<Vec<ConnectionEntry>>,
+    /// Admin-plane registry of admitted connections, keyed by connection id
+    /// (deregistered by [`ConnRegistration`] when a handler exits).
+    conns: Mutex<BTreeMap<u64, Arc<ConnState>>>,
+    /// Next connection id.
+    next_conn: AtomicU64,
 }
 
 /// A TCP listener serving the `vss-net` protocol for one [`VssServer`]. See
@@ -167,6 +259,8 @@ impl NetServer {
             addr,
             stop: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
+            conns: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicU64::new(1),
         });
         let accept = {
             let inner = Arc::clone(&inner);
@@ -265,6 +359,18 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
     metrics::active().add(1);
     let _conn = ConnectionGuard;
     let _ = stream.set_nodelay(true);
+    // The accept loop parks its own clone of this socket (so shutdown() can
+    // interrupt blocked reads), which means dropping the reader and writer
+    // here does *not* close the connection. Shut the socket down explicitly
+    // whenever this handler exits — on any path — so the peer always sees
+    // EOF instead of a silently wedged connection.
+    struct FinOnExit(TcpStream);
+    impl Drop for FinOnExit {
+        fn drop(&mut self) {
+            let _ = self.0.shutdown(Shutdown::Both);
+        }
+    }
+    let _fin = stream.try_clone().ok().map(FinOnExit);
     // Pre-admission read timeout: an idle or byte-trickling connection
     // cannot hold a handler thread (and its descriptors) forever *before*
     // it has passed the admission gate; it is dropped and reaped instead.
@@ -328,24 +434,45 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
     // anti-idle timeout comes off (long-lived control connections are fine).
     let _ = reader.get_ref().inner.set_read_timeout(None);
 
+    // Register with the admin plane for the handler's lifetime.
+    let peer = reader
+        .get_ref()
+        .inner
+        .peer_addr()
+        .map_or_else(|_| String::from("?"), |addr| addr.to_string());
+    let conn = Arc::new(ConnState {
+        id: inner.next_conn.fetch_add(1, Ordering::Relaxed),
+        peer,
+        version: negotiated,
+        session_id: session.id(),
+        recorder: Arc::new(FlightRecorder::new()),
+        streams: Mutex::new(BTreeMap::new()),
+    });
+    inner.conns.lock().expect("conns lock").insert(conn.id, Arc::clone(&conn));
+    let _registration = ConnRegistration { inner: Arc::clone(inner), id: conn.id };
+
     if negotiated >= 3 {
         // Version 3: the handler becomes a per-connection dispatcher that
         // routes multiplexed frames to per-stream workers (and still serves
         // plain v1/v2-style operations inline).
-        serve_mux_connection(inner, &session, &mut reader, writer);
+        serve_mux_connection(inner, &session, &conn, &mut reader, writer);
         return;
     }
 
     // --- request loop ------------------------------------------------------
     loop {
-        // Version-2 clients may tag any request with a request id; the id is
-        // installed as this thread's telemetry request scope, so the server-
-        // and engine-layer spans of the operation all carry it.
+        // Version-2 clients may tag any request with a request id (version-3
+        // envelopes additionally carry the caller's span id); both are
+        // installed as this thread's telemetry trace scope, so the server-
+        // and engine-layer spans of the operation carry the id and parent
+        // under the caller's span.
         let envelope = match read_envelope(&mut reader) {
             Ok(envelope) => envelope,
             Err(_) => return, // disconnect (or garbage): drop the session
         };
-        let _scope = envelope.request_id.map(vss_telemetry::request_scope);
+        let _scope = envelope
+            .request_id
+            .map(|id| vss_telemetry::trace_scope(id, envelope.parent_span_id));
         let outcome = match envelope.message {
             Message::Create { name, budget } => {
                 let _span = vss_telemetry::span("net", "create", name.as_str());
@@ -378,8 +505,16 @@ fn handle_connection(inner: &Arc<NetInner>, stream: TcpStream) {
             }
             Message::StatsRequest if negotiated >= 2 => {
                 let _span = vss_telemetry::span("net", "stats", "");
-                send(&mut writer, &Message::StatsSnapshot(vss_telemetry::snapshot()))
+                send(&mut writer, &stats_snapshot_reply())
             }
+            Message::AdminRequest { .. }
+            | Message::StatsPageRequest { .. }
+            | Message::MetricsTextRequest => send(
+                &mut writer,
+                &Message::Error(WireError::from_error(&VssError::Unsupported(format!(
+                    "the admin plane requires protocol version 3 (negotiated {negotiated})"
+                )))),
+            ),
             Message::Subscribe { name, from } if negotiated >= 2 => {
                 let _span = vss_telemetry::span("net", "subscribe", name.as_str());
                 // A subscription is its connection's last operation (the
@@ -519,6 +654,185 @@ fn send_chunk(
 }
 
 // ---------------------------------------------------------------------------
+// Admin plane: introspection tables + registry paging + text exposition
+// ---------------------------------------------------------------------------
+
+/// The reply to a legacy [`Message::StatsRequest`]. A registry small enough
+/// for one frame is returned whole; a registry that the wire codec would
+/// silently truncate (any section past [`MAX_METRICS`]) is refused with a
+/// typed error pointing at [`Message::StatsPageRequest`] — an overflowing
+/// labeled registry must never be truncated unnoticed.
+fn stats_snapshot_reply() -> Message {
+    let snapshot = vss_telemetry::snapshot();
+    let widest = snapshot
+        .counters
+        .len()
+        .max(snapshot.gauges.len())
+        .max(snapshot.histograms.len());
+    if widest > MAX_METRICS {
+        return Message::Error(WireError::from_error(&VssError::Unsupported(format!(
+            "registry section has {widest} series, more than one StatsSnapshot frame's \
+             {MAX_METRICS}; fetch pages with StatsPageRequest"
+        ))));
+    }
+    Message::StatsSnapshot(snapshot)
+}
+
+/// The registry as Prometheus-style text, truncated at a line boundary to
+/// fit the wire's string bound (a registry that large should be paged, but
+/// the exposition must never produce an unsendable frame).
+fn metrics_text_bounded() -> String {
+    let mut text = vss_telemetry::text_exposition();
+    if text.len() > MAX_STRING_BYTES {
+        let cut = text[..MAX_STRING_BYTES].rfind('\n').map_or(0, |index| index + 1);
+        text.truncate(cut);
+    }
+    text
+}
+
+/// Builds one admin table (see [`admin_topic`]). Tables are pre-rendered
+/// strings: the server owns the schema, clients and `vss-top` just print.
+fn admin_table(inner: &Arc<NetInner>, topic: u8, arg: u64) -> Result<AdminTable, VssError> {
+    let mut table = match topic {
+        admin_topic::SESSIONS => {
+            let conns = inner.conns.lock().expect("conns lock");
+            AdminTable {
+                title: "sessions".into(),
+                columns: ["conn", "peer", "version", "session", "streams"]
+                    .map(String::from)
+                    .to_vec(),
+                rows: conns
+                    .values()
+                    .map(|conn| {
+                        vec![
+                            conn.id.to_string(),
+                            conn.peer.clone(),
+                            conn.version.to_string(),
+                            conn.session_id.to_string(),
+                            conn.streams.lock().expect("conn streams lock").len().to_string(),
+                        ]
+                    })
+                    .collect(),
+            }
+        }
+        admin_topic::STREAMS => {
+            let conns = inner.conns.lock().expect("conns lock");
+            let mut rows = Vec::new();
+            for conn in conns.values() {
+                for (stream_id, info) in conn.streams.lock().expect("conn streams lock").iter() {
+                    rows.push(vec![
+                        conn.id.to_string(),
+                        stream_id.to_string(),
+                        info.kind.to_string(),
+                        info.target.clone(),
+                        info.ctl.credit_now().to_string(),
+                        if info.ctl.is_cancelled() { "cancelled" } else { "open" }.to_string(),
+                    ]);
+                }
+            }
+            AdminTable {
+                title: "streams".into(),
+                columns: ["conn", "stream", "kind", "target", "credit", "state"]
+                    .map(String::from)
+                    .to_vec(),
+                rows,
+            }
+        }
+        admin_topic::SHARDS => {
+            let stats = inner.server.stats();
+            AdminTable {
+                title: "shards".into(),
+                columns: [
+                    "shard",
+                    "videos",
+                    "reads",
+                    "writes",
+                    "hit_rate",
+                    "bytes_read",
+                    "bytes_written",
+                    "lock_wait_ms",
+                    "lock_p99_us",
+                ]
+                .map(String::from)
+                .to_vec(),
+                rows: stats
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        vec![
+                            shard.shard.to_string(),
+                            shard.videos.to_string(),
+                            shard.read_ops.to_string(),
+                            shard.write_ops.to_string(),
+                            format!("{:.3}", shard.cache_hit_rate()),
+                            shard.bytes_read.to_string(),
+                            shard.bytes_written.to_string(),
+                            format!("{:.3}", shard.lock_wait.as_secs_f64() * 1e3),
+                            format!("{:.1}", shard.lock_wait_histogram.p99 as f64 / 1e3),
+                        ]
+                    })
+                    .collect(),
+            }
+        }
+        admin_topic::SPANS if arg == 0 => {
+            // Most recent traced request ids, newest first.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut rows = Vec::new();
+            for span in vss_telemetry::recent_spans().into_iter().rev() {
+                let Some(request_id) = span.request_id else { continue };
+                if !seen.insert(request_id) {
+                    continue;
+                }
+                let tree = vss_telemetry::span_tree(request_id);
+                let root = tree
+                    .roots()
+                    .first()
+                    .map_or_else(String::new, |root| format!("{}.{}", root.layer, root.op));
+                rows.push(vec![
+                    request_id.to_string(),
+                    tree.spans.len().to_string(),
+                    if tree.is_connected() { "yes" } else { "no" }.to_string(),
+                    root,
+                ]);
+            }
+            AdminTable {
+                title: "recent traces".into(),
+                columns: ["request", "spans", "connected", "root"].map(String::from).to_vec(),
+                rows,
+            }
+        }
+        admin_topic::SPANS => {
+            let tree = vss_telemetry::span_tree(arg);
+            if tree.spans.is_empty() {
+                return Err(VssError::Unsatisfiable(format!(
+                    "no recorded spans for request {arg} (the span ring may have wrapped)"
+                )));
+            }
+            AdminTable {
+                title: format!("trace {arg}"),
+                columns: vec!["span".to_string()],
+                rows: tree.render().lines().map(|line| vec![line.to_string()]).collect(),
+            }
+        }
+        other => {
+            return Err(VssError::Unsupported(format!(
+                "unknown admin topic {other} (know sessions=1 streams=2 shards=3 spans=4)"
+            )))
+        }
+    };
+    // The wire refuses oversize tables; showing the first page with an
+    // explicit marker beats an undecodable reply.
+    if table.rows.len() > MAX_ADMIN_ROWS {
+        table.rows.truncate(MAX_ADMIN_ROWS - 1);
+        let marker = std::iter::once(String::from("…"))
+            .chain(std::iter::repeat_n(String::new(), table.columns.len() - 1))
+            .collect();
+        table.rows.push(marker);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
 // Version-3 multiplexing: per-connection dispatcher + per-stream workers
 // ---------------------------------------------------------------------------
 
@@ -538,11 +852,30 @@ struct StreamCtl {
     credit: Mutex<u64>,
     granted: Condvar,
     cancelled: AtomicBool,
+    /// The per-kind `net.mux.credit_stall_ns{kind=...}` series (the
+    /// unlabeled series stays the all-kinds total).
+    stall: &'static vss_telemetry::Histogram,
+    /// The connection's flight recorder: stalls that actually blocked are
+    /// events worth seeing next to the frames around them.
+    recorder: Arc<FlightRecorder>,
+    stream_id: u32,
 }
 
 impl StreamCtl {
-    fn new() -> Self {
-        Self { credit: Mutex::new(0), granted: Condvar::new(), cancelled: AtomicBool::new(false) }
+    fn new(kind: &'static str, recorder: Arc<FlightRecorder>, stream_id: u32) -> Self {
+        Self {
+            credit: Mutex::new(0),
+            granted: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            stall: vss_telemetry::histogram_with("net.mux.credit_stall_ns", &[("kind", kind)]),
+            recorder,
+            stream_id,
+        }
+    }
+
+    /// The stream's remaining credit right now (admin-plane observer).
+    fn credit_now(&self) -> u64 {
+        *self.credit.lock().expect("credit lock")
     }
 
     /// Adds a cumulative credit grant and wakes a waiting worker.
@@ -574,7 +907,14 @@ impl StreamCtl {
             while *credit == 0 && !self.is_cancelled() {
                 credit = self.granted.wait(credit).expect("credit lock");
             }
-            metrics::mux_credit_stall().record_duration(started.elapsed());
+            let stalled = started.elapsed();
+            metrics::mux_credit_stall().record_duration(stalled);
+            self.stall.record_duration(stalled);
+            self.recorder.record(format!(
+                "credit stall {:.3}ms stream={}",
+                stalled.as_secs_f64() * 1e3,
+                self.stream_id
+            ));
         }
         if self.is_cancelled() {
             return false;
@@ -612,13 +952,16 @@ impl ServerStream {
     }
 }
 
-/// Decrements the active-stream gauge when a worker exits (however it
-/// exits).
-struct StreamGuard;
+/// Decrements the active-stream gauges — the all-kinds total and the
+/// stream's `{kind=...}` series — when a worker exits (however it exits).
+struct StreamGuard {
+    kind_active: &'static vss_telemetry::Gauge,
+}
 
 impl Drop for StreamGuard {
     fn drop(&mut self) {
         metrics::mux_streams_active().sub(1);
+        self.kind_active.sub(1);
     }
 }
 
@@ -643,23 +986,39 @@ fn send_plain(writer: &Mutex<ConnWriter>, message: &Message) -> Result<(), VssEr
     writer.flush().map_err(io_error)
 }
 
+/// Sends one typed per-stream reset carrying the connection's recent
+/// flight-recorder events, so the client's error arrives with the last-N
+/// wire events that led up to it rather than a bare one-liner.
+fn send_reset(
+    writer: &Mutex<ConnWriter>,
+    recorder: &FlightRecorder,
+    stream_id: u32,
+    mut error: WireError,
+) -> Result<(), VssError> {
+    metrics::mux_resets().incr();
+    recorder.record(format!("reset sent stream={stream_id}: {}", error.message));
+    let context = recorder.dump();
+    if !context.is_empty() {
+        error.message.push_str("\nrecent wire events:\n");
+        error.message.push_str(context.trim_end_matches('\n'));
+    }
+    send_plain(writer, &Message::MuxReset { stream_id, error: Some(error) })
+}
+
 /// Answers a frame for an unknown (or just-closed) stream with a typed
 /// per-stream reset — never by dropping the connection, so a reset that
 /// races a late data frame cannot take down the client's other streams.
 fn reset_unknown_stream(
     writer: &Mutex<ConnWriter>,
+    recorder: &FlightRecorder,
     stream_id: u32,
     what: &str,
 ) -> Result<(), VssError> {
-    metrics::mux_resets().incr();
-    send_plain(
+    send_reset(
         writer,
-        &Message::MuxReset {
-            stream_id,
-            error: Some(WireError::protocol(format!(
-                "{what} for unknown or closed stream {stream_id}"
-            ))),
-        },
+        recorder,
+        stream_id,
+        WireError::protocol(format!("{what} for unknown or closed stream {stream_id}")),
     )
 }
 
@@ -672,6 +1031,7 @@ fn reset_unknown_stream(
 fn serve_mux_connection(
     inner: &Arc<NetInner>,
     session: &Arc<Session>,
+    conn: &Arc<ConnState>,
     reader: &mut ConnReader,
     writer: ConnWriter,
 ) {
@@ -687,18 +1047,37 @@ fn serve_mux_connection(
             if let Some(stream) = streams.remove(&id) {
                 let _ = stream.worker.join();
             }
+            conn.streams.lock().expect("conn streams lock").remove(&id);
+            conn.recorder.record(format!("stream done stream={id}"));
         }
-        let _scope = envelope.request_id.map(vss_telemetry::request_scope);
+        // Every routed frame lands in the flight recorder, so a later reset
+        // (or an operator's sessions table) sees the connection's recent
+        // timeline.
+        match &envelope.message {
+            Message::Mux { stream_id, inner: frame } => {
+                conn.recorder.record(format!("recv {} stream={stream_id}", frame.kind_name()));
+            }
+            Message::MuxCredit { stream_id, frames } => {
+                conn.recorder.record(format!("credit +{frames} stream={stream_id}"));
+            }
+            Message::MuxReset { stream_id, .. } => {
+                conn.recorder.record(format!("reset recv stream={stream_id}"));
+            }
+            other => conn.recorder.record(format!("recv {}", other.kind_name())),
+        }
+        let _scope = envelope
+            .request_id
+            .map(|id| vss_telemetry::trace_scope(id, envelope.parent_span_id));
         let outcome = match envelope.message {
             Message::Mux { stream_id, inner: frame } => {
-                dispatch_mux_frame(inner, session, &writer, &mut streams, stream_id, *frame)
+                dispatch_mux_frame(inner, session, conn, &writer, &mut streams, stream_id, *frame)
             }
             Message::MuxCredit { stream_id, frames } => match streams.get(&stream_id) {
                 Some(stream) => {
                     stream.ctl.grant(frames);
                     Ok(())
                 }
-                None => reset_unknown_stream(&writer, stream_id, "credit grant"),
+                None => reset_unknown_stream(&writer, &conn.recorder, stream_id, "credit grant"),
             },
             Message::MuxReset { stream_id, .. } => {
                 metrics::mux_resets().incr();
@@ -707,6 +1086,7 @@ fn serve_mux_connection(
                 if let Some(stream) = streams.remove(&stream_id) {
                     stream.stop();
                 }
+                conn.streams.lock().expect("conn streams lock").remove(&stream_id);
                 Ok(())
             }
             // --- control plane: unary operations, served inline -----------
@@ -731,7 +1111,25 @@ fn serve_mux_connection(
             }
             Message::StatsRequest => {
                 let _span = vss_telemetry::span("net", "stats", "");
-                send_plain(&writer, &Message::StatsSnapshot(vss_telemetry::snapshot()))
+                send_plain(&writer, &stats_snapshot_reply())
+            }
+            Message::AdminRequest { topic, arg } => {
+                let _span = vss_telemetry::span("net", "admin", "");
+                let reply = match admin_table(inner, topic, arg) {
+                    Ok(table) => Message::AdminTable(table),
+                    Err(error) => Message::Error(WireError::from_error(&error)),
+                };
+                send_plain(&writer, &reply)
+            }
+            Message::StatsPageRequest { start, max } => {
+                let _span = vss_telemetry::span("net", "stats_page", "");
+                let snapshot = vss_telemetry::snapshot();
+                let (total, page) = snapshot_page(&snapshot, start, max);
+                send_plain(&writer, &Message::StatsPage { total, start, snapshot: page })
+            }
+            Message::MetricsTextRequest => {
+                let _span = vss_telemetry::span("net", "metrics_text", "");
+                send_plain(&writer, &Message::MetricsText { text: metrics_text_bounded() })
             }
             // --- plain (un-muxed) streaming ops keep v2 semantics ---------
             Message::OpenReadStream { request } => {
@@ -777,6 +1175,7 @@ fn serve_mux_connection(
     // ingest queues) **before** joining, so no worker is joined while it can
     // still block — an unfinished ingest aborts, leaving only fully
     // persisted GOPs.
+    conn.streams.lock().expect("conn streams lock").clear();
     let remaining: Vec<ServerStream> = streams.into_values().collect();
     for stream in &remaining {
         stream.ctl.cancel();
@@ -792,17 +1191,23 @@ fn serve_mux_connection(
 fn dispatch_mux_frame(
     inner: &Arc<NetInner>,
     session: &Arc<Session>,
+    conn: &Arc<ConnState>,
     writer: &Arc<Mutex<ConnWriter>>,
     streams: &mut HashMap<u32, ServerStream>,
     stream_id: u32,
     frame: Message,
 ) -> Result<(), VssError> {
+    let drop_stream = |streams: &mut HashMap<u32, ServerStream>| {
+        let stream = streams.remove(&stream_id).expect("present above");
+        stream.stop();
+        conn.streams.lock().expect("conn streams lock").remove(&stream_id);
+    };
     if let Some(stream) = streams.get(&stream_id) {
         let Some(sender) = stream.ingest.as_ref() else {
             // Client data frames are only valid on ingest streams.
-            let stream = streams.remove(&stream_id).expect("present above");
-            stream.stop();
-            return reset_unknown_stream(writer, stream_id, frame.kind_name());
+            let what = frame.kind_name();
+            drop_stream(streams);
+            return reset_unknown_stream(writer, &conn.recorder, stream_id, what);
         };
         let item = match frame {
             Message::WriteChunk { frames } => {
@@ -812,26 +1217,23 @@ fn dispatch_mux_frame(
             Message::WriteFinish => IngestFrame::Finish,
             Message::WriteAbort => IngestFrame::Abort,
             other => {
-                let stream = streams.remove(&stream_id).expect("present above");
-                stream.stop();
-                return reset_unknown_stream(writer, stream_id, other.kind_name());
+                let what = other.kind_name();
+                drop_stream(streams);
+                return reset_unknown_stream(writer, &conn.recorder, stream_id, what);
             }
         };
         if sender.try_send(item).is_err() {
             // The client overran its write window (or the worker died): a
             // blocking send here would let one stream stall the whole
             // dispatcher, so the stream is reset instead.
-            let stream = streams.remove(&stream_id).expect("present above");
-            stream.stop();
-            metrics::mux_resets().incr();
-            return send_plain(
+            drop_stream(streams);
+            return send_reset(
                 writer,
-                &Message::MuxReset {
-                    stream_id,
-                    error: Some(WireError::protocol(format!(
-                        "stream {stream_id} overran its {SERVER_WRITE_WINDOW}-frame write window"
-                    ))),
-                },
+                &conn.recorder,
+                stream_id,
+                WireError::protocol(format!(
+                    "stream {stream_id} overran its {SERVER_WRITE_WINDOW}-frame write window"
+                )),
             );
         }
         return Ok(());
@@ -844,22 +1246,20 @@ fn dispatch_mux_frame(
         | Message::AppendBegin { .. }
         | Message::Subscribe { .. }) => {
             if streams.len() >= MAX_MUX_STREAMS {
-                metrics::mux_resets().incr();
-                return send_plain(
+                return send_reset(
                     writer,
-                    &Message::MuxReset {
-                        stream_id,
-                        error: Some(WireError::from_error(&VssError::Overloaded(format!(
-                            "connection already has {MAX_MUX_STREAMS} open streams"
-                        )))),
-                    },
+                    &conn.recorder,
+                    stream_id,
+                    WireError::from_error(&VssError::Overloaded(format!(
+                        "connection already has {MAX_MUX_STREAMS} open streams"
+                    ))),
                 );
             }
-            let stream = spawn_mux_stream(inner, session, writer, stream_id, opener);
+            let stream = spawn_mux_stream(inner, session, conn, writer, stream_id, opener);
             streams.insert(stream_id, stream);
             Ok(())
         }
-        other => reset_unknown_stream(writer, stream_id, other.kind_name()),
+        other => reset_unknown_stream(writer, &conn.recorder, stream_id, other.kind_name()),
     }
 }
 
@@ -867,13 +1267,34 @@ fn dispatch_mux_frame(
 fn spawn_mux_stream(
     inner: &Arc<NetInner>,
     session: &Arc<Session>,
+    conn: &Arc<ConnState>,
     writer: &Arc<Mutex<ConnWriter>>,
     stream_id: u32,
     opener: Message,
 ) -> ServerStream {
+    // The stream's kind label (`read`/`write`/`sub`) and target video.
+    let (kind, target) = match &opener {
+        Message::OpenReadStream { request } => ("read", request.name.clone()),
+        Message::WriteBegin { request, .. } => ("write", request.name.clone()),
+        Message::AppendBegin { name, .. } => ("write", name.clone()),
+        Message::Subscribe { name, .. } => ("sub", name.clone()),
+        _ => unreachable!("spawn_mux_stream is only called for opener messages"),
+    };
+    // The dispatch stage is its own `net`-layer span: it parents the worker
+    // span below, so a traced request's tree reads client → dispatch →
+    // worker → shard lock / engine.
+    let _dispatch_span = vss_telemetry::span("net", "dispatch", target.as_str());
     metrics::mux_streams_opened().incr();
+    vss_telemetry::counter_with("net.mux.streams_opened", &[("kind", kind)]).incr();
+    let kind_active = vss_telemetry::gauge_with("net.mux.streams_active", &[("kind", kind)]);
     metrics::mux_streams_active().add(1);
-    let ctl = Arc::new(StreamCtl::new());
+    kind_active.add(1);
+    conn.recorder.record(format!("stream open stream={stream_id} kind={kind} target={target}"));
+    let ctl = Arc::new(StreamCtl::new(kind, Arc::clone(&conn.recorder), stream_id));
+    conn.streams.lock().expect("conn streams lock").insert(
+        stream_id,
+        StreamInfo { kind, target, ctl: Arc::clone(&ctl) },
+    );
     let (ingest, receiver) = match &opener {
         Message::WriteBegin { .. } | Message::AppendBegin { .. } => {
             // Window-sized queue plus slack for the credit-exempt terminal
@@ -889,12 +1310,14 @@ fn spawn_mux_stream(
         let writer = Arc::clone(writer);
         let ctl = Arc::clone(&ctl);
         // The dispatcher's envelope scope is active here but thread-locals
-        // don't cross the spawn: carry the request id into the worker so its
-        // span joins the caller's trace.
+        // don't cross the spawn: carry the request id *and* the current
+        // parent span (the dispatch span above) into the worker so its spans
+        // join the caller's trace as children of the dispatch stage.
         let request_id = vss_telemetry::current_request_id();
+        let parent_span = vss_telemetry::current_parent_span();
         std::thread::spawn(move || {
-            let _scope = request_id.map(vss_telemetry::request_scope);
-            let _guard = StreamGuard;
+            let _scope = request_id.map(|id| vss_telemetry::trace_scope(id, parent_span));
+            let _guard = StreamGuard { kind_active };
             match opener {
                 Message::OpenReadStream { request } => {
                     let span = vss_telemetry::span("net", "read_stream", request.name.as_str());

@@ -19,6 +19,45 @@
 //!   and a strict prefix of a valid message always errors (every decoder
 //!   checks availability before slicing, and [`decode_message`] requires the
 //!   payload to be consumed exactly).
+//!
+//! # Admin frame grammar (version ≥ 3)
+//!
+//! The introspection plane is four unary request/reply pairs, all riding
+//! the ordinary envelope (and, over a multiplexed connection, the control
+//! stream — never a data stream):
+//!
+//! ```text
+//! AdminRequest       = 0x0d topic:u8 arg:u64        ; topic in admin_topic
+//! AdminTable         = 0x8e title:str ncols:u32 col:str{ncols}
+//!                           nrows:u32 cell:str{nrows*ncols}
+//! StatsPageRequest   = 0x0e start:u32 max:u32       ; 1 <= max <= MAX_METRICS
+//! StatsPage          = 0x8f total:u32 start:u32 snapshot
+//! MetricsTextRequest = 0x0f
+//! MetricsText        = 0x90 text:str
+//! ```
+//!
+//! `AdminRequest` answers with one pre-rendered [`AdminTable`] per
+//! [`admin_topic`] selector (sessions, mux streams, shards, span trees).
+//! `StatsPageRequest` walks the registry flattened as counters → gauges →
+//! histograms, each section in sorted series order; a client concatenates
+//! pages until `start + page-len == total`, so a registry of any size
+//! crosses the wire without hitting the per-message [`MAX_METRICS`] cap
+//! (the legacy unary `StatsRequest` instead answers a typed overflow error
+//! when the registry exceeds one message). `MetricsText` is the
+//! Prometheus-style exposition of the same registry. On a version < 3
+//! connection every admin request is refused with a typed
+//! [`code::UNSUPPORTED`] error.
+//!
+//! # Traced request envelope (version ≥ 3)
+//!
+//! ```text
+//! traced = 0x7e request_id:u64 parent_span_id:u64 message
+//! tagged = 0x7f request_id:u64 message              ; version >= 2
+//! ```
+//!
+//! The traced form adds the client's innermost open span id (0 = none) so
+//! the server's spans chain under the client's op span and one request
+//! yields one connected [`vss_telemetry::span_tree`] across processes.
 
 use std::io::{Read, Write};
 use vss_codec::{Codec, CodecError, EncodedGop};
@@ -42,6 +81,14 @@ pub const PROTOCOL_MAGIC: u32 = 0x5653_534e;
 /// interleaves the control plane with N concurrent reads, writes and
 /// subscriptions, paced per stream by [`Message::MuxCredit`] window grants
 /// and torn down per stream by [`Message::MuxReset`].
+///
+/// Version 3 also carries the **introspection plane**: the traced envelope
+/// ([`ENVELOPE_TRACED`], adding a parent span id to the request tag), the
+/// unary admin messages ([`Message::AdminRequest`] →
+/// [`Message::AdminTable`]), paginated telemetry fetch
+/// ([`Message::StatsPageRequest`] → [`Message::StatsPage`]) and the
+/// Prometheus-style exposition ([`Message::MetricsTextRequest`] →
+/// [`Message::MetricsText`]). All are gated on a negotiated version ≥ 3.
 pub const PROTOCOL_VERSION: u16 = 3;
 /// Oldest protocol version this build still speaks. The handshake
 /// negotiates `min(client, server)` within
@@ -71,13 +118,30 @@ pub const MAX_CHUNK_FRAMES: usize = 1 << 16;
 pub const MAX_CHUNK_BYTES: u64 = 1 << 30;
 /// First payload byte of a version-2 tagged envelope: `[0x7f][request id:
 /// u64 LE][message]`. The value collides with no message kind (client kinds
-/// are `0x01..=0x7e`, server kinds `0x81..`), so a tagged payload is
+/// are `0x01..=0x7a`, server kinds `0x81..`), so a tagged payload is
 /// unambiguous — and a version-1 decoder rejects it as an unknown kind,
 /// which is why tagging is only used after the handshake negotiates ≥ 2.
 pub const ENVELOPE_TAGGED: u8 = 0x7f;
-/// Ceiling on the metrics one [`Message::StatsSnapshot`] section (counters,
-/// gauges or histograms) may carry, checked before any allocation.
+/// First payload byte of a version-3 **traced** envelope:
+/// `[0x7e][request id: u64 LE][parent span id: u64 LE][message]`. The
+/// traced form extends the tagged one with the sender's innermost open span
+/// id (0 encodes "no parent"), so server-side spans chain under the
+/// client's op span and [`vss_telemetry::span_tree`] reassembles one
+/// connected tree per request. Like the tagged marker, the value collides
+/// with no message kind; only sent after the handshake negotiates ≥ 3.
+pub const ENVELOPE_TRACED: u8 = 0x7e;
+/// Ceiling on the metrics one [`Message::StatsSnapshot`] or
+/// [`Message::StatsPage`] section (counters, gauges or histograms) may
+/// carry, checked before any allocation. A registry larger than this is
+/// fetched with [`Message::StatsPageRequest`] pages; the unary
+/// [`Message::StatsRequest`] answers a typed overflow error instead of
+/// truncating.
 pub const MAX_METRICS: usize = 4096;
+/// Ceiling on the columns of one [`Message::AdminTable`].
+pub const MAX_ADMIN_COLUMNS: usize = 32;
+/// Ceiling on the rows of one [`Message::AdminTable`]; servers truncate
+/// (and say so in the table title) rather than exceed it.
+pub const MAX_ADMIN_ROWS: usize = 4096;
 /// Ceiling on a multiplexed stream id (version 3). Ids are client-chosen,
 /// start at 1 (0 is reserved for the connection's control plane and always
 /// invalid on the wire) and are validated **before** the frame's inner
@@ -123,6 +187,71 @@ pub mod code {
     /// not a `VssError` variant of its own — decodes to
     /// [`vss_core::VssError::Remote`].
     pub const PROTOCOL: u16 = 100;
+}
+
+/// Topic selectors for [`Message::AdminRequest`] (version ≥ 3). Each topic
+/// answers with one [`Message::AdminTable`]; `arg` is topic-specific and 0
+/// when unused.
+pub mod admin_topic {
+    /// Live sessions: id, peer, negotiated version, age, open mux streams,
+    /// recent flight-recorder events.
+    pub const SESSIONS: u8 = 1;
+    /// Active mux streams across all sessions: session, stream id, kind,
+    /// remaining credit, frames sent.
+    pub const STREAMS: u8 = 2;
+    /// Per-shard server table: shard index, videos, read/write ops, cache
+    /// hits, bytes, lock-wait p99.
+    pub const SHARDS: u8 = 3;
+    /// Recent span trees. `arg = 0` lists the most recent traced request
+    /// ids; a non-zero `arg` renders that request id's tree, one span per
+    /// row, the op column indented by tree depth.
+    pub const SPANS: u8 = 4;
+}
+
+/// One rendered admin table as it crosses the wire: a title, column
+/// headers, and string rows (pre-rendered server-side so clients — and
+/// `vss-top` — need no per-topic schema knowledge). Bounded by
+/// [`MAX_ADMIN_COLUMNS`] and [`MAX_ADMIN_ROWS`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdminTable {
+    /// Human-readable table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; every row has exactly `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl AdminTable {
+    /// Renders the table as aligned text (header, rule, rows).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (index, cell) in row.iter().enumerate() {
+                if index < widths.len() {
+                    widths[index] = widths[index].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let render = |cells: &[String], out: &mut String| {
+            for (index, cell) in cells.iter().enumerate() {
+                let width = widths.get(index).copied().unwrap_or(0);
+                let _ = if index + 1 == cells.len() {
+                    writeln!(out, "{cell}")
+                } else {
+                    write!(out, "{cell:<width$}  ")
+                };
+            }
+        };
+        render(&self.columns, &mut out);
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
 }
 
 /// A typed error as it crosses the wire: a code from [`code`], the error's
@@ -447,6 +576,45 @@ pub enum Message {
         /// Why the stream ended (absent on a plain cancellation).
         error: Option<WireError>,
     },
+    /// Requests one admin table (version ≥ 3 only); the server replies
+    /// [`Message::AdminTable`].
+    AdminRequest {
+        /// Which table — an [`admin_topic`] selector.
+        topic: u8,
+        /// Topic-specific argument (0 when unused).
+        arg: u64,
+    },
+    /// Requests one page of the server's telemetry registry (version ≥ 3
+    /// only); the server replies [`Message::StatsPage`]. Pages walk the
+    /// registry flattened as counters, then gauges, then histograms, each
+    /// in sorted series order.
+    StatsPageRequest {
+        /// Flattened index of the first series wanted.
+        start: u32,
+        /// Maximum series in the reply (`1..=`[`MAX_METRICS`]).
+        max: u32,
+    },
+    /// Requests the registry as Prometheus-style text (version ≥ 3 only);
+    /// the server replies [`Message::MetricsText`].
+    MetricsTextRequest,
+    /// Reply to [`Message::AdminRequest`]: one pre-rendered table.
+    AdminTable(AdminTable),
+    /// Reply to [`Message::StatsPageRequest`]: one page of the registry.
+    StatsPage {
+        /// Total series in the flattened registry at snapshot time.
+        total: u32,
+        /// Flattened index of this page's first series.
+        start: u32,
+        /// The page: every section ≤ [`MAX_METRICS`] by construction.
+        snapshot: TelemetrySnapshot,
+    },
+    /// Reply to [`Message::MetricsTextRequest`]: sorted text exposition
+    /// (truncated at a line boundary to fit [`MAX_STRING_BYTES`] if the
+    /// registry is enormous).
+    MetricsText {
+        /// The exposition text.
+        text: String,
+    },
 }
 
 impl Message {
@@ -482,6 +650,12 @@ impl Message {
             Message::Mux { .. } => "Mux",
             Message::MuxCredit { .. } => "MuxCredit",
             Message::MuxReset { .. } => "MuxReset",
+            Message::AdminRequest { .. } => "AdminRequest",
+            Message::StatsPageRequest { .. } => "StatsPageRequest",
+            Message::MetricsTextRequest => "MetricsTextRequest",
+            Message::AdminTable(_) => "AdminTable",
+            Message::StatsPage { .. } => "StatsPage",
+            Message::MetricsText { .. } => "MetricsText",
         }
     }
 }
@@ -516,6 +690,12 @@ const KIND_SUB_END: u8 = 0x8d;
 const KIND_MUX_RESET: u8 = 0x7b;
 const KIND_MUX_CREDIT: u8 = 0x7c;
 const KIND_MUX: u8 = 0x7d;
+const KIND_ADMIN_REQUEST: u8 = 0x0d;
+const KIND_STATS_PAGE_REQUEST: u8 = 0x0e;
+const KIND_METRICS_TEXT_REQUEST: u8 = 0x0f;
+const KIND_ADMIN_TABLE: u8 = 0x8e;
+const KIND_STATS_PAGE: u8 = 0x8f;
+const KIND_METRICS_TEXT: u8 = 0x90;
 
 /// `SubscribeFrom` tag bytes.
 const SUB_FROM_START: u8 = 0x00;
@@ -907,6 +1087,47 @@ fn put_snapshot(out: &mut Vec<u8>, snapshot: &TelemetrySnapshot) {
     }
 }
 
+fn put_admin_table(out: &mut Vec<u8>, table: &AdminTable) {
+    put_str(out, &table.title);
+    put_u32(out, table.columns.len() as u32);
+    for column in &table.columns {
+        put_str(out, column);
+    }
+    put_u32(out, table.rows.len() as u32);
+    for row in &table.rows {
+        for cell in row {
+            put_str(out, cell);
+        }
+    }
+}
+
+fn get_admin_table(cursor: &mut Cursor<'_>) -> DecodeResult<AdminTable> {
+    let title = cursor.get_str()?;
+    let column_count = cursor.get_u32()? as usize;
+    if column_count == 0 || column_count > MAX_ADMIN_COLUMNS {
+        return Err(format!(
+            "admin table of {column_count} columns outside 1..={MAX_ADMIN_COLUMNS}"
+        ));
+    }
+    let mut columns = Vec::with_capacity(column_count);
+    for _ in 0..column_count {
+        columns.push(cursor.get_str()?);
+    }
+    let row_count = cursor.get_u32()? as usize;
+    if row_count > MAX_ADMIN_ROWS {
+        return Err(format!("admin table of {row_count} rows exceeds the {MAX_ADMIN_ROWS} cap"));
+    }
+    let mut rows = Vec::with_capacity(row_count.min(256));
+    for _ in 0..row_count {
+        let mut row = Vec::with_capacity(column_count);
+        for _ in 0..column_count {
+            row.push(cursor.get_str()?);
+        }
+        rows.push(row);
+    }
+    Ok(AdminTable { title, columns, rows })
+}
+
 /// Reads one snapshot-section length, refusing implausible counts before any
 /// allocation.
 fn get_metric_count(cursor: &mut Cursor<'_>) -> DecodeResult<usize> {
@@ -1070,6 +1291,31 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
             put_u32(&mut out, *stream_id);
             put_opt(&mut out, error, put_wire_error);
         }
+        Message::AdminRequest { topic, arg } => {
+            out.push(KIND_ADMIN_REQUEST);
+            out.push(*topic);
+            put_u64(&mut out, *arg);
+        }
+        Message::StatsPageRequest { start, max } => {
+            out.push(KIND_STATS_PAGE_REQUEST);
+            put_u32(&mut out, *start);
+            put_u32(&mut out, *max);
+        }
+        Message::MetricsTextRequest => out.push(KIND_METRICS_TEXT_REQUEST),
+        Message::AdminTable(table) => {
+            out.push(KIND_ADMIN_TABLE);
+            put_admin_table(&mut out, table);
+        }
+        Message::StatsPage { total, start, snapshot } => {
+            out.push(KIND_STATS_PAGE);
+            put_u32(&mut out, *total);
+            put_u32(&mut out, *start);
+            put_snapshot(&mut out, snapshot);
+        }
+        Message::MetricsText { text } => {
+            out.push(KIND_METRICS_TEXT);
+            put_str(&mut out, text);
+        }
     }
     out
 }
@@ -1196,6 +1442,28 @@ pub fn decode_message(payload: &[u8]) -> DecodeResult<Message> {
             let stream_id = get_stream_id(&mut cursor)?;
             Message::MuxReset { stream_id, error: cursor.get_opt(get_wire_error)? }
         }
+        KIND_ADMIN_REQUEST => {
+            // Any topic byte decodes; the server answers unknown topics with
+            // a typed Unsupported error so the control connection survives
+            // (and newer clients can probe for topics this build predates).
+            Message::AdminRequest { topic: cursor.get_u8()?, arg: cursor.get_u64()? }
+        }
+        KIND_STATS_PAGE_REQUEST => {
+            let start = cursor.get_u32()?;
+            let max = cursor.get_u32()?;
+            if max == 0 || max as usize > MAX_METRICS {
+                return Err(format!("stats page size {max} outside 1..={MAX_METRICS}"));
+            }
+            Message::StatsPageRequest { start, max }
+        }
+        KIND_METRICS_TEXT_REQUEST => Message::MetricsTextRequest,
+        KIND_ADMIN_TABLE => Message::AdminTable(get_admin_table(&mut cursor)?),
+        KIND_STATS_PAGE => {
+            let total = cursor.get_u32()?;
+            let start = cursor.get_u32()?;
+            Message::StatsPage { total, start, snapshot: get_snapshot(&mut cursor)? }
+        }
+        KIND_METRICS_TEXT => Message::MetricsText { text: cursor.get_str()? },
         other => return Err(format!("unknown message kind 0x{other:02x}")),
     };
     if cursor.remaining() != 0 {
@@ -1260,9 +1528,13 @@ pub fn write_message(writer: &mut impl Write, message: &Message) -> Result<(), V
 /// tagged envelope carried, if any.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
-    /// Request id from the [`ENVELOPE_TAGGED`] extension (absent on plain
-    /// version-1 payloads).
+    /// Request id from the [`ENVELOPE_TAGGED`] or [`ENVELOPE_TRACED`]
+    /// extension (absent on plain version-1 payloads).
     pub request_id: Option<u64>,
+    /// Parent span id from the [`ENVELOPE_TRACED`] extension: the sender's
+    /// innermost open span when the request was encoded. Absent on tagged
+    /// and plain payloads (and when the traced envelope carried 0).
+    pub parent_span_id: Option<u64>,
     /// The message itself.
     pub message: Message,
 }
@@ -1279,17 +1551,51 @@ pub fn encode_tagged(request_id: u64, message: &Message) -> Vec<u8> {
     out
 }
 
-/// Decodes one payload that may or may not carry the tagged-envelope
-/// extension. Total, like [`decode_message`].
+/// Encodes one message wrapped in the version-3 traced envelope, carrying
+/// both the request id and the sender's parent span id (`None` encodes as
+/// 0). Only send this on a connection whose negotiated version is ≥ 3.
+pub fn encode_traced(request_id: u64, parent_span_id: Option<u64>, message: &Message) -> Vec<u8> {
+    let body = encode_message(message);
+    let mut out = Vec::with_capacity(17 + body.len());
+    out.push(ENVELOPE_TRACED);
+    put_u64(&mut out, request_id);
+    put_u64(&mut out, parent_span_id.unwrap_or(0));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one payload that may or may not carry the tagged- or
+/// traced-envelope extension. Total, like [`decode_message`].
 pub fn decode_envelope(payload: &[u8]) -> DecodeResult<Envelope> {
-    if payload.first() == Some(&ENVELOPE_TAGGED) {
-        if payload.len() < 9 {
-            return Err("truncated tagged envelope".into());
+    match payload.first() {
+        Some(&ENVELOPE_TAGGED) => {
+            if payload.len() < 9 {
+                return Err("truncated tagged envelope".into());
+            }
+            let request_id = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+            Ok(Envelope {
+                request_id: Some(request_id),
+                parent_span_id: None,
+                message: decode_message(&payload[9..])?,
+            })
         }
-        let request_id = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
-        Ok(Envelope { request_id: Some(request_id), message: decode_message(&payload[9..])? })
-    } else {
-        Ok(Envelope { request_id: None, message: decode_message(payload)? })
+        Some(&ENVELOPE_TRACED) => {
+            if payload.len() < 17 {
+                return Err("truncated traced envelope".into());
+            }
+            let request_id = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+            let parent = u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes"));
+            Ok(Envelope {
+                request_id: Some(request_id),
+                parent_span_id: (parent != 0).then_some(parent),
+                message: decode_message(&payload[17..])?,
+            })
+        }
+        _ => Ok(Envelope {
+            request_id: None,
+            parent_span_id: None,
+            message: decode_message(payload)?,
+        }),
     }
 }
 
@@ -1301,6 +1607,42 @@ pub fn write_tagged_message(
     message: &Message,
 ) -> Result<(), VssError> {
     write_payload(writer, &encode_tagged(request_id, message))
+}
+
+/// Writes one message wrapped in the version-3 traced envelope (see
+/// [`encode_traced`]).
+pub fn write_traced_message(
+    writer: &mut impl Write,
+    request_id: u64,
+    parent_span_id: Option<u64>,
+    message: &Message,
+) -> Result<(), VssError> {
+    write_payload(writer, &encode_traced(request_id, parent_span_id, message))
+}
+
+/// Slices one page out of a registry snapshot for [`Message::StatsPage`]:
+/// the registry flattened as counters, then gauges, then histograms (each
+/// already in sorted series order), with `start..start + max` selected.
+/// Returns `(total, page)`; the page's sections stay under [`MAX_METRICS`]
+/// because `max` is capped by the request decoder.
+pub fn snapshot_page(snapshot: &TelemetrySnapshot, start: u32, max: u32) -> (u32, TelemetrySnapshot) {
+    let counters = snapshot.counters.len();
+    let gauges = snapshot.gauges.len();
+    let histograms = snapshot.histograms.len();
+    let total = counters + gauges + histograms;
+    let start = (start as usize).min(total);
+    let end = start.saturating_add(max as usize).min(total);
+    fn slice<T: Clone>(items: &[T], offset: usize, start: usize, end: usize) -> Vec<T> {
+        let lo = start.saturating_sub(offset).min(items.len());
+        let hi = end.saturating_sub(offset).min(items.len());
+        items[lo..hi].to_vec()
+    }
+    let page = TelemetrySnapshot {
+        counters: slice(&snapshot.counters, 0, start, end),
+        gauges: slice(&snapshot.gauges, counters, start, end),
+        histograms: slice(&snapshot.histograms, counters + gauges, start, end),
+    };
+    (total as u32, page)
 }
 
 /// Reads one length-prefixed payload and decodes it as an [`Envelope`]
@@ -1405,6 +1747,109 @@ pub fn read_message(reader: &mut impl Read) -> Result<Message, VssError> {
 mod tests {
     use super::*;
     use vss_frame::pattern;
+
+    #[test]
+    fn admin_messages_round_trip() {
+        let table = AdminTable {
+            title: "sessions".into(),
+            columns: vec!["session".into(), "peer".into(), "version".into()],
+            rows: vec![
+                vec!["1".into(), "127.0.0.1:9".into(), "3".into()],
+                vec!["2".into(), "127.0.0.1:10".into(), "1".into()],
+            ],
+        };
+        let messages = vec![
+            Message::AdminRequest { topic: admin_topic::SESSIONS, arg: 0 },
+            Message::AdminRequest { topic: admin_topic::SPANS, arg: 42 },
+            Message::StatsPageRequest { start: 128, max: 64 },
+            Message::MetricsTextRequest,
+            Message::AdminTable(table.clone()),
+            Message::StatsPage { total: 7000, start: 4096, snapshot: TelemetrySnapshot::default() },
+            Message::MetricsText { text: "vss_net_conn_accepted 3\n".into() },
+        ];
+        for message in messages {
+            let decoded = decode_message(&encode_message(&message)).expect("decodes");
+            assert_eq!(format!("{decoded:?}"), format!("{message:?}"));
+        }
+        let rendered = table.to_text();
+        assert!(rendered.contains("# sessions"), "{rendered}");
+        assert!(rendered.contains("127.0.0.1:10"), "{rendered}");
+    }
+
+    #[test]
+    fn admin_decoders_refuse_invalid_shapes() {
+        // Unknown topics decode — the server refuses them with a typed
+        // error instead of the decoder killing the connection.
+        let mut probe = vec![KIND_ADMIN_REQUEST, 9];
+        probe.extend_from_slice(&7u64.to_le_bytes());
+        match decode_message(&probe).expect("unknown topic decodes") {
+            Message::AdminRequest { topic: 9, arg: 7 } => {}
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // Zero and oversized page requests.
+        for max in [0u32, MAX_METRICS as u32 + 1] {
+            let mut bad = vec![KIND_STATS_PAGE_REQUEST];
+            bad.extend_from_slice(&0u32.to_le_bytes());
+            bad.extend_from_slice(&max.to_le_bytes());
+            assert!(decode_message(&bad).is_err(), "page size {max} accepted");
+        }
+        // Zero-column table.
+        let mut bad = vec![KIND_ADMIN_TABLE];
+        put_str(&mut bad, "t");
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_message(&bad).is_err());
+    }
+
+    #[test]
+    fn traced_envelopes_round_trip_and_stay_v1_incompatible() {
+        let message = Message::StatsRequest;
+        let traced = encode_traced(11, Some(77), &message);
+        let envelope = decode_envelope(&traced).expect("traced decodes");
+        assert_eq!(envelope.request_id, Some(11));
+        assert_eq!(envelope.parent_span_id, Some(77));
+        // 0 encodes "no parent".
+        let traced = encode_traced(11, None, &message);
+        let envelope = decode_envelope(&traced).expect("traced decodes");
+        assert_eq!(envelope.parent_span_id, None);
+        // A v1 decoder rejects the marker; a strict prefix errors.
+        assert!(decode_message(&traced).is_err());
+        assert!(decode_envelope(&traced[..9]).is_err());
+        // Tagged envelopes still decode with no parent.
+        let tagged = encode_tagged(11, &message);
+        assert_eq!(decode_envelope(&tagged).expect("tagged decodes").parent_span_id, None);
+    }
+
+    #[test]
+    fn snapshot_pages_cover_the_flattened_registry_exactly() {
+        let snapshot = TelemetrySnapshot {
+            counters: (0..5).map(|i| (format!("c{i}"), i as u64)).collect(),
+            gauges: (0..3).map(|i| (format!("g{i}"), i as i64)).collect(),
+            histograms: (0..4)
+                .map(|i| (format!("h{i}"), HistogramSummary { count: i, ..Default::default() }))
+                .collect(),
+        };
+        // Walk with a page size that straddles every section boundary.
+        let mut merged = TelemetrySnapshot::default();
+        let mut start = 0u32;
+        loop {
+            let (total, page) = snapshot_page(&snapshot, start, 2);
+            assert_eq!(total, 12);
+            let got = page.counters.len() + page.gauges.len() + page.histograms.len();
+            merged.counters.extend(page.counters);
+            merged.gauges.extend(page.gauges);
+            merged.histograms.extend(page.histograms);
+            start += got as u32;
+            if start >= total {
+                break;
+            }
+            assert!(got > 0, "no progress at {start}");
+        }
+        assert_eq!(merged, snapshot);
+        // Out-of-range start yields an empty page, not a panic.
+        let (_, empty) = snapshot_page(&snapshot, 999, 2);
+        assert_eq!(empty, TelemetrySnapshot::default());
+    }
 
     #[test]
     fn every_vss_error_variant_round_trips_or_lands_in_a_typed_remote() {
@@ -1568,11 +2013,11 @@ mod tests {
         assert_eq!(tagged[0], ENVELOPE_TAGGED);
         assert_eq!(
             decode_envelope(&tagged).unwrap(),
-            Envelope { request_id: Some(99), message: message.clone() }
+            Envelope { request_id: Some(99), parent_span_id: None, message: message.clone() }
         );
         assert_eq!(
             decode_envelope(&encode_message(&message)).unwrap(),
-            Envelope { request_id: None, message: message.clone() }
+            Envelope { request_id: None, parent_span_id: None, message: message.clone() }
         );
         // A version-1 decoder (plain decode_message) rejects the marker as
         // an unknown kind instead of misreading the payload.

@@ -20,16 +20,21 @@ use vss_core::{
 };
 use vss_frame::{pattern, Frame, PixelFormat, RegionOfInterest, Resolution};
 use vss_net::wire::{
-    decode_message, encode_message, read_message, Message, WireError, WireWriteReport,
-    MAX_CREDIT_FRAMES, MAX_MESSAGE_BYTES, MAX_STREAM_ID,
+    admin_topic, decode_message, encode_message, read_message, AdminTable, Message, WireError,
+    WireWriteReport, MAX_CREDIT_FRAMES, MAX_MESSAGE_BYTES, MAX_METRICS, MAX_STREAM_ID,
 };
 
-/// 19 pre-v3 kinds plus the three multiplexing frames. (The live/stats
-/// extension kinds have dedicated round-trip suites in `wire.rs`.)
-const KIND_COUNT: u8 = 22;
+/// 19 pre-v3 kinds plus the three multiplexing frames and the six admin
+/// frames. (The live/stats extension kinds have dedicated round-trip suites
+/// in `wire.rs`.)
+const KIND_COUNT: u8 = 28;
 /// Kinds `0..PLAIN_KIND_COUNT` are the un-muxed operation messages — the
 /// population a `Mux` frame's `inner` is drawn from (mux frames never nest).
 const PLAIN_KIND_COUNT: u8 = 19;
+/// Kinds `PLAIN_KIND_COUNT..MUX_KIND_END` are the three v3 multiplexing
+/// frames (credit, reset, mux) — the ones whose wire layout starts with a
+/// validated stream id.
+const MUX_KIND_END: u8 = 22;
 
 fn arbitrary_string(rng: &mut TestRng) -> String {
     let len = rng.next_below(12) as usize;
@@ -195,6 +200,39 @@ fn arbitrary_message(kind: u8, rng: &mut TestRng) -> Message {
                 rng,
             )),
         },
+        22 => Message::AdminRequest {
+            topic: (admin_topic::SESSIONS + rng.next_below(4) as u8),
+            arg: rng.next_u64(),
+        },
+        23 => Message::StatsPageRequest {
+            start: rng.next_u64() as u32,
+            max: 1 + rng.next_below(MAX_METRICS as u64) as u32,
+        },
+        24 => Message::MetricsTextRequest,
+        25 => {
+            let columns = 1 + rng.next_below(4) as usize;
+            Message::AdminTable(AdminTable {
+                title: arbitrary_string(rng),
+                columns: (0..columns).map(|_| arbitrary_string(rng)).collect(),
+                rows: (0..rng.next_below(4) as usize)
+                    .map(|_| (0..columns).map(|_| arbitrary_string(rng)).collect())
+                    .collect(),
+            })
+        }
+        26 => Message::StatsPage {
+            total: rng.next_u64() as u32,
+            start: rng.next_u64() as u32,
+            snapshot: vss_telemetry::TelemetrySnapshot {
+                counters: (0..rng.next_below(4))
+                    .map(|i| (format!("c{i}"), rng.next_u64()))
+                    .collect(),
+                gauges: (0..rng.next_below(4))
+                    .map(|i| (format!("g{i}"), rng.next_u64() as i64))
+                    .collect(),
+                histograms: Vec::new(),
+            },
+        },
+        27 => Message::MetricsText { text: arbitrary_string(rng) },
         _ => Message::WriteReport(WireWriteReport {
             physical_id: rng.next_u64(),
             gops_written: rng.next_below(1000),
@@ -272,7 +310,7 @@ proptest! {
 
     #[test]
     fn out_of_range_mux_fields_are_refused(
-        kind in PLAIN_KIND_COUNT..KIND_COUNT,
+        kind in PLAIN_KIND_COUNT..MUX_KIND_END,
         seed in any::<u64>(),
         raw in any::<u32>(),
         zero in any::<bool>(),

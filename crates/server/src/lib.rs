@@ -127,6 +127,14 @@ mod metrics {
         C.get_or_init(|| vss_telemetry::counter("server.admission.shed_total"))
     }
 
+    /// `server.admission.shed{code=...}`: sheds broken out by why —
+    /// `shutdown` (server refusing new work) vs `overloaded` (limits hit
+    /// after the admission queue timed out). The shed path is cold, so the
+    /// per-call interning lookup is fine.
+    pub(crate) fn shed(code: &str) -> &'static Counter {
+        vss_telemetry::counter_with("server.admission.shed", &[("code", code)])
+    }
+
     /// `server.admission.in_flight_bytes`: bytes currently in flight through
     /// streaming transfers (mirrors the atomic the admission gate reads).
     pub(crate) fn in_flight_bytes() -> &'static Gauge {
@@ -341,6 +349,7 @@ impl VssServer {
             if self.inner.shutting_down.load(Ordering::SeqCst) {
                 unqueue(queued);
                 metrics::shed_total().incr();
+                metrics::shed("shutdown").incr();
                 self.inner.rejected_sessions.fetch_add(1, Ordering::Relaxed);
                 return Err(VssError::Overloaded("server is shutting down".into()));
             }
@@ -364,6 +373,7 @@ impl VssServer {
             if remaining.is_zero() {
                 unqueue(queued);
                 metrics::shed_total().incr();
+                metrics::shed("overloaded").incr();
                 self.inner.rejected_sessions.fetch_add(1, Ordering::Relaxed);
                 return Err(VssError::Overloaded(format!(
                     "admission limits reached: {active} active session(s) (limit {}), \

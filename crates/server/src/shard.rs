@@ -60,11 +60,17 @@ struct ServerManifest {
 pub(crate) struct Shard {
     engine: RwLock<Engine>,
     stats: ShardStats,
+    /// The shard index as a string — the `shard_lock` span target and the
+    /// `{shard=N}` label value, rendered once at construction.
+    label: String,
 }
 
 impl Shard {
-    /// Shared acquisition, recording the time spent waiting.
+    /// Shared acquisition, recording the time spent waiting. The wait is a
+    /// `server`-layer span, so a traced request shows its shard-lock stage
+    /// between the net worker and the engine operation.
     pub(crate) fn read(&self) -> RwLockReadGuard<'_, Engine> {
+        let _span = vss_telemetry::span("server", "shard_lock", self.label.as_str());
         let started = Instant::now();
         let guard = self.engine.read();
         self.stats.record_lock_wait(started.elapsed());
@@ -73,6 +79,7 @@ impl Shard {
 
     /// Exclusive acquisition, recording the time spent waiting.
     pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Engine> {
+        let _span = vss_telemetry::span("server", "shard_lock", self.label.as_str());
         let started = Instant::now();
         let guard = self.engine.write();
         self.stats.record_lock_wait(started.elapsed());
@@ -141,7 +148,8 @@ impl ShardedEngine {
             shard_config.root = root.join(format!("shard-{index:02}"));
             shard_list.push(Shard {
                 engine: RwLock::new(Engine::open(shard_config)?),
-                stats: ShardStats::default(),
+                stats: ShardStats::new(index),
+                label: index.to_string(),
             });
         }
         Ok(Self { root, shards: shard_list })

@@ -10,14 +10,50 @@
 //! Lock-wait time is kept as a full [`vss_telemetry::Histogram`] per shard
 //! (not just a running total), so a snapshot exposes the wait *distribution*
 //! — p50/p90/p99 — alongside the summed total the scaling experiments diff.
+//!
+//! Every recording is double-written into the process-global labeled series
+//! `server.shard.*{shard=N}`, so `vss_telemetry::snapshot()`, the admin
+//! plane and `vss-top` can answer *which shard* without holding any server
+//! handle. The owned counters stay exact per server; the labeled mirrors
+//! merge all servers in the process (one server per process in production).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use vss_core::{ReadStats, WriteReport};
-use vss_telemetry::{Histogram, HistogramSummary};
+use vss_telemetry::{Counter, Histogram, HistogramSummary};
+
+/// Process-global labeled mirrors of one shard's counters: the
+/// `server.shard.*{shard=N}` series that `snapshot()` / the admin plane /
+/// `vss-top` read. The owned atomics below remain the source of truth for
+/// [`ShardStatsSnapshot`] (they are exact per *server*, while the global
+/// series merge every server in the process), so both views coexist.
+#[derive(Debug)]
+struct LabeledShard {
+    lock_wait: &'static Histogram,
+    read_ops: &'static Counter,
+    cache_hit_reads: &'static Counter,
+    write_ops: &'static Counter,
+    bytes_read: &'static Counter,
+    bytes_written: &'static Counter,
+}
+
+impl LabeledShard {
+    fn new(shard: usize) -> Self {
+        let index = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", index.as_str())];
+        Self {
+            lock_wait: vss_telemetry::histogram_with("server.shard.lock_wait_ns", labels),
+            read_ops: vss_telemetry::counter_with("server.shard.read_ops", labels),
+            cache_hit_reads: vss_telemetry::counter_with("server.shard.cache_hit_reads", labels),
+            write_ops: vss_telemetry::counter_with("server.shard.write_ops", labels),
+            bytes_read: vss_telemetry::counter_with("server.shard.bytes_read", labels),
+            bytes_written: vss_telemetry::counter_with("server.shard.bytes_written", labels),
+        }
+    }
+}
 
 /// Monotone counters for one shard. All methods take `&self`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct ShardStats {
     /// Distribution of per-acquisition waits for this shard's engine lock,
     /// in nanoseconds (both shared and exclusive acquisitions). Owned by the
@@ -34,18 +70,36 @@ pub(crate) struct ShardStats {
     bytes_read: AtomicU64,
     /// Bytes written to disk by writes/appends.
     bytes_written: AtomicU64,
+    /// `server.shard.*{shard=N}` global mirrors (see [`LabeledShard`]).
+    labeled: LabeledShard,
 }
 
 impl ShardStats {
+    pub(crate) fn new(shard: usize) -> Self {
+        Self {
+            lock_wait: Histogram::new(),
+            read_ops: AtomicU64::new(0),
+            cache_hit_reads: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            labeled: LabeledShard::new(shard),
+        }
+    }
+
     pub(crate) fn record_lock_wait(&self, waited: Duration) {
         self.lock_wait.record_duration(waited);
+        self.labeled.lock_wait.record_duration(waited);
     }
 
     pub(crate) fn record_read(&self, stats: &ReadStats) {
         self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.labeled.read_ops.incr();
         self.bytes_read.fetch_add(stats.bytes_read, Ordering::Relaxed);
+        self.labeled.bytes_read.add(stats.bytes_read);
         if stats.cached_fragments_used > 0 {
             self.cache_hit_reads.fetch_add(1, Ordering::Relaxed);
+            self.labeled.cache_hit_reads.incr();
         }
     }
 
@@ -54,14 +108,18 @@ impl ShardStats {
     /// lock-free afterwards and are not attributed back to the shard.
     pub(crate) fn record_stream_open(&self, stats: &ReadStats) {
         self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.labeled.read_ops.incr();
         if stats.cached_fragments_used > 0 {
             self.cache_hit_reads.fetch_add(1, Ordering::Relaxed);
+            self.labeled.cache_hit_reads.incr();
         }
     }
 
     pub(crate) fn record_write(&self, report: &WriteReport) {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.labeled.write_ops.incr();
         self.bytes_written.fetch_add(report.bytes_written, Ordering::Relaxed);
+        self.labeled.bytes_written.add(report.bytes_written);
     }
 
     pub(crate) fn snapshot(&self, shard: usize, videos: usize) -> ShardStatsSnapshot {

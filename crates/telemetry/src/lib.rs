@@ -22,6 +22,34 @@
 //! (histogram), `server.admission.queue_depth` (gauge),
 //! `net.conn.bytes_sent` (counter).
 //!
+//! ## Label convention
+//!
+//! A metric may additionally carry a **label set** — sorted `key=value`
+//! pairs appended to the name in braces: `server.shard.read_ops{shard=3}`,
+//! `net.mux.streams_opened{kind=read}`. Labels split one logical metric into
+//! per-dimension series; the *name* stays `layer.object.metric` and answers
+//! "what is measured", the *labels* answer "which one". Rules:
+//!
+//! * Label keys are short lowercase identifiers (`shard`, `kind`, `code`,
+//!   `sub`); values are lowercase tokens or small integers. Neither may
+//!   contain `{`, `}`, `,`, `=` or whitespace — the rendered series key
+//!   must stay parseable.
+//! * Label sets are canonicalised by sorting on key, so
+//!   `{kind=read,shard=0}` and `{shard=0,kind=read}` are the **same
+//!   series** — [`counter_with`] returns the identical `&'static` handle
+//!   for both spellings.
+//! * Keep cardinality bounded: label by shard index, stream kind or error
+//!   code — never by video name, offset or timestamp. Every distinct label
+//!   set is a leaked registry entry that lives for the process.
+//! * The unlabeled name (`counter(name)`) and a labeled series of the same
+//!   name are distinct series; an aggregate, if wanted, is recorded
+//!   explicitly, not inferred.
+//!
+//! Handles from [`counter_with`]/[`gauge_with`]/[`histogram_with`] are
+//! `&'static` like their unlabeled peers: look one up per (name, label set)
+//! and cache it — after the first lookup the hot path is the same relaxed
+//! atomics, no lock and no allocation.
+//!
 //! # Metric kinds
 //!
 //! * [`Counter`] — monotone `u64`; never decremented, so two snapshots can
@@ -47,10 +75,13 @@
 //!
 //! 1. records the elapsed time into the `layer.op.latency_ns` histogram and
 //!    bumps the `layer.op.ops` counter,
-//! 2. appends a [`SpanRecord`] (layer, op, target, request id, duration) to
-//!    a bounded in-memory ring readable via [`recent_spans`],
+//! 2. appends a [`SpanRecord`] (layer, op, target, request id, span id,
+//!    parent span id, start offset, duration) to a bounded in-memory ring
+//!    readable via [`recent_spans`],
 //! 3. emits a one-line structured log on stderr when the duration meets the
-//!    `VSS_SLOW_OP_MS` threshold (unset or 0 disables the slow-op log).
+//!    `VSS_SLOW_OP_MS` threshold (unset or 0 disables the slow-op log),
+//!    followed by the indented [`span_tree`] of the request when the span
+//!    carried a request id.
 //!
 //! Spans are request-correlated through a thread-local request id: a server
 //! handler calls [`set_request_id`] when it decodes a tagged request, and
@@ -61,6 +92,18 @@
 //! one-thread-per-connection request path; work handed to helper threads
 //! (readahead workers, encoders) reports metrics but not request-scoped
 //! spans.
+//!
+//! ## Span trees
+//!
+//! Every span is additionally assigned a process-unique **span id**, and
+//! captures the thread's current innermost open span as its **parent** —
+//! so nested guards (`net` dispatch → `engine` decode → `wal` fsync) form
+//! a tree, not a flat list. The parent link crosses the wire: a client
+//! sends its open span's id with the request (see `vss-net`'s traced
+//! envelope), the server installs it via [`trace_scope`], and the server's
+//! spans chain under the client's. [`span_tree`] reassembles the tree for
+//! one request id from the ring, and [`SpanTree::render`] prints it as an
+//! indented trace — the same rendering the slow-op log emits.
 //!
 //! # Process-global state and tests
 //!
@@ -364,6 +407,62 @@ pub fn histogram(name: &str) -> &'static Histogram {
     intern(&registry().histograms, name)
 }
 
+/// Renders the canonical series key for `name` plus a label set:
+/// `name{key=value,...}` with labels **sorted by key**, or `name` alone for
+/// an empty set. Two label orderings of the same pairs render identically,
+/// which is what makes interning canonical. Label keys and values are used
+/// verbatim — callers follow the crate-level label convention (no braces,
+/// commas, `=` or whitespace).
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort();
+    let mut key = String::with_capacity(name.len() + 16);
+    key.push_str(name);
+    key.push('{');
+    for (index, (label, value)) in sorted.iter().enumerate() {
+        if index > 0 {
+            key.push(',');
+        }
+        key.push_str(label);
+        key.push('=');
+        key.push_str(value);
+    }
+    key.push('}');
+    key
+}
+
+/// Splits a series key back into `(name, label-suffix)`: the suffix is the
+/// `{...}` rendering (empty for unlabeled series). Used by exposition
+/// renderers; the inverse of [`series_key`].
+pub fn split_series_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(index) => key.split_at(index),
+        None => (key, ""),
+    }
+}
+
+/// Returns the process-wide counter for `(name, labels)`. The label set is
+/// canonicalised (sorted by key) before interning, so every ordering of the
+/// same pairs yields the same `&'static` handle. Cache the handle: after
+/// the first lookup, recording is lock-free.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> &'static Counter {
+    intern(&registry().counters, &series_key(name, labels))
+}
+
+/// Returns the process-wide gauge for `(name, labels)`; see [`counter_with`].
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+    intern(&registry().gauges, &series_key(name, labels))
+}
+
+/// Returns the process-wide histogram for `(name, labels)`; see
+/// [`counter_with`].
+pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> &'static Histogram {
+    intern(&registry().histograms, &series_key(name, labels))
+}
+
 /// A point-in-time copy of every registered metric, in name order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetrySnapshot {
@@ -391,6 +490,48 @@ impl TelemetrySnapshot {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Looks up a labeled counter: `counter_labeled("x", &[("shard", "0")])`
+    /// finds the series interned by [`counter_with`] with the same pairs in
+    /// any order.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counter(&series_key(name, labels))
+    }
+
+    /// Looks up a labeled gauge; see [`Self::counter_labeled`].
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.gauge(&series_key(name, labels))
+    }
+
+    /// Looks up a labeled histogram; see [`Self::counter_labeled`].
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSummary> {
+        self.histogram(&series_key(name, labels))
+    }
+
+    /// Every series of `name` regardless of labels, as
+    /// `(label-suffix, series-key)` pairs in key order — `("{shard=0}",
+    /// "server.shard.read_ops{shard=0}")`. Works across all three kinds.
+    pub fn series_of(&self, name: &str) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let keys = self
+            .counters
+            .iter()
+            .map(|(k, _)| k)
+            .chain(self.gauges.iter().map(|(k, _)| k))
+            .chain(self.histograms.iter().map(|(k, _)| k));
+        for key in keys {
+            let (base, suffix) = split_series_key(key);
+            if base == name {
+                out.push((suffix.to_string(), key.clone()));
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// Renders the snapshot as a human-readable multi-line dump, one metric
     /// per line, in name order within each kind.
     pub fn dump(&self) -> String {
@@ -413,6 +554,68 @@ impl TelemetrySnapshot {
                 h.p99,
                 h.max
             );
+        }
+        out
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition, in sorted
+    /// series order (byte-stable for identical snapshots). Dots in metric
+    /// names become underscores and every name gains a `vss_` prefix; label
+    /// suffixes render with quoted values (`vss_net_mux_resets{kind="read"}
+    /// 3`). Histograms expand to `_count`/`_sum`/`_max` plus
+    /// `{quantile="..."}` sample lines.
+    pub fn text_exposition(&self) -> String {
+        use std::fmt::Write as _;
+        fn prom_series(key: &str) -> String {
+            let (name, suffix) = split_series_key(key);
+            let mut out = format!("vss_{}", name.replace('.', "_"));
+            if !suffix.is_empty() {
+                out.push('{');
+                let inner = &suffix[1..suffix.len() - 1];
+                for (index, pair) in inner.split(',').enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    match pair.split_once('=') {
+                        Some((label, value)) => {
+                            let _ = write!(out, "{label}={value:?}");
+                        }
+                        None => out.push_str(pair),
+                    }
+                }
+                out.push('}');
+            }
+            out
+        }
+        // A labeled histogram key needs its suffix (`_count`) *inside* the
+        // base name, before the label braces.
+        fn prom_suffixed(key: &str, suffix: &str) -> String {
+            let (name, labels) = split_series_key(key);
+            prom_series(&format!("{name}.{suffix}{labels}"))
+        }
+        fn prom_quantile(key: &str, q: &str) -> String {
+            let (name, labels) = split_series_key(key);
+            let inner = if labels.is_empty() {
+                format!("quantile={q}")
+            } else {
+                format!("{},quantile={q}", &labels[1..labels.len() - 1])
+            };
+            prom_series(&format!("{name}{{{inner}}}"))
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{} {value}", prom_series(name));
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{} {value}", prom_series(name));
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{} {}", prom_suffixed(name, "count"), h.count);
+            let _ = writeln!(out, "{} {}", prom_suffixed(name, "sum"), h.sum);
+            let _ = writeln!(out, "{} {}", prom_suffixed(name, "max"), h.max);
+            for (q, value) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{} {value}", prom_quantile(name, q));
+            }
         }
         out
     }
@@ -456,6 +659,12 @@ pub fn dump() -> String {
     snapshot().dump()
 }
 
+/// Renders [`snapshot`] as Prometheus-style text exposition; see
+/// [`TelemetrySnapshot::text_exposition`].
+pub fn text_exposition() -> String {
+    snapshot().text_exposition()
+}
+
 // --- structured logging -----------------------------------------------------
 
 /// Emits a one-line structured log on stderr: `vss event=<event> k=v ...`.
@@ -478,6 +687,21 @@ pub fn log_event(event: &str, fields: &[(&str, String)]) {
 
 thread_local! {
     static CURRENT_REQUEST: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+    static CURRENT_PARENT_SPAN: std::cell::Cell<Option<u64>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Process-unique span ids, starting at 1 (0 is never a valid id).
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Nanoseconds since an arbitrary process-wide epoch (the first call).
+/// Monotonic, so span start offsets are comparable within the process.
+fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Sets (or clears, with `None`) the request id carried by every span opened
@@ -512,6 +736,49 @@ impl Drop for RequestScope {
     }
 }
 
+/// Sets (or clears) the span id the **next** span opened on this thread
+/// will record as its parent. Server handlers call this (via
+/// [`trace_scope`]) with the parent span id a traced request envelope
+/// carried, chaining server-side spans under the client's op span.
+pub fn set_parent_span(id: Option<u64>) {
+    CURRENT_PARENT_SPAN.with(|current| current.set(id));
+}
+
+/// The span id a span opened right now on this thread would chain under:
+/// the innermost open [`Span`], or whatever [`set_parent_span`] installed.
+/// Clients read this when encoding a traced request envelope.
+pub fn current_parent_span() -> Option<u64> {
+    CURRENT_PARENT_SPAN.with(|current| current.get())
+}
+
+/// Attaches a request id **and** a remote parent span id to this thread for
+/// the guard's lifetime, restoring both on drop. The wire-propagation
+/// helper: a server handler that decoded a traced envelope installs the
+/// client's `(request_id, parent_span_id)` pair so every span it opens
+/// joins the client's tree.
+pub fn trace_scope(request_id: u64, parent_span: Option<u64>) -> TraceScope {
+    let scope = TraceScope {
+        previous_request: current_request_id(),
+        previous_parent: current_parent_span(),
+    };
+    set_request_id(Some(request_id));
+    set_parent_span(parent_span);
+    scope
+}
+
+/// Guard returned by [`trace_scope`].
+pub struct TraceScope {
+    previous_request: Option<u64>,
+    previous_parent: Option<u64>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        set_request_id(self.previous_request);
+        set_parent_span(self.previous_parent);
+    }
+}
+
 /// One completed span, as kept in the in-memory ring.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -523,6 +790,15 @@ pub struct SpanRecord {
     pub target: String,
     /// Request id the span ran under, if the thread had one.
     pub request_id: Option<u64>,
+    /// Process-unique id of this span (never 0).
+    pub span_id: u64,
+    /// Span this one nested under — the innermost open span on the opening
+    /// thread, or a remote parent installed by [`trace_scope`]. `None` for
+    /// tree roots.
+    pub parent_span_id: Option<u64>,
+    /// Open time as nanoseconds since the process-wide span epoch; parents
+    /// always start at or before their children.
+    pub start_ns: u64,
     /// Wall-clock duration.
     pub duration: Duration,
 }
@@ -566,13 +842,21 @@ fn slow_op_threshold() -> Option<Duration> {
 }
 
 /// Opens a span for one operation; see the [crate docs](self) for drop-time
-/// semantics. The thread's current request id is captured at open.
+/// semantics. The thread's current request id and parent span are captured
+/// at open, and the new span becomes the thread's parent-of-record until it
+/// drops.
 pub fn span(layer: &'static str, op: &'static str, target: impl Into<String>) -> Span {
+    let span_id = next_span_id();
+    let parent_span_id = current_parent_span();
+    set_parent_span(Some(span_id));
     Span {
         layer,
         op,
         target: target.into(),
         request_id: current_request_id(),
+        span_id,
+        parent_span_id,
+        start_ns: monotonic_ns(),
         start: Instant::now(),
     }
 }
@@ -584,7 +868,18 @@ pub struct Span {
     op: &'static str,
     target: String,
     request_id: Option<u64>,
+    span_id: u64,
+    parent_span_id: Option<u64>,
+    start_ns: u64,
     start: Instant,
+}
+
+impl Span {
+    /// This span's process-unique id — what a client puts on the wire so
+    /// remote spans can chain under it.
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
 }
 
 impl Drop for Span {
@@ -594,38 +889,140 @@ impl Drop for Span {
         let op = self.op;
         histogram(&format!("{layer}.{op}.latency_ns")).record_duration(duration);
         counter(&format!("{layer}.{op}.ops")).incr();
+        // Pop this span off the thread's parent chain — but only if it is
+        // still the innermost one (a span moved to and dropped on another
+        // thread must not clobber that thread's chain).
+        CURRENT_PARENT_SPAN.with(|current| {
+            if current.get() == Some(self.span_id) {
+                current.set(self.parent_span_id);
+            }
+        });
         let record = SpanRecord {
             layer,
             op,
             target: std::mem::take(&mut self.target),
             request_id: self.request_id,
+            span_id: self.span_id,
+            parent_span_id: self.parent_span_id,
+            start_ns: self.start_ns,
             duration,
         };
-        if let Some(threshold) = slow_op_threshold() {
-            if duration >= threshold {
-                log_event(
-                    "slow-op",
-                    &[
-                        ("layer", layer.to_string()),
-                        ("op", op.to_string()),
-                        ("target", record.target.clone()),
-                        (
-                            "request_id",
-                            record
-                                .request_id
-                                .map_or_else(|| "-".to_string(), |id| id.to_string()),
-                        ),
-                        ("duration_ms", format!("{:.3}", duration.as_secs_f64() * 1e3)),
-                    ],
-                );
+        let slow = slow_op_threshold().is_some_and(|threshold| duration >= threshold);
+        let (target, request_id) = (record.target.clone(), record.request_id);
+        {
+            // Ring insert happens before the slow-op render so the slow
+            // span itself appears in its own tree.
+            let mut ring = span_ring().lock().expect("span ring lock");
+            if ring.len() == SPAN_RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(record);
+        }
+        if slow {
+            log_event(
+                "slow-op",
+                &[
+                    ("layer", layer.to_string()),
+                    ("op", op.to_string()),
+                    ("target", target),
+                    (
+                        "request_id",
+                        request_id.map_or_else(|| "-".to_string(), |id| id.to_string()),
+                    ),
+                    ("duration_ms", format!("{:.3}", duration.as_secs_f64() * 1e3)),
+                ],
+            );
+            if let Some(id) = request_id {
+                let tree = span_tree(id);
+                if !tree.spans.is_empty() {
+                    eprint!("{}", tree.render());
+                }
             }
         }
-        let mut ring = span_ring().lock().expect("span ring lock");
-        if ring.len() == SPAN_RING_CAPACITY {
-            ring.pop_front();
-        }
-        ring.push_back(record);
     }
+}
+
+// --- span trees -------------------------------------------------------------
+
+/// The spans of one request id, reassembled into parent/child order.
+/// Returned by [`span_tree`]; spans are sorted by start offset, so parents
+/// precede children.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// The request id the tree was queried for.
+    pub request_id: u64,
+    /// All completed spans of the request currently in the ring, sorted by
+    /// [`SpanRecord::start_ns`] (ties broken by span id).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl SpanTree {
+    /// Spans with no parent in the tree: true roots (`parent_span_id:
+    /// None`) plus orphans whose parent has aged out of the ring or has not
+    /// completed yet.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|span| {
+                span.parent_span_id
+                    .is_none_or(|parent| !self.spans.iter().any(|s| s.span_id == parent))
+            })
+            .collect()
+    }
+
+    /// Direct children of `span_id`, in start order.
+    pub fn children(&self, span_id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|span| span.parent_span_id == Some(span_id)).collect()
+    }
+
+    /// True when the tree is non-empty and every span is reachable from one
+    /// single root — the shape one fully-traced request produces.
+    pub fn is_connected(&self) -> bool {
+        self.roots().len() == 1 && !self.spans.is_empty()
+    }
+
+    /// Renders the tree as an indented multi-line trace, one span per line,
+    /// children nested two spaces under their parent:
+    ///
+    /// ```text
+    /// client.read_stream target=cam span=12 34.125ms
+    ///   net.read_stream target=cam span=13 33.871ms
+    ///     engine.read target=cam span=14 31.002ms
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        fn visit(tree: &SpanTree, span: &SpanRecord, depth: usize, out: &mut String) {
+            let _ = writeln!(
+                out,
+                "{:indent$}{}.{} target={} span={} {:.3}ms",
+                "",
+                span.layer,
+                span.op,
+                if span.target.is_empty() { "-" } else { &span.target },
+                span.span_id,
+                span.duration.as_secs_f64() * 1e3,
+                indent = depth * 2
+            );
+            for child in tree.children(span.span_id) {
+                visit(tree, child, depth + 1, out);
+            }
+        }
+        for root in self.roots() {
+            visit(self, root, 0, &mut out);
+        }
+        out
+    }
+}
+
+/// Reassembles the span tree of `request_id` from the ring: every completed
+/// span carrying the id, sorted by start offset. Query it after the root op
+/// finishes — spans still open (or evicted by ring wraparound) appear as
+/// missing parents, making their children extra roots.
+pub fn span_tree(request_id: u64) -> SpanTree {
+    let mut spans = spans_for_request(request_id);
+    spans.sort_by_key(|span| (span.start_ns, span.span_id));
+    SpanTree { request_id, spans }
 }
 
 #[cfg(test)]
@@ -730,6 +1127,121 @@ mod tests {
         assert_eq!(span.op, "testop");
         assert_eq!(span.target, "clip-1");
         assert_eq!(span.request_id, Some(4242));
+    }
+
+    #[test]
+    fn labeled_series_are_canonical_and_distinct() {
+        let a = counter_with("test.labels.ops", &[("shard", "0"), ("kind", "read")]);
+        let b = counter_with("test.labels.ops", &[("kind", "read"), ("shard", "0")]);
+        assert!(std::ptr::eq(a, b), "label order must not split a series");
+        let c = counter_with("test.labels.ops", &[("kind", "write"), ("shard", "0")]);
+        assert!(!std::ptr::eq(a, c), "distinct label values are distinct series");
+        let plain = counter("test.labels.ops");
+        assert!(!std::ptr::eq(a, plain), "unlabeled series is its own series");
+        a.add(2);
+        c.incr();
+        let snapshot = snapshot();
+        assert_eq!(
+            snapshot.counter_labeled("test.labels.ops", &[("shard", "0"), ("kind", "read")]),
+            Some(a.get())
+        );
+        assert_eq!(
+            snapshot.counter("test.labels.ops{kind=read,shard=0}"),
+            Some(a.get()),
+            "snapshot keys are the canonical rendering"
+        );
+    }
+
+    #[test]
+    fn series_key_renders_sorted() {
+        assert_eq!(series_key("a.b.c", &[]), "a.b.c");
+        assert_eq!(series_key("a.b.c", &[("z", "1"), ("a", "2")]), "a.b.c{a=2,z=1}");
+        assert_eq!(split_series_key("a.b.c{a=2,z=1}"), ("a.b.c", "{a=2,z=1}"));
+        assert_eq!(split_series_key("a.b.c"), ("a.b.c", ""));
+    }
+
+    #[test]
+    fn series_of_lists_every_label_set() {
+        counter_with("test.serof.ops", &[("shard", "0")]).incr();
+        counter_with("test.serof.ops", &[("shard", "1")]).incr();
+        gauge_with("test.serof.ops", &[("shard", "2")]).set(1);
+        let series = snapshot().series_of("test.serof.ops");
+        let suffixes: Vec<&str> = series.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(suffixes, ["{shard=0}", "{shard=1}", "{shard=2}"]);
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_labeled() {
+        counter_with("test.expo.total", &[("kind", "read")]).add(4);
+        gauge("test.expo.level").set(-3);
+        histogram_with("test.expo.lat_ns", &[("shard", "1")]).record(100);
+        let text = snapshot().text_exposition();
+        assert!(text.contains("vss_test_expo_total{kind=\"read\"} 4"), "{text}");
+        assert!(text.contains("vss_test_expo_level -3"), "{text}");
+        assert!(text.contains("vss_test_expo_lat_ns_count{shard=\"1\"} 1"), "{text}");
+        assert!(text.contains("vss_test_expo_lat_ns{shard=\"1\",quantile=\"0.5\"}"), "{text}");
+        // Byte-stable: two expositions of the same snapshot are identical,
+        // and lines within each kind are sorted.
+        let snapshot = snapshot();
+        assert_eq!(snapshot.text_exposition(), snapshot.text_exposition());
+        let dump = snapshot.dump();
+        let counter_lines: Vec<&str> =
+            dump.lines().filter(|l| l.starts_with("counter")).collect();
+        let mut sorted = counter_lines.clone();
+        sorted.sort();
+        assert_eq!(counter_lines, sorted, "dump counters in sorted order");
+    }
+
+    #[test]
+    fn nested_spans_chain_into_a_tree() {
+        let _scope = request_scope(777_001);
+        let root_id;
+        {
+            let root = span("testtree", "root", "clip");
+            root_id = root.id();
+            assert_eq!(current_parent_span(), Some(root_id));
+            {
+                let child = span("testtree", "child", "clip");
+                assert_eq!(current_parent_span(), Some(child.id()));
+                let _grandchild = span("testtree", "grandchild", "clip");
+            }
+            assert_eq!(current_parent_span(), Some(root_id));
+        }
+        let tree = span_tree(777_001);
+        assert_eq!(tree.spans.len(), 3);
+        assert!(tree.is_connected(), "one root: {:?}", tree.roots());
+        assert_eq!(tree.roots()[0].span_id, root_id);
+        assert_eq!(tree.roots()[0].op, "root");
+        // Parent ordering invariant: parents start at or before children.
+        for span in &tree.spans {
+            if let Some(parent) = span.parent_span_id {
+                let parent = tree.spans.iter().find(|s| s.span_id == parent).unwrap();
+                assert!(parent.start_ns <= span.start_ns);
+            }
+        }
+        let rendered = tree.render();
+        assert!(rendered.contains("testtree.root"), "{rendered}");
+        assert!(rendered.contains("\n  testtree.child"), "{rendered}");
+        assert!(rendered.contains("\n    testtree.grandchild"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_scope_chains_remote_parent_and_restores() {
+        let remote_parent = 990_001;
+        {
+            let _scope = trace_scope(777_002, Some(remote_parent));
+            assert_eq!(current_request_id(), Some(777_002));
+            assert_eq!(current_parent_span(), Some(remote_parent));
+            let _span = span("testremote", "serve", "clip");
+        }
+        assert_eq!(current_request_id(), None);
+        assert_eq!(current_parent_span(), None);
+        let tree = span_tree(777_002);
+        assert_eq!(tree.spans.len(), 1);
+        assert_eq!(tree.spans[0].parent_span_id, Some(remote_parent));
+        // The remote parent is not in the ring, so the span is an orphan
+        // root — the tree still renders rather than dropping it.
+        assert_eq!(tree.roots().len(), 1);
     }
 
     #[test]

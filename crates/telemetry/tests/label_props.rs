@@ -1,0 +1,73 @@
+//! Property tests for labeled-metric interning under concurrency: however
+//! many threads race to intern the same (name, label set) in whatever pair
+//! order, they must all receive the same series — and series with different
+//! label sets must never mix counts.
+
+use proptest::prelude::*;
+use vss_telemetry::{counter_with, series_key, snapshot};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Four threads concurrently intern-and-increment a case-unique family
+    /// of labeled series, each thread spelling the label pairs in its own
+    /// order. Every series must end up with exactly the sum of the
+    /// increments aimed at it: a single misrouted add (two label sets
+    /// colliding, or one set splitting into two series) breaks the tally.
+    #[test]
+    fn concurrent_interning_never_mixes_series(
+        nonce in any::<u64>(),
+        series_count in 1usize..5,
+        per_thread in 1u64..50,
+    ) {
+        const THREADS: usize = 4;
+        let name = "test.props.interned_ops";
+        // Case-unique label values so series start at zero for this case.
+        let shards: Vec<String> = (0..series_count).map(|i| format!("{nonce:x}-{i}")).collect();
+        let kinds = ["read", "write", "sub"];
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let shards = shards.clone();
+                std::thread::spawn(move || {
+                    for (index, shard) in shards.iter().enumerate() {
+                        let kind = kinds[index % kinds.len()];
+                        // Odd threads spell the pairs in reverse order; the
+                        // canonical sort must land them on the same series.
+                        let counter = if thread % 2 == 0 {
+                            counter_with(name, &[("shard", shard), ("kind", kind)])
+                        } else {
+                            counter_with(name, &[("kind", kind), ("shard", shard)])
+                        };
+                        // Weight by series index so a cross-series mixup
+                        // changes totals instead of cancelling out.
+                        counter.add(per_thread + index as u64);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("interning thread");
+        }
+        let snapshot = snapshot();
+        for (index, shard) in shards.iter().enumerate() {
+            let kind = kinds[index % kinds.len()];
+            let labels = [("shard", shard.as_str()), ("kind", kind)];
+            let expected = THREADS as u64 * (per_thread + index as u64);
+            let got = snapshot.counter_labeled(name, &labels);
+            prop_assert_eq!(
+                got,
+                Some(expected),
+                "series {} mixed: {:?}",
+                series_key(name, &labels),
+                got
+            );
+        }
+        // The same pairs intern to pointer-identical handles after the race.
+        for (index, shard) in shards.iter().enumerate() {
+            let kind = kinds[index % kinds.len()];
+            let a = counter_with(name, &[("shard", shard), ("kind", kind)]);
+            let b = counter_with(name, &[("kind", kind), ("shard", shard)]);
+            prop_assert!(std::ptr::eq(a, b), "order split a series");
+        }
+    }
+}
